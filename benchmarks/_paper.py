@@ -1,0 +1,114 @@
+"""Paper-reported anchor values, collected in one place.
+
+Every benchmark compares its measured value against these constants and
+prints both; EXPERIMENTS.md is generated from the same numbers.  Values
+are percentages unless noted.
+"""
+
+import datetime as dt
+
+# --- Figure 1 / §1: negotiated versions -------------------------------------
+TLS10_SHARE_2012 = 90.0          # "In 2012, 90% of TLS connections used TLS 1.0"
+TLS10_SHARE_FEB2018 = 2.8        # §5.2
+TLS12_SHARE_TODAY = 90.0         # "today 90% use TLS 1.2"
+
+# --- Figure 2 / §5.3: negotiated cipher classes ------------------------------
+RC4_NEGOTIATED_AUG2013 = 60.0    # "drop of RC4 usage from 60% in August 2013"
+RC4_NEGOTIATED_MAR2018 = 0.5     # "to almost zero in March 2018"
+CBC_DECLINE_START = dt.date(2015, 8, 1)  # CBC starts declining Aug 2015
+
+# --- Figure 3 / §5.6: advertised classes -------------------------------------
+TRIPLE_DES_ADVERTISED_2018 = 69.0  # "still stands at more than 69%"
+CBC_ADVERTISED_FLOOR = 99.0        # "Total CBC-mode is always above 99%"
+
+# --- Figure 4 / §5.3 ----------------------------------------------------------
+RC4_FINGERPRINTS_MAR2018 = 39.9  # "39.9% of the observed fingerprints still support RC4"
+
+# --- Figure 7 / §5.5, §6.1, §6.2 ----------------------------------------------
+EXPORT_ADVERTISED_2012 = 28.19
+EXPORT_ADVERTISED_2018 = 1.03
+ANON_SPIKE_BEFORE = 5.8
+ANON_SPIKE_AFTER = 12.9
+
+# --- Figure 8 / §6.3.1 ----------------------------------------------------------
+FS_CLIENT_SUPPORT_2012 = 80.0    # ">80% of clients supported FS in 2012"
+
+# --- Figure 9 / §6.3.2 ----------------------------------------------------------
+CHACHA_NEGOTIATED_MAR2018 = 1.7
+AESCCM_ADVERTISED_OVERALL = 0.3
+
+# --- §4 fingerprinting -----------------------------------------------------------
+COVERAGE_ALL = 69.23
+FP_COUNT = 1684
+TOP10_CONCENTRATION = 25.9
+# §4.1 durations (days)
+DURATION_MAX = 1235
+DURATION_MEDIAN = 1
+DURATION_MEAN = 158.8
+DURATION_Q3 = 171
+DURATION_STD = 302.31
+SINGLE_DAY_FPS = 42188
+SINGLE_DAY_SHARE_OF_FPS = 60.4   # 42,188 / 69,874
+LONG_LIVED_FPS = 1203
+LONG_LIVED_CONNECTION_SHARE = 21.75
+
+# --- Table 2 coverage by category -----------------------------------------------
+TABLE2 = {
+    "Libraries": (700, 46.49),
+    "Browsers": (193, 15.63),
+    "OS Tools and Services": (13, 2.29),
+    "Mobile apps": (489, 1.35),
+    "Dev. tools": (12, 0.88),
+    "AV": (44, 0.85),
+    "Cloud Storage": (29, 0.71),
+    "Email": (33, 0.58),
+    "Malware & PUP": (49, 0.48),
+    "All": (1684, 69.23),
+}
+
+# --- §5.1: SSL 3 server support ---------------------------------------------------
+SSL3_SERVERS_SEP2015 = 45.0
+SSL3_SERVERS_MAY2018 = 25.0      # "less than 25%"
+
+# --- §5.3 / §5.2 / §5.6: Censys choice series --------------------------------------
+RC4_CHOSEN_SEP2015 = 11.2
+RC4_CHOSEN_MAY2018 = 3.4
+CBC_CHOSEN_SEP2015 = 54.0
+CBC_CHOSEN_MAY2018 = 35.0
+TDES_CHOSEN_AUG2015 = 0.54
+TDES_CHOSEN_MAY2018 = 0.25
+
+# --- §5.4: Heartbleed ---------------------------------------------------------------
+VULNERABLE_AT_DISCLOSURE = 23.7
+VULNERABLE_MAY2018 = 0.32
+HEARTBEAT_SUPPORT_2018 = 34.0
+HEARTBEAT_USED_2018 = 3.0
+
+# --- §5.6: 3DES negotiated ----------------------------------------------------------
+TDES_NEGOTIATED_2012 = 1.4
+TDES_NEGOTIATED_2018 = 0.3
+
+# --- §6.1 / §6.2: NULL and anonymous negotiation -----------------------------------
+NULL_NEGOTIATED_OVERALL = 2.84
+NULL_NEGOTIATED_2018 = 0.42
+ANON_NEGOTIATED_OVERALL = 0.17
+ANON_NEGOTIATED_2018 = 0.60
+
+# --- §6.3.3: curves ------------------------------------------------------------------
+CURVE_SHARES_OVERALL = {
+    "secp256r1": 84.4,
+    "secp384r1": 8.6,
+    "x25519": 6.7,
+}
+X25519_FEB2018 = 22.2
+
+# --- §6.4: TLS 1.3 --------------------------------------------------------------------
+TLS13_ADVERTISED = {"2018-02": 0.5, "2018-03": 9.8, "2018-04": 23.6}
+TLS13_NEGOTIATED_APR2018 = 1.3
+GOOGLE_VARIANT_SHARE = 82.3
+DRAFT18_SHARE = 13.4
+
+
+def row(label: str, paper, measured, unit: str = "%") -> str:
+    """One aligned paper-vs-measured output row."""
+    return f"{label:<44} paper: {paper:>8}{unit}   measured: {measured:8.2f}{unit}"

@@ -1,0 +1,67 @@
+"""Ablation: does the long-tail adoption model cause the paper's tails?
+
+DESIGN.md calls the heavy-tailed upgrade-lag model the mechanism behind
+the paper's residual-RC4 and 3DES findings (§4.1, §7.2).  This ablation
+replaces every family's adoption model with an instant-upgrade one and
+compares the 2018 advertisement levels: with instant upgrades the RC4
+tail collapses, confirming the attribution.
+"""
+
+import dataclasses
+import datetime as dt
+
+from repro.clients.population import default_population
+from repro.clients.profile import AdoptionModel
+
+#: Near-instant upgrades: everyone on the newest release within days.
+_INSTANT = AdoptionModel(fast_days=3.0, tail=0.0, slow_days=4.0)
+
+
+def _instant_population():
+    population = default_population()
+    for family, _ in population.members:
+        family.adoption = _INSTANT
+    return population
+
+
+def test_ablation_adoption_lag(benchmark, report):
+    lagged = default_population()
+    instant = benchmark(_instant_population)
+
+    day = dt.date(2018, 3, 1)
+    rc4 = lambda s: s.is_rc4  # noqa: E731
+    exp = lambda s: s.is_export  # noqa: E731
+
+    rc4_lagged = lagged.advertised_fraction(day, rc4) * 100
+    rc4_instant = instant.advertised_fraction(day, rc4) * 100
+    export_lagged = lagged.advertised_fraction(day, exp) * 100
+    export_instant = instant.advertised_fraction(day, exp) * 100
+
+    # The tails are largely adoption-lag artifacts: with instant
+    # upgrades the 2018 RC4 advertisement collapses, and the export
+    # advertisement falls to the deliberate residue (Zbot's static
+    # OpenSSL, Shodan's everything-list, Nagios probes).
+    assert rc4_instant < rc4_lagged / 3
+    assert export_instant < export_lagged / 2
+    assert rc4_instant < 6
+    assert export_instant < 1.5
+
+    # But 3DES survives the ablation: it is a deliberate configuration
+    # choice of *current* releases ("cipher of last resort", §5.6), not
+    # an upgrade-lag effect.
+    tdes = lambda s: s.is_3des  # noqa: E731
+    tdes_lagged = lagged.advertised_fraction(day, tdes) * 100
+    tdes_instant = instant.advertised_fraction(day, tdes) * 100
+    assert tdes_instant > 40
+
+    report(
+        "Ablation — adoption lag on/off (advertised, Mar 2018)",
+        [
+            f"{'metric':<18} {'lagged (default)':>17} {'instant upgrades':>17}",
+            f"{'RC4 advertised':<18} {rc4_lagged:>16.1f}% {rc4_instant:>16.1f}%",
+            f"{'export advertised':<18} {export_lagged:>16.1f}% {export_instant:>16.1f}%",
+            f"{'3DES advertised':<18} {tdes_lagged:>16.1f}% {tdes_instant:>16.1f}%",
+            "RC4/export tails are upgrade-lag artifacts (collapse when lag is",
+            "removed); 3DES is a deliberate choice of current releases (§5.6).",
+        ],
+    )

@@ -1,0 +1,56 @@
+"""Ablation: GREASE stripping in the fingerprint pipeline (§4).
+
+The paper strips GREASE values before fingerprinting because Chrome
+randomizes them per connection.  This ablation quantifies the damage of
+skipping that step: without stripping, every GREASE-ing connection
+mints a fresh fingerprint and database matching collapses for exactly
+that population.
+"""
+
+import random
+
+from repro.clients import chrome
+from repro.core.fingerprint import Fingerprint
+from repro.notary.events import FingerprintFields
+from repro.tls.messages import ClientHello
+
+
+def _raw_fingerprint(hello: ClientHello) -> Fingerprint:
+    """A fingerprint WITHOUT GREASE stripping (the ablated pipeline)."""
+    return Fingerprint(
+        FingerprintFields(
+            cipher_suites=hello.cipher_suites,
+            extensions=hello.extension_types(),
+            curves=hello.supported_groups,
+            ec_point_formats=tuple(hello.ec_point_formats),
+        )
+    )
+
+
+def _distinct_counts(samples: int = 300):
+    release = chrome.family().release("65")
+    rng = random.Random(4)
+    hellos = [release.build_hello(rng=rng, include_tls13=True) for _ in range(samples)]
+    stripped = {Fingerprint.from_client_hello(h).digest for h in hellos}
+    raw = {_raw_fingerprint(h).digest for h in hellos}
+    return len(stripped), len(raw), samples
+
+
+def test_ablation_grease_stripping(benchmark, report):
+    stripped_count, raw_count, samples = benchmark(_distinct_counts)
+
+    # With stripping: one stable fingerprint for the release.  Without:
+    # the fingerprint space explodes toward one per connection.
+    assert stripped_count == 1
+    assert raw_count > samples * 0.5
+
+    report(
+        "Ablation — GREASE stripping in fingerprint extraction",
+        [
+            f"{samples} Chrome 65 connections:",
+            f"  with GREASE stripping (§4 method): {stripped_count} distinct fingerprint(s)",
+            f"  without stripping (ablated):       {raw_count} distinct fingerprints",
+            "without the §4 GREASE rule, every Chrome connection mints a new",
+            "fingerprint and the database cannot label the dominant browser.",
+        ],
+    )

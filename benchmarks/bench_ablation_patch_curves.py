@@ -1,0 +1,68 @@
+"""Ablation: patch-curve parameters vs the paper's server-side tails.
+
+Sweeps the POODLE remediation curve's never-patching floor and shows
+how the 2018 SSL 3 support level depends on it — the quantitative
+version of §7.4's claim that the long tail, not the patch speed,
+explains "embarrassingly high" 2018 SSL 3 support.
+"""
+
+import dataclasses
+import datetime as dt
+
+from repro.servers.curves import PatchCurve
+from repro.servers.population import ServerAttributeCurves, ServerPopulation
+from repro.tls.versions import SSL3
+
+_POODLE = dt.date(2014, 10, 14)
+
+
+def _population(never_patched: float, half_life: float = 420.0) -> ServerPopulation:
+    attributes = dataclasses.replace(
+        ServerAttributeCurves(),
+        ssl3_removal=PatchCurve(
+            disclosed=_POODLE, half_life_days=half_life, never_patched=never_patched
+        ),
+    )
+    return ServerPopulation(attributes=attributes)
+
+
+def _ssl3_support(population: ServerPopulation, on: dt.date) -> float:
+    return population.support_fraction(
+        on, lambda p: p.supports_version(SSL3.wire), "hosts"
+    )
+
+
+def test_ablation_ssl3_patch_floor(benchmark, report):
+    day = dt.date(2018, 5, 1)
+    floors = (0.0, 0.25, 0.55, 0.8)
+    values = {
+        floor: benchmark(_ssl3_support, _population(floor), day)
+        if floor == 0.55
+        else _ssl3_support(_population(floor), day)
+        for floor in floors
+    }
+
+    # Monotone in the floor, and only a substantial never-patching
+    # population reproduces the paper's ~20% 2018 level.
+    ordered = [values[f] for f in floors]
+    assert all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:]))
+    assert values[0.0] < 0.12          # fast patchers alone: SSL 3 dies
+    assert 0.12 < values[0.55] < 0.25  # the calibrated default
+    assert values[0.8] > 0.22
+
+    # Patch *speed* barely matters by 2018: halving the half-life moves
+    # the result far less than the floor does.
+    fast = _ssl3_support(_population(0.55, half_life=210.0), day)
+    assert abs(fast - values[0.55]) < 0.05
+
+    report(
+        "Ablation — POODLE remediation floor vs 2018 SSL 3 support",
+        [
+            f"never_patched={floor:.2f}  ->  SSL 3 support May 2018: {value:.1%}"
+            for floor, value in values.items()
+        ]
+        + [
+            f"half-life 420d -> 210d at floor 0.55: {values[0.55]:.1%} -> {fast:.1%}",
+            "the 2018 tail is set by who never patches, not by patch speed (§7.4)",
+        ],
+    )

@@ -1,0 +1,40 @@
+"""Figure 10: clients advertising AES-GCM, ChaCha20-Poly1305, AES-CCM."""
+
+import datetime as dt
+
+import _paper
+from repro.core import figures
+
+
+def test_fig10_advertised_aead(benchmark, passive_store, report):
+    series = benchmark(figures.fig10_advertised_aead, passive_store)
+
+    aes128_2018 = figures.value_at(series["AES128-GCM"], dt.date(2018, 3, 1))
+    aes128_2012 = figures.value_at(series["AES128-GCM"], dt.date(2012, 6, 1))
+    chacha_2015 = figures.value_at(series["ChaCha20-Poly1305"], dt.date(2015, 1, 1))
+    chacha_2018 = figures.value_at(series["ChaCha20-Poly1305"], dt.date(2018, 3, 1))
+    ccm_max = max(v for _, v in series["AES-CCM"])
+
+    # Shape: GCM advertisement goes from near-zero to near-universal;
+    # ChaCha20 appears ~2014 and climbs past half of connections;
+    # AES-CCM stays marginal (0.3% of offers overall in the paper).
+    assert aes128_2012 < 15
+    assert aes128_2018 > 80
+    assert chacha_2015 > 5
+    assert chacha_2018 > 25
+    assert chacha_2018 > chacha_2015 * 2
+    assert 0 < ccm_max < 5
+
+    report(
+        "Figure 10 — advertised AEAD algorithms",
+        [
+            f"AES128-GCM advertised 2012: {aes128_2012:.1f}% -> 2018: {aes128_2018:.1f}%",
+            f"ChaCha20 advertised 2015: {chacha_2015:.1f}% -> 2018: {chacha_2018:.1f}%",
+            _paper.row("AES-CCM advertised (max)", _paper.AESCCM_ADVERTISED_OVERALL, ccm_max),
+            "",
+            figures.render_series(
+                series,
+                sample_months=[dt.date(y, 1, 1) for y in range(2012, 2019)],
+            ),
+        ],
+    )

@@ -1,0 +1,47 @@
+"""Figure 1: negotiated SSL/TLS versions over 2012-2018."""
+
+import datetime as dt
+
+import _paper
+from repro.core import figures
+
+
+def test_fig1_negotiated_versions(benchmark, passive_store, report):
+    series = benchmark(figures.fig1_negotiated_versions, passive_store)
+
+    tls10_2012 = figures.value_at(series["TLSv10"], dt.date(2012, 2, 1))
+    tls10_2018 = figures.value_at(series["TLSv10"], dt.date(2018, 2, 1))
+    tls12_2018 = figures.value_at(series["TLSv12"], dt.date(2018, 2, 1))
+    ssl3_2012 = figures.value_at(series["SSLv3"], dt.date(2012, 2, 1))
+    ssl3_2015 = figures.value_at(series["SSLv3"], dt.date(2015, 1, 1))
+    tls11_peak = max(v for m, v in series["TLSv11"] if m < dt.date(2014, 1, 1))
+
+    # Shape assertions: who wins and where the crossovers fall.
+    assert tls10_2012 > 85          # paper: ~90-100% on TLS 1.0 in 2012
+    assert tls10_2018 < 12          # paper: 2.8% in Feb 2018
+    assert tls12_2018 > 85          # paper: ~90% on TLS 1.2 today
+    assert ssl3_2015 < 0.5          # SSL 3 negligible since mid-2014
+    assert tls11_peak > 3           # the BEAST-era TLS 1.1 bump exists
+    # TLS 1.2 overtakes TLS 1.0 during 2014 (paper: late 2013 / 2014).
+    crossover = next(
+        m
+        for m, v in series["TLSv12"]
+        if v > dict(series["TLSv10"])[m]
+    )
+    assert dt.date(2013, 6, 1) <= crossover <= dt.date(2015, 6, 1)
+
+    report(
+        "Figure 1 — negotiated SSL/TLS versions",
+        [
+            _paper.row("TLS 1.0 share, Feb 2012", _paper.TLS10_SHARE_2012, tls10_2012),
+            _paper.row("TLS 1.0 share, Feb 2018", _paper.TLS10_SHARE_FEB2018, tls10_2018),
+            _paper.row("TLS 1.2 share, Feb 2018", _paper.TLS12_SHARE_TODAY, tls12_2018),
+            f"TLS 1.2 / 1.0 crossover month: {crossover}",
+            "",
+            figures.render_series(
+                {k: v for k, v in series.items() if k != "SSLv2"},
+                sample_months=[dt.date(y, 1, 1) for y in range(2012, 2019)]
+                + [dt.date(2018, 4, 1)],
+            ),
+        ],
+    )

@@ -1,0 +1,42 @@
+"""Figure 2: connections negotiated with RC4, CBC, or AEAD suites."""
+
+import datetime as dt
+
+import _paper
+from repro.core import figures
+
+
+def test_fig2_negotiated_modes(benchmark, passive_store, report):
+    series = benchmark(figures.fig2_negotiated_modes, passive_store)
+
+    rc4_aug13 = figures.value_at(series["RC4"], dt.date(2013, 8, 1))
+    rc4_mar18 = figures.value_at(series["RC4"], dt.date(2018, 3, 1))
+    cbc_mid15 = figures.value_at(series["CBC"], dt.date(2015, 7, 1))
+    cbc_2018 = figures.value_at(series["CBC"], dt.date(2018, 3, 1))
+    aead_2018 = figures.value_at(series["AEAD"], dt.date(2018, 3, 1))
+
+    # Shape: RC4 peaks ~60% around Aug 2013 then collapses; CBC holds
+    # until ~Aug 2015 then declines; AEAD wins by a large margin in 2018.
+    assert 40 < rc4_aug13 < 70
+    assert rc4_mar18 < 1.5
+    assert cbc_mid15 > 40
+    assert cbc_2018 < 25
+    assert aead_2018 > 70
+    # RC4's maximum falls in 2013 (post-BEAST RC4 enforcement).
+    peak_month = max(series["RC4"], key=lambda p: p[1])[0]
+    assert dt.date(2012, 9, 1) <= peak_month <= dt.date(2014, 6, 1)
+
+    report(
+        "Figure 2 — negotiated RC4 / CBC / AEAD",
+        [
+            _paper.row("RC4 negotiated, Aug 2013", _paper.RC4_NEGOTIATED_AUG2013, rc4_aug13),
+            _paper.row("RC4 negotiated, Mar 2018", _paper.RC4_NEGOTIATED_MAR2018, rc4_mar18),
+            f"RC4 peak month: {peak_month}",
+            f"CBC mid-2015: {cbc_mid15:.1f}%, CBC 2018: {cbc_2018:.1f}%, AEAD 2018: {aead_2018:.1f}%",
+            "",
+            figures.render_series(
+                series,
+                sample_months=[dt.date(y, 1, 1) for y in range(2012, 2019)],
+            ),
+        ],
+    )

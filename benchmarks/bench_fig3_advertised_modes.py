@@ -1,0 +1,48 @@
+"""Figure 3: clients advertising RC4, DES, 3DES, or AEAD suites."""
+
+import datetime as dt
+
+import _paper
+from repro.core import figures
+
+
+def test_fig3_advertised_modes(benchmark, passive_store, report):
+    series = benchmark(figures.fig3_advertised_modes, passive_store)
+
+    tdes_2018 = figures.value_at(series["3DES"], dt.date(2018, 3, 1))
+    tdes_2016 = figures.value_at(series["3DES"], dt.date(2016, 10, 1))
+    des_2012 = figures.value_at(series["DES"], dt.date(2012, 3, 1))
+    des_2018 = figures.value_at(series["DES"], dt.date(2018, 3, 1))
+    aead_2014 = figures.value_at(series["AEAD"], dt.date(2014, 6, 1))
+    rc4_2014 = figures.value_at(series["RC4"], dt.date(2014, 6, 1))
+    rc4_2018 = figures.value_at(series["RC4"], dt.date(2018, 3, 1))
+    cbc_min = min(v for _, v in series["CBC"])
+
+    # §5.6: almost all clients advertised 3DES up to end-2016; >69% today.
+    assert tdes_2016 > 90
+    assert tdes_2018 > 65
+    # DES advertisement declines steeply with the export-era clients.
+    assert des_2012 > 25
+    assert des_2018 < 12
+    # RC4 advertised near-universal in 2014, a minority by 2018.
+    assert rc4_2014 > 85
+    assert rc4_2018 < 35
+    # AEAD advertisement majority by mid-2014 (TLS 1.2 clients).
+    assert aead_2014 > 40
+    # Figure 3 caption: total CBC-mode is always above 99%.
+    assert cbc_min > 97
+
+    report(
+        "Figure 3 — advertised RC4 / DES / 3DES / AEAD",
+        [
+            _paper.row("3DES advertised, 2018", _paper.TRIPLE_DES_ADVERTISED_2018, tdes_2018),
+            _paper.row("CBC advertised floor", _paper.CBC_ADVERTISED_FLOOR, cbc_min),
+            f"DES 2012: {des_2012:.1f}% -> 2018: {des_2018:.1f}%",
+            f"RC4 2014: {rc4_2014:.1f}% -> 2018: {rc4_2018:.1f}%",
+            "",
+            figures.render_series(
+                series,
+                sample_months=[dt.date(y, 1, 1) for y in range(2012, 2019)],
+            ),
+        ],
+    )

@@ -1,0 +1,46 @@
+"""Figure 4: suite-class support per distinct monthly fingerprint."""
+
+import datetime as dt
+
+import _paper
+from repro.core import figures
+
+
+def test_fig4_fingerprint_support(benchmark, passive_store, report):
+    series = benchmark(figures.fig4_fingerprint_support, passive_store)
+
+    # Fingerprint fields exist only from Feb 2014 (§4.0.1).
+    first_month = min(m for pts in series.values() for m, _ in pts)
+    assert first_month >= dt.date(2014, 2, 1)
+
+    rc4_mar18 = figures.value_at(series["RC4"], dt.date(2018, 3, 1))
+    rc4_2014 = figures.value_at(series["RC4"], dt.date(2014, 6, 1))
+    cbc_min = min(v for _, v in series["CBC"])
+    tdes_2018 = figures.value_at(series["3DES"], dt.date(2018, 3, 1))
+
+    # §5.3: fingerprint-counted RC4 removal is much slower than the
+    # traffic-weighted one; 39.9% of fingerprints still offer RC4 in
+    # March 2018.  Our release-granular fingerprint set is coarser, so
+    # the residual sits higher, but the slow-decline shape holds: the
+    # fingerprint share stays several times the sub-2% traffic share.
+    assert rc4_2014 > 60
+    assert 25 < rc4_mar18 < 75
+    assert rc4_mar18 < rc4_2014 - 15
+    # Figure 4 caption: CBC-mode support is near universal.
+    assert cbc_min > 90
+    # §5.6: >70% of fingerprinted clients still offer 3DES today.
+    assert tdes_2018 > 60
+
+    report(
+        "Figure 4 — fingerprint-level suite support",
+        [
+            _paper.row("RC4 fingerprints, Mar 2018", _paper.RC4_FINGERPRINTS_MAR2018, rc4_mar18),
+            f"3DES fingerprints, Mar 2018: {tdes_2018:.1f}% (paper: >70%)",
+            f"CBC support floor: {cbc_min:.1f}% (paper: near universal)",
+            "",
+            figures.render_series(
+                series,
+                sample_months=[dt.date(y, 2, 1) for y in range(2014, 2019)],
+            ),
+        ],
+    )

@@ -1,0 +1,42 @@
+"""Figure 5: average relative position of the first suite of each class."""
+
+import datetime as dt
+
+from repro.core import figures
+
+
+def test_fig5_cipher_positions(benchmark, passive_store, report):
+    series = benchmark(figures.fig5_cipher_positions, passive_store)
+
+    month = dt.date(2016, 1, 1)
+    aead = figures.value_at(series["AEAD"], month)
+    cbc = figures.value_at(series["CBC"], month)
+    rc4 = figures.value_at(series["RC4"], month)
+    tdes = figures.value_at(series["3DES"], month)
+    des = figures.value_at(series["DES"], month)
+
+    # Figure 5's ordering: AEAD and CBC near the head of preference
+    # lists, RC4 mid-list, DES and 3DES near the tail.
+    assert aead < 25
+    assert cbc < 35
+    assert aead < rc4 < tdes
+    assert tdes > 60
+    assert des > 50
+
+    # §5.2: "little change in the relative position of the first offered
+    # CBC-mode cipher suite over time."
+    cbc_values = [v for _, v in series["CBC"]]
+    assert max(cbc_values) - min(cbc_values) < 35
+
+    report(
+        "Figure 5 — average relative position of first suite per class",
+        [
+            f"at {month}: AEAD={aead:.0f}% CBC={cbc:.0f}% RC4={rc4:.0f}% DES={des:.0f}% 3DES={tdes:.0f}%",
+            "paper shape: AEAD/CBC at top of list, DES/3DES at bottom — reproduced",
+            "",
+            figures.render_series(
+                series,
+                sample_months=[dt.date(y, 2, 1) for y in range(2014, 2019)],
+            ),
+        ],
+    )

@@ -1,0 +1,43 @@
+"""Figure 6: percent of connections where the client advertises RC4."""
+
+import datetime as dt
+
+from repro.core import figures
+from repro.simulation.timeline import BROWSER_RC4_REMOVAL
+
+
+def test_fig6_rc4_advertised(benchmark, passive_store, report):
+    series = benchmark(figures.fig6_rc4_advertised, passive_store)["RC4 advertised"]
+    lookup = dict(series)
+
+    early_2014 = figures.value_at(series, dt.date(2014, 6, 1))
+    early_2015 = figures.value_at(series, dt.date(2015, 1, 1))
+    early_2016 = figures.value_at(series, dt.date(2016, 1, 1))
+    mar_2018 = figures.value_at(series, dt.date(2018, 3, 1))
+
+    # Shape: near-universal until the big drop that begins in 2015 when
+    # Chrome, Firefox and IE/Edge remove RC4, with a long residual tail.
+    assert early_2014 > 85
+    assert early_2015 > 75
+    assert early_2016 < early_2015 - 10
+    assert 5 < mar_2018 < 35  # residual population that does not update
+
+    # The steepest year-over-year drop happens in 2015/2016.
+    yearly = {
+        year: figures.value_at(series, dt.date(year, 6, 1)) for year in range(2012, 2019)
+    }
+    drops = {year: yearly[year] - yearly[year + 1] for year in range(2012, 2018)}
+    steepest = max(drops, key=drops.get)
+    assert steepest in (2014, 2015, 2016)
+
+    report(
+        "Figure 6 — RC4 advertised by clients",
+        [
+            f"2014-06: {early_2014:.1f}%  2015-01: {early_2015:.1f}%  "
+            f"2016-01: {early_2016:.1f}%  2018-03: {mar_2018:.1f}%",
+            f"steepest annual drop: {steepest} -> {steepest + 1} "
+            f"({drops[steepest]:.1f} points; paper: drop begins early 2015)",
+            "browser removal dates (Figure 6's dots): "
+            + ", ".join(f"{e.name.split()[0]} {e.date}" for e in BROWSER_RC4_REMOVAL),
+        ],
+    )

@@ -1,0 +1,50 @@
+"""Figure 7: clients advertising Export, NULL, or Anonymous suites."""
+
+import datetime as dt
+
+import _paper
+from repro.core import figures
+
+
+def test_fig7_weak_advertised(benchmark, passive_store, report):
+    series = benchmark(figures.fig7_weak_advertised, passive_store)
+
+    export_2012 = figures.value_at(series["Export"], dt.date(2012, 2, 1))
+    export_2018 = figures.value_at(series["Export"], dt.date(2018, 2, 1))
+    anon_before = figures.value_at(series["Anonymous"], dt.date(2015, 4, 1))
+    anon_peak = max(
+        v for m, v in series["Anonymous"] if dt.date(2015, 5, 1) <= m <= dt.date(2015, 10, 1)
+    )
+    null_2018 = figures.value_at(series["Null"], dt.date(2018, 2, 1))
+    null_spike = figures.value_at(series["Null"], dt.date(2015, 7, 1))
+    null_before = figures.value_at(series["Null"], dt.date(2015, 3, 1))
+
+    # §5.5: export advertised 28.19% (2012) -> 1.03% (2018).
+    assert 20 < export_2012 < 38
+    assert export_2018 < 5
+    # §6.2: anon spike from 5.8% to 12.9% in mid-2015.
+    assert 3 < anon_before < 9
+    assert anon_peak > anon_before * 1.5
+    assert anon_peak > 9
+    # §6.2: the anon spike "correlates in time with a spike in NULL".
+    assert null_spike > null_before * 1.5
+    # §6.1: NULL advertisement is small by 2018.
+    assert null_2018 < 4
+
+    report(
+        "Figure 7 — Export / NULL / Anonymous advertised",
+        [
+            _paper.row("Export advertised, 2012", _paper.EXPORT_ADVERTISED_2012, export_2012),
+            _paper.row("Export advertised, 2018", _paper.EXPORT_ADVERTISED_2018, export_2018),
+            _paper.row("Anon before spike (2015-04)", _paper.ANON_SPIKE_BEFORE, anon_before),
+            _paper.row("Anon spike peak (mid-2015)", _paper.ANON_SPIKE_AFTER, anon_peak),
+            f"NULL advertised 2018: {null_2018:.2f}% (spikes with anon in mid-2015: "
+            f"{null_before:.1f}% -> {null_spike:.1f}%)",
+            "",
+            figures.render_series(
+                series,
+                sample_months=[dt.date(y, 1, 1) for y in range(2012, 2019)]
+                + [dt.date(2015, 7, 1)],
+            ),
+        ],
+    )

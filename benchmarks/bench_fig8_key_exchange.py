@@ -1,0 +1,58 @@
+"""Figure 8: negotiated RSA vs DHE vs ECDHE key exchange (Snowden shift)."""
+
+import datetime as dt
+
+import _paper
+from repro.core import figures
+from repro.simulation.timeline import SNOWDEN
+
+
+def test_fig8_key_exchange(benchmark, passive_store, report):
+    series = benchmark(figures.fig8_key_exchange, passive_store)
+
+    rsa_2012 = figures.value_at(series["RSA"], dt.date(2012, 6, 1))
+    ecdhe_2012 = figures.value_at(series["ECDHE"], dt.date(2012, 6, 1))
+    ecdhe_2018 = figures.value_at(series["ECDHE"], dt.date(2018, 3, 1))
+    rsa_2018 = figures.value_at(series["RSA"], dt.date(2018, 3, 1))
+    dhe_peak = max(v for _, v in series["DHE"])
+
+    # Shape: RSA dominates 2012 (>60% non-FS, §1), ECDHE dominates 2018
+    # (>90% FS connections, §1); DHE "never found much use".
+    assert rsa_2012 > 70
+    assert ecdhe_2012 < 15
+    assert ecdhe_2018 > 80
+    assert rsa_2018 < 15
+    assert dhe_peak < 15
+
+    # The Snowden revelations coincide with the FS inflection: the
+    # 12-month ECDHE growth after June 2013 far exceeds the 12 months
+    # before.
+    before = figures.value_at(series["ECDHE"], SNOWDEN.date) - figures.value_at(
+        series["ECDHE"], SNOWDEN.date - dt.timedelta(days=365)
+    )
+    after = figures.value_at(
+        series["ECDHE"], SNOWDEN.date + dt.timedelta(days=365)
+    ) - figures.value_at(series["ECDHE"], SNOWDEN.date)
+    assert after > before * 1.5
+
+    # Crossover (ECDHE > RSA) lands in 2014-2015 as in the paper's figure.
+    crossover = next(
+        m for m, v in series["ECDHE"] if v > dict(series["RSA"])[m]
+    )
+    assert dt.date(2014, 1, 1) <= crossover <= dt.date(2015, 12, 1)
+
+    report(
+        "Figure 8 — negotiated key exchange (RSA / DHE / ECDHE)",
+        [
+            f"RSA 2012: {rsa_2012:.1f}%  ->  RSA 2018: {rsa_2018:.1f}%",
+            f"ECDHE 2012: {ecdhe_2012:.1f}%  ->  ECDHE 2018: {ecdhe_2018:.1f}% (paper: >90% FS)",
+            f"DHE peak: {dhe_peak:.1f}% (paper: never found much use)",
+            f"ECDHE growth 12mo pre-Snowden: {before:+.1f} pts, post: {after:+.1f} pts",
+            f"ECDHE/RSA crossover: {crossover}",
+            "",
+            figures.render_series(
+                series,
+                sample_months=[dt.date(y, 1, 1) for y in range(2012, 2019)],
+            ),
+        ],
+    )

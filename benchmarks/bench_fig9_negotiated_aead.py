@@ -1,0 +1,41 @@
+"""Figure 9: negotiated AEAD breakdown (AES-GCM sizes, ChaCha20)."""
+
+import datetime as dt
+
+import _paper
+from repro.core import figures
+
+
+def test_fig9_negotiated_aead(benchmark, passive_store, report):
+    series = benchmark(figures.fig9_negotiated_aead, passive_store)
+
+    month = dt.date(2018, 3, 1)
+    total = figures.value_at(series["AEAD Total"], month)
+    aes128 = figures.value_at(series["AES128-GCM"], month)
+    aes256 = figures.value_at(series["AES256-GCM"], month)
+    chacha = figures.value_at(series["ChaCha20-Poly1305"], month)
+    uptick_2013 = figures.value_at(series["AEAD Total"], dt.date(2013, 10, 1))
+    uptick_2014 = figures.value_at(series["AEAD Total"], dt.date(2014, 10, 1))
+
+    # §6.3.2: sharp uptick from late 2013; AES128-GCM dominates AES256;
+    # ChaCha20 visible but small (1.7% Mar 2018).
+    assert uptick_2014 > uptick_2013 + 10
+    assert total > 70
+    assert aes128 > aes256
+    assert aes128 > 50
+    assert 0.5 < chacha < 8
+
+    report(
+        "Figure 9 — negotiated AEAD breakdown",
+        [
+            f"AEAD total Mar 2018: {total:.1f}%",
+            f"AES128-GCM: {aes128:.1f}%  AES256-GCM: {aes256:.1f}% "
+            "(paper: 128-bit keys dominate)",
+            _paper.row("ChaCha20 negotiated, Mar 2018", _paper.CHACHA_NEGOTIATED_MAR2018, chacha),
+            "",
+            figures.render_series(
+                series,
+                sample_months=[dt.date(y, 1, 1) for y in range(2013, 2019)],
+            ),
+        ],
+    )

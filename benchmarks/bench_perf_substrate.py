@@ -1,0 +1,55 @@
+"""Throughput benchmarks of the hot substrate paths.
+
+Not paper experiments — these are the library's own performance
+envelope: wire encode/decode, negotiation, and fingerprint extraction
+all sit on the expectation-mode inner loop, and regressions here make
+the full 76-month simulation visibly slower.
+"""
+
+import random
+
+from repro.clients import chrome
+from repro.core.fingerprint import Fingerprint
+from repro.servers.archetypes import TLS12_ECDHE_GCM
+from repro.tls.wire import decode_client_hello, encode_client_hello
+
+_HELLO = chrome.family().release("49").build_hello(rng=random.Random(1))
+_WIRE = encode_client_hello(_HELLO)
+
+
+def test_perf_encode_client_hello(benchmark):
+    wire = benchmark(encode_client_hello, _HELLO)
+    assert wire == _WIRE
+
+
+def test_perf_decode_client_hello(benchmark):
+    decoded = benchmark(decode_client_hello, _WIRE)
+    assert decoded.cipher_suites == _HELLO.cipher_suites
+
+
+def test_perf_negotiate(benchmark):
+    result = benchmark(TLS12_ECDHE_GCM.respond, _HELLO)
+    assert result.ok
+
+
+def test_perf_fingerprint_extraction(benchmark):
+    fingerprint = benchmark(Fingerprint.from_client_hello, _HELLO)
+    assert len(fingerprint.digest) == 32
+
+
+def test_perf_expectation_month(benchmark):
+    """One full expectation-mode month (cold caches)."""
+    import datetime as dt
+
+    from repro.clients.population import default_population
+    from repro.notary import PassiveMonitor, TrafficGenerator
+    from repro.servers import ServerPopulation
+
+    def run_month():
+        monitor = PassiveMonitor()
+        generator = TrafficGenerator(default_population(), ServerPopulation(), monitor)
+        generator.run_expectation_month(dt.date(2016, 6, 1))
+        return len(monitor.store)
+
+    records = benchmark(run_month)
+    assert records > 1000

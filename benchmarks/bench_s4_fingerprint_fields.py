@@ -1,0 +1,66 @@
+"""§4 methodology: restricted (4-field) vs extended fingerprint fields.
+
+The paper applies its restricted field set to the corpus of prior work
+and finds collisions rise from 2.4% to 7.3% — fewer fields, less
+distinct fingerprints.  We reproduce the comparison over every client
+configuration in the substrate, plus synthetic pairs engineered to
+differ only in the fields the restricted method drops.
+"""
+
+import random
+
+from repro.clients.population import default_population
+from repro.core.fingerprint import collision_rate
+
+
+def _all_hellos():
+    hellos = []
+    for family in default_population().families():
+        for release in family.releases:
+            if release.shuffle_suites:
+                continue
+            variants = [False, True] if release.supported_versions else [False]
+            for tls13 in variants:
+                hellos.append(
+                    release.build_hello(rng=random.Random(1), include_tls13=tls13)
+                )
+    # Synthetic near-duplicates: same suites/extensions/curves, but
+    # different legacy versions — exactly the information the Notary
+    # did not record (§4).  Based on a configuration no other release
+    # shares, so the restricted method merges them while the extended
+    # method keeps them apart.
+    import dataclasses
+
+    base = (
+        default_population()
+        .family("Safari")
+        .release("9")
+        .build_hello(rng=random.Random(1))
+    )
+    for version in (0x0301, 0x0302):
+        hellos.append(dataclasses.replace(base, legacy_version=version))
+    return hellos
+
+
+def test_s4_field_restriction_increases_collisions(benchmark, report):
+    hellos = _all_hellos()
+    restricted, extended = benchmark(collision_rate, hellos)
+
+    # Restricted fields can only merge fingerprints, never split them.
+    assert restricted >= extended
+    # The engineered version-only variants collide under the restricted
+    # method and not under the extended one.
+    assert restricted > 0
+    assert restricted - extended > 0
+
+    report(
+        "§4 — fingerprint field restriction",
+        [
+            f"configurations fingerprinted: {len(hellos)}",
+            f"collision rate, restricted 4-field method: {restricted:.1%} "
+            "(paper: 7.3% on the corpus of [22])",
+            f"collision rate, extended method: {extended:.1%} (paper: 2.4%)",
+            "dropping the client-version/compression fields merges otherwise",
+            "distinct clients — 'slightly less distinct results' (§4).",
+        ],
+    )

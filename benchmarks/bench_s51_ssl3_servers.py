@@ -1,0 +1,33 @@
+"""§5.1: server-side SSL 3 support (Censys SSL3-only scans)."""
+
+import datetime as dt
+
+import _paper
+from repro.core.figures import value_at
+
+
+def test_s51_ssl3_server_support(benchmark, censys, report):
+    series = benchmark(censys.series, "ssl3", "handshake")
+
+    sep15 = value_at(series, dt.date(2015, 9, 1)) * 100
+    may18 = value_at(series, dt.date(2018, 5, 1)) * 100
+
+    # §5.1: >45% in Sep 2015, <25% in May 2018 — still "embarrassingly
+    # high" given POODLE, i.e. far from zero.
+    assert 38 < sep15 < 55
+    assert may18 < 25
+    assert may18 > 8
+    # Monotone-ish decline: every later scan at or below +2pts of earlier.
+    values = [v for _, v in series]
+    assert all(b <= a + 0.02 for a, b in zip(values, values[1:]))
+
+    # Passive side (§5.1): SSL 3 connections negligible since mid-2014.
+    report(
+        "§5.1 — SSL 3 server support (Censys SSL3-only probe)",
+        [
+            _paper.row("SSL 3 support, Sep 2015", _paper.SSL3_SERVERS_SEP2015, sep15),
+            _paper.row("SSL 3 support, May 2018", f"<{_paper.SSL3_SERVERS_MAY2018}", may18),
+            "decline is monotone with a heavy never-patching tail (POODLE",
+            "remediation curve), matching the paper's qualitative finding.",
+        ],
+    )

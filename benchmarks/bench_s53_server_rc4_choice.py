@@ -1,0 +1,72 @@
+"""§5.3 / §5.2: servers choosing RC4 (and CBC) on the Chrome-2015 probe."""
+
+import datetime as dt
+
+import _paper
+from repro.core.figures import value_at
+
+
+def test_s53_server_rc4_and_cbc_choice(benchmark, censys, report):
+    rc4_series = benchmark(censys.series, "chrome2015", "rc4")
+    cbc_series = censys.series("chrome2015", "cbc")
+
+    rc4_sep15 = value_at(rc4_series, dt.date(2015, 9, 1)) * 100
+    rc4_may18 = value_at(rc4_series, dt.date(2018, 5, 1)) * 100
+    cbc_sep15 = value_at(cbc_series, dt.date(2015, 9, 1)) * 100
+    cbc_may18 = value_at(cbc_series, dt.date(2018, 5, 1)) * 100
+
+    # §5.3: 11.2% of servers chose RC4 over stronger suites in Sep 2015,
+    # 3.4% in May 2018.  §5.2: CBC chosen drops 54% -> 35%, with the
+    # largest drop between late-2016 and mid-2017.
+    assert 8 < rc4_sep15 < 18
+    assert 2 < rc4_may18 < 7
+    assert rc4_may18 < rc4_sep15 / 2
+    assert 45 < cbc_sep15 < 65
+    assert 28 < cbc_may18 < 45
+
+    cbc_late16 = value_at(cbc_series, dt.date(2016, 10, 1)) * 100
+    cbc_mid17 = value_at(cbc_series, dt.date(2017, 7, 1)) * 100
+    assert cbc_late16 - cbc_mid17 > 3  # the 2016/2017 drop exists
+
+    report(
+        "§5.3 / §5.2 — servers choosing RC4 / CBC (Chrome-2015 probe)",
+        [
+            _paper.row("chose RC4, Sep 2015", _paper.RC4_CHOSEN_SEP2015, rc4_sep15),
+            _paper.row("chose RC4, May 2018", _paper.RC4_CHOSEN_MAY2018, rc4_may18),
+            _paper.row("chose CBC, Sep 2015", _paper.CBC_CHOSEN_SEP2015, cbc_sep15),
+            _paper.row("chose CBC, May 2018", _paper.CBC_CHOSEN_MAY2018, cbc_may18),
+            f"CBC drop late-2016 -> mid-2017: {cbc_late16:.1f}% -> {cbc_mid17:.1f}%",
+        ],
+    )
+
+
+def test_s53_rc4_preferring_server_behaviour(benchmark, report):
+    """The bankmellat.ir anecdote: RC4 chosen despite stronger offers,
+    modern AEAD chosen once RC4 is removed from the list."""
+    from repro.clients import suites as cs
+    from repro.servers.archetypes import TLS12_RC4_PREF
+    from repro.tls.messages import ClientHello
+
+    with_rc4 = ClientHello(
+        legacy_version=0x0303, random=b"\0" * 32,
+        cipher_suites=(cs.ECDHE_RSA_AES128_GCM, cs.RSA_RC4_128_SHA),
+        supported_groups=(23,),
+    )
+    without_rc4 = ClientHello(
+        legacy_version=0x0303, random=b"\0" * 32,
+        cipher_suites=(cs.ECDHE_RSA_AES128_GCM,),
+        supported_groups=(23,),
+    )
+    chose_rc4 = benchmark(TLS12_RC4_PREF.respond, with_rc4)
+    chose_aead = TLS12_RC4_PREF.respond(without_rc4)
+    assert chose_rc4.suite.is_rc4
+    assert chose_aead.suite.is_aead
+
+    report(
+        "§5.3 — RC4-preferring server anecdote",
+        [
+            f"offer with RC4    -> {chose_rc4.suite.name}",
+            f"offer without RC4 -> {chose_aead.suite.name}",
+            "matches the paper's bankmellat.ir observation",
+        ],
+    )

@@ -1,0 +1,63 @@
+"""§5.4: Heartbleed — vulnerability decay and Heartbeat usage."""
+
+import datetime as dt
+
+import _paper
+from repro.core.figures import value_at
+from repro.servers import ServerPopulation
+
+
+def test_s54_heartbleed_vulnerability_decay(benchmark, report):
+    pop = ServerPopulation()
+
+    def vulnerable(on):
+        return pop.support_fraction(on, lambda p: p.heartbleed_vulnerable)
+
+    at_disclosure = benchmark(vulnerable, dt.date(2014, 4, 6))
+    month_later = vulnerable(dt.date(2014, 5, 10))
+    may_2018 = vulnerable(dt.date(2018, 5, 1))
+
+    # §5.4: ~23.7% vulnerable at disclosure, <2% within a month,
+    # 0.32% still vulnerable in May 2018 (long tail).
+    assert 0.18 < at_disclosure < 0.30
+    assert month_later < 0.025
+    assert 0.001 < may_2018 < 0.008
+
+    report(
+        "§5.4 — Heartbleed vulnerability decay",
+        [
+            _paper.row("vulnerable at disclosure", _paper.VULNERABLE_AT_DISCLOSURE, at_disclosure * 100),
+            f"one month after disclosure: {month_later * 100:.2f}% (paper: <2%)",
+            _paper.row("vulnerable, May 2018", _paper.VULNERABLE_MAY2018, may_2018 * 100),
+        ],
+    )
+
+
+def test_s54_heartbeat_support_and_usage(benchmark, censys, passive_store, report):
+    hb_series = benchmark(censys.series, "chrome2015", "heartbeat")
+    support_2018 = value_at(hb_series, dt.date(2018, 5, 1)) * 100
+
+    used_2018 = (
+        passive_store.fraction(
+            dt.date(2018, 3, 1),
+            lambda r: r.heartbeat_negotiated,
+            within=lambda r: r.established,
+        )
+        * 100
+    )
+
+    # §5.4: 34% of servers support the Heartbeat extension in 2018, and
+    # 3% of observed negotiations still use it — odd, since it is a
+    # DTLS keep-alive feature with no purpose over TCP.
+    assert 28 < support_2018 < 42
+    assert 0.3 < used_2018 < 6
+
+    report(
+        "§5.4 — Heartbeat extension",
+        [
+            _paper.row("server heartbeat support, 2018", _paper.HEARTBEAT_SUPPORT_2018, support_2018),
+            _paper.row("negotiations using heartbeat", _paper.HEARTBEAT_USED_2018, used_2018),
+            "heartbeat users are OpenSSL-1.0.x-era client stacks meeting",
+            "heartbeat-enabled servers — both modelled explicitly.",
+        ],
+    )

@@ -1,0 +1,51 @@
+"""§5.5: export ciphers — essentially never negotiated, and the anomalies."""
+
+import datetime as dt
+
+
+def _export_negotiated(store, month):
+    return store.fraction(
+        month,
+        lambda r: r.suite is not None and r.suite.is_export,
+        within=lambda r: r.established,
+    )
+
+
+def test_s55_export_negotiation(benchmark, passive_store, report):
+    value_2018 = benchmark(_export_negotiated, passive_store, dt.date(2018, 2, 1))
+
+    # §5.5: export suites are basically not negotiated (677 connections
+    # out of ~10B/month in 2018 — a sub-0.1% trace population).
+    assert value_2018 < 0.001
+
+    # Every export negotiation traces to the two §5.5 sources: the
+    # university's Nagios endpoints and Interwise conferencing.
+    sources = {
+        r.client_family
+        for r in passive_store.records(dt.date(2018, 2, 1))
+        if r.established and r.suite is not None and r.suite.is_export
+    }
+    assert sources <= {"Nagios NRPE", "Interwise"}
+    assert sources  # the anomaly population exists
+
+    # Interwise's protocol violation: the negotiated suite was never
+    # offered, yet sessions complete (§5.5).
+    interwise = [
+        r
+        for r in passive_store.records(dt.date(2018, 2, 1))
+        if r.client_family == "Interwise"
+    ]
+    assert interwise
+    assert all(r.server_chose_unoffered and r.established for r in interwise)
+
+    report(
+        "§5.5 — export cipher negotiation",
+        [
+            f"export negotiated, Feb 2018: {value_2018 * 100:.4f}% "
+            "(paper: 677 connections in all of 2018)",
+            f"sources: {', '.join(sorted(sources))} "
+            "(paper: university Nagios + Interwise)",
+            "Interwise sessions established with an unoffered export suite",
+            "(EXP_RC4_40_MD5 chosen against an RC4_128_SHA-only offer).",
+        ],
+    )

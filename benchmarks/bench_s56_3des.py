@@ -1,0 +1,59 @@
+"""§5.6: Sweet32 — 3DES negotiation and server-side 3DES choice."""
+
+import datetime as dt
+
+import _paper
+from repro.core.figures import value_at
+
+
+def _negotiated_3des(store, month):
+    return store.fraction(
+        month,
+        lambda r: r.suite is not None and r.suite.is_3des,
+        within=lambda r: r.established,
+    )
+
+
+def test_s56_3des_negotiated(benchmark, passive_store, report):
+    value_2012 = benchmark(_negotiated_3des, passive_store, dt.date(2012, 7, 1))
+    value_2018 = _negotiated_3des(passive_store, dt.date(2018, 2, 1))
+    peak = max(
+        _negotiated_3des(passive_store, m) for m in passive_store.months()
+    )
+
+    # §5.6: 1.4% in mid-2012, 0.3% in 2018, peaks never beyond ~5%.
+    assert 0.005 < value_2012 < 0.05
+    assert value_2018 < 0.012
+    assert peak < 0.06
+    assert value_2018 < value_2012
+
+    report(
+        "§5.6 — 3DES negotiated (passive)",
+        [
+            _paper.row("3DES negotiated, mid-2012", _paper.TDES_NEGOTIATED_2012, value_2012 * 100),
+            _paper.row("3DES negotiated, 2018", _paper.TDES_NEGOTIATED_2018, value_2018 * 100),
+            f"all-time peak: {peak * 100:.2f}% (paper: highest peaks ~5%)",
+        ],
+    )
+
+
+def test_s56_3des_chosen_by_servers(benchmark, censys, report):
+    series = benchmark(censys.series, "chrome2015", "3des")
+    aug15 = value_at(series, dt.date(2015, 8, 22)) * 100
+    may18 = value_at(series, dt.date(2018, 5, 1)) * 100
+
+    # §5.6: 0.54% (Aug 2015) -> 0.25% (May 2018) of servers choose the
+    # bottom-of-list 3DES suite despite stronger offers.
+    assert 0.3 < aug15 < 0.9
+    assert 0.1 < may18 < 0.5
+    assert may18 < aug15
+
+    report(
+        "§5.6 — servers choosing 3DES (Chrome-2015 probe)",
+        [
+            _paper.row("chose 3DES, Aug 2015", _paper.TDES_CHOSEN_AUG2015, aug15),
+            _paper.row("chose 3DES, May 2018", _paper.TDES_CHOSEN_MAY2018, may18),
+            "a small but persistent server tail keeps 3DES alive as the",
+            "clients' cipher of last resort (§5.6's justification).",
+        ],
+    )

@@ -1,0 +1,76 @@
+"""§6.3.1 (static key exchange) and §5.1 (SSL 2 remnant) in-text numbers."""
+
+import datetime as dt
+
+from repro.tls.ciphers import KexFamily
+
+
+def _mean_fraction(store, predicate):
+    months = store.months()
+    return sum(
+        store.fraction(m, predicate, within=lambda r: r.established) for m in months
+    ) / len(months)
+
+
+def test_s631_static_ecdh(benchmark, passive_store, report):
+    ecdh = benchmark(
+        _mean_fraction,
+        passive_store,
+        lambda r: r.negotiated_kex == KexFamily.ECDH,
+    ) * 100
+    dh = _mean_fraction(
+        passive_store, lambda r: r.negotiated_kex == KexFamily.DH
+    ) * 100
+
+    # §6.3.1: static DH 0.00%, static ECDH 0.27% of connections.
+    assert 0.05 < ecdh < 0.6
+    assert dh < 0.01
+
+    # "ECDH nearly exclusively at Splunk servers on port 9997".
+    month = dt.date(2017, 6, 1)
+    ecdh_records = [
+        r
+        for r in passive_store.records(month)
+        if r.established and r.negotiated_kex == KexFamily.ECDH
+    ]
+    assert ecdh_records
+    assert all(r.server_port == 9997 for r in ecdh_records)
+    assert all(r.server_profile == "splunk-server" for r in ecdh_records)
+
+    report(
+        "§6.3.1 — static (non-forward-secret) key exchange",
+        [
+            f"static ECDH: paper 0.27%   measured {ecdh:.2f}% (dataset mean)",
+            f"static DH:   paper 0.00%   measured {dh:.3f}%",
+            "all ECDH connections terminate at splunk-server:9997, as in",
+            "the paper ('nearly exclusively at Splunk servers on port 9997').",
+        ],
+    )
+
+
+def test_s51_ssl2_remnant(benchmark, passive_store, report):
+    ssl2 = benchmark(
+        passive_store.fraction,
+        dt.date(2018, 2, 1),
+        lambda r: r.negotiated_version == "SSLv2",
+    ) * 100
+
+    # §5.1: 1.2K SSL 2 connections in Feb 2018 — vanishingly small but
+    # present, all at one university's Nagios endpoints.
+    assert 0 < ssl2 < 0.001
+    destinations = {
+        (r.server_profile, r.server_port)
+        for r in passive_store.records(dt.date(2018, 2, 1))
+        if r.negotiated_version == "SSLv2"
+    }
+    assert destinations == {("nagios-server", 5666)}
+
+    report(
+        "§5.1 — SSL 2 remnant",
+        [
+            f"SSL 2 share, Feb 2018: {ssl2:.6f}% "
+            "(paper: 1.2K connections of ~billions)",
+            "all SSL 2 flights terminate at Nagios endpoints (port 5666),",
+            "matching the paper's single-university observation.",
+        ],
+    )

@@ -1,0 +1,62 @@
+"""§6.3.3: elliptic-curve usage in negotiated connections."""
+
+import datetime as dt
+
+import _paper
+from repro.tls.curves import curve_by_code
+
+
+def _curve_shares(store):
+    weights: dict[int, float] = {}
+    total = 0.0
+    for record in store.records():
+        if record.established and record.negotiated_curve is not None:
+            weights[record.negotiated_curve] = (
+                weights.get(record.negotiated_curve, 0.0) + record.weight
+            )
+            total += record.weight
+    return {code: w / total for code, w in weights.items()}
+
+
+def test_s633_curve_distribution(benchmark, passive_store, report):
+    shares = benchmark(_curve_shares, passive_store)
+    named = {curve_by_code(code).name: share * 100 for code, share in shares.items()}
+
+    secp256r1 = named.get("secp256r1", 0.0)
+    secp384r1 = named.get("secp384r1", 0.0)
+    x25519 = named.get("x25519", 0.0)
+
+    # §6.3.3: secp256r1 dominates (84.4%), secp384r1 and x25519 follow.
+    assert secp256r1 > 60
+    assert secp256r1 > 5 * x25519
+    assert x25519 > 1
+
+    # x25519 reaches ~22% of connections by Feb 2018, driven by the
+    # mid-2017 server-side shift.
+    feb18 = passive_store.fraction(
+        dt.date(2018, 2, 1),
+        lambda r: r.negotiated_curve == 29,
+        within=lambda r: r.established and r.negotiated_curve is not None,
+    ) * 100
+    mid17 = passive_store.fraction(
+        dt.date(2017, 6, 1),
+        lambda r: r.negotiated_curve == 29,
+        within=lambda r: r.established and r.negotiated_curve is not None,
+    ) * 100
+    assert 12 < feb18 < 35
+    assert feb18 > mid17
+
+    rows = [
+        f"{name:<12} paper: {_paper.CURVE_SHARES_OVERALL.get(name, 0.0):>5.1f}%   "
+        f"measured: {share:5.1f}%"
+        for name, share in sorted(named.items(), key=lambda kv: -kv[1])[:5]
+    ]
+    report(
+        "§6.3.3 — negotiated curve distribution (whole dataset)",
+        rows
+        + [
+            _paper.row("x25519 share, Feb 2018", _paper.X25519_FEB2018, feb18),
+            f"x25519 mid-2017: {mid17:.1f}% -> Feb 2018: {feb18:.1f}% "
+            "(rising since mid-2017, as in the paper)",
+        ],
+    )

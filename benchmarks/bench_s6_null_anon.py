@@ -1,0 +1,99 @@
+"""§6.1 / §6.2: NULL and anonymous cipher suites in actual negotiations."""
+
+import datetime as dt
+
+import _paper
+
+
+def _fraction(store, month, predicate):
+    return store.fraction(
+        month, predicate, within=lambda r: r.established
+    )
+
+
+def test_s61_null_negotiation(benchmark, passive_store, report):
+    null_2018 = benchmark(
+        _fraction,
+        passive_store,
+        dt.date(2018, 2, 1),
+        lambda r: r.suite is not None and r.suite.is_null_encryption,
+    )
+    overall = [
+        _fraction(passive_store, m, lambda r: r.suite is not None and r.suite.is_null_encryption)
+        for m in passive_store.months()
+    ]
+    overall_mean = sum(overall) / len(overall)
+
+    # §6.1: 2.84% of all connections ever used NULL; 0.42% in 2018.
+    assert 0.005 < overall_mean < 0.06
+    assert 0.001 < null_2018 < 0.015
+
+    # Nearly all NULL-encrypted traffic is GRID data movement.
+    grid_weight = 0.0
+    null_weight = 0.0
+    for record in passive_store.records(dt.date(2018, 2, 1)):
+        if record.established and record.suite is not None and record.suite.is_null_encryption:
+            null_weight += record.weight
+            if record.client_family == "GridFTP":
+                grid_weight += record.weight
+    assert grid_weight / null_weight > 0.9  # paper: 99.99%
+
+    # The NULL_WITH_NULL_NULL oddity terminates at Nagios endpoints.
+    null_null_sources = {
+        r.client_family
+        for r in passive_store.records(dt.date(2018, 2, 1))
+        if r.established and r.suite is not None and r.suite.is_null_null
+    }
+    assert null_null_sources == {"Nagios NRPE"}
+
+    report(
+        "§6.1 — NULL cipher negotiation",
+        [
+            _paper.row("NULL negotiated, dataset mean", _paper.NULL_NEGOTIATED_OVERALL, overall_mean * 100),
+            _paper.row("NULL negotiated, 2018", _paper.NULL_NEGOTIATED_2018, null_2018 * 100),
+            f"GRID share of NULL traffic: {grid_weight / null_weight:.2%} (paper: 99.99%)",
+            "NULL_WITH_NULL_NULL terminates at Nagios endpoints (as in §6.1)",
+        ],
+    )
+
+
+def test_s62_anonymous_negotiation(benchmark, passive_store, report):
+    anon_2018 = benchmark(
+        _fraction,
+        passive_store,
+        dt.date(2018, 2, 1),
+        lambda r: r.suite is not None and r.suite.is_anonymous and not r.suite.is_null_null,
+    )
+    overall = [
+        _fraction(
+            passive_store,
+            m,
+            lambda r: r.suite is not None and r.suite.is_anonymous and not r.suite.is_null_null,
+        )
+        for m in passive_store.months()
+    ]
+    overall_mean = sum(overall) / len(overall)
+
+    # §6.2: 0.17% of all connections, 0.60% in 2018 — tiny relative to
+    # the advertised share, and nearly all Nagios.
+    assert overall_mean < 0.02
+    assert 0.001 < anon_2018 < 0.02
+
+    sources = {
+        r.client_family
+        for r in passive_store.records(dt.date(2018, 2, 1))
+        if r.established
+        and r.suite is not None
+        and r.suite.is_anonymous
+        and not r.suite.is_null_null
+    }
+    assert sources == {"Nagios NRPE"}
+
+    report(
+        "§6.2 — anonymous cipher negotiation",
+        [
+            _paper.row("anon negotiated, dataset mean", _paper.ANON_NEGOTIATED_OVERALL, overall_mean * 100),
+            _paper.row("anon negotiated, 2018", _paper.ANON_NEGOTIATED_2018, anon_2018 * 100),
+            f"negotiating client: {', '.join(sources)} (paper: nearly all Nagios)",
+        ],
+    )

@@ -1,0 +1,45 @@
+"""§7.3: hosts that choose cipher suites the client never offered."""
+
+import datetime as dt
+
+from repro.core.figures import unoffered_choice_series
+
+
+def test_s73_unoffered_suite_choices(benchmark, passive_store, report):
+    series = benchmark(unoffered_choice_series, passive_store)
+
+    values = [v for _, v in series]
+    # A small but persistent population across the whole window (§7.3:
+    # "an alarming number of systems ... running custom TLS
+    # implementations with questionable security").
+    assert all(0 < v < 1 for v in values)
+
+    month = dt.date(2017, 6, 1)
+    violators = [
+        r
+        for r in passive_store.records(month)
+        if r.server_chose_unoffered and r.negotiated_suite is not None
+    ]
+    assert violators
+    suites = {r.suite.name for r in violators if r.suite is not None}
+    # The two §5.5/§7.3 populations: GOST responders and Interwise.
+    assert "TLS_GOSTR341001_WITH_28147_CNT_IMIT" in suites
+    assert "TLS_RSA_EXPORT_WITH_RC4_40_MD5" in suites
+
+    # GOST handshakes never complete (standard clients abort); the
+    # Interwise ones do (§5.5's Change Cipher Spec observation).
+    gost = [r for r in violators if r.suite and r.suite.name.startswith("TLS_GOST")]
+    interwise = [r for r in violators if r.suite and r.suite.is_export]
+    assert gost and not any(r.established for r in gost)
+    assert interwise and all(r.established for r in interwise)
+
+    report(
+        "§7.3 — servers choosing unoffered suites",
+        [
+            f"share of answered connections (Jun 2017): "
+            f"{dict(series)[dt.date(2017, 6, 1)]:.3f}%",
+            f"violator suites observed: {', '.join(sorted(suites))}",
+            "GOST responders never complete a handshake; Interwise sessions",
+            "do — both as the paper observed.",
+        ],
+    )

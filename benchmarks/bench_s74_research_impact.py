@@ -1,0 +1,76 @@
+"""§7.4: the impact of security research — fast, slow, or absent."""
+
+from repro.core.attacks import exposure_series, reaction_report
+
+
+def test_s74_reaction_verdicts(benchmark, passive_store, report):
+    reactions = benchmark(reaction_report, passive_store)
+    verdicts = {r.attack: r for r in reactions}
+
+    # Events within a year of the window edge are excluded by design
+    # (BEAST 2011, Lucky13 Dec 2012 vs a Jan 2012 window start).
+    assert "BEAST" not in verdicts
+
+    # §7.4's qualitative claims, asserted quantitatively:
+    # RC4's first attack (2013) was "rather easy to dismiss": decline
+    # starts but does not collapse within a year.
+    assert verdicts["RC4"].verdict in ("none", "slow")
+    assert verdicts["RC4"].after < verdicts["RC4"].at_disclosure
+    # POODLE: the direct SSL3+CBC exposure was already near zero and
+    # gone after.
+    assert verdicts["POODLE"].after < 0.2
+    # Heartbleed: passive heartbeat *usage* did not stop — the fast
+    # reaction was server patching (see bench_s54); §5.4 finds usage
+    # "odd"ly persistent, which is exactly a none/slow passive verdict.
+    assert verdicts["Heartbleed"].verdict in ("none", "slow")
+    # Sweet32's 64-bit-block exposure was small and keeps shrinking.
+    assert verdicts["Sweet32"].after <= verdicts["Sweet32"].at_disclosure + 0.05
+
+    # Lucky 13 predates the safe window; check its claim directly:
+    # "we do not see a clear shift in traffic" — CBC exposure one year
+    # after the Dec 2012 disclosure is not lower than at disclosure.
+    import datetime as dt
+
+    from repro.core.figures import value_at
+
+    cbc = exposure_series(passive_store, "Lucky13")
+    at = value_at(cbc, dt.date(2012, 12, 1))
+    after = value_at(cbc, dt.date(2013, 12, 1))
+    assert after > at * 0.7  # no collapse
+
+    lines = [
+        f"{r.attack:<10} disclosed {r.disclosed}  "
+        f"{r.before:6.2f}% -> {r.at_disclosure:6.2f}% -> {r.after:6.2f}%   verdict: {r.verdict}"
+        for r in reactions
+    ]
+    lines += [
+        f"Lucky13    CBC exposure 2012-12: {at:.1f}% -> 2013-12: {after:.1f}% (no shift)",
+        "(exposure 12mo before -> at disclosure -> 12mo after)",
+        "paper §7.4: RC4 took years; CBC attacks produced no traffic",
+        "shift; Heartbleed's fast reaction was server-side (bench_s54).",
+    ]
+    report("§7.4 — reaction to disclosures", lines)
+
+
+def test_s74_rc4_exposure_long_tail(benchmark, passive_store, report):
+    series = benchmark(exposure_series, passive_store, "RC4")
+    import datetime as dt
+
+    from repro.core.figures import value_at
+
+    at_attack = value_at(series, dt.date(2013, 3, 1))
+    two_years = value_at(series, dt.date(2015, 3, 1))
+    end = value_at(series, dt.date(2018, 3, 1))
+
+    # "it still took several years for RC4 usage to reduce significantly"
+    assert two_years > at_attack * 0.4  # still large two years on
+    assert end < 1.0                     # eventually near zero
+
+    report(
+        "§7.4 — RC4's slow death",
+        [
+            f"RC4 exposure at first attack (2013-03): {at_attack:.1f}%",
+            f"two years later: {two_years:.1f}% (still substantial)",
+            f"March 2018: {end:.2f}% (finally gone)",
+        ],
+    )

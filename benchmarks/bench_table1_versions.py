@@ -1,0 +1,21 @@
+"""Table 1: release dates of all SSL/TLS versions."""
+
+from repro.core.tables import table1_version_dates
+
+PAPER_TABLE1 = [
+    ("SSL 2", "Feb. 1995"),
+    ("SSL 3", "Nov. 1996"),
+    ("TLS 1.0", "Jan. 1999"),
+    ("TLS 1.1", "Apr. 2006"),
+    ("TLS 1.2", "Aug. 2008"),
+    ("TLS 1.3", "Aug. 2018"),
+]
+
+
+def test_table1_version_dates(benchmark, report):
+    rows = benchmark(table1_version_dates)
+    assert rows == PAPER_TABLE1
+    report(
+        "Table 1 — SSL/TLS release dates",
+        [f"{name:<8} {date}   (matches paper exactly)" for name, date in rows],
+    )

@@ -1,0 +1,40 @@
+"""Table 4: changes in RC4 cipher-suite support by major browsers."""
+
+from repro.core.tables import table4_rc4_changes
+
+# (browser, version, after-count) count rows from Table 4.
+PAPER_COUNT_ROWS = {
+    ("Firefox", "27", 4),
+    ("Firefox", "36", 0),   # fallback only
+    ("Chrome", "29", 4),
+    ("Chrome", "43", 0),
+    ("Opera", "15", 6),     # increased on the Chromium switch
+    ("Opera", "16", 4),
+    ("Opera", "30", 0),
+    ("IE/Edge", "13", 0),
+    ("Safari", "6", 6),
+    ("Safari", "9", 4),
+    ("Safari", "10.1", 0),
+}
+
+PAPER_POLICY_ROWS = {
+    ("Firefox", "36", "fallback only"),
+    ("Firefox", "38", "whitelist only"),
+    ("Firefox", "44", "removed completely"),
+}
+
+
+def test_table4_rc4_changes(benchmark, report):
+    rows = benchmark(table4_rc4_changes)
+    measured_counts = {(r.browser, r.version, r.after) for r in rows}
+    measured_policies = {(r.browser, r.version, r.note) for r in rows if r.note}
+
+    missing = PAPER_COUNT_ROWS - measured_counts
+    assert not missing, f"missing Table 4 count rows: {missing}"
+    missing_policies = PAPER_POLICY_ROWS - measured_policies
+    assert not missing_policies, f"missing Table 4 policy rows: {missing_policies}"
+
+    report(
+        "Table 4 — RC4 suite support changes",
+        [str(r) for r in rows] + ["all paper count and policy rows reproduced"],
+    )

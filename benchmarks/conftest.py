@@ -1,0 +1,51 @@
+"""Shared state for the benchmark harness.
+
+One :class:`EcosystemModel` is simulated per session; each bench then
+regenerates its table/figure from the cached datasets and prints a
+paper-vs-measured comparison (EXPERIMENTS.md records the same numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.ecosystem import EcosystemModel
+
+
+@pytest.fixture(scope="session")
+def model():
+    return EcosystemModel()
+
+
+@pytest.fixture(scope="session")
+def passive_store(model):
+    return model.passive_store()
+
+
+@pytest.fixture(scope="session")
+def censys(model):
+    return model.censys(interval_days=28)
+
+
+@pytest.fixture(scope="session")
+def montecarlo_store(model):
+    return model.montecarlo_store(connections_per_month=1200)
+
+
+@pytest.fixture(scope="session")
+def database(model):
+    return model.database()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block to the real terminal, bypassing capture."""
+
+    def _report(title: str, lines) -> None:
+        with capsys.disabled():
+            print()
+            print(f"=== {title} ===")
+            for line in lines:
+                print(f"  {line}")
+
+    return _report

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""POODLE mechanics: the downgrade dance under active attack (§2.2, §5.1).
+
+Walks through the attack the way the paper describes it: a MITM drops
+handshake attempts until the browser's fallback ladder reaches SSL 3,
+where CBC padding is exploitable.  Then shows the two mitigations the
+ecosystem deployed — TLS_FALLBACK_SCSV and outright removal of the
+SSL 3 rung (Table 6) — and which browser generations each one saved.
+
+Run:  python examples/downgrade_attack.py
+"""
+
+from repro.clients import chrome, firefox
+from repro.servers.archetypes import TLS10_CBC
+from repro.servers.config import ServerProfile
+from repro.clients import suites as cs
+from repro.tls.fallback import downgrade_dance, fallback_ladder, poodle_attack_succeeds
+from repro.tls.versions import SSL3, TLS10
+
+
+def describe(result):
+    version = f"{result.negotiated_wire:#06x}" if result.negotiated_wire else "none"
+    exposed = "  << POODLE-exploitable" if result.poodle_exposed else ""
+    return (
+        f"outcome={result.outcome.value:<13} attempts={result.attempts} "
+        f"version={version}{exposed}"
+    )
+
+
+def main() -> None:
+    victim = chrome.family().release("33")   # pre-mitigation Chrome
+    patched = chrome.family().release("39")  # SSL 3 fallback removed
+    target = TLS10_CBC                        # SSL3-capable, CBC-preferring
+
+    print("Client ladder of Chrome 33:", [hex(v) for v in fallback_ladder(victim)])
+    print("Client ladder of Chrome 39:", [hex(v) for v in fallback_ladder(patched)])
+    print()
+
+    print("1. No attacker — the handshake succeeds at the top version:")
+    print("  ", describe(downgrade_dance(victim, target)))
+    print()
+
+    print("2. A MITM drops the first three flights (POODLE's forcing move):")
+    result = downgrade_dance(victim, target, attacker_drops=3, send_scsv=False)
+    print("  ", describe(result))
+    print()
+
+    print("3. Same attack, but the client sends TLS_FALLBACK_SCSV and the")
+    print("   server understands it (RFC 7507):")
+    modern = ServerProfile(
+        name="scsv-aware",
+        supported_versions=frozenset({SSL3.wire, TLS10.wire, 0x0302, 0x0303}),
+        suite_preference=(cs.RSA_AES128_SHA,),
+    )
+    result = downgrade_dance(victim, modern, attacker_drops=3, send_scsv=True)
+    print("  ", describe(result))
+    print()
+
+    print("4. Chrome 39 (fallback removed) against the same legacy server:")
+    result = downgrade_dance(patched, target, attacker_drops=3, send_scsv=False)
+    print("  ", describe(result))
+    print()
+
+    print("POODLE viability by browser generation (vs a legacy CBC server):")
+    for module in (chrome, firefox):
+        family = module.family()
+        for release in family.releases:
+            verdict = "EXPOSED" if poodle_attack_succeeds(release, target) else "safe"
+            print(f"  {family.name:<8} {release.version:<6} {release.released}  {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: fingerprint a Client Hello and run a one-year mini-study.
+
+Demonstrates the three layers of the library:
+
+1. the TLS substrate — build a hello, put it on the wire, parse it back,
+   negotiate against a server profile;
+2. the fingerprinting core — extract and label a fingerprint;
+3. the measurement pipeline — run a small passive simulation and read a
+   monthly series out of it.
+
+Run:  python examples/quickstart.py
+"""
+
+import datetime as dt
+import random
+
+from repro import build_default_database, extract
+from repro.clients import chrome
+from repro.notary import PassiveMonitor, TrafficGenerator
+from repro.clients.population import default_population
+from repro.servers import ServerPopulation
+from repro.servers.archetypes import TLS12_ECDHE_GCM
+from repro.tls.wire import frame_client_hello, parse_client_hello_record
+
+
+def main() -> None:
+    # --- 1. the TLS substrate ------------------------------------------------
+    release = chrome.family().release("49")
+    hello = release.build_hello(rng=random.Random(1))
+    print(f"Client:   {release.label} offering {len(hello.cipher_suites)} suites")
+
+    wire = frame_client_hello(hello)
+    print(f"Wire:     {len(wire)} bytes, record type {wire[0]} (handshake)")
+    parsed = parse_client_hello_record(wire)
+    assert parsed.cipher_suites == hello.cipher_suites
+
+    result = TLS12_ECDHE_GCM.respond(parsed)
+    print(
+        f"Server:   negotiated {result.suite.name} "
+        f"under {result.version.pretty} (forward secret: {result.forward_secret})"
+    )
+
+    # --- 2. fingerprinting ----------------------------------------------------
+    fingerprint = extract(parsed)
+    database = build_default_database()
+    label = database.match(fingerprint)
+    print(f"Fingerprint: {fingerprint.digest}")
+    print(f"Labelled as: {label.software} {label.version_range} ({label.category})")
+
+    # --- 3. a mini passive measurement -----------------------------------------
+    monitor = PassiveMonitor()
+    generator = TrafficGenerator(default_population(), ServerPopulation(), monitor)
+    generator.run_expectation(dt.date(2015, 1, 1), dt.date(2015, 12, 1))
+    store = monitor.store
+
+    print("\nRC4 negotiated during 2015 (percent of monthly connections):")
+    for month, value in store.monthly_fraction(
+        lambda r: r.negotiated_mode_class == "RC4", within=lambda r: r.established
+    ):
+        bar = "#" * int(value * 200)
+        print(f"  {month}  {value * 100:5.1f}%  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of "Coming of Age: A Longitudinal Study of TLS Deployment".
+
+Kotzias et al., IMC 2018.  The package provides the paper's primary
+contribution — large-scale TLS client fingerprinting and longitudinal
+ecosystem analysis — together with every substrate it runs on: a TLS
+protocol model (hello messages, wire codec, negotiation), release-dated
+client profiles, an evolving server population, a Zeek-style passive
+monitor (the "Notary"), and a ZMap/ZGrab-style active scanner (the
+"Censys" archive).
+
+Quick start::
+
+    from repro import EcosystemModel
+    from repro.core import figures
+
+    model = EcosystemModel()
+    store = model.passive_store()
+    print(figures.render_series(figures.fig1_negotiated_versions(store)))
+"""
+
+from repro.core.database import FingerprintDatabase, build_default_database
+from repro.core.fingerprint import Fingerprint, extract
+from repro.simulation.ecosystem import EcosystemModel, default_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FingerprintDatabase",
+    "build_default_database",
+    "Fingerprint",
+    "extract",
+    "EcosystemModel",
+    "default_model",
+    "__version__",
+]

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figure fig1..fig10`` — print a paper figure's monthly series.
+* ``table 1..6`` — print a paper table.
+* ``scan chrome2015|ssl3|export`` — run a Censys-style scan schedule.
+* ``pulse`` — run the SSL Pulse-style RC4 survey.
+* ``fingerprint <family> <version>`` — fingerprint a known client release.
+* ``timeline`` — print the attack/event timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import sys
+
+
+def _model():
+    from repro.simulation.ecosystem import default_model
+
+    return default_model()
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.core import figures
+
+    generators = {
+        "fig1": figures.fig1_negotiated_versions,
+        "fig2": figures.fig2_negotiated_modes,
+        "fig3": figures.fig3_advertised_modes,
+        "fig4": figures.fig4_fingerprint_support,
+        "fig5": figures.fig5_cipher_positions,
+        "fig6": figures.fig6_rc4_advertised,
+        "fig7": figures.fig7_weak_advertised,
+        "fig8": figures.fig8_key_exchange,
+        "fig9": figures.fig9_negotiated_aead,
+        "fig10": figures.fig10_advertised_aead,
+    }
+    generator = generators.get(args.name)
+    if generator is None:
+        print(f"unknown figure {args.name!r}; choose from {sorted(generators)}", file=sys.stderr)
+        return 2
+    store = _model().passive_store()
+    series = generator(store)
+    months = None
+    if not args.all_months:
+        months = [_dt.date(year, 1, 1) for year in range(2012, 2019)]
+        months += [_dt.date(2018, 4, 1)]
+    print(figures.render_series(series, sample_months=months))
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    from repro.core import tables
+
+    number = args.number
+    if number == 1:
+        for name, date in tables.table1_version_dates():
+            print(f"{name:<8} {date}")
+        return 0
+    if number == 2:
+        model = _model()
+        records = [
+            r for r in model.passive_store().records() if r.fingerprint is not None
+        ]
+        for category, count, coverage in tables.table2_fingerprint_summary(
+            model.database(), records
+        ):
+            print(f"{category:<26} {count:>5} fps  {coverage:6.2f}%")
+        return 0
+    rows = {
+        3: tables.table3_cbc_changes,
+        4: tables.table4_rc4_changes,
+        5: tables.table5_3des_changes,
+        6: tables.table6_protocol_support,
+    }.get(number)
+    if rows is None:
+        print("table number must be 1-6", file=sys.stderr)
+        return 2
+    for row in rows():
+        print(row)
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    from repro.scanner import CensysArchive
+
+    archive = CensysArchive()
+    archive.run_schedule(args.probe, interval_days=args.interval)
+    key = args.key
+    for date, value in archive.series(args.probe, key):
+        print(f"{date}  {value * 100:6.2f}%")
+    return 0
+
+
+def cmd_pulse(args: argparse.Namespace) -> int:
+    from repro.scanner.sslpulse import SslPulse
+
+    for survey in SslPulse().series(interval_days=args.interval):
+        print(
+            f"{survey.date}  rc4 supported {survey.rc4_supported * 100:5.1f}%"
+            f"   rc4-only {survey.rc4_only * 100:6.3f}%"
+        )
+    return 0
+
+
+def cmd_fingerprint(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.clients.population import default_population
+    from repro.core.fingerprint import extract
+
+    population = default_population()
+    try:
+        family = population.family(args.family)
+        release = family.release(args.version)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    hello = release.build_hello(rng=random.Random(0))
+    fingerprint = extract(hello)
+    print(f"client : {release.label}")
+    print(f"digest : {fingerprint.digest}")
+    print(f"fields : {fingerprint.canonical}")
+    label = _model().database().match(fingerprint)
+    if label:
+        print(f"label  : {label.software} {label.version_range} ({label.category})")
+    else:
+        print("label  : (not in database)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import build_report
+
+    print(build_report(_model()), end="")
+    return 0
+
+
+def cmd_calibration(args: argparse.Namespace) -> int:
+    from repro.simulation.calibration import render_sheet
+
+    print(render_sheet(), end="")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.simulation.timeline import ATTACK_TIMELINE, BROWSER_RC4_REMOVAL
+
+    events = ATTACK_TIMELINE + (BROWSER_RC4_REMOVAL if args.browsers else ())
+    for event in sorted(events, key=lambda e: e.date):
+        print(f"{event.date}  [{event.kind:<9}] {event.name:<18} {event.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Coming of Age: A Longitudinal Study of TLS Deployment' (IMC 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_figure = sub.add_parser("figure", help="print a paper figure's series")
+    p_figure.add_argument("name", help="fig1 .. fig10")
+    p_figure.add_argument("--all-months", action="store_true")
+    p_figure.set_defaults(func=cmd_figure)
+
+    p_table = sub.add_parser("table", help="print a paper table")
+    p_table.add_argument("number", type=int, help="1 .. 6")
+    p_table.set_defaults(func=cmd_table)
+
+    p_scan = sub.add_parser("scan", help="run a Censys-style scan schedule")
+    p_scan.add_argument("probe", choices=["chrome2015", "ssl3", "export"])
+    p_scan.add_argument("--key", default="handshake",
+                        help="handshake | rc4 | cbc | 3des | aead | fs | heartbeat | heartbleed")
+    p_scan.add_argument("--interval", type=int, default=56)
+    p_scan.set_defaults(func=cmd_scan)
+
+    p_pulse = sub.add_parser("pulse", help="run the SSL Pulse RC4 survey")
+    p_pulse.add_argument("--interval", type=int, default=56)
+    p_pulse.set_defaults(func=cmd_pulse)
+
+    p_fp = sub.add_parser("fingerprint", help="fingerprint a known client release")
+    p_fp.add_argument("family", help='e.g. "Chrome"')
+    p_fp.add_argument("version", help='e.g. "49"')
+    p_fp.set_defaults(func=cmd_fingerprint)
+
+    p_report = sub.add_parser("report", help="print the full study summary")
+    p_report.set_defaults(func=cmd_report)
+
+    p_cal = sub.add_parser("calibration", help="print the calibration sheet")
+    p_cal.set_defaults(func=cmd_calibration)
+
+    p_tl = sub.add_parser("timeline", help="print the attack timeline")
+    p_tl.add_argument("--browsers", action="store_true",
+                      help="include browser RC4-removal milestones")
+    p_tl.set_defaults(func=cmd_timeline)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Client substrate: release-dated TLS client profiles and populations."""
+
+from repro.clients.profile import (
+    ALL_CATEGORIES,
+    AdoptionModel,
+    ClientFamily,
+    ClientRelease,
+)
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "AdoptionModel",
+    "ClientFamily",
+    "ClientRelease",
+    "default_population",
+    "ClientPopulation",
+    "ShareCurve",
+]
+
+
+def __getattr__(name):
+    # population imports the browser modules, which import this package;
+    # lazy access avoids the cycle at import time.
+    if name in ("default_population", "ClientPopulation", "ShareCurve"):
+        from repro.clients import population
+
+        return getattr(population, name)
+    raise AttributeError(name)

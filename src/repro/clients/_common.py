@@ -1,0 +1,89 @@
+"""Shared extension layouts and ordering helpers for client histories."""
+
+from __future__ import annotations
+
+from repro.tls.extensions import ExtensionType as ET
+from repro.tls.versions import TLS10, TLS11, TLS12, tls13_draft, tls13_google_experiment
+
+# Wire versions used by release definitions.
+V_TLS10 = TLS10.wire
+V_TLS11 = TLS11.wire
+V_TLS12 = TLS12.wire
+DRAFT18 = tls13_draft(18)
+DRAFT23 = tls13_draft(23)
+DRAFT28 = tls13_draft(28)
+GOOGLE_7E02 = tls13_google_experiment(2)
+
+# Extension layouts by era.  Wire order is part of the fingerprint, so
+# each layout is a tuple, not a set.
+EXT_2012 = (
+    int(ET.SERVER_NAME),
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SESSION_TICKET),
+    int(ET.NEXT_PROTOCOL_NEGOTIATION),
+)
+
+EXT_2013 = (
+    int(ET.SERVER_NAME),
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SESSION_TICKET),
+    int(ET.NEXT_PROTOCOL_NEGOTIATION),
+    int(ET.SIGNATURE_ALGORITHMS),
+)
+
+EXT_2014 = (
+    int(ET.SERVER_NAME),
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SESSION_TICKET),
+    int(ET.SIGNATURE_ALGORITHMS),
+    int(ET.STATUS_REQUEST),
+    int(ET.APPLICATION_LAYER_PROTOCOL_NEGOTIATION),
+    int(ET.SIGNED_CERTIFICATE_TIMESTAMP),
+)
+
+# Chrome-era variant of the 2014 layout with Channel ID appended.
+EXT_2014_CHROME = EXT_2014 + (int(ET.CHANNEL_ID),)
+
+# Transitional 2015 layout: 2014 plus extended master secret.
+EXT_2015 = EXT_2014 + (int(ET.EXTENDED_MASTER_SECRET),)
+
+EXT_2016 = (
+    int(ET.SERVER_NAME),
+    int(ET.EXTENDED_MASTER_SECRET),
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SESSION_TICKET),
+    int(ET.APPLICATION_LAYER_PROTOCOL_NEGOTIATION),
+    int(ET.STATUS_REQUEST),
+    int(ET.SIGNATURE_ALGORITHMS),
+    int(ET.SIGNED_CERTIFICATE_TIMESTAMP),
+)
+
+EXT_TLS13 = EXT_2016 + (
+    int(ET.KEY_SHARE),
+    int(ET.PSK_KEY_EXCHANGE_MODES),
+    int(ET.SUPPORTED_VERSIONS),
+    int(ET.PADDING),
+)
+
+# Named-group layouts by era.
+GROUPS_2012 = (23, 24, 25)          # secp256r1, secp384r1, secp521r1
+GROUPS_LEGACY_WIDE = (23, 24, 25, 14, 13)  # + sect571r1, sect571k1
+GROUPS_2016 = (29, 23, 24)          # x25519 first
+POINT_FORMATS = (0,)                # uncompressed
+
+
+def weave(head, insert, tail, last=()):
+    """Assemble a preference list: ``head + insert + tail + last``.
+
+    A tiny helper that makes the intent of the per-release orderings
+    visible: ``weave(cbc_head, rc4_block, cbc_tail, des_block)``.
+    """
+    return tuple(head) + tuple(insert) + tuple(tail) + tuple(last)

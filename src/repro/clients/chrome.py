@@ -1,0 +1,281 @@
+"""Chrome release history.
+
+Encodes the configuration changes the paper documents for Chrome:
+Table 3 (CBC: 29 -> 16 @29, 10 @31, 9 @41, 7 @49, 5 @56),
+Table 4 (RC4: 6 -> 4 @29, removed @43),
+Table 5 (3DES: 8 -> 1 @29),
+Table 6 (TLS 1.1 @22, TLS 1.2 @29, SSL3 fallback removed @39) and
+§6.4 (TLS 1.3: draft-18 temporarily in 56, Google experiment 0x7e02
+rolled out to a user subset from 63).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.clients import suites as cs
+from repro.clients._common import (
+    DRAFT18,
+    EXT_2012,
+    EXT_2013,
+    EXT_2014,
+    EXT_2014_CHROME,
+    EXT_2015,
+    EXT_2016,
+    EXT_TLS13,
+    GOOGLE_7E02,
+    GROUPS_2012,
+    GROUPS_2016,
+    POINT_FORMATS,
+    V_TLS10,
+    V_TLS11,
+    V_TLS12,
+    weave,
+)
+from repro.clients.profile import (
+    BROWSER_ADOPTION,
+    CATEGORY_BROWSERS,
+    ClientFamily,
+    ClientRelease,
+)
+
+_LEGACY_SUITES = weave(
+    cs.LEGACY_CBC_21[:12],
+    cs.LEGACY_RC4_6,
+    cs.LEGACY_CBC_21[12:],
+    cs.LEGACY_3DES_8,
+)
+
+_V29_SUITES = weave(
+    cs.GCM_FIRST_WAVE,
+    cs.REDUCED_CBC_15[:6] + cs.REDUCED_RC4_4,
+    cs.REDUCED_CBC_15[6:],
+    (cs.RSA_3DES_SHA,),
+)
+
+_V31_SUITES = weave(
+    cs.GCM_FIRST_WAVE,
+    cs.REDUCED_CBC_9[:4] + cs.REDUCED_RC4_4,
+    cs.REDUCED_CBC_9[4:],
+    (cs.RSA_3DES_SHA,),
+)
+
+_V33_SUITES = weave(
+    cs.GCM_FIRST_WAVE + (cs.CHACHA_ECDHE_RSA_OLD, cs.CHACHA_ECDHE_ECDSA_OLD),
+    cs.REDUCED_CBC_9[:4] + cs.REDUCED_RC4_4,
+    cs.REDUCED_CBC_9[4:],
+    (cs.RSA_3DES_SHA,),
+)
+
+_V41_SUITES = weave(
+    cs.GCM_FIRST_WAVE + (cs.CHACHA_ECDHE_RSA_OLD, cs.CHACHA_ECDHE_ECDSA_OLD),
+    cs.REDUCED_CBC_8[:4] + cs.REDUCED_RC4_4,
+    cs.REDUCED_CBC_8[4:],
+    (cs.RSA_3DES_SHA,),
+)
+
+_V43_SUITES = weave(
+    cs.GCM_FIRST_WAVE + (cs.CHACHA_ECDHE_RSA_OLD, cs.CHACHA_ECDHE_ECDSA_OLD),
+    cs.REDUCED_CBC_8,
+    (),
+    (cs.RSA_3DES_SHA,),
+)
+
+_MODERN_AEAD_CHROME = (
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.ECDHE_RSA_AES256_GCM,
+    cs.CHACHA_ECDHE_ECDSA,
+    cs.CHACHA_ECDHE_RSA,
+    cs.RSA_AES128_GCM,
+    cs.RSA_AES256_GCM,
+)
+
+_V49_SUITES = weave(
+    _MODERN_AEAD_CHROME,
+    cs.REDUCED_CBC_6,
+    (),
+    (cs.RSA_3DES_SHA,),
+)
+
+_V56_SUITES = weave(
+    _MODERN_AEAD_CHROME,
+    cs.MODERN_CBC_4,
+    (),
+    (cs.RSA_3DES_SHA,),
+)
+
+_V63_SUITES = weave(
+    cs.TLS13_SUITES,
+    _MODERN_AEAD_CHROME,
+    cs.MODERN_CBC_4,
+    (cs.RSA_3DES_SHA,),
+)
+
+
+def family() -> ClientFamily:
+    """Chrome's release history as a :class:`ClientFamily`."""
+
+    def release(version, date, **kw):
+        return ClientRelease(
+            family="Chrome",
+            version=version,
+            released=date,
+            category=CATEGORY_BROWSERS,
+            library="BoringSSL",
+            ec_point_formats=POINT_FORMATS,
+            **kw,
+        )
+
+    return ClientFamily(
+        name="Chrome",
+        category=CATEGORY_BROWSERS,
+        adoption=BROWSER_ADOPTION,
+        releases=[
+            release(
+                "14", _dt.date(2011, 9, 16),
+                max_version=V_TLS10,
+                ssl3_fallback=True,
+                cipher_suites=_LEGACY_SUITES,
+                extensions=EXT_2012,
+                supported_groups=GROUPS_2012,
+            ),
+            release(
+                "22", _dt.date(2012, 9, 25),
+                max_version=V_TLS11,
+                ssl3_fallback=True,
+                cipher_suites=_LEGACY_SUITES,
+                extensions=EXT_2012,
+                supported_groups=GROUPS_2012,
+            ),
+            release(
+                "29", _dt.date(2013, 8, 20),
+                max_version=V_TLS12,
+                ssl3_fallback=True,
+                cipher_suites=_V29_SUITES,
+                extensions=EXT_2013,
+                supported_groups=GROUPS_2012,
+            ),
+            release(
+                "31", _dt.date(2013, 11, 12),
+                max_version=V_TLS12,
+                ssl3_fallback=True,
+                cipher_suites=_V31_SUITES,
+                extensions=EXT_2013,
+                supported_groups=GROUPS_2012,
+            ),
+            release(
+                "33", _dt.date(2014, 2, 20),
+                max_version=V_TLS12,
+                ssl3_fallback=True,
+                cipher_suites=_V33_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_2012,
+            ),
+            # Extension-layout refresh only (Channel ID): same suites,
+            # fresh fingerprint — the churn real fingerprint databases
+            # have to keep up with.
+            release(
+                "37", _dt.date(2014, 8, 26),
+                max_version=V_TLS12,
+                cipher_suites=_V33_SUITES,
+                extensions=EXT_2014_CHROME,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+            ),
+            # SSL3 fallback removed (Table 6).
+            release(
+                "39", _dt.date(2014, 11, 18),
+                max_version=V_TLS12,
+                cipher_suites=_V33_SUITES,
+                extensions=EXT_2014_CHROME,
+                supported_groups=GROUPS_2012,
+            ),
+            release(
+                "41", _dt.date(2015, 3, 3),
+                max_version=V_TLS12,
+                cipher_suites=_V41_SUITES,
+                extensions=EXT_2014_CHROME,
+                supported_groups=GROUPS_2012,
+            ),
+            release(
+                "43", _dt.date(2015, 5, 19),
+                max_version=V_TLS12,
+                rc4_policy="removed",
+                cipher_suites=_V43_SUITES,
+                extensions=EXT_2014_CHROME,
+                supported_groups=GROUPS_2012,
+            ),
+            # Extended master secret rollout.
+            release(
+                "45", _dt.date(2015, 9, 1),
+                max_version=V_TLS12,
+                cipher_suites=_V43_SUITES,
+                extensions=EXT_2015,
+                supported_groups=GROUPS_2012,
+                rc4_policy="removed",
+            ),
+            release(
+                "49", _dt.date(2016, 3, 2),
+                max_version=V_TLS12,
+                cipher_suites=_V49_SUITES,
+                extensions=EXT_2016,
+                supported_groups=GROUPS_2016,
+            ),
+            release(
+                "55", _dt.date(2016, 12, 1),
+                max_version=V_TLS12,
+                cipher_suites=_V49_SUITES,
+                extensions=EXT_2016,
+                supported_groups=GROUPS_2016,
+                grease=True,
+            ),
+            release(
+                "56", _dt.date(2017, 1, 25),
+                max_version=V_TLS12,
+                cipher_suites=weave(cs.TLS13_SUITES, _V56_SUITES, ()),
+                extensions=EXT_TLS13,
+                supported_groups=GROUPS_2016,
+                supported_versions=(DRAFT18, V_TLS12, V_TLS11, V_TLS10),
+                tls13_fraction=0.35,
+                grease=True,
+            ),
+            # TLS 1.3 was switched back off after middlebox breakage (§6.4).
+            release(
+                "57", _dt.date(2017, 3, 9),
+                max_version=V_TLS12,
+                cipher_suites=_V56_SUITES,
+                extensions=EXT_2016,
+                supported_groups=GROUPS_2016,
+                grease=True,
+            ),
+            release(
+                "63", _dt.date(2017, 12, 5),
+                max_version=V_TLS12,
+                cipher_suites=_V63_SUITES,
+                extensions=EXT_TLS13,
+                supported_groups=GROUPS_2016,
+                supported_versions=(GOOGLE_7E02, V_TLS12, V_TLS11, V_TLS10),
+                tls13_schedule=(
+                    (_dt.date(2017, 12, 5), 0.02),
+                    (_dt.date(2018, 3, 1), 0.45),
+                    (_dt.date(2018, 4, 1), 0.97),
+                ),
+                grease=True,
+            ),
+            release(
+                "65", _dt.date(2018, 3, 6),
+                max_version=V_TLS12,
+                cipher_suites=_V63_SUITES,
+                extensions=EXT_TLS13,
+                supported_groups=GROUPS_2016,
+                supported_versions=(GOOGLE_7E02, V_TLS12, V_TLS11, V_TLS10),
+                tls13_schedule=(
+                    (_dt.date(2018, 3, 6), 0.45),
+                    (_dt.date(2018, 4, 1), 0.97),
+                ),
+                grease=True,
+            ),
+        ],
+    )

@@ -1,0 +1,258 @@
+"""Firefox release history.
+
+Encodes: Table 3 (CBC: 29 -> 17 @27, 10 @33, 9 @37, 5 @60-beta),
+Table 4 (RC4: 6 -> 4 @27, fallback-only @36, whitelist-only @38,
+removed @44), Table 5 (3DES: 8 -> 3 @27, 1 @33), Table 6 (TLS 1.1/1.2
+@27, SSL3 fallback removed @37, TLS 1.3 @60) — §6.4 notes TLS 1.3
+shipped disabled in 52 and on-by-default in 60.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.clients import suites as cs
+from repro.clients._common import (
+    DRAFT28,
+    EXT_2012,
+    EXT_2013,
+    EXT_2014,
+    EXT_2015,
+    EXT_2016,
+    EXT_TLS13,
+    GROUPS_2012,
+    GROUPS_2016,
+    POINT_FORMATS,
+    V_TLS10,
+    V_TLS12,
+    weave,
+)
+from repro.clients.profile import (
+    BROWSER_ADOPTION,
+    CATEGORY_BROWSERS,
+    ClientFamily,
+    ClientRelease,
+)
+
+_LEGACY_SUITES = weave(
+    cs.LEGACY_CBC_21[:10],
+    cs.LEGACY_RC4_6,
+    cs.LEGACY_CBC_21[10:],
+    cs.LEGACY_3DES_8,
+)
+
+# Firefox 27: 17 CBC (14 non-3DES + 3 3DES), first GCM, 4 RC4.
+_V27_CBC_14 = (
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.DHE_RSA_AES128_SHA,
+    cs.DHE_DSS_AES128_SHA,
+    cs.DHE_RSA_AES256_SHA,
+    cs.DHE_RSA_CAMELLIA128_SHA,
+    cs.DHE_RSA_CAMELLIA256_SHA,
+    cs.RSA_AES128_SHA,
+    cs.RSA_CAMELLIA128_SHA,
+    cs.RSA_AES256_SHA,
+    cs.RSA_CAMELLIA256_SHA,
+    cs.DHE_DSS_AES256_SHA,
+)
+_V27_3DES_3 = (cs.ECDHE_RSA_3DES_SHA, cs.DHE_RSA_3DES_SHA, cs.RSA_3DES_SHA)
+_V27_SUITES = weave(
+    (cs.ECDHE_ECDSA_AES128_GCM, cs.ECDHE_RSA_AES128_GCM),
+    _V27_CBC_14[:6] + cs.REDUCED_RC4_4,
+    _V27_CBC_14[6:],
+    _V27_3DES_3,
+)
+
+_V33_SUITES = weave(
+    (cs.ECDHE_ECDSA_AES128_GCM, cs.ECDHE_RSA_AES128_GCM),
+    cs.REDUCED_CBC_9[:4] + cs.REDUCED_RC4_4,
+    cs.REDUCED_CBC_9[4:],
+    (cs.RSA_3DES_SHA,),
+)
+
+# Firefox 36: RC4 only in the fallback hello, gone from the default one.
+_V36_SUITES = weave(
+    (cs.ECDHE_ECDSA_AES128_GCM, cs.ECDHE_RSA_AES128_GCM),
+    cs.REDUCED_CBC_9,
+    (),
+    (cs.RSA_3DES_SHA,),
+)
+
+_V37_SUITES = weave(
+    (cs.ECDHE_ECDSA_AES128_GCM, cs.ECDHE_RSA_AES128_GCM),
+    cs.REDUCED_CBC_8,
+    (),
+    (cs.RSA_3DES_SHA,),
+)
+
+_V47_SUITES = weave(
+    (
+        cs.ECDHE_ECDSA_AES128_GCM,
+        cs.ECDHE_RSA_AES128_GCM,
+        cs.CHACHA_ECDHE_ECDSA,
+        cs.CHACHA_ECDHE_RSA,
+        cs.ECDHE_ECDSA_AES256_GCM,
+        cs.ECDHE_RSA_AES256_GCM,
+    ),
+    cs.REDUCED_CBC_8,
+    (),
+    (cs.RSA_3DES_SHA,),
+)
+
+_V60_SUITES = weave(
+    cs.TLS13_SUITES,
+    (
+        cs.ECDHE_ECDSA_AES128_GCM,
+        cs.ECDHE_RSA_AES128_GCM,
+        cs.CHACHA_ECDHE_ECDSA,
+        cs.CHACHA_ECDHE_RSA,
+        cs.ECDHE_ECDSA_AES256_GCM,
+        cs.ECDHE_RSA_AES256_GCM,
+    ),
+    cs.MODERN_CBC_4,
+    (cs.RSA_3DES_SHA,),
+)
+
+
+def family() -> ClientFamily:
+    """Firefox's release history as a :class:`ClientFamily`."""
+
+    def release(version, date, **kw):
+        return ClientRelease(
+            family="Firefox",
+            version=version,
+            released=date,
+            category=CATEGORY_BROWSERS,
+            library="NSS",
+            ec_point_formats=POINT_FORMATS,
+            **kw,
+        )
+
+    return ClientFamily(
+        name="Firefox",
+        category=CATEGORY_BROWSERS,
+        adoption=BROWSER_ADOPTION,
+        releases=[
+            release(
+                "10", _dt.date(2012, 1, 31),
+                max_version=V_TLS10,
+                cipher_suites=_LEGACY_SUITES,
+                extensions=EXT_2012,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+            ),
+            release(
+                "27", _dt.date(2014, 2, 4),
+                max_version=V_TLS12,
+                cipher_suites=_V27_SUITES,
+                extensions=EXT_2013,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+            ),
+            # ALPN/SCT extension refresh, suites unchanged from 27.
+            release(
+                "29", _dt.date(2014, 4, 29),
+                max_version=V_TLS12,
+                cipher_suites=_V27_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+            ),
+            release(
+                "33", _dt.date(2014, 10, 14),
+                max_version=V_TLS12,
+                cipher_suites=_V33_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+            ),
+            release(
+                "36", _dt.date(2015, 2, 24),
+                max_version=V_TLS12,
+                cipher_suites=_V36_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+                rc4_policy="fallback_only",
+            ),
+            # SSL3 fallback removed (Table 6).
+            release(
+                "37", _dt.date(2015, 3, 31),
+                max_version=V_TLS12,
+                cipher_suites=_V37_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_2012,
+                rc4_policy="fallback_only",
+            ),
+            release(
+                "38", _dt.date(2015, 5, 12),
+                max_version=V_TLS12,
+                cipher_suites=_V37_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_2012,
+                rc4_policy="whitelist_only",
+            ),
+            # Extended master secret rollout, still whitelist-only RC4.
+            release(
+                "40", _dt.date(2015, 8, 11),
+                max_version=V_TLS12,
+                cipher_suites=_V37_SUITES,
+                extensions=EXT_2015,
+                supported_groups=GROUPS_2012,
+                rc4_policy="whitelist_only",
+            ),
+            release(
+                "44", _dt.date(2016, 1, 26),
+                max_version=V_TLS12,
+                cipher_suites=_V37_SUITES,
+                extensions=EXT_2016,
+                supported_groups=GROUPS_2012,
+                rc4_policy="removed",
+            ),
+            release(
+                "47", _dt.date(2016, 6, 7),
+                max_version=V_TLS12,
+                cipher_suites=_V47_SUITES,
+                extensions=EXT_2016,
+                supported_groups=GROUPS_2016,
+                rc4_policy="removed",
+            ),
+            # TLS 1.3 shipped disabled by default (§6.4) — config unchanged.
+            release(
+                "52", _dt.date(2017, 3, 7),
+                max_version=V_TLS12,
+                cipher_suites=_V47_SUITES,
+                extensions=EXT_2016,
+                supported_groups=GROUPS_2016,
+                rc4_policy="removed",
+            ),
+            # 60 beta (Table 3 row) started the CBC reduction and the
+            # TLS 1.3 draft-28 rollout; 60 final made it default.
+            release(
+                "60b", _dt.date(2018, 3, 14),
+                max_version=V_TLS12,
+                cipher_suites=_V60_SUITES,
+                extensions=EXT_TLS13,
+                supported_groups=GROUPS_2016,
+                supported_versions=(DRAFT28, V_TLS12, V_TLS10 + 1, V_TLS10),
+                tls13_schedule=(
+                    (_dt.date(2018, 3, 14), 0.3),
+                    (_dt.date(2018, 4, 1), 0.8),
+                ),
+                rc4_policy="removed",
+                weight=0.15,
+            ),
+            release(
+                "60", _dt.date(2018, 5, 16),
+                max_version=V_TLS12,
+                cipher_suites=_V60_SUITES,
+                extensions=EXT_TLS13,
+                supported_groups=GROUPS_2016,
+                supported_versions=(DRAFT28, V_TLS12, V_TLS10 + 1, V_TLS10),
+                rc4_policy="removed",
+            ),
+        ],
+    )

@@ -1,0 +1,166 @@
+"""Internet Explorer / Edge release history (SChannel-based).
+
+Encodes Table 4 (all RC4 suites removed with the 2015-05-20 update,
+except on Windows XP) and Table 6 (TLS 1.1/1.2 enabled by default with
+IE 11, 2013-11-01).  The XP-era SChannel stack still offered export and
+single-DES suites, one of the drivers of the export-advertisement tail
+in Figure 7.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.clients import suites as cs
+from repro.clients._common import (
+    EXT_2012,
+    EXT_2013,
+    EXT_2016,
+    GROUPS_2012,
+    GROUPS_2016,
+    POINT_FORMATS,
+    V_TLS10,
+    V_TLS12,
+)
+from repro.clients.profile import (
+    CATEGORY_BROWSERS,
+    AdoptionModel,
+    ClientFamily,
+    ClientRelease,
+)
+
+# Windows XP SChannel list: RC4-first with export and DES stragglers.
+_XP_SUITES = (
+    cs.RSA_RC4_128_MD5,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_3DES_SHA,
+    cs.RSA_DES_SHA,
+    cs.EXP_RSA_RC4_40_MD5,
+    cs.EXP_RSA_RC2_40_MD5,
+    cs.DHE_DSS_3DES_SHA,
+    cs.DHE_DSS_DES_SHA,
+    cs.EXP_DHE_DSS_DES40_SHA,
+)
+
+# Windows 7 / IE9 era: AES first, no export, RC4 retained.
+_WIN7_SUITES = (
+    cs.RSA_AES128_SHA,
+    cs.RSA_AES256_SHA,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_3DES_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.DHE_DSS_AES128_SHA,
+    cs.DHE_DSS_AES256_SHA,
+    cs.DHE_DSS_3DES_SHA,
+    cs.RSA_RC4_128_MD5,
+)
+
+# IE 11 (Win 8.1): TLS 1.2 with GCM (ECDSA) and SHA-2 CBC suites.
+_IE11_SUITES = (
+    cs.ECDHE_RSA_AES256_SHA384,
+    cs.ECDHE_RSA_AES128_SHA256,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES256_SHA384,
+    cs.ECDHE_ECDSA_AES128_SHA256,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.RSA_AES256_SHA256,
+    cs.RSA_AES128_SHA256,
+    cs.RSA_AES256_SHA,
+    cs.RSA_AES128_SHA,
+    cs.RSA_3DES_SHA,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_RC4_128_MD5,
+    cs.DHE_DSS_AES256_SHA256,
+    cs.DHE_DSS_AES128_SHA256,
+    cs.DHE_DSS_AES256_SHA,
+    cs.DHE_DSS_AES128_SHA,
+    cs.DHE_DSS_3DES_SHA,
+)
+
+# Post-2015-05-20 update (IE 11 / Edge 13): RC4 gone, RSA GCM added.
+_EDGE13_SUITES = (
+    cs.ECDHE_RSA_AES256_GCM,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.ECDHE_RSA_AES256_SHA384,
+    cs.ECDHE_RSA_AES128_SHA256,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES256_SHA384,
+    cs.ECDHE_ECDSA_AES128_SHA256,
+    cs.RSA_AES256_GCM,
+    cs.RSA_AES128_GCM,
+    cs.RSA_AES256_SHA256,
+    cs.RSA_AES128_SHA256,
+    cs.RSA_AES256_SHA,
+    cs.RSA_AES128_SHA,
+    cs.RSA_3DES_SHA,
+)
+
+# IE adoption is tied to the OS upgrade cycle: slower, heavier tail
+# (the Windows XP population the paper's Table 4 footnote alludes to).
+_IE_ADOPTION = AdoptionModel(fast_days=120.0, tail=0.12, slow_days=1300.0)
+
+
+def family() -> ClientFamily:
+    """IE/Edge release history as a :class:`ClientFamily`."""
+
+    def release(version, date, **kw):
+        return ClientRelease(
+            family="IE/Edge",
+            version=version,
+            released=date,
+            category=CATEGORY_BROWSERS,
+            library="SChannel",
+            **kw,
+        )
+
+    return ClientFamily(
+        name="IE/Edge",
+        category=CATEGORY_BROWSERS,
+        adoption=_IE_ADOPTION,
+        releases=[
+            release(
+                "8 (XP)", _dt.date(2009, 3, 19),
+                max_version=V_TLS10,
+                cipher_suites=_XP_SUITES,
+                extensions=(),
+                ssl3_fallback=True,
+            ),
+            release(
+                "9 (Win7)", _dt.date(2011, 3, 14),
+                max_version=V_TLS10,
+                cipher_suites=_WIN7_SUITES,
+                extensions=EXT_2012[:4],  # SNI, reneg, groups, point formats
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                ssl3_fallback=True,
+            ),
+            release(
+                "11", _dt.date(2013, 11, 1),
+                max_version=V_TLS12,
+                cipher_suites=_IE11_SUITES,
+                extensions=EXT_2013[:5] + (EXT_2013[6],),
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                ssl3_fallback=True,
+            ),
+            release(
+                "13", _dt.date(2015, 5, 20),
+                max_version=V_TLS12,
+                cipher_suites=_EDGE13_SUITES,
+                extensions=EXT_2016[:6] + (EXT_2016[8],),
+                supported_groups=GROUPS_2016,
+                ec_point_formats=POINT_FORMATS,
+                rc4_policy="removed",
+            ),
+        ],
+    )

@@ -1,0 +1,433 @@
+"""TLS library client families: OpenSSL, MS CryptoAPI (SChannel), Java JSSE.
+
+Libraries are the largest fingerprint category in the paper (Table 2:
+700 fingerprints, 46.49% coverage).  Their release histories drive
+several of the paper's stories:
+
+* OpenSSL 1.0.1–1.0.2 clients advertise the Heartbeat extension —
+  the population behind the 3% of 2018 negotiations still using it (§5.4).
+* Export-grade suites linger in OpenSSL ≤ 1.0.1, Java 6 and XP-era
+  SChannel — the 28.19% → 1.03% export-advertisement decline of
+  Figure 7 / §5.5.
+* OS-tied libraries adopt slowly with heavy tails (§7.2's Android 2.3
+  discussion).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.clients import suites as cs
+from repro.clients._common import (
+    DRAFT28,
+    GROUPS_2012,
+    GROUPS_2016,
+    POINT_FORMATS,
+    V_TLS10,
+    V_TLS12,
+)
+from repro.clients.ie import _EDGE13_SUITES, _IE11_SUITES, _WIN7_SUITES, _XP_SUITES
+from repro.clients.profile import (
+    CATEGORY_LIBRARIES,
+    AdoptionModel,
+    ClientFamily,
+    ClientRelease,
+)
+from repro.tls.extensions import ExtensionType as ET
+
+# OpenSSL extension layouts.  1.0.1+ sends Heartbeat (type 15).
+_OPENSSL_EXT_OLD = (
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SESSION_TICKET),
+)
+_OPENSSL_EXT_101 = (
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SESSION_TICKET),
+    int(ET.SIGNATURE_ALGORITHMS),
+    int(ET.HEARTBEAT),
+)
+_OPENSSL_EXT_110 = (
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SESSION_TICKET),
+    int(ET.SIGNATURE_ALGORITHMS),
+    int(ET.EXTENDED_MASTER_SECRET),
+    # 1.1.0 offers Encrypt-then-MAC (RFC 7366), the Lucky 13
+    # countermeasure whose "very limited take up" §9 notes.
+    int(ET.ENCRYPT_THEN_MAC),
+)
+
+# OpenSSL 0.9.8 DEFAULT: a wide list with export and DES stragglers.
+_OPENSSL_098 = (
+    cs.DHE_RSA_AES256_SHA,
+    cs.DHE_DSS_AES256_SHA,
+    cs.RSA_AES256_SHA,
+    cs.DHE_RSA_CAMELLIA256_SHA,
+    cs.DHE_DSS_CAMELLIA256_SHA,
+    cs.RSA_CAMELLIA256_SHA,
+    cs.DHE_RSA_AES128_SHA,
+    cs.DHE_DSS_AES128_SHA,
+    cs.RSA_AES128_SHA,
+    cs.DHE_RSA_CAMELLIA128_SHA,
+    cs.DHE_DSS_CAMELLIA128_SHA,
+    cs.RSA_CAMELLIA128_SHA,
+    cs.DHE_RSA_SEED_SHA,
+    cs.RSA_SEED_SHA,
+    cs.RSA_IDEA_SHA,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_RC4_128_MD5,
+    cs.DHE_RSA_3DES_SHA,
+    cs.DHE_DSS_3DES_SHA,
+    cs.RSA_3DES_SHA,
+    cs.DHE_RSA_DES_SHA,
+    cs.DHE_DSS_DES_SHA,
+    cs.RSA_DES_SHA,
+    cs.EXP_DHE_RSA_DES40_SHA,
+    cs.EXP_DHE_DSS_DES40_SHA,
+    cs.EXP_RSA_DES40_SHA,
+    cs.EXP_RSA_RC2_40_MD5,
+    cs.EXP_RSA_RC4_40_MD5,
+)
+
+# OpenSSL 1.0.1 DEFAULT: adds ECDHE, GCM, SHA-2; export/DES still present.
+_OPENSSL_101 = (
+    cs.ECDHE_RSA_AES256_GCM,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.ECDHE_RSA_AES256_SHA384,
+    cs.ECDHE_ECDSA_AES256_SHA384,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.DHE_RSA_AES256_GCM,
+    cs.DHE_RSA_AES256_SHA256,
+    cs.DHE_RSA_AES256_SHA,
+    cs.DHE_RSA_CAMELLIA256_SHA,
+    cs.RSA_AES256_GCM,
+    cs.RSA_AES256_SHA256,
+    cs.RSA_AES256_SHA,
+    cs.RSA_CAMELLIA256_SHA,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_RSA_AES128_SHA256,
+    cs.ECDHE_ECDSA_AES128_SHA256,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.DHE_RSA_AES128_GCM,
+    cs.DHE_RSA_AES128_SHA256,
+    cs.DHE_RSA_AES128_SHA,
+    cs.DHE_RSA_CAMELLIA128_SHA,
+    cs.RSA_AES128_GCM,
+    cs.RSA_AES128_SHA256,
+    cs.RSA_AES128_SHA,
+    cs.RSA_CAMELLIA128_SHA,
+    cs.ECDHE_RSA_RC4_SHA,
+    cs.ECDHE_ECDSA_RC4_SHA,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_RC4_128_MD5,
+    cs.ECDHE_RSA_3DES_SHA,
+    cs.ECDHE_ECDSA_3DES_SHA,
+    cs.DHE_RSA_3DES_SHA,
+    cs.RSA_3DES_SHA,
+    cs.RSA_DES_SHA,
+)
+
+# Post-FREAK 1.0.1 update / 1.0.2: single-DES dropped.
+_OPENSSL_102 = _OPENSSL_101[:-1]
+
+# 1.1.0: RC4, 3DES out of DEFAULT; ChaCha20 in.
+_OPENSSL_110 = (
+    cs.ECDHE_RSA_AES256_GCM,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.CHACHA_ECDHE_RSA,
+    cs.CHACHA_ECDHE_ECDSA,
+    cs.CHACHA_DHE_RSA,
+    cs.DHE_RSA_AES256_GCM,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.DHE_RSA_AES128_GCM,
+    cs.ECDHE_RSA_AES256_SHA384,
+    cs.ECDHE_ECDSA_AES256_SHA384,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.ECDHE_RSA_AES128_SHA256,
+    cs.ECDHE_ECDSA_AES128_SHA256,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.RSA_AES256_GCM,
+    cs.RSA_AES128_GCM,
+    cs.RSA_AES256_SHA256,
+    cs.RSA_AES128_SHA256,
+    cs.RSA_AES256_SHA,
+    cs.RSA_AES128_SHA,
+)
+
+_OPENSSL_111 = cs.TLS13_SUITES + _OPENSSL_110
+
+# Deliberately slow: applications pin OpenSSL versions, and 1.0.2 was
+# the long-term-support line well past 2018 — which keeps the Heartbeat
+# extension on the wire (§5.4).
+_OPENSSL_ADOPTION = AdoptionModel(fast_days=460.0, tail=0.30, slow_days=2000.0)
+
+
+def openssl_family() -> ClientFamily:
+    """OpenSSL-linked application traffic as one family."""
+
+    def release(version, date, **kw):
+        return ClientRelease(
+            family="OpenSSL",
+            version=version,
+            released=date,
+            category=CATEGORY_LIBRARIES,
+            library="OpenSSL",
+            ec_point_formats=POINT_FORMATS,
+            **kw,
+        )
+
+    return ClientFamily(
+        name="OpenSSL",
+        category=CATEGORY_LIBRARIES,
+        adoption=_OPENSSL_ADOPTION,
+        releases=[
+            release(
+                "0.9.8", _dt.date(2008, 1, 1),
+                max_version=V_TLS10,
+                cipher_suites=_OPENSSL_098,
+                extensions=_OPENSSL_EXT_OLD,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+            ),
+            release(
+                "1.0.1", _dt.date(2012, 3, 14),
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_101,
+                extensions=_OPENSSL_EXT_101,
+                supported_groups=GROUPS_2012,
+            ),
+            # Heartbleed fix: same wire configuration, still heartbeats.
+            release(
+                "1.0.1g", _dt.date(2014, 4, 7),
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_101,
+                extensions=_OPENSSL_EXT_101,
+                supported_groups=GROUPS_2012,
+            ),
+            # FREAK response / 1.0.2: export and single DES dropped.
+            release(
+                "1.0.2", _dt.date(2015, 1, 22),
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_102,
+                extensions=_OPENSSL_EXT_101,
+                supported_groups=GROUPS_2012,
+            ),
+            release(
+                "1.1.0", _dt.date(2016, 8, 25),
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_110,
+                extensions=_OPENSSL_EXT_110,
+                supported_groups=GROUPS_2016,
+                rc4_policy="removed",
+            ),
+            release(
+                "1.1.1-pre", _dt.date(2018, 2, 13),
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_111,
+                extensions=_OPENSSL_EXT_110 + (int(ET.SUPPORTED_VERSIONS), int(ET.KEY_SHARE)),
+                supported_groups=GROUPS_2016,
+                supported_versions=(DRAFT28, V_TLS12, V_TLS10 + 1, V_TLS10),
+                tls13_fraction=0.3,
+                rc4_policy="removed",
+            ),
+        ],
+    )
+
+
+def mscrypto_family() -> ClientFamily:
+    """Windows system TLS (SChannel) used by non-browser software."""
+
+    def release(version, date, **kw):
+        return ClientRelease(
+            family="MS CryptoAPI",
+            version=version,
+            released=date,
+            category=CATEGORY_LIBRARIES,
+            library="SChannel",
+            **kw,
+        )
+
+    return ClientFamily(
+        name="MS CryptoAPI",
+        category=CATEGORY_LIBRARIES,
+        adoption=AdoptionModel(fast_days=300.0, tail=0.20, slow_days=1600.0),
+        releases=[
+            release(
+                "WinXP", _dt.date(2004, 8, 1),
+                max_version=V_TLS10,
+                cipher_suites=_XP_SUITES,
+                extensions=(),
+                ssl3_fallback=True,
+            ),
+            release(
+                "Win7", _dt.date(2009, 10, 22),
+                max_version=V_TLS10,
+                cipher_suites=_WIN7_SUITES,
+                extensions=(int(ET.RENEGOTIATION_INFO), int(ET.SUPPORTED_GROUPS), int(ET.EC_POINT_FORMATS)),
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                ssl3_fallback=True,
+            ),
+            release(
+                "Win8.1", _dt.date(2013, 10, 17),
+                max_version=V_TLS12,
+                cipher_suites=_IE11_SUITES,
+                extensions=(
+                    int(ET.RENEGOTIATION_INFO),
+                    int(ET.SUPPORTED_GROUPS),
+                    int(ET.EC_POINT_FORMATS),
+                    int(ET.SIGNATURE_ALGORITHMS),
+                ),
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+            ),
+            release(
+                "Win10", _dt.date(2015, 7, 29),
+                max_version=V_TLS12,
+                cipher_suites=_EDGE13_SUITES,
+                extensions=(
+                    int(ET.RENEGOTIATION_INFO),
+                    int(ET.SUPPORTED_GROUPS),
+                    int(ET.EC_POINT_FORMATS),
+                    int(ET.SIGNATURE_ALGORITHMS),
+                    int(ET.EXTENDED_MASTER_SECRET),
+                ),
+                supported_groups=GROUPS_2016,
+                ec_point_formats=POINT_FORMATS,
+                rc4_policy="removed",
+            ),
+        ],
+    )
+
+
+_JAVA6_SUITES = (
+    cs.RSA_RC4_128_MD5,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_AES128_SHA,
+    cs.DHE_RSA_AES128_SHA,
+    cs.DHE_DSS_AES128_SHA,
+    cs.RSA_3DES_SHA,
+    cs.DHE_RSA_3DES_SHA,
+    cs.DHE_DSS_3DES_SHA,
+    cs.RSA_DES_SHA,
+    cs.DHE_RSA_DES_SHA,
+    cs.DHE_DSS_DES_SHA,
+    cs.EXP_RSA_RC4_40_MD5,
+    cs.EXP_RSA_DES40_SHA,
+    cs.EXP_DHE_RSA_DES40_SHA,
+    cs.EXP_DHE_DSS_DES40_SHA,
+)
+
+_JAVA7_SUITES = (
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.RSA_AES128_SHA,
+    cs.ECDH_ECDSA_AES128_SHA,
+    cs.ECDH_RSA_AES128_SHA,
+    cs.DHE_RSA_AES128_SHA,
+    cs.DHE_DSS_AES128_SHA,
+    cs.ECDHE_ECDSA_RC4_SHA,
+    cs.ECDHE_RSA_RC4_SHA,
+    cs.RSA_RC4_128_SHA,
+    cs.ECDH_ECDSA_RC4_SHA,
+    cs.ECDH_RSA_RC4_SHA,
+    cs.RSA_RC4_128_MD5,
+    cs.ECDHE_ECDSA_3DES_SHA,
+    cs.ECDHE_RSA_3DES_SHA,
+    cs.RSA_3DES_SHA,
+)
+
+_JAVA8_SUITES = (
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.RSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES128_SHA256,
+    cs.ECDHE_RSA_AES128_SHA256,
+    cs.RSA_AES128_SHA256,
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_RC4_SHA,
+    cs.ECDHE_RSA_RC4_SHA,
+    cs.RSA_RC4_128_SHA,
+    cs.ECDHE_ECDSA_3DES_SHA,
+    cs.ECDHE_RSA_3DES_SHA,
+    cs.RSA_3DES_SHA,
+)
+
+_JAVA8U60_SUITES = tuple(
+    c for c in _JAVA8_SUITES
+    if c not in (cs.ECDHE_ECDSA_RC4_SHA, cs.ECDHE_RSA_RC4_SHA, cs.RSA_RC4_128_SHA)
+)
+
+_JSSE_EXT = (
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SIGNATURE_ALGORITHMS),
+    int(ET.SERVER_NAME),
+)
+
+
+def java_family() -> ClientFamily:
+    """Java JSSE client stack (server-side tooling, long upgrade cycles)."""
+
+    def release(version, date, **kw):
+        return ClientRelease(
+            family="Java JSSE",
+            version=version,
+            released=date,
+            category=CATEGORY_LIBRARIES,
+            library="JSSE",
+            **kw,
+        )
+
+    return ClientFamily(
+        name="Java JSSE",
+        category=CATEGORY_LIBRARIES,
+        adoption=AdoptionModel(fast_days=420.0, tail=0.30, slow_days=1800.0),
+        releases=[
+            release(
+                "6", _dt.date(2006, 12, 11),
+                max_version=V_TLS10,
+                cipher_suites=_JAVA6_SUITES,
+                extensions=(),
+                ssl3_fallback=True,
+            ),
+            release(
+                "7", _dt.date(2011, 7, 28),
+                max_version=V_TLS10,
+                cipher_suites=_JAVA7_SUITES,
+                extensions=_JSSE_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+            ),
+            release(
+                "8", _dt.date(2014, 3, 18),
+                max_version=V_TLS12,
+                cipher_suites=_JAVA8_SUITES,
+                extensions=_JSSE_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+            ),
+            release(
+                "8u60", _dt.date(2015, 8, 18),
+                max_version=V_TLS12,
+                cipher_suites=_JAVA8U60_SUITES,
+                extensions=_JSSE_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                rc4_policy="removed",
+            ),
+        ],
+    )

@@ -1,0 +1,794 @@
+"""Niche client families behind the paper's special-case findings.
+
+* GRID data-transfer clients negotiate NULL ciphers — TLS for mutual
+  authentication only (§6.1: 99.99% of 2018 NULL-cipher connections).
+* Nagios monitoring probes use anonymous DH plus their own auth (§6.2),
+  and a legacy probe population explains the TLS_NULL_WITH_NULL_NULL
+  connections (§6.1) and the export negotiations at one university (§5.5).
+* Interwise conferencing clients accept an export RC4 suite they never
+  offered — a protocol violation the paper observed directly (§5.5).
+* Mobile security apps (Lookout, Kaspersky) and an unidentified SDK
+  advertise anonymous and NULL suites; the SDK's share spike reproduces
+  the mid-2015 jump from 5.8% to 12.9% (§6.2).
+* A shuffling client emits a fresh cipher order per connection — the
+  hypothesized source of the 42,188 single-day fingerprints (§4.1).
+* Email, cloud-storage, dev-tool and malware families populate the
+  remaining Table 2 categories.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.clients import suites as cs
+from repro.clients._common import (
+    GROUPS_2012,
+    GROUPS_2016,
+    POINT_FORMATS,
+    V_TLS10,
+    V_TLS12,
+)
+from repro.clients.profile import (
+    APP_ADOPTION,
+    CATEGORY_AV,
+    CATEGORY_CLOUD,
+    CATEGORY_DEV_TOOLS,
+    CATEGORY_EMAIL,
+    CATEGORY_MALWARE,
+    CATEGORY_MOBILE_APPS,
+    CATEGORY_OS_TOOLS,
+    SERVERSIDE_TOOL_ADOPTION,
+    AdoptionModel,
+    ClientFamily,
+    ClientRelease,
+)
+from repro.tls.extensions import ExtensionType as ET
+
+_BASIC_EXT = (
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+)
+
+
+def _release(family, version, date, category, **kw):
+    return ClientRelease(
+        family=family, version=version, released=date, category=category, **kw
+    )
+
+
+def grid_family() -> ClientFamily:
+    """Globus/GRID data movers: NULL-cipher bulk transfer (§6.1)."""
+    suites = (cs.RSA_NULL_SHA, cs.RSA_NULL_MD5, cs.RSA_AES128_SHA, cs.RSA_3DES_SHA)
+    return ClientFamily(
+        name="GridFTP",
+        category=CATEGORY_DEV_TOOLS,
+        adoption=SERVERSIDE_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "GridFTP", "5", _dt.date(2009, 1, 1), CATEGORY_DEV_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=suites,
+                extensions=(),
+                library="OpenSSL",
+            ),
+            _release(
+                "GridFTP", "6", _dt.date(2014, 6, 1), CATEGORY_DEV_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=suites,
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+        ],
+    )
+
+
+def nagios_family() -> ClientFamily:
+    """Nagios NRPE probes: anonymous DH with application-layer auth (§6.2)."""
+    adh_suites = (
+        cs.ADH_AES256_SHA,
+        cs.ADH_AES128_SHA,
+        cs.ADH_3DES_SHA,
+        cs.EXP_ADH_DES40_SHA,
+        cs.EXP_ADH_RC4_40_MD5,
+    )
+    return ClientFamily(
+        name="Nagios NRPE",
+        category=CATEGORY_OS_TOOLS,
+        adoption=SERVERSIDE_TOOL_ADOPTION,
+        releases=[
+            # The NULL_WITH_NULL_NULL oddity of §6.1 and the export-ADH
+            # negotiations of §5.5 both terminate at Nagios endpoints.
+            _release(
+                "Nagios NRPE", "null-probe", _dt.date(2006, 1, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=(cs.NULL_NULL,),
+                extensions=(),
+                weight=0.012,
+                library="OpenSSL",
+            ),
+            _release(
+                "Nagios NRPE", "export-probe", _dt.date(2006, 6, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=(cs.EXP_ADH_DES40_SHA, cs.EXP_ADH_RC4_40_MD5),
+                extensions=(),
+                weight=0.03,
+                library="OpenSSL",
+            ),
+            _release(
+                "Nagios NRPE", "2.x", _dt.date(2008, 1, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=adh_suites,
+                extensions=(),
+                library="OpenSSL",
+            ),
+            _release(
+                "Nagios NRPE", "3.x", _dt.date(2013, 1, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=adh_suites,
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+        ],
+    )
+
+
+def interwise_family() -> ClientFamily:
+    """Interwise conferencing: accepts the unoffered export suite (§5.5)."""
+    return ClientFamily(
+        name="Interwise",
+        category=CATEGORY_OS_TOOLS,
+        adoption=SERVERSIDE_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "Interwise", "client", _dt.date(2008, 1, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=(cs.RSA_RC4_128_SHA,),
+                extensions=(),
+                tolerates_unoffered_suite=True,
+            ),
+        ],
+    )
+
+
+def security_apps() -> list[ClientFamily]:
+    """Mobile security applications advertising anon/NULL suites (§6.1, §6.2)."""
+    lookout = ClientFamily(
+        name="Lookout Personal",
+        category=CATEGORY_MOBILE_APPS,
+        adoption=APP_ADOPTION,
+        releases=[
+            _release(
+                "Lookout Personal", "2013", _dt.date(2013, 3, 1), CATEGORY_MOBILE_APPS,
+                max_version=V_TLS10,
+                cipher_suites=(
+                    cs.RSA_AES128_SHA,
+                    cs.RSA_AES256_SHA,
+                    cs.RSA_3DES_SHA,
+                    cs.RSA_RC4_128_SHA,
+                    cs.ADH_AES128_SHA,
+                    cs.ADH_AES256_SHA,
+                    cs.RSA_NULL_SHA,
+                ),
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library=None,
+            ),
+            _release(
+                "Lookout Personal", "2015", _dt.date(2015, 5, 1), CATEGORY_MOBILE_APPS,
+                max_version=V_TLS12,
+                cipher_suites=(
+                    cs.ECDHE_RSA_AES128_GCM,
+                    cs.RSA_AES128_SHA,
+                    cs.RSA_AES256_SHA,
+                    cs.RSA_3DES_SHA,
+                    cs.ADH_AES128_SHA,
+                    cs.ADH_AES256_SHA,
+                    cs.RSA_NULL_SHA,
+                ),
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+            ),
+        ],
+    )
+    craftar = ClientFamily(
+        name="Craftar Image Recognition",
+        category=CATEGORY_MOBILE_APPS,
+        adoption=APP_ADOPTION,
+        releases=[
+            _release(
+                "Craftar Image Recognition", "1", _dt.date(2014, 2, 1),
+                CATEGORY_MOBILE_APPS,
+                max_version=V_TLS10,
+                cipher_suites=(
+                    cs.RSA_AES128_SHA,
+                    cs.RSA_NULL_SHA,
+                    cs.RSA_NULL_MD5,
+                    cs.RSA_3DES_SHA,
+                ),
+                extensions=(),
+            ),
+        ],
+    )
+    kaspersky = ClientFamily(
+        name="Kaspersky",
+        category=CATEGORY_AV,
+        adoption=APP_ADOPTION,
+        releases=[
+            _release(
+                "Kaspersky", "2014", _dt.date(2014, 1, 1), CATEGORY_AV,
+                max_version=V_TLS12,
+                cipher_suites=(
+                    cs.ECDHE_RSA_AES128_GCM,
+                    cs.ECDHE_RSA_AES128_SHA,
+                    cs.RSA_AES128_SHA,
+                    cs.RSA_AES256_SHA,
+                    cs.RSA_3DES_SHA,
+                    cs.ADH_AES128_SHA,
+                    cs.AECDH_AES128_SHA,
+                ),
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+        ],
+    )
+    avast = ClientFamily(
+        name="Avast",
+        category=CATEGORY_AV,
+        adoption=APP_ADOPTION,
+        releases=[
+            _release(
+                "Avast", "10", _dt.date(2014, 10, 1), CATEGORY_AV,
+                max_version=V_TLS12,
+                cipher_suites=(
+                    cs.ECDHE_RSA_AES256_GCM,
+                    cs.ECDHE_RSA_AES128_GCM,
+                    cs.ECDHE_RSA_AES256_SHA,
+                    cs.ECDHE_RSA_AES128_SHA,
+                    cs.RSA_AES256_SHA,
+                    cs.RSA_AES128_SHA,
+                    cs.RSA_RC4_128_SHA,
+                    cs.RSA_3DES_SHA,
+                ),
+                extensions=_BASIC_EXT + (int(ET.SIGNATURE_ALGORITHMS),),
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+        ],
+    )
+    return [lookout, craftar, kaspersky, avast]
+
+
+def anon_sdk_family() -> ClientFamily:
+    """Unidentified SDK advertising anonymous suites (§6.2's spike).
+
+    The paper could not attribute most anon-advertising traffic to known
+    software; this family models that population (``in_database=False``)
+    and its share curve carries the mid-2015 spike.
+    """
+    base = (
+        cs.RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.DHE_RSA_AES128_SHA,
+        cs.ADH_AES128_SHA,
+        cs.ADH_AES256_SHA,
+        cs.AECDH_AES128_SHA,
+        cs.RSA_NULL_SHA,
+        cs.RSA_3DES_SHA,
+    )
+    return ClientFamily(
+        name="Unidentified anon SDK",
+        category=CATEGORY_OS_TOOLS,
+        adoption=AdoptionModel(fast_days=300.0, tail=0.15, slow_days=1200.0),
+        releases=[
+            # The pre-2015 generation advertises anon but not NULL; the
+            # 2015 update introduces NULL alongside the share spike, which
+            # is why the paper sees the two spikes correlate (§6.2).
+            _release(
+                "Unidentified anon SDK", "A", _dt.date(2011, 1, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=tuple(c for c in base if c != cs.RSA_NULL_SHA),
+                extensions=(),
+                in_database=False,
+            ),
+            _release(
+                "Unidentified anon SDK", "B", _dt.date(2015, 4, 15), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=base + (cs.ECDHE_RSA_AES128_GCM,),
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                in_database=False,
+            ),
+            # Later update drops the NULL suite but keeps anon DH — by
+            # 2018 NULL advertisement is far rarer than anon (§6.1 vs §6.2).
+            _release(
+                "Unidentified anon SDK", "C", _dt.date(2016, 6, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=tuple(
+                    c for c in base + (cs.ECDHE_RSA_AES128_GCM,)
+                    if c != cs.RSA_NULL_SHA
+                ),
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                in_database=False,
+            ),
+        ],
+    )
+
+
+def shuffler_family() -> ClientFamily:
+    """A client with unstable cipher order — one fingerprint per day (§4.1)."""
+    return ClientFamily(
+        name="Shuffling client",
+        category=CATEGORY_OS_TOOLS,
+        adoption=SERVERSIDE_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "Shuffling client", "1", _dt.date(2012, 1, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=(
+                    cs.RSA_AES128_SHA,
+                    cs.RSA_AES256_SHA,
+                    cs.RSA_3DES_SHA,
+                    cs.RSA_RC4_128_SHA,
+                    cs.DHE_RSA_AES128_SHA,
+                    cs.DHE_RSA_AES256_SHA,
+                    cs.ECDHE_RSA_AES128_SHA,
+                    cs.ECDHE_RSA_AES256_SHA,
+                ),
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                shuffle_suites=True,
+                in_database=False,
+            ),
+        ],
+    )
+
+
+def embedded_family() -> ClientFamily:
+    """Abandoned embedded / IoT clients — the unlabeled long tail (§7.2)."""
+    legacy = (
+        cs.RSA_RC4_128_MD5,
+        cs.RSA_RC4_128_SHA,
+        cs.RSA_AES128_SHA,
+        cs.RSA_3DES_SHA,
+        cs.RSA_DES_SHA,
+    )
+    newer = (
+        cs.RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.ECDHE_RSA_AES128_SHA,
+        cs.RSA_RC4_128_SHA,
+        cs.RSA_3DES_SHA,
+    )
+    modern = (
+        cs.ECDHE_RSA_AES128_GCM,
+        cs.ECDHE_RSA_AES128_SHA,
+        cs.RSA_AES128_GCM,
+        cs.RSA_AES128_SHA,
+        cs.RSA_3DES_SHA,
+    )
+    return ClientFamily(
+        name="Embedded devices",
+        category=CATEGORY_OS_TOOLS,
+        adoption=AdoptionModel(fast_days=420.0, tail=0.22, slow_days=1800.0),
+        releases=[
+            _release(
+                "Embedded devices", "gen1", _dt.date(2008, 1, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=legacy,
+                extensions=(),
+                in_database=False,
+                ssl3_fallback=True,
+            ),
+            _release(
+                "Embedded devices", "gen2", _dt.date(2012, 9, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=newer,
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                in_database=False,
+            ),
+            _release(
+                "Embedded devices", "gen3", _dt.date(2015, 3, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=modern,
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                in_database=False,
+            ),
+        ],
+    )
+
+
+def iot_ccm_family() -> ClientFamily:
+    """Constrained IoT stacks (mbedTLS-style) offering AES-CCM.
+
+    The source of Figure 10's marginal AES-CCM advertisement (0.3% of
+    offers across the dataset).
+    """
+    return ClientFamily(
+        name="IoT CCM devices",
+        category=CATEGORY_OS_TOOLS,
+        adoption=SERVERSIDE_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "IoT CCM devices", "1", _dt.date(2016, 6, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=(
+                    0xC0AE,  # TLS_ECDHE_ECDSA_WITH_AES_128_CCM_8
+                    0xC0AC,  # TLS_ECDHE_ECDSA_WITH_AES_128_CCM
+                    cs.ECDHE_RSA_AES128_GCM,
+                    cs.RSA_AES128_SHA,
+                ),
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                in_database=False,
+            ),
+        ],
+    )
+
+
+def ssl3_only_family() -> ClientFamily:
+    """Appliances that never learned TLS — the SSL 3 remnant of §5.1.
+
+    Their connections negotiate SSL 3 when the server still enables it
+    and fail outright otherwise; the share curve in the population model
+    shrinks them below 0.01% of connections by 2018.
+    """
+    from repro.tls.versions import SSL3
+
+    return ClientFamily(
+        name="SSL3-only appliances",
+        category=CATEGORY_OS_TOOLS,
+        adoption=SERVERSIDE_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "SSL3-only appliances", "gen0", _dt.date(2005, 1, 1), CATEGORY_OS_TOOLS,
+                max_version=SSL3.wire,
+                cipher_suites=(
+                    cs.RSA_RC4_128_MD5,
+                    cs.RSA_RC4_128_SHA,
+                    cs.RSA_3DES_SHA,
+                    cs.RSA_DES_SHA,
+                ),
+                extensions=(),
+                in_database=False,
+            ),
+        ],
+    )
+
+
+def splunk_family() -> ClientFamily:
+    """Splunk forwarders: static-ECDH traffic to indexers on 9997 (§6.3.1)."""
+    return ClientFamily(
+        name="Splunk forwarder",
+        category=CATEGORY_OS_TOOLS,
+        adoption=SERVERSIDE_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "Splunk forwarder", "6", _dt.date(2013, 10, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=(
+                    cs.ECDH_RSA_AES256_SHA,
+                    cs.ECDH_RSA_AES128_SHA,
+                    cs.RSA_AES256_SHA,
+                    cs.RSA_AES128_SHA,
+                    cs.RSA_3DES_SHA,
+                ),
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+        ],
+    )
+
+
+def unknown_longtail_family() -> ClientFamily:
+    """Ordinary-looking clients the fingerprint DB cannot label.
+
+    The paper attributes 69.23% of fingerprintable connections; the rest
+    comes from unremarkable software nobody harvested fingerprints for.
+    These configurations are deliberately mainstream (no weak-cipher
+    stories attach to them) but differ from every harvested profile.
+    """
+    gen1 = (
+        cs.DHE_RSA_AES256_SHA,
+        cs.DHE_RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.RSA_AES128_SHA,
+        cs.RSA_RC4_128_SHA,
+        cs.RSA_3DES_SHA,
+        cs.RSA_CAMELLIA128_SHA,
+    )
+    gen2 = (
+        cs.ECDHE_RSA_AES128_SHA,
+        cs.ECDHE_RSA_AES256_SHA,
+        cs.DHE_RSA_AES128_SHA,
+        cs.RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.RSA_RC4_128_SHA,
+        cs.RSA_3DES_SHA,
+    )
+    gen3 = (
+        cs.ECDHE_RSA_AES128_GCM,
+        cs.ECDHE_RSA_AES256_GCM,
+        cs.ECDHE_RSA_AES128_SHA,
+        cs.ECDHE_RSA_AES256_SHA,
+        cs.RSA_AES128_GCM,
+        cs.RSA_AES128_SHA,
+        cs.RSA_3DES_SHA,
+    )
+    return ClientFamily(
+        name="Unknown long tail",
+        category=CATEGORY_OS_TOOLS,
+        adoption=AdoptionModel(fast_days=320.0, tail=0.2, slow_days=1500.0),
+        releases=[
+            _release(
+                "Unknown long tail", "gen1", _dt.date(2010, 1, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS10,
+                cipher_suites=gen1,
+                extensions=(int(ET.RENEGOTIATION_INFO),),
+                in_database=False,
+            ),
+            _release(
+                "Unknown long tail", "gen2", _dt.date(2013, 4, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=gen2,
+                extensions=_BASIC_EXT + (int(ET.SERVER_NAME),),
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                in_database=False,
+            ),
+            _release(
+                "Unknown long tail", "gen3", _dt.date(2016, 2, 1), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=gen3,
+                extensions=_BASIC_EXT + (int(ET.SERVER_NAME), int(ET.SIGNATURE_ALGORITHMS)),
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                in_database=False,
+            ),
+        ],
+    )
+
+
+def email_families() -> list[ClientFamily]:
+    """Email clients (Table 2: Apple Mail, Thunderbird)."""
+    from repro.clients.safari import _V7_SUITES, _V9_SUITES
+    from repro.clients._common import EXT_2013, EXT_2014, GROUPS_LEGACY_WIDE
+
+    apple_mail = ClientFamily(
+        name="Apple Mail",
+        category=CATEGORY_EMAIL,
+        adoption=AdoptionModel(fast_days=200.0, tail=0.25, slow_days=1600.0),
+        releases=[
+            _release(
+                "Apple Mail", "7", _dt.date(2013, 10, 22), CATEGORY_EMAIL,
+                max_version=V_TLS12,
+                cipher_suites=_V7_SUITES,
+                extensions=EXT_2013[:6],
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ec_point_formats=POINT_FORMATS,
+                library="SecureTransport",
+            ),
+            _release(
+                "Apple Mail", "9", _dt.date(2015, 9, 30), CATEGORY_EMAIL,
+                max_version=V_TLS12,
+                cipher_suites=_V9_SUITES,
+                extensions=EXT_2014[:7],
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ec_point_formats=POINT_FORMATS,
+                library="SecureTransport",
+            ),
+        ],
+    )
+    from repro.clients.firefox import _V33_SUITES, _V47_SUITES
+    from repro.clients._common import EXT_2014 as _E14, EXT_2016 as _E16
+
+    thunderbird = ClientFamily(
+        name="Thunderbird",
+        category=CATEGORY_EMAIL,
+        adoption=AdoptionModel(fast_days=120.0, tail=0.15, slow_days=1200.0),
+        releases=[
+            _release(
+                "Thunderbird", "31", _dt.date(2014, 7, 22), CATEGORY_EMAIL,
+                max_version=V_TLS12,
+                cipher_suites=_V33_SUITES,
+                extensions=_E14[:7],
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="NSS",
+            ),
+            _release(
+                "Thunderbird", "52", _dt.date(2017, 4, 18), CATEGORY_EMAIL,
+                max_version=V_TLS12,
+                cipher_suites=_V47_SUITES,
+                extensions=_E16[:8],
+                supported_groups=GROUPS_2016,
+                ec_point_formats=POINT_FORMATS,
+                library="NSS",
+            ),
+        ],
+    )
+    return [apple_mail, thunderbird]
+
+
+def cloud_families() -> list[ClientFamily]:
+    """Cloud-storage sync clients (Table 2: Dropbox) — pinned OpenSSL."""
+    from repro.clients.libraries import _OPENSSL_101, _OPENSSL_102, _OPENSSL_EXT_101
+
+    dropbox = ClientFamily(
+        name="Dropbox",
+        category=CATEGORY_CLOUD,
+        adoption=APP_ADOPTION,
+        releases=[
+            _release(
+                "Dropbox", "2", _dt.date(2013, 2, 1), CATEGORY_CLOUD,
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_101[:20] + (cs.RSA_RC4_128_SHA, cs.RSA_3DES_SHA),
+                extensions=_OPENSSL_EXT_101,  # stock 1.0.1: heartbeats
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+            _release(
+                "Dropbox", "40", _dt.date(2017, 1, 1), CATEGORY_CLOUD,
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_102[:20],
+                extensions=_OPENSSL_EXT_101[:5],
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+        ],
+    )
+    return [dropbox]
+
+
+def devtool_families() -> list[ClientFamily]:
+    """Developer tools (Table 2: git, Flux) — libcurl/OpenSSL stacks."""
+    from repro.clients.libraries import _OPENSSL_101, _OPENSSL_102, _OPENSSL_110, _OPENSSL_EXT_101, _OPENSSL_EXT_110
+
+    git = ClientFamily(
+        name="git",
+        category=CATEGORY_DEV_TOOLS,
+        adoption=AdoptionModel(fast_days=150.0, tail=0.20, slow_days=1400.0),
+        releases=[
+            _release(
+                "git", "1.9", _dt.date(2014, 2, 14), CATEGORY_DEV_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_101[:24],
+                extensions=_OPENSSL_EXT_101,  # stock 1.0.1: heartbeats
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+            _release(
+                "git", "2.14", _dt.date(2017, 8, 4), CATEGORY_DEV_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_110,
+                extensions=_OPENSSL_EXT_110,
+                supported_groups=GROUPS_2016,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+        ],
+    )
+    shodan = ClientFamily(
+        name="Shodan scanner",
+        category=CATEGORY_DEV_TOOLS,
+        adoption=SERVERSIDE_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "Shodan scanner", "1", _dt.date(2013, 1, 1), CATEGORY_DEV_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_101
+                + (
+                    cs.ADH_AES128_SHA,
+                    cs.ADH_AES256_SHA,
+                    cs.ADH_3DES_SHA,
+                    cs.AECDH_AES128_SHA,
+                    cs.RSA_NULL_SHA,
+                    cs.RSA_NULL_MD5,
+                    cs.EXP_ADH_RC4_40_MD5,
+                ),
+                extensions=_OPENSSL_EXT_101[:5],
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+        ],
+    )
+    return [git, shodan]
+
+
+def malware_families() -> list[ClientFamily]:
+    """Malware & PUP (Table 2: Zbot, InstallMoney) on stale static OpenSSL."""
+    from repro.clients.libraries import _OPENSSL_098, _OPENSSL_EXT_OLD
+
+    zbot = ClientFamily(
+        name="Zbot",
+        category=CATEGORY_MALWARE,
+        adoption=SERVERSIDE_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "Zbot", "static-0.9.8", _dt.date(2011, 6, 1), CATEGORY_MALWARE,
+                max_version=V_TLS10,
+                cipher_suites=_OPENSSL_098,
+                extensions=(),
+                library=None,
+            ),
+        ],
+    )
+    installmoney = ClientFamily(
+        name="InstallMoney",
+        category=CATEGORY_MALWARE,
+        adoption=APP_ADOPTION,
+        releases=[
+            _release(
+                "InstallMoney", "1", _dt.date(2015, 3, 1), CATEGORY_MALWARE,
+                max_version=V_TLS12,
+                cipher_suites=(
+                    cs.ECDHE_RSA_AES128_GCM,
+                    cs.ECDHE_RSA_AES128_SHA,
+                    cs.RSA_AES128_SHA,
+                    cs.RSA_RC4_128_SHA,
+                    cs.RSA_3DES_SHA,
+                ),
+                extensions=_BASIC_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+            ),
+        ],
+    )
+    return [zbot, installmoney]
+
+
+def os_tool_families() -> list[ClientFamily]:
+    """OS services (Table 2: Apple Spotlight)."""
+    from repro.clients.safari import _V7_SUITES, _V9_SUITES
+    from repro.clients._common import EXT_2013, EXT_2014, GROUPS_LEGACY_WIDE
+
+    spotlight = ClientFamily(
+        name="Apple Spotlight",
+        category=CATEGORY_OS_TOOLS,
+        adoption=AdoptionModel(fast_days=200.0, tail=0.2, slow_days=1400.0),
+        releases=[
+            _release(
+                "Apple Spotlight", "10.9", _dt.date(2013, 10, 22), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=_V7_SUITES,
+                extensions=EXT_2013[:4],
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ec_point_formats=POINT_FORMATS,
+                library="SecureTransport",
+            ),
+            _release(
+                "Apple Spotlight", "10.11", _dt.date(2015, 9, 30), CATEGORY_OS_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=_V9_SUITES,
+                extensions=EXT_2014[:5],
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ec_point_formats=POINT_FORMATS,
+                library="SecureTransport",
+            ),
+        ],
+    )
+    return [spotlight]

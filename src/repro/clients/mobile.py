@@ -1,0 +1,256 @@
+"""Mobile OS TLS libraries: Android SDK and Apple SecureTransport.
+
+These two families carry the largest traffic shares in the Notary
+(§4.0.1: the 10 most common fingerprints are browsers and OS-provided
+libraries, "mainly Android and iOS") and embody the paper's long-tail
+story: Android 2.3 supports only TLS 1.0 with neither ECDHE nor AEAD
+(§7.2), and the "iPad Air (library)" fingerprint is among the
+longest-lived in the dataset (§4.1).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.clients import suites as cs
+from repro.clients._common import (
+    GROUPS_2012,
+    GROUPS_2016,
+    POINT_FORMATS,
+    V_TLS10,
+    V_TLS12,
+)
+from repro.clients.profile import (
+    CATEGORY_LIBRARIES,
+    OS_LIBRARY_ADOPTION,
+    AdoptionModel,
+    ClientFamily,
+    ClientRelease,
+)
+from repro.tls.extensions import ExtensionType as ET
+
+# Android 2.3's infamous RC4-first default list.
+_ANDROID_23 = (
+    cs.RSA_RC4_128_MD5,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_AES128_SHA,
+    cs.RSA_AES256_SHA,
+    cs.RSA_3DES_SHA,
+    cs.DHE_RSA_AES128_SHA,
+    cs.DHE_RSA_AES256_SHA,
+    cs.DHE_RSA_3DES_SHA,
+    cs.DHE_DSS_AES128_SHA,
+    cs.DHE_DSS_AES256_SHA,
+    cs.DHE_DSS_3DES_SHA,
+    cs.RSA_DES_SHA,
+    cs.DHE_RSA_DES_SHA,
+    cs.DHE_DSS_DES_SHA,
+    cs.EXP_RSA_RC4_40_MD5,
+    cs.EXP_RSA_DES40_SHA,
+    cs.EXP_DHE_RSA_DES40_SHA,
+    cs.EXP_DHE_DSS_DES40_SHA,
+)
+
+# Android 4.x: ECDHE added, exports dropped, AES-first ordering.
+_ANDROID_4 = (
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.RSA_AES128_SHA,
+    cs.RSA_AES256_SHA,
+    cs.DHE_RSA_AES128_SHA,
+    cs.DHE_RSA_AES256_SHA,
+    cs.ECDHE_ECDSA_RC4_SHA,
+    cs.ECDHE_RSA_RC4_SHA,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_RC4_128_MD5,
+    cs.ECDHE_ECDSA_3DES_SHA,
+    cs.ECDHE_RSA_3DES_SHA,
+    cs.RSA_3DES_SHA,
+)
+
+# Android 5: TLS 1.2 + GCM, RC4 still present at the tail.
+_ANDROID_5 = (
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.ECDHE_RSA_AES256_GCM,
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.RSA_AES128_GCM,
+    cs.RSA_AES256_GCM,
+    cs.RSA_AES128_SHA,
+    cs.RSA_AES256_SHA,
+    cs.ECDHE_ECDSA_RC4_SHA,
+    cs.ECDHE_RSA_RC4_SHA,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_3DES_SHA,
+)
+
+_ANDROID_6 = tuple(
+    c for c in _ANDROID_5
+    if c not in (cs.ECDHE_ECDSA_RC4_SHA, cs.ECDHE_RSA_RC4_SHA, cs.RSA_RC4_128_SHA)
+)
+
+# ChaCha20 first: many Android devices lack AES hardware support, and
+# BoringSSL lets the client's preference win on equal-preference servers
+# — the source of the ChaCha20 traffic in Figure 9.
+_ANDROID_7 = (
+    cs.CHACHA_ECDHE_ECDSA,
+    cs.CHACHA_ECDHE_RSA,
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.ECDHE_RSA_AES256_GCM,
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.RSA_AES128_GCM,
+    cs.RSA_AES256_GCM,
+    cs.RSA_AES128_SHA,
+    cs.RSA_AES256_SHA,
+)
+
+_ANDROID_EXT = (
+    int(ET.SERVER_NAME),
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SESSION_TICKET),
+)
+_ANDROID_EXT_MODERN = _ANDROID_EXT + (
+    int(ET.SIGNATURE_ALGORITHMS),
+    int(ET.APPLICATION_LAYER_PROTOCOL_NEGOTIATION),
+    int(ET.EXTENDED_MASTER_SECRET),
+)
+
+
+def android_family() -> ClientFamily:
+    """Android SDK TLS stack (apps and embedded WebView traffic)."""
+
+    def release(version, date, **kw):
+        return ClientRelease(
+            family="Android SDK",
+            version=version,
+            released=date,
+            category=CATEGORY_LIBRARIES,
+            library="Android SDK",
+            **kw,
+        )
+
+    return ClientFamily(
+        name="Android SDK",
+        category=CATEGORY_LIBRARIES,
+        adoption=OS_LIBRARY_ADOPTION,
+        releases=[
+            release(
+                "2.3", _dt.date(2010, 12, 6),
+                max_version=V_TLS10,
+                cipher_suites=_ANDROID_23,
+                extensions=(int(ET.SERVER_NAME), int(ET.SESSION_TICKET)),
+                ssl3_fallback=True,
+            ),
+            release(
+                "4.1", _dt.date(2012, 7, 9),
+                max_version=V_TLS10,
+                cipher_suites=_ANDROID_4,
+                extensions=_ANDROID_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                ssl3_fallback=True,
+            ),
+            release(
+                "5.0", _dt.date(2014, 11, 12),
+                max_version=V_TLS12,
+                cipher_suites=_ANDROID_5,
+                extensions=_ANDROID_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+            ),
+            release(
+                "6.0", _dt.date(2015, 10, 5),
+                max_version=V_TLS12,
+                cipher_suites=_ANDROID_6,
+                extensions=_ANDROID_EXT_MODERN,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                rc4_policy="removed",
+            ),
+            release(
+                "7.0", _dt.date(2016, 8, 22),
+                max_version=V_TLS12,
+                cipher_suites=_ANDROID_7,
+                extensions=_ANDROID_EXT_MODERN,
+                supported_groups=GROUPS_2016,
+                ec_point_formats=POINT_FORMATS,
+                rc4_policy="removed",
+            ),
+        ],
+    )
+
+
+# Apple SecureTransport library configurations track Safari's with the
+# OS release cadence; the 7.x-era config is the long-lived "iPad Air
+# (library)" fingerprint of §4.1.
+def apple_family() -> ClientFamily:
+    """iOS / macOS SecureTransport library traffic."""
+    from repro.clients.safari import _V6_SUITES, _V7_SUITES, _V9_SUITES, _V101_SUITES
+    from repro.clients._common import EXT_2012, EXT_2013, EXT_2014, EXT_2016, GROUPS_LEGACY_WIDE
+
+    def release(version, date, **kw):
+        return ClientRelease(
+            family="Apple SecureTransport",
+            version=version,
+            released=date,
+            category=CATEGORY_LIBRARIES,
+            library="SecureTransport",
+            ec_point_formats=POINT_FORMATS,
+            **kw,
+        )
+
+    return ClientFamily(
+        name="Apple SecureTransport",
+        category=CATEGORY_LIBRARIES,
+        adoption=AdoptionModel(fast_days=150.0, tail=0.18, slow_days=1300.0),
+        releases=[
+            release(
+                "iOS 5", _dt.date(2011, 10, 12),
+                max_version=V_TLS10,
+                cipher_suites=_V6_SUITES,
+                extensions=EXT_2012[:4],
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ssl3_fallback=True,
+            ),
+            release(
+                "iOS 7 (iPad Air)", _dt.date(2013, 9, 18),
+                max_version=V_TLS12,
+                cipher_suites=_V7_SUITES,
+                extensions=EXT_2013[:5],
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ssl3_fallback=True,
+            ),
+            release(
+                "iOS 9", _dt.date(2015, 9, 16),
+                max_version=V_TLS12,
+                cipher_suites=_V9_SUITES,
+                extensions=EXT_2014[:6],
+                supported_groups=GROUPS_LEGACY_WIDE,
+            ),
+            release(
+                "iOS 11", _dt.date(2017, 9, 19),
+                max_version=V_TLS12,
+                # BoringSSL-backed SecureTransport: 3DES dropped.
+                cipher_suites=tuple(
+                    c for c in _V101_SUITES
+                    if c not in (cs.ECDHE_RSA_3DES_SHA, cs.ECDHE_ECDSA_3DES_SHA, cs.RSA_3DES_SHA)
+                ),
+                extensions=EXT_2016[:8],
+                supported_groups=GROUPS_2016,
+                rc4_policy="removed",
+            ),
+        ],
+    )

@@ -1,0 +1,183 @@
+"""Opera release history.
+
+Opera switched from its own Presto engine to Chromium with version 15,
+which is why Table 3 records an *increase* from 25 to 29 CBC suites at
+v15 (and Table 4 an increase from 2 to 6 RC4 suites) before the
+Chromium-driven reductions: CBC 16 @16, 10 @18, 9 @28, 7 @30, 5 @43;
+RC4 4 @16, removed @30; 3DES 8 -> 1 @16 (Table 5); TLS 1.1 @16 and
+SSL3 fallback removed @27 (Table 6).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.clients import suites as cs
+from repro.clients._common import (
+    EXT_2012,
+    EXT_2013,
+    EXT_2014,
+    EXT_2016,
+    GROUPS_2012,
+    GROUPS_2016,
+    POINT_FORMATS,
+    V_TLS10,
+    V_TLS11,
+    V_TLS12,
+    weave,
+)
+from repro.clients.profile import (
+    BROWSER_ADOPTION,
+    CATEGORY_BROWSERS,
+    ClientFamily,
+    ClientRelease,
+)
+
+# Presto-era Opera: 25 CBC (17 non-3DES + 8 3DES), 2 RC4, TLS 1.0.
+_PRESTO_SUITES = weave(
+    cs.LEGACY_CBC_21[:9],
+    (cs.RSA_RC4_128_SHA, cs.RSA_RC4_128_MD5),
+    cs.LEGACY_CBC_21[9:17],
+    cs.LEGACY_3DES_8,
+)
+
+# Chromium-era lists mirror Chrome's but with Opera's extension layout.
+_V15_SUITES = weave(
+    cs.LEGACY_CBC_21[:12],
+    cs.LEGACY_RC4_6,
+    cs.LEGACY_CBC_21[12:],
+    cs.LEGACY_3DES_8,
+)
+
+_V16_SUITES = weave(
+    cs.REDUCED_CBC_15[:6],
+    cs.REDUCED_RC4_4,
+    cs.REDUCED_CBC_15[6:],
+    (cs.RSA_3DES_SHA,),
+)
+
+_V18_SUITES = weave(
+    cs.GCM_FIRST_WAVE,
+    cs.REDUCED_CBC_9[:4] + cs.REDUCED_RC4_4,
+    cs.REDUCED_CBC_9[4:],
+    (cs.RSA_3DES_SHA,),
+)
+
+_V28_SUITES = weave(
+    cs.GCM_FIRST_WAVE,
+    cs.REDUCED_CBC_8[:4] + cs.REDUCED_RC4_4,
+    cs.REDUCED_CBC_8[4:],
+    (cs.RSA_3DES_SHA,),
+)
+
+_MODERN_AEAD_OPERA = (
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.ECDHE_RSA_AES256_GCM,
+    cs.CHACHA_ECDHE_ECDSA,
+    cs.CHACHA_ECDHE_RSA,
+    cs.RSA_AES128_GCM,
+)
+
+_V30_SUITES = weave(
+    _MODERN_AEAD_OPERA,
+    cs.REDUCED_CBC_6,
+    (),
+    (cs.RSA_3DES_SHA,),
+)
+
+_V43_SUITES = weave(
+    _MODERN_AEAD_OPERA,
+    cs.MODERN_CBC_4,
+    (),
+    (cs.RSA_3DES_SHA,),
+)
+
+
+def family() -> ClientFamily:
+    """Opera's release history as a :class:`ClientFamily`."""
+
+    def release(version, date, **kw):
+        kw.setdefault("library", "BoringSSL")
+        return ClientRelease(
+            family="Opera",
+            version=version,
+            released=date,
+            category=CATEGORY_BROWSERS,
+            ec_point_formats=POINT_FORMATS,
+            **kw,
+        )
+
+    return ClientFamily(
+        name="Opera",
+        category=CATEGORY_BROWSERS,
+        adoption=BROWSER_ADOPTION,
+        releases=[
+            release(
+                "12", _dt.date(2012, 6, 14),
+                max_version=V_TLS10,
+                cipher_suites=_PRESTO_SUITES,
+                extensions=EXT_2012[:-1],  # Presto sent no NPN
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+                library="Presto-SSL",
+            ),
+            release(
+                "15", _dt.date(2013, 7, 2),
+                max_version=V_TLS10,
+                cipher_suites=_V15_SUITES,
+                extensions=EXT_2013,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+            ),
+            release(
+                "16", _dt.date(2013, 8, 27),
+                max_version=V_TLS11,
+                cipher_suites=_V16_SUITES,
+                extensions=EXT_2013,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+            ),
+            release(
+                "18", _dt.date(2013, 11, 19),
+                max_version=V_TLS12,
+                cipher_suites=_V18_SUITES,
+                extensions=EXT_2013,
+                supported_groups=GROUPS_2012,
+                ssl3_fallback=True,
+            ),
+            # SSL3 fallback removed (Table 6).
+            release(
+                "27", _dt.date(2015, 1, 22),
+                max_version=V_TLS12,
+                cipher_suites=_V18_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_2012,
+            ),
+            release(
+                "28", _dt.date(2015, 3, 10),
+                max_version=V_TLS12,
+                cipher_suites=_V28_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_2012,
+            ),
+            release(
+                "30", _dt.date(2015, 6, 9),
+                max_version=V_TLS12,
+                cipher_suites=_V30_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_2012,
+                rc4_policy="removed",
+            ),
+            release(
+                "43", _dt.date(2017, 2, 7),
+                max_version=V_TLS12,
+                cipher_suites=_V43_SUITES,
+                extensions=EXT_2016,
+                supported_groups=GROUPS_2016,
+                rc4_policy="removed",
+                grease=True,
+            ),
+        ],
+    )

@@ -1,0 +1,183 @@
+"""The client population: who originates the Notary's connections.
+
+Combines every client family with a time-varying traffic-share curve
+(piecewise-linear between control points, normalized per date) and each
+family's internal release-adoption mix.  The result is, for any date, a
+weighted list of :class:`ClientRelease` objects — the demand side of the
+passive measurement simulation.
+
+The share control points are calibration inputs (see DESIGN.md §5):
+they encode coarse, public knowledge (browser market shares, the mobile
+shift, the death of Windows XP) rather than the paper's output curves.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.clients import (
+    chrome,
+    firefox,
+    ie,
+    libraries,
+    misc,
+    mobile,
+    opera,
+    safari,
+    tools,
+)
+from repro.clients.profile import ClientFamily, ClientRelease
+
+
+@dataclass(frozen=True)
+class ShareCurve:
+    """Piecewise-linear relative traffic share over time.
+
+    Points are ``(date, share)``; the share is held constant before the
+    first and after the last point.  Shares are *relative* weights —
+    :class:`ClientPopulation` normalizes across families per date.
+    """
+
+    points: tuple[tuple[_dt.date, float], ...]
+
+    def __post_init__(self) -> None:
+        dates = [d for d, _ in self.points]
+        if dates != sorted(dates):
+            raise ValueError("share-curve points must be date-ordered")
+        if not self.points:
+            raise ValueError("share curve needs at least one point")
+        if any(s < 0 for _, s in self.points):
+            raise ValueError("shares must be non-negative")
+
+    def at(self, on: _dt.date) -> float:
+        dates = [d for d, _ in self.points]
+        i = bisect.bisect_right(dates, on)
+        if i == 0:
+            return self.points[0][1]
+        if i == len(self.points):
+            return self.points[-1][1]
+        d0, s0 = self.points[i - 1]
+        d1, s1 = self.points[i]
+        span = (d1 - d0).days
+        if span <= 0:
+            return s1
+        frac = (on - d0).days / span
+        return s0 + (s1 - s0) * frac
+
+
+def _curve(*points: tuple[str, float]) -> ShareCurve:
+    return ShareCurve(
+        tuple((_dt.date.fromisoformat(d), s) for d, s in points)
+    )
+
+
+@dataclass
+class ClientPopulation:
+    """A set of client families with traffic-share curves."""
+
+    members: list[tuple[ClientFamily, ShareCurve]]
+
+    def families(self) -> list[ClientFamily]:
+        return [family for family, _ in self.members]
+
+    def family(self, name: str) -> ClientFamily:
+        for candidate, _ in self.members:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no client family named {name!r}")
+
+    def mix(self, on: _dt.date) -> list[tuple[ClientRelease, float]]:
+        """Weighted releases active at a date; weights sum to 1."""
+        weighted: list[tuple[ClientRelease, float]] = []
+        for family, curve in self.members:
+            share = curve.at(on)
+            if share <= 0:
+                continue
+            for release, frac in family.release_weights(on).items():
+                weighted.append((release, share * frac))
+        total = sum(w for _, w in weighted)
+        if total <= 0:
+            raise ValueError(f"no client traffic at {on}")
+        return [(r, w / total) for r, w in weighted]
+
+    def advertised_fraction(self, on: _dt.date, predicate) -> float:
+        """Traffic fraction whose client advertises a matching suite.
+
+        This is the exact (expectation) version of Figures 3, 6, 7, 10:
+        no sampling noise, weighted by traffic share.
+        """
+        return sum(
+            weight
+            for release, weight in self.mix(on)
+            if release.advertises(predicate)
+        )
+
+
+def default_population() -> ClientPopulation:
+    """The calibrated 2012–2018 client population."""
+    sec_apps = misc.security_apps()
+    lookout, craftar, kaspersky, avast = sec_apps
+    email = misc.email_families()
+    cloud = misc.cloud_families()
+    dev = misc.devtool_families()
+    mal = misc.malware_families()
+    os_tools = misc.os_tool_families()
+
+    members: list[tuple[ClientFamily, ShareCurve]] = [
+        # Browsers (desktop): ~33% of connections in 2012 tapering as
+        # mobile libraries take over.
+        (chrome.family(), _curve(("2012-01-01", 9.0), ("2014-06-01", 10.0), ("2016-06-01", 11.0), ("2018-04-01", 12.0))),
+        (firefox.family(), _curve(("2012-01-01", 7.0), ("2014-06-01", 6.0), ("2016-06-01", 4.5), ("2018-04-01", 4.0))),
+        (ie.family(), _curve(("2012-01-01", 5.0), ("2014-06-01", 4.0), ("2016-06-01", 2.5), ("2018-04-01", 2.0))),
+        (safari.family(), _curve(("2012-01-01", 4.0), ("2014-06-01", 4.0), ("2018-04-01", 3.5))),
+        (opera.family(), _curve(("2012-01-01", 1.2), ("2014-06-01", 0.9), ("2018-04-01", 0.9))),
+        # OS / mobile libraries: the dominant, slow-moving mass.
+        (mobile.android_family(), _curve(("2012-01-01", 9.0), ("2014-06-01", 13.5), ("2016-06-01", 16.0), ("2018-04-01", 17.0))),
+        (mobile.apple_family(), _curve(("2012-01-01", 7.0), ("2014-06-01", 10.0), ("2016-06-01", 12.0), ("2018-04-01", 13.0))),
+        # Unlabeled mainstream traffic — the ~30% no database covers.
+        (misc.unknown_longtail_family(), _curve(("2012-01-01", 9.0), ("2014-06-01", 10.0), ("2018-04-01", 10.5))),
+        (libraries.mscrypto_family(), _curve(("2012-01-01", 10.0), ("2014-06-01", 8.0), ("2016-06-01", 5.5), ("2018-04-01", 4.0))),
+        (libraries.openssl_family(), _curve(("2012-01-01", 9.0), ("2018-04-01", 9.0))),
+        (libraries.java_family(), _curve(("2012-01-01", 6.0), ("2014-06-01", 4.0), ("2016-06-01", 3.0), ("2018-04-01", 2.0))),
+        # Niche populations behind specific findings.
+        (misc.grid_family(), _curve(("2012-01-01", 3.2), ("2015-01-01", 2.6), ("2017-01-01", 1.0), ("2018-04-01", 0.45))),
+        (misc.nagios_family(), _curve(("2012-01-01", 0.45), ("2018-04-01", 0.62))),
+        (misc.interwise_family(), _curve(("2012-01-01", 0.05), ("2018-04-01", 0.02))),
+        (misc.splunk_family(), _curve(("2013-10-01", 0.1), ("2016-01-01", 0.3), ("2018-04-01", 0.3))),
+        (misc.anon_sdk_family(), _curve(
+            ("2012-01-01", 4.2),
+            ("2015-04-01", 4.2),
+            ("2015-06-15", 11.5),
+            ("2016-02-01", 7.5),
+            ("2018-04-01", 4.5),
+        )),
+        (misc.shuffler_family(), _curve(("2012-01-01", 0.25), ("2018-04-01", 0.25))),
+        (misc.ssl3_only_family(), _curve(
+            ("2012-01-01", 2.4),
+            ("2013-06-01", 1.0),
+            ("2014-07-01", 0.12),
+            ("2015-06-01", 0.03),
+            ("2018-04-01", 0.008),
+        )),
+        (misc.embedded_family(), _curve(("2012-01-01", 13.0), ("2015-06-01", 12.0), ("2018-04-01", 11.0))),
+        (misc.iot_ccm_family(), _curve(("2016-06-01", 0.0), ("2017-06-01", 0.4), ("2018-04-01", 0.6))),
+        # Smaller labelled categories (Table 2).
+        (lookout, _curve(("2013-03-01", 0.3), ("2015-06-01", 0.5), ("2018-04-01", 0.4))),
+        (craftar, _curve(("2014-02-01", 0.1), ("2018-04-01", 0.1))),
+        (kaspersky, _curve(("2014-01-01", 0.3), ("2018-04-01", 0.3))),
+        (avast, _curve(("2014-10-01", 0.4), ("2018-04-01", 0.4))),
+        (email[0], _curve(("2012-01-01", 0.35), ("2018-04-01", 0.35))),  # Apple Mail
+        (email[1], _curve(("2012-01-01", 0.25), ("2018-04-01", 0.25))),  # Thunderbird
+        (cloud[0], _curve(("2013-02-01", 0.75), ("2018-04-01", 0.75))),  # Dropbox
+        (dev[0], _curve(("2014-02-14", 0.6), ("2018-04-01", 0.7))),      # git
+        (dev[1], _curve(("2013-01-01", 0.25), ("2018-04-01", 0.25))),    # Shodan
+        (tools.curl_family(), _curve(("2013-02-06", 0.5), ("2018-04-01", 0.7))),
+        (tools.python_family(), _curve(("2012-01-01", 0.8), ("2018-04-01", 1.2))),
+        (tools.okhttp_family(), _curve(("2014-06-01", 0.4), ("2016-06-01", 1.2), ("2018-04-01", 1.8))),
+        (mal[0], _curve(("2012-01-01", 0.35), ("2016-01-01", 0.2), ("2018-04-01", 0.1))),  # Zbot
+        (mal[1], _curve(("2015-03-01", 0.3), ("2018-04-01", 0.25))),     # InstallMoney
+        (os_tools[0], _curve(("2013-10-22", 2.2), ("2018-04-01", 2.3))),  # Spotlight
+    ]
+    return ClientPopulation(members=members)

@@ -1,0 +1,291 @@
+"""Client profiles: release-dated TLS configurations.
+
+A :class:`ClientRelease` is one concrete TLS configuration of one piece
+of software — the granularity at which fingerprints exist (§4).  A
+:class:`ClientFamily` is the ordered release history of one program or
+library, together with an :class:`AdoptionModel` describing how quickly
+its user base moves to new releases (and how heavy the laggard tail is —
+the mechanism behind the paper's long-tail findings in §4.1 and §7.2).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.tls.ciphers import REGISTRY
+from repro.tls.extensions import Extension, ExtensionType
+from repro.tls.grease import inject_grease
+from repro.tls.messages import ClientHello
+from repro.tls.versions import TLS10, TLS12
+
+# Fingerprint categories, Table 2 taxonomy.
+CATEGORY_LIBRARIES = "Libraries"
+CATEGORY_BROWSERS = "Browsers"
+CATEGORY_OS_TOOLS = "OS Tools and Services"
+CATEGORY_MOBILE_APPS = "Mobile apps"
+CATEGORY_DEV_TOOLS = "Dev. tools"
+CATEGORY_AV = "AV"
+CATEGORY_CLOUD = "Cloud Storage"
+CATEGORY_EMAIL = "Email"
+CATEGORY_MALWARE = "Malware & PUP"
+
+ALL_CATEGORIES = (
+    CATEGORY_LIBRARIES,
+    CATEGORY_BROWSERS,
+    CATEGORY_OS_TOOLS,
+    CATEGORY_MOBILE_APPS,
+    CATEGORY_DEV_TOOLS,
+    CATEGORY_AV,
+    CATEGORY_CLOUD,
+    CATEGORY_EMAIL,
+    CATEGORY_MALWARE,
+)
+
+
+@dataclass(frozen=True)
+class ClientRelease:
+    """One release of one TLS client: its complete hello configuration.
+
+    Attributes:
+        family: Program / library name, e.g. ``"Chrome"``.
+        version: Version label, e.g. ``"29"``.
+        released: Release date.
+        category: Table 2 category the client belongs to.
+        max_version: Highest classic protocol version offered
+            (``legacy_version`` of the Client Hello).
+        cipher_suites: Offered suites, preference order, wire values
+            (may include SCSVs; GREASE is injected separately).
+        extensions: Extension types in wire order.
+        supported_groups: Named groups in wire order (empty = none sent).
+        ec_point_formats: EC point formats (empty = extension not sent).
+        supported_versions: TLS 1.3 ``supported_versions`` list (empty =
+            extension not sent); may contain draft values.
+        tls13_fraction: Fraction of this release's population with TLS 1.3
+            enabled (staged rollouts, §6.4).  1.0 = always send
+            ``supported_versions``.
+        grease: Inject GREASE values Chrome-style.
+        library: TLS library implementing the stack (collision rule §4:
+            a software/library fingerprint collision resolves to the
+            library).
+        tolerates_unoffered_suite: Proceeds even if the server picked a
+            suite that was never offered (the Interwise behaviour, §5.5).
+        weight: Relative traffic weight within the family (most releases
+            are 1.0; used for odd sub-populations).
+    """
+
+    family: str
+    version: str
+    released: _dt.date
+    category: str = CATEGORY_BROWSERS
+    max_version: int = TLS10.wire
+    cipher_suites: tuple[int, ...] = ()
+    extensions: tuple[int, ...] = ()
+    supported_groups: tuple[int, ...] = ()
+    ec_point_formats: tuple[int, ...] = ()
+    supported_versions: tuple[int, ...] = ()
+    tls13_fraction: float = 1.0
+    # Staged rollout schedule: (date, fraction) steps.  TLS 1.3 was
+    # flipped on for existing installs via server-side feature flags
+    # (§6.4: "enabled by new versions of Chrome and Firefox for a subset
+    # of users"), so the fraction is a function of the calendar, not
+    # only of the release.  Overrides tls13_fraction when non-empty.
+    tls13_schedule: tuple[tuple[_dt.date, float], ...] = ()
+    grease: bool = False
+    library: str | None = None
+    tolerates_unoffered_suite: bool = False
+    weight: float = 1.0
+    ssl3_fallback: bool = False
+    rc4_policy: str = "default"  # "default" | "fallback_only" | "whitelist_only" | "removed"
+    shuffle_suites: bool = False  # unstable cipher order (§4.1's one-day fingerprints)
+    in_database: bool = True  # False: traffic we observe but cannot label
+
+    def __post_init__(self) -> None:
+        unknown = [
+            c
+            for c in self.cipher_suites
+            if c not in REGISTRY
+        ]
+        if unknown:
+            raise ValueError(
+                f"{self.family} {self.version}: unregistered suites "
+                + ", ".join(f"{c:#06x}" for c in unknown)
+            )
+        if len(set(self.cipher_suites)) != len(self.cipher_suites):
+            raise ValueError(f"{self.family} {self.version}: duplicate suites")
+
+    @property
+    def label(self) -> str:
+        return f"{self.family} {self.version}"
+
+    def tls13_fraction_at(self, on: _dt.date) -> float:
+        """Fraction of this release's users with TLS 1.3 enabled at a date."""
+        if not self.supported_versions:
+            return 0.0
+        if not self.tls13_schedule:
+            return self.tls13_fraction
+        fraction = 0.0
+        for step_date, step_fraction in self.tls13_schedule:
+            if on >= step_date:
+                fraction = step_fraction
+        return fraction
+
+    # ---- hello construction ---------------------------------------------
+
+    def build_hello(
+        self,
+        rng: random.Random | None = None,
+        session_id: bytes = b"",
+        include_tls13: bool | None = None,
+    ) -> ClientHello:
+        """Build the Client Hello this release sends.
+
+        Args:
+            rng: Randomness source for GREASE and the client random; a
+                fixed default keeps unit usage deterministic.
+            session_id: Optional resumption session id.
+            include_tls13: Force the TLS 1.3 ``supported_versions``
+                extension on/off; default draws from ``tls13_fraction``.
+        """
+        rng = rng if rng is not None else random.Random(0)
+        if include_tls13 is None:
+            include_tls13 = bool(self.supported_versions) and (
+                self.tls13_fraction >= 1.0 or rng.random() < self.tls13_fraction
+            )
+        supported_versions = self.supported_versions if include_tls13 else ()
+
+        suites = self.cipher_suites
+        if self.shuffle_suites:
+            shuffled = list(suites)
+            rng.shuffle(shuffled)
+            suites = tuple(shuffled)
+        ext_types = list(self.extensions)
+        if supported_versions and ExtensionType.SUPPORTED_VERSIONS not in ext_types:
+            ext_types.append(int(ExtensionType.SUPPORTED_VERSIONS))
+        groups = self.supported_groups
+        if self.grease:
+            suites = inject_grease(suites, rng)
+            ext_types = [rng.choice(tuple(_GREASE_EXT)), *ext_types]
+            if groups:
+                groups = inject_grease(groups, rng)
+
+        extensions = tuple(Extension(int(t)) for t in ext_types)
+        return ClientHello(
+            legacy_version=self.max_version,
+            random=rng.randbytes(32),
+            session_id=session_id,
+            cipher_suites=tuple(suites),
+            compression_methods=(0,),
+            extensions=extensions,
+            supported_groups=tuple(groups),
+            ec_point_formats=tuple(self.ec_point_formats),
+            supported_versions=tuple(supported_versions),
+        )
+
+    # ---- advertisement predicates over the static config ----------------
+
+    def known_suites(self):
+        """Registered suite objects, preference order."""
+        return tuple(REGISTRY[c] for c in self.cipher_suites if c in REGISTRY)
+
+    def advertises(self, predicate) -> bool:
+        return any(predicate(s) for s in self.known_suites() if not s.scsv)
+
+    def count_suites(self, predicate) -> int:
+        return sum(1 for s in self.known_suites() if not s.scsv and predicate(s))
+
+
+# GREASE values valid as extension types (RFC 8701 uses the same points).
+from repro.tls.grease import GREASE_VALUES as _GREASE_EXT  # noqa: E402
+
+
+@dataclass(frozen=True)
+class AdoptionModel:
+    """How a family's user base migrates to a new release.
+
+    The adopted fraction Δt days after a release is::
+
+        A(Δt) = (1 - tail) * (1 - exp(-Δt / fast_days))
+              + tail * (1 - exp(-Δt / slow_days))
+
+    ``fast_days`` captures auto-updating users, ``tail``/``slow_days``
+    the abandoned-device long tail the paper highlights (§4.1, §7.2).
+    A(Δt) is monotone, so release shares A_r - A_{r+1} are non-negative.
+    """
+
+    fast_days: float = 45.0
+    tail: float = 0.08
+    slow_days: float = 720.0
+
+    def adopted_fraction(self, delta_days: float) -> float:
+        if delta_days <= 0:
+            return 0.0
+        fast = 1.0 - math.exp(-delta_days / self.fast_days)
+        slow = 1.0 - math.exp(-delta_days / self.slow_days)
+        return (1.0 - self.tail) * fast + self.tail * slow
+
+
+# Canonical adoption profiles.
+BROWSER_ADOPTION = AdoptionModel(fast_days=40.0, tail=0.06, slow_days=700.0)
+OS_LIBRARY_ADOPTION = AdoptionModel(fast_days=240.0, tail=0.15, slow_days=1300.0)
+SERVERSIDE_TOOL_ADOPTION = AdoptionModel(fast_days=400.0, tail=0.35, slow_days=2000.0)
+APP_ADOPTION = AdoptionModel(fast_days=90.0, tail=0.15, slow_days=1000.0)
+
+
+@dataclass
+class ClientFamily:
+    """The release history of one program or library."""
+
+    name: str
+    category: str
+    releases: list[ClientRelease]
+    adoption: AdoptionModel = field(default_factory=lambda: BROWSER_ADOPTION)
+
+    def __post_init__(self) -> None:
+        self.releases = sorted(self.releases, key=lambda r: r.released)
+        if not self.releases:
+            raise ValueError(f"family {self.name} has no releases")
+        for release in self.releases:
+            if release.family != self.name:
+                raise ValueError(
+                    f"release {release.label} filed under family {self.name}"
+                )
+
+    def release_weights(self, on: _dt.date) -> dict[ClientRelease, float]:
+        """Population share of each release at a given date.
+
+        The oldest release absorbs the not-yet-adopted remainder, which
+        models users who predate our first data point.
+        """
+        adopted = [
+            self.adoption.adopted_fraction((on - r.released).days)
+            for r in self.releases
+        ]
+        weights: dict[ClientRelease, float] = {}
+        for i, release in enumerate(self.releases):
+            upper = adopted[i] if i > 0 else 1.0
+            lower = adopted[i + 1] if i + 1 < len(self.releases) else 0.0
+            share = max(0.0, upper - lower) * release.weight
+            if share > 0:
+                weights[release] = share
+        total = sum(weights.values())
+        if total <= 0:
+            return {self.releases[0]: 1.0}
+        return {r: w / total for r, w in weights.items()}
+
+    def current_release(self, on: _dt.date) -> ClientRelease:
+        """The newest release available at a date (first release if none)."""
+        current = self.releases[0]
+        for release in self.releases:
+            if release.released <= on:
+                current = release
+        return current
+
+    def release(self, version: str) -> ClientRelease:
+        """Look up a release by version label."""
+        for candidate in self.releases:
+            if candidate.version == version:
+                return candidate
+        raise KeyError(f"{self.name} has no release {version!r}")

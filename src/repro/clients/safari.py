@@ -1,0 +1,186 @@
+"""Safari release history.
+
+Encodes: Table 3 (CBC: 28 -> 30 @7.1, 15 @9, 12 @10.1),
+Table 4 (RC4: 7 -> 6 @6, 4 @9, removed @10.1),
+Table 5 (3DES: 7 -> 6 @6.2, 3 @9.0),
+Table 6 (TLS 1.1/1.2 @7, SSL3 removed @9).
+
+The paper's tables date Safari 9 inconsistently (2015-09-30 in
+Tables 4/5/6 vs 2016-09-01 in Table 3) and Safari 10.1 likewise; we use
+the 2015-09-30 / 2017-03-27 release dates and record the discrepancy in
+EXPERIMENTS.md.  Safari uses Apple's SecureTransport, shared with the
+iOS/macOS system libraries (the library-collision rule of §4 applies).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.clients import suites as cs
+from repro.clients._common import (
+    EXT_2012,
+    EXT_2013,
+    EXT_2014,
+    EXT_2016,
+    GROUPS_LEGACY_WIDE,
+    GROUPS_2016,
+    POINT_FORMATS,
+    V_TLS10,
+    V_TLS12,
+    weave,
+)
+from repro.clients.profile import (
+    BROWSER_ADOPTION,
+    CATEGORY_BROWSERS,
+    ClientFamily,
+    ClientRelease,
+)
+
+# Safari's 2011-era configuration: 28 CBC (21 non-3DES + 7 3DES), 7 RC4.
+_3DES_7 = cs.LEGACY_3DES_8[:-1]  # no anonymous 3DES in SecureTransport
+_RC4_7 = cs.LEGACY_RC4_6 + (cs.DHE_DSS_RC4_SHA,)
+_RC4_6 = cs.LEGACY_RC4_6
+
+_V5_SUITES = weave(
+    cs.LEGACY_CBC_21[:8],
+    _RC4_7,
+    cs.LEGACY_CBC_21[8:],
+    _3DES_7,
+)
+
+_V6_SUITES = weave(
+    cs.LEGACY_CBC_21[:8],
+    _RC4_6,
+    cs.LEGACY_CBC_21[8:],
+    _3DES_7,
+)
+
+# Safari 7: TLS 1.2 with first-wave GCM (ECDSA variants only).
+_V7_SUITES = weave(
+    (cs.ECDHE_ECDSA_AES128_GCM, cs.ECDHE_ECDSA_AES256_GCM),
+    cs.LEGACY_CBC_21[:8] + _RC4_6,
+    cs.LEGACY_CBC_21[8:],
+    _3DES_7,
+)
+
+# Safari 7.1 / 6.2 (2014-09-18): CBC up to 30 via two SHA-256 CBC suites,
+# 3DES down to 6.
+_V71_CBC_EXTRA = (cs.RSA_AES128_SHA256, cs.RSA_AES256_SHA256)
+_3DES_6 = _3DES_7[:-1]
+_V71_SUITES = weave(
+    (cs.ECDHE_ECDSA_AES128_GCM, cs.ECDHE_ECDSA_AES256_GCM),
+    cs.LEGACY_CBC_21[:8] + _RC4_6,
+    cs.LEGACY_CBC_21[8:] + _V71_CBC_EXTRA + (cs.DHE_RSA_SEED_SHA,),
+    _3DES_6,
+)
+
+# Safari 9: 15 CBC (12 non-3DES + 3 3DES), 4 RC4, full GCM, no SSL3.
+_V9_CBC_12 = (
+    cs.ECDHE_ECDSA_AES128_SHA256,
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES256_SHA384,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.ECDHE_RSA_AES128_SHA256,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_RSA_AES256_SHA384,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.RSA_AES128_SHA256,
+    cs.RSA_AES128_SHA,
+    cs.RSA_AES256_SHA256,
+    cs.RSA_AES256_SHA,
+)
+_V9_3DES_3 = (cs.ECDHE_RSA_3DES_SHA, cs.ECDHE_ECDSA_3DES_SHA, cs.RSA_3DES_SHA)
+_V9_AEAD = (
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.ECDHE_RSA_AES256_GCM,
+    cs.RSA_AES128_GCM,
+    cs.RSA_AES256_GCM,
+)
+_V9_SUITES = weave(
+    _V9_AEAD,
+    _V9_CBC_12[:6] + cs.REDUCED_RC4_4,
+    _V9_CBC_12[6:],
+    _V9_3DES_3,
+)
+
+# Safari 10.1: 12 CBC (9 non-3DES + 3 3DES), RC4 removed.
+_V101_CBC_9 = _V9_CBC_12[:8] + (cs.RSA_AES128_SHA,)
+_V101_SUITES = weave(
+    _V9_AEAD,
+    _V101_CBC_9,
+    (),
+    _V9_3DES_3,
+)
+
+
+def family() -> ClientFamily:
+    """Safari's release history as a :class:`ClientFamily`."""
+
+    def release(version, date, **kw):
+        return ClientRelease(
+            family="Safari",
+            version=version,
+            released=date,
+            category=CATEGORY_BROWSERS,
+            library="SecureTransport",
+            ec_point_formats=POINT_FORMATS,
+            **kw,
+        )
+
+    return ClientFamily(
+        name="Safari",
+        category=CATEGORY_BROWSERS,
+        adoption=BROWSER_ADOPTION,
+        releases=[
+            release(
+                "5", _dt.date(2011, 7, 20),
+                max_version=V_TLS10,
+                cipher_suites=_V5_SUITES,
+                extensions=EXT_2012[:-1],
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ssl3_fallback=True,
+            ),
+            release(
+                "6", _dt.date(2012, 2, 25),
+                max_version=V_TLS10,
+                cipher_suites=_V6_SUITES,
+                extensions=EXT_2012[:-1],
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ssl3_fallback=True,
+            ),
+            release(
+                "7", _dt.date(2013, 10, 22),
+                max_version=V_TLS12,
+                cipher_suites=_V7_SUITES,
+                extensions=EXT_2013,
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ssl3_fallback=True,
+            ),
+            release(
+                "7.1", _dt.date(2014, 9, 18),
+                max_version=V_TLS12,
+                cipher_suites=_V71_SUITES,
+                extensions=EXT_2013,
+                supported_groups=GROUPS_LEGACY_WIDE,
+                ssl3_fallback=True,
+            ),
+            # SSL3 support removed entirely (Table 6).
+            release(
+                "9", _dt.date(2015, 9, 30),
+                max_version=V_TLS12,
+                cipher_suites=_V9_SUITES,
+                extensions=EXT_2014,
+                supported_groups=GROUPS_LEGACY_WIDE,
+            ),
+            release(
+                "10.1", _dt.date(2017, 3, 27),
+                max_version=V_TLS12,
+                cipher_suites=_V101_SUITES,
+                extensions=EXT_2016,
+                supported_groups=GROUPS_2016,
+                rc4_policy="removed",
+            ),
+        ],
+    )

@@ -1,0 +1,195 @@
+"""Command-line and language-runtime TLS clients.
+
+curl/wget (libcurl + OpenSSL), Python's ssl module (OpenSSL with its
+own default cipher string), and OkHttp (Android's Conscrypt/BoringSSL
+with a curated list) are all visible in research-network traffic and
+all fingerprint distinctly from their underlying library because they
+restrict or reorder the default suite list — which is exactly why the
+paper's database needs program-level entries on top of library ones.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.clients import suites as cs
+from repro.clients._common import (
+    GROUPS_2012,
+    GROUPS_2016,
+    POINT_FORMATS,
+    V_TLS10,
+    V_TLS12,
+)
+from repro.clients.profile import (
+    CATEGORY_DEV_TOOLS,
+    CATEGORY_LIBRARIES,
+    AdoptionModel,
+    ClientFamily,
+    ClientRelease,
+)
+from repro.tls.extensions import ExtensionType as ET
+
+_CURL_EXT = (
+    int(ET.SERVER_NAME),
+    int(ET.RENEGOTIATION_INFO),
+    int(ET.SUPPORTED_GROUPS),
+    int(ET.EC_POINT_FORMATS),
+    int(ET.SIGNATURE_ALGORITHMS),
+)
+
+_TOOL_ADOPTION = AdoptionModel(fast_days=260.0, tail=0.22, slow_days=1500.0)
+
+
+def _release(family, version, date, category, **kw):
+    return ClientRelease(
+        family=family, version=version, released=date, category=category, **kw
+    )
+
+
+def curl_family() -> ClientFamily:
+    """curl/libcurl with the distro OpenSSL, DEFAULT cipher string minus
+    the low tier (curl sets its own floor)."""
+    from repro.clients.libraries import _OPENSSL_101, _OPENSSL_110
+
+    # DEFAULT through the 3DES tier, with the MD5-MACed RC4 dropped.
+    old = tuple(c for c in _OPENSSL_101[:36] if c != cs.RSA_RC4_128_MD5)
+    return ClientFamily(
+        name="curl",
+        category=CATEGORY_DEV_TOOLS,
+        adoption=_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "curl", "7.29", _dt.date(2013, 2, 6), CATEGORY_DEV_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=old,
+                extensions=_CURL_EXT,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+            _release(
+                "curl", "7.52", _dt.date(2016, 12, 21), CATEGORY_DEV_TOOLS,
+                max_version=V_TLS12,
+                cipher_suites=_OPENSSL_110[:18],
+                extensions=_CURL_EXT + (int(ET.APPLICATION_LAYER_PROTOCOL_NEGOTIATION),),
+                supported_groups=GROUPS_2016,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+                rc4_policy="removed",
+            ),
+        ],
+    )
+
+
+def python_family() -> ClientFamily:
+    """CPython's ssl module: OpenSSL with Python's own default string
+    (no RC4 since 2.7.9/3.4, no 3DES since 3.6)."""
+    from repro.clients.libraries import _OPENSSL_101
+
+    # Python's default string: DEFAULT minus MD5, no export, no single DES.
+    py27 = tuple(
+        c for c in _OPENSSL_101[:36] if c != cs.RSA_RC4_128_MD5
+    )
+    py279 = tuple(c for c in py27 if c not in (
+        cs.ECDHE_RSA_RC4_SHA, cs.ECDHE_ECDSA_RC4_SHA, cs.RSA_RC4_128_SHA, cs.RSA_RC4_128_MD5,
+    ))
+    py36 = tuple(
+        c for c in py279
+        if c not in (cs.ECDHE_RSA_3DES_SHA, cs.ECDHE_ECDSA_3DES_SHA, cs.DHE_RSA_3DES_SHA, cs.RSA_3DES_SHA, cs.RSA_DES_SHA)
+    )
+    ext = (
+        int(ET.SERVER_NAME),
+        int(ET.RENEGOTIATION_INFO),
+        int(ET.SUPPORTED_GROUPS),
+        int(ET.EC_POINT_FORMATS),
+        int(ET.SESSION_TICKET),
+        int(ET.SIGNATURE_ALGORITHMS),
+    )
+    return ClientFamily(
+        name="Python ssl",
+        category=CATEGORY_LIBRARIES,
+        adoption=_TOOL_ADOPTION,
+        releases=[
+            _release(
+                "Python ssl", "2.7", _dt.date(2010, 7, 3), CATEGORY_LIBRARIES,
+                max_version=V_TLS10,
+                cipher_suites=py27,
+                extensions=ext[:4],
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+            ),
+            _release(
+                "Python ssl", "2.7.9", _dt.date(2014, 12, 10), CATEGORY_LIBRARIES,
+                max_version=V_TLS12,
+                cipher_suites=py279,
+                extensions=ext,
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+                rc4_policy="removed",
+            ),
+            _release(
+                "Python ssl", "3.6", _dt.date(2016, 12, 23), CATEGORY_LIBRARIES,
+                max_version=V_TLS12,
+                cipher_suites=py36,
+                extensions=ext,
+                supported_groups=GROUPS_2016,
+                ec_point_formats=POINT_FORMATS,
+                library="OpenSSL",
+                rc4_policy="removed",
+            ),
+        ],
+    )
+
+
+def okhttp_family() -> ClientFamily:
+    """OkHttp's curated MODERN_TLS list on Conscrypt/BoringSSL."""
+    modern = (
+        cs.ECDHE_ECDSA_AES128_GCM,
+        cs.ECDHE_RSA_AES128_GCM,
+        cs.ECDHE_ECDSA_AES256_GCM,
+        cs.ECDHE_RSA_AES256_GCM,
+        cs.ECDHE_ECDSA_AES128_SHA,
+        cs.ECDHE_RSA_AES128_SHA,
+        cs.RSA_AES128_GCM,
+        cs.RSA_AES128_SHA,
+        cs.RSA_3DES_SHA,
+    )
+    with_chacha = (
+        cs.CHACHA_ECDHE_ECDSA,
+        cs.CHACHA_ECDHE_RSA,
+    ) + modern[:-1]
+    ext = (
+        int(ET.SERVER_NAME),
+        int(ET.EXTENDED_MASTER_SECRET),
+        int(ET.RENEGOTIATION_INFO),
+        int(ET.SUPPORTED_GROUPS),
+        int(ET.EC_POINT_FORMATS),
+        int(ET.APPLICATION_LAYER_PROTOCOL_NEGOTIATION),
+    )
+    return ClientFamily(
+        name="OkHttp",
+        category=CATEGORY_LIBRARIES,
+        adoption=AdoptionModel(fast_days=160.0, tail=0.15, slow_days=1100.0),
+        releases=[
+            _release(
+                "OkHttp", "2", _dt.date(2014, 6, 1), CATEGORY_LIBRARIES,
+                max_version=V_TLS12,
+                cipher_suites=modern,
+                extensions=ext[:1] + ext[2:],
+                supported_groups=GROUPS_2012,
+                ec_point_formats=POINT_FORMATS,
+                library="Android SDK",
+            ),
+            _release(
+                "OkHttp", "3.9", _dt.date(2017, 10, 1), CATEGORY_LIBRARIES,
+                max_version=V_TLS12,
+                cipher_suites=with_chacha,
+                extensions=ext,
+                supported_groups=GROUPS_2016,
+                ec_point_formats=POINT_FORMATS,
+                library="Android SDK",
+            ),
+        ],
+    )

@@ -1,0 +1,42 @@
+"""Core contribution: TLS client fingerprinting and longitudinal analysis."""
+
+from repro.core.attacks import (
+    EXPOSURE_PREDICATES,
+    Reaction,
+    exposure_series,
+    reaction_report,
+)
+from repro.core.database import (
+    FingerprintDatabase,
+    FingerprintLabel,
+    build_default_database,
+    harvest_release,
+)
+from repro.core.fingerprint import Fingerprint, extract
+from repro.core.stats import (
+    DurationSummary,
+    duration_summary,
+    fingerprint_lifetimes,
+    long_lived_software,
+    most_common_unlabeled_share,
+    top_fingerprint_concentration,
+)
+
+__all__ = [
+    "EXPOSURE_PREDICATES",
+    "Reaction",
+    "exposure_series",
+    "reaction_report",
+    "FingerprintDatabase",
+    "FingerprintLabel",
+    "build_default_database",
+    "harvest_release",
+    "Fingerprint",
+    "extract",
+    "DurationSummary",
+    "duration_summary",
+    "fingerprint_lifetimes",
+    "long_lived_software",
+    "most_common_unlabeled_share",
+    "top_fingerprint_concentration",
+]

@@ -1,0 +1,192 @@
+"""Attack-exposure series and reaction quantification (§5, §7.4).
+
+Two tools:
+
+* :func:`exposure_series` — for each §2.2 attack, the monthly fraction
+  of connections satisfying that attack's *precondition* (BEAST needs
+  CBC at TLS <= 1.0, Sweet32 needs a negotiated 64-bit block cipher,
+  Heartbleed needs a heartbeat-acknowledging endpoint, ...).
+* :func:`reaction_report` — §7.4's qualitative verdicts made
+  quantitative: how much the relevant metric moved in the year after a
+  disclosure compared to the year before, classified as ``fast``,
+  ``slow`` or ``none``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.notary.events import ConnectionRecord
+from repro.notary.store import NotaryStore
+from repro.simulation.timeline import (
+    BEAST,
+    HEARTBLEED,
+    LUCKY13,
+    POODLE,
+    RC4_ATTACKS,
+    SWEET32,
+    Event,
+)
+from repro.tls.versions import SSL3, TLS10
+
+_ESTABLISHED = lambda r: r.established  # noqa: E731
+
+
+def _wire(record: ConnectionRecord) -> int:
+    return record.negotiated_wire or 0
+
+
+# ---- per-attack precondition predicates ------------------------------------
+
+def beast_exposed(record: ConnectionRecord) -> bool:
+    """CBC-mode under TLS 1.0 or earlier (predictable IVs)."""
+    return (
+        record.established
+        and record.negotiated_mode_class == "CBC"
+        and 0 < _wire(record) <= TLS10.wire
+    )
+
+
+def lucky13_exposed(record: ConnectionRecord) -> bool:
+    """Any CBC-mode negotiation (timing side channel in the MAC check)."""
+    return record.established and record.negotiated_mode_class == "CBC"
+
+
+def rc4_exposed(record: ConnectionRecord) -> bool:
+    """RC4 negotiated: plaintext-recovery biases apply."""
+    return record.established and record.negotiated_mode_class == "RC4"
+
+
+def poodle_exposed(record: ConnectionRecord) -> bool:
+    """SSL 3 with CBC actually negotiated (direct exposure)."""
+    return (
+        record.established
+        and _wire(record) == SSL3.wire
+        and record.negotiated_mode_class == "CBC"
+    )
+
+
+def heartbleed_exposed(record: ConnectionRecord) -> bool:
+    """Heartbeat negotiated: the extension Heartbleed lived in is active."""
+    return record.established and record.heartbeat_negotiated
+
+
+def sweet32_exposed(record: ConnectionRecord) -> bool:
+    """A 64-bit-block cipher negotiated (3DES/DES/IDEA)."""
+    suite = record.suite
+    return record.established and suite is not None and suite.uses_small_block
+
+
+def freak_exposed(record: ConnectionRecord) -> bool:
+    """An export-grade suite actually negotiated."""
+    suite = record.suite
+    return record.established and suite is not None and suite.is_export
+
+
+EXPOSURE_PREDICATES = {
+    "BEAST": beast_exposed,
+    "Lucky13": lucky13_exposed,
+    "RC4": rc4_exposed,
+    "POODLE": poodle_exposed,
+    "Heartbleed": heartbleed_exposed,
+    "Sweet32": sweet32_exposed,
+    "FREAK": freak_exposed,
+}
+
+
+def exposure_series(
+    store: NotaryStore, attack: str
+) -> list[tuple[_dt.date, float]]:
+    """Monthly % of established connections exposed to an attack."""
+    try:
+        predicate = EXPOSURE_PREDICATES[attack]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {attack!r}; choose from {sorted(EXPOSURE_PREDICATES)}"
+        ) from None
+    return [
+        (month, value * 100.0)
+        for month, value in store.monthly_fraction(predicate, within=_ESTABLISHED)
+    ]
+
+
+# ---- reaction quantification -------------------------------------------------
+
+@dataclass(frozen=True)
+class Reaction:
+    """How the ecosystem moved around one disclosure."""
+
+    attack: str
+    disclosed: _dt.date
+    before: float          # exposure 12 months before disclosure (%)
+    at_disclosure: float   # exposure at disclosure (%)
+    after: float           # exposure 12 months after (%)
+    verdict: str           # "fast" | "slow" | "none"
+
+    @property
+    def pre_trend(self) -> float:
+        return self.at_disclosure - self.before
+
+    @property
+    def post_trend(self) -> float:
+        return self.after - self.at_disclosure
+
+
+_REACTION_EVENTS: dict[str, Event] = {
+    "BEAST": BEAST,
+    "Lucky13": LUCKY13,
+    "RC4": RC4_ATTACKS,
+    "POODLE": POODLE,
+    "Heartbleed": HEARTBLEED,
+    "Sweet32": SWEET32,
+}
+
+
+def _value_near(series, on: _dt.date) -> float:
+    return min(series, key=lambda point: abs((point[0] - on).days))[1]
+
+
+def classify_reaction(before: float, at: float, after: float) -> str:
+    """§7.4's taxonomy.
+
+    ``fast``  — exposure more than halves within a year of disclosure;
+    ``slow``  — it declines meaningfully (>15% relative) but less than half;
+    ``none``  — flat or rising.
+    """
+    if at <= 0:
+        return "none"
+    drop = (at - after) / at
+    if drop >= 0.5:
+        return "fast"
+    if drop >= 0.15:
+        return "slow"
+    return "none"
+
+
+def reaction_report(store: NotaryStore) -> list[Reaction]:
+    """Reaction verdicts for every attack inside the store's window."""
+    months = store.months()
+    if not months:
+        return []
+    window_start, window_end = months[0], months[-1]
+    reactions = []
+    for attack, event in _REACTION_EVENTS.items():
+        year = _dt.timedelta(days=365)
+        if not (window_start + year <= event.date <= window_end - year):
+            continue
+        series = exposure_series(store, attack)
+        before = _value_near(series, event.date - year)
+        at = _value_near(series, event.date)
+        after = _value_near(series, event.date + year)
+        reactions.append(
+            Reaction(
+                attack=attack,
+                disclosed=event.date,
+                before=before,
+                at_disclosure=at,
+                after=after,
+                verdict=classify_reaction(before, at, after),
+            )
+        )
+    return reactions

@@ -1,0 +1,179 @@
+"""The fingerprint database and its collision rules (§4).
+
+Each fingerprint maps to a program or library plus a version range.
+The paper's collision policy is implemented exactly:
+
+* a collision between two *different kinds of software* removes the
+  fingerprint — it cannot uniquely identify a client;
+* a collision between a specific software and a *library* resolves to
+  the library ("we assume that the software uses the library" — which
+  is why Chrome on Android is identified as "Android SDK").
+
+The default database is harvested from the client-profile substrate the
+way the paper harvested from BrowserStack and compiled OpenSSL builds:
+by making each known release emit its hellos and fingerprinting them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.clients.population import ClientPopulation
+from repro.clients.profile import ClientRelease
+from repro.core.fingerprint import Fingerprint
+from repro.notary.events import FingerprintFields
+
+
+@dataclass(frozen=True)
+class FingerprintLabel:
+    """What a fingerprint identifies."""
+
+    software: str
+    version_range: str
+    category: str
+    library: str | None = None
+
+    def describes_library(self) -> bool:
+        """True if this label names a TLS library rather than a program."""
+        from repro.clients.profile import CATEGORY_LIBRARIES
+
+        return self.category == CATEGORY_LIBRARIES
+
+
+class FingerprintDatabase:
+    """Fingerprint -> label mapping with the paper's collision rules."""
+
+    def __init__(self) -> None:
+        self._labels: dict[str, FingerprintLabel] = {}
+        self._fingerprints: dict[str, Fingerprint] = {}
+        self._removed: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        return fingerprint.digest in self._labels
+
+    def labels(self) -> dict[str, FingerprintLabel]:
+        """Digest -> label view (copy)."""
+        return dict(self._labels)
+
+    def fingerprints(self) -> list[Fingerprint]:
+        return list(self._fingerprints.values())
+
+    def add(self, fingerprint: Fingerprint, label: FingerprintLabel) -> bool:
+        """Insert with collision resolution; returns True if retained."""
+        digest = fingerprint.digest
+        if digest in self._removed:
+            return False
+        existing = self._labels.get(digest)
+        if existing is None:
+            self._labels[digest] = label
+            self._fingerprints[digest] = fingerprint
+            return True
+        if existing.software == label.software:
+            # Same software, wider version range: merge the range labels.
+            if existing.version_range != label.version_range:
+                merged = FingerprintLabel(
+                    software=existing.software,
+                    version_range=f"{existing.version_range}, {label.version_range}",
+                    category=existing.category,
+                    library=existing.library,
+                )
+                self._labels[digest] = merged
+            return True
+        # Software/library collision: the library label wins.
+        if existing.describes_library() and not label.describes_library():
+            return True
+        if label.describes_library() and not existing.describes_library():
+            self._labels[digest] = label
+            return True
+        # Two different kinds of software: remove the fingerprint.
+        del self._labels[digest]
+        del self._fingerprints[digest]
+        self._removed.add(digest)
+        return False
+
+    def match(self, fields: FingerprintFields | Fingerprint) -> FingerprintLabel | None:
+        """Label for observed fingerprint fields, or None if unknown."""
+        fingerprint = (
+            fields if isinstance(fields, Fingerprint) else Fingerprint.from_fields(fields)
+        )
+        return self._labels.get(fingerprint.digest)
+
+    # ---- summaries ----------------------------------------------------------
+
+    def count_by_category(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for label in self._labels.values():
+            counts[label.category] = counts.get(label.category, 0) + 1
+        return counts
+
+    def coverage(self, records) -> dict[str, float]:
+        """Weighted coverage per category over records with fingerprints.
+
+        Returns category -> fraction of fingerprintable connection weight
+        attributed to that category, plus ``"All"`` for the total — the
+        shape of Table 2's coverage column.
+        """
+        total = 0.0
+        matched: dict[str, float] = {}
+        for record in records:
+            if record.fingerprint is None:
+                continue
+            total += record.weight
+            label = self.match(record.fingerprint)
+            if label is not None:
+                matched[label.category] = matched.get(label.category, 0.0) + record.weight
+        if total <= 0:
+            return {"All": 0.0}
+        out = {category: weight / total for category, weight in matched.items()}
+        out["All"] = sum(matched.values()) / total
+        return out
+
+
+def _release_label(release: ClientRelease) -> FingerprintLabel:
+    software = release.library if release.library == release.family else release.family
+    return FingerprintLabel(
+        software=release.family,
+        version_range=release.version,
+        category=release.category,
+        library=release.library,
+    )
+
+
+def harvest_release(release: ClientRelease, db: FingerprintDatabase) -> int:
+    """Fingerprint every hello variant a release emits; returns #added.
+
+    GREASE-ing clients emit random values per connection, but stripping
+    makes the fingerprint stable, so a single build per TLS 1.3 variant
+    suffices.  Shuffling clients are deliberately *not* harvestable —
+    their fingerprints are unstable by construction (§4.1).
+    """
+    if release.shuffle_suites or not release.in_database:
+        return 0
+    added = 0
+    variants = [False, True] if release.supported_versions else [False]
+    for tls13 in variants:
+        rng = random.Random(0xFDB)
+        hello = release.build_hello(rng=rng, include_tls13=tls13)
+        fingerprint = Fingerprint.from_client_hello(hello)
+        if db.add(fingerprint, _release_label(release)):
+            added += 1
+    return added
+
+
+def build_default_database(
+    population: ClientPopulation | None = None,
+) -> FingerprintDatabase:
+    """Harvest the default population into a database."""
+    if population is None:
+        from repro.clients.population import default_population
+
+        population = default_population()
+    db = FingerprintDatabase()
+    for family in population.families():
+        for release in family.releases:
+            harvest_release(release, db)
+    return db

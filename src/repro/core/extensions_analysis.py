@@ -1,0 +1,80 @@
+"""Extension-deployment analysis — the §9 outlook items.
+
+The paper's conclusion names two analyses its datasets support beyond
+the published figures: the response to the renegotiation attack via the
+renegotiation-info extension (RIE, RFC 5746) and the "very limited take
+up" of Encrypt-then-MAC (RFC 7366) as the Lucky 13 countermeasure.
+Both reduce to the same primitive: the monthly fraction of connections
+where an extension is offered, and where it is actually negotiated
+(offered and acknowledged).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.notary.store import NotaryStore
+from repro.tls.extensions import ExtensionType
+
+
+def offered_series(
+    store: NotaryStore, ext_type: int
+) -> list[tuple[_dt.date, float]]:
+    """Monthly % of connections whose client offered an extension."""
+    code = int(ext_type)
+    return [
+        (month, value * 100.0)
+        for month, value in store.monthly_fraction(
+            lambda r: r.offers_extension(code)
+        )
+    ]
+
+
+def negotiated_series(
+    store: NotaryStore, ext_type: int
+) -> list[tuple[_dt.date, float]]:
+    """Monthly % of established connections that negotiated an extension."""
+    code = int(ext_type)
+    return [
+        (month, value * 100.0)
+        for month, value in store.monthly_fraction(
+            lambda r: r.negotiated_extension(code),
+            within=lambda r: r.established,
+        )
+    ]
+
+
+def rie_deployment(store: NotaryStore) -> dict[str, list[tuple[_dt.date, float]]]:
+    """Renegotiation-info extension deployment (§9)."""
+    return {
+        "RIE offered": offered_series(store, ExtensionType.RENEGOTIATION_INFO),
+        "RIE negotiated": negotiated_series(store, ExtensionType.RENEGOTIATION_INFO),
+    }
+
+
+def encrypt_then_mac_uptake(
+    store: NotaryStore,
+) -> dict[str, list[tuple[_dt.date, float]]]:
+    """Encrypt-then-MAC uptake (§9: "very limited take up")."""
+    return {
+        "EtM offered": offered_series(store, ExtensionType.ENCRYPT_THEN_MAC),
+        "EtM negotiated": negotiated_series(store, ExtensionType.ENCRYPT_THEN_MAC),
+    }
+
+
+def extension_popularity(
+    store: NotaryStore, month: _dt.date, top: int = 12
+) -> list[tuple[str, float]]:
+    """The most-offered extensions in a month, as (name, %) pairs."""
+    weights: dict[int, float] = {}
+    total = 0.0
+    for record in store.records(month):
+        total += record.weight
+        for ext in set(record.client_extensions):
+            weights[ext] = weights.get(ext, 0.0) + record.weight
+    if total <= 0:
+        return []
+    from repro.tls.extensions import Extension
+
+    ranked = sorted(weights.items(), key=lambda kv: -kv[1])[:top]
+    return [(Extension(code).name, weight / total * 100.0) for code, weight in ranked]

@@ -1,0 +1,242 @@
+"""Series generators for every figure in the paper's evaluation.
+
+Each function takes a populated :class:`repro.notary.store.NotaryStore`
+(and, where needed, active-scan data) and returns the figure's series as
+``{label: [(month, percent), ...]}`` — the same rows a plotting script
+would consume.  Established connections form the denominator of the
+"negotiated" figures; all connections form the denominator of the
+"advertised" figures, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import defaultdict
+
+from repro.notary.store import NotaryStore
+from repro.tls.ciphers import KexFamily
+
+Series = dict[str, list[tuple[_dt.date, float]]]
+
+_ESTABLISHED = lambda r: r.established  # noqa: E731
+
+
+def _pct(series):
+    return [(m, v * 100.0) for m, v in series]
+
+
+def fig1_negotiated_versions(store: NotaryStore) -> Series:
+    """Figure 1: negotiated SSL/TLS versions, percent of monthly connections."""
+    out: Series = {}
+    for name in ("SSLv2", "SSLv3", "TLSv10", "TLSv11", "TLSv12", "TLSv13"):
+        out[name] = _pct(
+            store.monthly_fraction(
+                lambda r, n=name: r.negotiated_version == n, _ESTABLISHED
+            )
+        )
+    return out
+
+
+def fig2_negotiated_modes(store: NotaryStore) -> Series:
+    """Figure 2: connections negotiating RC4, CBC, or AEAD suites."""
+    out: Series = {}
+    for mode in ("AEAD", "CBC", "RC4"):
+        out[mode] = _pct(
+            store.monthly_fraction(
+                lambda r, m=mode: r.negotiated_mode_class == m, _ESTABLISHED
+            )
+        )
+    return out
+
+
+def fig3_advertised_modes(store: NotaryStore) -> Series:
+    """Figure 3: clients advertising RC4, DES, 3DES, AEAD (CBC > 99%)."""
+    out: Series = {}
+    for label, tag in (("AEAD", "aead"), ("RC4", "rc4"), ("DES", "des"), ("3DES", "3des"), ("CBC", "cbc")):
+        out[label] = _pct(store.monthly_fraction(lambda r, t=tag: r.advertises(t)))
+    return out
+
+
+def fig4_fingerprint_support(store: NotaryStore) -> Series:
+    """Figure 4: support per distinct monthly fingerprint (not traffic-weighted).
+
+    Only months with fingerprint fields (>= Feb 2014) produce points.
+    """
+    out: Series = {label: [] for label in ("AEAD", "RC4", "DES", "3DES", "CBC")}
+    tag_of = {"AEAD": "aead", "RC4": "rc4", "DES": "des", "3DES": "3des", "CBC": "cbc"}
+    for month in store.months():
+        seen: dict[tuple, frozenset] = {}
+        for record in store.records(month):
+            if record.fingerprint is None:
+                continue
+            seen[record.fingerprint] = record.advertised
+        if not seen:
+            continue
+        for label, tag in tag_of.items():
+            count = sum(1 for advertised in seen.values() if tag in advertised)
+            out[label].append((month, 100.0 * count / len(seen)))
+    return {k: v for k, v in out.items() if v}
+
+
+def fig5_cipher_positions(store: NotaryStore) -> Series:
+    """Figure 5: average relative position of the first suite per class."""
+    out: Series = {}
+    for label, tag in (("AEAD", "aead"), ("CBC", "cbc"), ("RC4", "rc4"), ("DES", "des"), ("3DES", "3des")):
+        series = []
+        for month in store.months():
+            mean = store.weighted_mean(
+                month, lambda r, t=tag: r.positions.get(t)
+            )
+            if mean is not None:
+                series.append((month, mean * 100.0))
+        if series:
+            out[label] = series
+    return out
+
+
+def fig6_rc4_advertised(store: NotaryStore) -> Series:
+    """Figure 6: percent of connections advertising RC4 suites."""
+    return {"RC4 advertised": _pct(store.monthly_fraction(lambda r: r.advertises("rc4")))}
+
+
+def fig7_weak_advertised(store: NotaryStore) -> Series:
+    """Figure 7: clients advertising Export, NULL, or Anonymous suites."""
+    return {
+        "Export": _pct(store.monthly_fraction(lambda r: r.advertises("export"))),
+        "Anonymous": _pct(store.monthly_fraction(lambda r: r.advertises("anon"))),
+        "Null": _pct(store.monthly_fraction(lambda r: r.advertises("null"))),
+    }
+
+
+def fig8_key_exchange(store: NotaryStore) -> Series:
+    """Figure 8: negotiated RSA vs DHE vs ECDHE key exchange."""
+    out: Series = {}
+    for label, family in (("RSA", KexFamily.RSA), ("DHE", KexFamily.DHE), ("ECDHE", KexFamily.ECDHE)):
+        out[label] = _pct(
+            store.monthly_fraction(
+                lambda r, f=family: r.negotiated_kex == f, _ESTABLISHED
+            )
+        )
+    return out
+
+
+def fig9_negotiated_aead(store: NotaryStore) -> Series:
+    """Figure 9: negotiated AEAD breakdown plus the AEAD total."""
+    out: Series = {
+        "AEAD Total": _pct(
+            store.monthly_fraction(
+                lambda r: r.negotiated_mode_class == "AEAD", _ESTABLISHED
+            )
+        )
+    }
+    for label in ("AES128-GCM", "AES256-GCM", "ChaCha20-Poly1305"):
+        out[label] = _pct(
+            store.monthly_fraction(
+                lambda r, a=label: r.negotiated_aead_algorithm == a, _ESTABLISHED
+            )
+        )
+    return out
+
+
+def fig10_advertised_aead(store: NotaryStore) -> Series:
+    """Figure 10: clients advertising AES-GCM, ChaCha20-Poly1305, AES-CCM."""
+    return {
+        "AES128-GCM": _pct(store.monthly_fraction(lambda r: r.advertises("aes128gcm"))),
+        "AES256-GCM": _pct(store.monthly_fraction(lambda r: r.advertises("aes256gcm"))),
+        "ChaCha20-Poly1305": _pct(store.monthly_fraction(lambda r: r.advertises("chacha20"))),
+        "AES-CCM": _pct(store.monthly_fraction(lambda r: r.advertises("aesccm"))),
+    }
+
+
+def tls13_version_mix(store: NotaryStore, month: _dt.date) -> dict[str, float]:
+    """Advertised TLS 1.3 version breakdown for one month (§6.4).
+
+    Returns {version-label: % of supported_versions-bearing weight}.
+    Labels: ``"google-0x7e02"``, ``"draft-NN"``, ``"final"``.
+    """
+    from repro.tls.versions import TLS13, is_tls13_variant
+
+    weights: dict[str, float] = {}
+    total = 0.0
+    for record in store.records(month):
+        if not record.offered_tls13:
+            continue
+        total += record.weight
+        for wire in record.offered_tls13_versions:
+            if not is_tls13_variant(wire):
+                continue
+            if (wire & 0xFF00) == 0x7E00:
+                label = f"google-0x{wire:04x}"
+            elif (wire & 0xFF00) == 0x7F00:
+                label = f"draft-{wire & 0xFF}"
+            else:
+                label = "final"
+            weights[label] = weights.get(label, 0.0) + record.weight
+    if total <= 0:
+        return {}
+    return {label: weight / total * 100.0 for label, weight in weights.items()}
+
+
+def unoffered_choice_series(store: NotaryStore) -> list[tuple[_dt.date, float]]:
+    """Monthly % of connections where the server chose an unoffered suite.
+
+    §7.3's protocol violators: GOST responders and the Interwise export
+    anomaly.  The denominator is all connections with a Server Hello.
+    """
+    return [
+        (month, value * 100.0)
+        for month, value in store.monthly_fraction(
+            lambda r: r.server_chose_unoffered,
+            within=lambda r: r.negotiated_suite is not None,
+        )
+    ]
+
+
+def value_at(series: list[tuple[_dt.date, float]], on: _dt.date) -> float:
+    """Series value at (or nearest to) a date — convenience for benches."""
+    if not series:
+        raise ValueError("empty series")
+    return min(series, key=lambda point: abs((point[0] - on).days))[1]
+
+
+def to_csv(series: Series) -> str:
+    """Render a figure's series as CSV (month column + one per label).
+
+    Months missing from a label's series render as empty cells; the
+    output loads directly into pandas/gnuplot for re-plotting the paper
+    figures.
+    """
+    import csv
+    import io
+
+    months = sorted({m for points in series.values() for m, _ in points})
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["month", *series.keys()])
+    lookups = {label: dict(points) for label, points in series.items()}
+    for month in months:
+        row = [month.isoformat()]
+        for label in series:
+            value = lookups[label].get(month)
+            row.append(f"{value:.4f}" if value is not None else "")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def render_series(series: Series, sample_months=None, width: int = 9) -> str:
+    """Plain-text rendering of a figure's series for bench output."""
+    months = sorted({m for pts in series.values() for m, _ in pts})
+    if sample_months is not None:
+        months = [m for m in months if m in set(sample_months)]
+    lines = []
+    header = "month      " + "".join(f"{label:>{max(width, len(label) + 1)}}" for label in series)
+    lines.append(header)
+    for month in months:
+        cells = []
+        for label, points in series.items():
+            lookup = dict(points)
+            value = lookup.get(month)
+            cell = f"{value:.1f}" if value is not None else "-"
+            cells.append(f"{cell:>{max(width, len(label) + 1)}}")
+        lines.append(month.isoformat() + " " + "".join(cells))
+    return "\n".join(lines)

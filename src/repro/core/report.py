@@ -1,0 +1,109 @@
+"""One-shot study report: every headline number in a single text blob.
+
+``build_report`` runs (or reuses) an :class:`EcosystemModel` and renders
+the paper's §1/§7 summary statements with measured values — the "state
+of the ecosystem" narrative, regenerated from simulation.  The CLI's
+``report`` command and the docs pipeline both consume this.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import io
+
+from repro.core import figures
+from repro.simulation.ecosystem import EcosystemModel
+from repro.simulation.timeline import ATTACK_TIMELINE
+from repro.tls.ciphers import KexFamily
+
+
+def build_report(model: EcosystemModel | None = None) -> str:
+    """Render the end-to-end study summary as plain text."""
+    model = model if model is not None else EcosystemModel()
+    store = model.passive_store()
+    out = io.StringIO()
+    w = out.write
+
+    est = lambda r: r.established  # noqa: E731
+
+    def pct(month: str, predicate, within=est) -> float:
+        return store.fraction(_dt.date.fromisoformat(month), predicate, within) * 100
+
+    w("TLS ECOSYSTEM LONGITUDINAL REPORT (simulated Notary, 2012-2018)\n")
+    w("=" * 66 + "\n\n")
+
+    w("Protocol versions (§1, Figure 1)\n")
+    w(
+        f"  2012: TLS 1.0 carries {pct('2012-02-01', lambda r: r.negotiated_version == 'TLSv10'):.0f}% "
+        "of connections\n"
+    )
+    w(
+        f"  2018: TLS 1.2 carries {pct('2018-02-01', lambda r: r.negotiated_version == 'TLSv12'):.0f}%, "
+        f"TLS 1.0 down to {pct('2018-02-01', lambda r: r.negotiated_version == 'TLSv10'):.1f}%\n"
+    )
+    w(
+        f"  TLS 1.3 (pre-RFC): advertised by {pct('2018-04-01', lambda r: r.offered_tls13, None):.1f}% "
+        f"in Apr 2018, negotiated in {pct('2018-04-01', lambda r: r.negotiated_version == 'TLSv13'):.2f}%\n\n"
+    )
+
+    w("Cipher classes (Figures 2, 3)\n")
+    w(
+        f"  RC4 negotiated: {pct('2013-08-01', lambda r: r.negotiated_mode_class == 'RC4'):.0f}% "
+        f"(Aug 2013) -> {pct('2018-03-01', lambda r: r.negotiated_mode_class == 'RC4'):.2f}% (Mar 2018)\n"
+    )
+    w(
+        f"  AEAD negotiated: {pct('2013-08-01', lambda r: r.negotiated_mode_class == 'AEAD'):.1f}% "
+        f"(Aug 2013) -> {pct('2018-03-01', lambda r: r.negotiated_mode_class == 'AEAD'):.0f}% (Mar 2018)\n"
+    )
+    w(
+        f"  3DES still advertised by {pct('2018-03-01', lambda r: r.advertises('3des'), None):.0f}% "
+        "of clients in 2018 (the cipher of last resort)\n\n"
+    )
+
+    w("Forward secrecy (Figure 8, §6.3.1)\n")
+    rsa = pct("2012-06-01", lambda r: r.negotiated_kex == KexFamily.RSA)
+    ecdhe = pct("2018-03-01", lambda r: r.negotiated_kex == KexFamily.ECDHE)
+    w(f"  RSA key transport: {rsa:.0f}% of 2012 connections\n")
+    w(f"  ECDHE: {ecdhe:.0f}% of 2018 connections\n")
+    x25519 = pct(
+        "2018-02-01",
+        lambda r: r.negotiated_curve == 29,
+        lambda r: r.established and r.negotiated_curve is not None,
+    )
+    w(f"  x25519: {x25519:.0f}% of curve-based connections in Feb 2018\n\n")
+
+    w("Weak options (Figure 7, §5.5, §6.1, §6.2)\n")
+    w(
+        f"  export advertised: {pct('2012-02-01', lambda r: r.advertises('export'), None):.1f}% (2012) "
+        f"-> {pct('2018-02-01', lambda r: r.advertises('export'), None):.1f}% (2018)\n"
+    )
+    w(
+        f"  NULL negotiated 2018: {pct('2018-02-01', lambda r: r.suite is not None and r.suite.is_null_encryption):.2f}% "
+        "(GRID data movement)\n"
+    )
+    w(
+        f"  anonymous negotiated 2018: {pct('2018-02-01', lambda r: r.suite is not None and r.suite.is_anonymous and not r.suite.is_null_null):.2f}% "
+        "(Nagios probes)\n\n"
+    )
+
+    w("Attack timeline\n")
+    for event in ATTACK_TIMELINE:
+        w(f"  {event.date}  {event.name}\n")
+    w("\n")
+
+    db = model.database()
+    records = [r for r in store.records() if r.fingerprint is not None]
+    coverage = db.coverage(records)
+    w("Fingerprinting (§4)\n")
+    w(f"  database size: {len(db)} labelled fingerprints\n")
+    w(f"  coverage of fingerprintable connections: {coverage['All'] * 100:.1f}%\n")
+    top = sorted(
+        ((c, v) for c, v in coverage.items() if c != "All"),
+        key=lambda kv: -kv[1],
+    )[:3]
+    w(
+        "  top categories: "
+        + ", ".join(f"{c} {v * 100:.1f}%" for c, v in top)
+        + "\n"
+    )
+    return out.getvalue()

@@ -1,0 +1,98 @@
+"""Fingerprint-database (de)serialization.
+
+The paper released its fingerprint corpus as a public repository
+(github.com/platonK/tls_fingerprints); this module provides the
+equivalent interchange format — a JSON document mapping each
+fingerprint's canonical form to its label — so databases can be
+shipped, diffed and merged independently of the client substrate that
+generated them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.database import FingerprintDatabase, FingerprintLabel
+from repro.core.fingerprint import Fingerprint
+
+FORMAT_VERSION = 1
+
+
+def _fingerprint_to_json(fp: Fingerprint) -> dict:
+    return {
+        "cipher_suites": list(fp.fields.cipher_suites),
+        "extensions": list(fp.fields.extensions),
+        "curves": list(fp.fields.curves),
+        "ec_point_formats": list(fp.fields.ec_point_formats),
+    }
+
+
+def _fingerprint_from_json(data: dict) -> Fingerprint:
+    return Fingerprint.from_raw(
+        cipher_suites=data["cipher_suites"],
+        extensions=data["extensions"],
+        curves=data.get("curves", ()),
+        ec_point_formats=data.get("ec_point_formats", ()),
+    )
+
+
+def dumps(db: FingerprintDatabase) -> str:
+    """Serialize a database to a JSON string (digest-sorted, stable)."""
+    labels = db.labels()
+    fingerprints = {fp.digest: fp for fp in db.fingerprints()}
+    entries = []
+    for digest in sorted(labels):
+        label = labels[digest]
+        entries.append(
+            {
+                "digest": digest,
+                "fingerprint": _fingerprint_to_json(fingerprints[digest]),
+                "software": label.software,
+                "version_range": label.version_range,
+                "category": label.category,
+                "library": label.library,
+            }
+        )
+    return json.dumps(
+        {"format_version": FORMAT_VERSION, "fingerprints": entries}, indent=2
+    )
+
+
+def loads(text: str) -> FingerprintDatabase:
+    """Parse a database from its JSON form.
+
+    Collision rules apply on load, so merging two dumps by
+    concatenating their entry lists behaves exactly like harvesting
+    from both sources.
+    """
+    document = json.loads(text)
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported fingerprint-db format version: {version!r}")
+    db = FingerprintDatabase()
+    for entry in document["fingerprints"]:
+        fingerprint = _fingerprint_from_json(entry["fingerprint"])
+        if entry["digest"] != fingerprint.digest:
+            raise ValueError(
+                f"digest mismatch for {entry['software']}: "
+                f"{entry['digest']} != {fingerprint.digest}"
+            )
+        label = FingerprintLabel(
+            software=entry["software"],
+            version_range=entry["version_range"],
+            category=entry["category"],
+            library=entry.get("library"),
+        )
+        db.add(fingerprint, label)
+    return db
+
+
+def save(db: FingerprintDatabase, path: str | Path) -> None:
+    """Write a database to a JSON file."""
+    Path(path).write_text(dumps(db), encoding="utf-8")
+
+
+def load(path: str | Path) -> FingerprintDatabase:
+    """Read a database from a JSON file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

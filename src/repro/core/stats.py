@@ -1,0 +1,195 @@
+"""Fingerprint lifetime statistics (§4.1).
+
+Computed over Monte-Carlo records, which carry exact observation days:
+for every distinct fingerprint, the duration between its first and last
+sighting; the population of single-day fingerprints (unstable cipher
+orders); and the long-lived fingerprints responsible for a dispropor-
+tionate connection share.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from dataclasses import dataclass
+
+from repro.notary.store import NotaryStore
+
+
+@dataclass(frozen=True)
+class FingerprintLifetime:
+    """Sighting window of one fingerprint."""
+
+    first_seen: _dt.date
+    last_seen: _dt.date
+    connections: float
+
+    @property
+    def duration_days(self) -> int:
+        """Inclusive sighting duration: a single-day fingerprint lasts 1."""
+        return (self.last_seen - self.first_seen).days + 1
+
+
+@dataclass(frozen=True)
+class DurationSummary:
+    """§4.1's summary statistics."""
+
+    fingerprints: int
+    max_days: int
+    median_days: float
+    mean_days: float
+    q3_days: float
+    std_days: float
+    single_day: int
+    single_day_connections: float
+    long_lived: int
+    long_lived_connections_share: float
+    total_connections: float
+
+
+def fingerprint_lifetimes(store: NotaryStore) -> dict[str, FingerprintLifetime]:
+    """First/last sighting per fingerprint digest (day-resolution records)."""
+    from repro.core.fingerprint import Fingerprint
+
+    windows: dict[str, FingerprintLifetime] = {}
+    for record in store.records():
+        if record.fingerprint is None or record.day is None:
+            continue
+        digest = Fingerprint.from_fields(record.fingerprint).digest
+        existing = windows.get(digest)
+        if existing is None:
+            windows[digest] = FingerprintLifetime(record.day, record.day, record.weight)
+        else:
+            windows[digest] = FingerprintLifetime(
+                first_seen=min(existing.first_seen, record.day),
+                last_seen=max(existing.last_seen, record.day),
+                connections=existing.connections + record.weight,
+            )
+    return windows
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        raise ValueError("no values")
+    index = q * (len(sorted_values) - 1)
+    low = int(math.floor(index))
+    high = int(math.ceil(index))
+    if low == high:
+        return sorted_values[low]
+    frac = index - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+def duration_summary(
+    store: NotaryStore, long_lived_days: int = 1200
+) -> DurationSummary:
+    """§4.1's statistics over a Monte-Carlo store."""
+    windows = fingerprint_lifetimes(store)
+    if not windows:
+        raise ValueError("store has no day-resolution fingerprint records")
+    durations = sorted(float(w.duration_days) for w in windows.values())
+    total_connections = sum(w.connections for w in windows.values())
+    mean = sum(durations) / len(durations)
+    variance = sum((d - mean) ** 2 for d in durations) / len(durations)
+    single = [w for w in windows.values() if w.duration_days == 1]
+    long_lived = [w for w in windows.values() if w.duration_days >= long_lived_days]
+    return DurationSummary(
+        fingerprints=len(windows),
+        max_days=int(durations[-1]),
+        median_days=_quantile(durations, 0.5),
+        mean_days=mean,
+        q3_days=_quantile(durations, 0.75),
+        std_days=math.sqrt(variance),
+        single_day=len(single),
+        single_day_connections=sum(w.connections for w in single),
+        long_lived=len(long_lived),
+        long_lived_connections_share=(
+            sum(w.connections for w in long_lived) / total_connections
+            if total_connections
+            else 0.0
+        ),
+        total_connections=total_connections,
+    )
+
+
+def long_lived_software(
+    store: NotaryStore, database, min_days: int = 1200, top: int = 8
+) -> list[tuple[str, float]]:
+    """Identified software behind the longest-lived fingerprints (§4.1).
+
+    The paper identified 343 of its 1,203 >=1,200-day fingerprints, led
+    by "iPad Air (library), Safari, Android SDK, as well as Chrome,
+    Firefox, and the MacOs Mail App".  Returns (software, connection
+    share among long-lived traffic) pairs, labeled ones only, sorted by
+    share.
+    """
+    from repro.core.fingerprint import Fingerprint
+
+    windows = fingerprint_lifetimes(store)
+    long_digests = {
+        digest for digest, w in windows.items() if w.duration_days >= min_days
+    }
+    if not long_digests:
+        return []
+    weights: dict[str, float] = {}
+    total = 0.0
+    for record in store.records():
+        if record.fingerprint is None or record.day is None:
+            continue
+        fingerprint = Fingerprint.from_fields(record.fingerprint)
+        if fingerprint.digest not in long_digests:
+            continue
+        total += record.weight
+        label = database.match(fingerprint)
+        if label is not None:
+            weights[label.software] = weights.get(label.software, 0.0) + record.weight
+    if total <= 0:
+        return []
+    ranked = sorted(weights.items(), key=lambda kv: -kv[1])[:top]
+    return [(software, weight / total) for software, weight in ranked]
+
+
+def most_common_unlabeled_share(store: NotaryStore, database) -> float:
+    """Traffic share of the single most common *unlabeled* fingerprint.
+
+    §4.0.1: "The most common unlabeled fingerprint is responsible for
+    only 1% of remaining traffic" — the diminishing-returns argument
+    against harvesting ever more fingerprints.  The share is relative to
+    the unlabeled traffic (the "remaining" traffic in the paper's words).
+    """
+    from repro.core.fingerprint import Fingerprint
+
+    weights: dict[str, float] = {}
+    unlabeled_total = 0.0
+    for record in store.records():
+        if record.fingerprint is None:
+            continue
+        fingerprint = Fingerprint.from_fields(record.fingerprint)
+        if database.match(fingerprint) is not None:
+            continue
+        unlabeled_total += record.weight
+        weights[fingerprint.digest] = weights.get(fingerprint.digest, 0.0) + record.weight
+    if unlabeled_total <= 0:
+        return 0.0
+    return max(weights.values()) / unlabeled_total
+
+
+def top_fingerprint_concentration(store: NotaryStore, top: int = 10) -> float:
+    """Connection share of the ``top`` most common fingerprints (§4.0.1).
+
+    Works on any store whose records carry fingerprints (weights count).
+    """
+    from repro.core.fingerprint import Fingerprint
+
+    weights: dict[str, float] = {}
+    total = 0.0
+    for record in store.records():
+        if record.fingerprint is None:
+            continue
+        digest = Fingerprint.from_fields(record.fingerprint).digest
+        weights[digest] = weights.get(digest, 0.0) + record.weight
+        total += record.weight
+    if total <= 0:
+        return 0.0
+    ranked = sorted(weights.values(), reverse=True)
+    return sum(ranked[:top]) / total

@@ -1,0 +1,185 @@
+"""Row generators for every table in the paper.
+
+Tables 3-6 are derived by diffing consecutive releases of each browser
+family — the same information the paper compiled from release notes —
+so the tests can assert our release histories reproduce the published
+counts exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clients import chrome, firefox, ie, opera, safari
+from repro.clients.profile import ClientFamily, ClientRelease
+from repro.core.database import FingerprintDatabase
+from repro.tls.versions import release_date_table
+
+
+def table1_version_dates() -> list[tuple[str, str]]:
+    """Table 1: release dates of all SSL/TLS versions."""
+    return release_date_table()
+
+
+def table2_fingerprint_summary(
+    db: FingerprintDatabase, records
+) -> list[tuple[str, int, float]]:
+    """Table 2 rows: (category, #fingerprints, coverage %), plus All."""
+    counts = db.count_by_category()
+    coverage = db.coverage(records)
+    rows = [
+        (category, counts.get(category, 0), coverage.get(category, 0.0) * 100.0)
+        for category in sorted(counts, key=lambda c: -coverage.get(c, 0.0))
+    ]
+    rows.append(("All", len(db), coverage.get("All", 0.0) * 100.0))
+    return rows
+
+
+@dataclass(frozen=True)
+class SuiteCountChange:
+    """One row of Tables 3/4/5: a change in a browser's suite counts."""
+
+    browser: str
+    version: str
+    date: str
+    before: int
+    after: int
+    note: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        base = f"{self.browser:<8} {self.version:<6} {self.date}  {self.before:>2} -> {self.after:<2}"
+        return f"{base}  {self.note}" if self.note else base
+
+
+_BROWSER_FAMILIES = (chrome, firefox, opera, safari, ie)
+
+
+def _families() -> list[ClientFamily]:
+    return [module.family() for module in _BROWSER_FAMILIES]
+
+
+def _count_changes(predicate, note_for=None) -> list[SuiteCountChange]:
+    rows: list[SuiteCountChange] = []
+    for family in _families():
+        previous: ClientRelease | None = None
+        for release in family.releases:
+            count = release.count_suites(predicate)
+            if previous is not None:
+                prev_count = previous.count_suites(predicate)
+                if count != prev_count:
+                    note = note_for(previous, release) if note_for else ""
+                    rows.append(
+                        SuiteCountChange(
+                            browser=family.name,
+                            version=release.version,
+                            date=release.released.isoformat(),
+                            before=prev_count,
+                            after=count,
+                            note=note,
+                        )
+                    )
+            previous = release
+    return rows
+
+
+def table3_cbc_changes() -> list[SuiteCountChange]:
+    """Table 3: changes in the number of CBC suites offered by browsers."""
+    return _count_changes(lambda s: s.is_cbc)
+
+
+def table4_rc4_changes() -> list[SuiteCountChange]:
+    """Table 4: changes in RC4 suite support, with policy annotations.
+
+    Policy-only changes (Firefox's fallback-only and whitelist-only
+    steps) are emitted as extra rows even though the default hello's
+    count does not change at those releases.
+    """
+    rows = _count_changes(
+        lambda s: s.is_rc4,
+        note_for=lambda prev, cur: {
+            "fallback_only": "fallback only",
+            "whitelist_only": "whitelist only",
+            "removed": "removed completely",
+        }.get(cur.rc4_policy, ""),
+    )
+    # Policy transitions without a count change.
+    for family in _families():
+        previous: ClientRelease | None = None
+        for release in family.releases:
+            if (
+                previous is not None
+                and release.rc4_policy != previous.rc4_policy
+                and release.count_suites(lambda s: s.is_rc4)
+                == previous.count_suites(lambda s: s.is_rc4)
+            ):
+                rows.append(
+                    SuiteCountChange(
+                        browser=family.name,
+                        version=release.version,
+                        date=release.released.isoformat(),
+                        before=previous.count_suites(lambda s: s.is_rc4),
+                        after=release.count_suites(lambda s: s.is_rc4),
+                        note={
+                            "fallback_only": "fallback only",
+                            "whitelist_only": "whitelist only",
+                            "removed": "removed completely",
+                        }.get(release.rc4_policy, release.rc4_policy),
+                    )
+                )
+            previous = release
+    rows.sort(key=lambda r: (r.browser, r.date))
+    return rows
+
+
+def table5_3des_changes() -> list[SuiteCountChange]:
+    """Table 5: changes in the number of 3DES suites offered by browsers."""
+    return _count_changes(lambda s: s.is_3des)
+
+
+@dataclass(frozen=True)
+class ProtocolSupportChange:
+    """One row of Table 6: a browser protocol-support milestone."""
+
+    browser: str
+    version: str
+    date: str
+    change: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.browser:<8} {self.version:<6} {self.date}  {self.change}"
+
+
+def table6_protocol_support() -> list[ProtocolSupportChange]:
+    """Table 6: browser TLS version support timeline."""
+    from repro.tls.versions import TLS11, TLS12, version_by_wire
+
+    rows: list[ProtocolSupportChange] = []
+    for family in _families():
+        previous: ClientRelease | None = None
+        for release in family.releases:
+            changes: list[str] = []
+            if previous is not None:
+                if release.max_version > previous.max_version:
+                    new_versions = [
+                        version_by_wire(w).pretty
+                        for w in (TLS11.wire, TLS12.wire)
+                        if previous.max_version < w <= release.max_version
+                    ]
+                    if new_versions:
+                        changes.append("/".join(v.split()[-1] for v in new_versions))
+                        changes[-1] = "TLS " + changes[-1] + " supported"
+                if previous.ssl3_fallback and not release.ssl3_fallback:
+                    changes.append("SSL 3 fallback removed")
+                if not previous.supported_versions and release.supported_versions:
+                    changes.append("TLS 1.3 supported")
+            for change in changes:
+                rows.append(
+                    ProtocolSupportChange(
+                        browser=family.name,
+                        version=release.version,
+                        date=release.released.isoformat(),
+                        change=change,
+                    )
+                )
+            previous = release
+    return rows

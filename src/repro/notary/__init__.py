@@ -1,0 +1,17 @@
+"""Passive measurement substrate: the Notary monitor, store and generator."""
+
+from repro.notary.events import ConnectionRecord, FingerprintFields
+from repro.notary.generator import TrafficGenerator
+from repro.notary.monitor import FINGERPRINT_FIELDS_SINCE, PassiveMonitor
+from repro.notary.store import NotaryStore, month_of, month_range
+
+__all__ = [
+    "ConnectionRecord",
+    "FingerprintFields",
+    "TrafficGenerator",
+    "PassiveMonitor",
+    "FINGERPRINT_FIELDS_SINCE",
+    "NotaryStore",
+    "month_of",
+    "month_range",
+]

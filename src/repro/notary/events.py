@@ -1,0 +1,247 @@
+"""Connection records: what the passive monitor stores per observation.
+
+A :class:`ConnectionRecord` is the Notary's unit of data — the paper's
+dataset "focuses on connections instead of servers" (§3.1).  Records
+carry a ``weight`` so the same type works for Monte-Carlo samples
+(weight 1) and expectation-mode aggregates (fractional weights).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from repro.tls.ciphers import REGISTRY, KexFamily
+from repro.tls.extensions import ExtensionType
+from repro.tls.grease import strip_grease
+from repro.tls.handshake import HandshakeResult
+from repro.tls.messages import ClientHello
+
+# Advertisement tags computed once per hello (Figures 3, 6, 7, 10).
+_TAG_PREDICATES = {
+    "rc4": lambda s: s.is_rc4,
+    "cbc": lambda s: s.is_cbc,
+    "aead": lambda s: s.is_aead,
+    "des": lambda s: s.is_des,
+    "3des": lambda s: s.is_3des,
+    "export": lambda s: s.is_export,
+    "anon": lambda s: s.is_anonymous,
+    "null": lambda s: s.is_null_encryption,
+    "null_null": lambda s: s.is_null_null,
+    "fs": lambda s: s.forward_secret,
+    "aes128gcm": lambda s: s.aead_algorithm == "AES128-GCM",
+    "aes256gcm": lambda s: s.aead_algorithm == "AES256-GCM",
+    "chacha20": lambda s: s.aead_algorithm == "ChaCha20-Poly1305",
+    "aesccm": lambda s: s.is_aead and s.aead_algorithm and "CCM" in s.aead_algorithm,
+}
+
+# Relative-position classes for Figure 5.
+_POSITION_CLASSES = ("aead", "cbc", "rc4", "des", "3des")
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=8192)
+def advertisement_tags(hello: ClientHello) -> frozenset[str]:
+    """Tags for every suite class the client advertises.
+
+    Cached: expectation mode re-observes the same hello object for every
+    (month, server) pair.
+    """
+    suites = [s for s in hello.known_suites() if not s.scsv]
+    tags = {
+        tag
+        for tag, predicate in _TAG_PREDICATES.items()
+        if any(predicate(s) for s in suites)
+    }
+    return frozenset(tags)
+
+
+@functools.lru_cache(maxsize=8192)
+def relative_positions(hello: ClientHello) -> dict[str, float]:
+    """Relative position (0 head, 1 tail) of the first suite per class.
+
+    Cached like :func:`advertisement_tags`; callers must not mutate the
+    returned dict.
+    """
+    positions: dict[str, float] = {}
+    for tag in _POSITION_CLASSES:
+        predicate = _TAG_PREDICATES[tag]
+        rel = hello.relative_position(lambda s, p=predicate: p(s) and not s.scsv)
+        if rel is not None:
+            positions[tag] = rel
+    return positions
+
+
+@functools.lru_cache(maxsize=8192)
+def _suite_count(hello: ClientHello) -> int:
+    return len([s for s in hello.known_suites() if not s.scsv])
+
+
+@dataclass(frozen=True)
+class FingerprintFields:
+    """The four Client Hello fields the paper fingerprints (§4),
+    GREASE-stripped, wire order preserved."""
+
+    cipher_suites: tuple[int, ...]
+    extensions: tuple[int, ...]
+    curves: tuple[int, ...]
+    ec_point_formats: tuple[int, ...]
+
+    @classmethod
+    def from_hello(cls, hello: ClientHello) -> "FingerprintFields":
+        return _fingerprint_fields(hello)
+
+
+@functools.lru_cache(maxsize=8192)
+def _fingerprint_fields(hello: ClientHello) -> "FingerprintFields":
+    return FingerprintFields(
+        cipher_suites=strip_grease(hello.cipher_suites),
+        extensions=strip_grease(hello.extension_types()),
+        curves=strip_grease(hello.supported_groups),
+        ec_point_formats=tuple(hello.ec_point_formats),
+    )
+
+
+@dataclass(frozen=True)
+class ConnectionRecord:
+    """One observed (or expectation-weighted) TLS connection."""
+
+    month: _dt.date
+    weight: float
+    # Client-side ground truth (used for labeling validation; the
+    # fingerprint matcher does not read these).
+    client_family: str
+    client_version: str
+    client_category: str
+    client_in_database: bool
+    # Client Hello observables.
+    fingerprint: FingerprintFields | None
+    advertised: frozenset[str]
+    positions: dict[str, float]
+    suite_count: int
+    offered_tls13: bool
+    offered_tls13_versions: tuple[int, ...]
+    # Server response observables.
+    established: bool
+    negotiated_version: str | None
+    negotiated_wire: int | None
+    negotiated_suite: int | None
+    negotiated_curve: int | None
+    heartbeat_negotiated: bool
+    server_chose_unoffered: bool
+    # Exact observation day (Monte-Carlo mode); month granularity
+    # otherwise.  §4.1's duration statistics read this field.
+    day: _dt.date | None = None
+    # Extension types offered by the client and echoed by the server —
+    # the raw material for the §9 outlook analyses (RIE deployment,
+    # Encrypt-then-MAC uptake).  GREASE stripped.
+    client_extensions: tuple[int, ...] = ()
+    server_extensions: tuple[int, ...] = ()
+    # Destination metadata: the archetype the connection terminated at
+    # and the TCP port — the paper repeatedly identifies endpoints this
+    # way ("the port number suggests Nagios servers", §5.5; "Splunk
+    # servers on port 9997", §6.3.1).
+    server_profile: str = ""
+    server_port: int | None = None
+
+    # ---- derived helpers --------------------------------------------------
+
+    def advertises(self, tag: str) -> bool:
+        return tag in self.advertised
+
+    def offers_extension(self, ext_type: int) -> bool:
+        return int(ext_type) in self.client_extensions
+
+    def negotiated_extension(self, ext_type: int) -> bool:
+        """Extension offered by the client and acknowledged by the server."""
+        return (
+            int(ext_type) in self.client_extensions
+            and int(ext_type) in self.server_extensions
+        )
+
+    @property
+    def suite(self):
+        if self.negotiated_suite is None:
+            return None
+        return REGISTRY.get(self.negotiated_suite)
+
+    @property
+    def negotiated_mode_class(self) -> str | None:
+        suite = self.suite
+        return suite.mode_class if suite else None
+
+    @property
+    def negotiated_kex(self) -> KexFamily | None:
+        suite = self.suite
+        return suite.kex_family if suite else None
+
+    @property
+    def negotiated_aead_algorithm(self) -> str | None:
+        suite = self.suite
+        return suite.aead_algorithm if suite else None
+
+    @property
+    def forward_secret(self) -> bool:
+        suite = self.suite
+        return bool(suite and suite.forward_secret)
+
+
+def make_record(
+    month: _dt.date,
+    weight: float,
+    hello: ClientHello,
+    result: HandshakeResult,
+    client_family: str,
+    client_version: str,
+    client_category: str,
+    client_in_database: bool,
+    record_fingerprint: bool,
+    day: _dt.date | None = None,
+    server_profile: str = "",
+    server_port: int | None = None,
+) -> ConnectionRecord:
+    """Build a record from a handshake observation.
+
+    ``record_fingerprint`` models the Notary's Feb-2014 cutover: the
+    fields needed for fingerprinting only exist from then on (§4.0.1).
+    """
+    version = result.version
+    offered = strip_grease(hello.supported_versions)
+    negotiated_suite = (
+        result.server_hello.cipher_suite if result.server_hello is not None else None
+    )
+    return ConnectionRecord(
+        month=month,
+        weight=weight,
+        client_family=client_family,
+        client_version=client_version,
+        client_category=client_category,
+        client_in_database=client_in_database,
+        fingerprint=FingerprintFields.from_hello(hello) if record_fingerprint else None,
+        advertised=advertisement_tags(hello),
+        positions=relative_positions(hello),
+        suite_count=_suite_count(hello),
+        offered_tls13=bool(offered),
+        offered_tls13_versions=offered,
+        established=result.established,
+        negotiated_version=version.name if version else None,
+        negotiated_wire=result.version_wire,
+        negotiated_suite=negotiated_suite,
+        negotiated_curve=result.curve,
+        heartbeat_negotiated=result.heartbeat_negotiated,
+        server_chose_unoffered=bool(
+            result.server_hello is not None
+            and negotiated_suite not in strip_grease(hello.cipher_suites)
+        ),
+        day=day,
+        client_extensions=strip_grease(hello.extension_types()),
+        server_extensions=(
+            strip_grease(result.server_hello.extension_types())
+            if result.server_hello is not None
+            else ()
+        ),
+        server_profile=server_profile,
+        server_port=server_port,
+    )

@@ -1,0 +1,164 @@
+"""The passive monitor: a Zeek-style observer of TLS handshakes.
+
+The monitor sees a Client Hello and the server's response, extracts
+protocol metadata, and appends a :class:`ConnectionRecord` to its store
+— the same pipeline the ICSI SSL Notary runs on top of Bro/Zeek (§3.1).
+It never inspects the client object itself, only wire-visible data
+(labels are carried through for ground-truth validation but are not
+consulted by any analysis that the paper could not have run).
+
+Two entry points: :meth:`PassiveMonitor.observe` takes parsed message
+objects (the simulation path), :meth:`PassiveMonitor.observe_wire`
+takes raw record bytes the way a tap would deliver them — it parses
+both flights, tolerates malformed data ("best effort", §3.1), and
+recognizes SSL 2 first flights by sniffing.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.notary.events import ConnectionRecord, make_record
+from repro.notary.store import NotaryStore, month_of
+from repro.tls.handshake import HandshakeResult
+from repro.tls.messages import ClientHello
+
+#: When the Notary gained the fields needed for fingerprinting (§4.0.1).
+FINGERPRINT_FIELDS_SINCE = _dt.date(2014, 2, 1)
+
+
+class PassiveMonitor:
+    """Observes handshakes and accumulates connection records."""
+
+    def __init__(
+        self,
+        store: NotaryStore | None = None,
+        fingerprint_fields_since: _dt.date = FINGERPRINT_FIELDS_SINCE,
+    ) -> None:
+        self.store = store if store is not None else NotaryStore()
+        self.fingerprint_fields_since = fingerprint_fields_since
+
+    def observe(
+        self,
+        day: _dt.date,
+        hello: ClientHello,
+        result: HandshakeResult,
+        weight: float = 1.0,
+        client_family: str = "unknown",
+        client_version: str = "",
+        client_category: str = "",
+        client_in_database: bool = False,
+        exact_day: bool = False,
+        server_profile: str = "",
+        server_port: int | None = None,
+    ) -> ConnectionRecord:
+        """Record one handshake observation; returns the stored record.
+
+        ``exact_day`` keeps per-day resolution (Monte-Carlo sampling);
+        expectation mode stores month granularity only.
+        """
+        record = make_record(
+            month=month_of(day),
+            day=day if exact_day else None,
+            server_profile=server_profile,
+            server_port=server_port,
+            weight=weight,
+            hello=hello,
+            result=result,
+            client_family=client_family,
+            client_version=client_version,
+            client_category=client_category,
+            client_in_database=client_in_database,
+            record_fingerprint=day >= self.fingerprint_fields_since,
+        )
+        self.store.add(record)
+        return record
+
+    def observe_wire(
+        self,
+        day: _dt.date,
+        client_flight: bytes,
+        server_flight: bytes | None = None,
+        weight: float = 1.0,
+        server_profile: str = "",
+        server_port: int | None = None,
+    ) -> ConnectionRecord | None:
+        """Record a connection from raw first-flight bytes.
+
+        Parses the client's record (TLS Client Hello, or an SSL 2
+        CLIENT-HELLO recognized by sniffing) and, when present, the
+        server's record.  Malformed flights are dropped silently —
+        §3.1's "best effort" collection — and the method returns None.
+        """
+        from repro.tls.ssl2 import Ssl2DecodeError, decode_client_hello as decode_ssl2
+        from repro.tls.ssl2 import looks_like_ssl2
+        from repro.tls.wire import (
+            DecodeError,
+            parse_client_hello_record,
+            parse_server_hello_record,
+        )
+
+        if looks_like_ssl2(client_flight):
+            try:
+                ssl2_hello = decode_ssl2(client_flight)
+            except Ssl2DecodeError:
+                return None
+            record = self._ssl2_record(
+                day, ssl2_hello, weight, server_profile, server_port
+            )
+            self.store.add(record)
+            return record
+
+        try:
+            hello = parse_client_hello_record(client_flight)
+        except DecodeError:
+            return None
+
+        server_hello = None
+        if server_flight is not None:
+            try:
+                server_hello = parse_server_hello_record(server_flight)
+            except DecodeError:
+                server_hello = None
+        result = HandshakeResult(client_hello=hello, server_hello=server_hello)
+        return self.observe(
+            day=day,
+            hello=hello,
+            result=result,
+            weight=weight,
+            server_profile=server_profile,
+            server_port=server_port,
+        )
+
+    def _ssl2_record(
+        self, day, ssl2_hello, weight, server_profile, server_port
+    ) -> ConnectionRecord:
+        tags = {"rc4"} if any(
+            kind in (0x010080, 0x020080) for kind in ssl2_hello.cipher_kinds
+        ) else set()
+        if ssl2_hello.offers_export:
+            tags.add("export")
+        return ConnectionRecord(
+            month=month_of(day),
+            weight=weight,
+            client_family="unknown",
+            client_version="",
+            client_category="",
+            client_in_database=False,
+            fingerprint=None,
+            advertised=frozenset(tags),
+            positions={},
+            suite_count=len(ssl2_hello.cipher_kinds),
+            offered_tls13=False,
+            offered_tls13_versions=(),
+            established=True,
+            negotiated_version="SSLv2",
+            negotiated_wire=0x0002,
+            negotiated_suite=None,
+            negotiated_curve=None,
+            heartbeat_negotiated=False,
+            server_chose_unoffered=False,
+            server_profile=server_profile,
+            server_port=server_port,
+            day=day,
+        )

@@ -1,0 +1,110 @@
+"""Collection-quality artifacts: outages, packet drops, best effort.
+
+§3.1: the Notary rides on operational networks and "must accept
+occasional outages, packet drops (e.g., due to CPU overload) and
+misconfigurations ... we take what we get but generally cannot
+quantify what we miss", yet the paper argues the aggregate remains
+representative.  This module makes both halves concrete:
+
+* degradation operators that thin a store the way real artifacts would
+  (whole-month outages, uniform packet loss, biased loss against large
+  handshakes), and
+* a robustness check comparing an analysis on the degraded store
+  against the clean one — the representativeness claim, testable.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import replace
+
+from repro.notary.events import ConnectionRecord
+from repro.notary.store import NotaryStore, month_of
+
+
+def apply_uniform_loss(
+    store: NotaryStore, loss: float, rng: random.Random
+) -> NotaryStore:
+    """Drop a uniform fraction of observations (CPU-overload drops).
+
+    Expectation-mode records (fractional weights) are thinned by weight
+    scaling with multiplicative jitter; unit-weight samples are dropped
+    Bernoulli-style.
+    """
+    if not 0.0 <= loss < 1.0:
+        raise ValueError("loss must be in [0, 1)")
+    degraded = NotaryStore()
+    for record in store.records():
+        if record.weight == 1.0:
+            if rng.random() < loss:
+                continue
+            degraded.add(record)
+        else:
+            jitter = 1.0 + rng.uniform(-0.1, 0.1)
+            kept = record.weight * (1.0 - loss) * jitter
+            if kept > 0:
+                degraded.add(replace(record, weight=kept))
+    return degraded
+
+
+def apply_outage(store: NotaryStore, month: _dt.date) -> NotaryStore:
+    """Remove an entire month — a site outage."""
+    target = month_of(month)
+    degraded = NotaryStore()
+    for record in store.records():
+        if record.month == target:
+            continue
+        degraded.add(record)
+    return degraded
+
+
+def apply_biased_loss(
+    store: NotaryStore, loss: float, rng: random.Random, threshold: int = 25
+) -> NotaryStore:
+    """Drop observations of *large* hellos preferentially.
+
+    Big cipher lists mean bigger handshakes, which are likelier to be
+    cut by per-packet sampling — a bias that, unlike uniform loss, can
+    distort advertisement statistics.  Exists so tests can demonstrate
+    which artifacts the aggregate is and is not robust to.
+    """
+    if not 0.0 <= loss < 1.0:
+        raise ValueError("loss must be in [0, 1)")
+    degraded = NotaryStore()
+    for record in store.records():
+        is_large = record.suite_count >= threshold
+        effective = loss if is_large else 0.0
+        if record.weight == 1.0:
+            if rng.random() < effective:
+                continue
+            degraded.add(record)
+        else:
+            kept = record.weight * (1.0 - effective)
+            if kept > 0:
+                degraded.add(replace(record, weight=kept))
+    return degraded
+
+
+def robustness_gap(
+    clean: NotaryStore,
+    degraded: NotaryStore,
+    predicate,
+    within=None,
+) -> float:
+    """Largest monthly deviation (in fraction points) of a metric.
+
+    The §3.1 representativeness claim quantified: for months present in
+    both stores, how far does the degraded store's fraction stray from
+    the clean one's?
+    """
+    months = [m for m in clean.months() if degraded.total_weight(m) > 0]
+    if not months:
+        raise ValueError("no overlapping months with data")
+    return max(
+        abs(
+            clean.fraction(m, predicate, within)
+            - degraded.fraction(m, predicate, within)
+        )
+        for m in months
+    )

@@ -1,0 +1,113 @@
+"""The Notary store: monthly-aggregated connection records.
+
+The analysis layer reads everything through this store.  All percentage
+series are weight-based: monthly fractions of connection weight matching
+a predicate, mirroring the paper's "percent monthly connections" axes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import defaultdict
+from collections.abc import Callable, Iterable
+
+from repro.notary.events import ConnectionRecord
+
+
+def month_of(day: _dt.date) -> _dt.date:
+    """Normalize a date to the first of its month."""
+    return day.replace(day=1)
+
+
+def month_range(start: _dt.date, end: _dt.date) -> list[_dt.date]:
+    """All month-firsts from ``start``'s month to ``end``'s month inclusive."""
+    months = []
+    cursor = month_of(start)
+    last = month_of(end)
+    while cursor <= last:
+        months.append(cursor)
+        cursor = (cursor.replace(day=28) + _dt.timedelta(days=4)).replace(day=1)
+    return months
+
+
+class NotaryStore:
+    """Holds connection records grouped by month."""
+
+    def __init__(self) -> None:
+        self._by_month: dict[_dt.date, list[ConnectionRecord]] = defaultdict(list)
+
+    def add(self, record: ConnectionRecord) -> None:
+        self._by_month[record.month].append(record)
+
+    def extend(self, records: Iterable[ConnectionRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def months(self) -> list[_dt.date]:
+        return sorted(self._by_month)
+
+    def records(self, month: _dt.date | None = None) -> list[ConnectionRecord]:
+        if month is not None:
+            return list(self._by_month.get(month_of(month), ()))
+        return [r for m in self.months() for r in self._by_month[m]]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_month.values())
+
+    # ---- aggregation -------------------------------------------------------
+
+    def total_weight(self, month: _dt.date) -> float:
+        return sum(r.weight for r in self._by_month.get(month_of(month), ()))
+
+    def weight_where(
+        self, month: _dt.date, predicate: Callable[[ConnectionRecord], bool]
+    ) -> float:
+        return sum(
+            r.weight for r in self._by_month.get(month_of(month), ()) if predicate(r)
+        )
+
+    def fraction(
+        self,
+        month: _dt.date,
+        predicate: Callable[[ConnectionRecord], bool],
+        within: Callable[[ConnectionRecord], bool] | None = None,
+    ) -> float:
+        """Weighted fraction of records matching ``predicate``.
+
+        ``within`` restricts the denominator (e.g. established
+        connections only); default denominator is all records of the
+        month.  Returns 0.0 for empty months.
+        """
+        records = self._by_month.get(month_of(month), ())
+        if within is not None:
+            records = [r for r in records if within(r)]
+        total = sum(r.weight for r in records)
+        if total <= 0:
+            return 0.0
+        return sum(r.weight for r in records if predicate(r)) / total
+
+    def monthly_fraction(
+        self,
+        predicate: Callable[[ConnectionRecord], bool],
+        within: Callable[[ConnectionRecord], bool] | None = None,
+    ) -> list[tuple[_dt.date, float]]:
+        """The ``fraction`` series over every month in the store."""
+        return [(m, self.fraction(m, predicate, within)) for m in self.months()]
+
+    def weighted_mean(
+        self,
+        month: _dt.date,
+        value: Callable[[ConnectionRecord], float | None],
+    ) -> float | None:
+        """Weight-averaged value over records where ``value`` is not None."""
+        total = 0.0
+        acc = 0.0
+        for record in self._by_month.get(month_of(month), ()):
+            v = value(record)
+            if v is None:
+                continue
+            acc += record.weight * v
+            total += record.weight
+        if total <= 0:
+            return None
+        return acc / total

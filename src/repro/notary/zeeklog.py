@@ -1,0 +1,183 @@
+"""Zeek/Bro-style ``ssl.log`` export and import.
+
+The ICSI SSL Notary collects its data through Bro (now Zeek) policy
+scripts (§3.1); the natural interchange format for its records is the
+Zeek TSV log.  This module renders a :class:`NotaryStore` as a Zeek
+ssl.log (tab-separated, ``#fields``/``#types`` headers, ``-`` for
+unset fields) and parses such logs back — enough fidelity for the
+analysis layer to run on exported data.
+
+Only wire-observable fields are exported: ground-truth client labels
+stay out of the log, exactly as a real monitor would be limited.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.notary.events import ConnectionRecord
+from repro.notary.store import NotaryStore
+from repro.tls.ciphers import REGISTRY
+
+_FIELDS = (
+    ("ts", "time"),
+    ("weight", "double"),
+    ("version", "string"),
+    ("cipher", "string"),
+    ("curve", "string"),
+    ("established", "bool"),
+    ("client_ciphers", "vector[count]"),
+    ("client_extensions", "vector[count]"),
+    ("client_curves", "vector[count]"),
+    ("point_formats", "vector[count]"),
+    ("heartbeat", "bool"),
+    ("tls13_offered", "vector[count]"),
+)
+
+_UNSET = "-"
+_SEP = "\t"
+_VECTOR_SEP = ","
+
+
+def _render_vector(values) -> str:
+    if not values:
+        return _UNSET
+    return _VECTOR_SEP.join(str(v) for v in values)
+
+
+def _parse_vector(cell: str) -> tuple[int, ...]:
+    if cell == _UNSET or cell == "":
+        return ()
+    return tuple(int(v) for v in cell.split(_VECTOR_SEP))
+
+
+def _render_record(record: ConnectionRecord) -> str:
+    day = record.day if record.day is not None else record.month
+    timestamp = _dt.datetime(day.year, day.month, day.day).timestamp()
+    suite = record.suite
+    cipher = suite.name if suite is not None else _UNSET
+    fingerprint = record.fingerprint
+    cells = [
+        f"{timestamp:.6f}",
+        f"{record.weight:.9g}",
+        record.negotiated_version or _UNSET,
+        cipher,
+        str(record.negotiated_curve) if record.negotiated_curve is not None else _UNSET,
+        "T" if record.established else "F",
+        _render_vector(fingerprint.cipher_suites if fingerprint else ()),
+        _render_vector(fingerprint.extensions if fingerprint else ()),
+        _render_vector(fingerprint.curves if fingerprint else ()),
+        _render_vector(fingerprint.ec_point_formats if fingerprint else ()),
+        "T" if record.heartbeat_negotiated else "F",
+        _render_vector(record.offered_tls13_versions),
+    ]
+    return _SEP.join(cells)
+
+
+def write_ssl_log(store: NotaryStore, destination: TextIO) -> int:
+    """Write a Zeek-style ssl.log; returns the number of rows."""
+    destination.write("#separator \\x09\n")
+    destination.write("#set_separator\t,\n")
+    destination.write("#empty_field\t(empty)\n")
+    destination.write("#unset_field\t-\n")
+    destination.write("#path\tssl\n")
+    destination.write("#fields\t" + _SEP.join(name for name, _ in _FIELDS) + "\n")
+    destination.write("#types\t" + _SEP.join(kind for _, kind in _FIELDS) + "\n")
+    rows = 0
+    for record in store.records():
+        destination.write(_render_record(record) + "\n")
+        rows += 1
+    destination.write("#close\n")
+    return rows
+
+
+def export_ssl_log(store: NotaryStore, path: str | Path) -> int:
+    """Write the store to a file; returns the number of rows."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return write_ssl_log(store, handle)
+
+
+def _record_from_cells(cells: dict[str, str]) -> ConnectionRecord:
+    from repro.notary.events import FingerprintFields
+    from repro.notary.store import month_of
+
+    day = _dt.datetime.fromtimestamp(float(cells["ts"])).date()
+    suites = _parse_vector(cells["client_ciphers"])
+    fingerprint = None
+    if cells["client_ciphers"] != _UNSET or cells["client_extensions"] != _UNSET:
+        fingerprint = FingerprintFields(
+            cipher_suites=suites,
+            extensions=_parse_vector(cells["client_extensions"]),
+            curves=_parse_vector(cells["client_curves"]),
+            ec_point_formats=_parse_vector(cells["point_formats"]),
+        )
+    cipher_code = None
+    if cells["cipher"] != _UNSET:
+        from repro.tls.ciphers import suite_by_name
+
+        cipher_code = suite_by_name(cells["cipher"]).code
+    # Advertisement tags recomputed from the logged suite list.
+    from repro.notary import events as _events
+
+    tags = frozenset(
+        tag
+        for tag, predicate in _events._TAG_PREDICATES.items()
+        if any(
+            predicate(REGISTRY[code])
+            for code in suites
+            if code in REGISTRY and not REGISTRY[code].scsv
+        )
+    )
+    offered_tls13 = _parse_vector(cells["tls13_offered"])
+    return ConnectionRecord(
+        month=month_of(day),
+        weight=float(cells["weight"]),
+        client_family="(from log)",
+        client_version="",
+        client_category="",
+        client_in_database=False,
+        fingerprint=fingerprint,
+        advertised=tags,
+        positions={},
+        suite_count=len(suites),
+        offered_tls13=bool(offered_tls13),
+        offered_tls13_versions=offered_tls13,
+        established=cells["established"] == "T",
+        negotiated_version=cells["version"] if cells["version"] != _UNSET else None,
+        negotiated_wire=None,
+        negotiated_suite=cipher_code,
+        negotiated_curve=int(cells["curve"]) if cells["curve"] != _UNSET else None,
+        heartbeat_negotiated=cells["heartbeat"] == "T",
+        server_chose_unoffered=False,
+        day=day,
+    )
+
+
+def read_ssl_log(source: TextIO) -> NotaryStore:
+    """Parse a Zeek-style ssl.log back into a :class:`NotaryStore`."""
+    store = NotaryStore()
+    field_names: list[str] | None = None
+    for line in source:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("#fields\t"):
+                field_names = line.split(_SEP)[1:]
+            continue
+        if field_names is None:
+            raise ValueError("ssl.log has data before its #fields header")
+        parts = line.split(_SEP)
+        if len(parts) != len(field_names):
+            raise ValueError(f"malformed ssl.log row: {line!r}")
+        cells = dict(zip(field_names, parts))
+        store.add(_record_from_cells(cells))
+    return store
+
+
+def import_ssl_log(path: str | Path) -> NotaryStore:
+    """Read an exported log file back into a store."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_ssl_log(handle)

@@ -1,0 +1,25 @@
+"""Active measurement substrate: ZMap/ZGrab-style scanning, Censys archive."""
+
+from repro.scanner.censys import (
+    CENSYS_FIRST_SCAN,
+    CENSYS_LAST_SCAN,
+    CensysArchive,
+    ScanSnapshot,
+)
+from repro.scanner.probes import chrome_2015_probe, export_probe, ssl3_only_probe
+from repro.scanner.zgrab import GrabResult, grab
+from repro.scanner.zmap import AddressSpaceScanner, Host
+
+__all__ = [
+    "CENSYS_FIRST_SCAN",
+    "CENSYS_LAST_SCAN",
+    "CensysArchive",
+    "ScanSnapshot",
+    "chrome_2015_probe",
+    "export_probe",
+    "ssl3_only_probe",
+    "GrabResult",
+    "grab",
+    "AddressSpaceScanner",
+    "Host",
+]

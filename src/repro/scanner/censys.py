@@ -1,0 +1,182 @@
+"""Censys-style scan archive: periodic sweeps with a query interface.
+
+The archive runs the three scan types of §3.2 (Chrome-2015 HTTPS scan,
+SSL 3-only scan, export-cipher scan) on a schedule from 2015-08-22 to
+2018-05-13 and aggregates per-sweep statistics.  Expectation mode
+evaluates each probe against the exact host-weighted mixture — the
+46M-host sweep collapses to one negotiation per archetype variant —
+while sampled mode grabs individual hosts for realism.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from repro.scanner.probes import chrome_2015_probe, export_probe, ssl3_only_probe
+from repro.scanner.zgrab import GrabResult, grab
+from repro.scanner.zmap import AddressSpaceScanner
+from repro.servers.population import ServerPopulation
+from repro.tls.versions import SSL3
+
+#: Censys data availability window (§3.2).
+CENSYS_FIRST_SCAN = _dt.date(2015, 8, 22)
+CENSYS_LAST_SCAN = _dt.date(2018, 5, 13)
+
+
+@dataclass
+class ScanSnapshot:
+    """Aggregated results of one sweep on one date."""
+
+    date: _dt.date
+    probe: str
+    hosts: float = 0.0
+    handshakes: float = 0.0
+    chose: dict[str, float] = field(default_factory=dict)
+    heartbeat_support: float = 0.0
+    heartbleed_vulnerable: float = 0.0
+
+    def fraction(self, key: str) -> float:
+        """Fraction of responsive hosts whose chosen suite matched ``key``."""
+        if self.hosts <= 0:
+            return 0.0
+        return self.chose.get(key, 0.0) / self.hosts
+
+    @property
+    def handshake_rate(self) -> float:
+        return self.handshakes / self.hosts if self.hosts else 0.0
+
+
+def _classify(result: GrabResult) -> list[str]:
+    keys = []
+    suite = result.suite
+    if suite is None:
+        return keys
+    keys.append(f"class:{suite.mode_class}")
+    if suite.is_rc4:
+        keys.append("rc4")
+    if suite.is_cbc:
+        keys.append("cbc")
+    if suite.is_3des:
+        keys.append("3des")
+    if suite.is_aead:
+        keys.append("aead")
+    if suite.is_export:
+        keys.append("export")
+    if suite.forward_secret:
+        keys.append("fs")
+    return keys
+
+
+class CensysArchive:
+    """Runs and stores periodic scans."""
+
+    def __init__(self, servers: ServerPopulation | None = None, seed: int = 20150822):
+        from repro.servers.certificates import CertificateObservatory
+
+        self.servers = servers if servers is not None else ServerPopulation()
+        self.scanner = AddressSpaceScanner(self.servers, seed=seed)
+        self.snapshots: dict[tuple[str, _dt.date], ScanSnapshot] = {}
+        # Unique leaf certificates across all sampled sweeps (§3.2:
+        # Censys accumulated 535M unique certificates).
+        self.certificates = CertificateObservatory()
+
+    # ---- running scans ------------------------------------------------------
+
+    def run_expectation_scan(self, on: _dt.date, probe_name: str) -> ScanSnapshot:
+        """One exact (expectation-weighted) sweep."""
+        probe, check_hb = self._probe(probe_name)
+        snapshot = ScanSnapshot(date=on, probe=probe_name)
+        for profile, weight in self.scanner.expectation_mix(on):
+            snapshot.hosts += weight
+            result = grab(profile, probe, check_heartbleed=check_hb)
+            if not result.success:
+                continue
+            snapshot.handshakes += weight
+            for key in _classify(result):
+                snapshot.chose[key] = snapshot.chose.get(key, 0.0) + weight
+            if result.heartbeat_acknowledged:
+                snapshot.heartbeat_support += weight
+            if result.heartbleed_vulnerable:
+                snapshot.heartbleed_vulnerable += weight
+        self.snapshots[(probe_name, on)] = snapshot
+        return snapshot
+
+    def run_sampled_scan(
+        self, on: _dt.date, probe_name: str, sample_size: int
+    ) -> ScanSnapshot:
+        """One sampled sweep over ``sample_size`` hosts."""
+        from repro.servers.certificates import issue_certificate
+
+        probe, check_hb = self._probe(probe_name)
+        snapshot = ScanSnapshot(date=on, probe=probe_name)
+        for host in self.scanner.scan(on, sample_size):
+            snapshot.hosts += 1
+            result = grab(host.profile, probe, check_heartbleed=check_hb)
+            if not result.success:
+                continue
+            snapshot.handshakes += 1
+            self.certificates.observe(
+                issue_certificate(host.address, host.profile.name, on)
+            )
+            for key in _classify(result):
+                snapshot.chose[key] = snapshot.chose.get(key, 0.0) + 1
+            if result.heartbeat_acknowledged:
+                snapshot.heartbeat_support += 1
+            if result.heartbleed_vulnerable:
+                snapshot.heartbleed_vulnerable += 1
+        self.snapshots[(probe_name, on)] = snapshot
+        return snapshot
+
+    def run_schedule(
+        self,
+        probe_name: str,
+        start: _dt.date = CENSYS_FIRST_SCAN,
+        end: _dt.date = CENSYS_LAST_SCAN,
+        interval_days: int = 28,
+    ) -> list[ScanSnapshot]:
+        """Periodic expectation sweeps over the Censys window."""
+        snapshots = []
+        cursor = start
+        while cursor <= end:
+            snapshots.append(self.run_expectation_scan(cursor, probe_name))
+            cursor += _dt.timedelta(days=interval_days)
+        return snapshots
+
+    # ---- queries ------------------------------------------------------------
+
+    def series(self, probe_name: str, key: str) -> list[tuple[_dt.date, float]]:
+        """Per-scan fraction-of-hosts series for a choice key.
+
+        Special keys: ``"handshake"`` (completed-handshake rate — e.g.
+        SSL 3 support under the SSL 3 probe), ``"heartbeat"``,
+        ``"heartbleed"``.
+        """
+        out = []
+        for (name, date), snapshot in sorted(self.snapshots.items()):
+            if name != probe_name:
+                continue
+            if key == "handshake":
+                value = snapshot.handshake_rate
+            elif key == "heartbeat":
+                value = snapshot.heartbeat_support / snapshot.hosts if snapshot.hosts else 0.0
+            elif key == "heartbleed":
+                value = (
+                    snapshot.heartbleed_vulnerable / snapshot.hosts
+                    if snapshot.hosts
+                    else 0.0
+                )
+            else:
+                value = snapshot.fraction(key)
+            out.append((date, value))
+        return out
+
+    @staticmethod
+    def _probe(probe_name: str):
+        if probe_name == "chrome2015":
+            return chrome_2015_probe(), True
+        if probe_name == "ssl3":
+            return ssl3_only_probe(), False
+        if probe_name == "export":
+            return export_probe(), False
+        raise ValueError(f"unknown probe {probe_name!r}")

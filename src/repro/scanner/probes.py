@@ -1,0 +1,92 @@
+"""Canned probe Client Hellos, mirroring the Censys scan configurations.
+
+§3.2: "Both scans offer the same set of cipher suites as a 2015 version
+of Chrome including a number of strong ciphers such as AES-GCM cipher
+suites with forward secrecy, as well as weaker CBC, RC4, and 3DES
+cipher suites"; plus dedicated SSL 3-only and export-cipher scans.
+"""
+
+from __future__ import annotations
+
+from repro.clients import suites as cs
+from repro.clients._common import EXT_2014, GROUPS_2012, POINT_FORMATS
+from repro.tls.extensions import Extension, ExtensionType
+from repro.tls.messages import ClientHello
+from repro.tls.versions import SSL3, TLS12
+
+# The 2015-Chrome-equivalent suite list: strong AEAD with FS first, then
+# CBC, RC4, and 3DES at the bottom (so anything the server *chooses*
+# over a stronger suite reveals server preference — §5.3, §5.6).
+CHROME_2015_SUITES = (
+    cs.ECDHE_ECDSA_AES128_GCM,
+    cs.ECDHE_RSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES256_GCM,
+    cs.ECDHE_RSA_AES256_GCM,
+    cs.CHACHA_ECDHE_RSA_OLD,
+    cs.CHACHA_ECDHE_ECDSA_OLD,
+    cs.RSA_AES128_GCM,
+    cs.ECDHE_ECDSA_AES128_SHA,
+    cs.ECDHE_RSA_AES128_SHA,
+    cs.ECDHE_ECDSA_AES256_SHA,
+    cs.ECDHE_RSA_AES256_SHA,
+    cs.DHE_RSA_AES128_SHA,
+    cs.DHE_RSA_AES256_SHA,
+    cs.RSA_AES128_SHA,
+    cs.RSA_AES256_SHA,
+    cs.ECDHE_ECDSA_RC4_SHA,
+    cs.ECDHE_RSA_RC4_SHA,
+    cs.RSA_RC4_128_SHA,
+    cs.RSA_RC4_128_MD5,
+    cs.RSA_3DES_SHA,
+)
+
+
+def chrome_2015_probe(heartbeat: bool = True) -> ClientHello:
+    """The standard HTTPS scan hello (Chrome-2015 cipher list).
+
+    ``heartbeat`` adds the Heartbeat extension so the grab can measure
+    server-side Heartbeat support (§5.4).
+    """
+    extensions = tuple(Extension(int(t)) for t in EXT_2014)
+    if heartbeat:
+        extensions = extensions + (Extension(int(ExtensionType.HEARTBEAT), b"\x01"),)
+    return ClientHello(
+        legacy_version=TLS12.wire,
+        cipher_suites=CHROME_2015_SUITES,
+        extensions=extensions,
+        supported_groups=GROUPS_2012,
+        ec_point_formats=POINT_FORMATS,
+    )
+
+
+def ssl3_only_probe() -> ClientHello:
+    """The weekly SSL 3-only scan (§3.2, §5.1)."""
+    return ClientHello(
+        legacy_version=SSL3.wire,
+        cipher_suites=(
+            cs.RSA_RC4_128_SHA,
+            cs.RSA_RC4_128_MD5,
+            cs.RSA_3DES_SHA,
+            cs.RSA_AES128_SHA,
+            cs.RSA_AES256_SHA,
+            cs.RSA_DES_SHA,
+        ),
+        extensions=(),
+    )
+
+
+def export_probe() -> ClientHello:
+    """The export-grade cipher scan (FREAK exposure, §3.2, §5.5)."""
+    return ClientHello(
+        legacy_version=TLS12.wire,
+        cipher_suites=(
+            cs.EXP_RSA_RC4_40_MD5,
+            cs.EXP_RSA_RC2_40_MD5,
+            cs.EXP_RSA_DES40_SHA,
+            cs.EXP_DHE_RSA_DES40_SHA,
+            cs.EXP_DHE_DSS_DES40_SHA,
+            cs.EXP_ADH_DES40_SHA,
+            cs.EXP_ADH_RC4_40_MD5,
+        ),
+        extensions=(),
+    )

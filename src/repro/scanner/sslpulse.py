@@ -1,0 +1,109 @@
+"""SSL Pulse-style surveys of popular sites (§5.3, related work §8).
+
+SSL Pulse tests ~150K Alexa-popular websites; the paper cites its RC4
+numbers: 92.8% of surveyed sites supported RC4 in October 2013, 19.1%
+in 2018, and the "RC4-only" population fell from 4,248 sites (2.6%) to
+a single site.  Popularity-weighted surveys use the *traffic* server
+mixture (popular services), unlike Censys's host-weighted IPv4 sweeps.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.clients import suites as cs
+from repro.scanner.zgrab import grab
+from repro.servers.population import ServerPopulation
+from repro.tls.messages import ClientHello
+from repro.tls.versions import TLS12
+
+#: First SSL Pulse survey the paper cites.
+SSLPULSE_FIRST_SURVEY = _dt.date(2013, 10, 1)
+
+
+def rc4_probe() -> ClientHello:
+    """A hello offering only RC4 suites: success means RC4 support."""
+    return ClientHello(
+        legacy_version=TLS12.wire,
+        cipher_suites=(
+            cs.RSA_RC4_128_SHA,
+            cs.RSA_RC4_128_MD5,
+            cs.ECDHE_RSA_RC4_SHA,
+            cs.ECDHE_ECDSA_RC4_SHA,
+        ),
+        supported_groups=(23, 24),
+        ec_point_formats=(0,),
+    )
+
+
+def no_rc4_probe() -> ClientHello:
+    """A broad modern hello with every RC4 suite removed.
+
+    A site that fails this probe but passes :func:`rc4_probe` supports
+    *only* RC4.
+    """
+    from repro.scanner.probes import CHROME_2015_SUITES
+    from repro.tls.ciphers import REGISTRY
+
+    suites = tuple(
+        code for code in CHROME_2015_SUITES if not REGISTRY[code].is_rc4
+    )
+    return ClientHello(
+        legacy_version=TLS12.wire,
+        cipher_suites=suites,
+        supported_groups=(29, 23, 24),
+        ec_point_formats=(0,),
+    )
+
+
+@dataclass(frozen=True)
+class PulseSurvey:
+    """One popularity-weighted survey snapshot."""
+
+    date: _dt.date
+    rc4_supported: float      # fraction of sites accepting the RC4 probe
+    rc4_only: float           # fraction accepting only RC4
+    sites: float = 1.0
+
+
+class SslPulse:
+    """Runs popularity-weighted RC4 surveys against the server substrate."""
+
+    def __init__(self, servers: ServerPopulation | None = None):
+        self.servers = servers if servers is not None else ServerPopulation()
+
+    def survey(self, on: _dt.date) -> PulseSurvey:
+        """One expectation-weighted survey over the popular-site mix."""
+        rc4 = rc4_probe()
+        modern = no_rc4_probe()
+        supported = 0.0
+        only = 0.0
+        total = 0.0
+        # Site-weighted: SSL Pulse counts each surveyed site once, which
+        # sits between the Notary's connection weighting and Censys's
+        # IPv4 host weighting; the host mixture is the closer proxy.
+        for profile, weight in self.servers.mix(on, weighting="hosts"):
+            total += weight
+            rc4_ok = grab(profile, rc4).success
+            modern_ok = grab(profile, modern).success
+            if rc4_ok:
+                supported += weight
+                if not modern_ok:
+                    only += weight
+        return PulseSurvey(
+            date=on, rc4_supported=supported / total, rc4_only=only / total
+        )
+
+    def series(
+        self,
+        start: _dt.date = SSLPULSE_FIRST_SURVEY,
+        end: _dt.date = _dt.date(2018, 4, 1),
+        interval_days: int = 56,
+    ) -> list[PulseSurvey]:
+        surveys = []
+        cursor = start
+        while cursor <= end:
+            surveys.append(self.survey(cursor))
+            cursor += _dt.timedelta(days=interval_days)
+        return surveys

@@ -1,0 +1,85 @@
+"""ZGrab-style banner grabbing: complete a handshake, record everything.
+
+A grab sends a probe Client Hello to a host profile, runs the genuine
+negotiation code path, and extracts the observables Censys reports:
+negotiated version and suite, server extension behaviour (Heartbeat),
+and — when asked — a Heartbleed check (a crafted heartbeat request
+against heartbeat-enabled servers, §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.servers.config import ServerProfile
+from repro.tls.ciphers import REGISTRY, CipherSuite
+from repro.tls.extensions import ExtensionType
+from repro.tls.messages import ClientHello
+from repro.tls.versions import ProtocolVersion
+
+
+@dataclass(frozen=True)
+class GrabResult:
+    """Outcome of one banner grab."""
+
+    success: bool
+    version: ProtocolVersion | None = None
+    suite_code: int | None = None
+    heartbeat_acknowledged: bool = False
+    heartbleed_vulnerable: bool = False
+    alert: str | None = None
+
+    @property
+    def suite(self) -> CipherSuite | None:
+        if self.suite_code is None:
+            return None
+        return REGISTRY.get(self.suite_code)
+
+
+def grab(
+    profile: ServerProfile,
+    probe: ClientHello,
+    check_heartbleed: bool = False,
+    via_wire: bool = False,
+) -> GrabResult:
+    """Run one probe against one server profile.
+
+    ``via_wire`` pushes both flights through the binary codec (encode,
+    reparse) before interpretation — the fidelity a real grabber has,
+    useful as an end-to-end check of the wire layer inside scans.
+    """
+    if via_wire:
+        from repro.tls.wire import frame_client_hello, parse_client_hello_record
+
+        probe = parse_client_hello_record(frame_client_hello(probe))
+    result = profile.respond(probe)
+    if via_wire and result.server_hello is not None:
+        from repro.tls.handshake import HandshakeResult
+        from repro.tls.wire import frame_server_hello, parse_server_hello_record
+
+        reparsed = parse_server_hello_record(frame_server_hello(result.server_hello))
+        result = HandshakeResult(
+            client_hello=result.client_hello,
+            server_hello=reparsed,
+            reason=result.reason,
+            client_aborts=result.client_aborts,
+        )
+    if not result.ok:
+        return GrabResult(
+            success=False,
+            alert=result.alert.description.name.lower() if result.alert else None,
+        )
+    heartbeat_ack = result.server_hello.has_extension(ExtensionType.HEARTBEAT)
+    vulnerable = False
+    if check_heartbleed and heartbeat_ack:
+        # The Heartbleed check sends an over-long heartbeat request; a
+        # vulnerable stack answers with leaked memory.  In the model the
+        # stack's vulnerability is a profile attribute.
+        vulnerable = profile.heartbleed_vulnerable
+    return GrabResult(
+        success=True,
+        version=result.version,
+        suite_code=result.server_hello.cipher_suite,
+        heartbeat_acknowledged=heartbeat_ack,
+        heartbleed_vulnerable=vulnerable,
+    )

@@ -1,0 +1,13 @@
+"""Server substrate: configuration archetypes and the evolving population."""
+
+from repro.servers.config import ServerProfile
+from repro.servers.curves import AdoptionCurve, PatchCurve
+from repro.servers.population import ServerAttributeCurves, ServerPopulation
+
+__all__ = [
+    "ServerProfile",
+    "AdoptionCurve",
+    "PatchCurve",
+    "ServerAttributeCurves",
+    "ServerPopulation",
+]

@@ -1,0 +1,314 @@
+"""Server configuration archetypes.
+
+A dozen named configurations cover the behaviours the paper observes on
+the supply side: RC4-enforcing post-BEAST servers (§5.2), CBC-preferring
+TLS 1.2 deployments (the 54% of Censys-probed servers choosing CBC in
+2015, §5.2), modern AEAD-first deployments, the RC4-preferring outliers
+of §5.3 (bankmellat.ir), GRID and Nagios endpoints (§6.1, §6.2), the
+Interwise and GOST protocol violators (§5.5, §7.3), and TLS 1.3 draft
+deployments (§6.4).
+"""
+
+from __future__ import annotations
+
+from repro.clients import suites as cs
+from repro.servers.config import ServerProfile
+from repro.tls.extensions import ExtensionType as ET
+from repro.tls.handshake import SelectionAnomaly, SelectionPolicy
+from repro.tls.versions import SSL3, TLS10, TLS11, TLS12, TLS13, tls13_draft, tls13_google_experiment
+
+_SSL3 = SSL3.wire
+_T10 = TLS10.wire
+_T11 = TLS11.wire
+_T12 = TLS12.wire
+
+_ECHO_BASIC = (int(ET.RENEGOTIATION_INFO), int(ET.SESSION_TICKET))
+_ECHO_MODERN = _ECHO_BASIC + (
+    int(ET.EXTENDED_MASTER_SECRET),
+    int(ET.STATUS_REQUEST),
+    int(ET.EC_POINT_FORMATS),
+    # OpenSSL-based servers acknowledge Encrypt-then-MAC when offered;
+    # uptake stays tiny because almost no client offers it (§9).
+    int(ET.ENCRYPT_THEN_MAC),
+)
+
+GROUPS_NIST = (23, 24)
+GROUPS_X25519 = (29, 23, 24)
+
+# RC4-enforcing legacy host: the post-BEAST "use RC4 with TLS <= 1.0"
+# guidance (§2.2) baked into a config that was then never revisited.
+LEGACY_SSL3_RC4 = ServerProfile(
+    name="legacy-ssl3-rc4",
+    supported_versions=frozenset({_SSL3, _T10}),
+    suite_preference=(
+        cs.RSA_RC4_128_SHA,
+        cs.RSA_RC4_128_MD5,
+        cs.RSA_3DES_SHA,
+        cs.RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.RSA_DES_SHA,
+        cs.EXP_RSA_RC4_40_MD5,
+        cs.EXP_RSA_DES40_SHA,
+    ),
+    echo_extensions=_ECHO_BASIC,
+)
+
+# TLS 1.0 host preferring AES-CBC; still accepts SSL 3 for old clients.
+TLS10_CBC = ServerProfile(
+    name="tls10-cbc",
+    supported_versions=frozenset({_SSL3, _T10, _T11}),
+    suite_preference=(
+        cs.RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.DHE_RSA_AES128_SHA,
+        cs.DHE_RSA_AES256_SHA,
+        cs.RSA_3DES_SHA,
+        cs.RSA_RC4_128_SHA,
+        cs.RSA_RC4_128_MD5,
+    ),
+    echo_extensions=_ECHO_BASIC,
+)
+
+# TLS 1.2 host that kept RSA key transport + CBC at the top — the
+# pre-Snowden default (§6.3.1: servers chose not to negotiate FS for a
+# long time even when clients supported it).
+TLS12_RSA_CBC = ServerProfile(
+    name="tls12-rsa-cbc",
+    supported_versions=frozenset({_SSL3, _T10, _T11, _T12}),
+    suite_preference=(
+        cs.RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.RSA_AES128_SHA256,
+        cs.RSA_AES128_GCM,
+        cs.ECDHE_RSA_AES128_SHA,
+        cs.ECDHE_RSA_AES128_GCM,
+        cs.RSA_3DES_SHA,
+        cs.RSA_RC4_128_SHA,
+    ),
+    supported_groups=GROUPS_NIST,
+    echo_extensions=_ECHO_BASIC,
+)
+
+# Apache-style host preferring finite-field DHE — the "DHE never found
+# much use" population of §6.3.1, visible but minor in Figure 8.
+TLS10_DHE_CBC = ServerProfile(
+    name="tls10-dhe-cbc",
+    supported_versions=frozenset({_SSL3, _T10, _T11, _T12}),
+    suite_preference=(
+        cs.DHE_RSA_AES128_SHA,
+        cs.DHE_RSA_AES256_SHA,
+        cs.DHE_RSA_AES128_GCM,
+        cs.DHE_RSA_3DES_SHA,
+        cs.RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.RSA_3DES_SHA,
+        cs.RSA_RC4_128_SHA,
+    ),
+    echo_extensions=_ECHO_BASIC,
+)
+
+# Forward-secret but CBC-first TLS 1.2 host: picks ECDHE-CBC over GCM.
+# Prefers secp384r1 (a common "high-security" configuration), the source
+# of §6.3.3's 8.6% secp384r1 share.
+TLS12_ECDHE_CBC = ServerProfile(
+    name="tls12-ecdhe-cbc",
+    supported_versions=frozenset({_T10, _T11, _T12}),
+    suite_preference=(
+        cs.ECDHE_RSA_AES128_SHA,
+        cs.ECDHE_RSA_AES256_SHA,
+        cs.ECDHE_RSA_AES128_SHA256,
+        cs.ECDHE_RSA_AES128_GCM,
+        cs.ECDHE_RSA_AES256_GCM,
+        cs.RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.RSA_AES128_GCM,
+        cs.RSA_3DES_SHA,
+        # RC4 kept at the very bottom: never preferred, but an RC4-only
+        # client still connects — the SSL Pulse "supports RC4" bucket.
+        cs.RSA_RC4_128_SHA,
+    ),
+    supported_groups=(24, 23),
+    echo_extensions=_ECHO_BASIC,
+)
+
+# Modern AEAD-first deployment (nginx/cloud front-end style).
+TLS12_ECDHE_GCM = ServerProfile(
+    name="tls12-ecdhe-gcm",
+    supported_versions=frozenset({_T10, _T11, _T12}),
+    suite_preference=(
+        cs.ECDHE_ECDSA_AES128_GCM,
+        cs.ECDHE_RSA_AES128_GCM,
+        cs.CHACHA_ECDHE_ECDSA,
+        cs.CHACHA_ECDHE_RSA,
+        cs.ECDHE_ECDSA_AES256_GCM,
+        cs.ECDHE_RSA_AES256_GCM,
+        cs.ECDHE_RSA_AES128_SHA,
+        cs.ECDHE_RSA_AES256_SHA,
+        cs.RSA_AES128_GCM,
+        cs.RSA_AES128_SHA,
+        cs.RSA_3DES_SHA,
+    ),
+    supported_groups=GROUPS_NIST,
+    echo_extensions=_ECHO_MODERN,
+)
+
+# Same, preferring x25519 — the mid-2017 shift of §6.3.3.  These CDN
+# front ends honor the client's cipher order within the AEAD tier
+# (BoringSSL equal-preference groups), which is how ChaCha20 gets
+# negotiated by AES-NI-less mobile clients (§6.3.2).
+TLS12_ECDHE_GCM_X25519 = ServerProfile(
+    name="tls12-ecdhe-gcm-x25519",
+    supported_versions=frozenset({_T10, _T11, _T12}),
+    suite_preference=TLS12_ECDHE_GCM.suite_preference,
+    supported_groups=GROUPS_X25519,
+    echo_extensions=_ECHO_MODERN,
+    policy=SelectionPolicy(server_preference=False),
+)
+
+# TLS 1.3 draft deployment (Google-style front end plus draft servers).
+TLS13_DRAFTS = ServerProfile(
+    name="tls13-drafts",
+    supported_versions=frozenset(
+        {
+            _T10,
+            _T11,
+            _T12,
+            TLS13.wire,
+            tls13_draft(18),
+            tls13_draft(23),
+            tls13_draft(28),
+            tls13_google_experiment(2),
+        }
+    ),
+    suite_preference=cs.TLS13_SUITES + TLS12_ECDHE_GCM.suite_preference,
+    supported_groups=GROUPS_X25519,
+    echo_extensions=_ECHO_MODERN,
+)
+
+# Misconfigured host that still picks RC4 despite stronger offers (§5.3).
+TLS12_RC4_PREF = ServerProfile(
+    name="tls12-rc4-pref",
+    supported_versions=frozenset({_SSL3, _T10, _T11, _T12}),
+    suite_preference=(
+        cs.RSA_RC4_128_SHA,
+        cs.RSA_RC4_128_MD5,
+        cs.ECDHE_RSA_AES128_GCM,
+        cs.ECDHE_RSA_AES128_SHA,
+        cs.RSA_AES128_SHA,
+        cs.RSA_AES128_GCM,
+        cs.RSA_3DES_SHA,
+    ),
+    supported_groups=GROUPS_NIST,
+    echo_extensions=_ECHO_BASIC,
+)
+
+# Host that supports nothing but RC4 — SSL Pulse's "sites supporting
+# only RC4" population (4,248 sites in Oct 2013, 1 in 2018; §5.3).
+RC4_ONLY = ServerProfile(
+    name="rc4-only",
+    supported_versions=frozenset({_SSL3, _T10}),
+    suite_preference=(cs.RSA_RC4_128_SHA, cs.RSA_RC4_128_MD5),
+    echo_extensions=(),
+)
+
+# Host whose only 64-bit-block offer wins for 3DES-leading clients: a
+# TLS 1.0 box with 3DES at the top (the Sweet32 population, §5.6).
+TLS10_3DES_PREF = ServerProfile(
+    name="tls10-3des-pref",
+    supported_versions=frozenset({_SSL3, _T10}),
+    suite_preference=(
+        cs.RSA_3DES_SHA,
+        cs.RSA_AES128_SHA,
+        cs.RSA_RC4_128_SHA,
+    ),
+    echo_extensions=(),
+)
+
+# GRID storage endpoint: mutual auth only, NULL cipher preferred (§6.1).
+GRID_SERVER = ServerProfile(
+    name="grid-server",
+    supported_versions=frozenset({_T10, _T11, _T12}),
+    suite_preference=(
+        cs.RSA_NULL_SHA,
+        cs.RSA_NULL_MD5,
+        cs.RSA_AES128_SHA,
+        cs.RSA_3DES_SHA,
+    ),
+    echo_extensions=(),
+)
+
+# Nagios NRPE endpoint: anonymous DH, application-layer auth (§6.2);
+# also accepts the export-ADH and NULL_NULL probes seen at one
+# university (§5.5, §6.1).
+NAGIOS_SERVER = ServerProfile(
+    name="nagios-server",
+    supported_versions=frozenset({_SSL3, _T10, _T11, _T12}),
+    suite_preference=(
+        cs.ADH_AES256_SHA,
+        cs.ADH_AES128_SHA,
+        cs.ADH_3DES_SHA,
+        cs.ADH_DES_SHA,
+        cs.EXP_ADH_DES40_SHA,
+        cs.EXP_ADH_RC4_40_MD5,
+        cs.NULL_NULL,
+    ),
+    echo_extensions=(),
+)
+
+# Interwise conferencing server: chooses an export RC4 suite the client
+# never offered — the protocol violation of §5.5.
+INTERWISE_SERVER = ServerProfile(
+    name="interwise-server",
+    supported_versions=frozenset({_SSL3, _T10}),
+    suite_preference=(cs.EXP_RSA_RC4_40_MD5,),
+    policy=SelectionPolicy(
+        anomaly=SelectionAnomaly.CHOOSE_UNOFFERED,
+        anomaly_suite=cs.EXP_RSA_RC4_40_MD5,
+    ),
+)
+
+# Splunk indexer endpoint (port 9997): static ECDH — nearly the only
+# source of non-ephemeral ECDH in the dataset (§6.3.1: "ECDH nearly
+# exclusively at Splunk servers on port 9997").
+SPLUNK_SERVER = ServerProfile(
+    name="splunk-server",
+    supported_versions=frozenset({_T10, _T11, _T12}),
+    suite_preference=(
+        cs.ECDH_RSA_AES256_SHA,
+        cs.ECDH_RSA_AES128_SHA,
+        cs.RSA_AES256_SHA,
+        cs.RSA_AES128_SHA,
+    ),
+    supported_groups=GROUPS_NIST,
+    echo_extensions=_ECHO_BASIC,
+)
+
+# Host answering with GOST suites regardless of the offer (§7.3).
+GOST_SERVER = ServerProfile(
+    name="gost-server",
+    supported_versions=frozenset({_T10, _T11, _T12}),
+    suite_preference=(cs.GOST_R341001,),
+    policy=SelectionPolicy(
+        anomaly=SelectionAnomaly.CHOOSE_GOST,
+        anomaly_suite=cs.GOST_R341001,
+    ),
+)
+
+ALL_ARCHETYPES: tuple[ServerProfile, ...] = (
+    LEGACY_SSL3_RC4,
+    TLS10_CBC,
+    TLS10_DHE_CBC,
+    TLS12_RSA_CBC,
+    TLS12_ECDHE_CBC,
+    TLS12_ECDHE_GCM,
+    TLS12_ECDHE_GCM_X25519,
+    TLS13_DRAFTS,
+    TLS12_RC4_PREF,
+    RC4_ONLY,
+    TLS10_3DES_PREF,
+    GRID_SERVER,
+    NAGIOS_SERVER,
+    INTERWISE_SERVER,
+    SPLUNK_SERVER,
+    GOST_SERVER,
+)

@@ -1,0 +1,75 @@
+"""Deployment and remediation curves for the server population.
+
+Two shapes cover everything the paper's server-side stories need:
+
+* :class:`AdoptionCurve` — logistic uptake of a capability (TLS 1.2
+  deployment, ECDHE preference, x25519 preference).
+* :class:`PatchCurve` — attack-triggered remediation: nothing happens
+  before the disclosure date, then an exponential approach to a ceiling
+  that deliberately stays below 1.0 — the never-patching long tail the
+  paper finds everywhere (SSL 3 at 25% in 2018, Heartbleed at 0.32%).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdoptionCurve:
+    """Logistic deployment curve.
+
+    ``value(t) = floor + (ceiling - floor) / (1 + exp(-(t - midpoint)/scale))``
+    with ``scale`` in days.
+    """
+
+    midpoint: _dt.date
+    scale_days: float
+    floor: float = 0.0
+    ceiling: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.floor <= self.ceiling <= 1.0:
+            raise ValueError("need 0 <= floor <= ceiling <= 1")
+        if self.scale_days <= 0:
+            raise ValueError("scale_days must be positive")
+
+    def value(self, on: _dt.date) -> float:
+        x = (on - self.midpoint).days / self.scale_days
+        logistic = 1.0 / (1.0 + math.exp(-x))
+        return self.floor + (self.ceiling - self.floor) * logistic
+
+
+@dataclass(frozen=True)
+class PatchCurve:
+    """Attack-triggered remediation with a long tail.
+
+    Before ``disclosed`` nothing is patched; ``half_life_days`` after it,
+    half of the reachable population has remediated; ``never_patched``
+    remains unpatched forever.
+
+    ``patched(t)`` is the remediated fraction, ``unpatched(t)`` its
+    complement.
+    """
+
+    disclosed: _dt.date
+    half_life_days: float
+    never_patched: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.half_life_days <= 0:
+            raise ValueError("half_life_days must be positive")
+        if not 0.0 <= self.never_patched < 1.0:
+            raise ValueError("never_patched must be in [0, 1)")
+
+    def patched(self, on: _dt.date) -> float:
+        delta = (on - self.disclosed).days
+        if delta <= 0:
+            return 0.0
+        fraction = 1.0 - math.pow(0.5, delta / self.half_life_days)
+        return (1.0 - self.never_patched) * fraction
+
+    def unpatched(self, on: _dt.date) -> float:
+        return 1.0 - self.patched(on)

@@ -1,0 +1,325 @@
+"""The server population: archetype weights over time.
+
+Two weightings cover the paper's two datasets:
+
+* ``traffic`` — connection-weighted, what the passive Notary sees:
+  popular services dominate, and they modernize fast (§3.1: the Notary
+  "emphasizes connections to services that users commonly use").
+* ``hosts`` — host-weighted, what a Censys IPv4 sweep sees: a far
+  heavier legacy tail (§5.1: 45% of hosts still accepted SSL 3 in 2015).
+
+On top of the base archetype weights, two orthogonal attribute splits
+are applied per date: SSL 3 removal (POODLE-triggered patch curve) and
+Heartbeat support / Heartbleed vulnerability (§5.4).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.clients.population import ShareCurve
+from repro.servers import archetypes as arch
+from repro.servers.config import ServerProfile
+from repro.servers.curves import AdoptionCurve, PatchCurve
+from repro.tls.versions import SSL3
+
+_POODLE = _dt.date(2014, 10, 14)
+_HEARTBLEED = _dt.date(2014, 4, 7)
+
+
+def _curve(*points: tuple[str, float]) -> ShareCurve:
+    return ShareCurve(tuple((_dt.date.fromisoformat(d), s) for d, s in points))
+
+
+# Connection-weighted archetype shares (relative weights, normalized).
+# Calibration targets (§5, Figures 1, 2, 8): RC4-choosing traffic peaks
+# around 60% in mid-2013 (post-BEAST RC4 enforcement) and dies by 2016;
+# CBC holds ~50-60% until Aug 2015, then drops to ~10% by 2018; ECDHE
+# takes off after the Snowden revelations (June 2013).
+_TRAFFIC_SHARES: dict[str, ShareCurve] = {
+    arch.LEGACY_SSL3_RC4.name: _curve(
+        ("2012-01-01", 20.0), ("2013-06-01", 18.0), ("2014-06-01", 11.0),
+        ("2015-06-01", 4.5), ("2016-06-01", 1.2), ("2018-04-01", 0.2),
+    ),
+    arch.TLS10_CBC.name: _curve(
+        ("2012-01-01", 22.0), ("2013-06-01", 14.0), ("2014-06-01", 8.0),
+        ("2015-06-01", 4.0), ("2016-06-01", 1.5), ("2018-04-01", 0.4),
+    ),
+    arch.TLS10_DHE_CBC.name: _curve(
+        ("2012-01-01", 9.0), ("2013-06-01", 7.0), ("2014-06-01", 4.5),
+        ("2015-06-01", 2.5), ("2016-06-01", 1.2), ("2018-04-01", 0.3),
+    ),
+    arch.TLS12_RSA_CBC.name: _curve(
+        ("2012-01-01", 9.0), ("2013-06-01", 11.0), ("2014-06-01", 13.0),
+        ("2015-06-01", 11.0), ("2016-06-01", 6.0), ("2018-04-01", 1.5),
+    ),
+    arch.TLS12_ECDHE_CBC.name: _curve(
+        ("2012-01-01", 6.0), ("2013-06-01", 8.0), ("2014-06-01", 12.0),
+        ("2015-06-01", 15.0), ("2016-06-01", 12.0), ("2017-06-01", 7.0),
+        ("2018-04-01", 4.0),
+    ),
+    arch.TLS12_ECDHE_GCM.name: _curve(
+        ("2012-01-01", 3.0), ("2013-06-01", 7.0), ("2014-06-01", 26.0),
+        ("2015-06-01", 48.0), ("2016-06-01", 68.0), ("2017-06-01", 62.0),
+        ("2018-04-01", 55.0),
+    ),
+    arch.TLS12_ECDHE_GCM_X25519.name: _curve(
+        ("2016-01-01", 0.0), ("2016-06-01", 4.0), ("2017-06-01", 16.0),
+        ("2018-04-01", 28.0),
+    ),
+    arch.TLS13_DRAFTS.name: _curve(
+        ("2016-06-01", 0.3), ("2017-06-01", 2.0), ("2018-04-01", 6.0),
+    ),
+    arch.TLS12_RC4_PREF.name: _curve(
+        ("2012-01-01", 32.0), ("2013-08-01", 52.0), ("2014-06-01", 34.0),
+        ("2015-06-01", 13.0), ("2016-06-01", 3.5), ("2018-04-01", 0.5),
+    ),
+    arch.TLS10_3DES_PREF.name: _curve(
+        ("2012-01-01", 0.7), ("2014-06-01", 0.5), ("2018-04-01", 0.25),
+    ),
+    # RC4-only sites: 2.6% of SSL Pulse's popular sites in Oct 2013,
+    # one site by 2018 (§5.3).
+    arch.RC4_ONLY.name: _curve(
+        ("2012-01-01", 2.4), ("2013-10-01", 2.0), ("2015-06-01", 0.4),
+        ("2016-06-01", 0.05), ("2018-04-01", 0.002),
+    ),
+    # Custom stacks answering with GOST suites regardless of the offer
+    # (§7.3); standard clients abort these handshakes.
+    arch.GOST_SERVER.name: _curve(
+        ("2012-01-01", 0.02), ("2018-04-01", 0.03),
+    ),
+}
+
+# Host-weighted shares for Internet-wide scans: the legacy tail is much
+# heavier and moves much more slowly.
+_HOST_SHARES: dict[str, ShareCurve] = {
+    arch.LEGACY_SSL3_RC4.name: _curve(
+        ("2012-01-01", 22.0), ("2015-09-01", 9.0), ("2018-05-01", 3.0),
+    ),
+    arch.TLS10_CBC.name: _curve(
+        ("2012-01-01", 32.0), ("2015-09-01", 20.0), ("2018-05-01", 12.0),
+    ),
+    arch.TLS10_DHE_CBC.name: _curve(
+        ("2012-01-01", 8.0), ("2015-09-01", 5.0), ("2018-05-01", 2.5),
+    ),
+    arch.TLS12_RSA_CBC.name: _curve(
+        ("2012-01-01", 14.0), ("2015-09-01", 20.0), ("2018-05-01", 14.0),
+    ),
+    arch.TLS12_ECDHE_CBC.name: _curve(
+        ("2012-01-01", 6.0), ("2015-09-01", 12.0), ("2016-10-01", 12.0),
+        ("2017-07-01", 9.5), ("2018-05-01", 9.0),
+    ),
+    arch.TLS12_ECDHE_GCM.name: _curve(
+        ("2012-01-01", 4.0), ("2015-09-01", 28.0), ("2017-06-01", 42.0),
+        ("2018-05-01", 50.0),
+    ),
+    arch.TLS12_ECDHE_GCM_X25519.name: _curve(
+        ("2016-01-01", 0.0), ("2017-06-01", 4.0), ("2018-05-01", 8.0),
+    ),
+    arch.TLS13_DRAFTS.name: _curve(
+        ("2016-06-01", 0.1), ("2018-05-01", 1.5),
+    ),
+    arch.TLS12_RC4_PREF.name: _curve(
+        ("2012-01-01", 9.0), ("2015-09-01", 4.5), ("2018-05-01", 1.5),
+    ),
+    arch.TLS10_3DES_PREF.name: _curve(
+        ("2012-01-01", 0.9), ("2015-09-01", 0.55), ("2018-05-01", 0.28),
+    ),
+    arch.RC4_ONLY.name: _curve(
+        ("2012-01-01", 2.6), ("2015-09-01", 0.8), ("2018-05-01", 0.05),
+    ),
+}
+
+_BY_NAME = {p.name: p for p in arch.ALL_ARCHETYPES}
+
+# Dedicated endpoints niche clients route to (affinity, see
+# repro.simulation.ecosystem).
+DEDICATED = {
+    "grid": arch.GRID_SERVER,
+    "nagios": arch.NAGIOS_SERVER,
+    "interwise": arch.INTERWISE_SERVER,
+    "splunk": arch.SPLUNK_SERVER,
+    "gost": arch.GOST_SERVER,
+}
+
+#: TCP ports of the dedicated endpoints (the paper identifies several
+#: niche populations by port: Nagios 5666, Splunk 9997, GridFTP 2811).
+DEDICATED_PORTS = {
+    "grid": 2811,
+    "nagios": 5666,
+    "interwise": 443,
+    "splunk": 9997,
+    "gost": 443,
+}
+
+
+# Archetypes whose non-preferred RC4 tail gets configured away by the
+# post-RFC-7465 wave; RC4-*preferring* archetypes are exactly the
+# operators who never revisit their configuration (§5.3, §7.3).
+_RC4_TAIL_REMOVABLE = frozenset(
+    {
+        arch.TLS10_CBC.name,
+        arch.TLS10_DHE_CBC.name,
+        arch.TLS12_RSA_CBC.name,
+        arch.TLS12_ECDHE_CBC.name,
+    }
+)
+
+_RFC_7465 = _dt.date(2015, 2, 1)
+
+
+@dataclass(frozen=True)
+class ServerAttributeCurves:
+    """Population-wide attribute dynamics applied on top of the shares."""
+
+    # POODLE-triggered SSL 3 removal among servers that had it enabled.
+    # The high never_patched floor is the paper's §5.1 finding: server
+    # SSL 3 support is "still embarrassingly high" in 2018.
+    ssl3_removal: PatchCurve = PatchCurve(
+        disclosed=_POODLE, half_life_days=420.0, never_patched=0.55
+    )
+    # Heartbeat extension deployment (OpenSSL 1.0.1 uptake): ~24% of
+    # hosts at the Heartbleed disclosure, 34% by May 2018 (§5.4).
+    heartbeat_support: AdoptionCurve = AdoptionCurve(
+        midpoint=_dt.date(2013, 9, 1), scale_days=500.0, floor=0.05, ceiling=0.36
+    )
+    # Among heartbeat-enabled hosts, the vulnerable fraction: nearly all
+    # before disclosure (23.7% of all servers, §5.4), then a very fast
+    # patch wave ("less than 2% in a month") with a 0.3%-scale tail.
+    heartbleed_vulnerable_base: float = 0.95
+    heartbleed_patch: PatchCurve = PatchCurve(
+        disclosed=_HEARTBLEED, half_life_days=8.0, never_patched=0.010
+    )
+    # RFC 7465-driven removal of non-preferred RC4 from server configs:
+    # the SSL Pulse decline from 92.8% RC4 support to 19.1% (§5.3).
+    rc4_tail_removal: PatchCurve = PatchCurve(
+        disclosed=_RFC_7465, half_life_days=500.0, never_patched=0.25
+    )
+    # Version intolerance: the fraction of *legacy* hosts that abort
+    # hellos above TLS 1.0 instead of negotiating down — the brokenness
+    # that forced browsers into the downgrade dance (repro.tls.fallback).
+    # Fixed slowly after the TLS 1.2 rollout exposed it.
+    intolerance_base: float = 0.15
+    intolerance_fix: PatchCurve = PatchCurve(
+        disclosed=_dt.date(2012, 1, 1), half_life_days=650.0, never_patched=0.04
+    )
+
+    def intolerant_fraction(self, on: _dt.date) -> float:
+        return self.intolerance_base * self.intolerance_fix.unpatched(on)
+
+    def heartbeat_fraction(self, on: _dt.date) -> float:
+        return self.heartbeat_support.value(on)
+
+    def vulnerable_fraction_of_heartbeat(self, on: _dt.date) -> float:
+        return self.heartbleed_vulnerable_base * self.heartbleed_patch.unpatched(on)
+
+
+@dataclass
+class ServerPopulation:
+    """Time-varying weighted mixture of server archetypes."""
+
+    attributes: ServerAttributeCurves = ServerAttributeCurves()
+
+    def base_mix(self, on: _dt.date, weighting: str = "traffic") -> list[tuple[ServerProfile, float]]:
+        """Archetype weights before attribute splits; weights sum to 1."""
+        shares = _TRAFFIC_SHARES if weighting == "traffic" else _HOST_SHARES
+        if weighting not in ("traffic", "hosts"):
+            raise ValueError(f"unknown weighting {weighting!r}")
+        weighted = [
+            (_BY_NAME[name], curve.at(on)) for name, curve in shares.items()
+        ]
+        weighted = [(p, w) for p, w in weighted if w > 0]
+        total = sum(w for _, w in weighted)
+        return [(p, w / total) for p, w in weighted]
+
+    def mix(self, on: _dt.date, weighting: str = "traffic") -> list[tuple[ServerProfile, float]]:
+        """Full mixture with SSL 3-removal and Heartbeat splits applied.
+
+        Each base archetype is split into up to four variants
+        (ssl3-kept/removed x heartbeat on/off); Heartbleed vulnerability
+        rides on the heartbeat-on variants.  Weights sum to 1.
+        """
+        import dataclasses
+
+        from repro.tls.versions import TLS10
+
+        ssl3_patched = self.attributes.ssl3_removal.patched(on)
+        rc4_patched = self.attributes.rc4_tail_removal.patched(on)
+        hb = self.attributes.heartbeat_fraction(on)
+        vuln = self.attributes.vulnerable_fraction_of_heartbeat(on)
+        intolerant = self.attributes.intolerant_fraction(on)
+
+        result: list[tuple[ServerProfile, float]] = []
+        for base_archetype, base_archetype_weight in self.base_mix(on, weighting):
+            # Version-intolerance split for the legacy archetypes.
+            intolerance_variants: list[tuple[ServerProfile, float]] = []
+            if (
+                base_archetype.name in (arch.LEGACY_SSL3_RC4.name, arch.TLS10_CBC.name)
+                and intolerant > 0
+            ):
+                broken = dataclasses.replace(
+                    base_archetype,
+                    name=f"{base_archetype.name}-intolerant",
+                    intolerant_above=TLS10.wire,
+                )
+                intolerance_variants.append((broken, base_archetype_weight * intolerant))
+                intolerance_variants.append(
+                    (base_archetype, base_archetype_weight * (1.0 - intolerant))
+                )
+            else:
+                intolerance_variants.append((base_archetype, base_archetype_weight))
+            result.extend(
+                self._attribute_variants(
+                    intolerance_variants, ssl3_patched, rc4_patched, hb, vuln
+                )
+            )
+        return [(p, w) for p, w in result if w > 0]
+
+    def _attribute_variants(
+        self, profiles, ssl3_patched, rc4_patched, hb, vuln
+    ) -> list[tuple[ServerProfile, float]]:
+        result: list[tuple[ServerProfile, float]] = []
+        for profile, weight in profiles:
+            rc4_variants: list[tuple[ServerProfile, float]] = []
+            if profile.name in _RC4_TAIL_REMOVABLE and rc4_patched > 0:
+                rc4_variants.append(
+                    (
+                        profile.without_suites(lambda s: s.is_rc4, "rc4"),
+                        weight * rc4_patched,
+                    )
+                )
+                rc4_variants.append((profile, weight * (1.0 - rc4_patched)))
+            else:
+                rc4_variants.append((profile, weight))
+
+            variants: list[tuple[ServerProfile, float]] = []
+            for base_profile, base_weight in rc4_variants:
+                if SSL3.wire in base_profile.supported_versions and ssl3_patched > 0:
+                    variants.append(
+                        (base_profile.without_version(SSL3.wire), base_weight * ssl3_patched)
+                    )
+                    variants.append((base_profile, base_weight * (1.0 - ssl3_patched)))
+                else:
+                    variants.append((base_profile, base_weight))
+            for variant, vweight in variants:
+                if hb > 0:
+                    hb_on = variant.with_heartbeat(vulnerable=False)
+                    hb_vuln = variant.with_heartbeat(vulnerable=True)
+                    result.append((variant, vweight * (1.0 - hb)))
+                    result.append((hb_on, vweight * hb * (1.0 - vuln)))
+                    result.append((hb_vuln, vweight * hb * vuln))
+                else:
+                    result.append((variant, vweight))
+        return [(p, w) for p, w in result if w > 0]
+
+    def dedicated(self, tag: str) -> ServerProfile:
+        """The dedicated endpoint for an affinity tag (grid, nagios, ...)."""
+        try:
+            return DEDICATED[tag]
+        except KeyError:
+            raise KeyError(f"no dedicated server for tag {tag!r}") from None
+
+    def support_fraction(self, on: _dt.date, predicate, weighting: str = "hosts") -> float:
+        """Fraction of the population whose profile satisfies ``predicate``."""
+        return sum(w for p, w in self.mix(on, weighting) if predicate(p))

@@ -1,0 +1,25 @@
+"""Ecosystem model: attack timeline and the calibrated study driver."""
+
+from repro.simulation.ecosystem import (
+    STUDY_END,
+    STUDY_START,
+    EcosystemModel,
+    default_model,
+)
+from repro.simulation.timeline import (
+    ATTACK_TIMELINE,
+    BROWSER_RC4_REMOVAL,
+    Event,
+    events_between,
+)
+
+__all__ = [
+    "STUDY_END",
+    "STUDY_START",
+    "EcosystemModel",
+    "default_model",
+    "ATTACK_TIMELINE",
+    "BROWSER_RC4_REMOVAL",
+    "Event",
+    "events_between",
+]

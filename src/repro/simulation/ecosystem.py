@@ -1,0 +1,103 @@
+"""The calibrated ecosystem model: one object that runs the whole study.
+
+``EcosystemModel`` wires the client population, server population,
+passive monitor and Censys archive together and exposes the datasets
+every benchmark consumes.  Results are cached per instance, so a bench
+module can share one model across all its experiments.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field
+
+from repro.clients.population import ClientPopulation, default_population
+from repro.core.database import FingerprintDatabase, build_default_database
+from repro.notary.monitor import PassiveMonitor
+from repro.notary.generator import TrafficGenerator
+from repro.notary.store import NotaryStore
+from repro.scanner.censys import CENSYS_FIRST_SCAN, CENSYS_LAST_SCAN, CensysArchive
+from repro.servers.population import ServerPopulation
+
+#: The Notary observation window (§3.1).
+STUDY_START = _dt.date(2012, 1, 1)
+STUDY_END = _dt.date(2018, 4, 1)
+
+
+@dataclass
+class EcosystemModel:
+    """Client + server populations plus the two measurement pipelines."""
+
+    start: _dt.date = STUDY_START
+    end: _dt.date = STUDY_END
+    seed: int = 7
+    clients: ClientPopulation = field(default_factory=default_population)
+    servers: ServerPopulation = field(default_factory=ServerPopulation)
+
+    def __post_init__(self) -> None:
+        self._passive_store: NotaryStore | None = None
+        self._montecarlo_store: NotaryStore | None = None
+        self._censys: CensysArchive | None = None
+        self._database: FingerprintDatabase | None = None
+
+    # ---- passive (Notary) ----------------------------------------------------
+
+    def passive_store(self) -> NotaryStore:
+        """The expectation-mode Notary dataset (cached)."""
+        if self._passive_store is None:
+            monitor = PassiveMonitor()
+            generator = TrafficGenerator(self.clients, self.servers, monitor)
+            generator.run_expectation(self.start, self.end)
+            self._passive_store = monitor.store
+        return self._passive_store
+
+    def montecarlo_store(self, connections_per_month: int = 2000) -> NotaryStore:
+        """A sampled, day-resolution Notary dataset (cached)."""
+        if self._montecarlo_store is None:
+            monitor = PassiveMonitor()
+            generator = TrafficGenerator(self.clients, self.servers, monitor)
+            generator.run_montecarlo(
+                self.start,
+                self.end,
+                connections_per_month=connections_per_month,
+                rng=random.Random(self.seed),
+            )
+            self._montecarlo_store = monitor.store
+        return self._montecarlo_store
+
+    # ---- active (Censys) ------------------------------------------------------
+
+    def censys(
+        self,
+        probes: tuple[str, ...] = ("chrome2015", "ssl3", "export"),
+        interval_days: int = 28,
+        start: _dt.date = CENSYS_FIRST_SCAN,
+        end: _dt.date = CENSYS_LAST_SCAN,
+    ) -> CensysArchive:
+        """The Censys-style scan archive over its availability window."""
+        if self._censys is None:
+            archive = CensysArchive(self.servers, seed=self.seed)
+            for probe in probes:
+                archive.run_schedule(probe, start=start, end=end, interval_days=interval_days)
+            self._censys = archive
+        return self._censys
+
+    # ---- fingerprinting --------------------------------------------------------
+
+    def database(self) -> FingerprintDatabase:
+        """The fingerprint database harvested from the client substrate."""
+        if self._database is None:
+            self._database = build_default_database(self.clients)
+        return self._database
+
+
+_DEFAULT_MODEL: EcosystemModel | None = None
+
+
+def default_model() -> EcosystemModel:
+    """A process-wide shared model, so benches reuse one simulation."""
+    global _DEFAULT_MODEL
+    if _DEFAULT_MODEL is None:
+        _DEFAULT_MODEL = EcosystemModel()
+    return _DEFAULT_MODEL

@@ -1,0 +1,103 @@
+"""The attack and event timeline of §2.2.
+
+Disclosure dates for the vulnerabilities the paper studies, plus the
+non-attack events the figures annotate (Snowden revelations, RFC 7465,
+browser RC4-removal dates).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline event (attack disclosure or ecosystem milestone)."""
+
+    name: str
+    date: _dt.date
+    kind: str  # "attack" | "milestone" | "browser"
+    description: str = ""
+
+
+BEAST = Event(
+    "BEAST", _dt.date(2011, 9, 6), "attack",
+    "MITM plaintext recovery against CBC in TLS <= 1.0 (predictable IVs)",
+)
+LUCKY13 = Event(
+    "Lucky13", _dt.date(2012, 12, 6), "attack",
+    "timing attack against CBC-mode TLS implementations",
+)
+RC4_ATTACKS = Event(
+    "RC4", _dt.date(2013, 3, 12), "attack",
+    "single-byte/double-byte bias plaintext recovery against RC4",
+)
+SNOWDEN = Event(
+    "Snowden", _dt.date(2013, 6, 6), "milestone",
+    "surveillance revelations; spurred the shift to forward secrecy",
+)
+HEARTBLEED = Event(
+    "Heartbleed", _dt.date(2014, 4, 7), "attack",
+    "OpenSSL heartbeat buffer over-read leaking process memory",
+)
+POODLE = Event(
+    "POODLE", _dt.date(2014, 10, 14), "attack",
+    "SSL 3 CBC padding-oracle exploit via protocol fallback",
+)
+RC4_PASSWORDS = Event(
+    "RC4 passwords", _dt.date(2015, 3, 26), "attack",
+    "password recovery attacks against RC4 in TLS",
+)
+FREAK = Event(
+    "FREAK", _dt.date(2015, 3, 3), "attack",
+    "downgrade to export-grade RSA key transport",
+)
+LOGJAM = Event(
+    "Logjam", _dt.date(2015, 5, 20), "attack",
+    "downgrade to export-grade DHE key exchange",
+)
+RFC_7465 = Event(
+    "RFC-7465", _dt.date(2015, 2, 1), "milestone",
+    "Prohibiting RC4 Cipher Suites",
+)
+RC4_NOMORE = Event(
+    "RC4 no more", _dt.date(2015, 7, 15), "attack",
+    "NOMORE: practical RC4 plaintext recovery in TLS and WPA-TKIP",
+)
+SWEET32 = Event(
+    "Sweet32", _dt.date(2016, 8, 31), "attack",
+    "birthday-bound collision attack on 64-bit block ciphers (3DES)",
+)
+
+ATTACK_TIMELINE: tuple[Event, ...] = (
+    BEAST,
+    LUCKY13,
+    RC4_ATTACKS,
+    SNOWDEN,
+    HEARTBLEED,
+    POODLE,
+    RFC_7465,
+    FREAK,
+    RC4_PASSWORDS,
+    LOGJAM,
+    RC4_NOMORE,
+    SWEET32,
+)
+
+# Browser RC4-removal dates — the black dots on Figure 6.
+BROWSER_RC4_REMOVAL: tuple[Event, ...] = (
+    Event("Chrome drops RC4", _dt.date(2015, 5, 19), "browser"),
+    Event("IE/Edge drops RC4", _dt.date(2015, 5, 20), "browser"),
+    Event("Opera drops RC4", _dt.date(2015, 6, 9), "browser"),
+    Event("Firefox drops RC4", _dt.date(2016, 1, 26), "browser"),
+    Event("Safari drops RC4", _dt.date(2017, 3, 27), "browser"),
+)
+
+
+def events_between(start: _dt.date, end: _dt.date) -> list[Event]:
+    """Timeline events inside a date window, sorted by date."""
+    return sorted(
+        (e for e in ATTACK_TIMELINE + BROWSER_RC4_REMOVAL if start <= e.date <= end),
+        key=lambda e: e.date,
+    )

@@ -1,0 +1,85 @@
+"""TLS protocol substrate.
+
+Everything a passive monitor or active scanner needs to speak about TLS:
+protocol versions, the IANA cipher-suite registry with classification
+predicates, extension and named-curve registries, GREASE handling, the
+Client Hello / Server Hello message models with a binary wire codec, and
+the server-side negotiation logic.
+
+This package is self-contained: it performs no I/O and has no third-party
+dependencies.
+"""
+
+from repro.tls.versions import (
+    ProtocolVersion,
+    SSL2,
+    SSL3,
+    TLS10,
+    TLS11,
+    TLS12,
+    TLS13,
+    ALL_VERSIONS,
+    version_by_name,
+    version_by_wire,
+)
+from repro.tls.ciphers import (
+    CipherSuite,
+    KeyExchange,
+    Authentication,
+    Encryption,
+    CipherMode,
+    REGISTRY,
+    suite_by_code,
+    suite_by_name,
+    suites_by_predicate,
+)
+from repro.tls.extensions import Extension, ExtensionType, EXTENSION_REGISTRY
+from repro.tls.curves import NamedCurve, CURVE_REGISTRY, curve_by_code, curve_by_name
+from repro.tls.grease import is_grease, grease_values, strip_grease
+from repro.tls.messages import ClientHello, ServerHello, Alert, AlertDescription
+from repro.tls.handshake import (
+    HandshakeResult,
+    HandshakeFailure,
+    negotiate,
+    SelectionPolicy,
+)
+
+__all__ = [
+    "ProtocolVersion",
+    "SSL2",
+    "SSL3",
+    "TLS10",
+    "TLS11",
+    "TLS12",
+    "TLS13",
+    "ALL_VERSIONS",
+    "version_by_name",
+    "version_by_wire",
+    "CipherSuite",
+    "KeyExchange",
+    "Authentication",
+    "Encryption",
+    "CipherMode",
+    "REGISTRY",
+    "suite_by_code",
+    "suite_by_name",
+    "suites_by_predicate",
+    "Extension",
+    "ExtensionType",
+    "EXTENSION_REGISTRY",
+    "NamedCurve",
+    "CURVE_REGISTRY",
+    "curve_by_code",
+    "curve_by_name",
+    "is_grease",
+    "grease_values",
+    "strip_grease",
+    "ClientHello",
+    "ServerHello",
+    "Alert",
+    "AlertDescription",
+    "HandshakeResult",
+    "HandshakeFailure",
+    "negotiate",
+    "SelectionPolicy",
+]

@@ -1,0 +1,697 @@
+"""IANA TLS cipher-suite registry and classification.
+
+The registry maps 16-bit IANA code points to :class:`CipherSuite` objects
+whose structured properties (key exchange, authentication, encryption
+algorithm, mode, MAC) are derived by parsing the IANA suite name — the
+same approach taken by zgrab and Zeek.  On top of the structure sit the
+classification predicates the paper's analysis needs: RC4 / CBC / AEAD
+(Figures 2-5), export / anonymous / NULL (Figure 7, §6.1, §6.2),
+DES / 3DES (Sweet32, §5.6), forward secrecy and key-exchange family
+(Figure 8), and the AEAD algorithm breakdown (Figures 9, 10).
+
+SSL 2 used an incompatible 24-bit cipher-kind encoding and is not part of
+the IANA registry; the paper's datasets do not analyse SSL 2 suites either
+(§5.1: Censys does not scan SSL 2), so we follow suit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class KeyExchange(enum.Enum):
+    """Key-exchange mechanism of a cipher suite."""
+
+    NULL = "NULL"
+    RSA = "RSA"
+    DH_DSS = "DH_DSS"
+    DH_RSA = "DH_RSA"
+    DHE_DSS = "DHE_DSS"
+    DHE_RSA = "DHE_RSA"
+    DH_ANON = "DH_anon"
+    ECDH_ECDSA = "ECDH_ECDSA"
+    ECDH_RSA = "ECDH_RSA"
+    ECDHE_ECDSA = "ECDHE_ECDSA"
+    ECDHE_RSA = "ECDHE_RSA"
+    ECDH_ANON = "ECDH_anon"
+    KRB5 = "KRB5"
+    PSK = "PSK"
+    DHE_PSK = "DHE_PSK"
+    RSA_PSK = "RSA_PSK"
+    ECDHE_PSK = "ECDHE_PSK"
+    SRP_SHA = "SRP_SHA"
+    SRP_SHA_RSA = "SRP_SHA_RSA"
+    SRP_SHA_DSS = "SRP_SHA_DSS"
+    GOST = "GOST"
+    TLS13 = "TLS13"  # key exchange negotiated via extensions, not the suite
+
+
+class KexFamily(enum.Enum):
+    """Coarse key-exchange grouping used by Figure 8 of the paper."""
+
+    RSA = "RSA"        # RSA key transport (not forward secret)
+    DH = "DH"          # static (finite-field) Diffie-Hellman
+    DHE = "DHE"        # ephemeral finite-field Diffie-Hellman
+    ECDH = "ECDH"      # static elliptic-curve Diffie-Hellman
+    ECDHE = "ECDHE"    # ephemeral elliptic-curve Diffie-Hellman
+    ANON = "ANON"      # unauthenticated key exchange
+    OTHER = "OTHER"    # PSK, SRP, KRB5, GOST, NULL
+
+
+_KEX_FAMILY = {
+    KeyExchange.NULL: KexFamily.OTHER,
+    KeyExchange.RSA: KexFamily.RSA,
+    KeyExchange.DH_DSS: KexFamily.DH,
+    KeyExchange.DH_RSA: KexFamily.DH,
+    KeyExchange.DHE_DSS: KexFamily.DHE,
+    KeyExchange.DHE_RSA: KexFamily.DHE,
+    KeyExchange.DH_ANON: KexFamily.ANON,
+    KeyExchange.ECDH_ECDSA: KexFamily.ECDH,
+    KeyExchange.ECDH_RSA: KexFamily.ECDH,
+    KeyExchange.ECDHE_ECDSA: KexFamily.ECDHE,
+    KeyExchange.ECDHE_RSA: KexFamily.ECDHE,
+    KeyExchange.ECDH_ANON: KexFamily.ANON,
+    KeyExchange.KRB5: KexFamily.OTHER,
+    KeyExchange.PSK: KexFamily.OTHER,
+    KeyExchange.DHE_PSK: KexFamily.OTHER,
+    KeyExchange.RSA_PSK: KexFamily.OTHER,
+    KeyExchange.ECDHE_PSK: KexFamily.OTHER,
+    KeyExchange.SRP_SHA: KexFamily.OTHER,
+    KeyExchange.SRP_SHA_RSA: KexFamily.OTHER,
+    KeyExchange.SRP_SHA_DSS: KexFamily.OTHER,
+    KeyExchange.GOST: KexFamily.OTHER,
+    KeyExchange.TLS13: KexFamily.ECDHE,  # TLS 1.3 is always (EC)DHE
+}
+
+
+class Authentication(enum.Enum):
+    """Server-authentication mechanism."""
+
+    NULL = "NULL"       # anonymous — no certificate
+    RSA = "RSA"
+    DSS = "DSS"
+    ECDSA = "ECDSA"
+    KRB5 = "KRB5"
+    PSK = "PSK"
+    SRP = "SRP"
+    GOST = "GOST"
+    CERT = "CERT"       # TLS 1.3: certificate, algorithm via extensions
+
+
+class Encryption(enum.Enum):
+    """Bulk-encryption algorithm, with (key_bits, block_bits) metadata.
+
+    ``block_bits`` is 0 for stream ciphers and AEAD-native constructions
+    where the 64-bit-birthday concern of Sweet32 does not apply.
+    """
+
+    NULL = ("NULL", 0, 0)
+    RC4_40 = ("RC4_40", 40, 0)
+    RC4_128 = ("RC4_128", 128, 0)
+    RC2_CBC_40 = ("RC2_CBC_40", 40, 64)
+    DES40 = ("DES40", 40, 64)
+    DES = ("DES", 56, 64)
+    TRIPLE_DES = ("3DES_EDE", 112, 64)
+    IDEA = ("IDEA", 128, 64)
+    SEED = ("SEED", 128, 128)
+    AES_128 = ("AES_128", 128, 128)
+    AES_256 = ("AES_256", 256, 128)
+    CAMELLIA_128 = ("CAMELLIA_128", 128, 128)
+    CAMELLIA_256 = ("CAMELLIA_256", 256, 128)
+    ARIA_128 = ("ARIA_128", 128, 128)
+    ARIA_256 = ("ARIA_256", 256, 128)
+    CHACHA20 = ("CHACHA20", 256, 0)
+    GOST_28147 = ("GOST_28147", 256, 64)
+
+    def __init__(self, label: str, key_bits: int, block_bits: int):
+        self.label = label
+        self.key_bits = key_bits
+        self.block_bits = block_bits
+
+
+class CipherMode(enum.Enum):
+    """Mode of operation of the bulk cipher."""
+
+    NULL = "NULL"          # no encryption at all
+    STREAM = "STREAM"      # RC4-style stream cipher
+    CBC = "CBC"
+    GCM = "GCM"
+    CCM = "CCM"
+    CCM_8 = "CCM_8"
+    POLY1305 = "POLY1305"  # ChaCha20-Poly1305 AEAD
+    CNT = "CNT"            # GOST counter mode
+
+    @property
+    def is_aead(self) -> bool:
+        return self in (CipherMode.GCM, CipherMode.CCM, CipherMode.CCM_8, CipherMode.POLY1305)
+
+
+class MAC(enum.Enum):
+    """Record-protection MAC (or, for AEAD/TLS 1.3 suites, the PRF hash)."""
+
+    NULL = "NULL"
+    MD5 = "MD5"
+    SHA = "SHA"
+    SHA256 = "SHA256"
+    SHA384 = "SHA384"
+    IMIT = "IMIT"  # GOST 28147-89 IMIT
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """A single IANA cipher suite with derived classification.
+
+    Instances are immutable and interned in :data:`REGISTRY`; identity
+    comparison by ``code`` is safe throughout the library.
+    """
+
+    code: int
+    name: str
+    kex: KeyExchange
+    auth: Authentication
+    encryption: Encryption
+    mode: CipherMode
+    mac: MAC
+    export: bool = False
+    scsv: bool = False
+    tls13_only: bool = field(default=False)
+
+    # ---- classification predicates used throughout the analysis ----
+
+    @property
+    def kex_family(self) -> KexFamily:
+        """Coarse key-exchange grouping (Figure 8)."""
+        return _KEX_FAMILY[self.kex]
+
+    @property
+    def is_aead(self) -> bool:
+        """True for GCM/CCM/ChaCha20-Poly1305 suites (Figures 2-5, 9, 10)."""
+        return self.mode.is_aead
+
+    @property
+    def is_cbc(self) -> bool:
+        return self.mode is CipherMode.CBC
+
+    @property
+    def is_rc4(self) -> bool:
+        return self.encryption in (Encryption.RC4_40, Encryption.RC4_128)
+
+    @property
+    def is_des(self) -> bool:
+        """Single DES (including 40-bit export DES), not 3DES."""
+        return self.encryption in (Encryption.DES, Encryption.DES40)
+
+    @property
+    def is_3des(self) -> bool:
+        return self.encryption is Encryption.TRIPLE_DES
+
+    @property
+    def is_export(self) -> bool:
+        return self.export
+
+    @property
+    def is_anonymous(self) -> bool:
+        """True if the key exchange is unauthenticated (§6.2)."""
+        return self.auth is Authentication.NULL and not self.scsv
+
+    @property
+    def is_null_encryption(self) -> bool:
+        """True if the suite provides no confidentiality (§6.1)."""
+        return self.encryption is Encryption.NULL and not self.scsv
+
+    @property
+    def is_null_null(self) -> bool:
+        """The TLS_NULL_WITH_NULL_NULL suite: no integrity either (§6.1)."""
+        return self.code == 0x0000
+
+    @property
+    def forward_secret(self) -> bool:
+        """True for ephemeral (EC)DHE key exchange (§6.3.1)."""
+        return self.kex_family in (KexFamily.DHE, KexFamily.ECDHE)
+
+    @property
+    def uses_small_block(self) -> bool:
+        """True for 64-bit-block ciphers vulnerable to Sweet32."""
+        return self.encryption.block_bits == 64
+
+    @property
+    def aead_algorithm(self) -> str | None:
+        """Label used by Figures 9/10, or None for non-AEAD suites."""
+        if not self.is_aead:
+            return None
+        if self.mode is CipherMode.POLY1305:
+            return "ChaCha20-Poly1305"
+        base = {
+            Encryption.AES_128: "AES128",
+            Encryption.AES_256: "AES256",
+            Encryption.CAMELLIA_128: "CAMELLIA128",
+            Encryption.CAMELLIA_256: "CAMELLIA256",
+            Encryption.ARIA_128: "ARIA128",
+            Encryption.ARIA_256: "ARIA256",
+        }.get(self.encryption, self.encryption.label)
+        if self.mode is CipherMode.GCM:
+            return f"{base}-GCM"
+        return f"{base}-CCM"
+
+    @property
+    def mode_class(self) -> str:
+        """One of ``"AEAD"``, ``"CBC"``, ``"RC4"``, ``"STREAM"``, ``"NULL"``,
+        ``"OTHER"`` — the grouping of Figure 2."""
+        if self.scsv:
+            return "OTHER"
+        if self.is_aead:
+            return "AEAD"
+        if self.is_rc4:
+            return "RC4"
+        if self.is_cbc:
+            return "CBC"
+        if self.is_null_encryption:
+            return "NULL"
+        if self.mode is CipherMode.STREAM:
+            return "STREAM"
+        return "OTHER"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<CipherSuite {self.code:#06x} {self.name}>"
+
+
+class UnknownCipherSuite(KeyError):
+    """Raised when a code point or name is not in the registry."""
+
+
+# ---------------------------------------------------------------------------
+# IANA name parsing
+# ---------------------------------------------------------------------------
+
+_KEX_TOKENS = {
+    "NULL": (KeyExchange.NULL, Authentication.NULL),
+    "RSA": (KeyExchange.RSA, Authentication.RSA),
+    "RSA_FIPS": (KeyExchange.RSA, Authentication.RSA),
+    "DH_DSS": (KeyExchange.DH_DSS, Authentication.DSS),
+    "DH_RSA": (KeyExchange.DH_RSA, Authentication.RSA),
+    "DHE_DSS": (KeyExchange.DHE_DSS, Authentication.DSS),
+    "DHE_RSA": (KeyExchange.DHE_RSA, Authentication.RSA),
+    "DH_anon": (KeyExchange.DH_ANON, Authentication.NULL),
+    "ECDH_ECDSA": (KeyExchange.ECDH_ECDSA, Authentication.ECDSA),
+    "ECDH_RSA": (KeyExchange.ECDH_RSA, Authentication.RSA),
+    "ECDHE_ECDSA": (KeyExchange.ECDHE_ECDSA, Authentication.ECDSA),
+    "ECDHE_RSA": (KeyExchange.ECDHE_RSA, Authentication.RSA),
+    "ECDH_anon": (KeyExchange.ECDH_ANON, Authentication.NULL),
+    "KRB5": (KeyExchange.KRB5, Authentication.KRB5),
+    "PSK": (KeyExchange.PSK, Authentication.PSK),
+    "DHE_PSK": (KeyExchange.DHE_PSK, Authentication.PSK),
+    "RSA_PSK": (KeyExchange.RSA_PSK, Authentication.PSK),
+    "ECDHE_PSK": (KeyExchange.ECDHE_PSK, Authentication.PSK),
+    "SRP_SHA": (KeyExchange.SRP_SHA, Authentication.SRP),
+    "SRP_SHA_RSA": (KeyExchange.SRP_SHA_RSA, Authentication.RSA),
+    "SRP_SHA_DSS": (KeyExchange.SRP_SHA_DSS, Authentication.DSS),
+}
+
+_CIPHER_TOKENS = {
+    "NULL": (Encryption.NULL, CipherMode.NULL),
+    "RC4_40": (Encryption.RC4_40, CipherMode.STREAM),
+    "RC4_128": (Encryption.RC4_128, CipherMode.STREAM),
+    "RC2_CBC_40": (Encryption.RC2_CBC_40, CipherMode.CBC),
+    "DES40_CBC": (Encryption.DES40, CipherMode.CBC),
+    "DES_CBC_40": (Encryption.DES40, CipherMode.CBC),
+    "DES_CBC": (Encryption.DES, CipherMode.CBC),
+    "3DES_EDE_CBC": (Encryption.TRIPLE_DES, CipherMode.CBC),
+    "IDEA_CBC": (Encryption.IDEA, CipherMode.CBC),
+    "SEED_CBC": (Encryption.SEED, CipherMode.CBC),
+    "AES_128_CBC": (Encryption.AES_128, CipherMode.CBC),
+    "AES_256_CBC": (Encryption.AES_256, CipherMode.CBC),
+    "AES_128_GCM": (Encryption.AES_128, CipherMode.GCM),
+    "AES_256_GCM": (Encryption.AES_256, CipherMode.GCM),
+    "AES_128_CCM": (Encryption.AES_128, CipherMode.CCM),
+    "AES_256_CCM": (Encryption.AES_256, CipherMode.CCM),
+    "AES_128_CCM_8": (Encryption.AES_128, CipherMode.CCM_8),
+    "AES_256_CCM_8": (Encryption.AES_256, CipherMode.CCM_8),
+    "CAMELLIA_128_CBC": (Encryption.CAMELLIA_128, CipherMode.CBC),
+    "CAMELLIA_256_CBC": (Encryption.CAMELLIA_256, CipherMode.CBC),
+    "CAMELLIA_128_GCM": (Encryption.CAMELLIA_128, CipherMode.GCM),
+    "CAMELLIA_256_GCM": (Encryption.CAMELLIA_256, CipherMode.GCM),
+    "ARIA_128_CBC": (Encryption.ARIA_128, CipherMode.CBC),
+    "ARIA_256_CBC": (Encryption.ARIA_256, CipherMode.CBC),
+    "ARIA_128_GCM": (Encryption.ARIA_128, CipherMode.GCM),
+    "ARIA_256_GCM": (Encryption.ARIA_256, CipherMode.GCM),
+    "CHACHA20_POLY1305": (Encryption.CHACHA20, CipherMode.POLY1305),
+    "28147_CNT": (Encryption.GOST_28147, CipherMode.CNT),
+}
+
+_MAC_TOKENS = {
+    "NULL": MAC.NULL,
+    "MD5": MAC.MD5,
+    "SHA": MAC.SHA,
+    "SHA256": MAC.SHA256,
+    "SHA384": MAC.SHA384,
+    "IMIT": MAC.IMIT,
+}
+
+# TLS 1.3 suite bodies: cipher+hash, no key exchange / auth in the name.
+_TLS13_BODIES = {
+    "AES_128_GCM_SHA256": (Encryption.AES_128, CipherMode.GCM, MAC.SHA256),
+    "AES_256_GCM_SHA384": (Encryption.AES_256, CipherMode.GCM, MAC.SHA384),
+    "CHACHA20_POLY1305_SHA256": (Encryption.CHACHA20, CipherMode.POLY1305, MAC.SHA256),
+    "AES_128_CCM_SHA256": (Encryption.AES_128, CipherMode.CCM, MAC.SHA256),
+    "AES_128_CCM_8_SHA256": (Encryption.AES_128, CipherMode.CCM_8, MAC.SHA256),
+}
+
+
+class SuiteNameError(ValueError):
+    """Raised when an IANA suite name cannot be parsed."""
+
+
+def parse_suite_name(code: int, name: str) -> CipherSuite:
+    """Parse an IANA suite name into a :class:`CipherSuite`.
+
+    Handles the classic ``TLS_<KEX>[_EXPORT]_WITH_<CIPHER>_<MAC>`` grammar,
+    TLS 1.3 names (no ``_WITH_``), GOST names, and the two SCSV signalling
+    values.
+    """
+    if name in ("TLS_EMPTY_RENEGOTIATION_INFO_SCSV", "TLS_FALLBACK_SCSV"):
+        return CipherSuite(
+            code, name, KeyExchange.NULL, Authentication.NULL,
+            Encryption.NULL, CipherMode.NULL, MAC.NULL, scsv=True,
+        )
+    if not name.startswith("TLS_"):
+        raise SuiteNameError(f"not a TLS suite name: {name!r}")
+    body = name[len("TLS_"):]
+
+    if "_WITH_" not in body:
+        # TLS 1.3 grammar (allow an _OLD suffix for pre-standard ChaCha names).
+        if body in _TLS13_BODIES:
+            enc, mode, mac = _TLS13_BODIES[body]
+            return CipherSuite(
+                code, name, KeyExchange.TLS13, Authentication.CERT,
+                enc, mode, mac, tls13_only=True,
+            )
+        raise SuiteNameError(f"unparseable suite name: {name!r}")
+
+    kex_part, cipher_part = body.split("_WITH_", 1)
+
+    if kex_part.startswith("GOSTR"):
+        kex, auth = KeyExchange.GOST, Authentication.GOST
+        export = False
+    else:
+        export = kex_part.endswith("_EXPORT")
+        if export:
+            kex_part = kex_part[: -len("_EXPORT")]
+        try:
+            kex, auth = _KEX_TOKENS[kex_part]
+        except KeyError:
+            raise SuiteNameError(f"unknown key exchange in {name!r}") from None
+
+    # Pre-standard ChaCha20 suites shipped by Chrome ("..._OLD").
+    if cipher_part.endswith("_OLD"):
+        cipher_part = cipher_part[: -len("_OLD")]
+
+    # CCM suites and the pre-standard ChaCha names carry no MAC token at
+    # all (AEAD: the mode authenticates); otherwise the MAC is the final
+    # underscore-separated token.
+    if cipher_part in _CIPHER_TOKENS:
+        cipher_token, mac_token = cipher_part, "NULL"
+    else:
+        cipher_token, _, mac_token = cipher_part.rpartition("_")
+        if mac_token not in _MAC_TOKENS:
+            raise SuiteNameError(f"unknown MAC in {name!r}")
+        if cipher_token not in _CIPHER_TOKENS:
+            raise SuiteNameError(f"unknown cipher in {name!r}")
+    enc, mode = _CIPHER_TOKENS[cipher_token]
+    mac = _MAC_TOKENS[mac_token]
+    return CipherSuite(code, name, kex, auth, enc, mode, mac, export=export)
+
+
+# ---------------------------------------------------------------------------
+# The registry: (code, IANA name) pairs
+# ---------------------------------------------------------------------------
+
+_SUITE_NAMES: tuple[tuple[int, str], ...] = (
+    (0x0000, "TLS_NULL_WITH_NULL_NULL"),
+    (0x0001, "TLS_RSA_WITH_NULL_MD5"),
+    (0x0002, "TLS_RSA_WITH_NULL_SHA"),
+    (0x0003, "TLS_RSA_EXPORT_WITH_RC4_40_MD5"),
+    (0x0004, "TLS_RSA_WITH_RC4_128_MD5"),
+    (0x0005, "TLS_RSA_WITH_RC4_128_SHA"),
+    (0x0006, "TLS_RSA_EXPORT_WITH_RC2_CBC_40_MD5"),
+    (0x0007, "TLS_RSA_WITH_IDEA_CBC_SHA"),
+    (0x0008, "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA"),
+    (0x0009, "TLS_RSA_WITH_DES_CBC_SHA"),
+    (0x000A, "TLS_RSA_WITH_3DES_EDE_CBC_SHA"),
+    (0x000B, "TLS_DH_DSS_EXPORT_WITH_DES40_CBC_SHA"),
+    (0x000C, "TLS_DH_DSS_WITH_DES_CBC_SHA"),
+    (0x000D, "TLS_DH_DSS_WITH_3DES_EDE_CBC_SHA"),
+    (0x000E, "TLS_DH_RSA_EXPORT_WITH_DES40_CBC_SHA"),
+    (0x000F, "TLS_DH_RSA_WITH_DES_CBC_SHA"),
+    (0x0010, "TLS_DH_RSA_WITH_3DES_EDE_CBC_SHA"),
+    (0x0011, "TLS_DHE_DSS_EXPORT_WITH_DES40_CBC_SHA"),
+    (0x0012, "TLS_DHE_DSS_WITH_DES_CBC_SHA"),
+    (0x0013, "TLS_DHE_DSS_WITH_3DES_EDE_CBC_SHA"),
+    (0x0014, "TLS_DHE_RSA_EXPORT_WITH_DES40_CBC_SHA"),
+    (0x0015, "TLS_DHE_RSA_WITH_DES_CBC_SHA"),
+    (0x0016, "TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA"),
+    (0x0017, "TLS_DH_anon_EXPORT_WITH_RC4_40_MD5"),
+    (0x0018, "TLS_DH_anon_WITH_RC4_128_MD5"),
+    (0x0019, "TLS_DH_anon_EXPORT_WITH_DES40_CBC_SHA"),
+    (0x001A, "TLS_DH_anon_WITH_DES_CBC_SHA"),
+    (0x001B, "TLS_DH_anon_WITH_3DES_EDE_CBC_SHA"),
+    (0x001E, "TLS_KRB5_WITH_DES_CBC_SHA"),
+    (0x001F, "TLS_KRB5_WITH_3DES_EDE_CBC_SHA"),
+    (0x0020, "TLS_KRB5_WITH_RC4_128_SHA"),
+    (0x0021, "TLS_KRB5_WITH_IDEA_CBC_SHA"),
+    (0x0022, "TLS_KRB5_WITH_DES_CBC_MD5"),
+    (0x0023, "TLS_KRB5_WITH_3DES_EDE_CBC_MD5"),
+    (0x0024, "TLS_KRB5_WITH_RC4_128_MD5"),
+    (0x0025, "TLS_KRB5_WITH_IDEA_CBC_MD5"),
+    (0x0026, "TLS_KRB5_EXPORT_WITH_DES_CBC_40_SHA"),
+    (0x0027, "TLS_KRB5_EXPORT_WITH_RC2_CBC_40_SHA"),
+    (0x0028, "TLS_KRB5_EXPORT_WITH_RC4_40_SHA"),
+    (0x0029, "TLS_KRB5_EXPORT_WITH_DES_CBC_40_MD5"),
+    (0x002A, "TLS_KRB5_EXPORT_WITH_RC2_CBC_40_MD5"),
+    (0x002B, "TLS_KRB5_EXPORT_WITH_RC4_40_MD5"),
+    (0x002C, "TLS_PSK_WITH_NULL_SHA"),
+    (0x002D, "TLS_DHE_PSK_WITH_NULL_SHA"),
+    (0x002E, "TLS_RSA_PSK_WITH_NULL_SHA"),
+    (0x002F, "TLS_RSA_WITH_AES_128_CBC_SHA"),
+    (0x0030, "TLS_DH_DSS_WITH_AES_128_CBC_SHA"),
+    (0x0031, "TLS_DH_RSA_WITH_AES_128_CBC_SHA"),
+    (0x0032, "TLS_DHE_DSS_WITH_AES_128_CBC_SHA"),
+    (0x0033, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA"),
+    (0x0034, "TLS_DH_anon_WITH_AES_128_CBC_SHA"),
+    (0x0035, "TLS_RSA_WITH_AES_256_CBC_SHA"),
+    (0x0036, "TLS_DH_DSS_WITH_AES_256_CBC_SHA"),
+    (0x0037, "TLS_DH_RSA_WITH_AES_256_CBC_SHA"),
+    (0x0038, "TLS_DHE_DSS_WITH_AES_256_CBC_SHA"),
+    (0x0039, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA"),
+    (0x003A, "TLS_DH_anon_WITH_AES_256_CBC_SHA"),
+    (0x003B, "TLS_RSA_WITH_NULL_SHA256"),
+    (0x003C, "TLS_RSA_WITH_AES_128_CBC_SHA256"),
+    (0x003D, "TLS_RSA_WITH_AES_256_CBC_SHA256"),
+    (0x003E, "TLS_DH_DSS_WITH_AES_128_CBC_SHA256"),
+    (0x003F, "TLS_DH_RSA_WITH_AES_128_CBC_SHA256"),
+    (0x0040, "TLS_DHE_DSS_WITH_AES_128_CBC_SHA256"),
+    (0x0041, "TLS_RSA_WITH_CAMELLIA_128_CBC_SHA"),
+    (0x0042, "TLS_DH_DSS_WITH_CAMELLIA_128_CBC_SHA"),
+    (0x0043, "TLS_DH_RSA_WITH_CAMELLIA_128_CBC_SHA"),
+    (0x0044, "TLS_DHE_DSS_WITH_CAMELLIA_128_CBC_SHA"),
+    (0x0045, "TLS_DHE_RSA_WITH_CAMELLIA_128_CBC_SHA"),
+    (0x0046, "TLS_DH_anon_WITH_CAMELLIA_128_CBC_SHA"),
+    (0x0066, "TLS_DHE_DSS_WITH_RC4_128_SHA"),
+    (0x0067, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA256"),
+    (0x0068, "TLS_DH_DSS_WITH_AES_256_CBC_SHA256"),
+    (0x0069, "TLS_DH_RSA_WITH_AES_256_CBC_SHA256"),
+    (0x006A, "TLS_DHE_DSS_WITH_AES_256_CBC_SHA256"),
+    (0x006B, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA256"),
+    (0x006C, "TLS_DH_anon_WITH_AES_128_CBC_SHA256"),
+    (0x006D, "TLS_DH_anon_WITH_AES_256_CBC_SHA256"),
+    (0x0080, "TLS_GOSTR341094_WITH_28147_CNT_IMIT"),
+    (0x0081, "TLS_GOSTR341001_WITH_28147_CNT_IMIT"),
+    (0x0084, "TLS_RSA_WITH_CAMELLIA_256_CBC_SHA"),
+    (0x0085, "TLS_DH_DSS_WITH_CAMELLIA_256_CBC_SHA"),
+    (0x0086, "TLS_DH_RSA_WITH_CAMELLIA_256_CBC_SHA"),
+    (0x0087, "TLS_DHE_DSS_WITH_CAMELLIA_256_CBC_SHA"),
+    (0x0088, "TLS_DHE_RSA_WITH_CAMELLIA_256_CBC_SHA"),
+    (0x0089, "TLS_DH_anon_WITH_CAMELLIA_256_CBC_SHA"),
+    (0x008A, "TLS_PSK_WITH_RC4_128_SHA"),
+    (0x008B, "TLS_PSK_WITH_3DES_EDE_CBC_SHA"),
+    (0x008C, "TLS_PSK_WITH_AES_128_CBC_SHA"),
+    (0x008D, "TLS_PSK_WITH_AES_256_CBC_SHA"),
+    (0x008E, "TLS_DHE_PSK_WITH_RC4_128_SHA"),
+    (0x008F, "TLS_DHE_PSK_WITH_3DES_EDE_CBC_SHA"),
+    (0x0090, "TLS_DHE_PSK_WITH_AES_128_CBC_SHA"),
+    (0x0091, "TLS_DHE_PSK_WITH_AES_256_CBC_SHA"),
+    (0x0092, "TLS_RSA_PSK_WITH_RC4_128_SHA"),
+    (0x0093, "TLS_RSA_PSK_WITH_3DES_EDE_CBC_SHA"),
+    (0x0094, "TLS_RSA_PSK_WITH_AES_128_CBC_SHA"),
+    (0x0095, "TLS_RSA_PSK_WITH_AES_256_CBC_SHA"),
+    (0x0096, "TLS_RSA_WITH_SEED_CBC_SHA"),
+    (0x0097, "TLS_DH_DSS_WITH_SEED_CBC_SHA"),
+    (0x0098, "TLS_DH_RSA_WITH_SEED_CBC_SHA"),
+    (0x0099, "TLS_DHE_DSS_WITH_SEED_CBC_SHA"),
+    (0x009A, "TLS_DHE_RSA_WITH_SEED_CBC_SHA"),
+    (0x009B, "TLS_DH_anon_WITH_SEED_CBC_SHA"),
+    (0x009C, "TLS_RSA_WITH_AES_128_GCM_SHA256"),
+    (0x009D, "TLS_RSA_WITH_AES_256_GCM_SHA384"),
+    (0x009E, "TLS_DHE_RSA_WITH_AES_128_GCM_SHA256"),
+    (0x009F, "TLS_DHE_RSA_WITH_AES_256_GCM_SHA384"),
+    (0x00A0, "TLS_DH_RSA_WITH_AES_128_GCM_SHA256"),
+    (0x00A1, "TLS_DH_RSA_WITH_AES_256_GCM_SHA384"),
+    (0x00A2, "TLS_DHE_DSS_WITH_AES_128_GCM_SHA256"),
+    (0x00A3, "TLS_DHE_DSS_WITH_AES_256_GCM_SHA384"),
+    (0x00A4, "TLS_DH_DSS_WITH_AES_128_GCM_SHA256"),
+    (0x00A5, "TLS_DH_DSS_WITH_AES_256_GCM_SHA384"),
+    (0x00A6, "TLS_DH_anon_WITH_AES_128_GCM_SHA256"),
+    (0x00A7, "TLS_DH_anon_WITH_AES_256_GCM_SHA384"),
+    (0x00BA, "TLS_RSA_WITH_CAMELLIA_128_CBC_SHA256"),
+    (0x00BE, "TLS_DHE_RSA_WITH_CAMELLIA_128_CBC_SHA256"),
+    (0x00C0, "TLS_RSA_WITH_CAMELLIA_256_CBC_SHA256"),
+    (0x00C4, "TLS_DHE_RSA_WITH_CAMELLIA_256_CBC_SHA256"),
+    (0x00FF, "TLS_EMPTY_RENEGOTIATION_INFO_SCSV"),
+    (0x1301, "TLS_AES_128_GCM_SHA256"),
+    (0x1302, "TLS_AES_256_GCM_SHA384"),
+    (0x1303, "TLS_CHACHA20_POLY1305_SHA256"),
+    (0x1304, "TLS_AES_128_CCM_SHA256"),
+    (0x1305, "TLS_AES_128_CCM_8_SHA256"),
+    (0x5600, "TLS_FALLBACK_SCSV"),
+    (0xC001, "TLS_ECDH_ECDSA_WITH_NULL_SHA"),
+    (0xC002, "TLS_ECDH_ECDSA_WITH_RC4_128_SHA"),
+    (0xC003, "TLS_ECDH_ECDSA_WITH_3DES_EDE_CBC_SHA"),
+    (0xC004, "TLS_ECDH_ECDSA_WITH_AES_128_CBC_SHA"),
+    (0xC005, "TLS_ECDH_ECDSA_WITH_AES_256_CBC_SHA"),
+    (0xC006, "TLS_ECDHE_ECDSA_WITH_NULL_SHA"),
+    (0xC007, "TLS_ECDHE_ECDSA_WITH_RC4_128_SHA"),
+    (0xC008, "TLS_ECDHE_ECDSA_WITH_3DES_EDE_CBC_SHA"),
+    (0xC009, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA"),
+    (0xC00A, "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA"),
+    (0xC00B, "TLS_ECDH_RSA_WITH_NULL_SHA"),
+    (0xC00C, "TLS_ECDH_RSA_WITH_RC4_128_SHA"),
+    (0xC00D, "TLS_ECDH_RSA_WITH_3DES_EDE_CBC_SHA"),
+    (0xC00E, "TLS_ECDH_RSA_WITH_AES_128_CBC_SHA"),
+    (0xC00F, "TLS_ECDH_RSA_WITH_AES_256_CBC_SHA"),
+    (0xC010, "TLS_ECDHE_RSA_WITH_NULL_SHA"),
+    (0xC011, "TLS_ECDHE_RSA_WITH_RC4_128_SHA"),
+    (0xC012, "TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA"),
+    (0xC013, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA"),
+    (0xC014, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA"),
+    (0xC015, "TLS_ECDH_anon_WITH_NULL_SHA"),
+    (0xC016, "TLS_ECDH_anon_WITH_RC4_128_SHA"),
+    (0xC017, "TLS_ECDH_anon_WITH_3DES_EDE_CBC_SHA"),
+    (0xC018, "TLS_ECDH_anon_WITH_AES_128_CBC_SHA"),
+    (0xC019, "TLS_ECDH_anon_WITH_AES_256_CBC_SHA"),
+    (0xC01A, "TLS_SRP_SHA_WITH_3DES_EDE_CBC_SHA"),
+    (0xC01B, "TLS_SRP_SHA_RSA_WITH_3DES_EDE_CBC_SHA"),
+    (0xC01C, "TLS_SRP_SHA_DSS_WITH_3DES_EDE_CBC_SHA"),
+    (0xC01D, "TLS_SRP_SHA_WITH_AES_128_CBC_SHA"),
+    (0xC01E, "TLS_SRP_SHA_RSA_WITH_AES_128_CBC_SHA"),
+    (0xC01F, "TLS_SRP_SHA_DSS_WITH_AES_128_CBC_SHA"),
+    (0xC020, "TLS_SRP_SHA_WITH_AES_256_CBC_SHA"),
+    (0xC021, "TLS_SRP_SHA_RSA_WITH_AES_256_CBC_SHA"),
+    (0xC022, "TLS_SRP_SHA_DSS_WITH_AES_256_CBC_SHA"),
+    (0xC023, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256"),
+    (0xC024, "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA384"),
+    (0xC025, "TLS_ECDH_ECDSA_WITH_AES_128_CBC_SHA256"),
+    (0xC026, "TLS_ECDH_ECDSA_WITH_AES_256_CBC_SHA384"),
+    (0xC027, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256"),
+    (0xC028, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384"),
+    (0xC029, "TLS_ECDH_RSA_WITH_AES_128_CBC_SHA256"),
+    (0xC02A, "TLS_ECDH_RSA_WITH_AES_256_CBC_SHA384"),
+    (0xC02B, "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256"),
+    (0xC02C, "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384"),
+    (0xC02D, "TLS_ECDH_ECDSA_WITH_AES_128_GCM_SHA256"),
+    (0xC02E, "TLS_ECDH_ECDSA_WITH_AES_256_GCM_SHA384"),
+    (0xC02F, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256"),
+    (0xC030, "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384"),
+    (0xC031, "TLS_ECDH_RSA_WITH_AES_128_GCM_SHA256"),
+    (0xC032, "TLS_ECDH_RSA_WITH_AES_256_GCM_SHA384"),
+    (0xC033, "TLS_ECDHE_PSK_WITH_RC4_128_SHA"),
+    (0xC034, "TLS_ECDHE_PSK_WITH_3DES_EDE_CBC_SHA"),
+    (0xC035, "TLS_ECDHE_PSK_WITH_AES_128_CBC_SHA"),
+    (0xC036, "TLS_ECDHE_PSK_WITH_AES_256_CBC_SHA"),
+    (0xC072, "TLS_ECDHE_ECDSA_WITH_CAMELLIA_128_CBC_SHA256"),
+    (0xC073, "TLS_ECDHE_ECDSA_WITH_CAMELLIA_256_CBC_SHA384"),
+    (0xC076, "TLS_ECDHE_RSA_WITH_CAMELLIA_128_CBC_SHA256"),
+    (0xC077, "TLS_ECDHE_RSA_WITH_CAMELLIA_256_CBC_SHA384"),
+    (0xC07A, "TLS_RSA_WITH_CAMELLIA_128_GCM_SHA256"),
+    (0xC07B, "TLS_RSA_WITH_CAMELLIA_256_GCM_SHA384"),
+    (0xC07C, "TLS_DHE_RSA_WITH_CAMELLIA_128_GCM_SHA256"),
+    (0xC07D, "TLS_DHE_RSA_WITH_CAMELLIA_256_GCM_SHA384"),
+    (0xC09C, "TLS_RSA_WITH_AES_128_CCM"),
+    (0xC09D, "TLS_RSA_WITH_AES_256_CCM"),
+    (0xC09E, "TLS_DHE_RSA_WITH_AES_128_CCM"),
+    (0xC09F, "TLS_DHE_RSA_WITH_AES_256_CCM"),
+    (0xC0A0, "TLS_RSA_WITH_AES_128_CCM_8"),
+    (0xC0A1, "TLS_RSA_WITH_AES_256_CCM_8"),
+    (0xC0A2, "TLS_DHE_RSA_WITH_AES_128_CCM_8"),
+    (0xC0A3, "TLS_DHE_RSA_WITH_AES_256_CCM_8"),
+    (0xC0AC, "TLS_ECDHE_ECDSA_WITH_AES_128_CCM"),
+    (0xC0AD, "TLS_ECDHE_ECDSA_WITH_AES_256_CCM"),
+    (0xC0AE, "TLS_ECDHE_ECDSA_WITH_AES_128_CCM_8"),
+    (0xC0AF, "TLS_ECDHE_ECDSA_WITH_AES_256_CCM_8"),
+    (0xCC13, "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_OLD"),
+    (0xCC14, "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_OLD"),
+    (0xCCA8, "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256"),
+    (0xCCA9, "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256"),
+    (0xCCAA, "TLS_DHE_RSA_WITH_CHACHA20_POLY1305_SHA256"),
+    (0xCCAB, "TLS_PSK_WITH_CHACHA20_POLY1305_SHA256"),
+    (0xCCAC, "TLS_ECDHE_PSK_WITH_CHACHA20_POLY1305_SHA256"),
+    (0xCCAD, "TLS_DHE_PSK_WITH_CHACHA20_POLY1305_SHA256"),
+    (0xCCAE, "TLS_RSA_PSK_WITH_CHACHA20_POLY1305_SHA256"),
+    # Non-IANA legacy code point: the NSS "FIPS" 3DES suite that 2012-era
+    # NSS clients (Firefox, Thunderbird) still offered on the wire.
+    (0xFEFF, "TLS_RSA_FIPS_WITH_3DES_EDE_CBC_SHA"),
+)
+
+
+def _build_registry() -> dict[int, CipherSuite]:
+    registry: dict[int, CipherSuite] = {}
+    for code, name in _SUITE_NAMES:
+        if code in registry:
+            raise ValueError(f"duplicate cipher suite code {code:#06x}")
+        registry[code] = parse_suite_name(code, name)
+    return registry
+
+
+REGISTRY: dict[int, CipherSuite] = _build_registry()
+_BY_NAME: dict[str, CipherSuite] = {s.name: s for s in REGISTRY.values()}
+
+
+def suite_by_code(code: int) -> CipherSuite:
+    """Look up a suite by IANA code point; raises :class:`UnknownCipherSuite`."""
+    try:
+        return REGISTRY[code]
+    except KeyError:
+        raise UnknownCipherSuite(f"unknown cipher suite code {code:#06x}") from None
+
+
+def suite_by_name(name: str) -> CipherSuite:
+    """Look up a suite by exact IANA name; raises :class:`UnknownCipherSuite`."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise UnknownCipherSuite(f"unknown cipher suite name {name!r}") from None
+
+
+def suites_by_predicate(predicate) -> list[CipherSuite]:
+    """All registered suites satisfying ``predicate``, sorted by code point."""
+    return sorted(
+        (s for s in REGISTRY.values() if predicate(s)),
+        key=lambda s: s.code,
+    )
+
+
+def classify_codes(codes) -> dict[str, int]:
+    """Count the mode classes present in an iterable of code points.
+
+    Unknown code points are counted under ``"UNKNOWN"`` rather than raising:
+    passive monitors must tolerate unassigned values (GREASE aside, the wild
+    contains private code points).
+    """
+    counts: dict[str, int] = {}
+    for code in codes:
+        suite = REGISTRY.get(code)
+        key = suite.mode_class if suite is not None else "UNKNOWN"
+        counts[key] = counts.get(key, 0) + 1
+    return counts

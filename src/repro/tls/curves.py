@@ -1,0 +1,105 @@
+"""Named-group (elliptic-curve) registry, RFC 4492 / RFC 7919 / RFC 8446.
+
+§6.3.3 of the paper analyses the distribution of negotiated curves
+(secp256r1 84.4%, secp384r1 8.6%, x25519 6.7%, sect571r1 0.2%,
+secp521r1 0.1%); this registry provides the constants and metadata for
+that analysis, including the finite-field groups of RFC 7919.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NamedCurve:
+    """One named group from the IANA registry."""
+
+    code: int
+    name: str
+    bits: int
+    kind: str  # "prime", "char2", "montgomery", "ffdhe"
+    nist_backed: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<NamedCurve {self.name} ({self.code})>"
+
+
+_CURVES: tuple[NamedCurve, ...] = (
+    NamedCurve(1, "sect163k1", 163, "char2"),
+    NamedCurve(2, "sect163r1", 163, "char2"),
+    NamedCurve(3, "sect163r2", 163, "char2"),
+    NamedCurve(4, "sect193r1", 193, "char2"),
+    NamedCurve(5, "sect193r2", 193, "char2"),
+    NamedCurve(6, "sect233k1", 233, "char2"),
+    NamedCurve(7, "sect233r1", 233, "char2"),
+    NamedCurve(8, "sect239k1", 239, "char2"),
+    NamedCurve(9, "sect283k1", 283, "char2"),
+    NamedCurve(10, "sect283r1", 283, "char2"),
+    NamedCurve(11, "sect409k1", 409, "char2"),
+    NamedCurve(12, "sect409r1", 409, "char2"),
+    NamedCurve(13, "sect571k1", 571, "char2"),
+    NamedCurve(14, "sect571r1", 571, "char2"),
+    NamedCurve(15, "secp160k1", 160, "prime"),
+    NamedCurve(16, "secp160r1", 160, "prime"),
+    NamedCurve(17, "secp160r2", 160, "prime"),
+    NamedCurve(18, "secp192k1", 192, "prime"),
+    NamedCurve(19, "secp192r1", 192, "prime"),
+    NamedCurve(20, "secp224k1", 224, "prime"),
+    NamedCurve(21, "secp224r1", 224, "prime"),
+    NamedCurve(22, "secp256k1", 256, "prime"),
+    NamedCurve(23, "secp256r1", 256, "prime"),
+    NamedCurve(24, "secp384r1", 384, "prime"),
+    NamedCurve(25, "secp521r1", 521, "prime"),
+    NamedCurve(26, "brainpoolP256r1", 256, "prime", nist_backed=False),
+    NamedCurve(27, "brainpoolP384r1", 384, "prime", nist_backed=False),
+    NamedCurve(28, "brainpoolP512r1", 512, "prime", nist_backed=False),
+    # x25519 is "seen as being independent of NSA influence" (§6.3.3).
+    NamedCurve(29, "x25519", 253, "montgomery", nist_backed=False),
+    NamedCurve(30, "x448", 446, "montgomery", nist_backed=False),
+    NamedCurve(256, "ffdhe2048", 2048, "ffdhe", nist_backed=False),
+    NamedCurve(257, "ffdhe3072", 3072, "ffdhe", nist_backed=False),
+    NamedCurve(258, "ffdhe4096", 4096, "ffdhe", nist_backed=False),
+    NamedCurve(259, "ffdhe6144", 6144, "ffdhe", nist_backed=False),
+    NamedCurve(260, "ffdhe8192", 8192, "ffdhe", nist_backed=False),
+)
+
+CURVE_REGISTRY: dict[int, NamedCurve] = {c.code: c for c in _CURVES}
+_BY_NAME: dict[str, NamedCurve] = {c.name: c for c in _CURVES}
+
+# Aliases used by the paper and by OpenSSL tooling.
+_BY_NAME["curve25519"] = _BY_NAME["x25519"]
+_BY_NAME["prime256v1"] = _BY_NAME["secp256r1"]
+
+# Code points widely used in the period.
+SECP256R1 = _BY_NAME["secp256r1"]
+SECP384R1 = _BY_NAME["secp384r1"]
+SECP521R1 = _BY_NAME["secp521r1"]
+SECT571R1 = _BY_NAME["sect571r1"]
+X25519 = _BY_NAME["x25519"]
+
+
+class UnknownCurve(KeyError):
+    """Raised when a curve code point or name is not registered."""
+
+
+def curve_by_code(code: int) -> NamedCurve:
+    """Look up a named group by IANA code point."""
+    try:
+        return CURVE_REGISTRY[code]
+    except KeyError:
+        raise UnknownCurve(f"unknown named curve code {code}") from None
+
+
+def curve_by_name(name: str) -> NamedCurve:
+    """Look up a named group by name (accepts x25519/curve25519 aliases)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise UnknownCurve(f"unknown named curve {name!r}") from None
+
+
+# EC point format code points (RFC 4492 §5.1.2).
+POINT_FORMAT_UNCOMPRESSED = 0
+POINT_FORMAT_ANSIX962_COMPRESSED_PRIME = 1
+POINT_FORMAT_ANSIX962_COMPRESSED_CHAR2 = 2

@@ -1,0 +1,164 @@
+"""TLS extension registry (RFC 6066 and friends).
+
+Covers the IANA-assigned extension types that existed at the paper's
+observation window (28 standardized types as of March 2018, §2.1), plus
+the renegotiation-info signalling value and the GREASE-reserved points.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ExtensionType(enum.IntEnum):
+    """IANA extension type code points."""
+
+    SERVER_NAME = 0
+    MAX_FRAGMENT_LENGTH = 1
+    CLIENT_CERTIFICATE_URL = 2
+    TRUSTED_CA_KEYS = 3
+    TRUNCATED_HMAC = 4
+    STATUS_REQUEST = 5
+    USER_MAPPING = 6
+    CLIENT_AUTHZ = 7
+    SERVER_AUTHZ = 8
+    CERT_TYPE = 9
+    SUPPORTED_GROUPS = 10  # previously "elliptic_curves"
+    EC_POINT_FORMATS = 11
+    SRP = 12
+    SIGNATURE_ALGORITHMS = 13
+    USE_SRTP = 14
+    HEARTBEAT = 15
+    APPLICATION_LAYER_PROTOCOL_NEGOTIATION = 16
+    STATUS_REQUEST_V2 = 17
+    SIGNED_CERTIFICATE_TIMESTAMP = 18
+    CLIENT_CERTIFICATE_TYPE = 19
+    SERVER_CERTIFICATE_TYPE = 20
+    PADDING = 21
+    ENCRYPT_THEN_MAC = 22
+    EXTENDED_MASTER_SECRET = 23
+    TOKEN_BINDING = 24
+    CACHED_INFO = 25
+    SESSION_TICKET = 35
+    PRE_SHARED_KEY = 41
+    EARLY_DATA = 42
+    SUPPORTED_VERSIONS = 43
+    COOKIE = 44
+    PSK_KEY_EXCHANGE_MODES = 45
+    CERTIFICATE_AUTHORITIES = 47
+    OID_FILTERS = 48
+    POST_HANDSHAKE_AUTH = 49
+    SIGNATURE_ALGORITHMS_CERT = 50
+    KEY_SHARE = 51
+    NEXT_PROTOCOL_NEGOTIATION = 13172  # Google NPN, never IANA-standardized
+    CHANNEL_ID = 30032                 # Google Channel ID
+    RENEGOTIATION_INFO = 65281
+
+
+@dataclass(frozen=True)
+class Extension:
+    """A TLS extension as carried in a hello message.
+
+    ``ext_type`` is kept as a plain int so unknown / GREASE values survive
+    a parse-reserialize round trip unmodified.
+    """
+
+    ext_type: int
+    data: bytes = b""
+
+    @property
+    def name(self) -> str:
+        try:
+            return ExtensionType(self.ext_type).name.lower()
+        except ValueError:
+            return f"unknown_{self.ext_type}"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<Extension {self.name} ({self.ext_type}), {len(self.data)} bytes>"
+
+
+@dataclass(frozen=True)
+class ExtensionInfo:
+    """Registry metadata about one extension type."""
+
+    ext_type: ExtensionType
+    rfc: str
+    tls13_relevant: bool = False
+    note: str = ""
+
+
+EXTENSION_REGISTRY: dict[int, ExtensionInfo] = {
+    info.ext_type: info
+    for info in (
+        ExtensionInfo(ExtensionType.SERVER_NAME, "RFC 6066"),
+        ExtensionInfo(ExtensionType.MAX_FRAGMENT_LENGTH, "RFC 6066"),
+        ExtensionInfo(ExtensionType.CLIENT_CERTIFICATE_URL, "RFC 6066"),
+        ExtensionInfo(ExtensionType.TRUSTED_CA_KEYS, "RFC 6066"),
+        ExtensionInfo(ExtensionType.TRUNCATED_HMAC, "RFC 6066"),
+        ExtensionInfo(ExtensionType.STATUS_REQUEST, "RFC 6066"),
+        ExtensionInfo(ExtensionType.USER_MAPPING, "RFC 4681"),
+        ExtensionInfo(ExtensionType.CLIENT_AUTHZ, "RFC 5878"),
+        ExtensionInfo(ExtensionType.SERVER_AUTHZ, "RFC 5878"),
+        ExtensionInfo(ExtensionType.CERT_TYPE, "RFC 6091"),
+        ExtensionInfo(ExtensionType.SUPPORTED_GROUPS, "RFC 4492 / RFC 7919"),
+        ExtensionInfo(ExtensionType.EC_POINT_FORMATS, "RFC 4492"),
+        ExtensionInfo(ExtensionType.SRP, "RFC 5054"),
+        ExtensionInfo(ExtensionType.SIGNATURE_ALGORITHMS, "RFC 5246"),
+        ExtensionInfo(ExtensionType.USE_SRTP, "RFC 5764"),
+        ExtensionInfo(
+            ExtensionType.HEARTBEAT, "RFC 6520",
+            note="DTLS keep-alive; the extension Heartbleed lived in (§5.4)",
+        ),
+        ExtensionInfo(ExtensionType.APPLICATION_LAYER_PROTOCOL_NEGOTIATION, "RFC 7301"),
+        ExtensionInfo(ExtensionType.STATUS_REQUEST_V2, "RFC 6961"),
+        ExtensionInfo(ExtensionType.SIGNED_CERTIFICATE_TIMESTAMP, "RFC 6962"),
+        ExtensionInfo(ExtensionType.CLIENT_CERTIFICATE_TYPE, "RFC 7250"),
+        ExtensionInfo(ExtensionType.SERVER_CERTIFICATE_TYPE, "RFC 7250"),
+        ExtensionInfo(ExtensionType.PADDING, "RFC 7685"),
+        ExtensionInfo(
+            ExtensionType.ENCRYPT_THEN_MAC, "RFC 7366",
+            note="the Lucky 13 countermeasure with very limited uptake (§9)",
+        ),
+        ExtensionInfo(ExtensionType.EXTENDED_MASTER_SECRET, "RFC 7627"),
+        ExtensionInfo(ExtensionType.TOKEN_BINDING, "RFC 8472"),
+        ExtensionInfo(ExtensionType.CACHED_INFO, "RFC 7924"),
+        ExtensionInfo(ExtensionType.SESSION_TICKET, "RFC 5077"),
+        ExtensionInfo(ExtensionType.PRE_SHARED_KEY, "RFC 8446", tls13_relevant=True),
+        ExtensionInfo(ExtensionType.EARLY_DATA, "RFC 8446", tls13_relevant=True),
+        ExtensionInfo(
+            ExtensionType.SUPPORTED_VERSIONS, "RFC 8446", tls13_relevant=True,
+            note="the TLS 1.3 version-negotiation mechanism analysed in §6.4",
+        ),
+        ExtensionInfo(ExtensionType.COOKIE, "RFC 8446", tls13_relevant=True),
+        ExtensionInfo(ExtensionType.PSK_KEY_EXCHANGE_MODES, "RFC 8446", tls13_relevant=True),
+        ExtensionInfo(ExtensionType.CERTIFICATE_AUTHORITIES, "RFC 8446", tls13_relevant=True),
+        ExtensionInfo(ExtensionType.OID_FILTERS, "RFC 8446", tls13_relevant=True),
+        ExtensionInfo(ExtensionType.POST_HANDSHAKE_AUTH, "RFC 8446", tls13_relevant=True),
+        ExtensionInfo(ExtensionType.SIGNATURE_ALGORITHMS_CERT, "RFC 8446", tls13_relevant=True),
+        ExtensionInfo(ExtensionType.KEY_SHARE, "RFC 8446", tls13_relevant=True),
+        ExtensionInfo(ExtensionType.NEXT_PROTOCOL_NEGOTIATION, "draft-agl-tls-nextprotoneg"),
+        ExtensionInfo(ExtensionType.CHANNEL_ID, "draft-balfanz-tls-channelid"),
+        ExtensionInfo(
+            ExtensionType.RENEGOTIATION_INFO, "RFC 5746",
+            note="the RIE extension deployed in response to the renegotiation attack (§9)",
+        ),
+    )
+}
+
+
+def encode_supported_versions(wire_versions: list[int]) -> bytes:
+    """Encode the body of a ``supported_versions`` Client Hello extension."""
+    body = b"".join(v.to_bytes(2, "big") for v in wire_versions)
+    return bytes([len(body)]) + body
+
+
+def decode_supported_versions(data: bytes) -> list[int]:
+    """Decode the body of a ``supported_versions`` Client Hello extension."""
+    if not data:
+        raise ValueError("empty supported_versions body")
+    length = data[0]
+    body = data[1 : 1 + length]
+    if len(body) != length or length % 2 != 0:
+        raise ValueError("malformed supported_versions body")
+    return [int.from_bytes(body[i : i + 2], "big") for i in range(0, length, 2)]

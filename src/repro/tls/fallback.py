@@ -1,0 +1,170 @@
+"""The protocol-fallback "downgrade dance" and its exploitation.
+
+Browsers of the BEAST/POODLE era retried failed handshakes at
+successively lower protocol versions (the *downgrade dance*), because
+version-intolerant servers and middleboxes would otherwise break.
+POODLE (§2.2) weaponized this: a man-in-the-middle drops the initial
+handshakes until the client retries at SSL 3, whose CBC padding is
+exploitable.  The countermeasures the paper tracks are (i) removing the
+SSL 3 fallback entirely (Table 6's "SSL 3 fallback removed" rows) and
+(ii) TLS_FALLBACK_SCSV (RFC 7507), which lets an up-to-date server
+detect and refuse a dance that it did not cause.
+
+This module simulates the dance: a client ladder, an optional active
+attacker, and a server profile.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.clients.profile import ClientRelease
+from repro.servers.config import ServerProfile
+from repro.tls.handshake import FALLBACK_SCSV, HandshakeResult
+from repro.tls.messages import ClientHello
+from repro.tls.versions import SSL3, TLS10, TLS11, TLS12, is_tls13_variant
+
+
+class FallbackOutcome(enum.Enum):
+    """How a downgrade dance ended."""
+
+    FIRST_TRY = "first_try"          # no fallback needed
+    FELL_BACK = "fell_back"          # succeeded at a lower version
+    REFUSED_SCSV = "refused_scsv"    # server caught the dance via SCSV
+    EXHAUSTED = "exhausted"          # no version worked
+
+
+@dataclass(frozen=True)
+class DanceResult:
+    """Outcome of a (possibly attacked) connection attempt."""
+
+    outcome: FallbackOutcome
+    attempts: int
+    final: HandshakeResult | None
+    attacked: bool = False
+
+    @property
+    def established(self) -> bool:
+        return self.final is not None and self.final.established
+
+    @property
+    def negotiated_wire(self) -> int | None:
+        if self.final is None:
+            return None
+        return self.final.version_wire
+
+    @property
+    def poodle_exposed(self) -> bool:
+        """True when the dance landed on SSL 3 with a CBC suite —
+        the precondition of the POODLE exploit."""
+        if self.final is None or not self.established:
+            return False
+        suite = self.final.suite
+        return (
+            self.negotiated_wire == SSL3.wire
+            and suite is not None
+            and suite.is_cbc
+        )
+
+
+def fallback_ladder(release: ClientRelease) -> list[int]:
+    """The version ladder a release retries, highest first.
+
+    Clients whose ``ssl3_fallback`` flag is cleared stop at TLS 1.0
+    (the Table 6 mitigation); TLS 1.3-era clients do not dance at all
+    (their real version lives in ``supported_versions``).
+    """
+    ladder = [
+        wire
+        for wire in (TLS12.wire, TLS11.wire, TLS10.wire)
+        if wire <= release.max_version
+    ]
+    if release.ssl3_fallback:
+        ladder.append(SSL3.wire)
+    return ladder
+
+
+def _hello_at(hello: ClientHello, version: int, send_scsv: bool) -> ClientHello:
+    suites = hello.cipher_suites
+    if send_scsv and FALLBACK_SCSV not in suites:
+        suites = suites + (FALLBACK_SCSV,)
+    if not send_scsv:
+        suites = tuple(c for c in suites if c != FALLBACK_SCSV)
+    return replace(
+        hello,
+        legacy_version=version,
+        cipher_suites=suites,
+        supported_versions=(),
+    )
+
+
+def downgrade_dance(
+    release: ClientRelease,
+    server: ServerProfile,
+    hello: ClientHello | None = None,
+    attacker_drops: int = 0,
+    send_scsv: bool = True,
+) -> DanceResult:
+    """Run the retry ladder against a server, optionally under attack.
+
+    Args:
+        release: The client (provides the ladder and base hello).
+        server: The server profile answering.
+        hello: Optional pre-built hello (defaults to the release's).
+        attacker_drops: A MITM drops this many leading handshake
+            attempts — POODLE's forcing move.
+        send_scsv: Whether the client appends TLS_FALLBACK_SCSV on
+            retries (RFC 7507 deployed).
+
+    Returns:
+        A :class:`DanceResult`; ``poodle_exposed`` reports whether the
+        attacker achieved the SSL3+CBC precondition.
+    """
+    base = hello if hello is not None else release.build_hello()
+    ladder = fallback_ladder(release)
+    attempts = 0
+    attacked = attacker_drops > 0
+    for index, version in enumerate(ladder):
+        attempts += 1
+        if attempts <= attacker_drops:
+            # The attacker drops the flight; the client sees a timeout
+            # and retries lower.
+            continue
+        attempt_hello = _hello_at(base, version, send_scsv=send_scsv and index > 0)
+        result = server.respond(attempt_hello)
+        if result.ok:
+            outcome = (
+                FallbackOutcome.FIRST_TRY if index == 0 else FallbackOutcome.FELL_BACK
+            )
+            return DanceResult(outcome, attempts, result, attacked)
+        if (
+            result.alert is not None
+            and result.alert.description.name == "INAPPROPRIATE_FALLBACK"
+        ):
+            return DanceResult(FallbackOutcome.REFUSED_SCSV, attempts, None, attacked)
+        # PROTOCOL_VERSION or HANDSHAKE_FAILURE: walk down the ladder.
+    return DanceResult(FallbackOutcome.EXHAUSTED, attempts, None, attacked)
+
+
+def poodle_attack_succeeds(
+    release: ClientRelease,
+    server: ServerProfile,
+    send_scsv: bool = False,
+) -> bool:
+    """Whether a POODLE MITM can force this client/server pair to SSL 3.
+
+    The attacker drops every attempt above SSL 3; success requires the
+    client to still have the SSL 3 rung, the server to accept SSL 3
+    with a CBC suite, and the SCSV check to not fire.
+    """
+    ladder = fallback_ladder(release)
+    if SSL3.wire not in ladder:
+        return False
+    result = downgrade_dance(
+        release,
+        server,
+        attacker_drops=len(ladder) - 1,
+        send_scsv=send_scsv,
+    )
+    return result.poodle_exposed

@@ -1,0 +1,50 @@
+"""GREASE (RFC 8701) value generation and stripping.
+
+Chrome injects reserved "GREASE" values into the cipher-suite list,
+extension list, and supported-groups list to keep servers tolerant of
+unknown code points.  The paper's fingerprinting methodology (§4)
+identifies and removes these values before computing a fingerprint —
+otherwise every Chrome connection would produce a fresh fingerprint.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+# All GREASE values follow the pattern 0xRaRa with R in 0..15.
+GREASE_VALUES: tuple[int, ...] = tuple(
+    (nibble << 12) | 0x0A00 | (nibble << 4) | 0x0A for nibble in range(16)
+)
+
+_GREASE_SET = frozenset(GREASE_VALUES)
+
+
+def is_grease(value: int) -> bool:
+    """True if ``value`` is one of the sixteen reserved GREASE code points."""
+    return value in _GREASE_SET
+
+
+def grease_values() -> tuple[int, ...]:
+    """The sixteen reserved GREASE code points, ascending."""
+    return GREASE_VALUES
+
+
+def random_grease(rng: random.Random) -> int:
+    """Pick one GREASE value uniformly, as a GREASE-ing client would."""
+    return rng.choice(GREASE_VALUES)
+
+
+def strip_grease(values: Iterable[int]) -> tuple[int, ...]:
+    """Return ``values`` with every GREASE code point removed, order kept."""
+    return tuple(v for v in values if v not in _GREASE_SET)
+
+
+def inject_grease(values: Sequence[int], rng: random.Random) -> tuple[int, ...]:
+    """Prepend a random GREASE value to a list, Chrome-style.
+
+    Chrome places one GREASE value at the head of the cipher list and the
+    extension list; we reproduce that placement so that stripping is
+    position-independent but injection is realistic.
+    """
+    return (random_grease(rng), *values)

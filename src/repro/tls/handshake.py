@@ -1,0 +1,389 @@
+"""Server-side TLS negotiation.
+
+Models the Server Hello decision process of §2.1: "The server then
+chooses its preferred options, among those offered by the client".
+Covers classic (SSL 3 – TLS 1.2) version negotiation, the TLS 1.3
+``supported_versions`` mechanism including draft versions (§6.4),
+TLS_FALLBACK_SCSV downgrade protection (POODLE countermeasure, §2.2),
+GREASE tolerance, curve agreement for ECC suites, and the misbehaving
+servers of §5.5/§7.3 that choose suites the client never offered.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.tls.ciphers import (
+    REGISTRY,
+    CipherMode,
+    CipherSuite,
+    KexFamily,
+    suite_by_code,
+)
+from repro.tls.extensions import ExtensionType
+from repro.tls.grease import strip_grease
+from repro.tls.messages import (
+    Alert,
+    AlertDescription,
+    ClientHello,
+    ServerHello,
+)
+from repro.tls.versions import (
+    SSL3,
+    TLS12,
+    TLS13,
+    ProtocolVersion,
+    is_tls13_variant,
+    version_by_wire,
+)
+
+FALLBACK_SCSV = 0x5600
+RENEGOTIATION_INFO_SCSV = 0x00FF
+
+# Extension types a server may echo when the client offered them.
+_ECHOABLE = frozenset(
+    int(t)
+    for t in (
+        ExtensionType.HEARTBEAT,
+        ExtensionType.RENEGOTIATION_INFO,
+        ExtensionType.SESSION_TICKET,
+        ExtensionType.EXTENDED_MASTER_SECRET,
+        ExtensionType.ENCRYPT_THEN_MAC,
+        ExtensionType.STATUS_REQUEST,
+        ExtensionType.EC_POINT_FORMATS,
+        ExtensionType.APPLICATION_LAYER_PROTOCOL_NEGOTIATION,
+        ExtensionType.SIGNED_CERTIFICATE_TIMESTAMP,
+    )
+)
+
+
+class SelectionAnomaly(enum.Enum):
+    """Misbehaviours observed in the wild (§5.5, §7.3)."""
+
+    NONE = "none"
+    # Interwise: client offered RC4_128_SHA, server chose EXP_RC4_40_MD5.
+    CHOOSE_UNOFFERED = "choose_unoffered"
+    # Hosts answering with GOST suites regardless of the offer.
+    CHOOSE_GOST = "choose_gost"
+
+
+@dataclass(frozen=True)
+class SelectionPolicy:
+    """How a server picks among mutually supported options."""
+
+    server_preference: bool = True
+    anomaly: SelectionAnomaly = SelectionAnomaly.NONE
+    anomaly_suite: int | None = None
+
+
+class HandshakeFailure(Exception):
+    """Raised by :func:`negotiate` in strict mode on a failed handshake."""
+
+    def __init__(self, alert: Alert, reason: str):
+        super().__init__(reason)
+        self.alert = alert
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class HandshakeResult:
+    """Outcome of a negotiation attempt.
+
+    ``ok`` means the server produced a Server Hello; whether the *client*
+    then proceeds (e.g. after an anomalous unoffered-suite choice) is the
+    client model's decision, surfaced as ``client_aborts``.
+    """
+
+    client_hello: ClientHello
+    server_hello: ServerHello | None = None
+    alert: Alert | None = None
+    reason: str = ""
+    client_aborts: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.server_hello is not None
+
+    @property
+    def established(self) -> bool:
+        """True if both sides would proceed to Change Cipher Spec."""
+        return self.ok and not self.client_aborts
+
+    @property
+    def suite(self) -> CipherSuite | None:
+        if self.server_hello is None:
+            return None
+        return REGISTRY.get(self.server_hello.cipher_suite)
+
+    @property
+    def version_wire(self) -> int | None:
+        if self.server_hello is None:
+            return None
+        return self.server_hello.negotiated_version
+
+    @property
+    def version(self) -> ProtocolVersion | None:
+        """Negotiated version; TLS 1.3 drafts normalize to TLS 1.3."""
+        wire = self.version_wire
+        if wire is None:
+            return None
+        if is_tls13_variant(wire):
+            return TLS13
+        try:
+            return version_by_wire(wire)
+        except KeyError:
+            return None
+
+    @property
+    def curve(self) -> int | None:
+        if self.server_hello is None:
+            return None
+        return self.server_hello.selected_group
+
+    @property
+    def forward_secret(self) -> bool:
+        suite = self.suite
+        return bool(suite and suite.forward_secret)
+
+    @property
+    def kex_family(self) -> KexFamily | None:
+        suite = self.suite
+        return suite.kex_family if suite else None
+
+    @property
+    def mode_class(self) -> str | None:
+        suite = self.suite
+        return suite.mode_class if suite else None
+
+    @property
+    def heartbeat_negotiated(self) -> bool:
+        """Heartbeat offered by client and acknowledged by server (§5.4)."""
+        return bool(
+            self.server_hello is not None
+            and self.client_hello.has_extension(ExtensionType.HEARTBEAT)
+            and self.server_hello.has_extension(ExtensionType.HEARTBEAT)
+        )
+
+
+def suite_usable_at(suite: CipherSuite, version_wire: int) -> bool:
+    """Whether a suite may be negotiated under a given protocol version.
+
+    TLS 1.3 suites only under a 1.3 variant; legacy suites never under
+    1.3; AEAD and SHA-2 CBC suites require at least TLS 1.2 (AEAD was
+    introduced with TLS 1.2, §6.3.2).
+    """
+    tls13 = is_tls13_variant(version_wire)
+    if suite.tls13_only:
+        return tls13
+    if tls13:
+        return False
+    if suite.is_aead and version_wire < TLS12.wire:
+        return False
+    from repro.tls.ciphers import MAC
+
+    if suite.mac in (MAC.SHA256, MAC.SHA384) and version_wire < TLS12.wire:
+        return False
+    return True
+
+
+def _select_version(
+    hello: ClientHello,
+    supported_versions: frozenset[int] | set[int],
+) -> tuple[int | None, Alert | None, str]:
+    """Pick the protocol version, honoring ``supported_versions``.
+
+    Returns ``(version_wire, alert, reason)`` with exactly one of
+    version / alert set.
+    """
+    server_tls13 = {v for v in supported_versions if is_tls13_variant(v)}
+    if hello.supported_versions and server_tls13:
+        # RFC 8446 §4.2.1: server picks its preferred version from the
+        # client's list.  Preference: highest wire value it supports.
+        mutual = [v for v in hello.offered_versions() if v in supported_versions]
+        tls13_mutual = [v for v in mutual if is_tls13_variant(v)]
+        if tls13_mutual:
+            return max(tls13_mutual), None, ""
+        if mutual:
+            return max(mutual), None, ""
+        return (
+            None,
+            Alert(AlertDescription.PROTOCOL_VERSION),
+            "no mutual version in supported_versions",
+        )
+
+    classic_server = {v for v in supported_versions if not is_tls13_variant(v)}
+    if not classic_server:
+        return (
+            None,
+            Alert(AlertDescription.PROTOCOL_VERSION),
+            "server speaks only TLS 1.3 and client did not offer it",
+        )
+    client_max = hello.legacy_version
+    usable = {v for v in classic_server if v <= client_max}
+    if not usable:
+        return (
+            None,
+            Alert(AlertDescription.PROTOCOL_VERSION),
+            f"client max {client_max:#06x} below server minimum",
+        )
+    return max(usable), None, ""
+
+
+def negotiate(
+    hello: ClientHello,
+    supported_versions,
+    suite_preference,
+    supported_groups=(),
+    echo_extensions=(),
+    policy: SelectionPolicy = SelectionPolicy(),
+    server_random: bytes = b"\x5a" * 32,
+    strict: bool = False,
+) -> HandshakeResult:
+    """Run server-side negotiation against a Client Hello.
+
+    Args:
+        hello: The observed Client Hello.
+        supported_versions: Wire versions the server accepts (ints; may
+            include TLS 1.3 draft/experiment values).
+        suite_preference: Cipher-suite code points the server supports,
+            most-preferred first.
+        supported_groups: Named-group code points for ECC suites,
+            most-preferred first.
+        echo_extensions: Extension type ints the server supports and will
+            echo when offered.
+        policy: Preference-order and anomaly behaviour.
+        server_random: 32-byte server random for the Server Hello.
+        strict: If True, raise :class:`HandshakeFailure` instead of
+            returning an alert-carrying result.
+
+    Returns:
+        A :class:`HandshakeResult` carrying either a Server Hello or a
+        fatal alert.
+    """
+    supported_versions = frozenset(int(v) for v in supported_versions)
+    suite_preference = tuple(int(c) for c in suite_preference)
+
+    def fail(alert: Alert, reason: str) -> HandshakeResult:
+        if strict:
+            raise HandshakeFailure(alert, reason)
+        return HandshakeResult(client_hello=hello, alert=alert, reason=reason)
+
+    version, alert, reason = _select_version(hello, supported_versions)
+    if alert is not None:
+        return fail(alert, reason)
+    assert version is not None
+
+    # TLS_FALLBACK_SCSV (RFC 7507): the client signals it is retrying at a
+    # lower version; if the server supports something higher, refuse.
+    offered = strip_grease(hello.cipher_suites)
+    if FALLBACK_SCSV in offered and not hello.supported_versions:
+        classic = {v for v in supported_versions if not is_tls13_variant(v)}
+        if classic and max(classic) > hello.legacy_version:
+            return fail(
+                Alert(AlertDescription.INAPPROPRIATE_FALLBACK),
+                "fallback SCSV with higher mutual version available",
+            )
+
+    # Anomalous servers pick their suite with no regard for the offer.
+    if policy.anomaly is not SelectionAnomaly.NONE:
+        anomaly_suite = policy.anomaly_suite
+        if anomaly_suite is None:
+            anomaly_suite = 0x0081 if policy.anomaly is SelectionAnomaly.CHOOSE_GOST else 0x0003
+        server_hello = ServerHello(
+            version=version,
+            random=server_random,
+            cipher_suite=anomaly_suite,
+            extensions=(),
+        )
+        aborts = anomaly_suite not in offered
+        return HandshakeResult(
+            client_hello=hello,
+            server_hello=server_hello,
+            reason=f"anomalous selection {policy.anomaly.value}",
+            client_aborts=aborts,
+        )
+
+    client_order = [c for c in offered if c in REGISTRY and not REGISTRY[c].scsv]
+    client_set = set(client_order)
+    usable_server = [
+        c
+        for c in suite_preference
+        if c in REGISTRY and suite_usable_at(REGISTRY[c], version)
+    ]
+
+    server_groups = tuple(int(g) for g in supported_groups)
+    client_groups = strip_grease(hello.supported_groups)
+
+    def agree_curve(suite: CipherSuite) -> int | None:
+        """First server-preferred group also offered by the client."""
+        if suite.kex_family not in (KexFamily.ECDH, KexFamily.ECDHE):
+            return None if not suite.tls13_only else _first_common_group()
+        return _first_common_group()
+
+    def _first_common_group() -> int | None:
+        if not client_groups:
+            # Pre-RFC-4492-extension clients: assume the default curves.
+            return server_groups[0] if server_groups else None
+        for group in server_groups:
+            if group in client_groups:
+                return group
+        return None
+
+    def curve_ok(suite: CipherSuite) -> bool:
+        needs_curve = suite.kex_family in (KexFamily.ECDH, KexFamily.ECDHE)
+        if suite.tls13_only:
+            needs_curve = True
+        if not needs_curve:
+            return True
+        return _first_common_group() is not None
+
+    if policy.server_preference:
+        candidates = [c for c in usable_server if c in client_set]
+    else:
+        usable_set = set(usable_server)
+        candidates = [c for c in client_order if c in usable_set]
+
+    chosen: CipherSuite | None = None
+    for code in candidates:
+        suite = REGISTRY[code]
+        if curve_ok(suite):
+            chosen = suite
+            break
+    if chosen is None:
+        return fail(
+            Alert(AlertDescription.HANDSHAKE_FAILURE),
+            "no mutually supported cipher suite",
+        )
+
+    echo_set = set(int(t) for t in echo_extensions) & _ECHOABLE
+    client_ext_types = set(hello.extension_types())
+    echoed = tuple(
+        _make_echo(t) for t in sorted(echo_set) if t in client_ext_types
+    )
+    # RFC 5746: the renegotiation-info SCSV is equivalent to the extension.
+    if (
+        int(ExtensionType.RENEGOTIATION_INFO) in echo_set
+        and RENEGOTIATION_INFO_SCSV in offered
+        and not any(e.ext_type == ExtensionType.RENEGOTIATION_INFO for e in echoed)
+    ):
+        echoed = echoed + (_make_echo(int(ExtensionType.RENEGOTIATION_INFO)),)
+
+    tls13 = is_tls13_variant(version)
+    server_hello = ServerHello(
+        version=TLS12.wire if tls13 else version,
+        random=server_random,
+        cipher_suite=chosen.code,
+        extensions=echoed,
+        selected_version=version if tls13 else None,
+        selected_group=agree_curve(chosen),
+    )
+    return HandshakeResult(client_hello=hello, server_hello=server_hello)
+
+
+def _make_echo(ext_type: int):
+    from repro.tls.extensions import Extension
+
+    if ext_type == int(ExtensionType.HEARTBEAT):
+        return Extension(ext_type, b"\x01")  # peer_allowed_to_send
+    return Extension(ext_type, b"")

@@ -1,0 +1,137 @@
+"""SSL 2.0 CLIENT-HELLO codec.
+
+SSL 2 predates the TLS record layer entirely: its records carry a
+2-byte length with the high bit set, the CLIENT-HELLO is message type
+1, and cipher kinds are 3-byte values (§5.1 of the paper still observed
+1.2K SSL 2 connections per month in 2018, all terminating at one
+university's Nagios servers).  The Notary must at least recognize these
+relics, so the codec is implemented at parsing fidelity.
+
+Reference: "The SSL Protocol" (Hickman, 1995), RFC 6101 appendix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MSG_CLIENT_HELLO = 0x01
+SSL2_VERSION = 0x0002
+
+# 3-byte SSL 2 cipher kinds.
+SSL_CK_RC4_128_WITH_MD5 = 0x010080
+SSL_CK_RC4_128_EXPORT40_WITH_MD5 = 0x020080
+SSL_CK_RC2_128_CBC_WITH_MD5 = 0x030080
+SSL_CK_RC2_128_CBC_EXPORT40_WITH_MD5 = 0x040080
+SSL_CK_IDEA_128_CBC_WITH_MD5 = 0x050080
+SSL_CK_DES_64_CBC_WITH_MD5 = 0x060040
+SSL_CK_DES_192_EDE3_CBC_WITH_MD5 = 0x0700C0
+
+CIPHER_KIND_NAMES: dict[int, str] = {
+    SSL_CK_RC4_128_WITH_MD5: "SSL_CK_RC4_128_WITH_MD5",
+    SSL_CK_RC4_128_EXPORT40_WITH_MD5: "SSL_CK_RC4_128_EXPORT40_WITH_MD5",
+    SSL_CK_RC2_128_CBC_WITH_MD5: "SSL_CK_RC2_128_CBC_WITH_MD5",
+    SSL_CK_RC2_128_CBC_EXPORT40_WITH_MD5: "SSL_CK_RC2_128_CBC_EXPORT40_WITH_MD5",
+    SSL_CK_IDEA_128_CBC_WITH_MD5: "SSL_CK_IDEA_128_CBC_WITH_MD5",
+    SSL_CK_DES_64_CBC_WITH_MD5: "SSL_CK_DES_64_CBC_WITH_MD5",
+    SSL_CK_DES_192_EDE3_CBC_WITH_MD5: "SSL_CK_DES_192_EDE3_CBC_WITH_MD5",
+}
+
+_EXPORT_KINDS = frozenset(
+    {SSL_CK_RC4_128_EXPORT40_WITH_MD5, SSL_CK_RC2_128_CBC_EXPORT40_WITH_MD5}
+)
+
+
+class Ssl2DecodeError(ValueError):
+    """Raised on malformed SSL 2 data."""
+
+
+@dataclass(frozen=True)
+class Ssl2ClientHello:
+    """An SSL 2.0 CLIENT-HELLO message."""
+
+    version: int = SSL2_VERSION
+    cipher_kinds: tuple[int, ...] = (SSL_CK_RC4_128_WITH_MD5,)
+    session_id: bytes = b""
+    challenge: bytes = b"\x00" * 16
+
+    def kind_names(self) -> tuple[str, ...]:
+        return tuple(
+            CIPHER_KIND_NAMES.get(kind, f"unknown_{kind:#08x}")
+            for kind in self.cipher_kinds
+        )
+
+    @property
+    def offers_export(self) -> bool:
+        return any(kind in _EXPORT_KINDS for kind in self.cipher_kinds)
+
+
+def encode_client_hello(hello: Ssl2ClientHello) -> bytes:
+    """Encode a CLIENT-HELLO with its 2-byte SSL 2 record header."""
+    if not 16 <= len(hello.challenge) <= 32:
+        raise ValueError("SSL2 challenge must be 16-32 bytes")
+    specs = b"".join(kind.to_bytes(3, "big") for kind in hello.cipher_kinds)
+    body = (
+        bytes([MSG_CLIENT_HELLO])
+        + hello.version.to_bytes(2, "big")
+        + len(specs).to_bytes(2, "big")
+        + len(hello.session_id).to_bytes(2, "big")
+        + len(hello.challenge).to_bytes(2, "big")
+        + specs
+        + hello.session_id
+        + hello.challenge
+    )
+    if len(body) > 0x7FFF:
+        raise ValueError("SSL2 record too large")
+    header = (0x8000 | len(body)).to_bytes(2, "big")
+    return header + body
+
+
+def decode_client_hello(data: bytes) -> Ssl2ClientHello:
+    """Decode an SSL 2 record containing a CLIENT-HELLO."""
+    if len(data) < 2:
+        raise Ssl2DecodeError("truncated SSL2 record header")
+    header = int.from_bytes(data[:2], "big")
+    if not header & 0x8000:
+        raise Ssl2DecodeError("not a 2-byte-header SSL2 record")
+    length = header & 0x7FFF
+    body = data[2:]
+    if len(body) != length:
+        raise Ssl2DecodeError(f"record length mismatch: {len(body)} != {length}")
+    if len(body) < 9:
+        raise Ssl2DecodeError("truncated CLIENT-HELLO")
+    if body[0] != MSG_CLIENT_HELLO:
+        raise Ssl2DecodeError(f"not a CLIENT-HELLO (msg type {body[0]})")
+    version = int.from_bytes(body[1:3], "big")
+    spec_len = int.from_bytes(body[3:5], "big")
+    sid_len = int.from_bytes(body[5:7], "big")
+    challenge_len = int.from_bytes(body[7:9], "big")
+    if spec_len % 3 != 0:
+        raise Ssl2DecodeError("cipher-spec length not a multiple of 3")
+    expected = 9 + spec_len + sid_len + challenge_len
+    if len(body) != expected:
+        raise Ssl2DecodeError(f"CLIENT-HELLO length mismatch: {len(body)} != {expected}")
+    offset = 9
+    kinds = tuple(
+        int.from_bytes(body[offset + i : offset + i + 3], "big")
+        for i in range(0, spec_len, 3)
+    )
+    offset += spec_len
+    session_id = body[offset : offset + sid_len]
+    offset += sid_len
+    challenge = body[offset : offset + challenge_len]
+    return Ssl2ClientHello(
+        version=version,
+        cipher_kinds=kinds,
+        session_id=session_id,
+        challenge=challenge,
+    )
+
+
+def looks_like_ssl2(data: bytes) -> bool:
+    """Cheap sniff a passive monitor uses to classify a first flight."""
+    return (
+        len(data) >= 5
+        and bool(data[0] & 0x80)
+        and data[2] == MSG_CLIENT_HELLO
+        and int.from_bytes(data[3:5], "big") in (SSL2_VERSION, 0x0300, 0x0301)
+    )

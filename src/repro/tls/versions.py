@@ -1,0 +1,112 @@
+"""SSL/TLS protocol version registry.
+
+Reproduces Table 1 of the paper (release dates of all SSL/TLS versions)
+and provides the wire encodings used by the record layer and the
+``supported_versions`` extension, including the TLS 1.3 draft version
+code points that §6.4 of the paper analyses.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class ProtocolVersion:
+    """A single SSL/TLS protocol version.
+
+    Attributes:
+        name: Human-readable name, e.g. ``"TLSv12"``.
+        pretty: Display name used in figures, e.g. ``"TLS 1.2"``.
+        major: Wire major version byte.
+        minor: Wire minor version byte.
+        release_date: Date the protocol (or RFC) was published — Table 1.
+        deprecated: True if the version is formally prohibited (RFC 6176,
+            RFC 7568) or widely considered broken.
+    """
+
+    name: str
+    pretty: str
+    major: int
+    minor: int
+    release_date: _dt.date
+    deprecated: bool = False
+
+    @property
+    def wire(self) -> int:
+        """16-bit wire encoding (``major << 8 | minor``)."""
+        return (self.major << 8) | self.minor
+
+    def __lt__(self, other: "ProtocolVersion") -> bool:
+        if not isinstance(other, ProtocolVersion):
+            return NotImplemented
+        return self.wire < other.wire
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.pretty
+
+
+SSL2 = ProtocolVersion("SSLv2", "SSL 2", 0x00, 0x02, _dt.date(1995, 2, 9), deprecated=True)
+SSL3 = ProtocolVersion("SSLv3", "SSL 3", 0x03, 0x00, _dt.date(1996, 11, 18), deprecated=True)
+TLS10 = ProtocolVersion("TLSv10", "TLS 1.0", 0x03, 0x01, _dt.date(1999, 1, 19))
+TLS11 = ProtocolVersion("TLSv11", "TLS 1.1", 0x03, 0x02, _dt.date(2006, 4, 1))
+TLS12 = ProtocolVersion("TLSv12", "TLS 1.2", 0x03, 0x03, _dt.date(2008, 8, 1))
+TLS13 = ProtocolVersion("TLSv13", "TLS 1.3", 0x03, 0x04, _dt.date(2018, 8, 10))
+
+ALL_VERSIONS: tuple[ProtocolVersion, ...] = (SSL2, SSL3, TLS10, TLS11, TLS12, TLS13)
+
+_BY_NAME = {v.name: v for v in ALL_VERSIONS}
+_BY_WIRE = {v.wire: v for v in ALL_VERSIONS}
+
+# TLS 1.3 draft code points observed in the wild via the supported_versions
+# extension (§6.4).  0x7fNN encodes official draft NN; 0x7eNN are the
+# experimental Google variants, of which 0x7e02 dominated the paper's data.
+TLS13_DRAFT_BASE = 0x7F00
+TLS13_GOOGLE_EXPERIMENT_BASE = 0x7E00
+
+
+def tls13_draft(draft_number: int) -> int:
+    """Wire value of an official TLS 1.3 draft, e.g. draft 18 -> 0x7f12."""
+    if not 0 <= draft_number <= 0xFF:
+        raise ValueError(f"draft number out of range: {draft_number}")
+    return TLS13_DRAFT_BASE | draft_number
+
+
+def tls13_google_experiment(variant: int) -> int:
+    """Wire value of an experimental Google TLS 1.3 variant (e.g. 2 -> 0x7e02)."""
+    if not 0 <= variant <= 0xFF:
+        raise ValueError(f"variant out of range: {variant}")
+    return TLS13_GOOGLE_EXPERIMENT_BASE | variant
+
+
+def is_tls13_variant(wire: int) -> bool:
+    """True for final TLS 1.3, any official draft, or a Google experiment."""
+    return (
+        wire == TLS13.wire
+        or (wire & 0xFF00) == TLS13_DRAFT_BASE
+        or (wire & 0xFF00) == TLS13_GOOGLE_EXPERIMENT_BASE
+    )
+
+
+def version_by_name(name: str) -> ProtocolVersion:
+    """Look up a version by its canonical name (``"TLSv12"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown protocol version name: {name!r}") from None
+
+
+def version_by_wire(wire: int) -> ProtocolVersion:
+    """Look up a version by its 16-bit wire encoding."""
+    try:
+        return _BY_WIRE[wire]
+    except KeyError:
+        raise KeyError(f"unknown protocol version wire value: {wire:#06x}") from None
+
+
+def release_date_table() -> list[tuple[str, str]]:
+    """Rows of Table 1: (version pretty-name, release month-year)."""
+    return [(v.pretty, v.release_date.strftime("%b. %Y")) for v in ALL_VERSIONS]

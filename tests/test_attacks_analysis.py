@@ -1,0 +1,137 @@
+"""Tests for the attack-exposure and reaction-analysis module."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.attacks import (
+    EXPOSURE_PREDICATES,
+    Reaction,
+    beast_exposed,
+    classify_reaction,
+    exposure_series,
+    freak_exposed,
+    heartbleed_exposed,
+    poodle_exposed,
+    reaction_report,
+    sweet32_exposed,
+)
+from repro.notary.events import ConnectionRecord
+
+
+def record(**kw):
+    defaults = dict(
+        month=dt.date(2014, 6, 1),
+        weight=1.0,
+        client_family="x",
+        client_version="1",
+        client_category="",
+        client_in_database=False,
+        fingerprint=None,
+        advertised=frozenset(),
+        positions={},
+        suite_count=1,
+        offered_tls13=False,
+        offered_tls13_versions=(),
+        established=True,
+        negotiated_version="TLSv12",
+        negotiated_wire=0x0303,
+        negotiated_suite=0xC02F,
+        negotiated_curve=None,
+        heartbeat_negotiated=False,
+        server_chose_unoffered=False,
+    )
+    defaults.update(kw)
+    return ConnectionRecord(**defaults)
+
+
+class TestPredicates:
+    def test_beast_needs_cbc_and_old_version(self):
+        assert beast_exposed(
+            record(negotiated_wire=0x0301, negotiated_suite=0x002F)
+        )
+        assert not beast_exposed(
+            record(negotiated_wire=0x0303, negotiated_suite=0x002F)
+        )  # TLS 1.1+ immune
+        assert not beast_exposed(
+            record(negotiated_wire=0x0301, negotiated_suite=0x0005)
+        )  # RC4, not CBC
+
+    def test_poodle_needs_ssl3_cbc(self):
+        assert poodle_exposed(record(negotiated_wire=0x0300, negotiated_suite=0x002F))
+        assert not poodle_exposed(record(negotiated_wire=0x0300, negotiated_suite=0x0005))
+        assert not poodle_exposed(record(negotiated_wire=0x0301, negotiated_suite=0x002F))
+
+    def test_heartbleed_tracks_heartbeat(self):
+        assert heartbleed_exposed(record(heartbeat_negotiated=True))
+        assert not heartbleed_exposed(record())
+
+    def test_sweet32_small_blocks(self):
+        assert sweet32_exposed(record(negotiated_suite=0x000A))  # 3DES
+        assert sweet32_exposed(record(negotiated_suite=0x0009))  # DES
+        assert not sweet32_exposed(record(negotiated_suite=0x002F))  # AES
+
+    def test_freak_export(self):
+        assert freak_exposed(record(negotiated_suite=0x0003))
+        assert not freak_exposed(record())
+
+    def test_failed_connection_never_exposed(self):
+        failed = record(
+            established=False, negotiated_suite=None, negotiated_wire=None
+        )
+        for predicate in EXPOSURE_PREDICATES.values():
+            assert not predicate(failed)
+
+
+class TestSeries:
+    def test_unknown_attack_rejected(self, small_window_store):
+        with pytest.raises(KeyError, match="unknown attack"):
+            exposure_series(small_window_store, "QUANTUM")
+
+    def test_rc4_exposure_matches_fig2(self, small_window_store):
+        from repro.core import figures
+
+        month = dt.date(2015, 1, 1)
+        exposure = figures.value_at(
+            exposure_series(small_window_store, "RC4"), month
+        )
+        fig2 = figures.value_at(
+            figures.fig2_negotiated_modes(small_window_store)["RC4"], month
+        )
+        assert exposure == pytest.approx(fig2)
+
+    def test_values_are_percentages(self, small_window_store):
+        for attack in EXPOSURE_PREDICATES:
+            for _, value in exposure_series(small_window_store, attack):
+                assert 0.0 <= value <= 100.0
+
+
+class TestClassifier:
+    def test_fast(self):
+        assert classify_reaction(10, 10, 3) == "fast"
+
+    def test_slow(self):
+        assert classify_reaction(10, 10, 7.5) == "slow"
+
+    def test_none_flat(self):
+        assert classify_reaction(10, 10, 10) == "none"
+
+    def test_none_rising(self):
+        assert classify_reaction(5, 10, 12) == "none"
+
+    def test_zero_exposure(self):
+        assert classify_reaction(0, 0, 0) == "none"
+
+
+class TestReport:
+    def test_small_window_excludes_out_of_range_events(self, small_window_store):
+        # 2014-06..2015-06 window: no event has a full year on each side.
+        assert reaction_report(small_window_store) == []
+
+    def test_reaction_dataclass_trends(self):
+        reaction = Reaction(
+            attack="X", disclosed=dt.date(2015, 1, 1),
+            before=10.0, at_disclosure=12.0, after=6.0, verdict="fast",
+        )
+        assert reaction.pre_trend == pytest.approx(2.0)
+        assert reaction.post_trend == pytest.approx(-6.0)

@@ -1,0 +1,203 @@
+"""Tables 3-6: the browser histories must reproduce the paper's counts."""
+
+import pytest
+
+from repro.clients import chrome, firefox, ie, opera, safari
+from repro.core import tables
+
+
+def _counts(module, predicate_name):
+    family = module.family()
+    predicate = {
+        "cbc": lambda s: s.is_cbc,
+        "rc4": lambda s: s.is_rc4,
+        "3des": lambda s: s.is_3des,
+    }[predicate_name]
+    return {r.version: r.count_suites(predicate) for r in family.releases}
+
+
+class TestTable3Cbc:
+    """Table 3: CBC suite counts."""
+
+    def test_firefox(self):
+        counts = _counts(firefox, "cbc")
+        assert counts["10"] == 29
+        assert counts["27"] == 17
+        assert counts["33"] == 10
+        assert counts["37"] == 9
+        assert counts["60b"] == 5
+        assert counts["60"] == 5
+
+    def test_chrome(self):
+        counts = _counts(chrome, "cbc")
+        assert counts["22"] == 29
+        assert counts["29"] == 16
+        assert counts["31"] == 10
+        assert counts["41"] == 9
+        assert counts["49"] == 7
+        assert counts["56"] == 5
+
+    def test_opera(self):
+        counts = _counts(opera, "cbc")
+        assert counts["12"] == 25
+        assert counts["15"] == 29  # increased on the Chromium switch
+        assert counts["16"] == 16
+        assert counts["18"] == 10
+        assert counts["28"] == 9
+        assert counts["30"] == 7
+        assert counts["43"] == 5
+
+    def test_safari(self):
+        counts = _counts(safari, "cbc")
+        assert counts["6"] == 28
+        assert counts["7.1"] == 30  # increased at 7.1
+        assert counts["9"] == 15
+        assert counts["10.1"] == 12
+
+
+class TestTable4Rc4:
+    """Table 4: RC4 suite counts and removal policies."""
+
+    def test_firefox(self):
+        counts = _counts(firefox, "rc4")
+        assert counts["10"] == 6
+        assert counts["27"] == 4
+        assert counts["36"] == 0  # fallback only: gone from default hello
+        family = firefox.family()
+        assert family.release("36").rc4_policy == "fallback_only"
+        assert family.release("38").rc4_policy == "whitelist_only"
+        assert family.release("44").rc4_policy == "removed"
+
+    def test_chrome(self):
+        counts = _counts(chrome, "rc4")
+        assert counts["22"] == 6
+        assert counts["29"] == 4
+        assert counts["43"] == 0
+        assert chrome.family().release("43").rc4_policy == "removed"
+
+    def test_opera(self):
+        counts = _counts(opera, "rc4")
+        assert counts["12"] == 2
+        assert counts["15"] == 6  # increased on the Chromium switch
+        assert counts["16"] == 4
+        assert counts["30"] == 0
+
+    def test_ie_edge(self):
+        counts = _counts(ie, "rc4")
+        assert counts["11"] > 0
+        assert counts["13"] == 0
+        assert ie.family().release("13").released.isoformat() == "2015-05-20"
+
+    def test_safari(self):
+        counts = _counts(safari, "rc4")
+        assert counts["5"] == 7
+        assert counts["6"] == 6
+        assert counts["9"] == 4
+        assert counts["10.1"] == 0
+
+
+class TestTable5TripleDes:
+    """Table 5: 3DES suite counts."""
+
+    def test_firefox(self):
+        counts = _counts(firefox, "3des")
+        assert counts["10"] == 8
+        assert counts["27"] == 3
+        assert counts["33"] == 1
+
+    def test_chrome(self):
+        counts = _counts(chrome, "3des")
+        assert counts["22"] == 8
+        assert counts["29"] == 1
+
+    def test_opera(self):
+        counts = _counts(opera, "3des")
+        assert counts["15"] == 8
+        assert counts["16"] == 1
+
+    def test_safari(self):
+        counts = _counts(safari, "3des")
+        assert counts["5"] == 7
+        assert counts["7.1"] == 6  # 6.2/7.1 era
+        assert counts["9"] == 3
+
+    def test_all_major_browsers_still_offer_3des_in_2018(self):
+        # §5.6: "notably, all major browsers still support 3DES".
+        import datetime as dt
+
+        for module in (chrome, firefox, opera, safari, ie):
+            family = module.family()
+            current = family.current_release(dt.date(2018, 4, 1))
+            assert current.count_suites(lambda s: s.is_3des) >= 1, family.name
+
+
+class TestTable6ProtocolSupport:
+    """Table 6: protocol-support milestones."""
+
+    def test_firefox(self):
+        family = firefox.family()
+        ff27 = family.release("27")
+        assert ff27.max_version == 0x0303
+        assert ff27.released.isoformat() == "2014-02-04"
+        assert family.release("10").max_version == 0x0301
+        assert family.release("37").ssl3_fallback is False
+        assert family.release("36").ssl3_fallback is True
+        assert family.release("60").supported_versions  # TLS 1.3
+
+    def test_chrome(self):
+        family = chrome.family()
+        assert family.release("14").max_version == 0x0301
+        assert family.release("22").max_version == 0x0302  # TLS 1.1
+        assert family.release("29").max_version == 0x0303  # TLS 1.2
+        assert family.release("33").ssl3_fallback is True
+        assert family.release("39").ssl3_fallback is False
+
+    def test_ie(self):
+        family = ie.family()
+        assert family.release("11").max_version == 0x0303
+        assert family.release("11").released.isoformat() == "2013-11-01"
+
+    def test_opera(self):
+        family = opera.family()
+        assert family.release("16").max_version == 0x0302
+        assert family.release("18").ssl3_fallback is True
+        assert family.release("27").ssl3_fallback is False
+
+    def test_safari(self):
+        family = safari.family()
+        assert family.release("7").max_version == 0x0303
+        assert family.release("9").ssl3_fallback is False
+
+
+class TestTableGenerators:
+    def test_table1(self):
+        rows = tables.table1_version_dates()
+        assert ("TLS 1.2", "Aug. 2008") in rows
+
+    def test_table3_rows_cover_all_four_browsers(self):
+        rows = tables.table3_cbc_changes()
+        browsers = {row.browser for row in rows}
+        assert {"Chrome", "Firefox", "Opera", "Safari"} <= browsers
+
+    def test_table3_chrome_sequence(self):
+        rows = [r for r in tables.table3_cbc_changes() if r.browser == "Chrome"]
+        afters = [r.after for r in rows]
+        assert afters == [16, 10, 9, 7, 5]
+
+    def test_table4_notes_present(self):
+        rows = tables.table4_rc4_changes()
+        notes = {(r.browser, r.note) for r in rows if r.note}
+        assert ("Firefox", "fallback only") in notes
+        assert ("Firefox", "whitelist only") in notes
+        assert ("Chrome", "removed completely") in notes
+
+    def test_table5_chrome_single_step(self):
+        rows = [r for r in tables.table5_3des_changes() if r.browser == "Chrome"]
+        assert [(r.before, r.after) for r in rows] == [(8, 1)]
+
+    def test_table6_milestones(self):
+        rows = tables.table6_protocol_support()
+        changes = {(r.browser, r.change) for r in rows}
+        assert ("Chrome", "SSL 3 fallback removed") in changes
+        assert ("Firefox", "TLS 1.3 supported") in changes
+        assert ("IE/Edge", "TLS 1.1/1.2 supported") in changes

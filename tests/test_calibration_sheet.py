@@ -1,0 +1,52 @@
+"""Calibration-sheet tests: the sheet must reflect the live model."""
+
+import pytest
+
+from repro.simulation.calibration import (
+    CalibrationEntry,
+    all_entries,
+    client_entries,
+    render_sheet,
+    server_entries,
+)
+
+
+class TestEntries:
+    def test_nonempty_both_sides(self):
+        assert len(client_entries()) >= 5
+        assert len(server_entries()) >= 5
+
+    def test_every_entry_has_anchor(self):
+        for entry in all_entries():
+            assert entry.anchor
+            assert entry.location.startswith("repro.")
+
+    def test_values_read_from_live_objects(self):
+        # The sheet reads the dataclasses at call time, so a change to
+        # the model must show up without touching the sheet.
+        import dataclasses
+
+        from repro.servers import curves as c
+        from repro.servers import population as p
+
+        entry = next(e for e in server_entries() if e.name == "ssl3_removal")
+        default = p.ServerAttributeCurves()
+        assert f"never={default.ssl3_removal.never_patched:g}" in entry.value
+
+    def test_names_unique(self):
+        names = [e.name for e in all_entries()]
+        assert len(names) == len(set(names))
+
+
+class TestRendering:
+    def test_sheet_renders(self):
+        sheet = render_sheet()
+        assert "CALIBRATION SHEET" in sheet
+        assert "ssl3_removal" in sheet
+        assert "BROWSER_ADOPTION" in sheet
+        assert sheet.endswith("\n")
+
+    def test_sheet_mentions_paper_sections(self):
+        sheet = render_sheet()
+        for marker in ("§5.1", "§5.4", "§6.2", "§6.4"):
+            assert marker in sheet

@@ -1,0 +1,104 @@
+"""Certificate-substrate tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.servers.certificates import (
+    Certificate,
+    CertificateObservatory,
+    issue_certificate,
+)
+
+
+class TestIssuance:
+    def test_deterministic(self):
+        a = issue_certificate(12345, "tls12-ecdhe-gcm", dt.date(2016, 3, 1))
+        b = issue_certificate(12345, "tls12-ecdhe-gcm", dt.date(2016, 3, 1))
+        assert a == b
+
+    def test_stable_within_validity(self):
+        a = issue_certificate(999, "tls10-cbc", dt.date(2016, 3, 1))
+        b = issue_certificate(999, "tls10-cbc", dt.date(2016, 5, 1))
+        if a.not_before == b.not_before:
+            assert a.fingerprint == b.fingerprint
+
+    def test_rolls_over_time(self):
+        a = issue_certificate(999, "tls10-cbc", dt.date(2013, 1, 1))
+        b = issue_certificate(999, "tls10-cbc", dt.date(2018, 1, 1))
+        assert a.fingerprint != b.fingerprint
+
+    def test_valid_at_issue_date(self):
+        on = dt.date(2016, 3, 1)
+        cert = issue_certificate(7, "tls12-rsa-cbc", on)
+        assert cert.valid_at(on)
+        assert not cert.valid_at(cert.not_after + dt.timedelta(days=1))
+
+    def test_distinct_hosts_distinct_certs(self):
+        on = dt.date(2016, 3, 1)
+        fingerprints = {
+            issue_certificate(address, "tls12-rsa-cbc", on).fingerprint
+            for address in range(200)
+        }
+        assert len(fingerprints) == 200
+
+
+class TestDeploymentTrends:
+    def _population(self, profile, on, n=600):
+        return [issue_certificate(address, profile, on) for address in range(n)]
+
+    def test_rsa1024_disappears_after_2014(self):
+        early = self._population("tls10-cbc", dt.date(2012, 6, 1))
+        late = self._population("tls10-cbc", dt.date(2017, 6, 1))
+        early_weak = sum(1 for c in early if c.weak_key) / len(early)
+        late_weak = sum(1 for c in late if c.weak_key) / len(late)
+        assert early_weak > 0.1
+        assert late_weak == 0.0
+
+    def test_sha1_issuance_stops(self):
+        early = self._population("tls10-cbc", dt.date(2013, 6, 1))
+        # 2018: every live validity epoch started after the SHA-1 ban.
+        late = self._population("tls10-cbc", dt.date(2018, 6, 1))
+        assert sum(1 for c in early if c.sha1_signed) > 0
+        assert sum(1 for c in late if c.sha1_signed) == 0
+
+    def test_ecdsa_only_on_modern_profiles(self):
+        on = dt.date(2017, 6, 1)
+        legacy = self._population("tls10-cbc", on)
+        modern = self._population("tls12-ecdhe-gcm", on)
+        assert all(c.key_type == "RSA" for c in legacy)
+        assert any(c.key_type == "ECDSA" for c in modern)
+
+
+class TestObservatory:
+    def test_deduplicates(self):
+        obs = CertificateObservatory()
+        cert = issue_certificate(1, "tls10-cbc", dt.date(2016, 1, 1))
+        assert obs.observe(cert)
+        assert not obs.observe(cert)
+        assert len(obs) == 1
+
+    def test_shares(self):
+        obs = CertificateObservatory()
+        for address in range(300):
+            obs.observe(issue_certificate(address, "tls10-cbc", dt.date(2013, 1, 1)))
+        assert 0 < obs.weak_key_share() < 1
+        assert 0 < obs.sha1_share() <= 1
+        assert obs.key_type_shares()["RSA"] == 1.0
+
+    def test_empty(self):
+        obs = CertificateObservatory()
+        assert obs.weak_key_share() == 0.0
+        assert obs.sha1_share() == 0.0
+        assert obs.key_type_shares() == {}
+
+    def test_censys_accumulates_certificates(self):
+        from repro.scanner import CensysArchive
+
+        archive = CensysArchive()
+        archive.run_sampled_scan(dt.date(2016, 1, 1), "chrome2015", 500)
+        first = len(archive.certificates)
+        assert first > 0
+        # A later sweep in a new validity epoch adds fresh certificates.
+        archive.run_sampled_scan(dt.date(2018, 1, 1), "chrome2015", 500)
+        assert len(archive.certificates) > first

@@ -1,0 +1,267 @@
+"""Unit tests for the cipher-suite registry and its classification."""
+
+import pytest
+
+from repro.tls.ciphers import (
+    REGISTRY,
+    Authentication,
+    CipherMode,
+    CipherSuite,
+    Encryption,
+    KexFamily,
+    KeyExchange,
+    MAC,
+    SuiteNameError,
+    UnknownCipherSuite,
+    classify_codes,
+    parse_suite_name,
+    suite_by_code,
+    suite_by_name,
+    suites_by_predicate,
+)
+
+
+class TestRegistryIntegrity:
+    def test_size_is_substantial(self):
+        # IANA has ~200 non-reserved suites in the study window; ours
+        # covers the deployed subset plus signalling values.
+        assert len(REGISTRY) >= 200
+
+    def test_codes_unique_and_match_keys(self):
+        for code, suite in REGISTRY.items():
+            assert suite.code == code
+
+    def test_names_unique(self):
+        names = [s.name for s in REGISTRY.values()]
+        assert len(names) == len(set(names))
+
+    def test_every_suite_parses_from_its_own_name(self):
+        for suite in REGISTRY.values():
+            reparsed = parse_suite_name(suite.code, suite.name)
+            assert reparsed == suite
+
+
+class TestLookups:
+    def test_by_code(self):
+        assert suite_by_code(0x002F).name == "TLS_RSA_WITH_AES_128_CBC_SHA"
+
+    def test_by_name(self):
+        assert suite_by_name("TLS_RSA_WITH_AES_128_CBC_SHA").code == 0x002F
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(UnknownCipherSuite):
+            suite_by_code(0xEEEE)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownCipherSuite):
+            suite_by_name("TLS_NO_SUCH_SUITE")
+
+    def test_suites_by_predicate_sorted(self):
+        rc4 = suites_by_predicate(lambda s: s.is_rc4)
+        assert rc4 == sorted(rc4, key=lambda s: s.code)
+        assert all(s.is_rc4 for s in rc4)
+        assert len(rc4) >= 15
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "name,mode_class",
+        [
+            ("TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", "AEAD"),
+            ("TLS_RSA_WITH_AES_128_CCM", "AEAD"),
+            ("TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256", "AEAD"),
+            ("TLS_RSA_WITH_AES_128_CBC_SHA", "CBC"),
+            ("TLS_RSA_WITH_3DES_EDE_CBC_SHA", "CBC"),
+            ("TLS_RSA_WITH_RC4_128_MD5", "RC4"),
+            ("TLS_RSA_WITH_NULL_SHA", "NULL"),
+            ("TLS_AES_128_GCM_SHA256", "AEAD"),
+        ],
+    )
+    def test_mode_class(self, name, mode_class):
+        assert suite_by_name(name).mode_class == mode_class
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "TLS_RSA_EXPORT_WITH_RC4_40_MD5",
+            "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA",
+            "TLS_DH_anon_EXPORT_WITH_RC4_40_MD5",
+            "TLS_KRB5_EXPORT_WITH_RC4_40_SHA",
+        ],
+    )
+    def test_export_flag(self, name):
+        assert suite_by_name(name).is_export
+
+    def test_non_export(self):
+        assert not suite_by_name("TLS_RSA_WITH_RC4_128_MD5").is_export
+
+    @pytest.mark.parametrize(
+        "name,anonymous",
+        [
+            ("TLS_DH_anon_WITH_AES_128_CBC_SHA", True),
+            ("TLS_ECDH_anon_WITH_AES_128_CBC_SHA", True),
+            ("TLS_RSA_WITH_AES_128_CBC_SHA", False),
+            ("TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", False),
+        ],
+    )
+    def test_anonymous(self, name, anonymous):
+        assert suite_by_name(name).is_anonymous is anonymous
+
+    def test_null_null_is_special(self):
+        suite = suite_by_code(0x0000)
+        assert suite.is_null_null
+        assert suite.is_null_encryption
+        assert suite.is_anonymous
+
+    def test_null_encryption_but_authenticated(self):
+        suite = suite_by_name("TLS_RSA_WITH_NULL_SHA")
+        assert suite.is_null_encryption
+        assert not suite.is_anonymous
+        assert not suite.is_null_null
+
+    @pytest.mark.parametrize(
+        "name,fs",
+        [
+            ("TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", True),
+            ("TLS_DHE_RSA_WITH_AES_128_CBC_SHA", True),
+            ("TLS_AES_128_GCM_SHA256", True),  # TLS 1.3 is always FS
+            ("TLS_RSA_WITH_AES_128_GCM_SHA256", False),
+            ("TLS_ECDH_RSA_WITH_AES_128_CBC_SHA", False),
+            ("TLS_DH_RSA_WITH_AES_128_CBC_SHA", False),
+        ],
+    )
+    def test_forward_secret(self, name, fs):
+        assert suite_by_name(name).forward_secret is fs
+
+    @pytest.mark.parametrize(
+        "name,family",
+        [
+            ("TLS_RSA_WITH_AES_128_CBC_SHA", KexFamily.RSA),
+            ("TLS_DHE_RSA_WITH_AES_128_CBC_SHA", KexFamily.DHE),
+            ("TLS_DH_RSA_WITH_AES_128_CBC_SHA", KexFamily.DH),
+            ("TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", KexFamily.ECDHE),
+            ("TLS_ECDH_ECDSA_WITH_AES_128_CBC_SHA", KexFamily.ECDH),
+            ("TLS_DH_anon_WITH_AES_128_CBC_SHA", KexFamily.ANON),
+            ("TLS_PSK_WITH_AES_128_CBC_SHA", KexFamily.OTHER),
+            ("TLS_AES_128_GCM_SHA256", KexFamily.ECDHE),
+        ],
+    )
+    def test_kex_family(self, name, family):
+        assert suite_by_name(name).kex_family is family
+
+    @pytest.mark.parametrize(
+        "name,small",
+        [
+            ("TLS_RSA_WITH_3DES_EDE_CBC_SHA", True),
+            ("TLS_RSA_WITH_DES_CBC_SHA", True),
+            ("TLS_RSA_WITH_IDEA_CBC_SHA", True),
+            ("TLS_RSA_WITH_AES_128_CBC_SHA", False),
+            ("TLS_RSA_WITH_RC4_128_SHA", False),  # stream: Sweet32 n/a
+        ],
+    )
+    def test_sweet32_small_block(self, name, small):
+        assert suite_by_name(name).uses_small_block is small
+
+    @pytest.mark.parametrize(
+        "name,algo",
+        [
+            ("TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", "AES128-GCM"),
+            ("TLS_RSA_WITH_AES_256_GCM_SHA384", "AES256-GCM"),
+            ("TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256", "ChaCha20-Poly1305"),
+            ("TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_OLD", "ChaCha20-Poly1305"),
+            ("TLS_RSA_WITH_AES_128_CCM", "AES128-CCM"),
+            ("TLS_RSA_WITH_AES_128_CCM_8", "AES128-CCM"),
+            ("TLS_RSA_WITH_AES_128_CBC_SHA", None),
+        ],
+    )
+    def test_aead_algorithm(self, name, algo):
+        assert suite_by_name(name).aead_algorithm == algo
+
+    def test_des_vs_3des_distinct(self):
+        des = suite_by_name("TLS_RSA_WITH_DES_CBC_SHA")
+        tdes = suite_by_name("TLS_RSA_WITH_3DES_EDE_CBC_SHA")
+        assert des.is_des and not des.is_3des
+        assert tdes.is_3des and not tdes.is_des
+
+    def test_export_des40_counts_as_des(self):
+        assert suite_by_name("TLS_RSA_EXPORT_WITH_DES40_CBC_SHA").is_des
+
+
+class TestScsv:
+    @pytest.mark.parametrize("code", [0x00FF, 0x5600])
+    def test_scsv_flag(self, code):
+        suite = suite_by_code(code)
+        assert suite.scsv
+        assert suite.mode_class == "OTHER"
+        assert not suite.is_anonymous
+        assert not suite.is_null_encryption
+
+
+class TestTls13Suites:
+    @pytest.mark.parametrize("code", [0x1301, 0x1302, 0x1303, 0x1304, 0x1305])
+    def test_tls13_only(self, code):
+        suite = suite_by_code(code)
+        assert suite.tls13_only
+        assert suite.is_aead
+        assert suite.kex is KeyExchange.TLS13
+
+    def test_exactly_five(self):
+        # §6.4: TLS 1.3 reduces the suite count "to just 5".
+        tls13 = suites_by_predicate(lambda s: s.tls13_only)
+        assert len(tls13) == 5
+
+
+class TestGost:
+    def test_gost_suite(self):
+        suite = suite_by_code(0x0081)
+        assert suite.kex is KeyExchange.GOST
+        assert suite.encryption is Encryption.GOST_28147
+        assert suite.mode is CipherMode.CNT
+        assert suite.mac is MAC.IMIT
+
+
+class TestParserErrors:
+    def test_not_tls_prefix(self):
+        with pytest.raises(SuiteNameError):
+            parse_suite_name(0x9999, "SSL_RSA_WITH_RC4_128_MD5")
+
+    def test_unknown_kex(self):
+        with pytest.raises(SuiteNameError):
+            parse_suite_name(0x9999, "TLS_FOO_WITH_AES_128_CBC_SHA")
+
+    def test_unknown_cipher(self):
+        with pytest.raises(SuiteNameError):
+            parse_suite_name(0x9999, "TLS_RSA_WITH_BLOWFISH_CBC_SHA")
+
+    def test_unknown_mac(self):
+        with pytest.raises(SuiteNameError):
+            parse_suite_name(0x9999, "TLS_RSA_WITH_AES_128_CBC_CRC32")
+
+    def test_unparseable_tls13_body(self):
+        with pytest.raises(SuiteNameError):
+            parse_suite_name(0x9999, "TLS_NOT_A_REAL_BODY")
+
+
+class TestClassifyCodes:
+    def test_counts(self):
+        counts = classify_codes([0x002F, 0x0035, 0x0005, 0xC02F, 0xEEEE])
+        assert counts == {"CBC": 2, "RC4": 1, "AEAD": 1, "UNKNOWN": 1}
+
+    def test_empty(self):
+        assert classify_codes([]) == {}
+
+
+class TestEncryptionMetadata:
+    @pytest.mark.parametrize(
+        "enc,key_bits,block_bits",
+        [
+            (Encryption.RC4_128, 128, 0),
+            (Encryption.TRIPLE_DES, 112, 64),
+            (Encryption.DES, 56, 64),
+            (Encryption.AES_256, 256, 128),
+            (Encryption.CHACHA20, 256, 0),
+        ],
+    )
+    def test_bits(self, enc, key_bits, block_bits):
+        assert enc.key_bits == key_bits
+        assert enc.block_bits == block_bits

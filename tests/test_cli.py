@@ -1,0 +1,75 @@
+"""CLI smoke tests (argument parsing and fast commands).
+
+Slow commands that run the full simulation (figure/table 2) are covered
+by the examples and benches; here we exercise the cheap paths and the
+parser itself.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "fig1"])
+        assert args.name == "fig1"
+        assert not args.all_months
+
+    def test_scan_probe_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "quic"])
+
+
+class TestFastCommands:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TLS 1.2" in out and "Aug. 2008" in out
+
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+        assert "Chrome" in capsys.readouterr().out
+
+    def test_table6(self, capsys):
+        assert main(["table", "6"]) == 0
+        assert "SSL 3 fallback removed" in capsys.readouterr().out
+
+    def test_table_out_of_range(self, capsys):
+        assert main(["table", "9"]) == 2
+
+    def test_timeline(self, capsys):
+        assert main(["timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "Heartbleed" in out
+        assert "POODLE" in out
+
+    def test_timeline_with_browsers(self, capsys):
+        assert main(["timeline", "--browsers"]) == 0
+        assert "drops RC4" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_fingerprint_unknown_family(self, capsys):
+        assert main(["fingerprint", "Netscape", "4"]) == 2
+
+    def test_scan_ssl3(self, capsys):
+        assert main(["scan", "ssl3", "--interval", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "%" in out
+        assert "2015-08-22" in out
+
+    def test_pulse(self, capsys):
+        assert main(["pulse", "--interval", "600"]) == 0
+        assert "rc4 supported" in capsys.readouterr().out
+
+    def test_calibration(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "CALIBRATION SHEET" in out
+        assert "ssl3_removal" in out

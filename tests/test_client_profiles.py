@@ -1,0 +1,248 @@
+"""Client-profile substrate tests: releases, adoption, hello building."""
+
+import datetime as dt
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients import chrome, firefox, suites as cs
+from repro.clients.profile import (
+    AdoptionModel,
+    BROWSER_ADOPTION,
+    CATEGORY_BROWSERS,
+    ClientFamily,
+    ClientRelease,
+)
+from repro.tls.extensions import ExtensionType
+from repro.tls.grease import is_grease
+from repro.tls.versions import TLS10, TLS12
+
+
+def make_release(version="1", date=dt.date(2013, 1, 1), **kw):
+    kw.setdefault("cipher_suites", (cs.RSA_AES128_SHA, cs.RSA_3DES_SHA))
+    kw.setdefault("max_version", TLS10.wire)
+    return ClientRelease(
+        family="TestFam", version=version, released=date,
+        category=CATEGORY_BROWSERS, **kw
+    )
+
+
+class TestClientRelease:
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            make_release(cipher_suites=(0xEEEE,))
+
+    def test_duplicate_suites_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_release(cipher_suites=(cs.RSA_AES128_SHA, cs.RSA_AES128_SHA))
+
+    def test_label(self):
+        assert make_release().label == "TestFam 1"
+
+    def test_count_suites(self):
+        release = make_release()
+        assert release.count_suites(lambda s: s.is_cbc) == 2
+        assert release.count_suites(lambda s: s.is_3des) == 1
+
+    def test_advertises(self):
+        release = make_release()
+        assert release.advertises(lambda s: s.is_3des)
+        assert not release.advertises(lambda s: s.is_rc4)
+
+
+class TestBuildHello:
+    def test_deterministic_with_seeded_rng(self):
+        release = make_release()
+        a = release.build_hello(rng=random.Random(5))
+        b = release.build_hello(rng=random.Random(5))
+        assert a == b
+
+    def test_legacy_version(self):
+        hello = make_release().build_hello()
+        assert hello.legacy_version == TLS10.wire
+
+    def test_extension_order_preserved(self):
+        release = make_release(
+            extensions=(
+                int(ExtensionType.SERVER_NAME),
+                int(ExtensionType.RENEGOTIATION_INFO),
+            )
+        )
+        hello = release.build_hello()
+        assert hello.extension_types() == (
+            int(ExtensionType.SERVER_NAME),
+            int(ExtensionType.RENEGOTIATION_INFO),
+        )
+
+    def test_grease_injected(self):
+        release = make_release(grease=True, supported_groups=(23,))
+        hello = release.build_hello(rng=random.Random(3))
+        assert is_grease(hello.cipher_suites[0])
+        assert is_grease(hello.extension_types()[0])
+        assert is_grease(hello.supported_groups[0])
+
+    def test_tls13_included_by_fraction_one(self):
+        release = make_release(
+            max_version=TLS12.wire,
+            supported_versions=(0x7E02, TLS12.wire),
+            tls13_fraction=1.0,
+        )
+        hello = release.build_hello(rng=random.Random(1))
+        assert hello.supported_versions == (0x7E02, TLS12.wire)
+        assert hello.has_extension(ExtensionType.SUPPORTED_VERSIONS)
+
+    def test_tls13_forced_off(self):
+        release = make_release(
+            max_version=TLS12.wire, supported_versions=(0x7E02, TLS12.wire)
+        )
+        hello = release.build_hello(include_tls13=False)
+        assert hello.supported_versions == ()
+
+    def test_shuffle_changes_order_not_content(self):
+        release = make_release(
+            cipher_suites=(
+                cs.RSA_AES128_SHA, cs.RSA_AES256_SHA, cs.RSA_3DES_SHA,
+                cs.RSA_RC4_128_SHA, cs.DHE_RSA_AES128_SHA,
+            ),
+            shuffle_suites=True,
+        )
+        hellos = {release.build_hello(rng=random.Random(i)).cipher_suites for i in range(8)}
+        assert len(hellos) > 1  # order varies
+        contents = {frozenset(h) for h in hellos}
+        assert len(contents) == 1  # same multiset
+
+
+class TestTls13Schedule:
+    def test_schedule_steps(self):
+        release = make_release(
+            max_version=TLS12.wire,
+            supported_versions=(0x7E02, TLS12.wire),
+            tls13_schedule=(
+                (dt.date(2018, 1, 1), 0.1),
+                (dt.date(2018, 3, 1), 0.5),
+            ),
+        )
+        assert release.tls13_fraction_at(dt.date(2017, 12, 1)) == 0.0
+        assert release.tls13_fraction_at(dt.date(2018, 2, 1)) == 0.1
+        assert release.tls13_fraction_at(dt.date(2018, 4, 1)) == 0.5
+
+    def test_without_supported_versions_always_zero(self):
+        release = make_release()
+        assert release.tls13_fraction_at(dt.date(2018, 4, 1)) == 0.0
+
+    def test_constant_fraction_without_schedule(self):
+        release = make_release(
+            max_version=TLS12.wire,
+            supported_versions=(0x7E02,),
+            tls13_fraction=0.4,
+        )
+        assert release.tls13_fraction_at(dt.date(2018, 1, 1)) == 0.4
+
+
+class TestAdoptionModel:
+    def test_zero_before_release(self):
+        assert BROWSER_ADOPTION.adopted_fraction(-10) == 0.0
+        assert BROWSER_ADOPTION.adopted_fraction(0) == 0.0
+
+    def test_reaches_most_users_quickly_for_browsers(self):
+        assert BROWSER_ADOPTION.adopted_fraction(180) > 0.85
+
+    def test_long_tail_remains(self):
+        # Two years out, the tail population still is not fully migrated.
+        assert BROWSER_ADOPTION.adopted_fraction(730) < 0.999
+
+    @given(st.floats(min_value=0, max_value=5000), st.floats(min_value=0, max_value=5000))
+    @settings(max_examples=80)
+    def test_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert BROWSER_ADOPTION.adopted_fraction(lo) <= BROWSER_ADOPTION.adopted_fraction(hi) + 1e-12
+
+    @given(st.floats(min_value=-100, max_value=10000))
+    @settings(max_examples=80)
+    def test_bounded(self, delta):
+        value = AdoptionModel().adopted_fraction(delta)
+        assert 0.0 <= value <= 1.0
+
+
+class TestClientFamily:
+    def _family(self):
+        return ClientFamily(
+            name="TestFam",
+            category=CATEGORY_BROWSERS,
+            releases=[
+                make_release("2", dt.date(2014, 1, 1)),
+                make_release("1", dt.date(2012, 1, 1)),
+                make_release("3", dt.date(2016, 1, 1)),
+            ],
+        )
+
+    def test_releases_sorted(self):
+        family = self._family()
+        assert [r.version for r in family.releases] == ["1", "2", "3"]
+
+    def test_release_weights_sum_to_one(self):
+        family = self._family()
+        for day in (dt.date(2012, 6, 1), dt.date(2015, 1, 1), dt.date(2018, 1, 1)):
+            weights = family.release_weights(day)
+            assert sum(weights.values()) == pytest.approx(1.0)
+            assert all(w >= 0 for w in weights.values())
+
+    def test_oldest_release_dominates_before_successors(self):
+        family = self._family()
+        weights = family.release_weights(dt.date(2012, 2, 1))
+        assert weights[family.release("1")] > 0.9
+
+    def test_newest_release_dominates_eventually(self):
+        family = self._family()
+        weights = family.release_weights(dt.date(2020, 1, 1))
+        assert weights[family.release("3")] > 0.8
+
+    def test_current_release(self):
+        family = self._family()
+        assert family.current_release(dt.date(2013, 1, 1)).version == "1"
+        assert family.current_release(dt.date(2017, 1, 1)).version == "3"
+
+    def test_release_lookup_error(self):
+        with pytest.raises(KeyError):
+            self._family().release("99")
+
+    def test_mismatched_family_rejected(self):
+        bad = ClientRelease(
+            family="Other", version="1", released=dt.date(2012, 1, 1),
+            category=CATEGORY_BROWSERS, cipher_suites=(cs.RSA_AES128_SHA,),
+        )
+        with pytest.raises(ValueError):
+            ClientFamily(name="TestFam", category=CATEGORY_BROWSERS, releases=[bad])
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            ClientFamily(name="TestFam", category=CATEGORY_BROWSERS, releases=[])
+
+
+class TestRealFamilies:
+    def test_chrome_release_weights_normalized(self):
+        family = chrome.family()
+        weights = family.release_weights(dt.date(2016, 1, 1))
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_chrome_grease_era(self):
+        family = chrome.family()
+        modern = family.release("65")
+        hello = modern.build_hello(rng=random.Random(9))
+        assert is_grease(hello.cipher_suites[0])
+
+    def test_firefox_rc4_gone_from_36(self):
+        family = firefox.family()
+        for version in ("36", "37", "44", "60"):
+            assert family.release(version).count_suites(lambda s: s.is_rc4) == 0
+
+    def test_all_browser_helloes_parse_via_wire(self):
+        from repro.tls.wire import encode_client_hello, decode_client_hello
+
+        for module in (chrome, firefox):
+            for release in module.family().releases:
+                hello = release.build_hello(rng=random.Random(1))
+                decoded = decode_client_hello(encode_client_hello(hello))
+                assert decoded.cipher_suites == hello.cipher_suites

@@ -1,0 +1,185 @@
+"""Fingerprint-database tests: collision rules, matching, coverage."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clients.profile import (
+    CATEGORY_BROWSERS,
+    CATEGORY_EMAIL,
+    CATEGORY_LIBRARIES,
+)
+from repro.core.database import (
+    FingerprintDatabase,
+    FingerprintLabel,
+    build_default_database,
+)
+from repro.core.fingerprint import Fingerprint
+
+FP_A = Fingerprint.from_raw((0xC02F, 0x002F), (0, 10, 11), (23,), (0,))
+FP_B = Fingerprint.from_raw((0x002F, 0xC02F), (0, 10, 11), (23,), (0,))
+
+BROWSER = FingerprintLabel("SomeBrowser", "1", CATEGORY_BROWSERS, library="NSS")
+OTHER_BROWSER = FingerprintLabel("OtherBrowser", "2", CATEGORY_BROWSERS, library="NSS")
+LIBRARY = FingerprintLabel("Android SDK", "5.0", CATEGORY_LIBRARIES, library="Android SDK")
+MAIL = FingerprintLabel("Some Mail", "9", CATEGORY_EMAIL, library="SecureTransport")
+
+
+class TestCollisionRules:
+    def test_simple_add_and_match(self):
+        db = FingerprintDatabase()
+        assert db.add(FP_A, BROWSER)
+        assert db.match(FP_A) == BROWSER
+        assert FP_A in db
+        assert len(db) == 1
+
+    def test_no_match_for_unknown(self):
+        db = FingerprintDatabase()
+        db.add(FP_A, BROWSER)
+        assert db.match(FP_B) is None
+
+    def test_same_software_merges_version_ranges(self):
+        db = FingerprintDatabase()
+        db.add(FP_A, FingerprintLabel("SomeBrowser", "1", CATEGORY_BROWSERS))
+        db.add(FP_A, FingerprintLabel("SomeBrowser", "2", CATEGORY_BROWSERS))
+        label = db.match(FP_A)
+        assert label.version_range == "1, 2"
+        assert len(db) == 1
+
+    def test_software_software_collision_removes(self):
+        # §4: "When a collision with a different kind of software ...
+        # occurs we remove the fingerprint from the database."
+        db = FingerprintDatabase()
+        db.add(FP_A, BROWSER)
+        assert not db.add(FP_A, OTHER_BROWSER)
+        assert db.match(FP_A) is None
+        assert len(db) == 0
+
+    def test_removed_fingerprint_stays_removed(self):
+        db = FingerprintDatabase()
+        db.add(FP_A, BROWSER)
+        db.add(FP_A, OTHER_BROWSER)
+        # Re-adding after removal must not resurrect it.
+        assert not db.add(FP_A, BROWSER)
+        assert db.match(FP_A) is None
+
+    def test_software_then_library_resolves_to_library(self):
+        # §4: "When a collision between a specific software and a library
+        # occurs we assume that the software uses the library."
+        db = FingerprintDatabase()
+        db.add(FP_A, MAIL)
+        assert db.add(FP_A, LIBRARY)
+        assert db.match(FP_A).software == "Android SDK"
+
+    def test_library_then_software_keeps_library(self):
+        db = FingerprintDatabase()
+        db.add(FP_A, LIBRARY)
+        assert db.add(FP_A, MAIL)
+        assert db.match(FP_A).software == "Android SDK"
+
+    def test_match_accepts_fields(self):
+        db = FingerprintDatabase()
+        db.add(FP_A, BROWSER)
+        assert db.match(FP_A.fields) == BROWSER
+
+
+class TestCoverage:
+    def _record(self, fingerprint, weight):
+        from repro.notary.events import ConnectionRecord
+
+        return ConnectionRecord(
+            month=dt.date(2015, 1, 1),
+            weight=weight,
+            client_family="x",
+            client_version="1",
+            client_category="",
+            client_in_database=True,
+            fingerprint=fingerprint.fields if fingerprint else None,
+            advertised=frozenset(),
+            positions={},
+            suite_count=2,
+            offered_tls13=False,
+            offered_tls13_versions=(),
+            established=True,
+            negotiated_version="TLSv12",
+            negotiated_wire=0x0303,
+            negotiated_suite=0xC02F,
+            negotiated_curve=None,
+            heartbeat_negotiated=False,
+            server_chose_unoffered=False,
+        )
+
+    def test_coverage_fractions(self):
+        db = FingerprintDatabase()
+        db.add(FP_A, BROWSER)
+        records = [
+            self._record(FP_A, 3.0),
+            self._record(FP_B, 1.0),
+        ]
+        coverage = db.coverage(records)
+        assert coverage["All"] == pytest.approx(0.75)
+        assert coverage[CATEGORY_BROWSERS] == pytest.approx(0.75)
+
+    def test_records_without_fingerprint_ignored(self):
+        db = FingerprintDatabase()
+        db.add(FP_A, BROWSER)
+        records = [self._record(FP_A, 1.0), self._record(None, 5.0)]
+        assert db.coverage(records)["All"] == pytest.approx(1.0)
+
+    def test_empty(self):
+        db = FingerprintDatabase()
+        assert db.coverage([]) == {"All": 0.0}
+
+    def test_count_by_category(self):
+        db = FingerprintDatabase()
+        db.add(FP_A, BROWSER)
+        db.add(FP_B, LIBRARY)
+        assert db.count_by_category() == {
+            CATEGORY_BROWSERS: 1,
+            CATEGORY_LIBRARIES: 1,
+        }
+
+
+class TestDefaultDatabase:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return build_default_database()
+
+    def test_covers_all_nine_categories(self, db):
+        from repro.clients.profile import ALL_CATEGORIES
+
+        counts = db.count_by_category()
+        for category in ALL_CATEGORIES:
+            assert counts.get(category, 0) >= 1, category
+
+    def test_libraries_largest_category(self, db):
+        # Table 2: Libraries hold the most fingerprints... in our scaled
+        # database Browsers may win on count, but Libraries must be top-2.
+        counts = db.count_by_category()
+        ranked = sorted(counts, key=counts.get, reverse=True)
+        assert "Libraries" in ranked[:2]
+
+    def test_shuffling_and_unknown_clients_not_in_db(self, db):
+        for label in db.labels().values():
+            assert label.software != "Shuffling client"
+            assert label.software != "Unknown long tail"
+            assert label.software != "Unidentified anon SDK"
+
+    def test_chrome_release_matchable(self, db):
+        import random
+
+        from repro.clients import chrome
+        from repro.core.fingerprint import extract
+
+        hello = chrome.family().release("49").build_hello(rng=random.Random(3))
+        label = db.match(extract(hello))
+        assert label is not None
+        assert label.software == "Chrome"
+
+    def test_coverage_on_simulated_traffic(self, db, small_window_store):
+        records = [
+            r for r in small_window_store.records() if r.fingerprint is not None
+        ]
+        coverage = db.coverage(records)
+        # Table 2 anchor: 69.23% of fingerprintable connections labelled.
+        assert 0.55 < coverage["All"] < 0.9

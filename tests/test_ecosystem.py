@@ -1,0 +1,103 @@
+"""EcosystemModel driver tests: caching, windows, determinism."""
+
+import datetime as dt
+
+import pytest
+
+from repro.simulation.ecosystem import EcosystemModel, default_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EcosystemModel(start=dt.date(2016, 1, 1), end=dt.date(2016, 6, 1))
+
+
+class TestCaching:
+    def test_passive_store_cached(self, model):
+        assert model.passive_store() is model.passive_store()
+
+    def test_montecarlo_cached(self, model):
+        a = model.montecarlo_store(connections_per_month=50)
+        b = model.montecarlo_store(connections_per_month=999)  # ignored: cached
+        assert a is b
+
+    def test_censys_cached(self, model):
+        archive = model.censys(interval_days=200)
+        assert model.censys() is archive
+
+    def test_database_cached(self, model):
+        assert model.database() is model.database()
+
+
+class TestWindows:
+    def test_passive_window_respected(self, model):
+        months = model.passive_store().months()
+        assert months[0] == dt.date(2016, 1, 1)
+        assert months[-1] == dt.date(2016, 6, 1)
+        assert len(months) == 6
+
+    def test_montecarlo_counts(self, model):
+        store = model.montecarlo_store(connections_per_month=50)
+        assert len(store) == 6 * 50
+
+
+class TestDeterminism:
+    def test_same_seed_same_records(self):
+        def signature(seed):
+            m = EcosystemModel(
+                start=dt.date(2016, 3, 1), end=dt.date(2016, 3, 1), seed=seed
+            )
+            return [
+                (r.client_family, r.negotiated_suite, round(r.weight, 12))
+                for r in m.passive_store().records()
+            ]
+
+        assert signature(7) == signature(7)
+
+    def test_montecarlo_seed_changes_samples(self):
+        def sample(seed):
+            m = EcosystemModel(
+                start=dt.date(2016, 3, 1), end=dt.date(2016, 3, 1), seed=seed
+            )
+            return [
+                (r.client_family, r.day)
+                for r in m.montecarlo_store(connections_per_month=40).records()
+            ]
+
+        assert sample(1) != sample(2)
+
+
+class TestDefaultModel:
+    def test_process_wide_singleton(self):
+        assert default_model() is default_model()
+
+    def test_default_window_is_study_window(self):
+        model = default_model()
+        assert model.start == dt.date(2012, 1, 1)
+        assert model.end == dt.date(2018, 4, 1)
+
+
+class TestHandshakeEdgeBranches:
+    def test_tls13_only_server_vs_legacy_client(self):
+        from repro.tls.handshake import negotiate
+        from repro.tls.messages import AlertDescription, ClientHello
+        from repro.tls.versions import TLS13
+
+        hello = ClientHello(
+            legacy_version=0x0303, random=b"\0" * 32, cipher_suites=(0x002F,)
+        )
+        result = negotiate(hello, {TLS13.wire}, [0x1301], supported_groups=(29,))
+        assert not result.ok
+        assert result.alert.description is AlertDescription.PROTOCOL_VERSION
+        assert "only TLS 1.3" in result.reason
+
+    def test_share_curve_duplicate_dates(self):
+        import datetime as dtm
+
+        from repro.clients.population import ShareCurve
+
+        curve = ShareCurve(
+            ((dtm.date(2015, 1, 1), 2.0), (dtm.date(2015, 1, 1), 5.0))
+        )
+        # Degenerate zero-length span: the later point wins.
+        assert curve.at(dtm.date(2015, 1, 1)) == 5.0

@@ -1,0 +1,45 @@
+"""Smoke tests: the fast examples must run cleanly end-to-end.
+
+The two simulation-heavy examples (fingerprint_survey, internet_scan,
+vulnerability_timeline) are exercised by the benches that compute the
+same quantities; here we run the quick ones as real subprocesses so a
+packaging or import regression cannot hide.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 120) -> str:
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_downgrade_attack(self):
+        out = _run("downgrade_attack.py")
+        assert "POODLE-exploitable" in out
+        assert "refused_scsv" in out
+        assert "EXPOSED" in out and "safe" in out
+
+    def test_notary_pipeline(self):
+        out = _run("notary_pipeline.py")
+        assert "records captured" in out
+        assert "#fields" in out
+        assert "AEAD negotiated" in out
+
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "Labelled as: Chrome" in out
+        assert "RC4 negotiated during 2015" in out

@@ -1,0 +1,93 @@
+"""Tests for the §9 extension-deployment analyses."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.extensions_analysis import (
+    encrypt_then_mac_uptake,
+    extension_popularity,
+    negotiated_series,
+    offered_series,
+    rie_deployment,
+)
+from repro.tls.extensions import ExtensionType
+
+
+class TestRecordPlumbing:
+    def test_records_carry_client_extensions(self, small_window_store):
+        records = small_window_store.records(dt.date(2015, 1, 1))
+        assert any(
+            int(ExtensionType.SERVER_NAME) in r.client_extensions for r in records
+        )
+
+    def test_records_carry_server_extensions(self, small_window_store):
+        records = [
+            r for r in small_window_store.records(dt.date(2015, 1, 1)) if r.established
+        ]
+        assert any(r.server_extensions for r in records)
+
+    def test_negotiated_requires_both_sides(self, small_window_store):
+        for record in small_window_store.records(dt.date(2015, 1, 1)):
+            code = int(ExtensionType.RENEGOTIATION_INFO)
+            if record.negotiated_extension(code):
+                assert record.offers_extension(code)
+                assert code in record.server_extensions
+
+
+class TestRie:
+    def test_rie_widely_deployed(self, small_window_store):
+        series = rie_deployment(small_window_store)
+        offered = dict(series["RIE offered"])[dt.date(2015, 1, 1)]
+        negotiated = dict(series["RIE negotiated"])[dt.date(2015, 1, 1)]
+        # Nearly every post-2010 client sends RIE; most servers ack it.
+        assert offered > 60
+        assert negotiated > 30
+        assert negotiated <= offered
+
+
+class TestEncryptThenMac:
+    def test_no_etm_before_2016(self, small_window_store):
+        series = encrypt_then_mac_uptake(small_window_store)
+        for _, value in series["EtM offered"]:
+            assert value < 1.0  # OpenSSL 1.1.0 not yet released
+
+    def test_limited_uptake_in_2018(self, late_window_store):
+        series = encrypt_then_mac_uptake(late_window_store)
+        offered = dict(series["EtM offered"])[dt.date(2018, 3, 1)]
+        negotiated = dict(series["EtM negotiated"])[dt.date(2018, 3, 1)]
+        # §9: "very limited take up" — present but small.
+        assert 0.2 < offered < 15
+        assert 0 < negotiated < offered
+
+
+class TestPopularity:
+    def test_popularity_ranked(self, small_window_store):
+        ranked = extension_popularity(small_window_store, dt.date(2015, 1, 1), top=5)
+        assert len(ranked) == 5
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+        names = [n for n, _ in ranked]
+        assert "renegotiation_info" in names or "server_name" in names
+
+    def test_empty_month(self, small_window_store):
+        assert extension_popularity(small_window_store, dt.date(1999, 1, 1)) == []
+
+
+class TestSeriesHelpers:
+    def test_offered_series_months(self, small_window_store):
+        series = offered_series(small_window_store, ExtensionType.HEARTBEAT)
+        assert [m for m, _ in series] == small_window_store.months()
+
+    def test_heartbeat_offered_by_openssl_population(self, small_window_store):
+        series = dict(offered_series(small_window_store, ExtensionType.HEARTBEAT))
+        assert series[dt.date(2015, 1, 1)] > 2  # OpenSSL 1.0.1/1.0.2 stacks
+
+    def test_negotiated_series_below_offered(self, small_window_store):
+        month = dt.date(2015, 1, 1)
+        offered = dict(offered_series(small_window_store, ExtensionType.HEARTBEAT))
+        negotiated = dict(
+            negotiated_series(small_window_store, ExtensionType.HEARTBEAT)
+        )
+        assert negotiated[month] <= offered[month] + 1e-9
+        assert negotiated[month] > 0

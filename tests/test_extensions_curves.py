@@ -1,0 +1,93 @@
+"""Extension and named-curve registry tests."""
+
+import pytest
+
+from repro.tls.curves import (
+    CURVE_REGISTRY,
+    SECP256R1,
+    X25519,
+    UnknownCurve,
+    curve_by_code,
+    curve_by_name,
+)
+from repro.tls.extensions import (
+    EXTENSION_REGISTRY,
+    Extension,
+    ExtensionType,
+    decode_supported_versions,
+    encode_supported_versions,
+)
+
+
+class TestExtensionRegistry:
+    def test_has_at_least_28_standardized(self):
+        # §2.1: "As of March 2018, 28 TLS extensions have been standardized."
+        iana = [t for t in EXTENSION_REGISTRY if t < 0xFF00 and t < 13000]
+        assert len(iana) >= 28
+
+    def test_heartbeat_note_mentions_heartbleed(self):
+        info = EXTENSION_REGISTRY[ExtensionType.HEARTBEAT]
+        assert "Heartbleed" in info.note
+
+    def test_supported_versions_is_tls13(self):
+        assert EXTENSION_REGISTRY[ExtensionType.SUPPORTED_VERSIONS].tls13_relevant
+
+    def test_renegotiation_info_code_point(self):
+        assert int(ExtensionType.RENEGOTIATION_INFO) == 65281
+
+    def test_extension_name(self):
+        assert Extension(0).name == "server_name"
+        assert Extension(64222).name == "unknown_64222"
+
+    def test_supported_versions_codec_roundtrip(self):
+        body = encode_supported_versions([0x0304, 0x0303])
+        assert decode_supported_versions(body) == [0x0304, 0x0303]
+
+    def test_supported_versions_empty_rejected(self):
+        with pytest.raises(ValueError):
+            decode_supported_versions(b"")
+
+    def test_supported_versions_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode_supported_versions(b"\x03\x03\x04\x03")
+
+    def test_supported_versions_truncated_rejected(self):
+        body = encode_supported_versions([0x0304])
+        with pytest.raises(ValueError):
+            decode_supported_versions(body[:-1])
+
+
+class TestCurveRegistry:
+    def test_the_paper_top5_are_registered(self):
+        # §6.3.3's top five curves.
+        for name in ("secp256r1", "secp384r1", "x25519", "sect571r1", "secp521r1"):
+            assert curve_by_name(name).name == name
+
+    def test_curve25519_alias(self):
+        assert curve_by_name("curve25519") is X25519
+
+    def test_prime256v1_alias(self):
+        assert curve_by_name("prime256v1") is SECP256R1
+
+    def test_code_points(self):
+        assert curve_by_code(23).name == "secp256r1"
+        assert curve_by_code(29).name == "x25519"
+
+    def test_x25519_not_nist(self):
+        assert not X25519.nist_backed
+        assert SECP256R1.nist_backed
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(UnknownCurve):
+            curve_by_code(4242)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownCurve):
+            curve_by_name("secp999r9")
+
+    def test_ffdhe_groups_present(self):
+        assert curve_by_code(256).kind == "ffdhe"
+
+    def test_registry_codes_match(self):
+        for code, curve in CURVE_REGISTRY.items():
+            assert curve.code == code

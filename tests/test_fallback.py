@@ -1,0 +1,155 @@
+"""Downgrade-dance and POODLE-mechanics tests (repro.tls.fallback)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clients import chrome, firefox
+from repro.clients import suites as cs
+from repro.clients.profile import CATEGORY_BROWSERS, ClientRelease
+from repro.servers import archetypes as arch
+from repro.servers.config import ServerProfile
+from repro.tls.fallback import (
+    DanceResult,
+    FallbackOutcome,
+    downgrade_dance,
+    fallback_ladder,
+    poodle_attack_succeeds,
+)
+from repro.tls.versions import SSL3, TLS10, TLS11, TLS12
+
+
+def release(max_version=TLS12.wire, ssl3_fallback=True, suites=None):
+    return ClientRelease(
+        family="TestFam",
+        version="1",
+        released=dt.date(2013, 1, 1),
+        category=CATEGORY_BROWSERS,
+        max_version=max_version,
+        cipher_suites=suites or (cs.RSA_AES128_SHA, cs.RSA_RC4_128_SHA, cs.RSA_3DES_SHA),
+        ssl3_fallback=ssl3_fallback,
+    )
+
+
+# A server that only speaks SSL3 + TLS1.0 (old box).
+OLD_SERVER = ServerProfile(
+    name="old",
+    supported_versions=frozenset({SSL3.wire, TLS10.wire}),
+    suite_preference=(cs.RSA_AES128_SHA, cs.RSA_RC4_128_SHA),
+)
+
+# A modern server: TLS 1.0-1.2, SCSV-aware by construction.
+MODERN_SERVER = ServerProfile(
+    name="modern",
+    supported_versions=frozenset({TLS10.wire, TLS11.wire, TLS12.wire}),
+    suite_preference=(cs.RSA_AES128_SHA,),
+)
+
+# SSL 3-only relic that is also version-intolerant: it aborts any hello
+# above SSL 3 instead of negotiating down — the stacks that forced
+# browsers into the dance in the first place.
+SSL3_SERVER = ServerProfile(
+    name="ssl3only",
+    supported_versions=frozenset({SSL3.wire}),
+    suite_preference=(cs.RSA_AES128_SHA, cs.RSA_RC4_128_SHA),
+    intolerant_above=SSL3.wire,
+)
+
+
+class TestLadder:
+    def test_full_ladder_with_ssl3(self):
+        ladder = fallback_ladder(release())
+        assert ladder == [TLS12.wire, TLS11.wire, TLS10.wire, SSL3.wire]
+
+    def test_ladder_without_ssl3(self):
+        ladder = fallback_ladder(release(ssl3_fallback=False))
+        assert SSL3.wire not in ladder
+
+    def test_ladder_capped_by_max_version(self):
+        ladder = fallback_ladder(release(max_version=TLS10.wire))
+        assert ladder == [TLS10.wire, SSL3.wire]
+
+
+class TestDance:
+    def test_first_try_against_modern_server(self):
+        result = downgrade_dance(release(), MODERN_SERVER)
+        assert result.outcome is FallbackOutcome.FIRST_TRY
+        assert result.attempts == 1
+        assert result.negotiated_wire == TLS12.wire
+        assert not result.attacked
+
+    def test_no_dance_needed_against_old_server(self):
+        # Version negotiation handles the min() itself; no retry occurs.
+        result = downgrade_dance(release(), OLD_SERVER)
+        assert result.outcome is FallbackOutcome.FIRST_TRY
+        assert result.negotiated_wire == TLS10.wire
+
+    def test_falls_back_to_ssl3_server(self):
+        result = downgrade_dance(release(), SSL3_SERVER, send_scsv=False)
+        assert result.outcome is FallbackOutcome.FELL_BACK
+        assert result.negotiated_wire == SSL3.wire
+        assert result.attempts == 4
+
+    def test_no_ssl3_rung_exhausts_against_ssl3_server(self):
+        result = downgrade_dance(release(ssl3_fallback=False), SSL3_SERVER)
+        assert result.outcome is FallbackOutcome.EXHAUSTED
+        assert not result.established
+
+
+class TestPoodle:
+    def test_attack_forces_ssl3_without_scsv(self):
+        result = downgrade_dance(
+            release(), OLD_SERVER, attacker_drops=3, send_scsv=False
+        )
+        assert result.attacked
+        assert result.negotiated_wire == SSL3.wire
+        assert result.poodle_exposed  # CBC suite at SSL 3
+
+    def test_scsv_defeats_the_attack_on_updated_server(self):
+        result = downgrade_dance(
+            release(), MODERN_SERVER, attacker_drops=2, send_scsv=True
+        )
+        assert result.outcome is FallbackOutcome.REFUSED_SCSV
+        assert not result.established
+
+    def test_scsv_useless_against_ssl3_only_server(self):
+        # RFC 7507 cannot help when the server genuinely tops out at SSL3.
+        assert poodle_attack_succeeds(release(), SSL3_SERVER, send_scsv=True)
+
+    def test_removing_fallback_kills_the_attack(self):
+        assert poodle_attack_succeeds(release(), OLD_SERVER)
+        assert not poodle_attack_succeeds(release(ssl3_fallback=False), OLD_SERVER)
+
+    def test_rc4_at_ssl3_not_poodle_exposed(self):
+        rc4_server = ServerProfile(
+            name="rc4first",
+            supported_versions=frozenset({SSL3.wire, TLS10.wire}),
+            suite_preference=(cs.RSA_RC4_128_SHA,),
+        )
+        result = downgrade_dance(
+            release(), rc4_server, attacker_drops=3, send_scsv=False
+        )
+        assert result.negotiated_wire == SSL3.wire
+        assert not result.poodle_exposed  # RC4, not CBC
+
+
+class TestRealBrowserHistories:
+    """Table 6's mitigation timeline, expressed as POODLE exposure."""
+
+    def test_chrome_33_exposed_chrome_39_not(self):
+        family = chrome.family()
+        assert poodle_attack_succeeds(family.release("33"), OLD_SERVER)
+        assert not poodle_attack_succeeds(family.release("39"), OLD_SERVER)
+
+    def test_firefox_36_exposed_37_not(self):
+        family = firefox.family()
+        assert poodle_attack_succeeds(family.release("36"), OLD_SERVER)
+        assert not poodle_attack_succeeds(family.release("37"), OLD_SERVER)
+
+    def test_legacy_archetype_accepts_fallback(self):
+        family = chrome.family()
+        result = downgrade_dance(
+            family.release("33"), arch.LEGACY_SSL3_RC4, attacker_drops=3,
+            send_scsv=False,
+        )
+        assert result.negotiated_wire == SSL3.wire

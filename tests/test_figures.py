@@ -1,0 +1,200 @@
+"""Figure-generator tests on small simulation windows."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import figures
+
+
+class TestFig1(object):
+    def test_versions_sum_to_100(self, small_window_store):
+        series = figures.fig1_negotiated_versions(small_window_store)
+        month = dt.date(2014, 12, 1)
+        total = sum(figures.value_at(s, month) for s in series.values() if s)
+        assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_tls12_dominant_in_2015(self, small_window_store):
+        series = figures.fig1_negotiated_versions(small_window_store)
+        assert figures.value_at(series["TLSv12"], dt.date(2015, 5, 1)) > 40
+
+    def test_ssl3_marginal_by_2015(self, small_window_store):
+        series = figures.fig1_negotiated_versions(small_window_store)
+        assert figures.value_at(series["SSLv3"], dt.date(2015, 5, 1)) < 1
+
+
+class TestFig2(object):
+    def test_classes_present(self, small_window_store):
+        series = figures.fig2_negotiated_modes(small_window_store)
+        assert set(series) == {"AEAD", "CBC", "RC4"}
+
+    def test_rc4_declines_within_window(self, small_window_store):
+        series = figures.fig2_negotiated_modes(small_window_store)["RC4"]
+        assert series[0][1] > series[-1][1]
+
+
+class TestFig3(object):
+    def test_cbc_above_99(self, small_window_store):
+        series = figures.fig3_advertised_modes(small_window_store)["CBC"]
+        assert all(v > 97 for _, v in series)
+
+    def test_3des_high(self, small_window_store):
+        series = figures.fig3_advertised_modes(small_window_store)["3DES"]
+        assert all(v > 90 for _, v in series)
+
+
+class TestFig4(object):
+    def test_only_fingerprint_era_months(self, early_window_store):
+        series = figures.fig4_fingerprint_support(early_window_store)
+        assert series == {}  # 2012: no fingerprint fields yet
+
+    def test_fingerprint_support_values(self, small_window_store):
+        series = figures.fig4_fingerprint_support(small_window_store)
+        rc4 = dict(series["RC4"])
+        assert rc4[dt.date(2015, 1, 1)] > 30  # many fingerprints keep RC4
+        cbc = dict(series["CBC"])
+        assert cbc[dt.date(2015, 1, 1)] > 90  # near-universal CBC support
+
+
+class TestFig5(object):
+    def test_positions_ordering(self, small_window_store):
+        series = figures.fig5_cipher_positions(small_window_store)
+        month = dt.date(2015, 1, 1)
+        aead = figures.value_at(series["AEAD"], month)
+        tdes = figures.value_at(series["3DES"], month)
+        # AEAD sits near the head of preference lists, 3DES near the tail.
+        assert aead < 30
+        assert tdes > 70
+
+    def test_values_are_percentages(self, small_window_store):
+        series = figures.fig5_cipher_positions(small_window_store)
+        for points in series.values():
+            assert all(0 <= v <= 100 for _, v in points)
+
+
+class TestFig6(object):
+    def test_single_series(self, small_window_store):
+        series = figures.fig6_rc4_advertised(small_window_store)
+        assert list(series) == ["RC4 advertised"]
+        assert all(0 <= v <= 100 for _, v in series["RC4 advertised"])
+
+
+class TestFig7(object):
+    def test_labels(self, small_window_store):
+        series = figures.fig7_weak_advertised(small_window_store)
+        assert set(series) == {"Export", "Anonymous", "Null"}
+
+    def test_anon_spike_visible(self, small_window_store):
+        series = figures.fig7_weak_advertised(small_window_store)["Anonymous"]
+        before = figures.value_at(series, dt.date(2015, 4, 1))
+        after = figures.value_at(series, dt.date(2015, 6, 1))
+        assert after > before
+
+
+class TestFig8(object):
+    def test_rsa_plus_ecdhe_account_for_most(self, small_window_store):
+        series = figures.fig8_key_exchange(small_window_store)
+        month = dt.date(2015, 1, 1)
+        total = sum(figures.value_at(series[k], month) for k in ("RSA", "DHE", "ECDHE"))
+        assert total > 90
+
+    def test_ecdhe_rising(self, small_window_store):
+        ecdhe = figures.fig8_key_exchange(small_window_store)["ECDHE"]
+        assert ecdhe[-1][1] > ecdhe[0][1]
+
+
+class TestFig9And10(object):
+    def test_fig9_total_geq_parts(self, small_window_store):
+        series = figures.fig9_negotiated_aead(small_window_store)
+        month = dt.date(2015, 1, 1)
+        total = figures.value_at(series["AEAD Total"], month)
+        parts = sum(
+            figures.value_at(series[k], month)
+            for k in ("AES128-GCM", "AES256-GCM", "ChaCha20-Poly1305")
+        )
+        assert total >= parts - 0.01
+
+    def test_fig10_gcm_dominates_ccm(self, small_window_store):
+        series = figures.fig10_advertised_aead(small_window_store)
+        month = dt.date(2015, 1, 1)
+        assert figures.value_at(series["AES128-GCM"], month) > figures.value_at(
+            series["AES-CCM"], month
+        )
+
+
+class TestTls13VersionMix(object):
+    def test_mix_on_tls13_window(self, late_window_store):
+        mix = figures.tls13_version_mix(late_window_store, dt.date(2018, 3, 1))
+        assert mix
+        assert any(label.startswith("google-0x7e02") for label in mix)
+        # Shares are percentages of extension-bearing traffic; any one
+        # label is bounded by 100 (multiple versions per hello allowed).
+        assert all(0 < v <= 100 for v in mix.values())
+
+    def test_empty_before_tls13(self, small_window_store):
+        assert figures.tls13_version_mix(small_window_store, dt.date(2015, 1, 1)) == {}
+
+
+class TestUnofferedChoiceSeries(object):
+    def test_series_present_and_small(self, small_window_store):
+        series = figures.unoffered_choice_series(small_window_store)
+        assert [m for m, _ in series] == small_window_store.months()
+        assert all(0 <= v < 2 for _, v in series)
+        assert any(v > 0 for _, v in series)  # GOST/Interwise exist
+
+
+class TestLazyClientsInit(object):
+    def test_unknown_attribute_raises(self):
+        import repro.clients
+
+        with pytest.raises(AttributeError):
+            repro.clients.not_a_real_symbol  # noqa: B018
+
+    def test_lazy_population_access(self):
+        from repro.clients import ShareCurve
+
+        assert ShareCurve is not None
+
+
+class TestHelpers(object):
+    def test_value_at_nearest(self):
+        series = [(dt.date(2015, 1, 1), 1.0), (dt.date(2015, 3, 1), 3.0)]
+        assert figures.value_at(series, dt.date(2015, 1, 10)) == 1.0
+        assert figures.value_at(series, dt.date(2015, 2, 25)) == 3.0
+
+    def test_value_at_empty_raises(self):
+        with pytest.raises(ValueError):
+            figures.value_at([], dt.date(2015, 1, 1))
+
+    def test_render_series(self, small_window_store):
+        series = figures.fig2_negotiated_modes(small_window_store)
+        text = figures.render_series(series)
+        assert "AEAD" in text and "RC4" in text
+        assert "2015-01-01" in text
+
+    def test_render_series_sampled(self, small_window_store):
+        series = figures.fig2_negotiated_modes(small_window_store)
+        text = figures.render_series(series, sample_months=[dt.date(2015, 1, 1)])
+        assert text.count("\n") == 1  # header + one row
+
+    def test_to_csv(self, small_window_store):
+        import csv
+        import io
+
+        series = figures.fig2_negotiated_modes(small_window_store)
+        rows = list(csv.reader(io.StringIO(figures.to_csv(series))))
+        assert rows[0] == ["month", "AEAD", "CBC", "RC4"]
+        assert len(rows) == 1 + len(small_window_store.months())
+        # Values parse back as floats in [0, 100].
+        for row in rows[1:]:
+            for cell in row[1:]:
+                assert 0.0 <= float(cell) <= 100.0
+
+    def test_to_csv_handles_missing_months(self):
+        series = {
+            "a": [(dt.date(2015, 1, 1), 1.0), (dt.date(2015, 2, 1), 2.0)],
+            "b": [(dt.date(2015, 2, 1), 3.0)],
+        }
+        text = figures.to_csv(series)
+        lines = text.strip().splitlines()
+        assert lines[1].endswith(",")  # b missing in January

@@ -1,0 +1,181 @@
+"""Fingerprint extraction tests (§4), including GREASE-stability properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import Fingerprint, extract
+from repro.tls.extensions import Extension
+from repro.tls.grease import GREASE_VALUES
+from repro.tls.messages import ClientHello
+from repro.tls.versions import TLS12
+
+
+def hello(suites=(0xC02F, 0x002F), exts=(0, 10, 11), groups=(29, 23), formats=(0,)):
+    return ClientHello(
+        legacy_version=TLS12.wire,
+        random=b"\0" * 32,
+        cipher_suites=tuple(suites),
+        extensions=tuple(Extension(t) for t in exts),
+        supported_groups=tuple(groups),
+        ec_point_formats=tuple(formats),
+    )
+
+
+class TestExtraction:
+    def test_four_fields(self):
+        fp = extract(hello())
+        assert fp.fields.cipher_suites == (0xC02F, 0x002F)
+        assert fp.fields.extensions == (0, 10, 11)
+        assert fp.fields.curves == (29, 23)
+        assert fp.fields.ec_point_formats == (0,)
+
+    def test_grease_stripped_from_all_fields(self):
+        fp = extract(
+            hello(
+                suites=(0x0A0A, 0xC02F),
+                exts=(0x1A1A, 0, 10),
+                groups=(0x2A2A, 29),
+            )
+        )
+        assert fp.fields.cipher_suites == (0xC02F,)
+        assert fp.fields.extensions == (0, 10)
+        assert fp.fields.curves == (29,)
+
+    def test_order_matters(self):
+        a = extract(hello(suites=(0xC02F, 0x002F)))
+        b = extract(hello(suites=(0x002F, 0xC02F)))
+        assert a.digest != b.digest
+
+    def test_unknown_values_kept(self):
+        # Unknown (non-GREASE) code points are part of the fingerprint.
+        a = extract(hello(suites=(0xC02F, 0xEE00)))
+        b = extract(hello(suites=(0xC02F,)))
+        assert a.digest != b.digest
+
+    def test_random_and_session_id_irrelevant(self):
+        a = ClientHello(
+            random=b"\x01" * 32, session_id=b"aa", cipher_suites=(0xC02F,)
+        )
+        b = ClientHello(
+            random=b"\x02" * 32, session_id=b"bb", cipher_suites=(0xC02F,)
+        )
+        assert extract(a).digest == extract(b).digest
+
+
+class TestDigest:
+    def test_hex_md5(self):
+        digest = extract(hello()).digest
+        assert len(digest) == 32
+        int(digest, 16)  # valid hex
+
+    def test_stable(self):
+        assert extract(hello()).digest == extract(hello()).digest
+
+    def test_canonical_format(self):
+        fp = Fingerprint.from_raw((1, 2), (3,), (4,), (0,))
+        assert fp.canonical == "1-2,3,4,0"
+
+    def test_empty_fields_distinct(self):
+        a = Fingerprint.from_raw((), (1,), (), ())
+        b = Fingerprint.from_raw((1,), (), (), ())
+        assert a.digest != b.digest
+
+
+class TestAdvertises:
+    def test_advertises_rc4(self):
+        fp = extract(hello(suites=(0x0005, 0x002F)))
+        assert fp.advertises(lambda s: s.is_rc4)
+        assert not fp.advertises(lambda s: s.is_aead)
+
+    def test_scsv_not_counted(self):
+        fp = extract(hello(suites=(0x5600,)))
+        assert not fp.advertises(lambda s: True)
+
+
+class TestGreaseStabilityProperty:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=0xFFFF).filter(
+                lambda v: v not in set(GREASE_VALUES)
+            ),
+            max_size=30,
+        ),
+        st.integers(),
+    )
+    @settings(max_examples=100)
+    def test_digest_invariant_under_grease_injection(self, suites, seed):
+        rng = random.Random(seed)
+        clean = extract(hello(suites=tuple(suites)))
+        position = rng.randrange(len(suites) + 1)
+        injected = list(suites)
+        injected.insert(position, rng.choice(GREASE_VALUES))
+        greased = extract(hello(suites=tuple(injected)))
+        assert clean.digest == greased.digest
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=30))
+    @settings(max_examples=100)
+    def test_digest_deterministic(self, suites):
+        a = extract(hello(suites=tuple(suites)))
+        b = extract(hello(suites=tuple(suites)))
+        assert a.digest == b.digest
+
+
+class TestExtendedFingerprint:
+    def test_version_distinguishes(self):
+        from repro.core.fingerprint import ExtendedFingerprint
+
+        a = hello()
+        import dataclasses
+
+        b = dataclasses.replace(a, legacy_version=0x0301)
+        assert extract(a).digest == extract(b).digest  # restricted merges
+        assert (
+            ExtendedFingerprint.from_client_hello(a).digest
+            != ExtendedFingerprint.from_client_hello(b).digest
+        )
+
+    def test_canonical_includes_version_and_compression(self):
+        from repro.core.fingerprint import ExtendedFingerprint
+
+        canonical = ExtendedFingerprint.from_client_hello(hello()).canonical
+        assert canonical.startswith("771,")  # 0x0303
+        assert canonical.endswith(",0")      # null compression
+
+    def test_collision_rate_ordering(self):
+        import dataclasses
+
+        from repro.core.fingerprint import collision_rate
+
+        base = hello()
+        variant = dataclasses.replace(base, legacy_version=0x0302)
+        other = hello(suites=(0x002F,))
+        restricted, extended = collision_rate([base, variant, other])
+        assert restricted == pytest.approx(2 / 3)
+        assert extended == 0.0
+
+    def test_collision_rate_empty(self):
+        from repro.core.fingerprint import collision_rate
+
+        assert collision_rate([]) == (0.0, 0.0)
+
+
+class TestRealClientFingerprints:
+    def test_chrome_grease_stable_fingerprint(self):
+        from repro.clients import chrome
+
+        release = chrome.family().release("65")
+        digests = {
+            extract(release.build_hello(rng=random.Random(i), include_tls13=True)).digest
+            for i in range(6)
+        }
+        assert len(digests) == 1  # GREASE varies, fingerprint does not
+
+    def test_distinct_browsers_distinct_fingerprints(self):
+        from repro.clients import chrome, firefox
+
+        c = chrome.family().release("49").build_hello(rng=random.Random(0))
+        f = firefox.family().release("47").build_hello(rng=random.Random(0))
+        assert extract(c).digest != extract(f).digest

@@ -1,0 +1,177 @@
+"""Traffic-generator tests: expectation mode, affinity, Monte-Carlo."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.clients.population import default_population
+from repro.notary import PassiveMonitor, TrafficGenerator
+from repro.servers import ServerPopulation
+
+
+@pytest.fixture(scope="module")
+def one_month_store():
+    monitor = PassiveMonitor()
+    generator = TrafficGenerator(default_population(), ServerPopulation(), monitor)
+    generator.run_expectation_month(dt.date(2015, 6, 1))
+    return monitor.store
+
+
+class TestExpectationMode:
+    def test_weights_sum_to_one_per_month(self, one_month_store):
+        assert one_month_store.total_weight(dt.date(2015, 6, 1)) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        def run():
+            monitor = PassiveMonitor()
+            generator = TrafficGenerator(
+                default_population(), ServerPopulation(), monitor
+            )
+            generator.run_expectation_month(dt.date(2015, 6, 1))
+            return [
+                (r.client_family, r.client_version, r.weight, r.negotiated_suite)
+                for r in monitor.store.records()
+            ]
+
+        assert run() == run()
+
+    def test_affinity_routing(self, one_month_store):
+        # GRID clients only ever reach GRID servers: all their established
+        # connections use the NULL suite the GRID server prefers.
+        grid = [
+            r
+            for r in one_month_store.records()
+            if r.client_family == "GridFTP" and r.established
+        ]
+        assert grid
+        assert all(r.suite.is_null_encryption for r in grid)
+
+    def test_nagios_routing(self, one_month_store):
+        nagios = [
+            r
+            for r in one_month_store.records()
+            if r.client_family == "Nagios NRPE" and r.established
+        ]
+        assert nagios
+        for record in nagios:
+            if record.negotiated_version == "SSLv2":
+                continue  # the injected §5.1 relic carries no suite
+            assert record.suite.is_anonymous or record.suite.is_null_null
+
+    def test_interwise_established_with_unoffered_suite(self, one_month_store):
+        interwise = [
+            r for r in one_month_store.records() if r.client_family == "Interwise"
+        ]
+        assert interwise
+        assert all(r.established and r.server_chose_unoffered for r in interwise)
+        assert all(r.suite.is_export for r in interwise)
+
+    def test_mainstream_clients_span_server_archetypes(self, one_month_store):
+        chrome_suites = {
+            r.negotiated_suite
+            for r in one_month_store.records()
+            if r.client_family == "Chrome" and r.established
+        }
+        assert len(chrome_suites) >= 3  # multiple archetypes respond differently
+
+    def test_tls13_split_produces_both_variants(self):
+        monitor = PassiveMonitor()
+        generator = TrafficGenerator(default_population(), ServerPopulation(), monitor)
+        generator.run_expectation_month(dt.date(2018, 4, 1))
+        chrome65 = [
+            r
+            for r in monitor.store.records()
+            if r.client_family == "Chrome" and r.client_version == "65"
+        ]
+        offered = {r.offered_tls13 for r in chrome65}
+        assert offered == {True, False}
+
+
+class TestIntoleranceDance:
+    def test_intolerant_variants_in_population(self):
+        from repro.servers import ServerPopulation
+
+        pop = ServerPopulation()
+        names_2012 = {p.name for p, _ in pop.mix(dt.date(2012, 6, 1), "traffic")}
+        assert any(n.endswith("-intolerant") for n in names_2012)
+
+    def test_intolerance_declines(self):
+        from repro.servers import ServerPopulation
+
+        pop = ServerPopulation()
+
+        def share(day):
+            return sum(
+                w
+                for p, w in pop.mix(day, "traffic")
+                if p.intolerant_above is not None
+            )
+
+        early = share(dt.date(2012, 3, 1))
+        late = share(dt.date(2017, 3, 1))
+        assert early > 0.01
+        assert late < early / 3
+
+    def test_dance_rescues_connections_to_intolerant_servers(self):
+        """TLS 1.2 clients reach intolerant boxes at TLS 1.0, not at all."""
+        monitor = PassiveMonitor()
+        generator = TrafficGenerator(default_population(), ServerPopulation(), monitor)
+        generator.run_expectation_month(dt.date(2014, 6, 1))
+        rescued = [
+            r
+            for r in monitor.store.records()
+            if r.server_profile.endswith("-intolerant")
+            and r.client_family == "Chrome"
+            and r.established
+        ]
+        assert rescued
+        assert all(r.negotiated_version in ("TLSv10", "SSLv3") for r in rescued)
+    def test_sample_counts(self):
+        monitor = PassiveMonitor()
+        generator = TrafficGenerator(default_population(), ServerPopulation(), monitor)
+        generator.run_montecarlo(
+            dt.date(2015, 6, 1), dt.date(2015, 7, 1), 100, random.Random(3)
+        )
+        assert len(monitor.store) == 200  # 2 months x 100
+
+    def test_records_have_days_inside_month(self):
+        monitor = PassiveMonitor()
+        generator = TrafficGenerator(default_population(), ServerPopulation(), monitor)
+        generator.run_montecarlo(
+            dt.date(2015, 6, 1), dt.date(2015, 6, 1), 50, random.Random(3)
+        )
+        for record in monitor.store.records():
+            assert record.day is not None
+            assert record.day.month == 6
+            assert record.day.year == 2015
+
+    def test_reproducible_with_same_seed(self):
+        def run(seed):
+            monitor = PassiveMonitor()
+            generator = TrafficGenerator(
+                default_population(), ServerPopulation(), monitor
+            )
+            generator.run_montecarlo(
+                dt.date(2015, 6, 1), dt.date(2015, 6, 1), 60, random.Random(seed)
+            )
+            return [
+                (r.client_family, r.negotiated_suite, r.day)
+                for r in monitor.store.records()
+            ]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_shuffler_produces_distinct_fingerprints(self):
+        monitor = PassiveMonitor()
+        generator = TrafficGenerator(default_population(), ServerPopulation(), monitor)
+        rng = random.Random(11)
+        # Sample enough connections to catch several shuffler hits.
+        generator.run_montecarlo(dt.date(2015, 1, 1), dt.date(2015, 4, 1), 800, rng)
+        shuffled = {
+            r.fingerprint
+            for r in monitor.store.records()
+            if r.client_family == "Shuffling client"
+        }
+        assert len(shuffled) >= 2

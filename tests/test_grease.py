@@ -1,0 +1,86 @@
+"""Unit and property tests for GREASE handling."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tls.grease import (
+    GREASE_VALUES,
+    grease_values,
+    inject_grease,
+    is_grease,
+    random_grease,
+    strip_grease,
+)
+
+
+class TestValues:
+    def test_sixteen_values(self):
+        assert len(GREASE_VALUES) == 16
+        assert len(set(GREASE_VALUES)) == 16
+
+    def test_pattern(self):
+        # RFC 8701: 0x0a0a, 0x1a1a, ..., 0xfafa.
+        for value in GREASE_VALUES:
+            high = value >> 8
+            low = value & 0xFF
+            assert high == low
+            assert high & 0x0F == 0x0A
+
+    def test_first_and_last(self):
+        assert GREASE_VALUES[0] == 0x0A0A
+        assert GREASE_VALUES[-1] == 0xFAFA
+
+    def test_grease_values_accessor(self):
+        assert grease_values() == GREASE_VALUES
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("value", [0x0A0A, 0x1A1A, 0xFAFA])
+    def test_is_grease_true(self, value):
+        assert is_grease(value)
+
+    @pytest.mark.parametrize("value", [0x0000, 0x1301, 0xC02F, 0x0A1A, 0xABAB])
+    def test_is_grease_false(self, value):
+        assert not is_grease(value)
+
+
+class TestStripInject:
+    def test_strip_removes_all_grease(self):
+        values = (0x0A0A, 0xC02F, 0x2A2A, 0x002F)
+        assert strip_grease(values) == (0xC02F, 0x002F)
+
+    def test_strip_preserves_order(self):
+        values = (0xC030, 0x0A0A, 0xC02F, 0x002F)
+        assert strip_grease(values) == (0xC030, 0xC02F, 0x002F)
+
+    def test_inject_prepends_one(self):
+        rng = random.Random(1)
+        out = inject_grease((0xC02F, 0x002F), rng)
+        assert len(out) == 3
+        assert is_grease(out[0])
+        assert out[1:] == (0xC02F, 0x002F)
+
+    def test_random_grease_is_grease(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            assert is_grease(random_grease(rng))
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF)))
+    def test_strip_idempotent(self, values):
+        once = strip_grease(values)
+        assert strip_grease(once) == once
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF)), st.integers())
+    def test_inject_then_strip_roundtrip(self, values, seed):
+        clean = strip_grease(values)
+        rng = random.Random(seed)
+        assert strip_grease(inject_grease(clean, rng)) == clean
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF)))
+    def test_strip_output_contains_no_grease(self, values):
+        assert not any(is_grease(v) for v in strip_grease(values))

@@ -1,0 +1,314 @@
+"""Negotiation-engine tests: versions, suites, curves, SCSV, anomalies."""
+
+import pytest
+
+from repro.tls.ciphers import suite_by_code, suite_by_name
+from repro.tls.extensions import Extension, ExtensionType
+from repro.tls.handshake import (
+    FALLBACK_SCSV,
+    RENEGOTIATION_INFO_SCSV,
+    HandshakeFailure,
+    SelectionAnomaly,
+    SelectionPolicy,
+    negotiate,
+    suite_usable_at,
+)
+from repro.tls.messages import AlertDescription, ClientHello
+from repro.tls.versions import SSL3, TLS10, TLS11, TLS12, TLS13, tls13_draft
+
+AES_GCM = 0xC02F
+AES_CBC = 0x002F
+RC4_SHA = 0x0005
+TDES = 0x000A
+T13_AES = 0x1301
+
+
+def hello(suites, version=TLS12.wire, groups=(), versions=(), extensions=()):
+    return ClientHello(
+        legacy_version=version,
+        random=b"\0" * 32,
+        cipher_suites=tuple(suites),
+        supported_groups=tuple(groups),
+        supported_versions=tuple(versions),
+        extensions=tuple(extensions),
+    )
+
+
+class TestVersionSelection:
+    def test_picks_highest_mutual_classic(self):
+        result = negotiate(hello([AES_CBC]), {TLS10.wire, TLS11.wire, TLS12.wire}, [AES_CBC])
+        assert result.version_wire == TLS12.wire
+
+    def test_capped_by_client(self):
+        result = negotiate(
+            hello([AES_CBC], version=TLS10.wire),
+            {TLS10.wire, TLS12.wire},
+            [AES_CBC],
+        )
+        assert result.version_wire == TLS10.wire
+
+    def test_no_overlap_protocol_version_alert(self):
+        result = negotiate(
+            hello([AES_CBC], version=SSL3.wire), {TLS12.wire}, [AES_CBC]
+        )
+        assert not result.ok
+        assert result.alert.description is AlertDescription.PROTOCOL_VERSION
+
+    def test_ssl3_only_client_against_ssl3_server(self):
+        result = negotiate(
+            hello([RC4_SHA], version=SSL3.wire), {SSL3.wire, TLS10.wire}, [RC4_SHA]
+        )
+        assert result.ok
+        assert result.version is SSL3
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(HandshakeFailure):
+            negotiate(
+                hello([AES_CBC], version=SSL3.wire),
+                {TLS12.wire},
+                [AES_CBC],
+                strict=True,
+            )
+
+
+class TestTls13Negotiation:
+    def test_supported_versions_wins(self):
+        result = negotiate(
+            hello([T13_AES, AES_GCM], groups=(29,), versions=(TLS13.wire, TLS12.wire)),
+            {TLS12.wire, TLS13.wire},
+            [T13_AES, AES_GCM],
+            supported_groups=[29],
+        )
+        assert result.version is TLS13
+        assert result.suite.code == T13_AES
+        # Legacy version field stays 1.2; real version in the extension.
+        assert result.server_hello.version == TLS12.wire
+        assert result.server_hello.selected_version == TLS13.wire
+
+    def test_draft_version_negotiated(self):
+        draft = tls13_draft(18)
+        result = negotiate(
+            hello([T13_AES], groups=(29,), versions=(draft, TLS12.wire)),
+            {TLS12.wire, draft},
+            [T13_AES, AES_GCM],
+            supported_groups=[29],
+        )
+        assert result.version_wire == draft
+        assert result.version is TLS13  # drafts normalize to TLS 1.3
+
+    def test_falls_back_to_12_when_no_13_overlap(self):
+        result = negotiate(
+            hello([T13_AES, AES_GCM], groups=(29,), versions=(tls13_draft(18), TLS12.wire)),
+            {TLS12.wire, tls13_draft(28)},
+            [T13_AES, AES_GCM],
+            supported_groups=[29],
+        )
+        assert result.version is TLS12
+        assert result.suite.code == AES_GCM
+
+    def test_tls13_suite_never_chosen_below_13(self):
+        result = negotiate(
+            hello([T13_AES, AES_CBC]), {TLS12.wire}, [T13_AES, AES_CBC]
+        )
+        assert result.suite.code == AES_CBC
+
+
+class TestSuiteUsability:
+    def test_aead_requires_tls12(self):
+        gcm = suite_by_code(AES_GCM)
+        assert suite_usable_at(gcm, TLS12.wire)
+        assert not suite_usable_at(gcm, TLS11.wire)
+
+    def test_sha256_cbc_requires_tls12(self):
+        suite = suite_by_name("TLS_RSA_WITH_AES_128_CBC_SHA256")
+        assert not suite_usable_at(suite, TLS10.wire)
+        assert suite_usable_at(suite, TLS12.wire)
+
+    def test_classic_cbc_usable_everywhere_classic(self):
+        suite = suite_by_code(AES_CBC)
+        for wire in (SSL3.wire, TLS10.wire, TLS12.wire):
+            assert suite_usable_at(suite, wire)
+        assert not suite_usable_at(suite, TLS13.wire)
+
+    def test_aead_unavailable_below_12_in_negotiation(self):
+        result = negotiate(
+            hello([AES_GCM, AES_CBC], version=TLS11.wire, groups=(23,)),
+            {TLS10.wire, TLS11.wire},
+            [AES_GCM, AES_CBC],
+            supported_groups=[23],
+        )
+        assert result.suite.code == AES_CBC
+
+
+class TestPreferenceOrder:
+    def test_server_preference_default(self):
+        result = negotiate(
+            hello([RC4_SHA, AES_CBC]), {TLS12.wire}, [AES_CBC, RC4_SHA]
+        )
+        assert result.suite.code == AES_CBC
+
+    def test_client_preference_policy(self):
+        result = negotiate(
+            hello([RC4_SHA, AES_CBC]),
+            {TLS12.wire},
+            [AES_CBC, RC4_SHA],
+            policy=SelectionPolicy(server_preference=False),
+        )
+        assert result.suite.code == RC4_SHA
+
+    def test_no_common_suite(self):
+        result = negotiate(hello([RC4_SHA]), {TLS12.wire}, [AES_CBC])
+        assert not result.ok
+        assert result.alert.description is AlertDescription.HANDSHAKE_FAILURE
+
+    def test_grease_in_offer_ignored(self):
+        result = negotiate(
+            hello([0x0A0A, AES_CBC]), {TLS12.wire}, [AES_CBC]
+        )
+        assert result.ok
+        assert result.suite.code == AES_CBC
+
+
+class TestCurveAgreement:
+    def test_ec_suite_requires_common_group(self):
+        result = negotiate(
+            hello([AES_GCM, AES_CBC], groups=(29,)),
+            {TLS12.wire},
+            [AES_GCM, AES_CBC],
+            supported_groups=[23, 24],
+        )
+        # No common curve: the ECDHE suite is skipped, RSA CBC chosen.
+        assert result.suite.code == AES_CBC
+        assert result.curve is None
+
+    def test_server_curve_preference(self):
+        result = negotiate(
+            hello([AES_GCM], groups=(23, 29)),
+            {TLS12.wire},
+            [AES_GCM],
+            supported_groups=[29, 23],
+        )
+        assert result.curve == 29
+
+    def test_clients_without_groups_get_default_curve(self):
+        result = negotiate(
+            hello([AES_GCM]), {TLS12.wire}, [AES_GCM], supported_groups=[23]
+        )
+        assert result.ok
+        assert result.curve == 23
+
+
+class TestFallbackScsv:
+    def test_fallback_refused_when_higher_available(self):
+        result = negotiate(
+            hello([AES_CBC, FALLBACK_SCSV], version=TLS10.wire),
+            {TLS10.wire, TLS12.wire},
+            [AES_CBC],
+        )
+        assert not result.ok
+        assert result.alert.description is AlertDescription.INAPPROPRIATE_FALLBACK
+
+    def test_fallback_accepted_at_server_max(self):
+        result = negotiate(
+            hello([AES_CBC, FALLBACK_SCSV], version=TLS10.wire),
+            {SSL3.wire, TLS10.wire},
+            [AES_CBC],
+        )
+        assert result.ok
+
+    def test_scsv_never_selected_as_suite(self):
+        result = negotiate(
+            hello([FALLBACK_SCSV, AES_CBC]), {TLS12.wire}, [AES_CBC, FALLBACK_SCSV]
+        )
+        assert result.suite.code == AES_CBC
+
+
+class TestExtensions:
+    def test_heartbeat_echoed_when_offered_and_supported(self):
+        result = negotiate(
+            hello([AES_CBC], extensions=(Extension(int(ExtensionType.HEARTBEAT), b"\x01"),)),
+            {TLS12.wire},
+            [AES_CBC],
+            echo_extensions=[int(ExtensionType.HEARTBEAT)],
+        )
+        assert result.heartbeat_negotiated
+
+    def test_heartbeat_not_echoed_without_server_support(self):
+        result = negotiate(
+            hello([AES_CBC], extensions=(Extension(int(ExtensionType.HEARTBEAT), b"\x01"),)),
+            {TLS12.wire},
+            [AES_CBC],
+        )
+        assert not result.heartbeat_negotiated
+
+    def test_heartbeat_not_echoed_when_not_offered(self):
+        result = negotiate(
+            hello([AES_CBC]),
+            {TLS12.wire},
+            [AES_CBC],
+            echo_extensions=[int(ExtensionType.HEARTBEAT)],
+        )
+        assert not result.heartbeat_negotiated
+
+    def test_renegotiation_scsv_triggers_extension(self):
+        result = negotiate(
+            hello([AES_CBC, RENEGOTIATION_INFO_SCSV]),
+            {TLS12.wire},
+            [AES_CBC],
+            echo_extensions=[int(ExtensionType.RENEGOTIATION_INFO)],
+        )
+        assert result.server_hello.has_extension(ExtensionType.RENEGOTIATION_INFO)
+
+
+class TestAnomalies:
+    def test_choose_unoffered_export_suite(self):
+        result = negotiate(
+            hello([RC4_SHA]),
+            {TLS10.wire},
+            [0x0003],
+            policy=SelectionPolicy(
+                anomaly=SelectionAnomaly.CHOOSE_UNOFFERED, anomaly_suite=0x0003
+            ),
+        )
+        assert result.ok
+        assert result.suite.code == 0x0003
+        assert result.client_aborts  # standard clients abort
+        assert not result.established
+
+    def test_choose_gost(self):
+        result = negotiate(
+            hello([AES_CBC]),
+            {TLS12.wire},
+            [0x0081],
+            policy=SelectionPolicy(anomaly=SelectionAnomaly.CHOOSE_GOST),
+        )
+        assert result.suite.code == 0x0081
+        assert result.client_aborts
+
+    def test_anomaly_that_matches_offer_is_accepted(self):
+        result = negotiate(
+            hello([RC4_SHA]),
+            {TLS10.wire},
+            [RC4_SHA],
+            policy=SelectionPolicy(
+                anomaly=SelectionAnomaly.CHOOSE_UNOFFERED, anomaly_suite=RC4_SHA
+            ),
+        )
+        assert result.established
+
+
+class TestResultProperties:
+    def test_forward_secret_and_kex(self):
+        result = negotiate(
+            hello([AES_GCM], groups=(23,)), {TLS12.wire}, [AES_GCM], supported_groups=[23]
+        )
+        assert result.forward_secret
+        assert result.kex_family.value == "ECDHE"
+        assert result.mode_class == "AEAD"
+
+    def test_failed_result_properties_are_none(self):
+        result = negotiate(hello([RC4_SHA]), {TLS12.wire}, [AES_CBC])
+        assert result.suite is None
+        assert result.version is None
+        assert result.mode_class is None
+        assert not result.established

@@ -1,0 +1,211 @@
+"""Cross-module integration tests: the paper's anchors on simulated data.
+
+These use the shared session fixtures (small windows), so the full
+2012-2018 run stays in the benchmarks; the assertions here check the
+same *shape* statements at the window scale.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import figures
+from repro.tls.ciphers import KexFamily
+
+
+class TestPassiveWindow2014_2015:
+    def test_rc4_negotiated_declines_through_window(self, small_window_store):
+        series = figures.fig2_negotiated_modes(small_window_store)["RC4"]
+        start = series[0][1]
+        end = series[-1][1]
+        assert start > 20  # RC4 still a major share mid-2014
+        assert end < start  # declining after the RC4 attacks
+
+    def test_aead_rises_through_window(self, small_window_store):
+        series = figures.fig2_negotiated_modes(small_window_store)["AEAD"]
+        assert series[-1][1] > series[0][1]
+
+    def test_fs_crossover_near_2015(self, small_window_store):
+        series = figures.fig8_key_exchange(small_window_store)
+        rsa_end = figures.value_at(series["RSA"], dt.date(2015, 6, 1))
+        ecdhe_end = figures.value_at(series["ECDHE"], dt.date(2015, 6, 1))
+        # Post-Snowden shift: by mid-2015 ECDHE has overtaken RSA.
+        assert ecdhe_end > rsa_end
+
+    def test_null_negotiated_tiny_and_grid(self, small_window_store):
+        month = dt.date(2015, 1, 1)
+        null_frac = small_window_store.fraction(
+            month,
+            lambda r: r.suite is not None and r.suite.is_null_encryption,
+            within=lambda r: r.established,
+        )
+        assert 0.001 < null_frac < 0.06
+        for record in small_window_store.records(month):
+            if (
+                record.established
+                and record.suite is not None
+                and record.suite.is_null_encryption
+                and not record.suite.is_null_null
+            ):
+                assert record.client_family == "GridFTP"
+
+    def test_anon_negotiated_is_nagios(self, small_window_store):
+        month = dt.date(2015, 1, 1)
+        for record in small_window_store.records(month):
+            if (
+                record.established
+                and record.suite is not None
+                and record.suite.is_anonymous
+                and not record.suite.is_null_null
+            ):
+                assert record.client_family == "Nagios NRPE"
+
+    def test_export_negotiations_are_nagios_or_interwise(self, small_window_store):
+        for record in small_window_store.records():
+            if (
+                record.established
+                and record.suite is not None
+                and record.suite.is_export
+            ):
+                assert record.client_family in ("Nagios NRPE", "Interwise")
+
+    def test_heartbeat_usage_present(self, small_window_store):
+        month = dt.date(2015, 1, 1)
+        value = small_window_store.fraction(
+            month, lambda r: r.heartbeat_negotiated, within=lambda r: r.established
+        )
+        assert value > 0.005  # OpenSSL-client x heartbeat-server traffic
+
+
+class TestTls13Window2018:
+    def test_advertisement_ramps_up(self, late_window_store):
+        months = late_window_store.months()
+        series = [
+            late_window_store.fraction(m, lambda r: r.offered_tls13) for m in months
+        ]
+        # §6.4: 0.5% (Feb) -> 9.8% (Mar) -> 23.6% (Apr): steep ramp.
+        assert series[-1] > series[0] * 3
+        assert series[-1] > 0.08
+
+    def test_negotiated_much_lower_than_advertised(self, late_window_store):
+        month = dt.date(2018, 4, 1)
+        advertised = late_window_store.fraction(month, lambda r: r.offered_tls13)
+        negotiated = late_window_store.fraction(
+            month,
+            lambda r: r.negotiated_version == "TLSv13",
+            within=lambda r: r.established,
+        )
+        assert negotiated < advertised / 3
+        assert negotiated > 0.001
+
+    def test_google_variant_dominates_advertised_versions(self, late_window_store):
+        # §6.4: 0x7e02 in 82.3% of connections with the extension.
+        month = dt.date(2018, 3, 1)
+        with_ext = [
+            r
+            for r in late_window_store.records(month)
+            if r.offered_tls13
+        ]
+        assert with_ext
+        google = sum(
+            r.weight for r in with_ext if 0x7E02 in r.offered_tls13_versions
+        )
+        total = sum(r.weight for r in with_ext)
+        assert google / total > 0.5
+
+    def test_rc4_negotiated_near_zero_2018(self, late_window_store):
+        month = dt.date(2018, 3, 1)
+        value = late_window_store.fraction(
+            month,
+            lambda r: r.negotiated_mode_class == "RC4",
+            within=lambda r: r.established,
+        )
+        assert value < 0.01
+
+    def test_x25519_share_2018(self, late_window_store):
+        month = dt.date(2018, 2, 1)
+        value = late_window_store.fraction(
+            month,
+            lambda r: r.negotiated_curve == 29,
+            within=lambda r: r.established and r.negotiated_curve is not None,
+        )
+        # §6.3.3: x25519 at 22.2% of connections in Feb 2018.
+        assert 0.10 < value < 0.40
+
+    def test_chacha_negotiated_2018(self, late_window_store):
+        month = dt.date(2018, 3, 1)
+        value = late_window_store.fraction(
+            month,
+            lambda r: r.negotiated_aead_algorithm == "ChaCha20-Poly1305",
+            within=lambda r: r.established,
+        )
+        # §6.3.2: 1.7% in March 2018 (we land in the same few-percent band).
+        assert 0.005 < value < 0.08
+
+
+class TestEarlyWindow2012:
+    def test_tls10_dominates(self, early_window_store):
+        month = dt.date(2012, 3, 1)
+        value = early_window_store.fraction(
+            month,
+            lambda r: r.negotiated_version == "TLSv10",
+            within=lambda r: r.established,
+        )
+        assert value > 0.85  # §1: "In 2012, 90% of connections used TLS 1.0"
+
+    def test_no_fingerprints_before_2014(self, early_window_store):
+        assert all(r.fingerprint is None for r in early_window_store.records())
+
+    def test_export_advertised_high(self, early_window_store):
+        month = dt.date(2012, 3, 1)
+        value = early_window_store.fraction(month, lambda r: r.advertises("export"))
+        assert value > 0.2  # 28.19% in 2012
+
+    def test_rsa_key_transport_dominates(self, early_window_store):
+        month = dt.date(2012, 3, 1)
+        value = early_window_store.fraction(
+            month,
+            lambda r: r.negotiated_kex == KexFamily.RSA,
+            within=lambda r: r.established,
+        )
+        assert value > 0.6
+
+
+class TestActivePassiveConsistency:
+    def test_server_populations_share_archetypes(self):
+        """The scanner and the Notary see the same server substrate."""
+        from repro.scanner.zmap import AddressSpaceScanner
+        from repro.servers import ServerPopulation
+
+        pop = ServerPopulation()
+        scan_names = {
+            p.name for p, _ in AddressSpaceScanner(pop).expectation_mix(dt.date(2016, 1, 1))
+        }
+        notary_names = {p.name for p, _ in pop.mix(dt.date(2016, 1, 1), "traffic")}
+        assert scan_names & notary_names
+
+    def test_fingerprint_db_labels_simulated_traffic(
+        self, fingerprint_db, small_window_store
+    ):
+        hits = 0
+        misses = 0
+        for record in small_window_store.records(dt.date(2015, 1, 1)):
+            if record.fingerprint is None:
+                continue
+            if fingerprint_db.match(record.fingerprint) is not None:
+                hits += record.weight
+            else:
+                misses += record.weight
+        assert hits > misses  # most traffic is labelled (Table 2: 69%)
+
+    def test_ground_truth_agreement(self, fingerprint_db, small_window_store):
+        """Labels must agree with the generating client when present."""
+        for record in small_window_store.records(dt.date(2015, 1, 1)):
+            if record.fingerprint is None or not record.client_in_database:
+                continue
+            label = fingerprint_db.match(record.fingerprint)
+            if label is None:
+                continue
+            # Either the exact family, or the library it links against
+            # (the §4 collision rule folds software into its library).
+            assert label.software == record.client_family or label.describes_library()

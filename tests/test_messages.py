@@ -1,0 +1,124 @@
+"""ClientHello / ServerHello model accessor tests."""
+
+import pytest
+
+from repro.tls.extensions import Extension, ExtensionType
+from repro.tls.messages import (
+    Alert,
+    AlertDescription,
+    ClientHello,
+    ServerHello,
+    build_supported_versions_extension,
+    parse_supported_versions_extension,
+)
+from repro.tls.versions import TLS12, TLS13
+
+
+def hello(**kw):
+    kw.setdefault("cipher_suites", (0xC02F, 0x002F, 0x000A))
+    return ClientHello(random=b"\0" * 32, **kw)
+
+
+class TestClientHelloAccessors:
+    def test_extension_types_in_order(self):
+        h = hello(extensions=(Extension(0), Extension(10), Extension(11)))
+        assert h.extension_types() == (0, 10, 11)
+
+    def test_has_extension(self):
+        h = hello(extensions=(Extension(int(ExtensionType.HEARTBEAT)),))
+        assert h.has_extension(ExtensionType.HEARTBEAT)
+        assert not h.has_extension(ExtensionType.SERVER_NAME)
+
+    def test_extension_lookup(self):
+        ext = Extension(int(ExtensionType.SERVER_NAME), b"x")
+        h = hello(extensions=(ext,))
+        assert h.extension(ExtensionType.SERVER_NAME) is ext
+        assert h.extension(ExtensionType.HEARTBEAT) is None
+
+    def test_known_suites_strips_grease_and_unknown(self):
+        h = hello(cipher_suites=(0x0A0A, 0xC02F, 0xEEEE))
+        assert [s.code for s in h.known_suites()] == [0xC02F]
+
+    def test_known_curves(self):
+        h = hello(supported_groups=(0x0A0A, 23, 9999))
+        assert [c.name for c in h.known_curves()] == ["secp256r1"]
+
+    def test_offered_versions_legacy(self):
+        h = hello(legacy_version=TLS12.wire)
+        assert h.offered_versions() == (TLS12.wire,)
+        assert h.max_offered_version() == TLS12.wire
+
+    def test_offered_versions_with_extension(self):
+        h = hello(supported_versions=(0x7E02, TLS12.wire))
+        assert h.offered_versions() == (0x7E02, TLS12.wire)
+        assert h.max_offered_version() == 0x7E02
+
+    def test_offered_versions_strips_grease(self):
+        h = hello(supported_versions=(0x0A0A, TLS13.wire, TLS12.wire))
+        assert h.offered_versions() == (TLS13.wire, TLS12.wire)
+
+
+class TestAdvertisementHelpers:
+    def test_advertises(self):
+        h = hello()
+        assert h.advertises(lambda s: s.is_aead)
+        assert h.advertises(lambda s: s.is_3des)
+        assert not h.advertises(lambda s: s.is_rc4)
+
+    def test_first_index(self):
+        h = hello()
+        assert h.first_index(lambda s: s.is_aead) == 0
+        assert h.first_index(lambda s: s.is_3des) == 2
+        assert h.first_index(lambda s: s.is_rc4) is None
+
+    def test_relative_position_endpoints(self):
+        h = hello()
+        assert h.relative_position(lambda s: s.is_aead) == 0.0
+        assert h.relative_position(lambda s: s.is_3des) == 1.0
+
+    def test_relative_position_middle(self):
+        h = hello()
+        assert h.relative_position(lambda s: s.is_cbc) == pytest.approx(0.5)
+
+    def test_relative_position_missing(self):
+        assert hello().relative_position(lambda s: s.is_rc4) is None
+
+    def test_relative_position_single_suite(self):
+        h = hello(cipher_suites=(0xC02F,))
+        assert h.relative_position(lambda s: s.is_aead) == 0.0
+
+
+class TestServerHello:
+    def test_negotiated_version_prefers_extension(self):
+        sh = ServerHello(version=TLS12.wire, selected_version=0x7E02, cipher_suite=0x1301)
+        assert sh.negotiated_version == 0x7E02
+
+    def test_negotiated_protocol_none_for_draft(self):
+        sh = ServerHello(version=TLS12.wire, selected_version=0x7E02, cipher_suite=0x1301)
+        assert sh.negotiated_protocol() is None
+
+    def test_negotiated_protocol_classic(self):
+        sh = ServerHello(version=TLS12.wire, cipher_suite=0x002F)
+        assert sh.negotiated_protocol() is TLS12
+
+    def test_suite_lookup(self):
+        sh = ServerHello(version=TLS12.wire, cipher_suite=0x002F)
+        assert sh.suite.name == "TLS_RSA_WITH_AES_128_CBC_SHA"
+        assert ServerHello(version=TLS12.wire, cipher_suite=0xEEEE).suite is None
+
+
+class TestSupportedVersionsExtension:
+    def test_roundtrip(self):
+        ext = build_supported_versions_extension([0x7E02, TLS12.wire])
+        assert parse_supported_versions_extension(ext) == (0x7E02, TLS12.wire)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_supported_versions_extension(Extension(0, b""))
+
+
+class TestAlert:
+    def test_str(self):
+        alert = Alert(AlertDescription.HANDSHAKE_FAILURE)
+        assert "handshake_failure" in str(alert)
+        assert alert.level == 2

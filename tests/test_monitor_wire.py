@@ -1,0 +1,117 @@
+"""Wire-level monitor tests: bytes in, records out, garbage tolerated."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients import chrome
+from repro.notary.monitor import PassiveMonitor
+from repro.servers.archetypes import TLS12_ECDHE_GCM
+from repro.tls.ssl2 import (
+    SSL_CK_RC4_128_EXPORT40_WITH_MD5,
+    SSL_CK_RC4_128_WITH_MD5,
+    Ssl2ClientHello,
+    encode_client_hello as encode_ssl2,
+)
+from repro.tls.wire import frame_client_hello, frame_server_hello
+
+_DAY = dt.date(2016, 5, 10)
+
+
+def _flights():
+    hello = chrome.family().release("49").build_hello()
+    result = TLS12_ECDHE_GCM.respond(hello)
+    return frame_client_hello(hello), frame_server_hello(result.server_hello), hello
+
+
+class TestObserveWire:
+    def test_full_connection(self):
+        client, server, hello = _flights()
+        monitor = PassiveMonitor()
+        record = monitor.observe_wire(_DAY, client, server)
+        assert record is not None
+        assert record.established
+        assert record.negotiated_suite is not None
+        assert record.fingerprint is not None
+        assert record.fingerprint.cipher_suites == tuple(
+            c for c in hello.cipher_suites
+        )
+
+    def test_client_only_flight(self):
+        client, _, _ = _flights()
+        monitor = PassiveMonitor()
+        record = monitor.observe_wire(_DAY, client)
+        assert record is not None
+        assert not record.established
+        assert record.advertised  # advertisement analysis still works
+
+    def test_wire_fingerprint_matches_object_path(self):
+        from repro.core.fingerprint import Fingerprint
+
+        client, server, hello = _flights()
+        monitor = PassiveMonitor()
+        record = monitor.observe_wire(_DAY, client, server)
+        assert (
+            Fingerprint.from_fields(record.fingerprint).digest
+            == Fingerprint.from_client_hello(hello).digest
+        )
+
+    def test_malformed_client_flight_dropped(self):
+        monitor = PassiveMonitor()
+        assert monitor.observe_wire(_DAY, b"\x16\x03\x01\x00\x05hello") is None
+        assert len(monitor.store) == 0
+
+    def test_malformed_server_flight_degrades_gracefully(self):
+        client, server, _ = _flights()
+        monitor = PassiveMonitor()
+        record = monitor.observe_wire(_DAY, client, server[:10])
+        assert record is not None
+        assert not record.established  # server side unparseable
+
+    def test_pre_2014_no_fingerprint(self):
+        client, server, _ = _flights()
+        monitor = PassiveMonitor()
+        record = monitor.observe_wire(dt.date(2013, 5, 1), client, server)
+        assert record.fingerprint is None
+
+
+class TestSsl2Sniffing:
+    def test_ssl2_flight_recognized(self):
+        monitor = PassiveMonitor()
+        flight = encode_ssl2(
+            Ssl2ClientHello(
+                cipher_kinds=(SSL_CK_RC4_128_WITH_MD5, SSL_CK_RC4_128_EXPORT40_WITH_MD5)
+            )
+        )
+        record = monitor.observe_wire(_DAY, flight, server_port=5666)
+        assert record is not None
+        assert record.negotiated_version == "SSLv2"
+        assert record.advertises("rc4")
+        assert record.advertises("export")
+        assert record.server_port == 5666
+
+    def test_corrupt_ssl2_dropped(self):
+        monitor = PassiveMonitor()
+        flight = bytearray(encode_ssl2(Ssl2ClientHello()))
+        flight[6] = 0x02  # break the cipher-spec length
+        assert monitor.observe_wire(_DAY, bytes(flight)) is None
+
+
+class TestFuzzSafety:
+    @given(st.binary(max_size=120))
+    @settings(max_examples=200)
+    def test_arbitrary_bytes_never_crash(self, blob):
+        monitor = PassiveMonitor()
+        record = monitor.observe_wire(_DAY, blob)
+        # Either dropped or recorded; never an exception.
+        assert record is None or record.month == _DAY.replace(day=1)
+
+    @given(st.binary(max_size=120))
+    @settings(max_examples=100)
+    def test_arbitrary_server_bytes_never_crash(self, blob):
+        client, _, _ = _flights()
+        monitor = PassiveMonitor()
+        record = monitor.observe_wire(_DAY, client, blob)
+        assert record is not None

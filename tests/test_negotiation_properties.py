@@ -1,0 +1,196 @@
+"""Hypothesis property tests for the negotiation engine.
+
+These state protocol-level invariants over randomized offers and server
+configurations — the guarantees every analysis in the library silently
+depends on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tls.ciphers import REGISTRY
+from repro.tls.grease import GREASE_VALUES, strip_grease
+from repro.tls.handshake import SelectionPolicy, negotiate
+from repro.tls.messages import ClientHello
+from repro.tls.versions import SSL3, TLS10, TLS11, TLS12
+
+_CLASSIC_VERSIONS = (SSL3.wire, TLS10.wire, TLS11.wire, TLS12.wire)
+
+# Registered non-SCSV, non-TLS13 suite codes.
+_CLASSIC_SUITES = sorted(
+    code
+    for code, suite in REGISTRY.items()
+    if not suite.scsv and not suite.tls13_only
+)
+
+_suite_lists = st.lists(
+    st.sampled_from(_CLASSIC_SUITES), min_size=1, max_size=20, unique=True
+)
+_grease_or_suite = st.lists(
+    st.one_of(st.sampled_from(_CLASSIC_SUITES), st.sampled_from(GREASE_VALUES)),
+    min_size=1,
+    max_size=20,
+    unique=True,
+)
+_versions = st.frozensets(
+    st.sampled_from(_CLASSIC_VERSIONS), min_size=1, max_size=4
+)
+_groups = st.lists(st.sampled_from([23, 24, 25, 29]), max_size=4, unique=True)
+
+
+def _hello(suites, version, groups=()):
+    return ClientHello(
+        legacy_version=version,
+        random=b"\0" * 32,
+        cipher_suites=tuple(suites),
+        supported_groups=tuple(groups),
+    )
+
+
+class TestSelectionInvariants:
+    @given(_suite_lists, _suite_lists, _versions,
+           st.sampled_from(_CLASSIC_VERSIONS), _groups, st.booleans())
+    @settings(max_examples=250)
+    def test_chosen_suite_always_offered_and_supported(
+        self, offered, supported, server_versions, client_version, groups, server_pref
+    ):
+        result = negotiate(
+            _hello(offered, client_version, groups),
+            server_versions,
+            supported,
+            supported_groups=groups or (23,),
+            policy=SelectionPolicy(server_preference=server_pref),
+        )
+        if result.ok:
+            chosen = result.server_hello.cipher_suite
+            assert chosen in offered
+            assert chosen in supported
+
+    @given(_suite_lists, _suite_lists, _versions, st.sampled_from(_CLASSIC_VERSIONS))
+    @settings(max_examples=250)
+    def test_version_never_exceeds_either_side(
+        self, offered, supported, server_versions, client_version
+    ):
+        result = negotiate(
+            _hello(offered, client_version), server_versions, supported,
+            supported_groups=(23,),
+        )
+        if result.ok:
+            assert result.version_wire <= client_version
+            assert result.version_wire in server_versions
+
+    @given(_suite_lists, _suite_lists, _versions, st.sampled_from(_CLASSIC_VERSIONS))
+    @settings(max_examples=200)
+    def test_result_is_exactly_hello_or_alert(
+        self, offered, supported, server_versions, client_version
+    ):
+        result = negotiate(
+            _hello(offered, client_version), server_versions, supported,
+            supported_groups=(23,),
+        )
+        assert (result.server_hello is None) != (result.alert is None)
+
+    @given(_grease_or_suite, _versions, st.sampled_from(_CLASSIC_VERSIONS))
+    @settings(max_examples=200)
+    def test_grease_never_selected(self, offered, server_versions, client_version):
+        # A GREASE-tolerant server must never echo a GREASE value, even
+        # if it were (mis)configured to "support" everything offered.
+        supported = list(offered)
+        result = negotiate(
+            _hello(offered, client_version), server_versions, supported,
+            supported_groups=(23,),
+        )
+        if result.ok:
+            assert result.server_hello.cipher_suite not in GREASE_VALUES
+
+    @given(_grease_or_suite, _versions, st.sampled_from(_CLASSIC_VERSIONS))
+    @settings(max_examples=200)
+    def test_grease_stripping_does_not_change_outcome(
+        self, offered, server_versions, client_version
+    ):
+        supported = list(strip_grease(offered)) or [0x002F]
+        with_grease = negotiate(
+            _hello(offered, client_version), server_versions, supported,
+            supported_groups=(23,),
+        )
+        without = negotiate(
+            _hello(strip_grease(offered) or (0x0A0A,), client_version),
+            server_versions,
+            supported,
+            supported_groups=(23,),
+        )
+        if strip_grease(offered):
+            assert with_grease.ok == without.ok
+            if with_grease.ok:
+                assert (
+                    with_grease.server_hello.cipher_suite
+                    == without.server_hello.cipher_suite
+                )
+
+    @given(_suite_lists, _versions, st.sampled_from(_CLASSIC_VERSIONS), _groups)
+    @settings(max_examples=200)
+    def test_selected_curve_mutually_supported(
+        self, offered, server_versions, client_version, groups
+    ):
+        server_groups = (29, 23, 24)
+        result = negotiate(
+            _hello(offered, client_version, groups),
+            server_versions,
+            offered,
+            supported_groups=server_groups,
+        )
+        if result.ok and result.curve is not None:
+            assert result.curve in server_groups
+            if groups:
+                assert result.curve in groups
+
+    @given(_suite_lists, _versions, st.sampled_from(_CLASSIC_VERSIONS))
+    @settings(max_examples=150)
+    def test_server_preference_picks_first_usable(
+        self, offered, server_versions, client_version
+    ):
+        result = negotiate(
+            _hello(offered, client_version), server_versions, offered,
+            supported_groups=(23,),
+            policy=SelectionPolicy(server_preference=True),
+        )
+        if result.ok:
+            from repro.tls.handshake import suite_usable_at
+
+            chosen = result.server_hello.cipher_suite
+            offered_set = set(offered)
+            for code in offered:  # server list == offered here
+                suite = REGISTRY[code]
+                if code in offered_set and suite_usable_at(suite, result.version_wire):
+                    # The first usable candidate must be the choice,
+                    # unless it needed a curve the client lacks.
+                    if suite.kex_family.value in ("ECDH", "ECDHE"):
+                        continue
+                    assert chosen == code or REGISTRY[chosen].kex_family.value in ("ECDH", "ECDHE")
+                    break
+
+    @given(_suite_lists, st.sampled_from(_CLASSIC_VERSIONS))
+    @settings(max_examples=150)
+    def test_deterministic(self, offered, client_version):
+        a = negotiate(_hello(offered, client_version), {TLS12.wire}, offered, supported_groups=(23,))
+        b = negotiate(_hello(offered, client_version), {TLS12.wire}, offered, supported_groups=(23,))
+        assert (a.ok, a.version_wire, a.server_hello.cipher_suite if a.ok else None) == (
+            b.ok,
+            b.version_wire,
+            b.server_hello.cipher_suite if b.ok else None,
+        )
+
+
+class TestModeClassInvariant:
+    @given(_suite_lists, st.sampled_from(_CLASSIC_VERSIONS))
+    @settings(max_examples=150)
+    def test_aead_only_at_tls12(self, offered, client_version):
+        result = negotiate(
+            _hello(offered, client_version),
+            set(_CLASSIC_VERSIONS),
+            offered,
+            supported_groups=(23,),
+        )
+        if result.ok and result.mode_class == "AEAD":
+            assert result.version_wire >= TLS12.wire

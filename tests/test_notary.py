@@ -1,0 +1,170 @@
+"""Notary substrate tests: events, monitor, store aggregation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.notary.events import advertisement_tags, relative_positions
+from repro.notary.monitor import FINGERPRINT_FIELDS_SINCE, PassiveMonitor
+from repro.notary.store import NotaryStore, month_of, month_range
+from repro.servers import archetypes as arch
+from repro.clients import suites as cs
+from repro.tls.messages import ClientHello
+from repro.tls.versions import TLS12
+
+
+def hello(suites=(cs.ECDHE_RSA_AES128_GCM, cs.RSA_AES128_SHA, cs.RSA_3DES_SHA)):
+    return ClientHello(
+        legacy_version=TLS12.wire,
+        random=b"\0" * 32,
+        cipher_suites=tuple(suites),
+        supported_groups=(23,),
+    )
+
+
+class TestMonthHelpers:
+    def test_month_of(self):
+        assert month_of(dt.date(2014, 6, 17)) == dt.date(2014, 6, 1)
+
+    def test_month_range_inclusive(self):
+        months = month_range(dt.date(2014, 11, 5), dt.date(2015, 2, 20))
+        assert months == [
+            dt.date(2014, 11, 1),
+            dt.date(2014, 12, 1),
+            dt.date(2015, 1, 1),
+            dt.date(2015, 2, 1),
+        ]
+
+    def test_month_range_single(self):
+        assert month_range(dt.date(2014, 6, 1), dt.date(2014, 6, 30)) == [dt.date(2014, 6, 1)]
+
+    def test_study_window_length(self):
+        months = month_range(dt.date(2012, 1, 1), dt.date(2018, 4, 1))
+        assert len(months) == 76
+
+
+class TestAdvertisementTags:
+    def test_tags(self):
+        tags = advertisement_tags(hello())
+        assert {"aead", "cbc", "3des", "fs", "aes128gcm"} <= tags
+        assert "rc4" not in tags
+        assert "export" not in tags
+
+    def test_null_null_tag(self):
+        tags = advertisement_tags(hello(suites=(cs.NULL_NULL,)))
+        assert "null_null" in tags
+        assert "null" in tags
+
+    def test_positions(self):
+        positions = relative_positions(hello())
+        assert positions["aead"] == 0.0
+        assert positions["3des"] == 1.0
+        assert "rc4" not in positions
+
+
+class TestMonitor:
+    def test_observe_builds_record(self):
+        monitor = PassiveMonitor()
+        h = hello()
+        result = arch.TLS12_ECDHE_GCM.respond(h)
+        record = monitor.observe(
+            dt.date(2015, 3, 14), h, result, weight=2.0,
+            client_family="TestFam", client_version="1",
+            client_category="Browsers", client_in_database=True,
+        )
+        assert record.month == dt.date(2015, 3, 1)
+        assert record.weight == 2.0
+        assert record.established
+        assert record.negotiated_mode_class == "AEAD"
+        assert record.fingerprint is not None
+        assert len(monitor.store) == 1
+
+    def test_fingerprint_cutover(self):
+        monitor = PassiveMonitor()
+        h = hello()
+        result = arch.TLS12_ECDHE_GCM.respond(h)
+        before = monitor.observe(dt.date(2013, 6, 1), h, result)
+        after = monitor.observe(FINGERPRINT_FIELDS_SINCE, h, result)
+        assert before.fingerprint is None
+        assert after.fingerprint is not None
+
+    def test_exact_day_mode(self):
+        monitor = PassiveMonitor()
+        h = hello()
+        result = arch.TLS12_ECDHE_GCM.respond(h)
+        record = monitor.observe(dt.date(2015, 3, 14), h, result, exact_day=True)
+        assert record.day == dt.date(2015, 3, 14)
+        assert record.month == dt.date(2015, 3, 1)
+
+    def test_failed_handshake_recorded(self):
+        monitor = PassiveMonitor()
+        h = hello(suites=(cs.RSA_RC4_128_MD5,))
+        result = arch.TLS12_ECDHE_GCM.respond(h)
+        record = monitor.observe(dt.date(2015, 3, 1), h, result)
+        assert not record.established
+        assert record.negotiated_suite is None
+
+    def test_unoffered_choice_flag(self):
+        monitor = PassiveMonitor()
+        h = hello(suites=(cs.RSA_RC4_128_SHA,))
+        result = arch.INTERWISE_SERVER.respond(h)
+        record = monitor.observe(dt.date(2015, 3, 1), h, result)
+        assert record.server_chose_unoffered
+
+
+class TestStoreAggregation:
+    def _store(self):
+        monitor = PassiveMonitor()
+        h_aead = hello()
+        h_rc4 = hello(suites=(cs.RSA_RC4_128_SHA, cs.RSA_AES128_SHA))
+        server = arch.TLS12_ECDHE_GCM
+        monitor.observe(dt.date(2015, 3, 1), h_aead, server.respond(h_aead), weight=3.0)
+        monitor.observe(dt.date(2015, 3, 1), h_rc4, server.respond(h_rc4), weight=1.0)
+        monitor.observe(dt.date(2015, 4, 1), h_aead, server.respond(h_aead), weight=1.0)
+        return monitor.store
+
+    def test_total_weight(self):
+        store = self._store()
+        assert store.total_weight(dt.date(2015, 3, 15)) == pytest.approx(4.0)
+
+    def test_fraction(self):
+        store = self._store()
+        aead = store.fraction(
+            dt.date(2015, 3, 1), lambda r: r.negotiated_mode_class == "AEAD"
+        )
+        assert aead == pytest.approx(0.75)
+
+    def test_fraction_with_denominator_filter(self):
+        store = self._store()
+        value = store.fraction(
+            dt.date(2015, 3, 1),
+            lambda r: r.advertises("rc4"),
+            within=lambda r: r.established,
+        )
+        assert value == pytest.approx(0.25)
+
+    def test_fraction_empty_month(self):
+        store = self._store()
+        assert store.fraction(dt.date(2010, 1, 1), lambda r: True) == 0.0
+
+    def test_monthly_fraction_series(self):
+        store = self._store()
+        series = store.monthly_fraction(lambda r: r.advertises("aead"))
+        assert [m for m, _ in series] == [dt.date(2015, 3, 1), dt.date(2015, 4, 1)]
+
+    def test_weighted_mean(self):
+        store = self._store()
+        mean = store.weighted_mean(dt.date(2015, 3, 1), lambda r: r.positions.get("aead"))
+        assert mean == pytest.approx(0.0)
+
+    def test_weighted_mean_none_when_missing(self):
+        store = self._store()
+        assert store.weighted_mean(dt.date(2015, 3, 1), lambda r: None) is None
+
+    def test_records_filtering(self):
+        store = self._store()
+        assert len(store.records(dt.date(2015, 3, 1))) == 2
+        assert len(store.records()) == 3
+
+    def test_months_sorted(self):
+        assert self._store().months() == [dt.date(2015, 3, 1), dt.date(2015, 4, 1)]

@@ -1,0 +1,127 @@
+"""Client-population tests: share curves, mixes, advertised fractions."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients.population import ClientPopulation, ShareCurve, default_population
+
+
+def curve(*points):
+    return ShareCurve(tuple((dt.date.fromisoformat(d), s) for d, s in points))
+
+
+class TestShareCurve:
+    def test_constant_before_first_point(self):
+        c = curve(("2014-01-01", 5.0), ("2015-01-01", 10.0))
+        assert c.at(dt.date(2012, 1, 1)) == 5.0
+
+    def test_constant_after_last_point(self):
+        c = curve(("2014-01-01", 5.0), ("2015-01-01", 10.0))
+        assert c.at(dt.date(2018, 1, 1)) == 10.0
+
+    def test_linear_interpolation(self):
+        c = curve(("2014-01-01", 0.0), ("2014-12-31", 10.0))
+        mid = c.at(dt.date(2014, 7, 2))
+        assert 4.5 < mid < 5.5
+
+    def test_exact_points(self):
+        c = curve(("2014-01-01", 5.0), ("2015-01-01", 10.0))
+        assert c.at(dt.date(2014, 1, 1)) == 5.0
+        assert c.at(dt.date(2015, 1, 1)) == 10.0
+
+    def test_unordered_points_rejected(self):
+        with pytest.raises(ValueError):
+            curve(("2015-01-01", 1.0), ("2014-01-01", 2.0))
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            curve(("2014-01-01", -1.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ShareCurve(())
+
+    @given(
+        st.dates(min_value=dt.date(2010, 1, 1), max_value=dt.date(2020, 1, 1)),
+    )
+    @settings(max_examples=60)
+    def test_interpolation_stays_in_range(self, day):
+        c = curve(("2012-01-01", 2.0), ("2015-06-01", 8.0), ("2018-01-01", 4.0))
+        assert 2.0 <= c.at(day) <= 8.0
+
+
+class TestDefaultPopulation:
+    @pytest.fixture(scope="class")
+    def pop(self):
+        return default_population()
+
+    @pytest.mark.parametrize(
+        "day", ["2012-02-01", "2013-07-01", "2015-06-01", "2018-03-01"]
+    )
+    def test_mix_normalized(self, pop, day):
+        mix = pop.mix(dt.date.fromisoformat(day))
+        assert sum(w for _, w in mix) == pytest.approx(1.0)
+        assert all(w > 0 for _, w in mix)
+
+    def test_family_lookup(self, pop):
+        assert pop.family("Chrome").name == "Chrome"
+        with pytest.raises(KeyError):
+            pop.family("Netscape")
+
+    def test_families_unique(self, pop):
+        names = [f.name for f in pop.families()]
+        assert len(names) == len(set(names))
+
+    def test_export_advertisement_declines(self, pop):
+        early = pop.advertised_fraction(dt.date(2012, 2, 1), lambda s: s.is_export)
+        late = pop.advertised_fraction(dt.date(2018, 3, 1), lambda s: s.is_export)
+        assert early > 0.20  # §5.5: 28.19% in 2012
+        assert late < 0.05   # §5.5: 1.03% in 2018
+        assert late < early / 4
+
+    def test_export_decline_monotonic_yearly(self, pop):
+        values = [
+            pop.advertised_fraction(dt.date(year, 6, 1), lambda s: s.is_export)
+            for year in range(2012, 2019)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_rc4_advertisement_near_universal_until_2015(self, pop):
+        assert pop.advertised_fraction(dt.date(2014, 6, 1), lambda s: s.is_rc4) > 0.85
+
+    def test_rc4_advertisement_drops_after_removals(self, pop):
+        assert pop.advertised_fraction(dt.date(2018, 3, 1), lambda s: s.is_rc4) < 0.35
+
+    def test_3des_stays_above_69_percent(self, pop):
+        # §5.6: still offered in more than 69% of connections in 2018.
+        assert pop.advertised_fraction(dt.date(2018, 3, 1), lambda s: s.is_3des) > 0.65
+
+    def test_cbc_always_above_99_percent_until_2016(self, pop):
+        # Figure 3 caption: total CBC-mode is always above 99%.
+        for day in ("2012-06-01", "2014-06-01", "2016-01-01"):
+            assert pop.advertised_fraction(
+                dt.date.fromisoformat(day), lambda s: s.is_cbc
+            ) > 0.97
+
+    def test_anon_spike_mid_2015(self, pop):
+        # §6.2: jumped from 5.8% to 12.9% in two months in mid-2015.
+        before = pop.advertised_fraction(dt.date(2015, 4, 1), lambda s: s.is_anonymous)
+        peak = pop.advertised_fraction(dt.date(2015, 7, 1), lambda s: s.is_anonymous)
+        assert before < 0.08
+        assert peak > 0.10
+        assert peak > before * 1.6
+
+    def test_fs_client_support_high_from_start(self, pop):
+        # §6.3.1: >80% of clients supported FS suites already in 2012.
+        assert pop.advertised_fraction(
+            dt.date(2012, 2, 1), lambda s: s.forward_secret
+        ) > 0.8
+
+    def test_aead_advertisement_rises(self, pop):
+        early = pop.advertised_fraction(dt.date(2013, 1, 1), lambda s: s.is_aead)
+        late = pop.advertised_fraction(dt.date(2018, 3, 1), lambda s: s.is_aead)
+        assert early < 0.2
+        assert late > 0.8

@@ -1,0 +1,89 @@
+"""Collection-quality tests: §3.1's best-effort argument, quantified."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.notary.quality import (
+    apply_biased_loss,
+    apply_outage,
+    apply_uniform_loss,
+    robustness_gap,
+)
+
+
+class TestOperators:
+    def test_uniform_loss_reduces_weight(self, small_window_store):
+        degraded = apply_uniform_loss(small_window_store, 0.4, random.Random(1))
+        month = dt.date(2015, 1, 1)
+        assert degraded.total_weight(month) < small_window_store.total_weight(month)
+
+    def test_uniform_loss_bounds(self, small_window_store):
+        with pytest.raises(ValueError):
+            apply_uniform_loss(small_window_store, 1.0, random.Random(1))
+        with pytest.raises(ValueError):
+            apply_uniform_loss(small_window_store, -0.1, random.Random(1))
+
+    def test_outage_removes_month(self, small_window_store):
+        degraded = apply_outage(small_window_store, dt.date(2015, 1, 15))
+        assert degraded.total_weight(dt.date(2015, 1, 1)) == 0
+        assert degraded.total_weight(dt.date(2014, 12, 1)) > 0
+
+    def test_montecarlo_loss_drops_records(self, montecarlo_store):
+        degraded = apply_uniform_loss(montecarlo_store, 0.5, random.Random(2))
+        assert len(degraded) < len(montecarlo_store)
+        assert len(degraded) > 0
+
+
+class TestRepresentativeness:
+    """§3.1: best-effort collection still yields representative aggregates."""
+
+    def test_fractions_robust_to_uniform_loss(self, small_window_store):
+        degraded = apply_uniform_loss(small_window_store, 0.35, random.Random(3))
+        gap = robustness_gap(
+            small_window_store,
+            degraded,
+            lambda r: r.negotiated_mode_class == "RC4",
+            within=lambda r: r.established,
+        )
+        # Uniform loss barely moves monthly fractions.
+        assert gap < 0.02
+
+    def test_fractions_robust_to_outage(self, small_window_store):
+        degraded = apply_outage(small_window_store, dt.date(2015, 2, 1))
+        gap = robustness_gap(
+            small_window_store,
+            degraded,
+            lambda r: r.advertises("3des"),
+        )
+        # Surviving months are untouched.
+        assert gap == pytest.approx(0.0)
+
+    def test_biased_loss_does_distort(self, small_window_store):
+        """The converse: a biased artifact is *not* harmless."""
+        degraded = apply_biased_loss(
+            small_window_store, 0.9, random.Random(4), threshold=25
+        )
+        gap = robustness_gap(
+            small_window_store,
+            degraded,
+            lambda r: r.suite_count >= 25,
+        )
+        assert gap > 0.05  # large-hello share visibly depressed
+
+    def test_montecarlo_fractions_survive_loss(self, montecarlo_store):
+        degraded = apply_uniform_loss(montecarlo_store, 0.3, random.Random(5))
+        gap = robustness_gap(
+            montecarlo_store,
+            degraded,
+            lambda r: r.advertises("rc4"),
+        )
+        assert gap < 0.12  # sampling noise scale, not systematic shift
+
+    def test_no_overlap_raises(self, small_window_store):
+        empty = apply_outage(small_window_store, dt.date(2014, 6, 1))
+        for month in list(small_window_store.months()):
+            empty = apply_outage(empty, month)
+        with pytest.raises(ValueError):
+            robustness_gap(small_window_store, empty, lambda r: True)

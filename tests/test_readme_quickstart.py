@@ -1,0 +1,50 @@
+"""The README's quickstart snippet must keep working verbatim."""
+
+import datetime as dt
+
+
+class TestReadmeQuickstart:
+    def test_snippet(self):
+        # -- begin README snippet (mirrored; keep in sync) ------------------
+        from repro import EcosystemModel, build_default_database, extract
+        from repro.core import figures
+
+        model = EcosystemModel(start=dt.date(2015, 1, 1), end=dt.date(2015, 6, 1))
+        store = model.passive_store()
+
+        rendered = figures.render_series(figures.fig2_negotiated_modes(store))
+
+        from repro.clients import chrome
+
+        hello = chrome.family().release("49").build_hello()
+        label = build_default_database().match(extract(hello)).software
+        # -- end README snippet ----------------------------------------------
+
+        assert "AEAD" in rendered and "RC4" in rendered
+        assert label == "Chrome"
+
+    def test_readme_mentions_only_real_commands(self):
+        """Every `python -m repro <cmd>` in the README must exist."""
+        import pathlib
+        import re
+
+        from repro.cli import build_parser
+
+        readme = (
+            pathlib.Path(__file__).resolve().parent.parent / "README.md"
+        ).read_text()
+        commands = set(re.findall(r"python -m repro (\w+)", readme))
+        parser = build_parser()
+        subactions = next(
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        )
+        assert commands <= set(subactions.choices)
+
+    def test_readme_example_files_exist(self):
+        import pathlib
+        import re
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        readme = (root / "README.md").read_text()
+        for name in re.findall(r"python (examples/\w+\.py)", readme):
+            assert (root / name).exists(), name

@@ -1,0 +1,44 @@
+"""Study-report rendering tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.report import build_report
+from repro.simulation.ecosystem import EcosystemModel
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    model = EcosystemModel(start=dt.date(2017, 10, 1), end=dt.date(2018, 4, 1))
+    return build_report(model)
+
+
+class TestReport:
+    def test_contains_all_sections(self, small_report):
+        for heading in (
+            "Protocol versions",
+            "Cipher classes",
+            "Forward secrecy",
+            "Weak options",
+            "Attack timeline",
+            "Fingerprinting",
+        ):
+            assert heading in small_report
+
+    def test_mentions_key_attacks(self, small_report):
+        for name in ("BEAST", "Heartbleed", "POODLE", "Sweet32"):
+            assert name in small_report
+
+    def test_contains_measured_percentages(self, small_report):
+        assert small_report.count("%") > 10
+
+    def test_plain_text(self, small_report):
+        assert "<" not in small_report
+        assert small_report.endswith("\n")
+
+    def test_deterministic(self):
+        model = EcosystemModel(start=dt.date(2018, 1, 1), end=dt.date(2018, 4, 1))
+        first = build_report(model)
+        second = build_report(model)
+        assert first == second

@@ -1,0 +1,184 @@
+"""Active-scanner substrate tests: probes, grabs, Censys archive."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clients import suites as cs
+from repro.scanner.censys import CENSYS_FIRST_SCAN, CENSYS_LAST_SCAN, CensysArchive
+from repro.scanner.probes import CHROME_2015_SUITES, chrome_2015_probe, export_probe, ssl3_only_probe
+from repro.scanner.zgrab import grab
+from repro.scanner.zmap import AddressSpaceScanner
+from repro.servers import ServerPopulation
+from repro.servers import archetypes as arch
+from repro.tls.ciphers import REGISTRY
+from repro.tls.versions import SSL3, TLS12
+
+
+class TestProbes:
+    def test_chrome_2015_composition(self):
+        # §3.2: strong AEAD-FS suites plus weaker CBC, RC4, 3DES.
+        suites = [REGISTRY[c] for c in CHROME_2015_SUITES]
+        assert any(s.is_aead and s.forward_secret for s in suites)
+        assert any(s.is_cbc for s in suites)
+        assert any(s.is_rc4 for s in suites)
+        assert any(s.is_3des for s in suites)
+        assert not any(s.is_export for s in suites)
+
+    def test_3des_at_bottom(self):
+        # §5.6: 3DES sits at the bottom of the scan's list.
+        assert REGISTRY[CHROME_2015_SUITES[-1]].is_3des
+
+    def test_chrome_probe_heartbeat_toggle(self):
+        from repro.tls.extensions import ExtensionType
+
+        assert chrome_2015_probe(heartbeat=True).has_extension(ExtensionType.HEARTBEAT)
+        assert not chrome_2015_probe(heartbeat=False).has_extension(ExtensionType.HEARTBEAT)
+
+    def test_ssl3_probe_version(self):
+        assert ssl3_only_probe().legacy_version == SSL3.wire
+
+    def test_export_probe_all_export(self):
+        suites = [REGISTRY[c] for c in export_probe().cipher_suites]
+        assert all(s.is_export for s in suites)
+
+
+class TestGrab:
+    def test_success_against_modern_server(self):
+        result = grab(arch.TLS12_ECDHE_GCM, chrome_2015_probe())
+        assert result.success
+        assert result.suite.is_aead
+
+    def test_ssl3_probe_fails_against_no_ssl3_server(self):
+        profile = arch.TLS10_CBC.without_version(SSL3.wire)
+        result = grab(profile, ssl3_only_probe())
+        assert not result.success
+        assert result.alert == "protocol_version"
+
+    def test_ssl3_probe_succeeds_against_legacy(self):
+        result = grab(arch.LEGACY_SSL3_RC4, ssl3_only_probe())
+        assert result.success
+        assert result.version is SSL3
+
+    def test_export_probe_against_modern_server_fails(self):
+        result = grab(arch.TLS12_ECDHE_GCM, export_probe())
+        assert not result.success
+
+    def test_export_probe_against_legacy_succeeds(self):
+        result = grab(arch.LEGACY_SSL3_RC4, export_probe())
+        assert result.success
+        assert result.suite.is_export
+
+    def test_heartbleed_check(self):
+        vulnerable = arch.TLS12_ECDHE_GCM.with_heartbeat(vulnerable=True)
+        patched = arch.TLS12_ECDHE_GCM.with_heartbeat(vulnerable=False)
+        assert grab(vulnerable, chrome_2015_probe(), check_heartbleed=True).heartbleed_vulnerable
+        assert not grab(patched, chrome_2015_probe(), check_heartbleed=True).heartbleed_vulnerable
+
+    def test_heartbleed_not_checked_without_flag(self):
+        vulnerable = arch.TLS12_ECDHE_GCM.with_heartbeat(vulnerable=True)
+        result = grab(vulnerable, chrome_2015_probe(), check_heartbleed=False)
+        assert result.heartbeat_acknowledged
+        assert not result.heartbleed_vulnerable
+
+    def test_via_wire_matches_object_path(self):
+        probe = chrome_2015_probe()
+        for profile in (arch.TLS12_ECDHE_GCM, arch.LEGACY_SSL3_RC4, arch.TLS10_CBC):
+            direct = grab(profile, probe, check_heartbleed=True)
+            wired = grab(profile, probe, check_heartbleed=True, via_wire=True)
+            assert wired.success == direct.success
+            assert wired.suite_code == direct.suite_code
+            assert wired.version == direct.version
+            assert wired.heartbeat_acknowledged == direct.heartbeat_acknowledged
+
+    def test_via_wire_on_failed_handshake(self):
+        from repro.servers.config import ServerProfile
+
+        tls13_only = ServerProfile(
+            name="tls13only",
+            supported_versions=frozenset({0x0304}),
+            suite_preference=(0x1301,),
+            supported_groups=(29,),
+        )
+        result = grab(tls13_only, chrome_2015_probe(), via_wire=True)
+        assert not result.success
+
+
+class TestAddressSpaceScanner:
+    def test_sample_size(self):
+        scanner = AddressSpaceScanner(ServerPopulation())
+        hosts = scanner.scan(dt.date(2016, 1, 1), 200)
+        assert len(hosts) == 200
+
+    def test_ips_formatted(self):
+        scanner = AddressSpaceScanner(ServerPopulation())
+        host = scanner.scan(dt.date(2016, 1, 1), 1)[0]
+        parts = host.ip.split(".")
+        assert len(parts) == 4
+        assert all(0 <= int(p) <= 255 for p in parts)
+
+    def test_deterministic_per_seed(self):
+        pop = ServerPopulation()
+        a = AddressSpaceScanner(pop, seed=42).scan(dt.date(2016, 1, 1), 50)
+        b = AddressSpaceScanner(pop, seed=42).scan(dt.date(2016, 1, 1), 50)
+        assert [(h.address, h.profile.name) for h in a] == [
+            (h.address, h.profile.name) for h in b
+        ]
+
+
+class TestCensysArchive:
+    @pytest.fixture(scope="class")
+    def archive(self):
+        archive = CensysArchive()
+        for probe in ("chrome2015", "ssl3", "export"):
+            archive.run_schedule(probe, interval_days=112)
+        return archive
+
+    def test_window(self, archive):
+        dates = [d for (_, d) in archive.snapshots]
+        assert min(dates) == CENSYS_FIRST_SCAN
+        assert max(dates) <= CENSYS_LAST_SCAN
+
+    def test_ssl3_support_declines(self, archive):
+        series = archive.series("ssl3", "handshake")
+        assert series[0][1] > series[-1][1]
+        assert series[0][1] > 0.38
+        assert series[-1][1] < 0.28
+
+    def test_rc4_chosen_declines(self, archive):
+        series = archive.series("chrome2015", "rc4")
+        assert 0.08 < series[0][1] < 0.2   # ~11.2% Sep 2015
+        assert series[-1][1] < 0.06        # ~3.4% May 2018
+
+    def test_cbc_chosen_declines(self, archive):
+        series = archive.series("chrome2015", "cbc")
+        assert 0.45 < series[0][1] < 0.65  # ~54% Sep 2015
+        assert 0.25 < series[-1][1] < 0.45  # ~35% May 2018
+
+    def test_3des_chosen_tiny_but_present(self, archive):
+        series = archive.series("chrome2015", "3des")
+        assert 0.003 < series[0][1] < 0.01   # 0.54% Aug 2015
+        assert 0.001 < series[-1][1] < 0.005  # 0.25% May 2018
+
+    def test_heartbleed_long_tail(self, archive):
+        series = archive.series("chrome2015", "heartbleed")
+        assert 0.001 < series[-1][1] < 0.01  # 0.32% May 2018
+
+    def test_sampled_scan_close_to_expectation(self):
+        archive = CensysArchive()
+        day = dt.date(2016, 6, 1)
+        exact = archive.run_expectation_scan(day, "chrome2015")
+        sampled = archive.run_sampled_scan(day, "chrome2015", 4000)
+        assert sampled.fraction("rc4") == pytest.approx(exact.fraction("rc4"), abs=0.03)
+        assert sampled.fraction("aead") == pytest.approx(exact.fraction("aead"), abs=0.05)
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(ValueError):
+            CensysArchive().run_expectation_scan(dt.date(2016, 1, 1), "quic")
+
+    def test_snapshot_fraction_empty(self):
+        from repro.scanner.censys import ScanSnapshot
+
+        snap = ScanSnapshot(date=dt.date(2016, 1, 1), probe="x")
+        assert snap.fraction("rc4") == 0.0
+        assert snap.handshake_rate == 0.0

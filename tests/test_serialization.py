@@ -1,0 +1,78 @@
+"""Fingerprint-database JSON serialization tests."""
+
+import json
+
+import pytest
+
+from repro.clients.profile import CATEGORY_BROWSERS, CATEGORY_LIBRARIES
+from repro.core.database import FingerprintDatabase, FingerprintLabel
+from repro.core.fingerprint import Fingerprint
+from repro.core.serialization import dumps, load, loads, save
+
+FP_A = Fingerprint.from_raw((0xC02F, 0x002F), (0, 10, 11), (23,), (0,))
+FP_B = Fingerprint.from_raw((0x002F,), (0,), (), ())
+
+LABEL_A = FingerprintLabel("SomeBrowser", "1-3", CATEGORY_BROWSERS, library="NSS")
+LABEL_B = FingerprintLabel("Android SDK", "5.0", CATEGORY_LIBRARIES, library="Android SDK")
+
+
+def sample_db():
+    db = FingerprintDatabase()
+    db.add(FP_A, LABEL_A)
+    db.add(FP_B, LABEL_B)
+    return db
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        restored = loads(dumps(sample_db()))
+        assert len(restored) == 2
+        assert restored.match(FP_A) == LABEL_A
+        assert restored.match(FP_B) == LABEL_B
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "fps.json"
+        save(sample_db(), path)
+        restored = load(path)
+        assert restored.match(FP_A) == LABEL_A
+
+    def test_stable_output(self):
+        assert dumps(sample_db()) == dumps(sample_db())
+
+    def test_json_structure(self):
+        document = json.loads(dumps(sample_db()))
+        assert document["format_version"] == 1
+        entry = document["fingerprints"][0]
+        assert {"digest", "fingerprint", "software", "category"} <= set(entry)
+
+    def test_default_database_roundtrips(self, fingerprint_db):
+        restored = loads(dumps(fingerprint_db))
+        assert len(restored) == len(fingerprint_db)
+        assert restored.count_by_category() == fingerprint_db.count_by_category()
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self):
+        document = json.loads(dumps(sample_db()))
+        document["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            loads(json.dumps(document))
+
+    def test_digest_mismatch_rejected(self):
+        document = json.loads(dumps(sample_db()))
+        document["fingerprints"][0]["digest"] = "0" * 32
+        with pytest.raises(ValueError, match="digest mismatch"):
+            loads(json.dumps(document))
+
+    def test_merge_applies_collision_rules(self):
+        # Two dumps with the same fingerprint under different software:
+        # loading the concatenation removes it (software/software rule).
+        db1 = FingerprintDatabase()
+        db1.add(FP_A, FingerprintLabel("ProgramA", "1", CATEGORY_BROWSERS))
+        db2 = FingerprintDatabase()
+        db2.add(FP_A, FingerprintLabel("ProgramB", "1", CATEGORY_BROWSERS))
+        doc1 = json.loads(dumps(db1))
+        doc2 = json.loads(dumps(db2))
+        doc1["fingerprints"].extend(doc2["fingerprints"])
+        merged = loads(json.dumps(doc1))
+        assert merged.match(FP_A) is None

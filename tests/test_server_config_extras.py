@@ -1,0 +1,100 @@
+"""Tests for ServerProfile's derived-variant helpers and intolerance."""
+
+import pytest
+
+from repro.clients import suites as cs
+from repro.servers import archetypes as arch
+from repro.servers.config import ServerProfile
+from repro.tls.messages import AlertDescription, ClientHello
+from repro.tls.handshake import HandshakeFailure
+from repro.tls.versions import SSL3, TLS10, TLS12
+
+
+def hello(suites, version=TLS12.wire):
+    return ClientHello(
+        legacy_version=version,
+        random=b"\0" * 32,
+        cipher_suites=tuple(suites),
+        supported_groups=(23,),
+    )
+
+
+class TestWithoutSuites:
+    def test_removes_matching(self):
+        profile = arch.TLS12_RSA_CBC.without_suites(lambda s: s.is_rc4, "rc4")
+        assert not any(
+            code in (cs.RSA_RC4_128_SHA, cs.RSA_RC4_128_MD5)
+            for code in profile.suite_preference
+        )
+        assert cs.RSA_AES128_SHA in profile.suite_preference
+
+    def test_name_tagged(self):
+        profile = arch.TLS12_RSA_CBC.without_suites(lambda s: s.is_rc4, "rc4")
+        assert profile.name.endswith("-norc4")
+
+    def test_behavioural_effect(self):
+        base = arch.TLS12_RSA_CBC
+        stripped = base.without_suites(lambda s: s.is_rc4, "rc4")
+        rc4_only = hello([cs.RSA_RC4_128_SHA])
+        assert base.respond(rc4_only).ok
+        assert not stripped.respond(rc4_only).ok
+
+    def test_unregistered_code_raises(self):
+        profile = ServerProfile(
+            name="bogus",
+            supported_versions=frozenset({TLS12.wire}),
+            suite_preference=(0xEEEE,),
+        )
+        with pytest.raises(KeyError):
+            profile.without_suites(lambda s: s.is_rc4, "rc4")
+
+
+class TestVersionIntolerance:
+    def _intolerant(self):
+        return ServerProfile(
+            name="intolerant",
+            supported_versions=frozenset({SSL3.wire, TLS10.wire}),
+            suite_preference=(cs.RSA_AES128_SHA,),
+            intolerant_above=TLS10.wire,
+        )
+
+    def test_aborts_above_threshold(self):
+        result = self._intolerant().respond(hello([cs.RSA_AES128_SHA], TLS12.wire))
+        assert not result.ok
+        assert result.alert.description is AlertDescription.PROTOCOL_VERSION
+        assert "intolerant" in result.reason
+
+    def test_accepts_at_threshold(self):
+        result = self._intolerant().respond(hello([cs.RSA_AES128_SHA], TLS10.wire))
+        assert result.ok
+        assert result.version_wire == TLS10.wire
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(HandshakeFailure):
+            self._intolerant().respond(hello([cs.RSA_AES128_SHA], TLS12.wire), strict=True)
+
+    def test_tolerant_by_default(self):
+        assert arch.LEGACY_SSL3_RC4.intolerant_above is None
+
+
+class TestRc4RemovalWave:
+    def test_population_contains_norc4_variants_post_2015(self):
+        import datetime as dt
+
+        from repro.servers import ServerPopulation
+
+        pop = ServerPopulation()
+        names_2014 = {p.name for p, _ in pop.mix(dt.date(2014, 6, 1), "hosts")}
+        names_2017 = {p.name for p, _ in pop.mix(dt.date(2017, 6, 1), "hosts")}
+        assert not any("-norc4" in n for n in names_2014)
+        assert any("-norc4" in n for n in names_2017)
+
+    def test_rc4_preferring_archetypes_never_stripped(self):
+        import datetime as dt
+
+        from repro.servers import ServerPopulation
+
+        pop = ServerPopulation()
+        names = {p.name for p, _ in pop.mix(dt.date(2017, 6, 1), "hosts")}
+        assert not any(n.startswith("tls12-rc4-pref-norc4") for n in names)
+        assert not any(n.startswith("rc4-only-norc4") for n in names)

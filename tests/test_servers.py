@@ -1,0 +1,249 @@
+"""Server substrate tests: archetypes, curves, population dynamics."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients import suites as cs
+from repro.servers import archetypes as arch
+from repro.servers.config import ServerProfile
+from repro.servers.curves import AdoptionCurve, PatchCurve
+from repro.servers.population import ServerPopulation
+from repro.tls.extensions import Extension, ExtensionType
+from repro.tls.messages import ClientHello
+from repro.tls.versions import SSL3, TLS12
+
+
+def hello(suites, groups=(23,), extensions=()):
+    return ClientHello(
+        legacy_version=TLS12.wire,
+        random=b"\0" * 32,
+        cipher_suites=tuple(suites),
+        supported_groups=tuple(groups),
+        extensions=tuple(extensions),
+    )
+
+
+class TestArchetypes:
+    def test_grid_server_chooses_null(self):
+        # §6.1: GRID endpoints choose NULL even when AES is offered.
+        result = arch.GRID_SERVER.respond(
+            hello([cs.RSA_AES128_SHA, cs.RSA_NULL_SHA])
+        )
+        assert result.suite.is_null_encryption
+
+    def test_nagios_server_chooses_anon(self):
+        result = arch.NAGIOS_SERVER.respond(
+            hello([cs.ADH_AES256_SHA, cs.RSA_AES128_SHA])
+        )
+        assert result.suite.is_anonymous
+
+    def test_nagios_accepts_null_null(self):
+        result = arch.NAGIOS_SERVER.respond(hello([cs.NULL_NULL]))
+        assert result.established
+        assert result.suite.is_null_null
+
+    def test_interwise_chooses_unoffered_export(self):
+        # §5.5: client offered RC4_128_SHA, server chose EXP_RC4_40_MD5.
+        result = arch.INTERWISE_SERVER.respond(hello([cs.RSA_RC4_128_SHA]))
+        assert result.suite.code == cs.EXP_RSA_RC4_40_MD5
+        assert result.client_aborts  # standard client would abort
+
+    def test_gost_server(self):
+        result = arch.GOST_SERVER.respond(hello([cs.RSA_AES128_SHA]))
+        assert result.suite.code == cs.GOST_R341001
+        assert not result.established
+
+    def test_rc4_pref_server_chooses_rc4_over_gcm(self):
+        # §5.3: e.g. bankmellat.ir picks RC4 despite stronger offers.
+        result = arch.TLS12_RC4_PREF.respond(
+            hello([cs.ECDHE_RSA_AES128_GCM, cs.RSA_RC4_128_SHA])
+        )
+        assert result.suite.is_rc4
+
+    def test_rc4_pref_server_falls_back_when_rc4_absent(self):
+        # §5.3: removing RC4 from the offer yields a modern AEAD suite.
+        result = arch.TLS12_RC4_PREF.respond(hello([cs.ECDHE_RSA_AES128_GCM]))
+        assert result.suite.is_aead
+
+    def test_3des_pref_server(self):
+        result = arch.TLS10_3DES_PREF.respond(
+            hello([cs.RSA_AES128_SHA, cs.RSA_3DES_SHA])
+        )
+        assert result.suite.is_3des
+
+    def test_modern_server_prefers_aead(self):
+        result = arch.TLS12_ECDHE_GCM.respond(
+            hello([cs.RSA_AES128_SHA, cs.ECDHE_RSA_AES128_GCM])
+        )
+        assert result.suite.is_aead
+        assert result.forward_secret
+
+    def test_x25519_server_honors_client_order(self):
+        result = arch.TLS12_ECDHE_GCM_X25519.respond(
+            hello([cs.CHACHA_ECDHE_RSA, cs.ECDHE_RSA_AES128_GCM], groups=(29, 23))
+        )
+        assert result.suite.aead_algorithm == "ChaCha20-Poly1305"
+        assert result.curve == 29
+
+    def test_tls13_server_negotiates_google_variant(self):
+        probe = ClientHello(
+            legacy_version=TLS12.wire,
+            random=b"\0" * 32,
+            cipher_suites=(0x1301, cs.ECDHE_RSA_AES128_GCM),
+            supported_groups=(29, 23),
+            supported_versions=(0x7E02, TLS12.wire),
+        )
+        result = arch.TLS13_DRAFTS.respond(probe)
+        assert result.version_wire == 0x7E02
+        assert result.suite.tls13_only
+
+
+class TestServerProfile:
+    def test_requires_versions(self):
+        with pytest.raises(ValueError):
+            ServerProfile(name="empty", supported_versions=frozenset(), suite_preference=())
+
+    def test_with_heartbeat(self):
+        profile = arch.TLS12_ECDHE_GCM.with_heartbeat(vulnerable=True)
+        assert profile.heartbeat
+        assert profile.heartbleed_vulnerable
+        assert int(ExtensionType.HEARTBEAT) in profile.effective_echo_extensions
+
+    def test_without_version(self):
+        profile = arch.TLS10_CBC.without_version(SSL3.wire)
+        assert not profile.supports_version(SSL3.wire)
+        assert profile.supports_version(0x0301)
+
+    def test_heartbeat_echo(self):
+        profile = arch.TLS12_ECDHE_GCM.with_heartbeat()
+        result = profile.respond(
+            hello(
+                [cs.ECDHE_RSA_AES128_GCM],
+                extensions=(Extension(int(ExtensionType.HEARTBEAT), b"\x01"),),
+            )
+        )
+        assert result.heartbeat_negotiated
+
+
+class TestAdoptionCurve:
+    def test_midpoint_is_half(self):
+        c = AdoptionCurve(midpoint=dt.date(2015, 1, 1), scale_days=100)
+        assert c.value(dt.date(2015, 1, 1)) == pytest.approx(0.5)
+
+    def test_floor_and_ceiling(self):
+        c = AdoptionCurve(
+            midpoint=dt.date(2015, 1, 1), scale_days=50, floor=0.1, ceiling=0.6
+        )
+        assert c.value(dt.date(2005, 1, 1)) == pytest.approx(0.1, abs=1e-6)
+        assert c.value(dt.date(2025, 1, 1)) == pytest.approx(0.6, abs=1e-6)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            AdoptionCurve(midpoint=dt.date(2015, 1, 1), scale_days=50, floor=0.9, ceiling=0.5)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            AdoptionCurve(midpoint=dt.date(2015, 1, 1), scale_days=0)
+
+    @given(st.integers(min_value=-2000, max_value=2000), st.integers(min_value=-2000, max_value=2000))
+    @settings(max_examples=60)
+    def test_monotone(self, a, b):
+        c = AdoptionCurve(midpoint=dt.date(2015, 1, 1), scale_days=120)
+        base = dt.date(2015, 1, 1)
+        lo, hi = sorted((a, b))
+        assert c.value(base + dt.timedelta(days=lo)) <= c.value(base + dt.timedelta(days=hi)) + 1e-12
+
+
+class TestPatchCurve:
+    def test_nothing_before_disclosure(self):
+        c = PatchCurve(disclosed=dt.date(2014, 4, 7), half_life_days=10)
+        assert c.patched(dt.date(2014, 4, 1)) == 0.0
+        assert c.unpatched(dt.date(2014, 4, 1)) == 1.0
+
+    def test_half_life(self):
+        c = PatchCurve(disclosed=dt.date(2014, 4, 7), half_life_days=10)
+        assert c.patched(dt.date(2014, 4, 17)) == pytest.approx(0.5)
+
+    def test_never_patched_floor(self):
+        c = PatchCurve(disclosed=dt.date(2014, 4, 7), half_life_days=5, never_patched=0.3)
+        assert c.patched(dt.date(2030, 1, 1)) == pytest.approx(0.7, abs=1e-4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PatchCurve(disclosed=dt.date(2014, 4, 7), half_life_days=0)
+        with pytest.raises(ValueError):
+            PatchCurve(disclosed=dt.date(2014, 4, 7), half_life_days=10, never_patched=1.0)
+
+    @given(st.integers(min_value=0, max_value=3000), st.integers(min_value=0, max_value=3000))
+    @settings(max_examples=60)
+    def test_monotone(self, a, b):
+        c = PatchCurve(disclosed=dt.date(2014, 4, 7), half_life_days=30, never_patched=0.1)
+        base = dt.date(2014, 4, 7)
+        lo, hi = sorted((a, b))
+        assert c.patched(base + dt.timedelta(days=lo)) <= c.patched(base + dt.timedelta(days=hi)) + 1e-12
+
+
+class TestServerPopulation:
+    @pytest.fixture(scope="class")
+    def pop(self):
+        return ServerPopulation()
+
+    @pytest.mark.parametrize("weighting", ["traffic", "hosts"])
+    @pytest.mark.parametrize("day", ["2012-06-01", "2015-09-01", "2018-04-01"])
+    def test_mix_normalized(self, pop, weighting, day):
+        mix = pop.mix(dt.date.fromisoformat(day), weighting)
+        assert sum(w for _, w in mix) == pytest.approx(1.0)
+
+    def test_unknown_weighting_rejected(self, pop):
+        with pytest.raises(ValueError):
+            pop.base_mix(dt.date(2015, 1, 1), "bogus")
+
+    def test_dedicated_endpoints(self, pop):
+        assert pop.dedicated("grid").name == "grid-server"
+        assert pop.dedicated("nagios").name == "nagios-server"
+        with pytest.raises(KeyError):
+            pop.dedicated("unknown")
+
+    def test_ssl3_support_anchors(self, pop):
+        # §5.1: >45% in Sep 2015, <25% in May 2018 (host-weighted).
+        sep15 = pop.support_fraction(
+            dt.date(2015, 9, 1), lambda p: p.supports_version(SSL3.wire)
+        )
+        may18 = pop.support_fraction(
+            dt.date(2018, 5, 1), lambda p: p.supports_version(SSL3.wire)
+        )
+        assert 0.38 < sep15 < 0.55
+        assert may18 < 0.25
+        assert may18 > 0.08  # embarrassingly high, not gone
+
+    def test_heartbleed_drops_after_disclosure(self, pop):
+        before = pop.support_fraction(
+            dt.date(2014, 4, 1), lambda p: p.heartbleed_vulnerable
+        )
+        month_later = pop.support_fraction(
+            dt.date(2014, 5, 10), lambda p: p.heartbleed_vulnerable
+        )
+        in_2018 = pop.support_fraction(
+            dt.date(2018, 5, 1), lambda p: p.heartbleed_vulnerable
+        )
+        assert before > 0.15          # ~23.7% at disclosure
+        assert month_later < 0.03     # <2% within a month
+        assert 0.001 < in_2018 < 0.01  # 0.32% long tail
+
+    def test_heartbeat_support_2018(self, pop):
+        value = pop.support_fraction(dt.date(2018, 5, 1), lambda p: p.heartbeat)
+        assert 0.28 < value < 0.42  # 34% in May 2018
+
+    def test_rc4_preferring_traffic_declines(self, pop):
+        def rc4_share(day):
+            return sum(
+                w
+                for p, w in pop.mix(day, "traffic")
+                if p.name.startswith(("legacy-ssl3-rc4", "tls12-rc4-pref"))
+            )
+
+        assert rc4_share(dt.date(2013, 8, 1)) > 0.5
+        assert rc4_share(dt.date(2018, 4, 1)) < 0.02

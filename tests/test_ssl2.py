@@ -1,0 +1,133 @@
+"""SSL 2.0 CLIENT-HELLO codec tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tls.ssl2 import (
+    CIPHER_KIND_NAMES,
+    MSG_CLIENT_HELLO,
+    SSL2_VERSION,
+    SSL_CK_DES_192_EDE3_CBC_WITH_MD5,
+    SSL_CK_RC4_128_EXPORT40_WITH_MD5,
+    SSL_CK_RC4_128_WITH_MD5,
+    Ssl2ClientHello,
+    Ssl2DecodeError,
+    decode_client_hello,
+    encode_client_hello,
+    looks_like_ssl2,
+)
+
+_HELLO = Ssl2ClientHello(
+    cipher_kinds=(
+        SSL_CK_RC4_128_WITH_MD5,
+        SSL_CK_DES_192_EDE3_CBC_WITH_MD5,
+        SSL_CK_RC4_128_EXPORT40_WITH_MD5,
+    ),
+    session_id=b"\x01\x02\x03",
+    challenge=bytes(range(16)),
+)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        assert decode_client_hello(encode_client_hello(_HELLO)) == _HELLO
+
+    def test_record_header_high_bit(self):
+        wire = encode_client_hello(_HELLO)
+        assert wire[0] & 0x80
+        assert int.from_bytes(wire[:2], "big") & 0x7FFF == len(wire) - 2
+
+    def test_message_type(self):
+        assert encode_client_hello(_HELLO)[2] == MSG_CLIENT_HELLO
+
+    def test_version_field(self):
+        wire = encode_client_hello(_HELLO)
+        assert int.from_bytes(wire[3:5], "big") == SSL2_VERSION
+
+    def test_kind_names(self):
+        names = _HELLO.kind_names()
+        assert names[0] == "SSL_CK_RC4_128_WITH_MD5"
+        assert "unknown" not in " ".join(names)
+
+    def test_unknown_kind_named(self):
+        hello = Ssl2ClientHello(cipher_kinds=(0x0F0080,))
+        assert hello.kind_names() == ("unknown_0x0f0080",)
+
+    def test_offers_export(self):
+        assert _HELLO.offers_export
+        assert not Ssl2ClientHello(cipher_kinds=(SSL_CK_RC4_128_WITH_MD5,)).offers_export
+
+    def test_challenge_length_bounds(self):
+        with pytest.raises(ValueError):
+            encode_client_hello(Ssl2ClientHello(challenge=b"short"))
+        with pytest.raises(ValueError):
+            encode_client_hello(Ssl2ClientHello(challenge=b"x" * 33))
+
+
+class TestDecodeErrors:
+    def test_truncated_header(self):
+        with pytest.raises(Ssl2DecodeError):
+            decode_client_hello(b"\x80")
+
+    def test_missing_high_bit(self):
+        wire = bytearray(encode_client_hello(_HELLO))
+        wire[0] &= 0x7F
+        with pytest.raises(Ssl2DecodeError):
+            decode_client_hello(bytes(wire))
+
+    def test_length_mismatch(self):
+        wire = encode_client_hello(_HELLO)
+        with pytest.raises(Ssl2DecodeError):
+            decode_client_hello(wire[:-1])
+
+    def test_wrong_message_type(self):
+        wire = bytearray(encode_client_hello(_HELLO))
+        wire[2] = 0x02
+        with pytest.raises(Ssl2DecodeError):
+            decode_client_hello(bytes(wire))
+
+    def test_spec_length_not_multiple_of_three(self):
+        wire = bytearray(encode_client_hello(_HELLO))
+        wire[6] = 0x04  # cipher-spec length low byte
+        with pytest.raises(Ssl2DecodeError):
+            decode_client_hello(bytes(wire))
+
+    @given(st.binary(max_size=80))
+    @settings(max_examples=150)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            decode_client_hello(data)
+        except Ssl2DecodeError:
+            pass
+
+
+class TestSniffer:
+    def test_recognizes_ssl2(self):
+        assert looks_like_ssl2(encode_client_hello(_HELLO))
+
+    def test_rejects_tls_record(self):
+        from repro.tls.messages import ClientHello
+        from repro.tls.wire import frame_client_hello
+
+        tls = frame_client_hello(
+            ClientHello(random=b"\0" * 32, cipher_suites=(0x002F,))
+        )
+        assert not looks_like_ssl2(tls)
+
+    def test_rejects_short_input(self):
+        assert not looks_like_ssl2(b"\x80\x03\x01")
+
+
+class TestProperties:
+    @given(
+        st.lists(st.sampled_from(sorted(CIPHER_KIND_NAMES)), min_size=1, max_size=7, unique=True),
+        st.binary(max_size=16),
+        st.binary(min_size=16, max_size=32),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, kinds, session_id, challenge):
+        hello = Ssl2ClientHello(
+            cipher_kinds=tuple(kinds), session_id=session_id, challenge=challenge
+        )
+        assert decode_client_hello(encode_client_hello(hello)) == hello

@@ -1,0 +1,69 @@
+"""SSL Pulse survey tests (§5.3's popular-site RC4 numbers)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.scanner.sslpulse import SslPulse, no_rc4_probe, rc4_probe
+from repro.servers import archetypes as arch
+from repro.scanner.zgrab import grab
+from repro.tls.ciphers import REGISTRY
+
+
+class TestProbes:
+    def test_rc4_probe_only_rc4(self):
+        suites = [REGISTRY[c] for c in rc4_probe().cipher_suites]
+        assert suites
+        assert all(s.is_rc4 for s in suites)
+
+    def test_no_rc4_probe_has_no_rc4(self):
+        suites = [REGISTRY[c] for c in no_rc4_probe().cipher_suites]
+        assert suites
+        assert not any(s.is_rc4 for s in suites)
+        assert any(s.is_aead for s in suites)
+
+
+class TestGrabSemantics:
+    def test_rc4_only_server_classification(self):
+        assert grab(arch.RC4_ONLY, rc4_probe()).success
+        assert not grab(arch.RC4_ONLY, no_rc4_probe()).success
+
+    def test_modern_server_classification(self):
+        assert not grab(arch.TLS12_ECDHE_GCM, rc4_probe()).success
+        assert grab(arch.TLS12_ECDHE_GCM, no_rc4_probe()).success
+
+    def test_legacy_server_supports_both(self):
+        assert grab(arch.LEGACY_SSL3_RC4, rc4_probe()).success
+        assert grab(arch.LEGACY_SSL3_RC4, no_rc4_probe()).success
+
+
+class TestSurvey:
+    @pytest.fixture(scope="class")
+    def pulse(self):
+        return SslPulse()
+
+    def test_survey_bounds(self, pulse):
+        survey = pulse.survey(dt.date(2015, 1, 1))
+        assert 0.0 <= survey.rc4_only <= survey.rc4_supported <= 1.0
+
+    def test_rc4_support_declines(self, pulse):
+        first = pulse.survey(dt.date(2013, 10, 1))
+        last = pulse.survey(dt.date(2018, 3, 1))
+        # §5.3: 92.8% -> 19.1% of surveyed sites.
+        assert first.rc4_supported > 0.7
+        assert 0.1 < last.rc4_supported < 0.3
+        assert last.rc4_supported < first.rc4_supported / 3
+
+    def test_rc4_only_collapses(self, pulse):
+        first = pulse.survey(dt.date(2013, 10, 1))
+        last = pulse.survey(dt.date(2018, 3, 1))
+        # §5.3: 4,248 sites (2.6%) -> 1 site.
+        assert 0.01 < first.rc4_only < 0.04
+        assert last.rc4_only < 0.002
+
+    def test_series_dates(self, pulse):
+        surveys = pulse.series(
+            start=dt.date(2016, 1, 1), end=dt.date(2016, 7, 1), interval_days=56
+        )
+        assert len(surveys) == 4
+        assert surveys[0].date == dt.date(2016, 1, 1)

@@ -1,0 +1,198 @@
+"""§4.1 fingerprint-lifetime statistics tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.stats import (
+    FingerprintLifetime,
+    _quantile,
+    duration_summary,
+    fingerprint_lifetimes,
+    top_fingerprint_concentration,
+)
+from repro.notary.events import ConnectionRecord
+from repro.notary.store import NotaryStore
+
+
+def record(day, fingerprint, weight=1.0):
+    return ConnectionRecord(
+        month=day.replace(day=1),
+        weight=weight,
+        client_family="x",
+        client_version="1",
+        client_category="",
+        client_in_database=False,
+        fingerprint=fingerprint.fields,
+        advertised=frozenset(),
+        positions={},
+        suite_count=1,
+        offered_tls13=False,
+        offered_tls13_versions=(),
+        established=True,
+        negotiated_version="TLSv12",
+        negotiated_wire=0x0303,
+        negotiated_suite=0x002F,
+        negotiated_curve=None,
+        heartbeat_negotiated=False,
+        server_chose_unoffered=False,
+        day=day,
+    )
+
+
+FP1 = Fingerprint.from_raw((1, 2), (0,), (), ())
+FP2 = Fingerprint.from_raw((3, 4), (0,), (), ())
+FP3 = Fingerprint.from_raw((5,), (0,), (), ())
+
+
+def build_store():
+    store = NotaryStore()
+    # FP1: long-lived, many connections.
+    store.add(record(dt.date(2014, 2, 1), FP1, weight=10))
+    store.add(record(dt.date(2017, 8, 1), FP1, weight=10))
+    # FP2: one day only.
+    store.add(record(dt.date(2015, 5, 5), FP2))
+    # FP3: two sightings a week apart.
+    store.add(record(dt.date(2016, 1, 1), FP3))
+    store.add(record(dt.date(2016, 1, 8), FP3))
+    return store
+
+
+class TestLifetimes:
+    def test_windows(self):
+        windows = fingerprint_lifetimes(build_store())
+        assert len(windows) == 3
+        fp1 = windows[FP1.digest]
+        assert fp1.first_seen == dt.date(2014, 2, 1)
+        assert fp1.last_seen == dt.date(2017, 8, 1)
+        assert fp1.connections == 20
+
+    def test_inclusive_duration(self):
+        lifetime = FingerprintLifetime(dt.date(2015, 1, 1), dt.date(2015, 1, 1), 1)
+        assert lifetime.duration_days == 1
+        week = FingerprintLifetime(dt.date(2015, 1, 1), dt.date(2015, 1, 8), 1)
+        assert week.duration_days == 8
+
+    def test_records_without_day_ignored(self):
+        store = build_store()
+        no_day = record(dt.date(2015, 1, 1), FP1)
+        object.__setattr__(no_day, "day", None)
+        store.add(no_day)
+        assert len(fingerprint_lifetimes(store)) == 3
+
+
+class TestDurationSummary:
+    def test_counts(self):
+        summary = duration_summary(build_store())
+        assert summary.fingerprints == 3
+        assert summary.single_day == 1
+        assert summary.single_day_connections == 1
+        assert summary.max_days == (dt.date(2017, 8, 1) - dt.date(2014, 2, 1)).days + 1
+
+    def test_long_lived_share(self):
+        summary = duration_summary(build_store(), long_lived_days=1000)
+        assert summary.long_lived == 1
+        assert summary.long_lived_connections_share == pytest.approx(20 / 23)
+
+    def test_median(self):
+        summary = duration_summary(build_store())
+        assert summary.median_days == 8.0  # durations 1, 8, 1277
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            duration_summary(NotaryStore())
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert _quantile([1.0, 2.0, 9.0], 0.5) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert _quantile([1.0, 3.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = [1.0, 2.0, 3.0]
+        assert _quantile(values, 0.0) == 1.0
+        assert _quantile(values, 1.0) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            _quantile([], 0.5)
+
+
+class TestConcentration:
+    def test_top1(self):
+        store = build_store()
+        assert top_fingerprint_concentration(store, top=1) == pytest.approx(20 / 23)
+
+    def test_top_all(self):
+        store = build_store()
+        assert top_fingerprint_concentration(store, top=10) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert top_fingerprint_concentration(NotaryStore()) == 0.0
+
+
+class TestUnlabeledShare:
+    def test_share_relative_to_unlabeled_traffic(self):
+        from repro.core.database import FingerprintDatabase, FingerprintLabel
+        from repro.core.stats import most_common_unlabeled_share
+
+        store = build_store()
+        db = FingerprintDatabase()
+        db.add(FP1, FingerprintLabel("Soft", "1", "Browsers"))
+        # Unlabeled traffic: FP2 (1 conn) + FP3 (2 conns) -> top share 2/3.
+        assert most_common_unlabeled_share(store, db) == pytest.approx(2 / 3)
+
+    def test_everything_labeled(self):
+        from repro.core.database import FingerprintDatabase, FingerprintLabel
+        from repro.core.stats import most_common_unlabeled_share
+
+        store = build_store()
+        db = FingerprintDatabase()
+        for i, fp in enumerate((FP1, FP2, FP3)):
+            db.add(fp, FingerprintLabel(f"S{i}", "1", "Browsers"))
+        assert most_common_unlabeled_share(store, db) == 0.0
+
+
+class TestLongLivedSoftware:
+    def test_identifies_labeled_long_lived(self):
+        from repro.core.database import FingerprintDatabase, FingerprintLabel
+        from repro.core.stats import long_lived_software
+
+        store = build_store()
+        db = FingerprintDatabase()
+        db.add(FP1, FingerprintLabel("LongSoft", "1", "Libraries", library="L"))
+        ranked = long_lived_software(store, db, min_days=1000)
+        assert ranked == [("LongSoft", pytest.approx(1.0))]
+
+    def test_empty_when_no_long_lived(self):
+        from repro.core.database import FingerprintDatabase
+        from repro.core.stats import long_lived_software
+
+        store = build_store()
+        assert long_lived_software(store, FingerprintDatabase(), min_days=5000) == []
+
+    def test_unlabeled_long_lived_not_listed(self):
+        from repro.core.database import FingerprintDatabase
+        from repro.core.stats import long_lived_software
+
+        store = build_store()
+        ranked = long_lived_software(store, FingerprintDatabase(), min_days=1000)
+        assert ranked == []  # long-lived traffic exists but is unlabeled
+
+
+class TestOnSimulatedData:
+    def test_montecarlo_has_single_day_population(self, montecarlo_store):
+        summary = duration_summary(montecarlo_store, long_lived_days=200)
+        # §4.1's extreme bias toward briefly-seen fingerprints: the
+        # shuffling client guarantees single-day fingerprints exist, and
+        # they carry almost no traffic.
+        assert summary.single_day > 0
+        assert summary.single_day_connections < summary.total_connections * 0.05
+
+    def test_top10_concentration_significant(self, montecarlo_store):
+        # §4.0.1: the 10 most common fingerprints explain 25.9% of traffic.
+        value = top_fingerprint_concentration(montecarlo_store, 10)
+        assert 0.15 < value < 0.75

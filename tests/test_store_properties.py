@@ -1,0 +1,141 @@
+"""Hypothesis property tests for store aggregation and adoption weights."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients.profile import AdoptionModel, CATEGORY_BROWSERS, ClientFamily, ClientRelease
+from repro.clients import suites as cs
+from repro.notary.events import ConnectionRecord
+from repro.notary.store import NotaryStore, month_of, month_range
+
+
+def _record(month, weight, established):
+    return ConnectionRecord(
+        month=month,
+        weight=weight,
+        client_family="x",
+        client_version="1",
+        client_category="",
+        client_in_database=False,
+        fingerprint=None,
+        advertised=frozenset(),
+        positions={},
+        suite_count=1,
+        offered_tls13=False,
+        offered_tls13_versions=(),
+        established=established,
+        negotiated_version="TLSv12" if established else None,
+        negotiated_wire=0x0303 if established else None,
+        negotiated_suite=0x002F if established else None,
+        negotiated_curve=None,
+        heartbeat_negotiated=False,
+        server_chose_unoffered=False,
+    )
+
+
+_months = st.dates(min_value=dt.date(2012, 1, 1), max_value=dt.date(2018, 4, 30)).map(
+    month_of
+)
+_record_specs = st.lists(
+    st.tuples(_months, st.floats(min_value=0.001, max_value=100), st.booleans()),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestStoreProperties:
+    @given(_record_specs)
+    @settings(max_examples=100)
+    def test_fraction_always_in_unit_interval(self, specs):
+        store = NotaryStore()
+        for month, weight, established in specs:
+            store.add(_record(month, weight, established))
+        for month in store.months():
+            value = store.fraction(month, lambda r: r.established)
+            assert 0.0 <= value <= 1.0
+
+    @given(_record_specs)
+    @settings(max_examples=100)
+    def test_complementary_fractions_sum_to_one(self, specs):
+        store = NotaryStore()
+        for month, weight, established in specs:
+            store.add(_record(month, weight, established))
+        for month in store.months():
+            yes = store.fraction(month, lambda r: r.established)
+            no = store.fraction(month, lambda r: not r.established)
+            assert yes + no == pytest.approx(1.0)
+
+    @given(_record_specs)
+    @settings(max_examples=100)
+    def test_total_weight_matches_sum(self, specs):
+        store = NotaryStore()
+        expected: dict[dt.date, float] = {}
+        for month, weight, established in specs:
+            store.add(_record(month, weight, established))
+            expected[month] = expected.get(month, 0.0) + weight
+        for month, total in expected.items():
+            assert store.total_weight(month) == pytest.approx(total)
+
+    @given(
+        st.dates(min_value=dt.date(2012, 1, 1), max_value=dt.date(2017, 1, 1)),
+        st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=80)
+    def test_month_range_length(self, start, days):
+        end = start + dt.timedelta(days=days)
+        months = month_range(start, end)
+        assert months[0] == month_of(start)
+        assert months[-1] == month_of(end)
+        assert months == sorted(set(months))
+
+
+_adoptions = st.builds(
+    AdoptionModel,
+    fast_days=st.floats(min_value=1, max_value=800),
+    tail=st.floats(min_value=0, max_value=0.9),
+    slow_days=st.floats(min_value=100, max_value=3000),
+)
+_release_dates = st.lists(
+    st.dates(min_value=dt.date(2008, 1, 1), max_value=dt.date(2018, 1, 1)),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestAdoptionProperties:
+    @given(
+        _adoptions,
+        _release_dates,
+        st.dates(min_value=dt.date(2012, 1, 1), max_value=dt.date(2018, 4, 1)),
+    )
+    @settings(max_examples=120)
+    def test_release_weights_always_a_distribution(self, adoption, dates, on):
+        releases = [
+            ClientRelease(
+                family="F",
+                version=str(i),
+                released=date,
+                category=CATEGORY_BROWSERS,
+                cipher_suites=(cs.RSA_AES128_SHA,),
+            )
+            for i, date in enumerate(sorted(dates))
+        ]
+        family = ClientFamily(
+            name="F", category=CATEGORY_BROWSERS, releases=releases, adoption=adoption
+        )
+        weights = family.release_weights(on)
+        assert weights  # never empty
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert all(w >= 0 for w in weights.values())
+
+    @given(_adoptions, st.floats(min_value=0, max_value=6000))
+    @settings(max_examples=120)
+    def test_adoption_bounded_and_monotone_step(self, adoption, delta):
+        now = adoption.adopted_fraction(delta)
+        later = adoption.adopted_fraction(delta + 30)
+        assert 0.0 <= now <= 1.0
+        assert later >= now - 1e-12

@@ -1,0 +1,74 @@
+"""Attack-timeline tests (§2.2 dates)."""
+
+import datetime as dt
+
+from repro.simulation.timeline import (
+    ATTACK_TIMELINE,
+    BEAST,
+    BROWSER_RC4_REMOVAL,
+    HEARTBLEED,
+    LUCKY13,
+    POODLE,
+    RC4_ATTACKS,
+    SNOWDEN,
+    SWEET32,
+    events_between,
+)
+
+
+class TestDates:
+    def test_beast(self):
+        assert BEAST.date == dt.date(2011, 9, 6)
+
+    def test_lucky13(self):
+        assert LUCKY13.date == dt.date(2012, 12, 6)
+
+    def test_rc4(self):
+        assert RC4_ATTACKS.date == dt.date(2013, 3, 12)
+
+    def test_heartbleed_public_disclosure(self):
+        assert HEARTBLEED.date == dt.date(2014, 4, 7)
+
+    def test_poodle(self):
+        assert POODLE.date == dt.date(2014, 10, 14)
+
+    def test_sweet32(self):
+        assert SWEET32.date == dt.date(2016, 8, 31)
+
+    def test_snowden_is_milestone_not_attack(self):
+        assert SNOWDEN.kind == "milestone"
+
+
+class TestOrdering:
+    def test_timeline_sorted(self):
+        dates = [e.date for e in ATTACK_TIMELINE]
+        assert dates == sorted(dates)
+
+    def test_attack_sequence(self):
+        assert BEAST.date < LUCKY13.date < RC4_ATTACKS.date < SNOWDEN.date
+        assert HEARTBLEED.date < POODLE.date < SWEET32.date
+
+
+class TestQueries:
+    def test_events_between(self):
+        events = events_between(dt.date(2014, 1, 1), dt.date(2014, 12, 31))
+        names = [e.name for e in events]
+        assert "Heartbleed" in names
+        assert "POODLE" in names
+        assert "BEAST" not in names
+
+    def test_includes_browser_milestones(self):
+        events = events_between(dt.date(2015, 1, 1), dt.date(2016, 12, 31))
+        assert any(e.kind == "browser" for e in events)
+
+    def test_result_sorted(self):
+        events = events_between(dt.date(2011, 1, 1), dt.date(2018, 12, 31))
+        assert [e.date for e in events] == sorted(e.date for e in events)
+
+    def test_rc4_removal_matches_table4(self):
+        # The Figure 6 dots must agree with the release data of Table 4.
+        from repro.clients import chrome
+
+        chrome_dot = next(e for e in BROWSER_RC4_REMOVAL if "Chrome" in e.name)
+        release = chrome.family().release("43")
+        assert chrome_dot.date == release.released

@@ -1,0 +1,88 @@
+"""Tests for the command-line / runtime client families."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.clients.tools import curl_family, okhttp_family, python_family
+from repro.core.fingerprint import extract
+
+
+class TestCurl:
+    def test_old_curl_keeps_rc4_sha_only(self):
+        release = curl_family().release("7.29")
+        assert release.advertises(lambda s: s.is_rc4)
+        # The MD5 variant is filtered out by curl's floor.
+        from repro.clients import suites as cs
+
+        assert cs.RSA_RC4_128_MD5 not in release.cipher_suites
+
+    def test_modern_curl_no_rc4(self):
+        release = curl_family().release("7.52")
+        assert not release.advertises(lambda s: s.is_rc4)
+        assert release.advertises(lambda s: s.aead_algorithm == "ChaCha20-Poly1305")
+
+
+class TestPython:
+    def test_py27_never_offers_export(self):
+        release = python_family().release("2.7")
+        assert not release.advertises(lambda s: s.is_export)
+        assert release.advertises(lambda s: s.is_rc4)
+
+    def test_rc4_removed_at_2_7_9(self):
+        release = python_family().release("2.7.9")
+        assert not release.advertises(lambda s: s.is_rc4)
+        assert release.rc4_policy == "removed"
+
+    def test_3des_removed_at_3_6(self):
+        family = python_family()
+        assert family.release("2.7.9").advertises(lambda s: s.is_3des)
+        assert not family.release("3.6").advertises(lambda s: s.is_3des)
+
+
+class TestOkHttp:
+    def test_curated_modern_list(self):
+        release = okhttp_family().release("2")
+        assert release.advertises(lambda s: s.is_aead)
+        assert not release.advertises(lambda s: s.is_rc4)
+        assert len(release.cipher_suites) < 12  # curated, not DEFAULT
+
+    def test_chacha_added_in_3_9(self):
+        family = okhttp_family()
+        assert not family.release("2").advertises(
+            lambda s: s.aead_algorithm == "ChaCha20-Poly1305"
+        )
+        assert family.release("3.9").advertises(
+            lambda s: s.aead_algorithm == "ChaCha20-Poly1305"
+        )
+
+
+class TestFingerprints:
+    def test_tools_fingerprint_distinctly(self):
+        rng = random.Random(0)
+        digests = {
+            extract(family().current_release(dt.date(2017, 6, 1)).build_hello(rng=rng)).digest
+            for family in (curl_family, python_family, okhttp_family)
+        }
+        assert len(digests) == 3
+
+    def test_tools_distinct_from_raw_openssl(self):
+        from repro.clients.libraries import openssl_family
+
+        rng = random.Random(0)
+        on = dt.date(2015, 6, 1)
+        curl = extract(curl_family().current_release(on).build_hello(rng=rng)).digest
+        raw = extract(openssl_family().current_release(on).build_hello(rng=rng)).digest
+        assert curl != raw
+
+    def test_in_default_population_and_database(self):
+        from repro.clients.population import default_population
+        from repro.core.database import build_default_database
+
+        population = default_population()
+        for name in ("curl", "Python ssl", "OkHttp"):
+            assert population.family(name)
+        db = build_default_database(population)
+        labels = {label.software for label in db.labels().values()}
+        assert {"curl", "Python ssl", "OkHttp"} <= labels

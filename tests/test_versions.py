@@ -1,0 +1,113 @@
+"""Unit tests for the protocol-version registry (Table 1)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.tls import versions as V
+
+
+class TestRegistry:
+    def test_six_versions(self):
+        assert len(V.ALL_VERSIONS) == 6
+
+    @pytest.mark.parametrize(
+        "name,major,minor",
+        [
+            ("SSLv2", 0x00, 0x02),
+            ("SSLv3", 0x03, 0x00),
+            ("TLSv10", 0x03, 0x01),
+            ("TLSv11", 0x03, 0x02),
+            ("TLSv12", 0x03, 0x03),
+            ("TLSv13", 0x03, 0x04),
+        ],
+    )
+    def test_wire_bytes(self, name, major, minor):
+        version = V.version_by_name(name)
+        assert version.major == major
+        assert version.minor == minor
+        assert version.wire == (major << 8) | minor
+
+    @pytest.mark.parametrize(
+        "name,year,month",
+        [
+            ("SSLv2", 1995, 2),
+            ("SSLv3", 1996, 11),
+            ("TLSv10", 1999, 1),
+            ("TLSv11", 2006, 4),
+            ("TLSv12", 2008, 8),
+            ("TLSv13", 2018, 8),
+        ],
+    )
+    def test_release_dates_match_table1(self, name, year, month):
+        version = V.version_by_name(name)
+        assert version.release_date.year == year
+        assert version.release_date.month == month
+
+    def test_table1_rows(self):
+        rows = V.release_date_table()
+        assert rows[0] == ("SSL 2", "Feb. 1995")
+        assert rows[-1] == ("TLS 1.3", "Aug. 2018")
+        assert len(rows) == 6
+
+    def test_ordering_follows_wire(self):
+        assert V.SSL2 < V.SSL3 < V.TLS10 < V.TLS11 < V.TLS12 < V.TLS13
+
+    def test_sorted_by_release_date_too(self):
+        dates = [v.release_date for v in V.ALL_VERSIONS]
+        assert dates == sorted(dates)
+
+    def test_deprecated_flags(self):
+        assert V.SSL2.deprecated
+        assert V.SSL3.deprecated
+        assert not V.TLS12.deprecated
+
+    def test_lookup_by_wire(self):
+        assert V.version_by_wire(0x0303) is V.TLS12
+
+    def test_lookup_unknown_wire_raises(self):
+        with pytest.raises(KeyError):
+            V.version_by_wire(0x0405)
+
+    def test_lookup_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            V.version_by_name("TLSv99")
+
+    def test_comparison_with_non_version(self):
+        assert V.TLS12.__lt__(42) is NotImplemented
+
+
+class TestDraftVersions:
+    def test_draft18_wire(self):
+        assert V.tls13_draft(18) == 0x7F12
+
+    def test_draft28_wire(self):
+        assert V.tls13_draft(28) == 0x7F1C
+
+    def test_google_experiment_wire(self):
+        assert V.tls13_google_experiment(2) == 0x7E02
+
+    @pytest.mark.parametrize("value", [-1, 256])
+    def test_draft_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            V.tls13_draft(value)
+
+    @pytest.mark.parametrize("value", [-1, 300])
+    def test_experiment_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            V.tls13_google_experiment(value)
+
+    @pytest.mark.parametrize(
+        "wire,expected",
+        [
+            (0x0304, True),
+            (0x7F12, True),
+            (0x7F1C, True),
+            (0x7E02, True),
+            (0x0303, False),
+            (0x0301, False),
+            (0x0300, False),
+        ],
+    )
+    def test_is_tls13_variant(self, wire, expected):
+        assert V.is_tls13_variant(wire) is expected

@@ -1,0 +1,270 @@
+"""Wire-codec tests: unit round trips, framing, malformed-input handling,
+and hypothesis round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tls.extensions import Extension, ExtensionType
+from repro.tls.messages import ClientHello, ServerHello, decode_u16_list, encode_u16_list
+from repro.tls.wire import (
+    DecodeError,
+    decode_client_hello,
+    decode_server_hello,
+    decode_sni_body,
+    encode_client_hello,
+    encode_server_hello,
+    encode_sni_body,
+    frame_client_hello,
+    frame_server_hello,
+    materialize,
+    parse_client_hello_record,
+    parse_server_hello_record,
+    unframe_handshake,
+)
+
+_HELLO = ClientHello(
+    legacy_version=0x0303,
+    random=bytes(range(32)),
+    session_id=b"\x01\x02",
+    cipher_suites=(0xC02F, 0x002F, 0x000A),
+    compression_methods=(0,),
+    extensions=(Extension(int(ExtensionType.SERVER_NAME), encode_sni_body("example.org")),),
+    supported_groups=(29, 23),
+    ec_point_formats=(0,),
+    supported_versions=(0x0304, 0x0303),
+)
+
+
+class TestClientHelloCodec:
+    def test_roundtrip_equals_materialized(self):
+        decoded = decode_client_hello(encode_client_hello(_HELLO))
+        assert decoded == materialize(_HELLO)
+
+    def test_encode_decode_idempotent_on_bytes(self):
+        wire = encode_client_hello(_HELLO)
+        assert encode_client_hello(decode_client_hello(wire)) == wire
+
+    def test_structured_fields_survive(self):
+        decoded = decode_client_hello(encode_client_hello(_HELLO))
+        assert decoded.cipher_suites == (0xC02F, 0x002F, 0x000A)
+        assert decoded.supported_groups == (29, 23)
+        assert decoded.ec_point_formats == (0,)
+        assert decoded.supported_versions == (0x0304, 0x0303)
+
+    def test_minimal_hello(self):
+        hello = ClientHello(cipher_suites=(0x002F,))
+        decoded = decode_client_hello(encode_client_hello(hello))
+        assert decoded.cipher_suites == (0x002F,)
+        assert decoded.extensions == ()
+
+    def test_bad_random_length(self):
+        with pytest.raises(ValueError):
+            encode_client_hello(ClientHello(random=b"short"))
+
+    def test_session_id_too_long(self):
+        with pytest.raises(ValueError):
+            encode_client_hello(ClientHello(random=b"\0" * 32, session_id=b"x" * 33))
+
+    def test_materialize_preserves_extension_order(self):
+        hello = ClientHello(
+            random=b"\0" * 32,
+            cipher_suites=(0x002F,),
+            extensions=(
+                Extension(int(ExtensionType.SUPPORTED_GROUPS)),
+                Extension(int(ExtensionType.SERVER_NAME)),
+                Extension(int(ExtensionType.EC_POINT_FORMATS)),
+            ),
+            supported_groups=(23,),
+            ec_point_formats=(0,),
+        )
+        materialized = materialize(hello)
+        assert [e.ext_type for e in materialized.extensions] == [
+            int(ExtensionType.SUPPORTED_GROUPS),
+            int(ExtensionType.SERVER_NAME),
+            int(ExtensionType.EC_POINT_FORMATS),
+        ]
+        assert materialized.extensions[0].data  # body filled in place
+
+    def test_materialize_appends_missing_extension(self):
+        hello = ClientHello(
+            random=b"\0" * 32, cipher_suites=(0x002F,), supported_groups=(23,)
+        )
+        materialized = materialize(hello)
+        assert materialized.extensions[-1].ext_type == int(ExtensionType.SUPPORTED_GROUPS)
+
+
+class TestMalformedInput:
+    def test_truncated(self):
+        wire = encode_client_hello(_HELLO)
+        with pytest.raises(DecodeError):
+            decode_client_hello(wire[:-3])
+
+    def test_trailing_garbage(self):
+        wire = encode_client_hello(_HELLO)
+        with pytest.raises(DecodeError):
+            decode_client_hello(wire + b"\x00")
+
+    def test_empty(self):
+        with pytest.raises(DecodeError):
+            decode_client_hello(b"")
+
+    def test_empty_compression_methods(self):
+        hello = ClientHello(random=b"\0" * 32, cipher_suites=(0x002F,))
+        wire = bytearray(encode_client_hello(hello))
+        # compression length byte sits after version+random+sid_len+suites.
+        index = 2 + 32 + 1 + 2 + 2 * 1
+        assert wire[index] == 1
+        wire[index] = 0
+        del wire[index + 1]
+        with pytest.raises(DecodeError):
+            decode_client_hello(bytes(wire))
+
+    @pytest.mark.parametrize("cut", [1, 5, 20, 40])
+    def test_truncations_never_crash_differently(self, cut):
+        wire = encode_client_hello(_HELLO)
+        with pytest.raises(DecodeError):
+            decode_client_hello(wire[:cut])
+
+
+class TestServerHelloCodec:
+    def test_roundtrip(self):
+        hello = ServerHello(
+            version=0x0303,
+            random=b"\x5a" * 32,
+            session_id=b"abc",
+            cipher_suite=0xC02F,
+            extensions=(Extension(int(ExtensionType.RENEGOTIATION_INFO), b""),),
+        )
+        decoded = decode_server_hello(encode_server_hello(hello))
+        assert decoded.cipher_suite == 0xC02F
+        assert decoded.session_id == b"abc"
+        assert decoded.has_extension(ExtensionType.RENEGOTIATION_INFO)
+
+    def test_selected_version_encoded_as_extension(self):
+        hello = ServerHello(
+            version=0x0303, random=b"\0" * 32, cipher_suite=0x1301,
+            selected_version=0x0304, selected_group=29,
+        )
+        decoded = decode_server_hello(encode_server_hello(hello))
+        assert decoded.selected_version == 0x0304
+        assert decoded.selected_group == 29
+        assert decoded.negotiated_version == 0x0304
+
+    def test_malformed_supported_versions(self):
+        hello = ServerHello(
+            version=0x0303, random=b"\0" * 32, cipher_suite=0x1301,
+            extensions=(Extension(int(ExtensionType.SUPPORTED_VERSIONS), b"\x03"),),
+        )
+        with pytest.raises(DecodeError):
+            decode_server_hello(encode_server_hello(hello))
+
+
+class TestFraming:
+    def test_client_record_roundtrip(self):
+        record = frame_client_hello(_HELLO)
+        parsed = parse_client_hello_record(record)
+        assert parsed.cipher_suites == _HELLO.cipher_suites
+
+    def test_server_record_roundtrip(self):
+        hello = ServerHello(version=0x0303, random=b"\0" * 32, cipher_suite=0x002F)
+        parsed = parse_server_hello_record(frame_server_hello(hello))
+        assert parsed.cipher_suite == 0x002F
+
+    def test_record_header_fields(self):
+        record = frame_client_hello(_HELLO)
+        assert record[0] == 22  # handshake
+        handshake_type, record_version, _ = unframe_handshake(record)
+        assert handshake_type == 1
+        assert record_version == 0x0303
+
+    def test_wrong_record_type(self):
+        record = bytearray(frame_client_hello(_HELLO))
+        record[0] = 23
+        with pytest.raises(DecodeError):
+            unframe_handshake(bytes(record))
+
+    def test_wrong_handshake_type(self):
+        record = frame_server_hello(
+            ServerHello(version=0x0303, random=b"\0" * 32, cipher_suite=0x002F)
+        )
+        with pytest.raises(DecodeError):
+            parse_client_hello_record(record)
+
+    def test_ssl3_record_version_capped(self):
+        hello = ClientHello(legacy_version=0x0300, random=b"\0" * 32, cipher_suites=(0x0005,))
+        record = frame_client_hello(hello)
+        _, record_version, _ = unframe_handshake(record)
+        assert record_version == 0x0300
+
+
+class TestSni:
+    def test_roundtrip(self):
+        assert decode_sni_body(encode_sni_body("a.example.com")) == "a.example.com"
+
+    def test_bad_name_type(self):
+        body = bytearray(encode_sni_body("x.org"))
+        body[2] = 1
+        with pytest.raises(DecodeError):
+            decode_sni_body(bytes(body))
+
+
+class TestU16List:
+    def test_roundtrip(self):
+        values = (0, 1, 0xFFFF, 0xC02F)
+        assert decode_u16_list(encode_u16_list(values)) == values
+
+    def test_odd_length_raises(self):
+        with pytest.raises(ValueError):
+            decode_u16_list(b"\x00\x01\x02")
+
+
+# ---- hypothesis properties -------------------------------------------------
+
+_suite_lists = st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=64)
+_group_lists = st.lists(st.integers(min_value=1, max_value=0xFFFE), max_size=16)
+
+
+@st.composite
+def client_hellos(draw):
+    return ClientHello(
+        legacy_version=draw(st.sampled_from([0x0300, 0x0301, 0x0302, 0x0303])),
+        random=draw(st.binary(min_size=32, max_size=32)),
+        session_id=draw(st.binary(max_size=32)),
+        cipher_suites=tuple(draw(_suite_lists)),
+        compression_methods=(0,),
+        supported_groups=tuple(draw(_group_lists)),
+        ec_point_formats=tuple(draw(st.lists(st.integers(0, 2), max_size=3))),
+    )
+
+
+class TestWireProperties:
+    @given(client_hellos())
+    @settings(max_examples=150)
+    def test_encode_decode_encode_is_identity(self, hello):
+        wire = encode_client_hello(hello)
+        assert encode_client_hello(decode_client_hello(wire)) == wire
+
+    @given(client_hellos())
+    @settings(max_examples=150)
+    def test_decode_preserves_suites_and_groups(self, hello):
+        decoded = decode_client_hello(encode_client_hello(hello))
+        assert decoded.cipher_suites == hello.cipher_suites
+        assert decoded.supported_groups == hello.supported_groups
+
+    @given(client_hellos(), st.binary(min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_trailing_bytes_always_rejected(self, hello, garbage):
+        wire = encode_client_hello(hello) + garbage
+        with pytest.raises(DecodeError):
+            decode_client_hello(wire)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_random_bytes_never_crash(self, data):
+        # Decoding arbitrary bytes either succeeds or raises DecodeError —
+        # never any other exception (fuzz safety for a passive monitor).
+        try:
+            decode_client_hello(data)
+        except DecodeError:
+            pass
