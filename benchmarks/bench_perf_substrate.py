@@ -53,3 +53,84 @@ def test_perf_expectation_month(benchmark):
 
     records = benchmark(run_month)
     assert records > 1000
+
+
+# ---- run engine ------------------------------------------------------------
+#
+# A short three-month window keeps these affordable in CI; the serial and
+# parallel variants bracket the sharding overhead (on multi-core hardware
+# the parallel run should approach serial/cores + merge cost).
+
+_ENGINE_WINDOW = None  # (clients, servers, start, end), built lazily
+
+
+def _engine_window():
+    global _ENGINE_WINDOW
+    if _ENGINE_WINDOW is None:
+        import datetime as dt
+
+        from repro.clients.population import default_population
+        from repro.servers import ServerPopulation
+
+        _ENGINE_WINDOW = (
+            default_population(),
+            ServerPopulation(),
+            dt.date(2016, 4, 1),
+            dt.date(2016, 6, 1),
+        )
+    return _ENGINE_WINDOW
+
+
+def test_perf_engine_run_serial(benchmark):
+    from repro.engine import runner
+
+    clients, servers, start, end = _engine_window()
+
+    def run():
+        return len(runner.run_expectation(clients, servers, start, end, workers=0))
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert records > 3000
+
+
+def test_perf_engine_run_parallel(benchmark):
+    from repro.engine import runner
+
+    clients, servers, start, end = _engine_window()
+    if not runner.fork_available():
+        import pytest
+
+        pytest.skip("no fork start method on this platform")
+
+    def run():
+        return len(runner.run_expectation(clients, servers, start, end, workers=2))
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert records > 3000
+
+
+def test_perf_dataset_cache_load(benchmark, tmp_path, monkeypatch):
+    """Warm cache load of a packed window — the repeat-CLI hot path."""
+    from repro.engine import cache as dataset_cache
+    from repro.engine import runner
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clients, servers, start, end = _engine_window()
+    store = runner.run_expectation(clients, servers, start, end, workers=0)
+    key = dataset_cache.dataset_key(clients, servers, start, end)
+    dataset_cache.save_store(store, key)
+
+    warm = benchmark(lambda: dataset_cache.load_store(key))
+    assert warm is not None
+    assert len(warm) == len(store)
+
+
+def test_perf_indexed_aggregation(benchmark):
+    """Figure 1 series off the aggregate index (post-warmup: O(1)/month)."""
+    from repro.core import figures
+    from repro.engine import runner
+
+    clients, servers, start, end = _engine_window()
+    store = runner.run_expectation(clients, servers, start, end, workers=0)
+    series = benchmark(figures.fig1_negotiated_versions, store)
+    assert series["TLSv12"]

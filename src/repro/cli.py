@@ -8,6 +8,18 @@ Commands:
 * ``pulse`` — run the SSL Pulse-style RC4 survey.
 * ``fingerprint <family> <version>`` — fingerprint a known client release.
 * ``timeline`` — print the attack/event timeline.
+* ``stats`` — build/load the expectation dataset and print engine perf
+  counters (negotiations, cache hits, worker wall times, records/s).
+
+Engine flags (global, before the command): ``--workers N`` shards the
+expectation run across N processes (``REPRO_WORKERS``; 0 = serial),
+``--no-cache`` disables the persistent dataset cache, ``--rebuild``
+ignores and overwrites any cached dataset.
+
+Every command resolves the simulation through one process-wide
+:func:`repro.simulation.ecosystem.default_model`, so chaining commands
+in a single process (``main([...]); main([...])``) simulates at most
+once.
 """
 
 from __future__ import annotations
@@ -15,12 +27,19 @@ from __future__ import annotations
 import argparse
 import datetime as _dt
 import sys
+import time
 
 
-def _model():
+def _model(args: argparse.Namespace | None = None):
     from repro.simulation.ecosystem import default_model
 
-    return default_model()
+    if args is None:
+        return default_model()
+    return default_model(
+        workers=getattr(args, "workers", None),
+        use_cache=False if getattr(args, "no_cache", False) else None,
+        rebuild=getattr(args, "rebuild", False),
+    )
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -42,7 +61,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if generator is None:
         print(f"unknown figure {args.name!r}; choose from {sorted(generators)}", file=sys.stderr)
         return 2
-    store = _model().passive_store()
+    store = _model(args).passive_store()
     series = generator(store)
     months = None
     if not args.all_months:
@@ -61,7 +80,7 @@ def cmd_table(args: argparse.Namespace) -> int:
             print(f"{name:<8} {date}")
         return 0
     if number == 2:
-        model = _model()
+        model = _model(args)
         records = [
             r for r in model.passive_store().records() if r.fingerprint is not None
         ]
@@ -85,10 +104,7 @@ def cmd_table(args: argparse.Namespace) -> int:
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
-    from repro.scanner import CensysArchive
-
-    archive = CensysArchive()
-    archive.run_schedule(args.probe, interval_days=args.interval)
+    archive = _model(args).scan(args.probe, interval_days=args.interval)
     key = args.key
     for date, value in archive.series(args.probe, key):
         print(f"{date}  {value * 100:6.2f}%")
@@ -96,9 +112,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
 
 
 def cmd_pulse(args: argparse.Namespace) -> int:
-    from repro.scanner.sslpulse import SslPulse
-
-    for survey in SslPulse().series(interval_days=args.interval):
+    for survey in _model(args).pulse().series(interval_days=args.interval):
         print(
             f"{survey.date}  rc4 supported {survey.rc4_supported * 100:5.1f}%"
             f"   rc4-only {survey.rc4_only * 100:6.3f}%"
@@ -109,12 +123,11 @@ def cmd_pulse(args: argparse.Namespace) -> int:
 def cmd_fingerprint(args: argparse.Namespace) -> int:
     import random
 
-    from repro.clients.population import default_population
     from repro.core.fingerprint import extract
 
-    population = default_population()
+    model = _model(args)
     try:
-        family = population.family(args.family)
+        family = model.clients.family(args.family)
         release = family.release(args.version)
     except KeyError as exc:
         print(exc, file=sys.stderr)
@@ -124,7 +137,7 @@ def cmd_fingerprint(args: argparse.Namespace) -> int:
     print(f"client : {release.label}")
     print(f"digest : {fingerprint.digest}")
     print(f"fields : {fingerprint.canonical}")
-    label = _model().database().match(fingerprint)
+    label = model.database().match(fingerprint)
     if label:
         print(f"label  : {label.software} {label.version_range} ({label.category})")
     else:
@@ -135,7 +148,7 @@ def cmd_fingerprint(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.report import build_report
 
-    print(build_report(_model()), end="")
+    print(build_report(_model(args)), end="")
     return 0
 
 
@@ -155,10 +168,42 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.engine.perf import PERF
+
+    model = _model(args)
+    started = time.perf_counter()
+    store = model.passive_store()
+    wall = time.perf_counter() - started
+    months = store.months()
+    print("DATASET")
+    print("-------")
+    print(f"window              : {model.start} .. {model.end}")
+    print(f"months              : {len(months)}")
+    print(f"records             : {len(store)}")
+    print(f"dataset wall seconds: {wall:.3f}")
+    print()
+    print(PERF.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Coming of Age: A Longitudinal Study of TLS Deployment' (IMC 2018)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the expectation run "
+             "(default: REPRO_WORKERS or CPU count; 0 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent dataset cache (REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--rebuild", action="store_true",
+        help="ignore any cached dataset and overwrite it with a fresh run",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -197,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--browsers", action="store_true",
                       help="include browser RC4-removal milestones")
     p_tl.set_defaults(func=cmd_timeline)
+
+    p_stats = sub.add_parser(
+        "stats", help="build/load the dataset and print engine perf counters"
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -13,12 +13,22 @@ from __future__ import annotations
 import datetime as _dt
 from collections import defaultdict
 
+from repro.notary.query import (
+    ESTABLISHED,
+    Advertises,
+    NegotiatedAead,
+    NegotiatedKex,
+    NegotiatedMode,
+    NegotiatedVersion,
+)
 from repro.notary.store import NotaryStore
 from repro.tls.ciphers import KexFamily
 
 Series = dict[str, list[tuple[_dt.date, float]]]
 
-_ESTABLISHED = lambda r: r.established  # noqa: E731
+# Indexed predicate: behaves like ``lambda r: r.established`` but lets
+# the store answer the standard figure queries from its aggregate index.
+_ESTABLISHED = ESTABLISHED
 
 
 def _pct(series):
@@ -30,9 +40,7 @@ def fig1_negotiated_versions(store: NotaryStore) -> Series:
     out: Series = {}
     for name in ("SSLv2", "SSLv3", "TLSv10", "TLSv11", "TLSv12", "TLSv13"):
         out[name] = _pct(
-            store.monthly_fraction(
-                lambda r, n=name: r.negotiated_version == n, _ESTABLISHED
-            )
+            store.monthly_fraction(NegotiatedVersion(name), _ESTABLISHED)
         )
     return out
 
@@ -41,11 +49,7 @@ def fig2_negotiated_modes(store: NotaryStore) -> Series:
     """Figure 2: connections negotiating RC4, CBC, or AEAD suites."""
     out: Series = {}
     for mode in ("AEAD", "CBC", "RC4"):
-        out[mode] = _pct(
-            store.monthly_fraction(
-                lambda r, m=mode: r.negotiated_mode_class == m, _ESTABLISHED
-            )
-        )
+        out[mode] = _pct(store.monthly_fraction(NegotiatedMode(mode), _ESTABLISHED))
     return out
 
 
@@ -53,7 +57,7 @@ def fig3_advertised_modes(store: NotaryStore) -> Series:
     """Figure 3: clients advertising RC4, DES, 3DES, AEAD (CBC > 99%)."""
     out: Series = {}
     for label, tag in (("AEAD", "aead"), ("RC4", "rc4"), ("DES", "des"), ("3DES", "3des"), ("CBC", "cbc")):
-        out[label] = _pct(store.monthly_fraction(lambda r, t=tag: r.advertises(t)))
+        out[label] = _pct(store.monthly_fraction(Advertises(tag)))
     return out
 
 
@@ -96,15 +100,15 @@ def fig5_cipher_positions(store: NotaryStore) -> Series:
 
 def fig6_rc4_advertised(store: NotaryStore) -> Series:
     """Figure 6: percent of connections advertising RC4 suites."""
-    return {"RC4 advertised": _pct(store.monthly_fraction(lambda r: r.advertises("rc4")))}
+    return {"RC4 advertised": _pct(store.monthly_fraction(Advertises("rc4")))}
 
 
 def fig7_weak_advertised(store: NotaryStore) -> Series:
     """Figure 7: clients advertising Export, NULL, or Anonymous suites."""
     return {
-        "Export": _pct(store.monthly_fraction(lambda r: r.advertises("export"))),
-        "Anonymous": _pct(store.monthly_fraction(lambda r: r.advertises("anon"))),
-        "Null": _pct(store.monthly_fraction(lambda r: r.advertises("null"))),
+        "Export": _pct(store.monthly_fraction(Advertises("export"))),
+        "Anonymous": _pct(store.monthly_fraction(Advertises("anon"))),
+        "Null": _pct(store.monthly_fraction(Advertises("null"))),
     }
 
 
@@ -112,11 +116,7 @@ def fig8_key_exchange(store: NotaryStore) -> Series:
     """Figure 8: negotiated RSA vs DHE vs ECDHE key exchange."""
     out: Series = {}
     for label, family in (("RSA", KexFamily.RSA), ("DHE", KexFamily.DHE), ("ECDHE", KexFamily.ECDHE)):
-        out[label] = _pct(
-            store.monthly_fraction(
-                lambda r, f=family: r.negotiated_kex == f, _ESTABLISHED
-            )
-        )
+        out[label] = _pct(store.monthly_fraction(NegotiatedKex(family), _ESTABLISHED))
     return out
 
 
@@ -124,16 +124,12 @@ def fig9_negotiated_aead(store: NotaryStore) -> Series:
     """Figure 9: negotiated AEAD breakdown plus the AEAD total."""
     out: Series = {
         "AEAD Total": _pct(
-            store.monthly_fraction(
-                lambda r: r.negotiated_mode_class == "AEAD", _ESTABLISHED
-            )
+            store.monthly_fraction(NegotiatedMode("AEAD"), _ESTABLISHED)
         )
     }
     for label in ("AES128-GCM", "AES256-GCM", "ChaCha20-Poly1305"):
         out[label] = _pct(
-            store.monthly_fraction(
-                lambda r, a=label: r.negotiated_aead_algorithm == a, _ESTABLISHED
-            )
+            store.monthly_fraction(NegotiatedAead(label), _ESTABLISHED)
         )
     return out
 
@@ -141,10 +137,10 @@ def fig9_negotiated_aead(store: NotaryStore) -> Series:
 def fig10_advertised_aead(store: NotaryStore) -> Series:
     """Figure 10: clients advertising AES-GCM, ChaCha20-Poly1305, AES-CCM."""
     return {
-        "AES128-GCM": _pct(store.monthly_fraction(lambda r: r.advertises("aes128gcm"))),
-        "AES256-GCM": _pct(store.monthly_fraction(lambda r: r.advertises("aes256gcm"))),
-        "ChaCha20-Poly1305": _pct(store.monthly_fraction(lambda r: r.advertises("chacha20"))),
-        "AES-CCM": _pct(store.monthly_fraction(lambda r: r.advertises("aesccm"))),
+        "AES128-GCM": _pct(store.monthly_fraction(Advertises("aes128gcm"))),
+        "AES256-GCM": _pct(store.monthly_fraction(Advertises("aes256gcm"))),
+        "ChaCha20-Poly1305": _pct(store.monthly_fraction(Advertises("chacha20"))),
+        "AES-CCM": _pct(store.monthly_fraction(Advertises("aesccm"))),
     }
 
 

@@ -1,0 +1,30 @@
+"""The run engine: parallel sharding, columnar aggregation, caching.
+
+The expectation-mode dataset is the hot path of every figure and table:
+it is recomputed constantly as calibration inputs change and new months
+land.  This package makes that path fast three ways at once:
+
+* :mod:`repro.engine.runner` — months are independent in expectation
+  mode, so the full 2012–2018 run shards across ``multiprocessing``
+  workers (``REPRO_WORKERS`` / ``--workers``; ``0`` forces the serial
+  fallback).  Workers ship compact serialized month partitions back to
+  the parent, which merges them into one :class:`~repro.notary.store.NotaryStore`.
+* :mod:`repro.notary.store` + :mod:`repro.notary.query` — a per-month
+  aggregate index answers the standard figure predicates from O(1)
+  weight counters instead of re-scanning every record.
+* :mod:`repro.engine.cache` — the finished store is persisted under
+  ``~/.cache/repro`` (``REPRO_CACHE_DIR``) keyed by a content hash of
+  the populations and date range, so repeat CLI invocations load
+  instead of re-simulating.
+
+:mod:`repro.engine.perf` instruments all of it; ``python -m repro
+stats`` renders the counters.
+
+This module deliberately imports only :mod:`repro.engine.perf` so that
+``repro.notary`` can increment counters without an import cycle; pull
+the heavier pieces in explicitly (``from repro.engine import runner``).
+"""
+
+from repro.engine.perf import PERF, PerfCounters
+
+__all__ = ["PERF", "PerfCounters"]

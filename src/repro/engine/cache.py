@@ -1,0 +1,121 @@
+"""Persistent dataset cache for finished expectation stores.
+
+A full expectation run is a pure function of (client population, server
+population, date range), so the finished store is cached on disk keyed
+by a content hash of exactly those inputs.  Repeat CLI invocations —
+the common case when iterating on figures — load the packed store in
+milliseconds-to-tens-of-milliseconds instead of re-simulating 76
+months.
+
+Layout: one ``expectation-<key>.bin`` file per dataset under the cache
+directory (``REPRO_CACHE_DIR``, default ``~/.cache/repro``), holding a
+zlib-compressed pickle of a :mod:`repro.engine.partition` payload plus
+metadata.  Invalidation is entirely key-based: any change to the
+population description, the date range, or the on-disk format version
+produces a different key / rejects the blob, and a stale file is simply
+never read again.  Corrupt or truncated files degrade to a cache miss.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+import os
+import pickle
+import time
+import zlib
+from pathlib import Path
+
+from repro.engine.partition import PARTITION_FORMAT, PackedDataset, pack_records
+from repro.engine.perf import PERF
+
+#: Bump to invalidate every cached dataset (e.g. when negotiation logic
+#: changes in a way the population description cannot see).
+CACHE_FORMAT = 2
+
+
+def cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def dataset_key(clients, servers, start: _dt.date, end: _dt.date) -> str:
+    """Content hash of everything the expectation dataset depends on.
+
+    Population objects are plain dataclass trees of primitives, so their
+    ``repr`` is a deterministic, address-free description; the server
+    side additionally hashes the archetype table and share curves, which
+    live as module constants outside the ``ServerPopulation`` instance.
+    """
+    from repro.servers import archetypes as arch
+    from repro.servers.population import _HOST_SHARES, _TRAFFIC_SHARES
+
+    digest = hashlib.sha256()
+    for part in (
+        f"cache-format:{CACHE_FORMAT}",
+        f"partition-format:{PARTITION_FORMAT}",
+        start.isoformat(),
+        end.isoformat(),
+        repr(clients),
+        repr(servers),
+        repr(arch.ALL_ARCHETYPES),
+        repr(sorted(_TRAFFIC_SHARES.items())),
+        repr(sorted(_HOST_SHARES.items())),
+    ):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def store_path(key: str) -> Path:
+    return cache_dir() / f"expectation-{key[:40]}.bin"
+
+
+def save_store(store, key: str, meta: dict | None = None) -> Path:
+    """Atomically persist a finished store under its dataset key."""
+    path = store_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": CACHE_FORMAT,
+        "key": key,
+        "meta": dict(meta or {}),
+        "records": pack_records(store.records()),
+        # Aggregate indexes ride along so a warm load answers the
+        # standard figure queries without touching a single record.
+        "indexes": store.index_payloads(),
+    }
+    blob = zlib.compress(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+    return path
+
+
+def load_store(key: str):
+    """Load a cached store, or None on miss/corruption/format skew."""
+    from repro.notary.store import NotaryStore
+
+    path = store_path(key)
+    started = time.perf_counter()
+    try:
+        payload = pickle.loads(zlib.decompress(path.read_bytes()))
+        if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
+            raise ValueError("dataset cache format/key mismatch")
+        dataset = PackedDataset(payload["records"])
+        indexes = payload.get("indexes", {})
+    except FileNotFoundError:
+        PERF.dataset_cache_misses += 1
+        return None
+    except Exception:
+        # A corrupt blob is a miss, never an error: the engine rebuilds
+        # and overwrites it.
+        PERF.dataset_cache_misses += 1
+        return None
+    store = NotaryStore()
+    store.attach_packed(dataset)
+    store.install_index_payloads(indexes)
+    PERF.dataset_cache_hits += 1
+    PERF.load_seconds = time.perf_counter() - started
+    return store

@@ -1,0 +1,237 @@
+"""Columnar (de)serialization of month partitions of connection records.
+
+Expectation mode emits the same (client, server, response) combination
+for many months with only the month and weight changing, so a partition
+dictionary-encodes records: the distinct "shape" — every field except
+``month``/``weight``/``day`` — is stored once, and each month becomes
+three columns: a weight array, a shape-index array, and (Monte-Carlo
+only) a day column.  A packed full-study store is a few MB instead of
+hundreds; the same format serves the worker → parent hand-off of the
+parallel runner and the persistent dataset cache.
+
+:class:`PackedDataset` wraps a payload for lazy consumption: the store
+attaches it and only materializes a month's record objects when a scan
+actually needs them — aggregate queries are answered from the columns
+(or from precomputed index counters embedded in the payload) without
+creating a single record.
+
+Round-trips are exact: materialized records compare equal to the
+originals field by field, in the original per-month order, and weights
+are carried as the same Python floats — so packed aggregation is
+float-identical to a fresh serial run, not merely close.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from array import array
+from collections.abc import Iterable
+
+from repro.notary.events import ConnectionRecord, FingerprintFields
+
+#: Bump when the layout below changes; packed blobs with another
+#: version are rejected (the dataset cache treats that as a miss).
+PARTITION_FORMAT = 2
+
+#: Record fields carried in the shape table, in layout order.  Everything
+#: except the per-row ``month``/``weight``/``day``.
+_SHAPE_FIELDS = (
+    "client_family",
+    "client_version",
+    "client_category",
+    "client_in_database",
+    "fingerprint",
+    "advertised",
+    "positions",
+    "suite_count",
+    "offered_tls13",
+    "offered_tls13_versions",
+    "established",
+    "negotiated_version",
+    "negotiated_wire",
+    "negotiated_suite",
+    "negotiated_curve",
+    "heartbeat_negotiated",
+    "server_chose_unoffered",
+    "client_extensions",
+    "server_extensions",
+    "server_profile",
+    "server_port",
+)
+
+
+def _shape_of(record: ConnectionRecord) -> tuple:
+    """The record's hashable shape tuple (dict/set fields canonicalized)."""
+    fingerprint = record.fingerprint
+    return (
+        record.client_family,
+        record.client_version,
+        record.client_category,
+        record.client_in_database,
+        None
+        if fingerprint is None
+        else (
+            fingerprint.cipher_suites,
+            fingerprint.extensions,
+            fingerprint.curves,
+            fingerprint.ec_point_formats,
+        ),
+        tuple(sorted(record.advertised)),
+        tuple(sorted(record.positions.items())),
+        record.suite_count,
+        record.offered_tls13,
+        record.offered_tls13_versions,
+        record.established,
+        record.negotiated_version,
+        record.negotiated_wire,
+        record.negotiated_suite,
+        record.negotiated_curve,
+        record.heartbeat_negotiated,
+        record.server_chose_unoffered,
+        record.client_extensions,
+        record.server_extensions,
+        record.server_profile,
+        record.server_port,
+    )
+
+
+def _shape_fields(shape: tuple) -> dict:
+    """Expand a shape tuple back into record field values."""
+    fields = dict(zip(_SHAPE_FIELDS, shape))
+    fp = fields["fingerprint"]
+    if fp is not None:
+        fields["fingerprint"] = FingerprintFields(
+            cipher_suites=tuple(fp[0]),
+            extensions=tuple(fp[1]),
+            curves=tuple(fp[2]),
+            ec_point_formats=tuple(fp[3]),
+        )
+    fields["advertised"] = frozenset(fields["advertised"])
+    fields["positions"] = dict(fields["positions"])
+    return fields
+
+
+def pack_records(records: Iterable[ConnectionRecord]) -> dict:
+    """Dictionary-encode records into a compact columnar payload."""
+    shape_index: dict[tuple, int] = {}
+    shapes: list[tuple] = []
+    months: dict[int, dict] = {}
+    for record in records:
+        shape = _shape_of(record)
+        idx = shape_index.get(shape)
+        if idx is None:
+            idx = shape_index[shape] = len(shapes)
+            shapes.append(shape)
+        month_ord = record.month.toordinal()
+        columns = months.get(month_ord)
+        if columns is None:
+            columns = months[month_ord] = {
+                "weights": array("d"),
+                "shape_idx": array("L"),
+                "days": None,
+            }
+        columns["weights"].append(record.weight)
+        columns["shape_idx"].append(idx)
+        if record.day is not None and columns["days"] is None:
+            # Upgrade lazily: expectation months never carry days.
+            columns["days"] = [None] * (len(columns["weights"]) - 1)
+        if columns["days"] is not None:
+            columns["days"].append(
+                record.day.toordinal() if record.day is not None else None
+            )
+    return {"format": PARTITION_FORMAT, "shapes": shapes, "months": months}
+
+
+class PackedDataset:
+    """Lazy view over a packed payload, one month at a time."""
+
+    def __init__(self, payload: dict) -> None:
+        if payload.get("format") != PARTITION_FORMAT:
+            raise ValueError(
+                f"unsupported partition format: {payload.get('format')!r}"
+            )
+        self._months = payload["months"]
+        self._shapes = payload["shapes"]
+        self._templates: list[dict] | None = None
+        self._template_records: list[ConnectionRecord] | None = None
+
+    # ---- enumeration --------------------------------------------------------
+
+    def months(self) -> list[_dt.date]:
+        return sorted(_dt.date.fromordinal(o) for o in self._months)
+
+    def count(self, month: _dt.date) -> int:
+        columns = self._months.get(month.toordinal())
+        return len(columns["weights"]) if columns else 0
+
+    def columns(self, month: _dt.date) -> tuple[array, array] | None:
+        """The (weights, shape_idx) columns for one month, or None."""
+        columns = self._months.get(month.toordinal())
+        if columns is None:
+            return None
+        return columns["weights"], columns["shape_idx"]
+
+    # ---- shape templates ----------------------------------------------------
+
+    def _field_templates(self) -> list[dict]:
+        if self._templates is None:
+            self._templates = [_shape_fields(shape) for shape in self._shapes]
+        return self._templates
+
+    def template_records(self) -> list[ConnectionRecord]:
+        """One zero-weight record per shape (for index-key derivation)."""
+        if self._template_records is None:
+            epoch = _dt.date(2000, 1, 1)
+            records = []
+            for fields in self._field_templates():
+                record = object.__new__(ConnectionRecord)
+                record.__dict__.update(fields)
+                record.__dict__["month"] = epoch
+                record.__dict__["weight"] = 0.0
+                record.__dict__["day"] = None
+                records.append(record)
+            self._template_records = records
+        return self._template_records
+
+    # ---- materialization ----------------------------------------------------
+
+    def materialize(self, month: _dt.date) -> list[ConnectionRecord]:
+        """Rebuild one month's exact record list, original order."""
+        columns = self._months.get(month.toordinal())
+        if columns is None:
+            return []
+        templates = self._field_templates()
+        weights = columns["weights"]
+        idxs = columns["shape_idx"]
+        days = columns["days"]
+        day_dates: dict[int, _dt.date] = {}
+        from_ordinal = _dt.date.fromordinal
+        records: list[ConnectionRecord] = []
+        append = records.append
+        new = object.__new__
+        for i, idx in enumerate(idxs):
+            record = new(ConnectionRecord)
+            # In-place dict fill sidesteps the frozen-dataclass __setattr__.
+            fields = record.__dict__
+            fields.update(templates[idx])
+            fields["month"] = month
+            fields["weight"] = weights[i]
+            day_ord = days[i] if days is not None else None
+            if day_ord is None:
+                fields["day"] = None
+            else:
+                day = day_dates.get(day_ord)
+                if day is None:
+                    day = day_dates[day_ord] = from_ordinal(day_ord)
+                fields["day"] = day
+            append(record)
+        return records
+
+
+def unpack_records(payload: dict) -> list[ConnectionRecord]:
+    """Rebuild every record of a payload, grouped by ascending month."""
+    dataset = PackedDataset(payload)
+    records: list[ConnectionRecord] = []
+    for month in dataset.months():
+        records.extend(dataset.materialize(month))
+    return records

@@ -1,0 +1,103 @@
+"""Lightweight perf counters for the run engine.
+
+One process-global :data:`PERF` instance collects negotiation and cache
+statistics as the substrate runs.  Worker processes reset their copy
+after the fork, run their month chunk, and ship a snapshot back with
+the month partition; the parent folds those into its own counters so a
+parallel run reports fleet-wide totals.
+
+No imports from the rest of :mod:`repro` — the generator and monitor
+increment these counters from the hot loop, and this module sitting at
+the bottom of the import graph keeps that cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfCounters:
+    """Counters for one process (or one merged fleet)."""
+
+    #: Real ``ServerProfile.respond`` negotiations performed.
+    negotiations: int = 0
+    #: Handshakes answered from the generator's result cache.
+    handshake_cache_hits: int = 0
+    #: Client Hellos actually built.
+    hello_builds: int = 0
+    #: Hellos answered from the generator's hello cache.
+    hello_cache_hits: int = 0
+    #: Connection records observed into stores.
+    records: int = 0
+    #: Persistent dataset-cache hits / misses (load attempts).
+    dataset_cache_hits: int = 0
+    dataset_cache_misses: int = 0
+    #: Wall seconds of the last full expectation run (serial or merged).
+    run_seconds: float = 0.0
+    #: Wall seconds of the last persistent-cache load.
+    load_seconds: float = 0.0
+    #: Workers used by the last engine run (0 = serial fallback).
+    workers: int = 0
+    #: Per-worker wall seconds of the last parallel run.
+    worker_wall_times: list[float] = field(default_factory=list)
+
+    # ---- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        fresh = PerfCounters()
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(fresh, name))
+
+    def snapshot(self) -> dict:
+        """A picklable copy of the counters (workers ship these back)."""
+        return {
+            name: (list(v) if isinstance(v := getattr(self, name), list) else v)
+            for name in self.__dataclass_fields__
+        }
+
+    def merge_worker(self, snap: dict, wall: float) -> None:
+        """Fold one worker's snapshot into the fleet totals."""
+        for name in (
+            "negotiations",
+            "handshake_cache_hits",
+            "hello_builds",
+            "hello_cache_hits",
+            "records",
+        ):
+            setattr(self, name, getattr(self, name) + int(snap.get(name, 0)))
+        self.worker_wall_times.append(wall)
+
+    # ---- derived ------------------------------------------------------------
+
+    def records_per_second(self) -> float | None:
+        if self.run_seconds <= 0 or self.records <= 0:
+            return None
+        return self.records / self.run_seconds
+
+    def render(self) -> str:
+        """Human-readable block for ``python -m repro stats``."""
+        lines = ["ENGINE PERF COUNTERS", "--------------------"]
+        lines.append(f"workers             : {self.workers}")
+        lines.append(f"negotiations        : {self.negotiations}")
+        lines.append(f"handshake cache hits: {self.handshake_cache_hits}")
+        lines.append(f"hello builds        : {self.hello_builds}")
+        lines.append(f"hello cache hits    : {self.hello_cache_hits}")
+        lines.append(f"records observed    : {self.records}")
+        lines.append(f"dataset cache hits  : {self.dataset_cache_hits}")
+        lines.append(f"dataset cache misses: {self.dataset_cache_misses}")
+        if self.load_seconds > 0:
+            lines.append(f"cache load seconds  : {self.load_seconds:.3f}")
+        if self.run_seconds > 0:
+            lines.append(f"run seconds         : {self.run_seconds:.3f}")
+        rps = self.records_per_second()
+        if rps is not None:
+            lines.append(f"records/s           : {rps:,.0f}")
+        if self.worker_wall_times:
+            walls = ", ".join(f"{w:.2f}s" for w in self.worker_wall_times)
+            lines.append(f"worker wall times   : {walls}")
+        return "\n".join(lines)
+
+
+#: The process-global counter set.
+PERF = PerfCounters()

@@ -1,0 +1,127 @@
+"""Month-sharded expectation runs across multiprocessing workers.
+
+Months are independent in expectation mode — every record of month *m*
+is a deterministic function of the populations and *m* alone (hello
+seeds are stable across processes, see
+:func:`repro.notary.generator._release_seed`) — so the full study
+shards by month.  Each worker runs its chunk with its own hello/result
+caches, packs the resulting records into a compact partition
+(:mod:`repro.engine.partition`), and the parent merges partitions into
+one :class:`~repro.notary.store.NotaryStore` month by month.  Because a
+month's records always come from exactly one worker, in generation
+order, the merged store is *identical* to a serial run — including
+float summation order in every aggregate.
+
+Worker count resolution: explicit argument, else ``REPRO_WORKERS``,
+else ``os.cpu_count()``.  ``0`` or ``1`` (or platforms without the
+``fork`` start method) take the serial fallback.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import multiprocessing
+import os
+import time
+
+from repro.engine.partition import PackedDataset, pack_records
+from repro.engine.perf import PERF
+from repro.notary.generator import TrafficGenerator
+from repro.notary.monitor import PassiveMonitor
+from repro.notary.store import NotaryStore, month_range
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(explicit: int | None = None) -> int:
+    """Worker count: explicit > ``REPRO_WORKERS`` > ``os.cpu_count()``."""
+    if explicit is not None:
+        return max(0, int(explicit))
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            # A malformed env var must not kill a run; fall through to
+            # the CPU-count default (same spirit as REPRO_CACHE parsing).
+            pass
+    return os.cpu_count() or 1
+
+
+# Worker-side state, installed by the pool initializer after the fork
+# (populations are inherited through fork memory, never pickled).
+_WORKER: dict = {}
+
+
+def _init_worker(clients, servers) -> None:
+    _WORKER["clients"] = clients
+    _WORKER["servers"] = servers
+    PERF.reset()
+
+
+def _run_chunk(months: list[_dt.date]) -> dict:
+    """Run one month chunk; return a packed partition + perf snapshot."""
+    started = time.perf_counter()
+    PERF.reset()
+    monitor = PassiveMonitor()
+    generator = TrafficGenerator(_WORKER["clients"], _WORKER["servers"], monitor)
+    for month in months:
+        generator.run_expectation_month(month)
+    return {
+        "packed": pack_records(monitor.store.records()),
+        "perf": PERF.snapshot(),
+        "wall": time.perf_counter() - started,
+    }
+
+
+def _merge_partition(store: NotaryStore, packed: dict) -> None:
+    """Adopt one partition's months (lazily — no record materialization)."""
+    store.attach_packed(PackedDataset(packed))
+
+
+def run_expectation(
+    clients,
+    servers,
+    start: _dt.date,
+    end: _dt.date,
+    workers: int | None = None,
+) -> NotaryStore:
+    """Full expectation run, sharded across workers; returns the store."""
+    months = month_range(start, end)
+    count = resolve_workers(workers)
+    if count <= 1 or len(months) < 2 or not fork_available():
+        return _run_serial(clients, servers, start, end)
+
+    count = min(count, len(months))
+    started = time.perf_counter()
+    PERF.workers = count
+    PERF.worker_wall_times = []
+    # Strided chunks balance the load: record counts grow over the study
+    # (new releases accumulate), so contiguous spans would skew late
+    # chunks heavy.
+    chunks = [months[i::count] for i in range(count)]
+    context = multiprocessing.get_context("fork")
+    with context.Pool(
+        processes=count, initializer=_init_worker, initargs=(clients, servers)
+    ) as pool:
+        partitions = pool.map(_run_chunk, chunks)
+    store = NotaryStore()
+    for part in partitions:
+        PERF.merge_worker(part["perf"], part["wall"])
+        _merge_partition(store, part["packed"])
+    PERF.run_seconds = time.perf_counter() - started
+    return store
+
+
+def _run_serial(clients, servers, start: _dt.date, end: _dt.date) -> NotaryStore:
+    """The zero-worker fallback: one generator, shared caches."""
+    started = time.perf_counter()
+    PERF.workers = 0
+    PERF.worker_wall_times = []
+    monitor = PassiveMonitor()
+    generator = TrafficGenerator(clients, servers, monitor)
+    generator.run_expectation(start, end)
+    PERF.run_seconds = time.perf_counter() - started
+    return monitor.store

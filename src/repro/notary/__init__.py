@@ -3,6 +3,16 @@
 from repro.notary.events import ConnectionRecord, FingerprintFields
 from repro.notary.generator import TrafficGenerator
 from repro.notary.monitor import FINGERPRINT_FIELDS_SINCE, PassiveMonitor
+from repro.notary.query import (
+    ESTABLISHED,
+    Advertises,
+    Established,
+    IndexedPredicate,
+    NegotiatedAead,
+    NegotiatedKex,
+    NegotiatedMode,
+    NegotiatedVersion,
+)
 from repro.notary.store import NotaryStore, month_of, month_range
 
 __all__ = [
@@ -14,4 +24,12 @@ __all__ = [
     "NotaryStore",
     "month_of",
     "month_range",
+    "ESTABLISHED",
+    "Advertises",
+    "Established",
+    "IndexedPredicate",
+    "NegotiatedAead",
+    "NegotiatedKex",
+    "NegotiatedMode",
+    "NegotiatedVersion",
 ]

@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import datetime as _dt
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.clients.population import ClientPopulation
 from repro.clients.profile import ClientRelease
+from repro.engine.perf import PERF
 from repro.notary.monitor import PassiveMonitor
 from repro.servers.config import ServerProfile
 from repro.servers.population import ServerPopulation
@@ -47,7 +49,15 @@ DEFAULT_AFFINITY: dict[str, str] = {
 
 
 def _release_seed(release: ClientRelease, tls13: bool) -> int:
-    return hash((release.family, release.version, tls13)) & 0x7FFFFFFF
+    """Stable hello seed for a release.
+
+    Must not depend on the interpreter's string-hash randomization
+    (``PYTHONHASHSEED``): run-to-run reproducibility and the parallel
+    runner's serial-equivalence both require every process to derive
+    the same seed for the same release.
+    """
+    token = f"{release.family}\x00{release.version}\x00{int(tls13)}"
+    return zlib.crc32(token.encode("utf-8")) & 0x7FFFFFFF
 
 
 @dataclass
@@ -72,6 +82,9 @@ class TrafficGenerator:
             rng = random.Random(_release_seed(release, tls13))
             hello = release.build_hello(rng=rng, include_tls13=tls13)
             self._hello_cache[key] = hello
+            PERF.hello_builds += 1
+        else:
+            PERF.hello_cache_hits += 1
         return hello
 
     #: Clients released after this date append TLS_FALLBACK_SCSV on
@@ -85,6 +98,7 @@ class TrafficGenerator:
         key = (release.family, release.version, tls13, server.name)
         result = self._result_cache.get(key)
         if result is None:
+            PERF.negotiations += 1
             result = server.respond(hello)
             if (
                 not result.ok
@@ -111,6 +125,8 @@ class TrafficGenerator:
                     client_aborts=False,
                 )
             self._result_cache[key] = result
+        else:
+            PERF.handshake_cache_hits += 1
         return hello, result
 
     def _tls13_splits(
@@ -204,6 +220,7 @@ class TrafficGenerator:
                 server_port=5666,
             )
         )
+        PERF.records += 1
 
     def run_expectation(self, start: _dt.date, end: _dt.date) -> None:
         """Expectation mode over every month from ``start`` to ``end``."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import datetime as _dt
 
+from repro.engine.perf import PERF
 from repro.notary.events import ConnectionRecord, make_record
 from repro.notary.store import NotaryStore, month_of
 from repro.tls.handshake import HandshakeResult
@@ -72,6 +73,7 @@ class PassiveMonitor:
             record_fingerprint=day >= self.fingerprint_fields_since,
         )
         self.store.add(record)
+        PERF.records += 1
         return record
 
     def observe_wire(

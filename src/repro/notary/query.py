@@ -1,0 +1,114 @@
+"""Indexable predicates over connection records.
+
+The figure series all ask the same handful of questions — "negotiated
+version == X", "advertises tag Y" — millions of times across months.
+These predicate objects behave exactly like the lambdas they replace
+(they are callables taking a record), but additionally expose an
+``index_key`` that :class:`~repro.notary.store.NotaryStore` recognizes:
+aggregate queries with an indexable predicate are answered from the
+store's per-month weight counters in O(1) instead of scanning every
+record.  Any plain callable still works and takes the scan path, so
+nothing in the analysis layer is forced through the index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.notary.events import ConnectionRecord
+from repro.tls.ciphers import KexFamily
+
+
+@dataclass(frozen=True)
+class IndexedPredicate:
+    """Base for predicates the store can answer from its index.
+
+    ``index_key`` is a ``(dimension, value)`` pair; subclasses define
+    the dimension and the record-level fallback behaviour.
+    """
+
+    value: object
+
+    dimension = ""
+
+    @property
+    def index_key(self) -> tuple[str, object]:
+        return (self.dimension, self.value)
+
+    def __call__(self, record: ConnectionRecord) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NegotiatedVersion(IndexedPredicate):
+    """Negotiated protocol version by name (``"TLSv12"``...)."""
+
+    value: str
+    dimension = "version"
+
+    def __call__(self, record: ConnectionRecord) -> bool:
+        return record.negotiated_version == self.value
+
+
+@dataclass(frozen=True)
+class NegotiatedMode(IndexedPredicate):
+    """Negotiated suite mode class (``"AEAD"`` / ``"CBC"`` / ``"RC4"``)."""
+
+    value: str
+    dimension = "mode"
+
+    def __call__(self, record: ConnectionRecord) -> bool:
+        return record.negotiated_mode_class == self.value
+
+
+@dataclass(frozen=True)
+class NegotiatedKex(IndexedPredicate):
+    """Negotiated key-exchange family."""
+
+    value: KexFamily
+    dimension = "kex"
+
+    def __call__(self, record: ConnectionRecord) -> bool:
+        return record.negotiated_kex == self.value
+
+
+@dataclass(frozen=True)
+class NegotiatedAead(IndexedPredicate):
+    """Negotiated AEAD algorithm (``"AES128-GCM"``...)."""
+
+    value: str
+    dimension = "aead"
+
+    def __call__(self, record: ConnectionRecord) -> bool:
+        return record.negotiated_aead_algorithm == self.value
+
+
+@dataclass(frozen=True)
+class Advertises(IndexedPredicate):
+    """Client advertises a suite-class tag (``"rc4"``, ``"aead"``...)."""
+
+    value: str
+    dimension = "advert"
+
+    def __call__(self, record: ConnectionRecord) -> bool:
+        return self.value in record.advertised
+
+
+@dataclass(frozen=True)
+class Established(IndexedPredicate):
+    """The connection produced a Server Hello.
+
+    Doubles as the standard ``within=`` denominator restriction of the
+    "negotiated" figures; the store keeps an established-only counter
+    set so indexable predicates stay O(1) under this restriction.
+    """
+
+    value: bool = True
+    dimension = "established"
+
+    def __call__(self, record: ConnectionRecord) -> bool:
+        return record.established == self.value
+
+
+#: The shared denominator marker used by the figures.
+ESTABLISHED = Established()

@@ -3,6 +3,31 @@
 The analysis layer reads everything through this store.  All percentage
 series are weight-based: monthly fractions of connection weight matching
 a predicate, mirroring the paper's "percent monthly connections" axes.
+
+Aggregation runs two paths:
+
+* **Indexed** — each month lazily builds an aggregate index: weight
+  sums keyed by (dimension, value) for the standard figure dimensions
+  (negotiated version/mode/kex/AEAD, advertised suite-class tags,
+  establishment), over all records and over established records.
+  Queries whose predicate is a :class:`repro.notary.query.IndexedPredicate`
+  are answered from these counters in O(1).  Counter accumulation
+  preserves record order, so indexed results are float-identical to a
+  scan — not merely approximately equal (tests assert exact equality).
+* **Scan** — any plain callable predicate falls back to scanning the
+  month's records, exactly as before.  ``use_index = False`` forces
+  this path everywhere (used by equivalence tests).
+
+The store can also hold months in packed columnar form
+(:class:`repro.engine.partition.PackedDataset` — the parallel runner's
+partitions and the persistent dataset cache attach these).  Packed
+months answer indexed aggregates straight from their weight columns
+(or from counters persisted alongside the blob) and only materialize
+record objects when a scan or ``records()`` call actually needs them.
+
+Mutation (``add`` / ``add_batch`` / ``extend``) materializes the
+touched month first and invalidates its index and the all-months
+record cache, so lazy months are indistinguishable from eager ones.
 """
 
 from __future__ import annotations
@@ -12,6 +37,7 @@ from collections import defaultdict
 from collections.abc import Callable, Iterable
 
 from repro.notary.events import ConnectionRecord
+from repro.notary.query import Established, IndexedPredicate
 
 
 def month_of(day: _dt.date) -> _dt.date:
@@ -30,41 +56,252 @@ def month_range(start: _dt.date, end: _dt.date) -> list[_dt.date]:
     return months
 
 
+def _record_keys(record: ConnectionRecord) -> list[tuple[str, object]]:
+    """The (dimension, value) index keys one record contributes to."""
+    keys = [
+        ("version", record.negotiated_version),
+        ("mode", record.negotiated_mode_class),
+        ("kex", record.negotiated_kex),
+        ("aead", record.negotiated_aead_algorithm),
+        ("established", record.established),
+    ]
+    keys.extend(("advert", tag) for tag in record.advertised)
+    return keys
+
+
+class _MonthIndex:
+    """Precomputed weight sums for one month's records."""
+
+    __slots__ = ("total", "established", "weights", "established_weights")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.established = 0.0
+        self.weights: dict[tuple[str, object], float] = {}
+        self.established_weights: dict[tuple[str, object], float] = {}
+
+    @classmethod
+    def from_records(cls, records: list[ConnectionRecord]) -> "_MonthIndex":
+        index = cls()
+        weights: dict = defaultdict(float)
+        established_weights: dict = defaultdict(float)
+        for record in records:
+            weight = record.weight
+            index.total += weight
+            keys = _record_keys(record)
+            for key in keys:
+                weights[key] += weight
+            if record.established:
+                index.established += weight
+                for key in keys:
+                    established_weights[key] += weight
+        index.weights = dict(weights)
+        index.established_weights = dict(established_weights)
+        return index
+
+    @classmethod
+    def from_columns(cls, dataset, month: _dt.date) -> "_MonthIndex":
+        """Build from a packed month without materializing records.
+
+        Per-shape key lists are derived once from the dataset's template
+        records and cached on the dataset; accumulation then walks the
+        weight column in row order, so the result is float-identical to
+        :meth:`from_records` over the materialized month.
+        """
+        shape_keys = getattr(dataset, "_index_shape_keys", None)
+        if shape_keys is None:
+            shape_keys = [
+                (_record_keys(template), template.established)
+                for template in dataset.template_records()
+            ]
+            dataset._index_shape_keys = shape_keys
+        index = cls()
+        weights: dict = defaultdict(float)
+        established_weights: dict = defaultdict(float)
+        columns = dataset.columns(month)
+        if columns is not None:
+            weight_column, idx_column = columns
+            for i, idx in enumerate(idx_column):
+                weight = weight_column[i]
+                index.total += weight
+                keys, established = shape_keys[idx]
+                for key in keys:
+                    weights[key] += weight
+                if established:
+                    index.established += weight
+                    for key in keys:
+                        established_weights[key] += weight
+        index.weights = dict(weights)
+        index.established_weights = dict(established_weights)
+        return index
+
+    # ---- cache (de)serialization -------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "total": self.total,
+            "established": self.established,
+            "weights": list(self.weights.items()),
+            "established_weights": list(self.established_weights.items()),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "_MonthIndex":
+        index = cls()
+        index.total = payload["total"]
+        index.established = payload["established"]
+        index.weights = dict(payload["weights"])
+        index.established_weights = dict(payload["established_weights"])
+        return index
+
+
+def _index_key(predicate) -> tuple[str, object] | None:
+    if isinstance(predicate, IndexedPredicate):
+        return predicate.index_key
+    return None
+
+
+def _is_established_marker(within) -> bool:
+    return isinstance(within, Established) and within.value is True
+
+
 class NotaryStore:
     """Holds connection records grouped by month."""
 
     def __init__(self) -> None:
         self._by_month: dict[_dt.date, list[ConnectionRecord]] = defaultdict(list)
+        #: Months still held in packed columnar form: month -> dataset.
+        self._packed: dict[_dt.date, object] = {}
+        self._indexes: dict[_dt.date, _MonthIndex] = {}
+        self._all_records: list[ConnectionRecord] | None = None
+        #: Escape hatch: force every aggregate through the scan path.
+        self.use_index = True
+
+    # ---- mutation ----------------------------------------------------------
 
     def add(self, record: ConnectionRecord) -> None:
+        self._materialize(record.month)
         self._by_month[record.month].append(record)
+        self._invalidate(record.month)
+
+    def add_batch(self, month: _dt.date, records: list[ConnectionRecord]) -> None:
+        """Append a whole month partition in one call (engine merge path)."""
+        month = month_of(month)
+        self._materialize(month)
+        self._by_month[month].extend(records)
+        self._invalidate(month)
 
     def extend(self, records: Iterable[ConnectionRecord]) -> None:
+        grouped: dict[_dt.date, list[ConnectionRecord]] = defaultdict(list)
         for record in records:
-            self.add(record)
+            grouped[record.month].append(record)
+        for month, batch in grouped.items():
+            self.add_batch(month, batch)
+
+    def attach_packed(self, dataset) -> None:
+        """Adopt a :class:`~repro.engine.partition.PackedDataset` lazily.
+
+        Months the store does not hold yet stay packed until a scan needs
+        them; months that collide with existing data are materialized
+        and appended immediately.
+        """
+        for month in dataset.months():
+            if month in self._by_month or month in self._packed:
+                self.add_batch(month, dataset.materialize(month))
+            else:
+                self._packed[month] = dataset
+        self._all_records = None
+
+    def install_index_payloads(self, payloads: dict) -> None:
+        """Adopt persisted aggregate indexes for still-packed months."""
+        for month_ord, data in payloads.items():
+            month = _dt.date.fromordinal(month_ord)
+            if month in self._packed and month not in self._indexes:
+                self._indexes[month] = _MonthIndex.from_payload(data)
+
+    def index_payloads(self) -> dict[int, dict]:
+        """Serializable aggregate indexes for every month (cache path)."""
+        out = {}
+        for month in self.months():
+            index = self._index(month)
+            if index is not None:
+                out[month.toordinal()] = index.to_payload()
+        return out
+
+    def _materialize(self, month: _dt.date) -> None:
+        dataset = self._packed.pop(month, None)
+        if dataset is not None:
+            self._by_month[month].extend(dataset.materialize(month))
+            self._all_records = None
+
+    def _invalidate(self, month: _dt.date) -> None:
+        self._indexes.pop(month, None)
+        self._all_records = None
+
+    # ---- access ------------------------------------------------------------
 
     def months(self) -> list[_dt.date]:
+        if self._packed:
+            return sorted(set(self._by_month) | set(self._packed))
         return sorted(self._by_month)
+
+    def _month_records(self, month: _dt.date) -> list[ConnectionRecord]:
+        """The month's record list, materializing a packed month first."""
+        self._materialize(month)
+        return self._by_month.get(month, [])
 
     def records(self, month: _dt.date | None = None) -> list[ConnectionRecord]:
         if month is not None:
-            return list(self._by_month.get(month_of(month), ()))
-        return [r for m in self.months() for r in self._by_month[m]]
+            return list(self._month_records(month_of(month)))
+        if self._all_records is None:
+            for pending in list(self._packed):
+                self._materialize(pending)
+            self._all_records = [
+                r for m in self.months() for r in self._by_month[m]
+            ]
+        return list(self._all_records)
 
     def __len__(self) -> int:
-        return sum(len(v) for v in self._by_month.values())
+        return sum(len(v) for v in self._by_month.values()) + sum(
+            dataset.count(month) for month, dataset in self._packed.items()
+        )
 
     # ---- aggregation -------------------------------------------------------
 
+    def _index(self, month: _dt.date) -> _MonthIndex | None:
+        if not self.use_index:
+            return None
+        index = self._indexes.get(month)
+        if index is not None:
+            return index
+        dataset = self._packed.get(month)
+        if dataset is not None:
+            index = _MonthIndex.from_columns(dataset, month)
+        else:
+            records = self._by_month.get(month)
+            if not records:
+                return None
+            index = _MonthIndex.from_records(records)
+        self._indexes[month] = index
+        return index
+
     def total_weight(self, month: _dt.date) -> float:
-        return sum(r.weight for r in self._by_month.get(month_of(month), ()))
+        month = month_of(month)
+        index = self._index(month)
+        if index is not None:
+            return index.total
+        return sum(r.weight for r in self._month_records(month))
 
     def weight_where(
         self, month: _dt.date, predicate: Callable[[ConnectionRecord], bool]
     ) -> float:
-        return sum(
-            r.weight for r in self._by_month.get(month_of(month), ()) if predicate(r)
-        )
+        month = month_of(month)
+        index = self._index(month)
+        if index is not None:
+            key = _index_key(predicate)
+            if key is not None:
+                return index.weights.get(key, 0.0)
+        return sum(r.weight for r in self._month_records(month) if predicate(r))
 
     def fraction(
         self,
@@ -78,7 +315,22 @@ class NotaryStore:
         connections only); default denominator is all records of the
         month.  Returns 0.0 for empty months.
         """
-        records = self._by_month.get(month_of(month), ())
+        month = month_of(month)
+        index = self._index(month)
+        if index is not None:
+            key = _index_key(predicate)
+            if key is not None:
+                if within is None:
+                    if index.total <= 0:
+                        return 0.0
+                    return index.weights.get(key, 0.0) / index.total
+                if _is_established_marker(within):
+                    if index.established <= 0:
+                        return 0.0
+                    return (
+                        index.established_weights.get(key, 0.0) / index.established
+                    )
+        records = self._month_records(month)
         if within is not None:
             records = [r for r in records if within(r)]
         total = sum(r.weight for r in records)
@@ -102,7 +354,7 @@ class NotaryStore:
         """Weight-averaged value over records where ``value`` is not None."""
         total = 0.0
         acc = 0.0
-        for record in self._by_month.get(month_of(month), ()):
+        for record in self._month_records(month_of(month)):
             v = value(record)
             if v is None:
                 continue

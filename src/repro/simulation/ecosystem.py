@@ -4,11 +4,18 @@
 passive monitor and Censys archive together and exposes the datasets
 every benchmark consumes.  Results are cached per instance, so a bench
 module can share one model across all its experiments.
+
+The expectation dataset goes through the run engine
+(:mod:`repro.engine`): month-sharded across workers (``workers`` /
+``REPRO_WORKERS``), and persisted to the dataset cache
+(``REPRO_CACHE_DIR``, disable with ``use_cache=False`` or
+``REPRO_CACHE=0``) so repeat processes load instead of re-simulating.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import os
 import random
 from dataclasses import dataclass, field
 
@@ -18,11 +25,21 @@ from repro.notary.monitor import PassiveMonitor
 from repro.notary.generator import TrafficGenerator
 from repro.notary.store import NotaryStore
 from repro.scanner.censys import CENSYS_FIRST_SCAN, CENSYS_LAST_SCAN, CensysArchive
+from repro.scanner.sslpulse import SslPulse
 from repro.servers.population import ServerPopulation
 
 #: The Notary observation window (§3.1).
 STUDY_START = _dt.date(2012, 1, 1)
 STUDY_END = _dt.date(2018, 4, 1)
+
+
+def _cache_enabled_by_env() -> bool:
+    return os.environ.get("REPRO_CACHE", "").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
 
 
 @dataclass
@@ -34,26 +51,68 @@ class EcosystemModel:
     seed: int = 7
     clients: ClientPopulation = field(default_factory=default_population)
     servers: ServerPopulation = field(default_factory=ServerPopulation)
+    #: Worker processes for the expectation run; None resolves via
+    #: ``REPRO_WORKERS`` then ``os.cpu_count()``; 0 forces serial.
+    workers: int | None = None
+    #: Persistent dataset cache; None resolves via ``REPRO_CACHE``.
+    use_cache: bool | None = None
+    #: Ignore any cached dataset and overwrite it with a fresh run.
+    rebuild: bool = False
 
     def __post_init__(self) -> None:
         self._passive_store: NotaryStore | None = None
         self._montecarlo_store: NotaryStore | None = None
         self._censys: CensysArchive | None = None
         self._database: FingerprintDatabase | None = None
+        self._scans: dict[tuple[str, int], CensysArchive] = {}
+        self._pulse: SslPulse | None = None
+
+    def _cache_enabled(self) -> bool:
+        if self.use_cache is not None:
+            return self.use_cache
+        return _cache_enabled_by_env()
 
     # ---- passive (Notary) ----------------------------------------------------
 
     def passive_store(self) -> NotaryStore:
-        """The expectation-mode Notary dataset (cached)."""
+        """The expectation-mode Notary dataset (memoized + disk-cached)."""
         if self._passive_store is None:
-            monitor = PassiveMonitor()
-            generator = TrafficGenerator(self.clients, self.servers, monitor)
-            generator.run_expectation(self.start, self.end)
-            self._passive_store = monitor.store
+            from repro.engine import cache as dataset_cache
+            from repro.engine import runner
+
+            cache_on = self._cache_enabled()
+            key = None
+            store = None
+            if cache_on:
+                key = dataset_cache.dataset_key(
+                    self.clients, self.servers, self.start, self.end
+                )
+                if not self.rebuild:
+                    store = dataset_cache.load_store(key)
+            if store is None:
+                store = runner.run_expectation(
+                    self.clients, self.servers, self.start, self.end,
+                    workers=self.workers,
+                )
+                if cache_on and key is not None:
+                    dataset_cache.save_store(
+                        store,
+                        key,
+                        meta={
+                            "start": self.start.isoformat(),
+                            "end": self.end.isoformat(),
+                            "records": len(store),
+                        },
+                    )
+            self._passive_store = store
         return self._passive_store
 
     def montecarlo_store(self, connections_per_month: int = 2000) -> NotaryStore:
-        """A sampled, day-resolution Notary dataset (cached)."""
+        """A sampled, day-resolution Notary dataset (cached).
+
+        Stays serial on purpose: the sample stream draws from one
+        sequential RNG, so sharding would change the dataset.
+        """
         if self._montecarlo_store is None:
             monitor = PassiveMonitor()
             generator = TrafficGenerator(self.clients, self.servers, monitor)
@@ -83,6 +142,22 @@ class EcosystemModel:
             self._censys = archive
         return self._censys
 
+    def scan(self, probe: str, interval_days: int = 56) -> CensysArchive:
+        """One probe's scan schedule, cached per (probe, interval)."""
+        key = (probe, interval_days)
+        archive = self._scans.get(key)
+        if archive is None:
+            archive = CensysArchive(self.servers, seed=self.seed)
+            archive.run_schedule(probe, interval_days=interval_days)
+            self._scans[key] = archive
+        return archive
+
+    def pulse(self) -> SslPulse:
+        """The SSL Pulse-style survey bound to this model's servers."""
+        if self._pulse is None:
+            self._pulse = SslPulse(self.servers)
+        return self._pulse
+
     # ---- fingerprinting --------------------------------------------------------
 
     def database(self) -> FingerprintDatabase:
@@ -95,9 +170,20 @@ class EcosystemModel:
 _DEFAULT_MODEL: EcosystemModel | None = None
 
 
-def default_model() -> EcosystemModel:
-    """A process-wide shared model, so benches reuse one simulation."""
+def default_model(
+    workers: int | None = None,
+    use_cache: bool | None = None,
+    rebuild: bool = False,
+) -> EcosystemModel:
+    """A process-wide shared model, so benches and chained CLI commands
+    reuse one simulation.
+
+    The first call fixes the configuration; later calls return the same
+    instance regardless of arguments (one dataset per process).
+    """
     global _DEFAULT_MODEL
     if _DEFAULT_MODEL is None:
-        _DEFAULT_MODEL = EcosystemModel()
+        _DEFAULT_MODEL = EcosystemModel(
+            workers=workers, use_cache=use_cache, rebuild=rebuild
+        )
     return _DEFAULT_MODEL

@@ -24,6 +24,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scan", "quic"])
 
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["--workers", "4", "--no-cache", "--rebuild", "stats"]
+        )
+        assert args.workers == 4
+        assert args.no_cache
+        assert args.rebuild
+
+    def test_engine_flags_default_off(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.workers is None
+        assert not args.no_cache
+        assert not args.rebuild
+
 
 class TestFastCommands:
     def test_table1(self, capsys):
@@ -73,3 +87,38 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "CALIBRATION SHEET" in out
         assert "ssl3_removal" in out
+
+
+class TestStats:
+    def test_stats_reports_dataset_and_counters(self, capsys, monkeypatch):
+        """``stats`` prints the dataset summary and engine perf counters.
+
+        The process-wide default model is swapped for a tiny two-month
+        window so the command stays fast, and the dataset cache is off
+        so the run is hermetic.
+        """
+        import datetime as dt
+
+        from repro.simulation import ecosystem
+
+        small = ecosystem.EcosystemModel(
+            start=dt.date(2014, 6, 1),
+            end=dt.date(2014, 7, 1),
+            use_cache=False,
+            workers=0,
+        )
+        monkeypatch.setattr(ecosystem, "_DEFAULT_MODEL", small)
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "months              : 2" in out
+        assert "ENGINE PERF COUNTERS" in out
+        assert "negotiations" in out
+        assert "records/s" in out
+
+    def test_commands_share_one_default_model(self, monkeypatch):
+        """Chained commands must reuse the process-wide model instance."""
+        from repro.simulation import ecosystem
+
+        monkeypatch.setattr(ecosystem, "_DEFAULT_MODEL", None)
+        first = ecosystem.default_model(workers=0, use_cache=False)
+        assert ecosystem.default_model() is first

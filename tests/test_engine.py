@@ -1,0 +1,263 @@
+"""Run-engine tests: parallel sharding, columnar packing, dataset cache.
+
+The engine's whole contract is *exact* equivalence: a parallel run, a
+packed round-trip, an indexed aggregate, and a warm cache load must all
+be byte-identical to the plain serial path — so every comparison below
+is ``==``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import figures
+from repro.engine import cache as dataset_cache
+from repro.engine import runner
+from repro.engine.partition import PackedDataset, pack_records, unpack_records
+from repro.engine.perf import PERF
+from repro.notary import PassiveMonitor, TrafficGenerator
+from repro.notary.query import NegotiatedVersion
+from repro.notary.store import NotaryStore
+
+START = dt.date(2014, 6, 1)
+END = dt.date(2014, 9, 1)
+
+ALL_FIGURES = (
+    figures.fig1_negotiated_versions,
+    figures.fig2_negotiated_modes,
+    figures.fig3_advertised_modes,
+    figures.fig4_fingerprint_support,
+    figures.fig5_cipher_positions,
+    figures.fig6_rc4_advertised,
+    figures.fig7_weak_advertised,
+    figures.fig8_key_exchange,
+    figures.fig9_negotiated_aead,
+    figures.fig10_advertised_aead,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_store(client_population, server_population):
+    return runner.run_expectation(
+        client_population, server_population, START, END, workers=0
+    )
+
+
+@pytest.fixture(scope="module")
+def parallel_store(client_population, server_population):
+    return runner.run_expectation(
+        client_population, server_population, START, END, workers=2
+    )
+
+
+class TestParallelEquivalence:
+    def test_same_months_and_size(self, serial_store, parallel_store):
+        assert serial_store.months() == parallel_store.months()
+        assert len(serial_store) == len(parallel_store)
+
+    def test_records_identical_per_month(self, serial_store, parallel_store):
+        for month in serial_store.months():
+            assert serial_store.records(month) == parallel_store.records(month)
+
+    @pytest.mark.parametrize("figure", ALL_FIGURES, ids=lambda f: f.__name__)
+    def test_every_figure_identical(self, serial_store, parallel_store, figure):
+        assert figure(serial_store) == figure(parallel_store)
+
+    def test_resolve_workers_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert runner.resolve_workers(None) == 3
+        assert runner.resolve_workers(5) == 5
+        assert runner.resolve_workers(0) == 0
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert runner.resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_resolve_workers_ignores_garbage_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "abc")
+        assert runner.resolve_workers(None) == (os.cpu_count() or 1)
+
+
+class TestIndexedAggregation:
+    @pytest.mark.parametrize("figure", ALL_FIGURES, ids=lambda f: f.__name__)
+    def test_index_matches_scan(self, small_window_store, figure):
+        indexed = figure(small_window_store)
+        small_window_store.use_index = False
+        try:
+            scanned = figure(small_window_store)
+        finally:
+            small_window_store.use_index = True
+        assert indexed == scanned
+
+    def test_index_matches_scan_on_packed_store(self, parallel_store):
+        # The parallel store holds packed months: its index builds from
+        # columns, the scan path from materialized records.
+        indexed = figures.fig1_negotiated_versions(parallel_store)
+        parallel_store.use_index = False
+        try:
+            scanned = figures.fig1_negotiated_versions(parallel_store)
+        finally:
+            parallel_store.use_index = True
+        assert indexed == scanned
+
+    def test_plain_callable_falls_back_to_scan(self, small_window_store):
+        month = START
+        predicate = NegotiatedVersion("TLSv12")
+        as_lambda = lambda r: r.negotiated_version == "TLSv12"  # noqa: E731
+        assert small_window_store.weight_where(
+            month, predicate
+        ) == small_window_store.weight_where(month, as_lambda)
+
+
+class TestPartitionCodec:
+    def test_expectation_roundtrip_exact(self, serial_store):
+        packed = pack_records(serial_store.records())
+        assert unpack_records(packed) == serial_store.records()
+
+    def test_montecarlo_days_survive(self, montecarlo_store):
+        packed = pack_records(montecarlo_store.records())
+        restored = unpack_records(packed)
+        assert restored == montecarlo_store.records()
+        assert any(r.day is not None for r in restored)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            PackedDataset({"format": 999, "shapes": [], "months": {}})
+
+    def test_attach_packed_is_lazy(self, serial_store):
+        store = NotaryStore()
+        store.attach_packed(PackedDataset(pack_records(serial_store.records())))
+        assert store._packed  # months stayed columnar
+        assert len(store) == len(serial_store)
+        assert store.months() == serial_store.months()
+        # A scan materializes, and the result is exact.
+        assert store.records(START) == serial_store.records(START)
+        assert START not in store._packed
+
+    def test_attach_packed_collision_appends(self, serial_store):
+        store = NotaryStore()
+        payload = pack_records(serial_store.records(START))
+        store.attach_packed(PackedDataset(payload))
+        store.attach_packed(PackedDataset(payload))
+        assert len(store.records(START)) == 2 * len(serial_store.records(START))
+
+
+class TestStoreBatching:
+    def test_add_batch_equals_adds(self, serial_store):
+        month = START
+        records = serial_store.records(month)
+        one_by_one = NotaryStore()
+        for record in records:
+            one_by_one.add(record)
+        batched = NotaryStore()
+        batched.add_batch(month, records)
+        assert one_by_one.records(month) == batched.records(month)
+        assert one_by_one.total_weight(month) == batched.total_weight(month)
+
+    def test_extend_groups_by_month(self, serial_store):
+        store = NotaryStore()
+        store.extend(serial_store.records())
+        assert store.months() == serial_store.months()
+        for month in store.months():
+            assert store.records(month) == serial_store.records(month)
+
+    def test_mutation_invalidates_index(self, serial_store):
+        store = NotaryStore()
+        records = serial_store.records(START)
+        store.add_batch(START, records)
+        before = store.total_weight(START)  # builds the index
+        store.add_batch(START, records)
+        assert store.total_weight(START) == pytest.approx(2 * before)
+
+
+class TestDatasetCache:
+    @pytest.fixture(autouse=True)
+    def _tmp_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+    def test_roundtrip_exact(self, serial_store, client_population, server_population):
+        key = dataset_cache.dataset_key(
+            client_population, server_population, START, END
+        )
+        dataset_cache.save_store(serial_store, key)
+        warm = dataset_cache.load_store(key)
+        assert warm is not None
+        assert len(warm) == len(serial_store)
+        for figure in ALL_FIGURES:
+            assert figure(warm) == figure(serial_store)
+        assert warm.records() == serial_store.records()
+
+    def test_warm_load_skips_simulation(
+        self, serial_store, client_population, server_population
+    ):
+        key = dataset_cache.dataset_key(
+            client_population, server_population, START, END
+        )
+        dataset_cache.save_store(serial_store, key)
+        PERF.reset()
+        warm = dataset_cache.load_store(key)
+        # A warm load runs zero negotiations: the store comes straight
+        # off disk, figure-ready via the embedded aggregate indexes.
+        assert PERF.negotiations == 0
+        assert PERF.dataset_cache_hits == 1
+        assert figures.fig1_negotiated_versions(warm)
+        assert PERF.negotiations == 0
+
+    def test_missing_key_is_miss(self):
+        PERF.reset()
+        assert dataset_cache.load_store("0" * 64) is None
+        assert PERF.dataset_cache_misses == 1
+
+    def test_corrupt_blob_is_miss(
+        self, serial_store, client_population, server_population
+    ):
+        key = dataset_cache.dataset_key(
+            client_population, server_population, START, END
+        )
+        path = dataset_cache.save_store(serial_store, key)
+        path.write_bytes(b"not a dataset")
+        assert dataset_cache.load_store(key) is None
+
+    def test_key_depends_on_window(self, client_population, server_population):
+        a = dataset_cache.dataset_key(client_population, server_population, START, END)
+        b = dataset_cache.dataset_key(
+            client_population, server_population, START, END + dt.timedelta(days=40)
+        )
+        assert a != b
+
+
+class TestStableSeeding:
+    def test_hellos_identical_across_hash_randomization(self):
+        """Two interpreters with different PYTHONHASHSEED must generate
+        byte-identical traffic (the old builtin-``hash`` seeds broke this).
+        """
+        script = (
+            "import datetime as dt, hashlib\n"
+            "from repro.clients.population import default_population\n"
+            "from repro.notary import PassiveMonitor, TrafficGenerator\n"
+            "from repro.servers import ServerPopulation\n"
+            "monitor = PassiveMonitor()\n"
+            "generator = TrafficGenerator("
+            "default_population(), ServerPopulation(), monitor)\n"
+            "generator.run_expectation_month(dt.date(2015, 6, 1))\n"
+            "digest = hashlib.sha256()\n"
+            "for r in monitor.store.records():\n"
+            "    digest.update(repr((r.client_family, r.client_version,"
+            " r.fingerprint, r.negotiated_suite, r.weight)).encode())\n"
+            "print(digest.hexdigest())\n"
+        )
+
+        def run(hashseed: str) -> str:
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            return out.stdout.strip()
+
+        assert run("1") == run("31337")

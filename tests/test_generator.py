@@ -88,6 +88,27 @@ class TestExpectationMode:
         assert offered == {True, False}
 
 
+class TestStableSeeds:
+    def test_release_seed_is_crc32_not_builtin_hash(self):
+        """Hello seeds must not depend on ``PYTHONHASHSEED``.
+
+        The seed is pinned to its CRC-32 derivation: these golden values
+        hold in every interpreter, where the old ``hash()``-based seeds
+        changed per process (and with them the generated hellos).
+        """
+        import zlib
+
+        from repro.notary.generator import _release_seed
+
+        release = default_population().family("Chrome").release("49")
+        assert _release_seed(release, False) == 1911677259
+        assert _release_seed(release, True) == 116838877
+        assert _release_seed(release, False) == (
+            zlib.crc32(f"{release.family}\x00{release.version}\x000".encode())
+            & 0x7FFFFFFF
+        )
+
+
 class TestIntoleranceDance:
     def test_intolerant_variants_in_population(self):
         from repro.servers import ServerPopulation
