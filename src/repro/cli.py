@@ -9,12 +9,17 @@ Commands:
 * ``fingerprint <family> <version>`` — fingerprint a known client release.
 * ``timeline`` — print the attack/event timeline.
 * ``stats`` — build/load the expectation dataset and print engine perf
-  counters (negotiations, cache hits, worker wall times, records/s).
+  counters (negotiations, cache hits, chunk wall times, records/s, and
+  the resilience counters: retries, timeouts, inline fallbacks, resumed
+  months, cache evictions).
 
 Engine flags (global, before the command): ``--workers N`` shards the
 expectation run across N processes (``REPRO_WORKERS``; 0 = serial),
 ``--no-cache`` disables the persistent dataset cache, ``--rebuild``
-ignores and overwrites any cached dataset.
+ignores and overwrites any cached dataset, ``--resume`` picks a killed
+run back up from its month checkpoints, and ``--faults SPEC`` injects
+deterministic faults (``worker_crash:0.1,chunk_hang:0.05,seed:42`` —
+see :mod:`repro.engine.faults`) to exercise the recovery paths.
 
 Every command resolves the simulation through one process-wide
 :func:`repro.simulation.ecosystem.default_model`, so chaining commands
@@ -39,6 +44,8 @@ def _model(args: argparse.Namespace | None = None):
         workers=getattr(args, "workers", None),
         use_cache=False if getattr(args, "no_cache", False) else None,
         rebuild=getattr(args, "rebuild", False),
+        faults=getattr(args, "faults", None),
+        resume=True if getattr(args, "resume", False) else None,
     )
 
 
@@ -204,6 +211,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--rebuild", action="store_true",
         help="ignore any cached dataset and overwrite it with a fresh run",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed run from its month checkpoints (REPRO_RESUME)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject deterministic faults, e.g. "
+             "'worker_crash:0.1,chunk_hang:0.05,seed:42' (REPRO_FAULTS)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -15,7 +15,17 @@ land.  This package makes that path fast three ways at once:
 * :mod:`repro.engine.cache` — the finished store is persisted under
   ``~/.cache/repro`` (``REPRO_CACHE_DIR``) keyed by a content hash of
   the populations and date range, so repeat CLI invocations load
-  instead of re-simulating.
+  instead of re-simulating.  Blobs carry an integrity footer (corrupt
+  files are deleted, not retried forever), builds coordinate through an
+  advisory lockfile, the population is LRU-evicted under a size cap,
+  and finished months are checkpointed so killed runs resume.
+
+The runner survives partial failure by design: failed chunks retry
+with capped backoff, hung chunks are killed on a per-chunk timeout and
+resharded, and a chunk out of attempts re-runs inline in the parent.
+:mod:`repro.engine.faults` injects deterministic, seedable faults
+(``REPRO_FAULTS`` / ``--faults``) at every one of those seams so the
+recovery machinery is exercised constantly, not trusted.
 
 :mod:`repro.engine.perf` instruments all of it; ``python -m repro
 stats`` renders the counters.

@@ -1,4 +1,4 @@
-"""Persistent dataset cache for finished expectation stores.
+"""Persistent dataset cache + month checkpoints for expectation runs.
 
 A full expectation run is a pure function of (client population, server
 population, date range), so the finished store is cached on disk keyed
@@ -7,31 +7,68 @@ the common case when iterating on figures — load the packed store in
 milliseconds-to-tens-of-milliseconds instead of re-simulating 76
 months.
 
-Layout: one ``expectation-<key>.bin`` file per dataset under the cache
-directory (``REPRO_CACHE_DIR``, default ``~/.cache/repro``), holding a
-zlib-compressed pickle of a :mod:`repro.engine.partition` payload plus
-metadata.  Invalidation is entirely key-based: any change to the
-population description, the date range, or the on-disk format version
-produces a different key / rejects the blob, and a stale file is simply
-never read again.  Corrupt or truncated files degrade to a cache miss.
+Layout under the cache directory (``REPRO_CACHE_DIR``, default
+``~/.cache/repro``):
+
+* ``expectation-<key>.bin`` — one blob per dataset: a zlib-compressed
+  pickle of a :mod:`repro.engine.partition` payload plus metadata,
+  sealed by a 16-byte integrity footer (magic, CRC32, length).  Any
+  truncation, bit flip, or format skew fails the footer or payload
+  check, the file is **deleted**, and the load degrades to a miss —
+  a bad blob is never left to fail every future run.
+* ``expectation-<key>.lock`` — advisory build lock: two processes
+  racing to build the same dataset coordinate so one simulates and the
+  other waits for the blob (stale locks from dead builders are broken
+  after ``REPRO_CACHE_LOCK_STALE`` seconds).
+* ``checkpoints/<key>/<YYYY-MM-DD>.bin`` — one footer-sealed blob per
+  finished month, spilled by the parallel runner as chunks complete so
+  a killed run resumes instead of restarting (cleared on success).
+
+The blob population is kept under ``REPRO_CACHE_MAX_BYTES`` (default
+512 MB) by LRU eviction: loads refresh a blob's mtime, and every save
+sweeps oldest-first until the total fits.
+
+Invalidation is entirely key-based: any change to the population
+description, the date range, or the on-disk format version produces a
+different key / rejects the blob.
 """
 
 from __future__ import annotations
 
+import contextlib
 import datetime as _dt
 import hashlib
 import os
 import pickle
+import shutil
+import struct
 import time
 import zlib
 from pathlib import Path
 
-from repro.engine.partition import PARTITION_FORMAT, PackedDataset, pack_records
+from repro.engine import faults
+from repro.engine.partition import (
+    PARTITION_FORMAT,
+    PackedDataset,
+    pack_records,
+    validate_payload,
+)
 from repro.engine.perf import PERF
 
 #: Bump to invalidate every cached dataset (e.g. when negotiation logic
-#: changes in a way the population description cannot see).
-CACHE_FORMAT = 2
+#: changes in a way the population description cannot see).  3 added
+#: the integrity footer.
+CACHE_FORMAT = 3
+
+#: Integrity footer: magic + CRC32 of the blob body + body length.
+_FOOTER_MAGIC = b"RPRC"
+_FOOTER = struct.Struct("<4sIQ")
+
+#: Default LRU size cap for ``expectation-*.bin`` blobs.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+#: A build lock older than this is assumed to belong to a dead process.
+DEFAULT_LOCK_STALE_SECONDS = 600.0
 
 
 def cache_dir() -> Path:
@@ -73,10 +110,74 @@ def store_path(key: str) -> Path:
     return cache_dir() / f"expectation-{key[:40]}.bin"
 
 
-def save_store(store, key: str, meta: dict | None = None) -> Path:
-    """Atomically persist a finished store under its dataset key."""
-    path = store_path(key)
-    path.parent.mkdir(parents=True, exist_ok=True)
+# ---- sealed blob I/O --------------------------------------------------------
+
+
+def _write_blob(path: Path, obj: dict, fault_token: str) -> Path | None:
+    """Atomically write a footer-sealed blob; None on (swallowed) failure."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = zlib.compress(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        footer = _FOOTER.pack(_FOOTER_MAGIC, zlib.crc32(body), len(body))
+        if faults.fires("cache_write", fault_token):
+            # Simulated mid-write corruption: a truncated body under a
+            # footer for the full one — exactly what a torn write looks
+            # like, and exactly what the CRC check must catch.
+            body = faults.corrupt_blob(body)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_bytes(body + footer)
+        os.replace(tmp, path)
+        return path
+    except OSError:
+        PERF.cache_write_failures += 1
+        return None
+
+
+def _read_blob(path: Path, fault_token: str) -> dict | None:
+    """Read and verify a sealed blob; on any damage, delete it and
+    return None (missing file also returns None, without a delete)."""
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return None
+    except OSError:
+        return None
+    try:
+        if faults.fires("cache_read", fault_token):
+            raise faults.InjectedFault(f"injected cache_read at {path.name}")
+        if len(raw) < _FOOTER.size:
+            raise ValueError("blob shorter than its footer")
+        body, footer = raw[: -_FOOTER.size], raw[-_FOOTER.size :]
+        magic, crc, length = _FOOTER.unpack(footer)
+        if magic != _FOOTER_MAGIC or length != len(body) or crc != zlib.crc32(body):
+            raise ValueError("blob failed integrity footer")
+        return pickle.loads(zlib.decompress(body))
+    except Exception:
+        # Leaving a bad blob on disk makes every future run pay the
+        # read-decompress-fail cost forever; delete it so the next run
+        # rebuilds once and re-seals.
+        _delete_corrupt(path)
+        return None
+
+
+def _delete_corrupt(path: Path) -> None:
+    try:
+        path.unlink()
+        PERF.cache_corrupt_deleted += 1
+    except OSError:
+        pass
+
+
+# ---- dataset blobs ----------------------------------------------------------
+
+
+def save_store(store, key: str, meta: dict | None = None) -> Path | None:
+    """Atomically persist a finished store under its dataset key.
+
+    Disk failures are swallowed (counted in PERF): a cache that cannot
+    be written must never take the computed result down with it.  Every
+    successful save triggers the LRU size sweep.
+    """
     payload = {
         "format": CACHE_FORMAT,
         "key": key,
@@ -86,36 +187,218 @@ def save_store(store, key: str, meta: dict | None = None) -> Path:
         # standard figure queries without touching a single record.
         "indexes": store.index_payloads(),
     }
-    blob = zlib.compress(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    tmp.write_bytes(blob)
-    os.replace(tmp, path)
+    path = _write_blob(store_path(key), payload, f"save:{key[:16]}")
+    if path is not None:
+        evict_lru(keep=path)
     return path
 
 
 def load_store(key: str):
-    """Load a cached store, or None on miss/corruption/format skew."""
+    """Load a cached store, or None on miss/corruption/format skew.
+
+    Corrupt and format-skewed blobs are deleted on rejection; a hit
+    refreshes the blob's mtime so the LRU sweep sees it as recent.
+    """
     from repro.notary.store import NotaryStore
 
     path = store_path(key)
     started = time.perf_counter()
-    try:
-        payload = pickle.loads(zlib.decompress(path.read_bytes()))
-        if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
-            raise ValueError("dataset cache format/key mismatch")
-        dataset = PackedDataset(payload["records"])
-        indexes = payload.get("indexes", {})
-    except FileNotFoundError:
-        PERF.dataset_cache_misses += 1
-        return None
-    except Exception:
-        # A corrupt blob is a miss, never an error: the engine rebuilds
-        # and overwrites it.
+    payload = _read_blob(path, f"load:{key[:16]}")
+    if payload is not None:
+        if (
+            payload.get("format") != CACHE_FORMAT
+            or payload.get("key") != key
+            or not validate_payload(payload.get("records", {}))
+        ):
+            _delete_corrupt(path)
+            payload = None
+    if payload is None:
         PERF.dataset_cache_misses += 1
         return None
     store = NotaryStore()
-    store.attach_packed(dataset)
-    store.install_index_payloads(indexes)
+    store.attach_packed(PackedDataset(payload["records"]))
+    store.install_index_payloads(payload.get("indexes", {}))
+    with contextlib.suppress(OSError):
+        os.utime(path)
     PERF.dataset_cache_hits += 1
     PERF.load_seconds = time.perf_counter() - started
     return store
+
+
+# ---- LRU eviction -----------------------------------------------------------
+
+
+def max_cache_bytes() -> int:
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_MAX_BYTES
+
+
+def evict_lru(max_bytes: int | None = None, keep: Path | None = None) -> int:
+    """Delete oldest dataset blobs until the population fits the cap.
+
+    Only ``expectation-*.bin`` blobs count (checkpoints are transient
+    and cleared by the runner).  The just-written blob (``keep``) is
+    never evicted, even if it alone exceeds the cap.  Returns the
+    number of evicted files.
+    """
+    cap = max_cache_bytes() if max_bytes is None else max_bytes
+    if cap <= 0:
+        return 0
+    entries = []
+    try:
+        for path in cache_dir().glob("expectation-*.bin"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+    except OSError:
+        return 0
+    total = sum(size for _, size, _ in entries)
+    evicted = 0
+    for _, size, path in sorted(entries):
+        if total <= cap:
+            break
+        if keep is not None and path == keep:
+            continue
+        with contextlib.suppress(OSError):
+            path.unlink()
+            total -= size
+            evicted += 1
+            PERF.cache_evictions += 1
+    return evicted
+
+
+# ---- advisory build lock ----------------------------------------------------
+
+
+def _lock_path(key: str) -> Path:
+    return cache_dir() / f"expectation-{key[:40]}.lock"
+
+
+def _lock_stale_seconds() -> float:
+    env = os.environ.get("REPRO_CACHE_LOCK_STALE", "").strip()
+    if env:
+        try:
+            return max(1.0, float(env))
+        except ValueError:
+            pass
+    return DEFAULT_LOCK_STALE_SECONDS
+
+
+@contextlib.contextmanager
+def build_lock(key: str):
+    """Advisory per-key build lock; yields True when this process holds it.
+
+    Best-effort by design: on any filesystem trouble the caller simply
+    builds anyway (duplicate work beats no work).  A lock file older
+    than the stale threshold is assumed orphaned by a killed builder
+    and broken.
+    """
+    path = _lock_path(key)
+    acquired = False
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for _ in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                os.close(fd)
+                acquired = True
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    continue  # holder vanished between open and stat; retry
+                if age > _lock_stale_seconds():
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+                    continue
+                break
+            except OSError:
+                break
+    except OSError:
+        pass
+    try:
+        yield acquired
+    finally:
+        if acquired:
+            with contextlib.suppress(OSError):
+                path.unlink()
+
+
+def wait_for_store(key: str, timeout: float = 30.0, poll: float = 0.2):
+    """Poll for another process's build of ``key`` to land.
+
+    Returns the loaded store, or None if the blob never appeared (or
+    the other builder's lock vanished without a blob) — the caller
+    then builds itself.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        store = load_store(key)
+        if store is not None:
+            return store
+        if not _lock_path(key).exists():
+            return load_store(key)
+        if time.monotonic() >= deadline:
+            return None
+        time.sleep(poll)
+
+
+# ---- month checkpoints ------------------------------------------------------
+
+
+class Checkpoint:
+    """Per-month spill files that let a killed parallel run resume.
+
+    Each finished chunk's months are written as standalone sealed
+    blobs; a resuming run adopts every valid month and re-simulates
+    only the rest.  Corrupt or mismatched files are deleted and their
+    months rebuilt — resume can only ever help, never poison a run.
+    """
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.dir = cache_dir() / "checkpoints" / key[:40]
+
+    def _month_path(self, month: _dt.date) -> Path:
+        return self.dir / f"{month.isoformat()}.bin"
+
+    def save_months(self, split: dict[_dt.date, dict]) -> int:
+        """Persist single-month payloads; returns months written."""
+        written = 0
+        for month, payload in split.items():
+            blob = {"format": CACHE_FORMAT, "key": self.key, "records": payload}
+            token = f"ckpt:{self.key[:8]}:{month.isoformat()}"
+            if _write_blob(self._month_path(month), blob, token) is not None:
+                written += 1
+        PERF.checkpointed_months += written
+        return written
+
+    def load_months(self, months):
+        """Yield (month, payload) for every valid checkpointed month."""
+        for month in months:
+            path = self._month_path(month)
+            token = f"ckpt:{self.key[:8]}:{month.isoformat()}"
+            blob = _read_blob(path, token)
+            if blob is None:
+                continue
+            if blob.get("format") != CACHE_FORMAT or blob.get("key") != self.key:
+                _delete_corrupt(path)
+                continue
+            payload = blob.get("records")
+            if not validate_payload(payload, [month]):
+                _delete_corrupt(path)
+                continue
+            yield month, payload
+
+    def clear(self) -> None:
+        """Remove the checkpoint directory (run finished cleanly)."""
+        shutil.rmtree(self.dir, ignore_errors=True)

@@ -228,6 +228,74 @@ class PackedDataset:
         return records
 
 
+def validate_payload(payload: dict, expected_months: Iterable[_dt.date] | None = None) -> bool:
+    """Structural integrity check of a packed payload.
+
+    A partition crossing a process boundary (worker pipe, checkpoint
+    file, cache blob) is validated before it is adopted: format version,
+    column length agreement, shape-index bounds, and — when the caller
+    knows which months the partition must cover — the exact month set.
+    Returns False instead of raising so callers can treat corruption as
+    one more recoverable chunk failure.
+    """
+    try:
+        if payload.get("format") != PARTITION_FORMAT:
+            return False
+        shapes = payload["shapes"]
+        months = payload["months"]
+        if expected_months is not None:
+            if set(months) != {m.toordinal() for m in expected_months}:
+                return False
+        for columns in months.values():
+            weights = columns["weights"]
+            idxs = columns["shape_idx"]
+            if len(weights) != len(idxs):
+                return False
+            days = columns["days"]
+            if days is not None and len(days) != len(weights):
+                return False
+            if len(idxs) and max(idxs) >= len(shapes):
+                return False
+        return True
+    except Exception:
+        return False
+
+
+def split_by_month(payload: dict) -> dict[_dt.date, dict]:
+    """Split a packed payload into standalone single-month payloads.
+
+    Each output payload carries only the shapes its month references
+    (re-indexed), so checkpoint files stay small and independently
+    loadable.  Column contents are preserved exactly — re-attaching
+    every split month reproduces the original partition byte for byte.
+    """
+    out: dict[_dt.date, dict] = {}
+    shapes = payload["shapes"]
+    for month_ord, columns in payload["months"].items():
+        remap: dict[int, int] = {}
+        local_shapes: list[tuple] = []
+        local_idx = array("L")
+        for idx in columns["shape_idx"]:
+            new = remap.get(idx)
+            if new is None:
+                new = remap[idx] = len(local_shapes)
+                local_shapes.append(shapes[idx])
+            local_idx.append(new)
+        days = columns["days"]
+        out[_dt.date.fromordinal(month_ord)] = {
+            "format": PARTITION_FORMAT,
+            "shapes": local_shapes,
+            "months": {
+                month_ord: {
+                    "weights": array("d", columns["weights"]),
+                    "shape_idx": local_idx,
+                    "days": None if days is None else list(days),
+                }
+            },
+        }
+    return out
+
+
 def unpack_records(payload: dict) -> list[ConnectionRecord]:
     """Rebuild every record of a payload, grouped by ascending month."""
     dataset = PackedDataset(payload)

@@ -33,13 +33,33 @@ class PerfCounters:
     #: Persistent dataset-cache hits / misses (load attempts).
     dataset_cache_hits: int = 0
     dataset_cache_misses: int = 0
+    #: Chunk attempts re-queued after a worker failure or bad partition.
+    chunk_retries: int = 0
+    #: Chunks killed by the per-chunk timeout (then resharded).
+    chunk_timeouts: int = 0
+    #: Chunks that exhausted pool attempts and re-ran inline in the parent.
+    inline_fallbacks: int = 0
+    #: Months restored from checkpoint files instead of re-simulated.
+    resumed_months: int = 0
+    #: Months spilled to checkpoint files as their chunks finished.
+    checkpointed_months: int = 0
+    #: Cache blobs evicted by the size-capped LRU sweep.
+    cache_evictions: int = 0
+    #: Corrupt/stale cache and checkpoint files deleted on rejection.
+    cache_corrupt_deleted: int = 0
+    #: Cache writes that failed (disk errors are swallowed, counted).
+    cache_write_failures: int = 0
+    #: Faults fired by the injection plan (parent-side sites only count
+    #: here; a crashed worker's counters die with it).
+    faults_injected: int = 0
     #: Wall seconds of the last full expectation run (serial or merged).
     run_seconds: float = 0.0
     #: Wall seconds of the last persistent-cache load.
     load_seconds: float = 0.0
     #: Workers used by the last engine run (0 = serial fallback).
     workers: int = 0
-    #: Per-worker wall seconds of the last parallel run.
+    #: Per-chunk wall seconds of the last parallel run (one entry per
+    #: successfully merged chunk, in merge order).
     worker_wall_times: list[float] = field(default_factory=list)
 
     # ---- lifecycle ----------------------------------------------------------
@@ -64,6 +84,7 @@ class PerfCounters:
             "hello_builds",
             "hello_cache_hits",
             "records",
+            "faults_injected",
         ):
             setattr(self, name, getattr(self, name) + int(snap.get(name, 0)))
         self.worker_wall_times.append(wall)
@@ -86,6 +107,18 @@ class PerfCounters:
         lines.append(f"records observed    : {self.records}")
         lines.append(f"dataset cache hits  : {self.dataset_cache_hits}")
         lines.append(f"dataset cache misses: {self.dataset_cache_misses}")
+        lines.append(f"chunk retries       : {self.chunk_retries}")
+        lines.append(f"chunk timeouts      : {self.chunk_timeouts}")
+        lines.append(f"inline fallbacks    : {self.inline_fallbacks}")
+        lines.append(f"resumed months      : {self.resumed_months}")
+        lines.append(f"checkpointed months : {self.checkpointed_months}")
+        lines.append(f"cache evictions     : {self.cache_evictions}")
+        if self.cache_corrupt_deleted:
+            lines.append(f"corrupt blobs culled: {self.cache_corrupt_deleted}")
+        if self.cache_write_failures:
+            lines.append(f"cache write failures: {self.cache_write_failures}")
+        if self.faults_injected:
+            lines.append(f"faults injected     : {self.faults_injected}")
         if self.load_seconds > 0:
             lines.append(f"cache load seconds  : {self.load_seconds:.3f}")
         if self.run_seconds > 0:
@@ -95,7 +128,7 @@ class PerfCounters:
             lines.append(f"records/s           : {rps:,.0f}")
         if self.worker_wall_times:
             walls = ", ".join(f"{w:.2f}s" for w in self.worker_wall_times)
-            lines.append(f"worker wall times   : {walls}")
+            lines.append(f"chunk wall times    : {walls}")
         return "\n".join(lines)
 
 

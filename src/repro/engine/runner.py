@@ -1,20 +1,47 @@
-"""Month-sharded expectation runs across multiprocessing workers.
+"""Month-sharded expectation runs across multiprocessing workers,
+resilient to worker crashes, hangs, and corrupted partitions.
 
 Months are independent in expectation mode — every record of month *m*
 is a deterministic function of the populations and *m* alone (hello
 seeds are stable across processes, see
 :func:`repro.notary.generator._release_seed`) — so the full study
-shards by month.  Each worker runs its chunk with its own hello/result
-caches, packs the resulting records into a compact partition
+shards by month.  Months are split into small contiguous chunks (a few
+per worker, so the pool balances dynamically and a lost chunk loses
+little work); each worker runs its chunks with its own hello/result
+caches, packs the resulting records into compact partitions
 (:mod:`repro.engine.partition`), and the parent merges partitions into
-one :class:`~repro.notary.store.NotaryStore` month by month.  Because a
-month's records always come from exactly one worker, in generation
-order, the merged store is *identical* to a serial run — including
-float summation order in every aggregate.
+one :class:`~repro.notary.store.NotaryStore`.  Because a month's
+records always come from exactly one chunk, in generation order, the
+merged store is *identical* to a serial run — including float summation
+order in every aggregate — no matter how chunks are grouped, retried,
+or resharded.
+
+Failure handling, in escalation order:
+
+* **Retry with backoff** — a chunk whose worker raises (or ships a
+  partition that fails :func:`repro.engine.partition.validate_payload`)
+  is re-queued with a capped exponential backoff between rounds.
+* **Timeout, kill and reshard** — every chunk is collected through
+  ``AsyncResult.get(timeout)`` (per-chunk submission rather than one
+  ``map``, so one bad chunk cannot poison the batch); a round past its
+  deadline terminates the pool — killing hung workers — and the
+  unfinished chunks are split in half and re-queued.
+* **Inline fallback** — a chunk that exhausts its pool attempts is
+  re-run serially in the parent under :func:`repro.engine.faults.suppressed`,
+  which is what guarantees termination even at 100% injected fault
+  rates.
+
+Finished chunks are immediately spilled as per-month checkpoint files
+(:class:`repro.engine.cache.Checkpoint`), so a run killed outright can
+resume (``resume=True`` / ``--resume`` / ``REPRO_RESUME=1``) and
+re-simulate only the months that never completed.  Checkpoints are
+cleared when a run finishes cleanly; ``REPRO_CHECKPOINT=0`` disables
+the spill entirely.
 
 Worker count resolution: explicit argument, else ``REPRO_WORKERS``,
 else ``os.cpu_count()``.  ``0`` or ``1`` (or platforms without the
-``fork`` start method) take the serial fallback.
+``fork`` start method) take the serial fallback; negative values are
+malformed and fall back to the CPU count.
 """
 
 from __future__ import annotations
@@ -23,12 +50,30 @@ import datetime as _dt
 import multiprocessing
 import os
 import time
+from collections import deque
+from dataclasses import dataclass, field
 
-from repro.engine.partition import PackedDataset, pack_records
+from repro.engine import faults
+from repro.engine.partition import (
+    PackedDataset,
+    pack_records,
+    split_by_month,
+    validate_payload,
+)
 from repro.engine.perf import PERF
 from repro.notary.generator import TrafficGenerator
 from repro.notary.monitor import PassiveMonitor
 from repro.notary.store import NotaryStore, month_range
+
+#: Pool attempts per chunk before the inline fallback takes over.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Per-round chunk deadline (seconds); ``REPRO_CHUNK_TIMEOUT`` overrides.
+DEFAULT_CHUNK_TIMEOUT = 600.0
+
+#: Capped exponential backoff between retry rounds.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
 
 
 def fork_available() -> bool:
@@ -36,18 +81,102 @@ def fork_available() -> bool:
 
 
 def resolve_workers(explicit: int | None = None) -> int:
-    """Worker count: explicit > ``REPRO_WORKERS`` > ``os.cpu_count()``."""
-    if explicit is not None:
-        return max(0, int(explicit))
+    """Worker count: explicit > ``REPRO_WORKERS`` > ``os.cpu_count()``.
+
+    Negative values — explicit or from the environment — are malformed,
+    not "serial": silently clamping ``-3`` to 0 would hide a typo as a
+    10x slowdown, so they fall through to the CPU-count default exactly
+    like unparseable text.
+    """
+    if explicit is not None and int(explicit) >= 0:
+        return int(explicit)
     env = os.environ.get("REPRO_WORKERS", "").strip()
-    if env:
+    if explicit is None and env:
         try:
-            return max(0, int(env))
+            value = int(env)
+            if value >= 0:
+                return value
         except ValueError:
             # A malformed env var must not kill a run; fall through to
             # the CPU-count default (same spirit as REPRO_CACHE parsing).
             pass
     return os.cpu_count() or 1
+
+
+def resolve_chunk_timeout(explicit: float | None = None) -> float:
+    """Per-round chunk deadline: explicit > ``REPRO_CHUNK_TIMEOUT`` > default."""
+    if explicit is not None and explicit > 0:
+        return float(explicit)
+    env = os.environ.get("REPRO_CHUNK_TIMEOUT", "").strip()
+    if env:
+        try:
+            value = float(env)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_CHUNK_TIMEOUT
+
+
+def resolve_chunk_months(explicit: int | None = None) -> int | None:
+    """Months per chunk override (``REPRO_CHUNK_MONTHS``); None = auto."""
+    if explicit is not None and explicit > 0:
+        return int(explicit)
+    env = os.environ.get("REPRO_CHUNK_MONTHS", "").strip()
+    if env:
+        try:
+            value = int(env)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return None
+
+
+def _resume_enabled(explicit: bool | None) -> bool:
+    if explicit is not None:
+        return explicit
+    return os.environ.get("REPRO_RESUME", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def _checkpoint_enabled() -> bool:
+    return os.environ.get("REPRO_CHECKPOINT", "").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
+@dataclass
+class _Chunk:
+    """One unit of schedulable work: a contiguous span of months."""
+
+    id: int
+    months: list[_dt.date]
+    attempts: int = 0
+
+    @property
+    def token(self) -> str:
+        return f"c{self.id}.a{self.attempts}"
+
+
+def _make_chunks(months: list[_dt.date], count: int, per_chunk: int | None) -> list[list[_dt.date]]:
+    """Contiguous chunks, a few per worker by default.
+
+    Finer-than-worker granularity serves three masters at once: dynamic
+    load balancing (record counts grow over the study), small blast
+    radius on a crashed/hung chunk, and checkpoints that start landing
+    early in the run instead of all at the end.
+    """
+    if per_chunk is None:
+        per_chunk = max(1, -(-len(months) // (count * 3)))
+    return [months[i : i + per_chunk] for i in range(0, len(months), per_chunk)]
 
 
 # Worker-side state, installed by the pool initializer after the fork
@@ -61,24 +190,53 @@ def _init_worker(clients, servers) -> None:
     PERF.reset()
 
 
-def _run_chunk(months: list[_dt.date]) -> dict:
-    """Run one month chunk; return a packed partition + perf snapshot."""
+def _run_chunk(job: tuple[int, int, list[_dt.date]]) -> dict:
+    """Run one month chunk; return a packed partition + perf snapshot.
+
+    Fault-injection sites live here: a hang/crash at chunk start, a
+    crash between months, and payload corruption after packing — each
+    drawn deterministically from the (chunk, attempt) token so retries
+    re-draw and schedules reproduce exactly.
+    """
+    chunk_id, attempt, months = job
+    token = f"c{chunk_id}.a{attempt}"
+    faults.hang_point(token)
+    faults.crash_point("worker_crash", token)
     started = time.perf_counter()
     PERF.reset()
     monitor = PassiveMonitor()
     generator = TrafficGenerator(_WORKER["clients"], _WORKER["servers"], monitor)
     for month in months:
+        faults.crash_point("month_crash", f"{token}.m{month.isoformat()}")
         generator.run_expectation_month(month)
+    packed = pack_records(monitor.store.records())
+    if faults.fires("pack_corrupt", token):
+        packed = faults.corrupt_partition(packed, token)
     return {
-        "packed": pack_records(monitor.store.records()),
+        "packed": packed,
         "perf": PERF.snapshot(),
         "wall": time.perf_counter() - started,
     }
 
 
-def _merge_partition(store: NotaryStore, packed: dict) -> None:
-    """Adopt one partition's months (lazily — no record materialization)."""
-    store.attach_packed(PackedDataset(packed))
+def _run_chunk_inline(clients, servers, months: list[_dt.date]) -> dict:
+    """Last-resort serial re-run of one chunk in the parent process.
+
+    Runs with fault injection suppressed — this is the path that makes
+    recovery terminate no matter what the fault plan throws — and
+    increments the parent's PERF counters directly (no snapshot merge).
+    """
+    started = time.perf_counter()
+    with faults.suppressed():
+        monitor = PassiveMonitor()
+        generator = TrafficGenerator(clients, servers, monitor)
+        for month in months:
+            generator.run_expectation_month(month)
+    return {
+        "packed": pack_records(monitor.store.records()),
+        "perf": None,
+        "wall": time.perf_counter() - started,
+    }
 
 
 def run_expectation(
@@ -87,32 +245,182 @@ def run_expectation(
     start: _dt.date,
     end: _dt.date,
     workers: int | None = None,
+    *,
+    resume: bool | None = None,
+    chunk_timeout: float | None = None,
+    chunk_months: int | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    faults_spec: str | None = None,
 ) -> NotaryStore:
     """Full expectation run, sharded across workers; returns the store."""
+    if faults_spec is not None:
+        faults.configure(faults_spec)
     months = month_range(start, end)
     count = resolve_workers(workers)
     if count <= 1 or len(months) < 2 or not fork_available():
         return _run_serial(clients, servers, start, end)
+    return _run_parallel(
+        clients,
+        servers,
+        start,
+        end,
+        months,
+        count,
+        resume=_resume_enabled(resume),
+        timeout=resolve_chunk_timeout(chunk_timeout),
+        per_chunk=resolve_chunk_months(chunk_months),
+        max_attempts=max(1, max_attempts),
+    )
 
-    count = min(count, len(months))
+
+def _run_parallel(
+    clients,
+    servers,
+    start: _dt.date,
+    end: _dt.date,
+    months: list[_dt.date],
+    count: int,
+    *,
+    resume: bool,
+    timeout: float,
+    per_chunk: int | None,
+    max_attempts: int,
+) -> NotaryStore:
     started = time.perf_counter()
     PERF.workers = count
     PERF.worker_wall_times = []
-    # Strided chunks balance the load: record counts grow over the study
-    # (new releases accumulate), so contiguous spans would skew late
-    # chunks heavy.
-    chunks = [months[i::count] for i in range(count)]
-    context = multiprocessing.get_context("fork")
-    with context.Pool(
-        processes=count, initializer=_init_worker, initargs=(clients, servers)
-    ) as pool:
-        partitions = pool.map(_run_chunk, chunks)
     store = NotaryStore()
-    for part in partitions:
-        PERF.merge_worker(part["perf"], part["wall"])
-        _merge_partition(store, part["packed"])
+
+    checkpoint = None
+    if _checkpoint_enabled():
+        from repro.engine import cache as dataset_cache
+
+        checkpoint = dataset_cache.Checkpoint(
+            dataset_cache.dataset_key(clients, servers, start, end)
+        )
+
+    done: set[_dt.date] = set()
+    if checkpoint is not None and resume:
+        for month, payload in checkpoint.load_months(months):
+            store.attach_packed(PackedDataset(payload), idempotent=True)
+            done.add(month)
+            PERF.resumed_months += 1
+    remaining = [m for m in months if m not in done]
+
+    if remaining:
+        if len(remaining) == 1 or count < 2:
+            _adopt(store, checkpoint, _run_chunk_inline(clients, servers, remaining), inline=True)
+        else:
+            _run_chunked(
+                clients, servers, store, checkpoint, remaining,
+                count=count, timeout=timeout, per_chunk=per_chunk,
+                max_attempts=max_attempts,
+            )
+
+    if checkpoint is not None:
+        checkpoint.clear()
     PERF.run_seconds = time.perf_counter() - started
     return store
+
+
+def _run_chunked(
+    clients,
+    servers,
+    store: NotaryStore,
+    checkpoint,
+    months: list[_dt.date],
+    *,
+    count: int,
+    timeout: float,
+    per_chunk: int | None,
+    max_attempts: int,
+) -> None:
+    """The retry/timeout/reshard scheduling loop over one pool per round."""
+    next_id = 0
+
+    def new_chunk(span: list[_dt.date], attempts: int = 0) -> _Chunk:
+        nonlocal next_id
+        chunk = _Chunk(id=next_id, months=span, attempts=attempts)
+        next_id += 1
+        return chunk
+
+    queue: deque[_Chunk] = deque(
+        new_chunk(span) for span in _make_chunks(months, count, per_chunk)
+    )
+    context = multiprocessing.get_context("fork")
+
+    while queue:
+        batch: list[_Chunk] = []
+        while queue:
+            chunk = queue.popleft()
+            if chunk.attempts >= max_attempts:
+                # Out of pool attempts: this chunk's months are computed
+                # inline, fault-free, before anything else is scheduled.
+                PERF.inline_fallbacks += 1
+                _adopt(
+                    store, checkpoint,
+                    _run_chunk_inline(clients, servers, chunk.months),
+                    inline=True,
+                )
+            else:
+                batch.append(chunk)
+        if not batch:
+            break
+
+        failed: list[_Chunk] = []
+        timed_out: list[_Chunk] = []
+        with context.Pool(
+            processes=min(count, len(batch)),
+            initializer=_init_worker,
+            initargs=(clients, servers),
+        ) as pool:
+            submitted = [
+                (chunk, pool.apply_async(_run_chunk, ((chunk.id, chunk.attempts, chunk.months),)))
+                for chunk in batch
+            ]
+            deadline = time.monotonic() + timeout
+            for chunk, result in submitted:
+                wait = max(0.001, deadline - time.monotonic())
+                try:
+                    part = result.get(wait)
+                except multiprocessing.TimeoutError:
+                    timed_out.append(chunk)
+                    PERF.chunk_timeouts += 1
+                except Exception:
+                    failed.append(chunk)
+                else:
+                    if validate_payload(part["packed"], chunk.months):
+                        _adopt(store, checkpoint, part)
+                    else:
+                        failed.append(chunk)
+            # Exiting the with-block terminates the pool, killing any
+            # worker still hung past the deadline.
+
+        for chunk in failed:
+            PERF.chunk_retries += 1
+            queue.append(new_chunk(chunk.months, chunk.attempts + 1))
+        for chunk in timed_out:
+            # Kill-and-reshard: halve the span so a systematic hang
+            # converges on single-month chunks (and then inline).
+            PERF.chunk_retries += 1
+            halves = [chunk.months[: len(chunk.months) // 2 or 1], chunk.months[len(chunk.months) // 2 or 1 :]]
+            for half in halves:
+                if half:
+                    queue.append(new_chunk(half, chunk.attempts + 1))
+        if (failed or timed_out) and queue:
+            worst = max(c.attempts for c in queue)
+            time.sleep(min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** worst)))
+
+
+def _adopt(store: NotaryStore, checkpoint, part: dict, inline: bool = False) -> None:
+    """Merge one finished chunk: perf fold, checkpoint spill, lazy attach."""
+    if not inline and part["perf"] is not None:
+        PERF.merge_worker(part["perf"], part["wall"])
+    elif inline:
+        PERF.worker_wall_times.append(part["wall"])
+    if checkpoint is not None:
+        checkpoint.save_months(split_by_month(part["packed"]))
+    store.attach_packed(PackedDataset(part["packed"]), idempotent=True)
 
 
 def _run_serial(clients, servers, start: _dt.date, end: _dt.date) -> NotaryStore:

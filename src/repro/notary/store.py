@@ -198,15 +198,22 @@ class NotaryStore:
         for month, batch in grouped.items():
             self.add_batch(month, batch)
 
-    def attach_packed(self, dataset) -> None:
+    def attach_packed(self, dataset, *, idempotent: bool = False) -> None:
         """Adopt a :class:`~repro.engine.partition.PackedDataset` lazily.
 
         Months the store does not hold yet stay packed until a scan needs
         them; months that collide with existing data are materialized
         and appended immediately.
+
+        With ``idempotent=True`` colliding months are *skipped* instead
+        of appended: the engine's recovery paths (checkpoint resume,
+        chunk retries) may legitimately present a month the store
+        already holds, and re-attaching must not double its records.
         """
         for month in dataset.months():
             if month in self._by_month or month in self._packed:
+                if idempotent:
+                    continue
                 self.add_batch(month, dataset.materialize(month))
             else:
                 self._packed[month] = dataset

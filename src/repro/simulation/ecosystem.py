@@ -58,6 +58,12 @@ class EcosystemModel:
     use_cache: bool | None = None
     #: Ignore any cached dataset and overwrite it with a fresh run.
     rebuild: bool = False
+    #: Fault-injection spec (``kind:rate,...``); None resolves via
+    #: ``REPRO_FAULTS``.  See :mod:`repro.engine.faults`.
+    faults: str | None = None
+    #: Resume a killed run from its month checkpoints; None resolves
+    #: via ``REPRO_RESUME``.
+    resume: bool | None = None
 
     def __post_init__(self) -> None:
         self._passive_store: NotaryStore | None = None
@@ -74,11 +80,27 @@ class EcosystemModel:
 
     # ---- passive (Notary) ----------------------------------------------------
 
+    def _build_passive_store(self) -> NotaryStore:
+        from repro.engine import runner
+
+        return runner.run_expectation(
+            self.clients, self.servers, self.start, self.end,
+            workers=self.workers,
+            resume=self.resume,
+            faults_spec=self.faults,
+        )
+
     def passive_store(self) -> NotaryStore:
-        """The expectation-mode Notary dataset (memoized + disk-cached)."""
+        """The expectation-mode Notary dataset (memoized + disk-cached).
+
+        On a cache miss the build runs under the advisory per-key build
+        lock: if another process is already simulating the same dataset,
+        this one waits briefly for that blob to land instead of
+        duplicating a multi-minute run (and builds anyway if it never
+        does — the lock is advisory, not load-bearing).
+        """
         if self._passive_store is None:
             from repro.engine import cache as dataset_cache
-            from repro.engine import runner
 
             cache_on = self._cache_enabled()
             key = None
@@ -90,20 +112,23 @@ class EcosystemModel:
                 if not self.rebuild:
                     store = dataset_cache.load_store(key)
             if store is None:
-                store = runner.run_expectation(
-                    self.clients, self.servers, self.start, self.end,
-                    workers=self.workers,
-                )
                 if cache_on and key is not None:
-                    dataset_cache.save_store(
-                        store,
-                        key,
-                        meta={
-                            "start": self.start.isoformat(),
-                            "end": self.end.isoformat(),
-                            "records": len(store),
-                        },
-                    )
+                    with dataset_cache.build_lock(key) as acquired:
+                        if not acquired and not self.rebuild:
+                            store = dataset_cache.wait_for_store(key)
+                        if store is None:
+                            store = self._build_passive_store()
+                            dataset_cache.save_store(
+                                store,
+                                key,
+                                meta={
+                                    "start": self.start.isoformat(),
+                                    "end": self.end.isoformat(),
+                                    "records": len(store),
+                                },
+                            )
+                else:
+                    store = self._build_passive_store()
             self._passive_store = store
         return self._passive_store
 
@@ -174,6 +199,8 @@ def default_model(
     workers: int | None = None,
     use_cache: bool | None = None,
     rebuild: bool = False,
+    faults: str | None = None,
+    resume: bool | None = None,
 ) -> EcosystemModel:
     """A process-wide shared model, so benches and chained CLI commands
     reuse one simulation.
@@ -184,6 +211,7 @@ def default_model(
     global _DEFAULT_MODEL
     if _DEFAULT_MODEL is None:
         _DEFAULT_MODEL = EcosystemModel(
-            workers=workers, use_cache=use_cache, rebuild=rebuild
+            workers=workers, use_cache=use_cache, rebuild=rebuild,
+            faults=faults, resume=resume,
         )
     return _DEFAULT_MODEL

@@ -3,9 +3,18 @@
 from __future__ import annotations
 
 import datetime as dt
+import os
 import random
 
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Keep dataset blobs and run checkpoints out of the user's real
+    ``~/.cache/repro`` (unless the environment already redirects it)."""
+    if not os.environ.get("REPRO_CACHE_DIR", "").strip():
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
 
 from repro.clients.population import default_population
 from repro.notary import PassiveMonitor, TrafficGenerator

@@ -26,17 +26,22 @@ class TestParser:
 
     def test_engine_flags(self):
         args = build_parser().parse_args(
-            ["--workers", "4", "--no-cache", "--rebuild", "stats"]
+            ["--workers", "4", "--no-cache", "--rebuild", "--resume",
+             "--faults", "worker_crash:0.1,seed:3", "stats"]
         )
         assert args.workers == 4
         assert args.no_cache
         assert args.rebuild
+        assert args.resume
+        assert args.faults == "worker_crash:0.1,seed:3"
 
     def test_engine_flags_default_off(self):
         args = build_parser().parse_args(["stats"])
         assert args.workers is None
         assert not args.no_cache
         assert not args.rebuild
+        assert not args.resume
+        assert args.faults is None
 
 
 class TestFastCommands:
@@ -114,6 +119,11 @@ class TestStats:
         assert "ENGINE PERF COUNTERS" in out
         assert "negotiations" in out
         assert "records/s" in out
+        # Resilience counters are always reported, even when zero.
+        assert "chunk retries" in out
+        assert "chunk timeouts" in out
+        assert "resumed months" in out
+        assert "cache evictions" in out
 
     def test_commands_share_one_default_model(self, monkeypatch):
         """Chained commands must reuse the process-wide model instance."""

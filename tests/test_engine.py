@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import datetime as dt
 import os
+import random
 import subprocess
 import sys
 
@@ -17,8 +18,14 @@ import pytest
 
 from repro.core import figures
 from repro.engine import cache as dataset_cache
-from repro.engine import runner
-from repro.engine.partition import PackedDataset, pack_records, unpack_records
+from repro.engine import faults, runner
+from repro.engine.partition import (
+    PackedDataset,
+    pack_records,
+    split_by_month,
+    unpack_records,
+    validate_payload,
+)
 from repro.engine.perf import PERF
 from repro.notary import PassiveMonitor, TrafficGenerator
 from repro.notary.query import NegotiatedVersion
@@ -79,6 +86,47 @@ class TestParallelEquivalence:
     def test_resolve_workers_ignores_garbage_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "abc")
         assert runner.resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_resolve_workers_rejects_negatives_as_malformed(self, monkeypatch):
+        # A negative count is a typo, not a request for serial mode:
+        # it must fall back to the CPU count like any malformed value.
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        assert runner.resolve_workers(None) == (os.cpu_count() or 1)
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert runner.resolve_workers(-2) == (os.cpu_count() or 1)
+
+
+class TestDifferentialResilience:
+    """Property-style: random worker counts, chunk sizes, and fault
+    schedules must never perturb a single figure aggregate."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_seeded_schedules_match_serial(
+        self, serial_store, client_population, server_population,
+        seed, tmp_path, monkeypatch,
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        rng = random.Random(seed)
+        workers = rng.randint(0, 8)
+        chunk_months = rng.randint(1, 3)
+        spec = ",".join(
+            f"{kind}:{rng.uniform(0.1, 0.6):.2f}"
+            for kind in rng.sample(
+                ["worker_crash", "month_crash", "pack_corrupt", "chunk_hang"],
+                k=rng.randint(1, 3),
+            )
+        ) + f",hang_seconds:0.3,seed:{rng.randint(0, 999)}"
+        try:
+            store = runner.run_expectation(
+                client_population, server_population, START, END,
+                workers=workers, chunk_months=chunk_months, faults_spec=spec,
+            )
+        finally:
+            faults.clear()
+        assert store.months() == serial_store.months()
+        assert store.records() == serial_store.records()
+        for figure in ALL_FIGURES:
+            assert figure(store) == figure(serial_store)
 
 
 class TestIndexedAggregation:
@@ -143,6 +191,40 @@ class TestPartitionCodec:
         store.attach_packed(PackedDataset(payload))
         store.attach_packed(PackedDataset(payload))
         assert len(store.records(START)) == 2 * len(serial_store.records(START))
+
+    def test_attach_packed_idempotent_skips_collisions(self, serial_store):
+        # The engine's recovery paths re-present months the store may
+        # already hold (checkpoint resume); idempotent attach must not
+        # double them.
+        store = NotaryStore()
+        payload = pack_records(serial_store.records(START))
+        store.attach_packed(PackedDataset(payload))
+        store.attach_packed(PackedDataset(payload), idempotent=True)
+        assert store.records(START) == serial_store.records(START)
+
+    def test_split_by_month_reassembles_exactly(self, serial_store):
+        split = split_by_month(pack_records(serial_store.records()))
+        assert sorted(split) == serial_store.months()
+        store = NotaryStore()
+        for part in split.values():
+            assert validate_payload(part)
+            store.attach_packed(PackedDataset(part))
+        assert store.records() == serial_store.records()
+
+    def test_validate_payload_catches_corruption(self, serial_store):
+        months = serial_store.months()
+        good = pack_records(serial_store.records())
+        assert validate_payload(good, months)
+        skewed = pack_records(serial_store.records())
+        skewed["format"] = -1
+        assert not validate_payload(skewed, months)
+        truncated = pack_records(serial_store.records())
+        next(iter(truncated["months"].values()))["weights"].pop()
+        assert not validate_payload(truncated, months)
+        dropped = pack_records(serial_store.records())
+        dropped["months"].pop(next(iter(dropped["months"])))
+        assert not validate_payload(dropped, months)
+        assert not validate_payload("not a payload", months)
 
 
 class TestStoreBatching:
@@ -211,7 +293,7 @@ class TestDatasetCache:
         assert dataset_cache.load_store("0" * 64) is None
         assert PERF.dataset_cache_misses == 1
 
-    def test_corrupt_blob_is_miss(
+    def test_corrupt_blob_is_miss_and_deleted(
         self, serial_store, client_population, server_population
     ):
         key = dataset_cache.dataset_key(
@@ -220,6 +302,11 @@ class TestDatasetCache:
         path = dataset_cache.save_store(serial_store, key)
         path.write_bytes(b"not a dataset")
         assert dataset_cache.load_store(key) is None
+        # Regression: the rejected blob used to stay on disk forever,
+        # making every future run pay the read-and-fail cost.
+        assert not path.exists()
+        assert dataset_cache.save_store(serial_store, key) is not None
+        assert dataset_cache.load_store(key) is not None
 
     def test_key_depends_on_window(self, client_population, server_population):
         a = dataset_cache.dataset_key(client_population, server_population, START, END)
