@@ -1,0 +1,78 @@
+"""Overhead envelope of the observability layer.
+
+The :mod:`repro.obs` contract is "observe, never perturb" — which only
+holds if its cost is negligible against the simulation inner loop.
+These benchmarks pin that down: raw span enter/exit cost, a disabled
+metrics emit (the common case — no ``REPRO_METRICS_PATH``), an enabled
+JSONL emit, and a full instrumented engine run against the bare serial
+figure from :mod:`bench_perf_substrate`.
+"""
+
+import datetime as dt
+
+from repro import obs
+from repro.obs import metrics
+
+
+def test_perf_span_enter_exit(benchmark):
+    """One span with scalar attrs — the per-month instrumentation cost."""
+    obs.TRACE.reset()
+
+    def one_span():
+        obs.reset_spans()
+        with obs.span("bench", month="2016-06-01", attempt=1):
+            pass
+
+    benchmark(one_span)
+
+
+def test_perf_nested_spans(benchmark):
+    """The runner's real shape: run > chunk > month, three levels deep."""
+    obs.TRACE.reset()
+
+    def nest():
+        obs.reset_spans()
+        with obs.span("run"):
+            with obs.span("chunk", chunk=0):
+                with obs.span("month", month="2016-06-01"):
+                    pass
+
+    benchmark(nest)
+
+
+def test_perf_emit_disabled(benchmark, monkeypatch):
+    """Metrics emit with no sink configured — must be near-free."""
+    monkeypatch.delenv("REPRO_METRICS_PATH", raising=False)
+    benchmark(metrics.emit, "bench_event", month="2016-06-01", records=1234)
+
+
+def test_perf_emit_enabled(benchmark, tmp_path, monkeypatch):
+    """One JSONL append (open/write/close — the fork-safe discipline)."""
+    monkeypatch.setenv("REPRO_METRICS_PATH", str(tmp_path / "metrics.jsonl"))
+    obs.TRACE.reset()
+    benchmark(metrics.emit, "bench_event", month="2016-06-01", records=1234)
+
+
+def test_perf_engine_run_instrumented(benchmark, tmp_path, monkeypatch):
+    """Serial engine run with spans live and the JSONL sink enabled;
+    compare against test_perf_engine_run_serial for the layer's tax."""
+    from repro.clients.population import default_population
+    from repro.engine import runner
+    from repro.servers import ServerPopulation
+
+    monkeypatch.setenv("REPRO_METRICS_PATH", str(tmp_path / "metrics.jsonl"))
+    clients = default_population()
+    servers = ServerPopulation()
+
+    def run():
+        obs.TRACE.reset()
+        return len(
+            runner.run_expectation(
+                clients, servers, dt.date(2016, 4, 1), dt.date(2016, 6, 1),
+                workers=0,
+            )
+        )
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert records > 3000
+    assert (tmp_path / "metrics.jsonl").exists()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Validate a ``REPRO_METRICS_PATH`` JSONL sink (CI gate).
+
+Asserts that every line parses as a JSON object carrying the stable
+event envelope (``ts``, ``event``, ``trace_id``) and that at least one
+``run_complete`` event was emitted — i.e. the observability layer was
+actually live for the run that produced the file.
+
+Usage: ``python scripts/check_metrics_jsonl.py <path>``; exits 1 on any
+violation so CI fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+REQUIRED_KEYS = ("ts", "event", "trace_id")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_metrics_jsonl.py <path>", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    if not path.exists():
+        print(f"FAIL: metrics sink {path} was never created", file=sys.stderr)
+        return 1
+    events: Counter = Counter()
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"FAIL: {path}:{lineno} is not valid JSON: {exc}", file=sys.stderr)
+            return 1
+        if not isinstance(record, dict):
+            print(f"FAIL: {path}:{lineno} is not a JSON object", file=sys.stderr)
+            return 1
+        missing = [key for key in REQUIRED_KEYS if key not in record]
+        if missing:
+            print(
+                f"FAIL: {path}:{lineno} missing envelope key(s) {missing}",
+                file=sys.stderr,
+            )
+            return 1
+        events[record["event"]] += 1
+    total = sum(events.values())
+    if total == 0:
+        print(f"FAIL: {path} contains no events", file=sys.stderr)
+        return 1
+    if events.get("run_complete", 0) == 0:
+        print(
+            f"FAIL: {path} has {total} event(s) but no run_complete", file=sys.stderr
+        )
+        return 1
+    summary = ", ".join(f"{name}={count}" for name, count in sorted(events.items()))
+    print(f"OK: {total} event(s): {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

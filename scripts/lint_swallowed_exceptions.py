@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Fail on broad exception handlers that swallow silently.
+
+The engine's resilience story depends on failures being *recoverable
+and attributable*: a ``try/except Exception`` that neither logs nor
+re-raises turns a degraded run into one that looks clean — exactly the
+bug class PR 3 swept out of the runner, cache, and partition codec.
+This check keeps it out.
+
+A handler is flagged when it catches ``Exception`` / ``BaseException`` /
+everything (bare ``except:``) and its body contains none of:
+
+* a logging call (``log.warning(...)``, ``logger.exception(...)``, …),
+* a ``raise``,
+* a :mod:`repro.obs` metrics emission (``emit_event(...)`` / ``emit(...)``).
+
+Narrow handlers (``except OSError:``) are out of scope — catching a
+specific expected error is a policy decision, not a swallow.  A flagged
+site that is genuinely intentional can carry ``# lint: allow-swallow``
+on its ``except`` line.
+
+Usage: ``python scripts/lint_swallowed_exceptions.py [paths...]``
+(default: ``src/repro``).  Exits 1 when violations exist.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Method names that count as "the failure was reported".
+_LOG_METHODS = {
+    "debug",
+    "info",
+    "warning",
+    "error",
+    "exception",
+    "critical",
+    "log",
+}
+
+#: Bare function names that count as reporting (obs metrics sink).
+_REPORT_FUNCTIONS = {"emit", "emit_event"}
+
+#: Exception names whose handlers are broad enough to audit.
+_BROAD = {"Exception", "BaseException"}
+
+ALLOW_MARKER = "lint: allow-swallow"
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except:
+        return True
+    nodes = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+            return True
+    return False
+
+
+def _reports_failure(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS:
+                return True
+            if isinstance(func, ast.Name) and func.id in _REPORT_FUNCTIONS:
+                return True
+    return False
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: unparseable: {exc.msg}"]
+    lines = source.splitlines()
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node):
+            continue
+        line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if ALLOW_MARKER in line:
+            continue
+        if _reports_failure(node):
+            continue
+        caught = "bare except" if node.type is None else "except Exception"
+        violations.append(
+            f"{path}:{node.lineno}: {caught} swallows silently "
+            f"(add a logger call, a raise, or '# {ALLOW_MARKER}')"
+        )
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(p) for p in argv] or [
+        Path(__file__).resolve().parent.parent / "src" / "repro"
+    ]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    violations: list[str] = []
+    for path in files:
+        violations.extend(check_file(path))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} swallowed-exception site(s) found")
+        return 1
+    print(f"OK: {len(files)} file(s), no silently swallowed exceptions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,5 +1,14 @@
-"""Module entry point: ``python -m repro``."""
+"""Module entry point: ``python -m repro``.
+
+Diagnostic logging is configured before the CLI parses anything so
+import-time and argument errors are reported through the same
+``repro.*`` channel (``REPRO_LOG_LEVEL`` controls the level; the CLI's
+``--verbose`` re-resolves it to DEBUG).
+"""
 
 from repro.cli import main
+from repro.obs import configure_logging
+
+configure_logging()
 
 raise SystemExit(main())

@@ -11,7 +11,8 @@ Commands:
 * ``stats`` — build/load the expectation dataset and print engine perf
   counters (negotiations, cache hits, chunk wall times, records/s, and
   the resilience counters: retries, timeouts, inline fallbacks, resumed
-  months, cache evictions).
+  months, cache evictions).  ``stats --json`` emits the same data — plus
+  the run's trace spans — as one machine-readable JSON document.
 
 Engine flags (global, before the command): ``--workers N`` shards the
 expectation run across N processes (``REPRO_WORKERS``; 0 = serial),
@@ -20,6 +21,11 @@ ignores and overwrites any cached dataset, ``--resume`` picks a killed
 run back up from its month checkpoints, and ``--faults SPEC`` injects
 deterministic faults (``worker_crash:0.1,chunk_hang:0.05,seed:42`` —
 see :mod:`repro.engine.faults`) to exercise the recovery paths.
+
+Observability (:mod:`repro.obs`): ``--verbose`` (or ``REPRO_LOG_LEVEL``)
+turns on the ``repro.*`` diagnostic loggers on stderr, and setting
+``REPRO_METRICS_PATH`` appends one JSON line per engine event to that
+file (the CLI rotates a pre-existing file aside at startup).
 
 Every command resolves the simulation through one process-wide
 :func:`repro.simulation.ecosystem.default_model`, so chaining commands
@@ -175,6 +181,35 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Version of the ``stats --json`` document layout; bump on any
+#: backwards-incompatible key change (tests pin the schema).
+STATS_SCHEMA = 1
+
+
+def _stats_payload(model, store, wall: float) -> dict:
+    """The machine-readable ``stats --json`` document."""
+    from repro import obs
+    from repro.engine.perf import PERF
+
+    return {
+        "schema": STATS_SCHEMA,
+        "dataset": {
+            "start": model.start.isoformat(),
+            "end": model.end.isoformat(),
+            "months": len(store.months()),
+            "records": len(store),
+            "wall_seconds": wall,
+        },
+        "counters": PERF.snapshot(),
+        "derived": {"records_per_second": PERF.records_per_second()},
+        "trace": {
+            "trace_id": obs.trace_id(),
+            "spans": obs.snapshot_spans(),
+            "dropped_spans": obs.TRACE.dropped,
+        },
+    }
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.engine.perf import PERF
 
@@ -182,6 +217,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     store = model.passive_store()
     wall = time.perf_counter() - started
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(_stats_payload(model, store, wall), indent=2, default=str))
+        return 0
     months = store.months()
     print("DATASET")
     print("-------")
@@ -220,6 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SPEC",
         help="inject deterministic faults, e.g. "
              "'worker_crash:0.1,chunk_hang:0.05,seed:42' (REPRO_FAULTS)",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="DEBUG-level repro.* diagnostics on stderr "
+             "(default level: REPRO_LOG_LEVEL or WARNING)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -262,14 +307,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser(
         "stats", help="build/load the dataset and print engine perf counters"
     )
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the dataset summary, every perf counter, and the "
+             "run's trace spans as one JSON document",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import obs
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs.configure_logging("DEBUG" if getattr(args, "verbose", False) else None)
+    # Each CLI invocation's metrics history starts clean (first call in
+    # a process rotates any pre-existing sink file; chained in-process
+    # commands keep appending to the fresh one).
+    obs.rotate_existing()
     return args.func(args)
 
 

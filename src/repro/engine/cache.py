@@ -54,6 +54,9 @@ from repro.engine.partition import (
     validate_payload,
 )
 from repro.engine.perf import PERF
+from repro.obs import emit_event, get_logger, span
+
+_log = get_logger("repro.engine.cache")
 
 #: Bump to invalidate every cached dataset (e.g. when negotiation logic
 #: changes in a way the population description cannot see).  3 added
@@ -128,8 +131,10 @@ def _write_blob(path: Path, obj: dict, fault_token: str) -> Path | None:
         tmp.write_bytes(body + footer)
         os.replace(tmp, path)
         return path
-    except OSError:
+    except OSError as exc:
         PERF.cache_write_failures += 1
+        _log.warning("cache write of %s failed: %s", path, exc)
+        emit_event("cache_write_failure", path=str(path), error=str(exc))
         return None
 
 
@@ -140,7 +145,8 @@ def _read_blob(path: Path, fault_token: str) -> dict | None:
         raw = path.read_bytes()
     except FileNotFoundError:
         return None
-    except OSError:
+    except OSError as exc:
+        _log.warning("cache blob %s unreadable: %s", path, exc)
         return None
     try:
         if faults.fires("cache_read", fault_token):
@@ -152,10 +158,17 @@ def _read_blob(path: Path, fault_token: str) -> dict | None:
         if magic != _FOOTER_MAGIC or length != len(body) or crc != zlib.crc32(body):
             raise ValueError("blob failed integrity footer")
         return pickle.loads(zlib.decompress(body))
-    except Exception:
+    except Exception as exc:
         # Leaving a bad blob on disk makes every future run pay the
         # read-decompress-fail cost forever; delete it so the next run
         # rebuilds once and re-seals.
+        PERF.cache_read_errors += 1
+        _log.warning(
+            "cache blob %s rejected (%s: %s); deleting",
+            path,
+            type(exc).__name__,
+            exc,
+        )
         _delete_corrupt(path)
         return None
 
@@ -164,8 +177,9 @@ def _delete_corrupt(path: Path) -> None:
     try:
         path.unlink()
         PERF.cache_corrupt_deleted += 1
-    except OSError:
-        pass
+        emit_event("cache_corrupt_deleted", path=str(path))
+    except OSError as exc:
+        _log.warning("could not delete corrupt blob %s: %s", path, exc)
 
 
 # ---- dataset blobs ----------------------------------------------------------
@@ -178,18 +192,21 @@ def save_store(store, key: str, meta: dict | None = None) -> Path | None:
     be written must never take the computed result down with it.  Every
     successful save triggers the LRU size sweep.
     """
-    payload = {
-        "format": CACHE_FORMAT,
-        "key": key,
-        "meta": dict(meta or {}),
-        "records": pack_records(store.records()),
-        # Aggregate indexes ride along so a warm load answers the
-        # standard figure queries without touching a single record.
-        "indexes": store.index_payloads(),
-    }
-    path = _write_blob(store_path(key), payload, f"save:{key[:16]}")
-    if path is not None:
-        evict_lru(keep=path)
+    with span("cache_save", key=key[:16]):
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "meta": dict(meta or {}),
+            "records": pack_records(store.records()),
+            # Aggregate indexes ride along so a warm load answers the
+            # standard figure queries without touching a single record.
+            "indexes": store.index_payloads(),
+        }
+        path = _write_blob(store_path(key), payload, f"save:{key[:16]}")
+        if path is not None:
+            _log.debug("dataset cached at %s", path)
+            emit_event("cache_save", key=key[:16], path=str(path))
+            evict_lru(keep=path)
     return path
 
 
@@ -203,25 +220,37 @@ def load_store(key: str):
 
     path = store_path(key)
     started = time.perf_counter()
-    payload = _read_blob(path, f"load:{key[:16]}")
-    if payload is not None:
-        if (
-            payload.get("format") != CACHE_FORMAT
-            or payload.get("key") != key
-            or not validate_payload(payload.get("records", {}))
-        ):
-            _delete_corrupt(path)
-            payload = None
-    if payload is None:
-        PERF.dataset_cache_misses += 1
-        return None
-    store = NotaryStore()
-    store.attach_packed(PackedDataset(payload["records"]))
-    store.install_index_payloads(payload.get("indexes", {}))
-    with contextlib.suppress(OSError):
-        os.utime(path)
-    PERF.dataset_cache_hits += 1
-    PERF.load_seconds = time.perf_counter() - started
+    with span("cache_load", key=key[:16]):
+        payload = _read_blob(path, f"load:{key[:16]}")
+        if payload is not None:
+            if (
+                payload.get("format") != CACHE_FORMAT
+                or payload.get("key") != key
+                or not validate_payload(payload.get("records", {}))
+            ):
+                _log.warning(
+                    "cached dataset %s failed format/key/payload checks; culling",
+                    path,
+                )
+                _delete_corrupt(path)
+                payload = None
+        if payload is None:
+            PERF.dataset_cache_misses += 1
+            _log.debug("dataset cache miss for key %s", key[:16])
+            emit_event("cache_miss", key=key[:16])
+            return None
+        store = NotaryStore()
+        store.attach_packed(PackedDataset(payload["records"]))
+        store.install_index_payloads(payload.get("indexes", {}))
+        with contextlib.suppress(OSError):
+            os.utime(path)
+        PERF.dataset_cache_hits += 1
+        PERF.records_loaded += len(store)
+        PERF.load_seconds = time.perf_counter() - started
+        _log.debug(
+            "dataset cache hit for key %s (%.3fs)", key[:16], PERF.load_seconds
+        )
+        emit_event("cache_hit", key=key[:16], seconds=PERF.load_seconds)
     return store
 
 
@@ -271,6 +300,8 @@ def evict_lru(max_bytes: int | None = None, keep: Path | None = None) -> int:
             total -= size
             evicted += 1
             PERF.cache_evictions += 1
+            _log.info("evicted cache blob %s (%d bytes, LRU)", path.name, size)
+            emit_event("cache_evict", path=str(path), bytes=size)
     return evicted
 
 
@@ -317,6 +348,10 @@ def build_lock(key: str):
                 except OSError:
                     continue  # holder vanished between open and stat; retry
                 if age > _lock_stale_seconds():
+                    _log.warning(
+                        "breaking stale build lock %s (age %.0fs)", path, age
+                    )
+                    emit_event("lock_stale_broken", path=str(path), age=age)
                     with contextlib.suppress(OSError):
                         path.unlink()
                     continue
@@ -380,6 +415,13 @@ class Checkpoint:
             if _write_blob(self._month_path(month), blob, token) is not None:
                 written += 1
         PERF.checkpointed_months += written
+        if written:
+            _log.debug("checkpointed %d month(s) under %s", written, self.dir)
+            emit_event(
+                "checkpoint_save",
+                key=self.key[:16],
+                months=[m.isoformat() for m in split],
+            )
         return written
 
     def load_months(self, months):
@@ -391,12 +433,15 @@ class Checkpoint:
             if blob is None:
                 continue
             if blob.get("format") != CACHE_FORMAT or blob.get("key") != self.key:
+                _log.warning("checkpoint %s has format/key skew; culling", path)
                 _delete_corrupt(path)
                 continue
             payload = blob.get("records")
             if not validate_payload(payload, [month]):
+                _log.warning("checkpoint %s failed validation; culling", path)
                 _delete_corrupt(path)
                 continue
+            emit_event("checkpoint_load", key=self.key[:16], month=month.isoformat())
             yield month, payload
 
     def clear(self) -> None:

@@ -31,8 +31,11 @@ the attempt number, so a retried chunk draws fresh: a 100% crash rate
 still terminates because the inline fallback runs under
 :func:`suppressed`.
 
-Like :mod:`repro.engine.perf`, this module imports nothing from the
-rest of :mod:`repro` so any layer can call into it without cycles.
+Like :mod:`repro.engine.perf`, this module imports only the bottom
+layer (:mod:`repro.engine.perf`, :mod:`repro.obs`) so any layer can
+call into it without cycles.  Every fired fault is logged and emitted
+to the JSONL metrics sink, so a fault schedule leaves an auditable
+trail even when the process it fired in dies.
 """
 
 from __future__ import annotations
@@ -44,6 +47,9 @@ import time
 from dataclasses import dataclass, field
 
 from repro.engine.perf import PERF
+from repro.obs import emit_event, get_logger
+
+_log = get_logger("repro.engine.faults")
 
 #: Fault kinds with a rate; anything else in a spec is ignored (a
 #: malformed env var must degrade, never kill a run).
@@ -175,6 +181,10 @@ def fires(kind: str, token: str) -> bool:
         return False
     if current().fires(kind, token):
         PERF.faults_injected += 1
+        # Emit before the caller raises/hangs/corrupts: a crashed
+        # worker's counters die with it, but this line survives.
+        _log.debug("injected fault %s at %s", kind, token)
+        emit_event("fault", kind=kind, token=token)
         return True
     return False
 

@@ -27,7 +27,11 @@ import datetime as _dt
 from array import array
 from collections.abc import Iterable
 
+from repro.engine.perf import PERF
 from repro.notary.events import ConnectionRecord, FingerprintFields
+from repro.obs import get_logger
+
+_log = get_logger("repro.engine.partition")
 
 #: Bump when the layout below changes; packed blobs with another
 #: version are rejected (the dataset cache treats that as a miss).
@@ -257,7 +261,19 @@ def validate_payload(payload: dict, expected_months: Iterable[_dt.date] | None =
             if len(idxs) and max(idxs) >= len(shapes):
                 return False
         return True
-    except Exception:
+    except Exception as exc:
+        # Damage severe enough to explode the checks themselves (wrong
+        # types, missing keys) is still just a corrupt partition to the
+        # caller — but it must leave a trail, not vanish.
+        PERF.validation_errors += 1
+        _log.warning(
+            "partition payload rejected (months %s): %s: %s",
+            sorted(m.isoformat() for m in expected_months)
+            if expected_months is not None
+            else "unknown",
+            type(exc).__name__,
+            exc,
+        )
         return False
 
 

@@ -16,6 +16,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+#: Fields scoped to the parent run as a whole — never folded from a
+#: worker snapshot.  ``workers`` and the wall clocks describe the merged
+#: run, and ``worker_wall_times`` is appended explicitly by
+#: :meth:`PerfCounters.merge_worker`.  Every field NOT named here is a
+#: summable fleet counter and merges from every worker by default, so a
+#: newly added counter is fleet-accurate without touching the merge
+#: (the old hand-kept six-name list silently dropped everything else).
+PARENT_ONLY_FIELDS = frozenset(
+    {
+        "run_seconds",
+        "load_seconds",
+        "workers",
+        "worker_wall_times",
+    }
+)
+
+
 @dataclass
 class PerfCounters:
     """Counters for one process (or one merged fleet)."""
@@ -30,6 +47,9 @@ class PerfCounters:
     hello_cache_hits: int = 0
     #: Connection records observed into stores.
     records: int = 0
+    #: Records attached from a persistent-cache load (a warm run
+    #: observes nothing, so this is its throughput numerator).
+    records_loaded: int = 0
     #: Persistent dataset-cache hits / misses (load attempts).
     dataset_cache_hits: int = 0
     dataset_cache_misses: int = 0
@@ -52,6 +72,14 @@ class PerfCounters:
     #: Faults fired by the injection plan (parent-side sites only count
     #: here; a crashed worker's counters die with it).
     faults_injected: int = 0
+    #: Worker exceptions observed by the parent scheduler (each one is
+    #: logged with its chunk context and re-queued as a retry).
+    worker_errors: int = 0
+    #: Partition payloads whose structural validation itself raised
+    #: (damage severe enough to explode the checks, not just fail them).
+    validation_errors: int = 0
+    #: Sealed blobs that failed the read/verify path (then culled).
+    cache_read_errors: int = 0
     #: Wall seconds of the last full expectation run (serial or merged).
     run_seconds: float = 0.0
     #: Wall seconds of the last persistent-cache load.
@@ -77,24 +105,36 @@ class PerfCounters:
         }
 
     def merge_worker(self, snap: dict, wall: float) -> None:
-        """Fold one worker's snapshot into the fleet totals."""
-        for name in (
-            "negotiations",
-            "handshake_cache_hits",
-            "hello_builds",
-            "hello_cache_hits",
-            "records",
-            "faults_injected",
-        ):
+        """Fold one worker's snapshot into the fleet totals.
+
+        Every summable field merges by default; only
+        :data:`PARENT_ONLY_FIELDS` are excluded.  Summing by exclusion
+        rather than inclusion is the fix for a long-standing accounting
+        hole: the old explicit six-name list silently dropped worker-side
+        ``cache_write_failures``, ``dataset_cache_hits``/``misses``,
+        ``cache_corrupt_deleted`` — and every counter added since.
+        """
+        for name in self.__dataclass_fields__:
+            if name in PARENT_ONLY_FIELDS:
+                continue
             setattr(self, name, getattr(self, name) + int(snap.get(name, 0)))
         self.worker_wall_times.append(wall)
 
     # ---- derived ------------------------------------------------------------
 
     def records_per_second(self) -> float | None:
-        if self.run_seconds <= 0 or self.records <= 0:
-            return None
-        return self.records / self.run_seconds
+        """Throughput of however the records actually arrived.
+
+        A simulated run reports against ``run_seconds``; a warm-cache
+        run has ``run_seconds == 0`` but a real load wall, so it reports
+        load-path throughput instead of hiding the number entirely.
+        """
+        if self.records > 0 and self.run_seconds > 0:
+            return self.records / self.run_seconds
+        loaded = self.records or self.records_loaded
+        if loaded > 0 and self.load_seconds > 0:
+            return loaded / self.load_seconds
+        return None
 
     def render(self) -> str:
         """Human-readable block for ``python -m repro stats``."""
@@ -105,6 +145,8 @@ class PerfCounters:
         lines.append(f"hello builds        : {self.hello_builds}")
         lines.append(f"hello cache hits    : {self.hello_cache_hits}")
         lines.append(f"records observed    : {self.records}")
+        if self.records_loaded:
+            lines.append(f"records loaded      : {self.records_loaded}")
         lines.append(f"dataset cache hits  : {self.dataset_cache_hits}")
         lines.append(f"dataset cache misses: {self.dataset_cache_misses}")
         lines.append(f"chunk retries       : {self.chunk_retries}")
@@ -119,6 +161,12 @@ class PerfCounters:
             lines.append(f"cache write failures: {self.cache_write_failures}")
         if self.faults_injected:
             lines.append(f"faults injected     : {self.faults_injected}")
+        if self.worker_errors:
+            lines.append(f"worker errors       : {self.worker_errors}")
+        if self.validation_errors:
+            lines.append(f"validation errors   : {self.validation_errors}")
+        if self.cache_read_errors:
+            lines.append(f"cache read errors   : {self.cache_read_errors}")
         if self.load_seconds > 0:
             lines.append(f"cache load seconds  : {self.load_seconds:.3f}")
         if self.run_seconds > 0:

@@ -53,6 +53,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.engine import faults
 from repro.engine.partition import (
     PackedDataset,
@@ -64,6 +65,8 @@ from repro.engine.perf import PERF
 from repro.notary.generator import TrafficGenerator
 from repro.notary.monitor import PassiveMonitor
 from repro.notary.store import NotaryStore, month_range
+
+_log = obs.get_logger("repro.engine.runner")
 
 #: Pool attempts per chunk before the inline fallback takes over.
 DEFAULT_MAX_ATTEMPTS = 3
@@ -184,10 +187,13 @@ def _make_chunks(months: list[_dt.date], count: int, per_chunk: int | None) -> l
 _WORKER: dict = {}
 
 
-def _init_worker(clients, servers) -> None:
+def _init_worker(clients, servers, trace_id: str | None = None) -> None:
     _WORKER["clients"] = clients
     _WORKER["servers"] = servers
     PERF.reset()
+    obs.TRACE.reset()
+    if trace_id is not None:
+        obs.adopt_trace(trace_id)
 
 
 def _run_chunk(job: tuple[int, int, list[_dt.date]]) -> dict:
@@ -204,17 +210,21 @@ def _run_chunk(job: tuple[int, int, list[_dt.date]]) -> dict:
     faults.crash_point("worker_crash", token)
     started = time.perf_counter()
     PERF.reset()
-    monitor = PassiveMonitor()
-    generator = TrafficGenerator(_WORKER["clients"], _WORKER["servers"], monitor)
-    for month in months:
-        faults.crash_point("month_crash", f"{token}.m{month.isoformat()}")
-        generator.run_expectation_month(month)
-    packed = pack_records(monitor.store.records())
+    obs.reset_spans()  # one snapshot per chunk, even when a worker reruns
+    with obs.span("run_chunk", chunk=chunk_id, attempt=attempt, months=len(months)):
+        monitor = PassiveMonitor()
+        generator = TrafficGenerator(_WORKER["clients"], _WORKER["servers"], monitor)
+        for month in months:
+            faults.crash_point("month_crash", f"{token}.m{month.isoformat()}")
+            with obs.span("simulate_month", month=month.isoformat()):
+                generator.run_expectation_month(month)
+        packed = pack_records(monitor.store.records())
     if faults.fires("pack_corrupt", token):
         packed = faults.corrupt_partition(packed, token)
     return {
         "packed": packed,
         "perf": PERF.snapshot(),
+        "spans": obs.snapshot_spans(),
         "wall": time.perf_counter() - started,
     }
 
@@ -227,11 +237,12 @@ def _run_chunk_inline(clients, servers, months: list[_dt.date]) -> dict:
     increments the parent's PERF counters directly (no snapshot merge).
     """
     started = time.perf_counter()
-    with faults.suppressed():
+    with faults.suppressed(), obs.span("run_chunk_inline", months=len(months)):
         monitor = PassiveMonitor()
         generator = TrafficGenerator(clients, servers, monitor)
         for month in months:
-            generator.run_expectation_month(month)
+            with obs.span("simulate_month", month=month.isoformat()):
+                generator.run_expectation_month(month)
     return {
         "packed": pack_records(monitor.store.records()),
         "perf": None,
@@ -257,20 +268,47 @@ def run_expectation(
         faults.configure(faults_spec)
     months = month_range(start, end)
     count = resolve_workers(workers)
-    if count <= 1 or len(months) < 2 or not fork_available():
-        return _run_serial(clients, servers, start, end)
-    return _run_parallel(
-        clients,
-        servers,
-        start,
-        end,
-        months,
-        count,
-        resume=_resume_enabled(resume),
-        timeout=resolve_chunk_timeout(chunk_timeout),
-        per_chunk=resolve_chunk_months(chunk_months),
-        max_attempts=max(1, max_attempts),
+    serial = count <= 1 or len(months) < 2 or not fork_available()
+    obs.begin_run(
+        "expectation",
+        start=start.isoformat(),
+        end=end.isoformat(),
+        months=len(months),
+        workers=0 if serial else count,
     )
+    _log.info(
+        "expectation run %s..%s: %d month(s), %s",
+        start.isoformat(), end.isoformat(), len(months),
+        "serial" if serial else f"{count} workers",
+    )
+    with obs.span("run_expectation", months=len(months), workers=0 if serial else count):
+        if serial:
+            store = _run_serial(clients, servers, start, end)
+        else:
+            store = _run_parallel(
+                clients,
+                servers,
+                start,
+                end,
+                months,
+                count,
+                resume=_resume_enabled(resume),
+                timeout=resolve_chunk_timeout(chunk_timeout),
+                per_chunk=resolve_chunk_months(chunk_months),
+                max_attempts=max(1, max_attempts),
+            )
+    obs.end_run(
+        "expectation",
+        records=len(store),
+        run_seconds=PERF.run_seconds,
+        chunk_retries=PERF.chunk_retries,
+        chunk_timeouts=PERF.chunk_timeouts,
+        inline_fallbacks=PERF.inline_fallbacks,
+        worker_errors=PERF.worker_errors,
+        resumed_months=PERF.resumed_months,
+        faults_injected=PERF.faults_injected,
+    )
+    return store
 
 
 def _run_parallel(
@@ -301,10 +339,14 @@ def _run_parallel(
 
     done: set[_dt.date] = set()
     if checkpoint is not None and resume:
-        for month, payload in checkpoint.load_months(months):
-            store.attach_packed(PackedDataset(payload), idempotent=True)
-            done.add(month)
-            PERF.resumed_months += 1
+        with obs.span("resume_checkpoints"):
+            for month, payload in checkpoint.load_months(months):
+                store.attach_packed(PackedDataset(payload), idempotent=True)
+                done.add(month)
+                PERF.resumed_months += 1
+                obs.emit_event("resume_month", month=month.isoformat())
+        if done:
+            _log.info("resumed %d month(s) from checkpoints", len(done))
     remaining = [m for m in months if m not in done]
 
     if remaining:
@@ -357,6 +399,18 @@ def _run_chunked(
                 # Out of pool attempts: this chunk's months are computed
                 # inline, fault-free, before anything else is scheduled.
                 PERF.inline_fallbacks += 1
+                _log.warning(
+                    "chunk %d (months %s..%s) out of pool attempts; "
+                    "re-running inline with faults suppressed",
+                    chunk.id,
+                    chunk.months[0].isoformat(),
+                    chunk.months[-1].isoformat(),
+                )
+                obs.emit_event(
+                    "inline_fallback",
+                    chunk=chunk.id,
+                    months=[m.isoformat() for m in chunk.months],
+                )
                 _adopt(
                     store, checkpoint,
                     _run_chunk_inline(clients, servers, chunk.months),
@@ -372,7 +426,7 @@ def _run_chunked(
         with context.Pool(
             processes=min(count, len(batch)),
             initializer=_init_worker,
-            initargs=(clients, servers),
+            initargs=(clients, servers, obs.trace_id()),
         ) as pool:
             submitted = [
                 (chunk, pool.apply_async(_run_chunk, ((chunk.id, chunk.attempts, chunk.months),)))
@@ -386,38 +440,97 @@ def _run_chunked(
                 except multiprocessing.TimeoutError:
                     timed_out.append(chunk)
                     PERF.chunk_timeouts += 1
-                except Exception:
+                    _log.warning(
+                        "chunk %d (months %s..%s, attempt %d) timed out after %.1fs; "
+                        "will kill and reshard",
+                        chunk.id,
+                        chunk.months[0].isoformat(),
+                        chunk.months[-1].isoformat(),
+                        chunk.attempts,
+                        timeout,
+                    )
+                    obs.emit_event(
+                        "chunk_timeout",
+                        chunk=chunk.id,
+                        attempt=chunk.attempts,
+                        months=[m.isoformat() for m in chunk.months],
+                        timeout=timeout,
+                    )
+                except Exception as exc:
+                    # The worker's exception crossed the pipe; the chunk
+                    # is re-queued, but the cause must not vanish.
                     failed.append(chunk)
+                    PERF.worker_errors += 1
+                    _log.warning(
+                        "chunk %d (months %s..%s, attempt %d) failed in worker: %s: %s",
+                        chunk.id,
+                        chunk.months[0].isoformat(),
+                        chunk.months[-1].isoformat(),
+                        chunk.attempts,
+                        type(exc).__name__,
+                        exc,
+                    )
+                    obs.emit_event(
+                        "chunk_failed",
+                        chunk=chunk.id,
+                        attempt=chunk.attempts,
+                        months=[m.isoformat() for m in chunk.months],
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 else:
                     if validate_payload(part["packed"], chunk.months):
                         _adopt(store, checkpoint, part)
                     else:
                         failed.append(chunk)
+                        _log.warning(
+                            "chunk %d (months %s..%s, attempt %d) shipped an "
+                            "invalid partition; re-queued",
+                            chunk.id,
+                            chunk.months[0].isoformat(),
+                            chunk.months[-1].isoformat(),
+                            chunk.attempts,
+                        )
+                        obs.emit_event(
+                            "chunk_invalid",
+                            chunk=chunk.id,
+                            attempt=chunk.attempts,
+                            months=[m.isoformat() for m in chunk.months],
+                        )
             # Exiting the with-block terminates the pool, killing any
             # worker still hung past the deadline.
 
         for chunk in failed:
             PERF.chunk_retries += 1
+            obs.emit_event("chunk_retry", chunk=chunk.id, attempt=chunk.attempts + 1)
             queue.append(new_chunk(chunk.months, chunk.attempts + 1))
         for chunk in timed_out:
             # Kill-and-reshard: halve the span so a systematic hang
             # converges on single-month chunks (and then inline).
             PERF.chunk_retries += 1
+            obs.emit_event(
+                "chunk_retry", chunk=chunk.id, attempt=chunk.attempts + 1,
+                resharded=True,
+            )
             halves = [chunk.months[: len(chunk.months) // 2 or 1], chunk.months[len(chunk.months) // 2 or 1 :]]
             for half in halves:
                 if half:
                     queue.append(new_chunk(half, chunk.attempts + 1))
         if (failed or timed_out) and queue:
             worst = max(c.attempts for c in queue)
-            time.sleep(min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** worst)))
+            delay = min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** worst))
+            _log.debug("backing off %.2fs before retry round", delay)
+            time.sleep(delay)
 
 
 def _adopt(store: NotaryStore, checkpoint, part: dict, inline: bool = False) -> None:
-    """Merge one finished chunk: perf fold, checkpoint spill, lazy attach."""
+    """Merge one finished chunk: perf fold, span fold, checkpoint spill,
+    lazy attach."""
     if not inline and part["perf"] is not None:
         PERF.merge_worker(part["perf"], part["wall"])
     elif inline:
         PERF.worker_wall_times.append(part["wall"])
+    if part.get("spans"):
+        obs.merge_worker_spans(part["spans"])
     if checkpoint is not None:
         checkpoint.save_months(split_by_month(part["packed"]))
     store.attach_packed(PackedDataset(part["packed"]), idempotent=True)
@@ -428,8 +541,9 @@ def _run_serial(clients, servers, start: _dt.date, end: _dt.date) -> NotaryStore
     started = time.perf_counter()
     PERF.workers = 0
     PERF.worker_wall_times = []
-    monitor = PassiveMonitor()
-    generator = TrafficGenerator(clients, servers, monitor)
-    generator.run_expectation(start, end)
+    with obs.span("run_serial"):
+        monitor = PassiveMonitor()
+        generator = TrafficGenerator(clients, servers, monitor)
+        generator.run_expectation(start, end)
     PERF.run_seconds = time.perf_counter() - started
     return monitor.store

@@ -1,0 +1,79 @@
+"""The ``repro.*`` diagnostic logging channel.
+
+Every module that used to swallow a failure silently now reports it
+through a named stdlib logger under the ``repro`` hierarchy
+(``repro.engine.runner``, ``repro.engine.cache``, …), so a degraded run
+is attributable: which chunk failed, which blob was culled, which lock
+was broken stale.
+
+Library code only ever calls :func:`get_logger` — no handlers, no
+levels — which keeps imports side-effect free and lets the embedding
+application (or pytest's ``caplog``) own the configuration.  The CLI
+calls :func:`configure_logging` once at startup: it attaches a single
+stderr handler to the ``repro`` root logger and resolves the level from
+``--verbose`` / ``REPRO_LOG_LEVEL`` / a ``WARNING`` default.  Handlers
+write to stderr, never stdout, so piped figure/table output stays
+machine-clean.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+#: Root of the diagnostic logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: Level used when neither the caller nor the environment says otherwise.
+DEFAULT_LEVEL = logging.WARNING
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (prefix added if missing)."""
+    if not name.startswith(ROOT_LOGGER):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def resolve_level(explicit: int | str | None = None) -> int:
+    """Level precedence: explicit > ``REPRO_LOG_LEVEL`` > WARNING.
+
+    Accepts standard level names (``DEBUG``) or numbers (``10``);
+    malformed values fall through — a bad env var must degrade to the
+    default, never kill a run.
+    """
+    for candidate in (explicit, os.environ.get("REPRO_LOG_LEVEL")):
+        if candidate is None:
+            continue
+        if isinstance(candidate, int):
+            return candidate
+        text = str(candidate).strip()
+        if not text:
+            continue
+        if text.lstrip("-").isdigit():
+            return int(text)
+        value = logging.getLevelName(text.upper())
+        if isinstance(value, int):
+            return value
+    return DEFAULT_LEVEL
+
+
+def configure_logging(
+    level: int | str | None = None, stream=None
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` root logger.
+
+    Idempotent: repeat calls re-resolve the level but never stack a
+    second handler (chained in-process CLI commands would otherwise
+    print every message once per invocation).
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(resolve_level(level))
+    if not any(getattr(h, "_repro_diag", False) for h in logger.handlers):
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+        handler._repro_diag = True
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,104 @@
+"""Machine-readable metrics: a JSONL event sink behind ``REPRO_METRICS_PATH``.
+
+When the environment variable is set, every notable engine event —
+run start/complete, chunk retry/timeout/failure, inline fallback,
+checkpoint spill/adoption, cache hit/miss/eviction/corruption, injected
+fault — is appended to the file as one JSON object per line::
+
+    {"ts": 1754400000.123, "event": "chunk_retry", "trace_id": "9f2c...",
+     "chunk": 3, "attempt": 1}
+
+Field contract (stable; ``tests/test_obs.py`` pins it):
+
+* ``ts`` — epoch seconds (float) at emission.
+* ``event`` — the event name.
+* ``trace_id`` — the current run's trace ID (shared with spans).
+* everything else — event-specific context, JSON scalars only
+  (non-scalar values are stringified).
+
+The sink is **append-only and fork-safe**: each event opens the file in
+append mode and writes one line, so worker processes (which inherit the
+environment) interleave whole lines rather than corrupting each other.
+Rotation is explicit: :func:`rotate_existing` moves a pre-existing file
+aside (``<path>.1``, ``<path>.2``, …) and is called once per process by
+the CLI entry point, so each invocation's history starts clean while
+library callers simply append.
+
+Emission failures are logged and swallowed — metrics must never take a
+computed result down with them.  Unset ``REPRO_METRICS_PATH`` means
+every call here is a cheap no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from pathlib import Path
+
+from repro.obs.trace import TRACE
+
+_log = logging.getLogger("repro.obs.metrics")
+
+#: Process-global guard: rotate at most once per process, so chained
+#: CLI commands in one interpreter share a single sink file.
+_ROTATED = False
+
+
+def metrics_path() -> Path | None:
+    """The configured sink path, or None when the sink is disabled."""
+    env = os.environ.get("REPRO_METRICS_PATH", "").strip()
+    return Path(env) if env else None
+
+
+def enabled() -> bool:
+    return metrics_path() is not None
+
+
+def rotate_existing() -> Path | None:
+    """Move an existing sink file aside; returns the rotated path.
+
+    Picks the first free ``<path>.N`` suffix so earlier rotations are
+    never clobbered.  Idempotent per process: only the first call can
+    rotate, which keeps chained in-process runs appending to one file
+    and keeps forked workers (which inherit the flag) from rotating the
+    parent's sink mid-run.
+    """
+    global _ROTATED
+    path = metrics_path()
+    if path is None or _ROTATED:
+        return None
+    _ROTATED = True
+    if not path.exists():
+        return None
+    n = 1
+    while (rotated := path.with_name(f"{path.name}.{n}")).exists():
+        n += 1
+    try:
+        os.replace(path, rotated)
+    except OSError as exc:
+        _log.warning("metrics sink rotation of %s failed: %s", path, exc)
+        return None
+    return rotated
+
+
+def emit(event: str, **fields) -> None:
+    """Append one event line to the sink (no-op when disabled)."""
+    path = metrics_path()
+    if path is None:
+        return
+    record: dict = {
+        "ts": time.time(),
+        "event": event,
+        "trace_id": TRACE.ensure_trace(),
+    }
+    record.update(fields)
+    try:
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, default=str)
+        with open(path, "a", encoding="utf-8") as sink:
+            sink.write(line + "\n")
+    except (OSError, TypeError, ValueError) as exc:
+        _log.warning("metrics event %r not written to %s: %s", event, path, exc)

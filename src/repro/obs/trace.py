@@ -1,0 +1,132 @@
+"""Process-local structured tracing: nested timing spans + trace IDs.
+
+One :class:`SpanCollector` per process (:data:`TRACE`) records finished
+spans in completion order.  A span is a plain dict — picklable, JSON-safe
+— so worker processes can snapshot their collector and ship it back to
+the parent alongside their perf counters, and ``stats --json`` can emit
+the whole tree without conversion.
+
+Every span carries the current **trace ID**: a random token minted once
+per engine run (:meth:`SpanCollector.new_trace`) and handed to workers
+through the pool initializer, so every span and every JSONL metrics
+event of one run — across all its processes — shares one correlator.
+
+Tracing is observation only: spans read the clock and append to a list.
+They never touch an RNG, a store, or a record, which is what keeps an
+instrumented run byte-identical to a bare one (regression-tested in
+``tests/test_obs.py``).
+
+Like :mod:`repro.engine.perf`, this module imports nothing from the
+rest of :mod:`repro`, so any layer can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextlib import contextmanager
+
+#: Retained finished spans per process; a runaway loop degrades to a
+#: drop counter instead of unbounded memory.
+MAX_SPANS = 20_000
+
+
+def _attr_value(value):
+    """A JSON-safe scalar for a span attribute (dates become ISO text)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class SpanCollector:
+    """Collects finished spans in completion order, tracking nesting."""
+
+    def __init__(self) -> None:
+        self.spans: list[dict] = []
+        self.dropped: int = 0
+        self._stack: list[str] = []
+        self._trace_id: str | None = None
+
+    # ---- trace identity -----------------------------------------------------
+
+    def new_trace(self) -> str:
+        """Mint a fresh per-run trace ID and make it current."""
+        self._trace_id = uuid.uuid4().hex[:16]
+        return self._trace_id
+
+    def adopt_trace(self, trace_id: str) -> None:
+        """Join an existing trace (workers adopt the parent's ID)."""
+        self._trace_id = trace_id
+
+    def ensure_trace(self) -> str:
+        """The current trace ID, minting one lazily if none is active."""
+        if self._trace_id is None:
+            return self.new_trace()
+        return self._trace_id
+
+    # ---- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget everything, trace identity included (fresh process)."""
+        self.spans = []
+        self.dropped = 0
+        self._stack = []
+        self._trace_id = None
+
+    def reset_spans(self) -> None:
+        """Drop recorded spans but keep the trace identity (a worker
+        clears between chunks without leaving its run's trace)."""
+        self.spans = []
+        self.dropped = 0
+        self._stack = []
+
+    # ---- recording ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Time a block; record it (with nesting depth) on exit.
+
+        Spans close even when the block raises — the duration of a
+        failed chunk is exactly what a post-mortem wants to see.
+        """
+        started_ts = time.time()
+        started = time.perf_counter()
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            record = {
+                "name": name,
+                "trace_id": self.ensure_trace(),
+                "ts": started_ts,
+                "duration": time.perf_counter() - started,
+                "depth": len(self._stack),
+                "parent": self._stack[-1] if self._stack else None,
+            }
+            if attrs:
+                record["attrs"] = {k: _attr_value(v) for k, v in attrs.items()}
+            if len(self.spans) >= MAX_SPANS:
+                self.dropped += 1
+            else:
+                self.spans.append(record)
+
+    # ---- worker round-trip --------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """A picklable copy of the finished spans (workers ship these)."""
+        return [dict(span) for span in self.spans]
+
+    def merge_worker(self, spans: list[dict], origin: str = "worker") -> None:
+        """Adopt spans shipped back by a worker, tagged with origin."""
+        for span in spans:
+            if len(self.spans) >= MAX_SPANS:
+                self.dropped += 1
+                continue
+            adopted = dict(span)
+            adopted["origin"] = origin
+            self.spans.append(adopted)
+
+
+#: The process-global collector.
+TRACE = SpanCollector()

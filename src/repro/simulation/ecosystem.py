@@ -19,6 +19,7 @@ import os
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.clients.population import ClientPopulation, default_population
 from repro.core.database import FingerprintDatabase, build_default_database
 from repro.notary.monitor import PassiveMonitor
@@ -27,6 +28,8 @@ from repro.notary.store import NotaryStore
 from repro.scanner.censys import CENSYS_FIRST_SCAN, CENSYS_LAST_SCAN, CensysArchive
 from repro.scanner.sslpulse import SslPulse
 from repro.servers.population import ServerPopulation
+
+_log = obs.get_logger("repro.simulation.ecosystem")
 
 #: The Notary observation window (§3.1).
 STUDY_START = _dt.date(2012, 1, 1)
@@ -102,34 +105,49 @@ class EcosystemModel:
         if self._passive_store is None:
             from repro.engine import cache as dataset_cache
 
-            cache_on = self._cache_enabled()
-            key = None
-            store = None
-            if cache_on:
-                key = dataset_cache.dataset_key(
-                    self.clients, self.servers, self.start, self.end
-                )
-                if not self.rebuild:
-                    store = dataset_cache.load_store(key)
-            if store is None:
-                if cache_on and key is not None:
-                    with dataset_cache.build_lock(key) as acquired:
-                        if not acquired and not self.rebuild:
-                            store = dataset_cache.wait_for_store(key)
-                        if store is None:
-                            store = self._build_passive_store()
-                            dataset_cache.save_store(
-                                store,
-                                key,
-                                meta={
-                                    "start": self.start.isoformat(),
-                                    "end": self.end.isoformat(),
-                                    "records": len(store),
-                                },
-                            )
+            with obs.span(
+                "passive_store",
+                start=self.start.isoformat(),
+                end=self.end.isoformat(),
+            ):
+                cache_on = self._cache_enabled()
+                key = None
+                store = None
+                if cache_on:
+                    key = dataset_cache.dataset_key(
+                        self.clients, self.servers, self.start, self.end
+                    )
+                    if not self.rebuild:
+                        store = dataset_cache.load_store(key)
+                if store is None:
+                    if cache_on and key is not None:
+                        with dataset_cache.build_lock(key) as acquired:
+                            if not acquired and not self.rebuild:
+                                _log.info(
+                                    "another process is building dataset %s; "
+                                    "waiting for its blob",
+                                    key[:16],
+                                )
+                                store = dataset_cache.wait_for_store(key)
+                            if store is None:
+                                store = self._build_passive_store()
+                                dataset_cache.save_store(
+                                    store,
+                                    key,
+                                    meta={
+                                        "start": self.start.isoformat(),
+                                        "end": self.end.isoformat(),
+                                        "records": len(store),
+                                    },
+                                )
+                    else:
+                        store = self._build_passive_store()
                 else:
-                    store = self._build_passive_store()
-            self._passive_store = store
+                    _log.debug(
+                        "passive store served from dataset cache (%d records)",
+                        len(store),
+                    )
+                self._passive_store = store
         return self._passive_store
 
     def montecarlo_store(self, connections_per_month: int = 2000) -> NotaryStore:
@@ -139,15 +157,18 @@ class EcosystemModel:
         sequential RNG, so sharding would change the dataset.
         """
         if self._montecarlo_store is None:
-            monitor = PassiveMonitor()
-            generator = TrafficGenerator(self.clients, self.servers, monitor)
-            generator.run_montecarlo(
-                self.start,
-                self.end,
-                connections_per_month=connections_per_month,
-                rng=random.Random(self.seed),
-            )
-            self._montecarlo_store = monitor.store
+            with obs.span(
+                "montecarlo_store", connections_per_month=connections_per_month
+            ):
+                monitor = PassiveMonitor()
+                generator = TrafficGenerator(self.clients, self.servers, monitor)
+                generator.run_montecarlo(
+                    self.start,
+                    self.end,
+                    connections_per_month=connections_per_month,
+                    rng=random.Random(self.seed),
+                )
+                self._montecarlo_store = monitor.store
         return self._montecarlo_store
 
     # ---- active (Censys) ------------------------------------------------------
