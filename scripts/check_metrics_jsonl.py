@@ -1,10 +1,22 @@
 #!/usr/bin/env python3
 """Validate a ``REPRO_METRICS_PATH`` JSONL sink (CI gate).
 
-Asserts that every line parses as a JSON object carrying the stable
-event envelope (``ts``, ``event``, ``trace_id``) and that at least one
-``run_complete`` event was emitted — i.e. the observability layer was
-actually live for the run that produced the file.
+Asserts, over every line of the sink:
+
+* the stable event envelope — ``ts``, ``event``, ``trace_id``, and
+  (since PR 4) the emitting process's ``pid``;
+* per-process ``ts`` monotonicity — one process appends in wall order,
+  so a backwards timestamp within a pid means interleaved writes got
+  torn or a clock went haywire (a small epsilon absorbs float noise;
+  *cross*-process ordering is deliberately not asserted);
+* ``span`` event structure — deterministic identity (``id`` int >= 0,
+  ``parent_id`` int or null), ``name``, ``start``/``duration`` floats,
+  ``depth`` >= 0, and worker attribution via ``span_pid`` (the process
+  the span measured, distinct from the envelope ``pid`` that emitted
+  it);
+* at least one ``run_complete`` event was emitted — i.e. the
+  observability layer was actually live for the run that produced the
+  file.
 
 Usage: ``python scripts/check_metrics_jsonl.py <path>``; exits 1 on any
 violation so CI fails loudly.
@@ -17,7 +29,53 @@ import sys
 from collections import Counter
 from pathlib import Path
 
-REQUIRED_KEYS = ("ts", "event", "trace_id")
+REQUIRED_KEYS = ("ts", "event", "trace_id", "pid")
+
+#: Allowed backwards slack between consecutive events of one process —
+#: absorbs float rounding in ``time.time()`` without masking real
+#: ordering violations.
+TS_EPSILON = 1e-3
+
+#: ``span`` event fields and their validators.
+SPAN_FIELDS = {
+    "id": lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+    "parent_id": lambda v: v is None
+    or (isinstance(v, int) and not isinstance(v, bool) and v >= 0),
+    "name": lambda v: isinstance(v, str) and bool(v),
+    "start": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "duration": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool)
+    and v >= 0,
+    "depth": lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+    "span_pid": lambda v: isinstance(v, int) and not isinstance(v, bool) and v > 0,
+}
+
+
+def check_record(record: dict, last_ts: dict) -> str | None:
+    """One event's violation message, or None when it is clean."""
+    missing = [key for key in REQUIRED_KEYS if key not in record]
+    if missing:
+        return f"missing envelope key(s) {missing}"
+    pid = record["pid"]
+    if not isinstance(pid, int) or isinstance(pid, bool) or pid <= 0:
+        return f"envelope pid {pid!r} is not a positive integer"
+    ts = record["ts"]
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        return f"envelope ts {ts!r} is not a number"
+    previous = last_ts.get(pid)
+    if previous is not None and ts < previous - TS_EPSILON:
+        return (
+            f"ts {ts!r} moved backwards within pid {pid} "
+            f"(previous {previous!r})"
+        )
+    last_ts[pid] = max(previous or ts, ts)
+    if record["event"] == "span":
+        for name, valid in SPAN_FIELDS.items():
+            if name not in record:
+                return f"span event missing field {name!r}"
+            if not valid(record[name]):
+                return f"span field {name}={record[name]!r} fails validation"
+    return None
 
 
 def main(argv: list[str]) -> int:
@@ -29,6 +87,7 @@ def main(argv: list[str]) -> int:
         print(f"FAIL: metrics sink {path} was never created", file=sys.stderr)
         return 1
     events: Counter = Counter()
+    last_ts: dict[int, float] = {}
     for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
         if not line.strip():
             continue
@@ -40,12 +99,9 @@ def main(argv: list[str]) -> int:
         if not isinstance(record, dict):
             print(f"FAIL: {path}:{lineno} is not a JSON object", file=sys.stderr)
             return 1
-        missing = [key for key in REQUIRED_KEYS if key not in record]
-        if missing:
-            print(
-                f"FAIL: {path}:{lineno} missing envelope key(s) {missing}",
-                file=sys.stderr,
-            )
+        violation = check_record(record, last_ts)
+        if violation:
+            print(f"FAIL: {path}:{lineno}: {violation}", file=sys.stderr)
             return 1
         events[record["event"]] += 1
     total = sum(events.values())

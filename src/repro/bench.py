@@ -1,0 +1,526 @@
+"""Benchmark harness + the repo's own longitudinal performance record.
+
+The paper's method is longitudinal measurement with drift detection
+against known anchors; this module applies the same discipline to the
+reproduction itself.  ``python -m repro bench``:
+
+1. runs a configurable subset of benchmarks — substrate micro-benches
+   (hello encode/decode, negotiation, fingerprint extraction), engine
+   runs (serial, parallel, warm cache load), observability overhead,
+   and *scientific anchors* (figure values on a fixed window, which are
+   fully deterministic and therefore drift-detectable to 1e-6);
+2. appends one dated record to ``BENCH_<YYYYMMDD>.json`` — the
+   trajectory file that accumulates the repo's own measurement history;
+3. diffs the run against the committed ``benchmarks/baseline.json``
+   with per-metric-class tolerances and reports regressions (the CI
+   ``perf-gate`` job fails on them).
+
+Metric classes and their gate rules (tolerances live in the baseline
+file and can be overridden there):
+
+* ``wall_seconds`` — regression when current > baseline × (1 + tol).
+  Wall clocks vary across machines, so the default tolerance is wide;
+  the gate catches cliffs, not jitter.
+* ``records_per_second`` — regression when current < baseline × (1 − tol).
+* ``anchors`` — scientific outputs; deterministic, so the tolerance is
+  relative 1e-6: *any* drift is a regression (this is the longitudinal
+  anchor check, the repo-level analogue of the paper's §3 method).
+* ``metrics`` — other ratios (e.g. observability overhead); regression
+  when current > baseline × (1 + tol).
+
+No pytest here: benches are plain timed loops so the harness runs in a
+bare interpreter (CI installs nothing beyond the repo itself).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import platform
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs import profile
+
+#: Version of the trajectory / baseline record layout.
+TRAJECTORY_SCHEMA = 1
+
+#: The fixed measurement window every engine/anchor bench uses — small
+#: enough for CI, late enough that TLS 1.2 dominates (so the anchors
+#: have comfortable dynamic range).
+WINDOW_START = _dt.date(2016, 4, 1)
+WINDOW_END = _dt.date(2016, 6, 1)
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_BASELINE = _REPO_ROOT / "benchmarks" / "baseline.json"
+
+#: Gate tolerances by metric class (baseline file may override).
+DEFAULT_TOLERANCES = {
+    "wall_seconds": 1.5,        # current may be up to 2.5x baseline wall
+    "records_per_second": 0.6,  # current may drop to 40% of baseline
+    "anchors": 1e-6,            # relative: any real drift fails
+    "metrics": 0.5,             # ratios may grow up to 1.5x baseline
+}
+
+
+@contextmanager
+def _env(name: str, value: str | None):
+    """Temporarily set/unset one environment variable."""
+    old = os.environ.get(name)
+    if value is None:
+        os.environ.pop(name, None)
+    else:
+        os.environ[name] = value
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = old
+
+
+class BenchContext:
+    """Shared state across one harness invocation.
+
+    The serial window store is built once and reused by every bench
+    that needs it, so adding an anchor bench costs nothing extra.
+    """
+
+    def __init__(self, scale: float = 1.0):
+        self.scale = max(scale, 1e-3)
+        self._store = None
+        self._store_wall: float | None = None
+        self._store_counters: dict | None = None
+
+    def iterations(self, base: int) -> int:
+        return max(1, int(base * self.scale))
+
+    def window_store(self):
+        if self._store is None:
+            from repro.clients.population import default_population
+            from repro.engine import runner
+            from repro.engine.perf import PERF
+            from repro.servers import ServerPopulation
+
+            started = time.perf_counter()
+            self._store = runner.run_expectation(
+                default_population(), ServerPopulation(),
+                WINDOW_START, WINDOW_END, workers=0,
+            )
+            self._store_wall = time.perf_counter() - started
+            self._store_counters = PERF.snapshot()
+        return self._store, self._store_wall, self._store_counters
+
+
+# ---- individual benches -----------------------------------------------------
+
+
+def _timed_loop(fn, iterations: int) -> dict:
+    """Run ``fn`` in a loop; report per-op wall and throughput."""
+    started = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    wall = time.perf_counter() - started
+    per_op = wall / iterations
+    return {
+        "wall_seconds": per_op,
+        "records_per_second": (1.0 / per_op) if per_op > 0 else None,
+        "counters": {"iterations": iterations},
+        "anchors": None,
+    }
+
+
+def _substrate_fixture():
+    import random
+
+    from repro.clients import chrome
+    from repro.tls.wire import encode_client_hello
+
+    hello = chrome.family().release("49").build_hello(rng=random.Random(1))
+    return hello, encode_client_hello(hello)
+
+
+def bench_encode_hello(ctx: BenchContext) -> dict:
+    from repro.tls.wire import encode_client_hello
+
+    hello, _wire = _substrate_fixture()
+    return _timed_loop(lambda: encode_client_hello(hello), ctx.iterations(2000))
+
+
+def bench_decode_hello(ctx: BenchContext) -> dict:
+    from repro.tls.wire import decode_client_hello
+
+    _hello, wire = _substrate_fixture()
+    return _timed_loop(lambda: decode_client_hello(wire), ctx.iterations(2000))
+
+
+def bench_negotiate(ctx: BenchContext) -> dict:
+    from repro.servers.archetypes import TLS12_ECDHE_GCM
+
+    hello, _wire = _substrate_fixture()
+    return _timed_loop(lambda: TLS12_ECDHE_GCM.respond(hello), ctx.iterations(2000))
+
+
+def bench_fingerprint(ctx: BenchContext) -> dict:
+    from repro.core.fingerprint import Fingerprint
+
+    hello, _wire = _substrate_fixture()
+    return _timed_loop(
+        lambda: Fingerprint.from_client_hello(hello), ctx.iterations(2000)
+    )
+
+
+def bench_engine_serial(ctx: BenchContext) -> dict:
+    store, wall, counters = ctx.window_store()
+    records = len(store)
+    return {
+        "wall_seconds": wall,
+        "records_per_second": records / wall if wall and wall > 0 else None,
+        "counters": {
+            k: v for k, v in (counters or {}).items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        },
+        "anchors": {"records": float(records)},
+    }
+
+
+def bench_engine_parallel(ctx: BenchContext) -> dict:
+    from repro.clients.population import default_population
+    from repro.engine import runner
+    from repro.servers import ServerPopulation
+
+    if not runner.fork_available():
+        return {"skipped": "no fork start method on this platform"}
+    started = time.perf_counter()
+    store = runner.run_expectation(
+        default_population(), ServerPopulation(),
+        WINDOW_START, WINDOW_END, workers=2,
+    )
+    wall = time.perf_counter() - started
+    return {
+        "wall_seconds": wall,
+        "records_per_second": len(store) / wall if wall > 0 else None,
+        "counters": {"workers": 2},
+        "anchors": {"records": float(len(store))},
+    }
+
+
+def bench_cache_warm(ctx: BenchContext) -> dict:
+    from repro.clients.population import default_population
+    from repro.engine import cache as dataset_cache
+    from repro.servers import ServerPopulation
+
+    store, _wall, _counters = ctx.window_store()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        with _env("REPRO_CACHE_DIR", tmp):
+            key = dataset_cache.dataset_key(
+                default_population(), ServerPopulation(),
+                WINDOW_START, WINDOW_END,
+            )
+            dataset_cache.save_store(store, key)
+            started = time.perf_counter()
+            warm = dataset_cache.load_store(key)
+            wall = time.perf_counter() - started
+    if warm is None:
+        return {"skipped": "cache round-trip failed"}
+    return {
+        "wall_seconds": wall,
+        "records_per_second": len(warm) / wall if wall > 0 else None,
+        "counters": {"records": len(warm)},
+        "anchors": None,
+    }
+
+
+def bench_anchors_fig1(ctx: BenchContext) -> dict:
+    """Scientific anchors: negotiated-version shares on the fixed window.
+
+    Deterministic to the last bit, so the baseline diff is the repo's
+    drift detector — the analogue of the paper's anchor re-measurement
+    (see ``benchmarks/_paper.py`` for the paper-side values these track
+    in spirit; the absolute numbers differ because the window is a
+    2-month slice, not the full study).
+    """
+    from repro.core import figures
+
+    store, _wall, _counters = ctx.window_store()
+    started = time.perf_counter()
+    fig1 = figures.fig1_negotiated_versions(store)
+    fig6 = figures.fig6_rc4_advertised(store)
+    wall = time.perf_counter() - started
+    on = WINDOW_END
+    anchors = {
+        "tls12_negotiated_pct": figures.value_at(fig1["TLSv12"], on),
+        "tls10_negotiated_pct": figures.value_at(fig1["TLSv10"], on),
+        "rc4_advertised_pct": figures.value_at(
+            fig6[next(iter(fig6))], on
+        ),
+        "months": float(len(store.months())),
+    }
+    return {
+        "wall_seconds": wall,
+        "records_per_second": None,
+        "counters": None,
+        "anchors": anchors,
+    }
+
+
+def measure_obs_overhead(rounds: int = 3, months: int = 2) -> dict:
+    """Instrumented-vs-bare serial engine run, min-of-N each.
+
+    "Instrumented" is the full PR 3+4 surface: spans live, the JSONL
+    sink enabled (so run/chunk/span events all hit disk), and the new
+    analyzer attribution fields being populated.  Rounds interleave so
+    machine drift hits both sides equally; min-of-N discards scheduler
+    noise.  Runs under ``faults.suppressed`` so an ambient
+    ``REPRO_FAULTS`` (the CI fault-matrix job) cannot skew the timing.
+    """
+    import datetime as dt
+
+    from repro import obs
+    from repro.clients.population import default_population
+    from repro.engine import faults, runner
+    from repro.servers import ServerPopulation
+
+    clients = default_population()
+    servers = ServerPopulation()
+    start = WINDOW_START
+    end = WINDOW_START + dt.timedelta(days=31 * (months - 1))
+    end = end.replace(day=1)
+
+    def one_run() -> float:
+        obs.TRACE.reset()
+        began = time.perf_counter()
+        runner.run_expectation(clients, servers, start, end, workers=0)
+        return time.perf_counter() - began
+
+    bare: list[float] = []
+    instrumented: list[float] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        sink = str(Path(tmp) / "metrics.jsonl")
+        with faults.suppressed():
+            # One discarded warmup run: the generator's process-global
+            # hello/handshake caches and lazy imports must not bill
+            # their cold-start cost to whichever arm runs first.
+            with _env("REPRO_METRICS_PATH", None):
+                one_run()
+            for _ in range(max(1, rounds)):
+                with _env("REPRO_METRICS_PATH", None):
+                    bare.append(one_run())
+                with _env("REPRO_METRICS_PATH", sink):
+                    instrumented.append(one_run())
+    bare_min = min(bare)
+    instr_min = min(instrumented)
+    return {
+        "bare_seconds": bare_min,
+        "instrumented_seconds": instr_min,
+        "overhead_ratio": instr_min / bare_min if bare_min > 0 else 1.0,
+    }
+
+
+def bench_obs_overhead(ctx: BenchContext) -> dict:
+    measured = measure_obs_overhead(rounds=2, months=2)
+    return {
+        "wall_seconds": measured["instrumented_seconds"],
+        "records_per_second": None,
+        "counters": None,
+        "anchors": None,
+        "metrics": {"obs_overhead_ratio": measured["overhead_ratio"]},
+    }
+
+
+#: name -> (in the --quick subset, callable).  Order is run order.
+BENCHES: dict[str, tuple[bool, callable]] = {
+    "substrate.encode_hello": (True, bench_encode_hello),
+    "substrate.decode_hello": (True, bench_decode_hello),
+    "substrate.negotiate": (True, bench_negotiate),
+    "substrate.fingerprint": (True, bench_fingerprint),
+    "engine.serial": (True, bench_engine_serial),
+    "engine.cache_warm": (True, bench_cache_warm),
+    "anchors.fig1": (True, bench_anchors_fig1),
+    "engine.parallel": (False, bench_engine_parallel),
+    "obs.overhead": (False, bench_obs_overhead),
+}
+
+
+def select_benches(names: list[str] | None = None, quick: bool = False) -> list[str]:
+    """Resolve a bench selection; unknown names raise ValueError."""
+    if names:
+        unknown = [n for n in names if n not in BENCHES]
+        if unknown:
+            raise ValueError(
+                f"unknown bench(es) {unknown}; choose from {sorted(BENCHES)}"
+            )
+        return list(names)
+    if quick:
+        return [name for name, (in_quick, _fn) in BENCHES.items() if in_quick]
+    return list(BENCHES)
+
+
+# ---- the harness ------------------------------------------------------------
+
+
+def run_benches(
+    names: list[str] | None = None,
+    quick: bool = False,
+    scale: float = 1.0,
+    profile_mode: str | None = None,
+) -> dict:
+    """Run a bench selection; returns one trajectory run record."""
+    selected = select_benches(names, quick)
+    if profile_mode is not None:
+        profile.configure(profile_mode)
+    ctx = BenchContext(scale=scale)
+    records = []
+    for name in selected:
+        _in_quick, fn = BENCHES[name]
+        with profile.profiled(f"bench:{name}"):
+            record = fn(ctx)
+        record["bench"] = name
+        records.append(record)
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "timestamp": _dt.datetime.now().isoformat(timespec="seconds"),
+        "quick": quick,
+        "scale": scale,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "records": records,
+        "profile": profile.snapshot(),
+    }
+
+
+# ---- trajectory file --------------------------------------------------------
+
+
+def trajectory_path(run: dict, out_dir: str | Path = ".") -> Path:
+    tag = run["timestamp"][:10].replace("-", "")
+    return Path(out_dir) / f"BENCH_{tag}.json"
+
+
+def write_trajectory(run: dict, out_dir: str | Path = ".") -> Path:
+    """Append one run record to the day's trajectory file."""
+    path = trajectory_path(run, out_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or "runs" not in document:
+            document = {"schema": TRAJECTORY_SCHEMA, "runs": []}
+    else:
+        document = {
+            "schema": TRAJECTORY_SCHEMA,
+            "date": run["timestamp"][:10].replace("-", ""),
+            "runs": [],
+        }
+    document["runs"].append(run)
+    path.write_text(json.dumps(document, indent=2), encoding="utf-8")
+    return path
+
+
+# ---- baseline gate ----------------------------------------------------------
+
+
+def load_baseline(path: str | Path = DEFAULT_BASELINE) -> dict | None:
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def make_baseline(run: dict) -> dict:
+    """A baseline document pinned to one run's numbers."""
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "recorded": run["timestamp"],
+        "python": run["python"],
+        "tolerances": dict(DEFAULT_TOLERANCES),
+        "records": [
+            {
+                # Copy nested dicts so later mutation of the run record
+                # (or the baseline) cannot alias into the other.
+                k: (dict(v) if isinstance(v := record.get(k), dict) else v)
+                for k in ("bench", "wall_seconds", "records_per_second",
+                          "anchors", "metrics", "skipped")
+            }
+            for record in run["records"]
+        ],
+    }
+
+
+def diff_baseline(run: dict, baseline: dict) -> list[str]:
+    """Regressions of ``run`` vs ``baseline``; empty list = gate passes."""
+    tolerances = {**DEFAULT_TOLERANCES, **(baseline.get("tolerances") or {})}
+    by_name = {r["bench"]: r for r in baseline.get("records", [])}
+    failures: list[str] = []
+    for record in run["records"]:
+        name = record["bench"]
+        base = by_name.get(name)
+        if base is None or record.get("skipped") or base.get("skipped"):
+            continue
+        base_wall, wall = base.get("wall_seconds"), record.get("wall_seconds")
+        if base_wall and wall and wall > base_wall * (1 + tolerances["wall_seconds"]):
+            failures.append(
+                f"{name}: wall_seconds {wall:.6f} > "
+                f"{base_wall:.6f} * {1 + tolerances['wall_seconds']:.2f}"
+            )
+        base_rps = base.get("records_per_second")
+        rps = record.get("records_per_second")
+        if base_rps and rps and rps < base_rps * (1 - tolerances["records_per_second"]):
+            failures.append(
+                f"{name}: records_per_second {rps:,.0f} < "
+                f"{base_rps:,.0f} * {1 - tolerances['records_per_second']:.2f}"
+            )
+        current_anchors = record.get("anchors") or {}
+        for key, base_value in (base.get("anchors") or {}).items():
+            value = current_anchors.get(key)
+            if value is None:
+                failures.append(f"{name}: anchor {key!r} missing from run")
+            elif abs(value - base_value) > tolerances["anchors"] * max(
+                1.0, abs(base_value)
+            ):
+                failures.append(
+                    f"{name}: anchor {key!r} drifted {base_value!r} -> {value!r}"
+                )
+        current_metrics = record.get("metrics") or {}
+        for key, base_value in (base.get("metrics") or {}).items():
+            value = current_metrics.get(key)
+            if value is not None and base_value and value > base_value * (
+                1 + tolerances["metrics"]
+            ):
+                failures.append(
+                    f"{name}: metric {key!r} {value:.4f} > "
+                    f"{base_value:.4f} * {1 + tolerances['metrics']:.2f}"
+                )
+    return failures
+
+
+def render_run(run: dict, failures: list[str] | None = None) -> str:
+    """Human-readable harness report."""
+    lines = ["BENCH TRAJECTORY RUN", "--------------------"]
+    lines.append(f"timestamp : {run['timestamp']}   python {run['python']}")
+    for record in run["records"]:
+        if record.get("skipped"):
+            lines.append(f"{record['bench']:<24} SKIPPED ({record['skipped']})")
+            continue
+        wall = record.get("wall_seconds")
+        rps = record.get("records_per_second")
+        parts = [f"wall={wall:.6f}s" if wall is not None else "wall=-"]
+        if rps:
+            parts.append(f"{rps:,.0f}/s")
+        for key, value in (record.get("metrics") or {}).items():
+            parts.append(f"{key}={value:.4f}")
+        for key, value in (record.get("anchors") or {}).items():
+            parts.append(f"{key}={value:.4f}")
+        lines.append(f"{record['bench']:<24} " + "  ".join(parts))
+    if failures is not None:
+        if failures:
+            lines.append("")
+            lines.append(f"REGRESSIONS ({len(failures)}):")
+            lines.extend(f"  - {failure}" for failure in failures)
+        else:
+            lines.append("")
+            lines.append("gate: OK (no regression vs baseline)")
+    return "\n".join(lines)

@@ -12,7 +12,18 @@ Commands:
   counters (negotiations, cache hits, chunk wall times, records/s, and
   the resilience counters: retries, timeouts, inline fallbacks, resumed
   months, cache evictions).  ``stats --json`` emits the same data — plus
-  the run's trace spans — as one machine-readable JSON document.
+  the run's trace spans and any profiling capture — as one
+  machine-readable JSON document.
+* ``run`` — execute one expectation run end-to-end (fresh by default),
+  the producer half of ``repro run --metrics m.jsonl && repro trace
+  m.jsonl``.
+* ``trace <metrics.jsonl>`` — reconstruct the span tree from a metrics
+  sink and report ``--summary`` / ``--critical-path`` /
+  ``--utilization`` / ``--faults-report``, or export ``--chrome
+  OUT.json`` for chrome://tracing / Perfetto.
+* ``bench`` — run the benchmark harness (:mod:`repro.bench`), append a
+  record to the dated ``BENCH_<YYYYMMDD>.json`` trajectory, and gate
+  against ``benchmarks/baseline.json`` (exit 1 on regression).
 
 Engine flags (global, before the command): ``--workers N`` shards the
 expectation run across N processes (``REPRO_WORKERS``; 0 = serial),
@@ -23,9 +34,14 @@ deterministic faults (``worker_crash:0.1,chunk_hang:0.05,seed:42`` —
 see :mod:`repro.engine.faults`) to exercise the recovery paths.
 
 Observability (:mod:`repro.obs`): ``--verbose`` (or ``REPRO_LOG_LEVEL``)
-turns on the ``repro.*`` diagnostic loggers on stderr, and setting
-``REPRO_METRICS_PATH`` appends one JSON line per engine event to that
-file (the CLI rotates a pre-existing file aside at startup).
+turns on the ``repro.*`` diagnostic loggers on stderr; ``--metrics
+PATH`` (or ``REPRO_METRICS_PATH``; the flag wins when both are set)
+appends one JSON line per engine event to that file (the CLI rotates a
+pre-existing file aside at startup — except under ``trace``, which only
+*reads* sinks and must never rotate the file it is about to analyze);
+``--profile cprofile|tracemalloc`` (or ``REPRO_PROFILE``; flag wins)
+wraps the engine phases in opt-in profiling whose hotspots surface in
+``stats --json`` and bench records.
 
 Every command resolves the simulation through one process-wide
 :func:`repro.simulation.ecosystem.default_model`, so chaining commands
@@ -37,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import datetime as _dt
+import os
 import sys
 import time
 
@@ -183,7 +200,11 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 
 #: Version of the ``stats --json`` document layout; bump on any
 #: backwards-incompatible key change (tests pin the schema).
-STATS_SCHEMA = 1
+#: History: 1 — initial (schema/dataset/counters/derived/trace);
+#: 2 — added top-level ``profile`` (null unless ``--profile`` /
+#: ``REPRO_PROFILE`` is active) and span records gained ``id`` /
+#: ``parent_id`` / ``pid``.
+STATS_SCHEMA = 2
 
 
 def _stats_payload(model, store, wall: float) -> dict:
@@ -207,6 +228,7 @@ def _stats_payload(model, store, wall: float) -> dict:
             "spans": obs.snapshot_spans(),
             "dropped_spans": obs.TRACE.dropped,
         },
+        "profile": obs.profile.snapshot(),
     }
 
 
@@ -232,6 +254,102 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(PERF.render())
     return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """One expectation run end-to-end, fresh by default.
+
+    The producer half of the worked pair ``repro run --metrics m.jsonl
+    && repro trace m.jsonl`` — without ``--rebuild``-by-default a warm
+    cache would short-circuit the engine and leave nothing to trace.
+    """
+    from repro import obs
+
+    if not args.cached:
+        args.rebuild = True
+    model = _model(args)
+    started = time.perf_counter()
+    store = model.passive_store()
+    wall = time.perf_counter() - started
+    print(
+        f"run complete: {len(store.months())} month(s), "
+        f"{len(store)} records in {wall:.3f}s"
+    )
+    sink = obs.metrics_path()
+    if sink:
+        print(f"metrics sink: {sink}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import analyze
+
+    try:
+        events = analyze.load_events(args.metrics_file)
+        analysis = analyze.analyze(events, args.trace_id)
+    except analyze.TraceError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    sections = []
+    if args.summary:
+        sections.append(analyze.render_summary(analysis))
+    if args.critical_path:
+        sections.append(analyze.render_critical_path(analysis))
+    if args.utilization:
+        sections.append(analyze.render_utilization(analysis))
+    if args.faults_report:
+        sections.append(analyze.render_faults(analysis))
+    if not sections and not args.chrome:
+        sections.append(analyze.render_summary(analysis))
+    if sections:
+        print("\n\n".join(sections))
+    if args.chrome:
+        path = analyze.write_chrome_trace(analysis, args.chrome)
+        print(
+            f"chrome trace written: {path} "
+            "(load in ui.perfetto.dev or chrome://tracing)"
+        )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro import bench
+
+    try:
+        run = bench.run_benches(
+            args.benches or None,
+            quick=args.quick,
+            scale=args.scale,
+            profile_mode=getattr(args, "profile", None),
+        )
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    trajectory = bench.write_trajectory(run, args.out_dir)
+    baseline_arg = args.baseline or bench.DEFAULT_BASELINE
+    if args.update_baseline:
+        baseline_path = Path(baseline_arg)
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            json.dumps(bench.make_baseline(run), indent=2), encoding="utf-8"
+        )
+        print(bench.render_run(run))
+        print(f"\ntrajectory: {trajectory}")
+        print(f"baseline updated: {baseline_path}")
+        return 0
+    baseline = bench.load_baseline(baseline_arg)
+    if baseline is None:
+        print(bench.render_run(run))
+        print(f"\ntrajectory: {trajectory}")
+        print(f"bench: no baseline at {baseline_arg}; gate skipped", file=sys.stderr)
+        return 0
+    failures = bench.diff_baseline(run, baseline)
+    print(bench.render_run(run, failures))
+    print(f"\ntrajectory: {trajectory}")
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -266,7 +384,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="DEBUG-level repro.* diagnostics on stderr "
              "(default level: REPRO_LOG_LEVEL or WARNING)",
     )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="append one JSON line per engine event to PATH "
+             "(alias for REPRO_METRICS_PATH; the flag wins when both "
+             "are set)",
+    )
+    parser.add_argument(
+        "--profile", default=None, choices=["cprofile", "tracemalloc"],
+        help="profile the engine phases and surface hotspots in "
+             "stats --json / bench records (REPRO_PROFILE; flag wins)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # The observability flags also parse *after* the subcommand
+    # (``repro run --metrics m.jsonl``).  SUPPRESS keeps an absent
+    # subcommand-position flag from clobbering a value the global
+    # position already parsed.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--metrics", default=argparse.SUPPRESS, metavar="PATH",
+        help=argparse.SUPPRESS,
+    )
+    obs_flags.add_argument(
+        "--profile", default=argparse.SUPPRESS,
+        choices=["cprofile", "tracemalloc"], help=argparse.SUPPRESS,
+    )
 
     p_figure = sub.add_parser("figure", help="print a paper figure's series")
     p_figure.add_argument("name", help="fig1 .. fig10")
@@ -305,7 +448,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.set_defaults(func=cmd_timeline)
 
     p_stats = sub.add_parser(
-        "stats", help="build/load the dataset and print engine perf counters"
+        "stats", parents=[obs_flags],
+        help="build/load the dataset and print engine perf counters",
     )
     p_stats.add_argument(
         "--json", action="store_true",
@@ -313,6 +457,79 @@ def build_parser() -> argparse.ArgumentParser:
              "run's trace spans as one JSON document",
     )
     p_stats.set_defaults(func=cmd_stats)
+
+    p_run = sub.add_parser(
+        "run", parents=[obs_flags],
+        help="execute one expectation run end-to-end (fresh by default)",
+    )
+    p_run.add_argument(
+        "--cached", action="store_true",
+        help="allow the persistent dataset cache to satisfy the run "
+             "(default rebuilds so the engine actually executes)",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="analyze a metrics JSONL sink (span tree, critical "
+                      "path, utilization, Chrome trace export)"
+    )
+    p_trace.add_argument("metrics_file", help="path to a metrics .jsonl sink")
+    p_trace.add_argument(
+        "--trace-id", default=None,
+        help="analyze this trace (default: the sink's last run)",
+    )
+    p_trace.add_argument(
+        "--summary", action="store_true",
+        help="span-tree summary (default when no mode is given)",
+    )
+    p_trace.add_argument(
+        "--critical-path", action="store_true",
+        help="the chain of spans that bounded the run's wall clock",
+    )
+    p_trace.add_argument(
+        "--utilization", action="store_true",
+        help="per-worker busy/idle/retry timeline and straggler",
+    )
+    p_trace.add_argument(
+        "--faults-report", action="store_true",
+        help="retry/timeout/fault attribution per month and chunk",
+    )
+    p_trace.add_argument(
+        "--chrome", default=None, metavar="OUT.json",
+        help="export Chrome-trace JSON (chrome://tracing, Perfetto)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench", parents=[obs_flags],
+        help="run the benchmark harness; append to the dated "
+             "trajectory and gate against benchmarks/baseline.json",
+    )
+    p_bench.add_argument(
+        "benches", nargs="*",
+        help="bench names to run (default: all; see repro.bench.BENCHES)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="the CI subset: micro-benches, serial engine, anchors",
+    )
+    p_bench.add_argument(
+        "--scale", type=float, default=1.0, metavar="X",
+        help="multiply micro-bench iteration counts by X (default 1.0)",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline to gate against (default benchmarks/baseline.json)",
+    )
+    p_bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="pin this run's numbers as the new baseline instead of gating",
+    )
+    p_bench.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for BENCH_<YYYYMMDD>.json (default: cwd)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 
@@ -323,10 +540,20 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     obs.configure_logging("DEBUG" if getattr(args, "verbose", False) else None)
+    # --metrics is a first-class alias for REPRO_METRICS_PATH; the flag
+    # wins over an ambient variable (explicit beats environment, same
+    # precedence every other knob uses).  Installing it into the env
+    # keeps worker processes and in-process chained commands consistent.
+    if getattr(args, "metrics", None):
+        os.environ["REPRO_METRICS_PATH"] = args.metrics
     # Each CLI invocation's metrics history starts clean (first call in
     # a process rotates any pre-existing sink file; chained in-process
-    # commands keep appending to the fresh one).
-    obs.rotate_existing()
+    # commands keep appending to the fresh one).  ``trace`` is a pure
+    # reader: rotating there would move aside the very file the user
+    # asked it to analyze.
+    if args.command != "trace":
+        obs.rotate_existing()
+    obs.profile.configure(getattr(args, "profile", None))
     return args.func(args)
 
 

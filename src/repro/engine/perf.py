@@ -29,6 +29,7 @@ PARENT_ONLY_FIELDS = frozenset(
         "load_seconds",
         "workers",
         "worker_wall_times",
+        "chunk_attribution",
     }
 )
 
@@ -89,6 +90,11 @@ class PerfCounters:
     #: Per-chunk wall seconds of the last parallel run (one entry per
     #: successfully merged chunk, in merge order).
     worker_wall_times: list[float] = field(default_factory=list)
+    #: Which process ran which chunk attempt over which months (one
+    #: entry per merged chunk: ``{chunk, attempt, months, pid, worker,
+    #: wall, inline}``) — the parent-side join table the trace analyzer
+    #: and ``stats --json`` consumers use for worker attribution.
+    chunk_attribution: list[dict] = field(default_factory=list)
 
     # ---- lifecycle ----------------------------------------------------------
 

@@ -226,6 +226,13 @@ def _run_chunk(job: tuple[int, int, list[_dt.date]]) -> dict:
         "perf": PERF.snapshot(),
         "spans": obs.snapshot_spans(),
         "wall": time.perf_counter() - started,
+        # Attribution the trace analyzer joins on: which process ran
+        # which chunk attempt over which months.
+        "chunk": chunk_id,
+        "attempt": attempt,
+        "months": [m.isoformat() for m in months],
+        "pid": os.getpid(),
+        "worker": multiprocessing.current_process().name,
     }
 
 
@@ -247,6 +254,11 @@ def _run_chunk_inline(clients, servers, months: list[_dt.date]) -> dict:
         "packed": pack_records(monitor.store.records()),
         "perf": None,
         "wall": time.perf_counter() - started,
+        "chunk": None,
+        "attempt": None,
+        "months": [m.isoformat() for m in months],
+        "pid": os.getpid(),
+        "worker": "inline",
     }
 
 
@@ -281,7 +293,9 @@ def run_expectation(
         start.isoformat(), end.isoformat(), len(months),
         "serial" if serial else f"{count} workers",
     )
-    with obs.span("run_expectation", months=len(months), workers=0 if serial else count):
+    with obs.profiled("run_expectation"), obs.span(
+        "run_expectation", months=len(months), workers=0 if serial else count
+    ):
         if serial:
             store = _run_serial(clients, servers, start, end)
         else:
@@ -327,6 +341,7 @@ def _run_parallel(
     started = time.perf_counter()
     PERF.workers = count
     PERF.worker_wall_times = []
+    PERF.chunk_attribution = []
     store = NotaryStore()
 
     checkpoint = None
@@ -523,14 +538,25 @@ def _run_chunked(
 
 
 def _adopt(store: NotaryStore, checkpoint, part: dict, inline: bool = False) -> None:
-    """Merge one finished chunk: perf fold, span fold, checkpoint spill,
-    lazy attach."""
+    """Merge one finished chunk: perf fold, span fold, attribution,
+    checkpoint spill, lazy attach."""
     if not inline and part["perf"] is not None:
         PERF.merge_worker(part["perf"], part["wall"])
     elif inline:
         PERF.worker_wall_times.append(part["wall"])
     if part.get("spans"):
         obs.merge_worker_spans(part["spans"])
+    attribution = {
+        "chunk": part.get("chunk"),
+        "attempt": part.get("attempt"),
+        "months": part.get("months", []),
+        "pid": part.get("pid"),
+        "worker": part.get("worker"),
+        "wall": part["wall"],
+        "inline": inline,
+    }
+    PERF.chunk_attribution.append(attribution)
+    obs.emit_event("chunk_done", **attribution)
     if checkpoint is not None:
         checkpoint.save_months(split_by_month(part["packed"]))
     store.attach_packed(PackedDataset(part["packed"]), idempotent=True)
@@ -541,6 +567,7 @@ def _run_serial(clients, servers, start: _dt.date, end: _dt.date) -> NotaryStore
     started = time.perf_counter()
     PERF.workers = 0
     PERF.worker_wall_times = []
+    PERF.chunk_attribution = []
     with obs.span("run_serial"):
         monitor = PassiveMonitor()
         generator = TrafficGenerator(clients, servers, monitor)

@@ -15,6 +15,17 @@ observation-only (an instrumented run is byte-identical to a bare one):
   replacing the old silent failure paths; the CLI wires a stderr
   handler via ``--verbose`` / ``REPRO_LOG_LEVEL``.
 
+Two consumers sit on top of the channels:
+
+* **Analysis** (:mod:`repro.obs.analyze`) — reconstructs the rooted
+  span tree from a JSONL sink, computes the critical path, per-worker
+  utilization, and fault attribution, and exports Chrome-trace JSON
+  (``python -m repro trace``).
+* **Profiling** (:mod:`repro.obs.profile`) — opt-in cProfile /
+  tracemalloc hooks around engine phases (``--profile`` /
+  ``REPRO_PROFILE``), surfaced in ``stats --json`` and the bench
+  trajectory.
+
 This package imports nothing from the rest of :mod:`repro` (it sits at
 the bottom of the import graph beside :mod:`repro.engine.perf`), so any
 layer — faults, partition codec, cache, runner, simulation, CLI — can
@@ -24,10 +35,12 @@ instrument itself without creating a cycle.
 from __future__ import annotations
 
 from repro.obs import metrics as _metrics
+from repro.obs import profile
 from repro.obs.diag import configure_logging, get_logger, resolve_level
 from repro.obs.metrics import emit as emit_event
 from repro.obs.metrics import enabled as metrics_enabled
 from repro.obs.metrics import metrics_path, rotate_existing
+from repro.obs.profile import profiled
 from repro.obs.trace import MAX_SPANS, TRACE, SpanCollector
 
 __all__ = [
@@ -50,6 +63,8 @@ __all__ = [
     "adopt_trace",
     "begin_run",
     "end_run",
+    "profile",
+    "profiled",
 ]
 
 
@@ -98,6 +113,38 @@ def begin_run(name: str, **fields) -> str:
     return tid
 
 
+def _emit_trace_spans(tid: str) -> None:
+    """Persist the current trace's spans as ``span`` events.
+
+    Called once per run, at the end, from the parent: by then the
+    collector holds the parent's own spans *and* every snapshot merged
+    back from successful workers, so the sink receives only complete
+    subtrees (a crashed worker's half-finished spans never shipped).
+    The span's own process is ``span_pid``; the envelope ``pid`` is the
+    parent doing the emitting.
+    """
+    if not _metrics.enabled():
+        return
+    for span in TRACE.spans:
+        if span.get("trace_id") != tid:
+            continue  # a previous run's spans, already emitted
+        _metrics.emit(
+            "span",
+            id=span["id"],
+            parent_id=span["parent_id"],
+            name=span["name"],
+            start=span["ts"],
+            duration=span["duration"],
+            depth=span["depth"],
+            span_pid=span["pid"],
+            origin=span.get("origin", "parent"),
+            attrs=span.get("attrs"),
+        )
+    if TRACE.dropped:
+        _metrics.emit("spans_dropped", count=TRACE.dropped)
+
+
 def end_run(name: str, **fields) -> None:
-    """Close a run with a ``run_complete`` metrics event."""
+    """Close a run: persist its span tree, then a ``run_complete``."""
+    _emit_trace_spans(TRACE.ensure_trace())
     _metrics.emit("run_complete", run=name, **fields)

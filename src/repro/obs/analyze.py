@@ -1,0 +1,581 @@
+"""Trace analysis: turn a JSONL metrics sink back into knowledge.
+
+PR 3 made the engine *narrate* — spans, one JSON line per event — and
+this module is the consumer: it reconstructs the run's full span tree
+from the sink, walks it, and answers the questions a parallel faulted
+run raises:
+
+* **Tree reconstruction** — ``span`` events carry a deterministic
+  per-process ``(span_pid, id)`` identity and a ``parent_id``, so
+  sibling spans with repeated names (per-chunk, per-month) rebuild
+  unambiguously.  Worker subtrees are rooted at their ``run_chunk``
+  span (each worker's stack starts fresh); the analyzer grafts them
+  onto the parent's root, which is how one rooted tree covers the
+  whole fleet.  A span whose recorded parent is missing is *adopted*
+  by the root and counted in ``orphans`` — zero for any run the
+  engine completed, because only successful chunks ship spans.
+* **Critical path** — the chain of spans that actually bounded the
+  run's wall time: from the root, repeatedly descend into the child
+  that finished last.
+* **Utilization** — a per-worker occupancy ledger: busy seconds (chunk
+  spans), retry seconds (chunk attempts > 0), idle share of the run
+  window, and the straggler that finished last.
+* **Fault attribution** — retries, timeouts, failures, inline
+  fallbacks, and injected faults rolled up per month-shard and per
+  chunk, joined from the event stream's chunk→months mapping.
+* **Chrome-trace export** — the whole tree as ``chrome://tracing`` /
+  Perfetto JSON (``X`` duration events per span, one lane per process,
+  instant markers for retries/timeouts/faults).
+
+Everything here is a pure function of the sink file — no simulation
+imports, no engine state — so post-mortems work on any machine the
+JSONL lands on.  CLI: ``python -m repro trace <metrics.jsonl>``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Span names that represent one unit of scheduled chunk work.
+CHUNK_SPANS = ("run_chunk", "run_chunk_inline")
+
+#: Events that carry both ``chunk`` and ``months`` — the join table for
+#: per-month fault attribution.
+_CHUNK_MONTH_EVENTS = (
+    "chunk_done",
+    "chunk_failed",
+    "chunk_timeout",
+    "chunk_invalid",
+    "inline_fallback",
+)
+
+
+class TraceError(ValueError):
+    """A sink file the analyzer cannot work with (empty, malformed)."""
+
+
+# ---- loading ----------------------------------------------------------------
+
+
+def load_events(path: str | Path) -> list[dict]:
+    """Parse a JSONL sink; raises :class:`TraceError` with the line
+    number on malformed input (a half-written final line from a killed
+    run is tolerated and skipped)."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"metrics sink {path} does not exist")
+    events: list[dict] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                continue  # torn final write from a killed process
+            raise TraceError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        if isinstance(record, dict) and "event" in record:
+            events.append(record)
+    if not events:
+        raise TraceError(f"metrics sink {path} contains no events")
+    return events
+
+
+def available_traces(events: list[dict]) -> list[str]:
+    """Trace IDs in first-seen order."""
+    seen: dict[str, None] = {}
+    for event in events:
+        tid = event.get("trace_id")
+        if tid and tid not in seen:
+            seen[tid] = None
+    return list(seen)
+
+
+def select_trace(events: list[dict], trace_id: str | None = None) -> str:
+    """The trace to analyze: explicit ID, else the last started run."""
+    if trace_id is not None:
+        if trace_id not in available_traces(events):
+            raise TraceError(f"trace {trace_id!r} not present in sink")
+        return trace_id
+    for event in reversed(events):
+        if event.get("event") == "run_start" and event.get("trace_id"):
+            return event["trace_id"]
+    traces = available_traces(events)
+    if not traces:
+        raise TraceError("no trace IDs in sink")
+    return traces[-1]
+
+
+# ---- the span tree ----------------------------------------------------------
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span, with its children resolved."""
+
+    pid: int
+    id: int
+    name: str
+    start: float
+    duration: float
+    depth: int
+    origin: str = "parent"
+    attrs: dict = field(default_factory=dict)
+    parent_key: tuple[int, int] | None = None
+    children: list["SpanNode"] = field(default_factory=list)
+    #: True when the recorded parent was missing and the root adopted
+    #: this span (counts toward ``TraceAnalysis.orphans``).
+    adopted: bool = False
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.pid, self.id)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class TraceAnalysis:
+    """One trace's reconstructed tree plus its raw event stream."""
+
+    trace_id: str
+    events: list[dict]
+    root: SpanNode | None
+    spans: dict[tuple[int, int], SpanNode]
+    orphans: int
+    run_pid: int | None
+
+    def span_count(self) -> int:
+        return len(self.spans)
+
+
+def _span_node(event: dict) -> SpanNode:
+    parent_id = event.get("parent_id")
+    pid = int(event.get("span_pid", event.get("pid", 0)))
+    return SpanNode(
+        pid=pid,
+        id=int(event["id"]),
+        name=str(event.get("name", "?")),
+        start=float(event.get("start", event.get("ts", 0.0))),
+        duration=float(event.get("duration", 0.0)),
+        depth=int(event.get("depth", 0)),
+        origin=str(event.get("origin", "parent")),
+        attrs=event.get("attrs") or {},
+        parent_key=(pid, int(parent_id)) if parent_id is not None else None,
+    )
+
+
+def analyze(events: list[dict], trace_id: str | None = None) -> TraceAnalysis:
+    """Reconstruct one trace's rooted span tree from the event stream."""
+    tid = select_trace(events, trace_id)
+    trace_events = [e for e in events if e.get("trace_id") == tid]
+    run_pid = None
+    for event in trace_events:
+        if event.get("event") == "run_start":
+            run_pid = event.get("pid")
+            break
+
+    spans = {
+        node.key: node
+        for node in (
+            _span_node(e) for e in trace_events if e.get("event") == "span"
+        )
+    }
+
+    # Root: the *effectively* parentless span in the run's own process
+    # that covers the most wall time.  "Effectively" because the run
+    # root's own ancestors (e.g. the CLI's ``passive_store`` span) are
+    # still open when ``end_run`` persists the trace, so they never
+    # reach the sink: the root legitimately records a parent_id that no
+    # sink event carries.
+    parentless = [
+        n for n in spans.values()
+        if n.parent_key is None or n.parent_key not in spans
+    ]
+    candidates = [n for n in parentless if run_pid is None or n.pid == run_pid]
+    root = max(candidates or parentless, key=lambda n: n.duration, default=None)
+    if root is not None:
+        root.parent_key = None
+
+    orphans = 0
+    for node in spans.values():
+        if node is root:
+            continue
+        if node.parent_key is None:
+            # A worker subtree root (its process's stack started fresh):
+            # grafting it onto the run root is the expected join.
+            if root is not None:
+                root.children.append(node)
+            continue
+        parent = spans.get(node.parent_key)
+        if parent is not None:
+            parent.children.append(node)
+        elif root is not None:
+            node.adopted = True
+            orphans += 1
+            root.children.append(node)
+        else:
+            orphans += 1
+    for node in spans.values():
+        node.children.sort(key=lambda n: (n.start, n.id))
+
+    return TraceAnalysis(
+        trace_id=tid,
+        events=trace_events,
+        root=root,
+        spans=spans,
+        orphans=orphans,
+        run_pid=run_pid,
+    )
+
+
+# ---- critical path ----------------------------------------------------------
+
+
+def critical_path(analysis: TraceAnalysis) -> list[SpanNode]:
+    """The chain of spans that bounded the run's wall time.
+
+    From the root, descend into the child that *finished last* — in a
+    parallel run that is the straggling chunk, then its straggling
+    month, which is exactly the work one would need to speed up to
+    shorten the run.
+    """
+    if analysis.root is None:
+        return []
+    path = [analysis.root]
+    node = analysis.root
+    while node.children:
+        node = max(node.children, key=lambda n: (n.end, n.duration))
+        path.append(node)
+    return path
+
+
+# ---- worker utilization -----------------------------------------------------
+
+
+def utilization(analysis: TraceAnalysis) -> dict:
+    """Per-worker occupancy over the run window.
+
+    ``busy`` sums chunk spans, ``retry`` the subset with attempt > 0,
+    ``idle`` is the remainder of the run window (a worker only exists
+    while its pool round runs, so idle time includes waiting for the
+    round to be scheduled — which is what occupancy means to the
+    scheduler).  The straggler is the worker whose last chunk finished
+    latest.
+    """
+    root = analysis.root
+    if root is not None and root.duration > 0:
+        window_start, window = root.start, root.duration
+    elif analysis.events:
+        times = [e["ts"] for e in analysis.events if "ts" in e]
+        window_start = min(times)
+        window = max(times) - window_start
+    else:
+        window_start, window = 0.0, 0.0
+
+    rows: dict[tuple[int, str], dict] = {}
+    for node in analysis.spans.values():
+        if node.name not in CHUNK_SPANS:
+            continue
+        kind = "inline" if node.name == "run_chunk_inline" else "worker"
+        row = rows.setdefault(
+            (node.pid, kind),
+            {
+                "pid": node.pid,
+                "kind": kind,
+                "chunks": 0,
+                "busy_seconds": 0.0,
+                "retry_seconds": 0.0,
+                "last_end_offset": 0.0,
+            },
+        )
+        row["chunks"] += 1
+        row["busy_seconds"] += node.duration
+        if int(node.attrs.get("attempt", 0) or 0) > 0:
+            row["retry_seconds"] += node.duration
+        row["last_end_offset"] = max(
+            row["last_end_offset"], node.end - window_start
+        )
+
+    workers = sorted(rows.values(), key=lambda r: (r["kind"], r["pid"]))
+    for row in workers:
+        row["idle_seconds"] = max(0.0, window - row["busy_seconds"])
+        row["utilization"] = row["busy_seconds"] / window if window > 0 else 0.0
+
+    pool = [r for r in workers if r["kind"] == "worker"]
+    straggler = max(pool, key=lambda r: r["last_end_offset"], default=None)
+    busy_total = sum(r["busy_seconds"] for r in workers)
+    return {
+        "window_seconds": window,
+        "workers": workers,
+        "straggler_pid": straggler["pid"] if straggler else None,
+        "effective_parallelism": busy_total / window if window > 0 else 0.0,
+    }
+
+
+# ---- fault / retry attribution ----------------------------------------------
+
+
+def _chunk_months(events: list[dict]) -> dict[int, list[str]]:
+    """chunk id -> month ISO list, joined from every event that names both."""
+    mapping: dict[int, list[str]] = {}
+    for event in events:
+        if event.get("event") in _CHUNK_MONTH_EVENTS and "months" in event:
+            months = event["months"]
+            # Inline-fallback work records chunk=None (the parent ran
+            # it outside the pool's chunk numbering) — skip the join.
+            if isinstance(months, list) and event.get("chunk") is not None:
+                mapping.setdefault(int(event["chunk"]), months)
+    return mapping
+
+
+def _fault_token_site(token: str) -> tuple[int | None, str | None]:
+    """Parse a fault token (``c3.a1`` / ``c3.a1.m2014-06-01``)."""
+    chunk = None
+    month = None
+    for part in str(token).split("."):
+        if part.startswith("c") and part[1:].isdigit():
+            chunk = int(part[1:])
+        elif part.startswith("m") and len(part) > 1:
+            month = part[1:]
+    return chunk, month
+
+
+def fault_attribution(analysis: TraceAnalysis) -> dict:
+    """Retries/timeouts/failures/faults rolled up per month and chunk."""
+    months: dict[str, dict] = {}
+    chunks: dict[int, dict] = {}
+    mapping = _chunk_months(analysis.events)
+
+    def month_row(iso: str) -> dict:
+        return months.setdefault(
+            iso,
+            {"retries": 0, "timeouts": 0, "failures": 0, "invalid": 0,
+             "inline": 0, "faults": 0},
+        )
+
+    def chunk_row(cid: int) -> dict:
+        return chunks.setdefault(
+            cid,
+            {"retries": 0, "timeouts": 0, "failures": 0, "invalid": 0,
+             "inline": 0, "faults": 0, "months": mapping.get(cid, [])},
+        )
+
+    counter_for = {
+        "chunk_retry": "retries",
+        "chunk_timeout": "timeouts",
+        "chunk_failed": "failures",
+        "chunk_invalid": "invalid",
+        "inline_fallback": "inline",
+    }
+    for event in analysis.events:
+        name = event.get("event")
+        if name in counter_for and event.get("chunk") is not None:
+            cid = int(event["chunk"])
+            key = counter_for[name]
+            chunk_row(cid)[key] += 1
+            for iso in event.get("months", mapping.get(cid, [])):
+                month_row(iso)[key] += 1
+        elif name == "fault":
+            cid, month = _fault_token_site(event.get("token", ""))
+            if cid is not None:
+                chunk_row(cid)["faults"] += 1
+            if month is not None:
+                month_row(month)["faults"] += 1
+            elif cid is not None:
+                for iso in mapping.get(cid, []):
+                    month_row(iso)["faults"] += 1
+    return {"months": months, "chunks": chunks}
+
+
+# ---- summary ----------------------------------------------------------------
+
+
+def summarize(analysis: TraceAnalysis) -> dict:
+    """A one-screen digest of the trace."""
+    from collections import Counter
+
+    counts = Counter(e.get("event") for e in analysis.events)
+    complete = next(
+        (e for e in reversed(analysis.events) if e.get("event") == "run_complete"),
+        None,
+    )
+    util = utilization(analysis)
+    return {
+        "trace_id": analysis.trace_id,
+        "events": dict(sorted(counts.items())),
+        "spans": analysis.span_count(),
+        "orphans": analysis.orphans,
+        "root": analysis.root.name if analysis.root else None,
+        "wall_seconds": analysis.root.duration if analysis.root else None,
+        "workers": len([r for r in util["workers"] if r["kind"] == "worker"]),
+        "effective_parallelism": util["effective_parallelism"],
+        "records": complete.get("records") if complete else None,
+        "retries": counts.get("chunk_retry", 0),
+        "timeouts": counts.get("chunk_timeout", 0),
+        "inline_fallbacks": counts.get("inline_fallback", 0),
+        "faults": counts.get("fault", 0),
+    }
+
+
+# ---- Chrome-trace export ----------------------------------------------------
+
+
+def chrome_trace(analysis: TraceAnalysis) -> dict:
+    """The trace as Chrome/Perfetto ``traceEvents`` JSON.
+
+    One lane (pid/tid) per process, ``X`` complete events for spans
+    (microsecond offsets from the run start so Perfetto's timeline
+    starts at zero), ``M`` metadata naming each process, and ``i``
+    instant markers for retries, timeouts, and injected faults.
+    """
+    t0 = analysis.root.start if analysis.root else min(
+        (e["ts"] for e in analysis.events if "ts" in e), default=0.0
+    )
+
+    def us(seconds: float) -> int:
+        return max(0, int(round((seconds) * 1_000_000)))
+
+    trace_events: list[dict] = []
+    pids = sorted({node.pid for node in analysis.spans.values()})
+    for pid in pids:
+        label = "parent" if pid == analysis.run_pid else f"worker-{pid}"
+        trace_events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": pid,
+             "args": {"name": label}}
+        )
+    for node in sorted(analysis.spans.values(), key=lambda n: (n.start, n.depth)):
+        trace_events.append(
+            {
+                "ph": "X",
+                "cat": "span",
+                "name": node.name,
+                "pid": node.pid,
+                "tid": node.pid,
+                "ts": us(node.start - t0),
+                "dur": us(node.duration),
+                "args": dict(node.attrs, span_id=node.id, origin=node.origin),
+            }
+        )
+    marker_names = {"chunk_retry", "chunk_timeout", "chunk_failed", "fault"}
+    for event in analysis.events:
+        if event.get("event") in marker_names and "ts" in event:
+            args = {
+                k: v for k, v in event.items()
+                if k not in ("ts", "event", "trace_id", "pid")
+            }
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": "p",
+                    "cat": "engine",
+                    "name": event["event"],
+                    "pid": int(event.get("pid", 0)),
+                    "tid": int(event.get("pid", 0)),
+                    "ts": us(float(event["ts"]) - t0),
+                    "args": args,
+                }
+            )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": analysis.trace_id, "tool": "repro trace"},
+    }
+
+
+def write_chrome_trace(analysis: TraceAnalysis, out: str | Path) -> Path:
+    out = Path(out)
+    out.write_text(json.dumps(chrome_trace(analysis)), encoding="utf-8")
+    return out
+
+
+# ---- text rendering (the CLI's output) --------------------------------------
+
+
+def render_summary(analysis: TraceAnalysis) -> str:
+    s = summarize(analysis)
+    lines = ["TRACE SUMMARY", "-------------"]
+    lines.append(f"trace id            : {s['trace_id']}")
+    lines.append(f"root span           : {s['root']}")
+    if s["wall_seconds"] is not None:
+        lines.append(f"wall seconds        : {s['wall_seconds']:.3f}")
+    lines.append(f"spans               : {s['spans']} (orphans adopted: {s['orphans']})")
+    lines.append(f"pool workers        : {s['workers']}")
+    lines.append(f"effective parallel  : {s['effective_parallelism']:.2f}x")
+    if s["records"] is not None:
+        lines.append(f"records             : {s['records']}")
+    lines.append(
+        "recovery            : "
+        f"{s['retries']} retries, {s['timeouts']} timeouts, "
+        f"{s['inline_fallbacks']} inline fallbacks, {s['faults']} faults"
+    )
+    lines.append("events              : " + ", ".join(
+        f"{name}={count}" for name, count in s["events"].items()
+    ))
+    return "\n".join(lines)
+
+
+def render_critical_path(analysis: TraceAnalysis) -> str:
+    path = critical_path(analysis)
+    lines = ["CRITICAL PATH", "-------------"]
+    if not path:
+        lines.append("(no spans)")
+        return "\n".join(lines)
+    t0 = path[0].start
+    for i, node in enumerate(path):
+        attrs = ""
+        if node.attrs:
+            attrs = " " + ", ".join(f"{k}={v}" for k, v in node.attrs.items())
+        lines.append(
+            f"{'  ' * i}{node.name:<20} pid={node.pid:<8} "
+            f"+{node.start - t0:7.3f}s  {node.duration:8.3f}s{attrs}"
+        )
+    return "\n".join(lines)
+
+
+def render_utilization(analysis: TraceAnalysis) -> str:
+    util = utilization(analysis)
+    lines = ["WORKER UTILIZATION", "------------------"]
+    lines.append(f"run window          : {util['window_seconds']:.3f}s")
+    lines.append(f"effective parallel  : {util['effective_parallelism']:.2f}x")
+    for row in util["workers"]:
+        flag = ""
+        if row["pid"] == util["straggler_pid"] and row["kind"] == "worker":
+            flag = "  <- straggler"
+        lines.append(
+            f"{row['kind']:<7} pid={row['pid']:<8} chunks={row['chunks']:<3} "
+            f"busy={row['busy_seconds']:7.3f}s retry={row['retry_seconds']:6.3f}s "
+            f"idle={row['idle_seconds']:7.3f}s util={row['utilization'] * 100:5.1f}%{flag}"
+        )
+    if not util["workers"]:
+        lines.append("(serial run: no chunk spans)")
+    return "\n".join(lines)
+
+
+def render_faults(analysis: TraceAnalysis) -> str:
+    attribution = fault_attribution(analysis)
+    lines = ["FAULT / RETRY ATTRIBUTION", "-------------------------"]
+    if not attribution["months"] and not attribution["chunks"]:
+        lines.append("(clean run: nothing to attribute)")
+        return "\n".join(lines)
+    for iso in sorted(attribution["months"]):
+        row = attribution["months"][iso]
+        parts = ", ".join(f"{k}={v}" for k, v in row.items() if v)
+        lines.append(f"month {iso}: {parts or 'clean'}")
+    for cid in sorted(attribution["chunks"]):
+        row = attribution["chunks"][cid]
+        parts = ", ".join(
+            f"{k}={v}" for k, v in row.items() if k != "months" and v
+        )
+        lines.append(f"chunk {cid}: {parts or 'clean'}")
+    return "\n".join(lines)

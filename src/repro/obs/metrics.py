@@ -13,6 +13,9 @@ Field contract (stable; ``tests/test_obs.py`` pins it):
 * ``ts`` — epoch seconds (float) at emission.
 * ``event`` — the event name.
 * ``trace_id`` — the current run's trace ID (shared with spans).
+* ``pid`` — the emitting process (parent vs. pool workers; per-process
+  ``ts`` monotonicity is what the CI gate checks, since lines from
+  different processes may interleave out of order).
 * everything else — event-specific context, JSON scalars only
   (non-scalar values are stringified).
 
@@ -92,6 +95,7 @@ def emit(event: str, **fields) -> None:
         "ts": time.time(),
         "event": event,
         "trace_id": TRACE.ensure_trace(),
+        "pid": os.getpid(),
     }
     record.update(fields)
     try:

@@ -16,12 +16,22 @@ They never touch an RNG, a store, or a record, which is what keeps an
 instrumented run byte-identical to a bare one (regression-tested in
 ``tests/test_obs.py``).
 
+Spans carry a deterministic identity: ``id`` is a per-process counter
+(0, 1, 2, ... in span *entry* order) and ``parent_id`` is the enclosing
+span's id, so sibling spans with the same name — per-chunk spans, one
+``simulate_month`` per month — reconstruct into an unambiguous tree.
+Because a counter restarts in every process, identity is only unique
+per process; every span therefore also records its ``pid``, and the
+analyzer (:mod:`repro.obs.analyze`) keys spans by ``(pid, id)``.
+``name``/``depth``/``parent`` stay for backward compatibility.
+
 Like :mod:`repro.engine.perf`, this module imports nothing from the
 rest of :mod:`repro`, so any layer can use it without cycles.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import uuid
 from contextlib import contextmanager
@@ -44,8 +54,9 @@ class SpanCollector:
     def __init__(self) -> None:
         self.spans: list[dict] = []
         self.dropped: int = 0
-        self._stack: list[str] = []
+        self._stack: list[tuple[str, int]] = []
         self._trace_id: str | None = None
+        self._next_id: int = 0
 
     # ---- trace identity -----------------------------------------------------
 
@@ -72,10 +83,16 @@ class SpanCollector:
         self.dropped = 0
         self._stack = []
         self._trace_id = None
+        self._next_id = 0
 
     def reset_spans(self) -> None:
         """Drop recorded spans but keep the trace identity (a worker
-        clears between chunks without leaving its run's trace)."""
+        clears between chunks without leaving its run's trace).
+
+        The id counter deliberately keeps counting: ``(pid, id)`` must
+        stay unique across every chunk one worker process ever runs, or
+        a rebuilt tree would alias spans from different chunks.
+        """
         self.spans = []
         self.dropped = 0
         self._stack = []
@@ -91,18 +108,23 @@ class SpanCollector:
         """
         started_ts = time.time()
         started = time.perf_counter()
-        self._stack.append(name)
+        span_id = self._next_id
+        self._next_id += 1
+        self._stack.append((name, span_id))
         try:
             yield
         finally:
             self._stack.pop()
             record = {
                 "name": name,
+                "id": span_id,
+                "parent_id": self._stack[-1][1] if self._stack else None,
+                "pid": os.getpid(),
                 "trace_id": self.ensure_trace(),
                 "ts": started_ts,
                 "duration": time.perf_counter() - started,
                 "depth": len(self._stack),
-                "parent": self._stack[-1] if self._stack else None,
+                "parent": self._stack[-1][0] if self._stack else None,
             }
             if attrs:
                 record["attrs"] = {k: _attr_value(v) for k, v in attrs.items()}

@@ -13,6 +13,7 @@ import dataclasses
 import datetime as dt
 import json
 import logging
+import os
 import subprocess
 import sys
 from collections import Counter
@@ -119,6 +120,48 @@ class TestSpans:
                 pass
         assert len(obs.TRACE.spans) == 2
         assert obs.TRACE.dropped == 2
+
+    def test_deterministic_ids_and_parent_ids(self):
+        """Identity is structural, not name-based: ids count up in open
+        order within the process, parent_id references the enclosing
+        span's id, and every record carries the owning pid — the triple
+        the trace analyzer needs to rebuild sibling spans with repeated
+        names unambiguously."""
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("sibling"):
+                pass
+        spans = {s["name"]: s for s in obs.snapshot_spans()}
+        assert spans["outer"]["id"] == 0
+        assert spans["inner"]["id"] == 1
+        assert spans["sibling"]["id"] == 2
+        assert spans["outer"]["parent_id"] is None
+        assert spans["inner"]["parent_id"] == spans["outer"]["id"]
+        assert spans["sibling"]["parent_id"] == spans["outer"]["id"]
+        assert {s["pid"] for s in spans.values()} == {os.getpid()}
+        # The name-based fields survive for backward compatibility.
+        assert spans["inner"]["parent"] == "outer"
+        assert spans["inner"]["depth"] == 1
+
+    def test_reset_spans_keeps_ids_unique_across_chunks(self):
+        """reset_spans drops records but not the id counter, so spans
+        from successive chunks in one worker process never collide."""
+        with obs.span("a"):
+            pass
+        first = obs.snapshot_spans()[0]["id"]
+        obs.reset_spans()
+        with obs.span("b"):
+            pass
+        assert obs.snapshot_spans()[0]["id"] > first
+
+    def test_full_reset_restarts_the_id_counter(self):
+        with obs.span("a"):
+            pass
+        obs.TRACE.reset()
+        with obs.span("b"):
+            pass
+        assert obs.snapshot_spans()[0]["id"] == 0
 
 
 # ---- perf-counter accounting (the bugfix sweep) -----------------------------
@@ -228,6 +271,7 @@ class TestMetricsSink:
         assert event["event"] == "unit_test"
         assert event["trace_id"] == tid
         assert isinstance(event["ts"], float)
+        assert event["pid"] == os.getpid()
         assert event["month"] == "2015-01-01" and event["n"] == 2
 
     def test_rotation_moves_existing_file_aside(self, tmp_path, monkeypatch):
@@ -272,6 +316,61 @@ class TestMetricsSink:
         with caplog.at_level(logging.WARNING, logger="repro.obs.metrics"):
             metrics.emit("doomed")
         assert any("not written" in r.message for r in caplog.records)
+
+
+# ---- span persistence (the analyzer's input contract) -----------------------
+
+
+class TestSpanPersistence:
+    def test_end_run_ships_the_trace_spans(self, tmp_path, monkeypatch):
+        sink = tmp_path / "m.jsonl"
+        monkeypatch.setenv("REPRO_METRICS_PATH", str(sink))
+        obs.begin_run("unit")
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.end_run("unit")
+        events = read_events(sink)
+        assert events[-1]["event"] == "run_complete"
+        by_name = {e["name"]: e for e in events if e["event"] == "span"}
+        assert set(by_name) == {"outer", "inner"}
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["id"]
+        assert by_name["inner"]["span_pid"] == os.getpid()
+        assert by_name["inner"]["duration"] >= 0
+        assert by_name["inner"]["start"] >= by_name["outer"]["start"]
+
+    def test_prior_runs_spans_are_not_reemitted(self, tmp_path, monkeypatch):
+        sink = tmp_path / "m.jsonl"
+        monkeypatch.setenv("REPRO_METRICS_PATH", str(sink))
+        obs.begin_run("first")
+        with obs.span("first_work"):
+            pass
+        obs.end_run("first")
+        obs.begin_run("second")
+        with obs.span("second_work"):
+            pass
+        obs.end_run("second")
+        events = read_events(sink)
+        names = [e["name"] for e in events if e["event"] == "span"]
+        assert names.count("first_work") == 1
+        assert names.count("second_work") == 1
+
+    def test_span_drop_overflow_is_reported(self, tmp_path, monkeypatch):
+        from repro.obs import trace
+
+        sink = tmp_path / "m.jsonl"
+        monkeypatch.setenv("REPRO_METRICS_PATH", str(sink))
+        monkeypatch.setattr(trace, "MAX_SPANS", 1)
+        obs.begin_run("unit")
+        for _ in range(3):
+            with obs.span("x"):
+                pass
+        obs.end_run("unit")
+        (dropped,) = [
+            e for e in read_events(sink) if e["event"] == "spans_dropped"
+        ]
+        assert dropped["count"] == 2
 
 
 # ---- diagnostic logging -----------------------------------------------------
@@ -361,7 +460,10 @@ class TestStatsJson:
         assert main(["stats", "--json"]) == 0
         document = json.loads(capsys.readouterr().out)
         assert document["schema"] == STATS_SCHEMA
-        assert set(document) == {"schema", "dataset", "counters", "derived", "trace"}
+        assert set(document) == {
+            "schema", "dataset", "counters", "derived", "trace", "profile",
+        }
+        assert document["profile"] is None  # no --profile flag given
         assert set(document["dataset"]) == {
             "start", "end", "months", "records", "wall_seconds",
         }
@@ -424,6 +526,18 @@ class TestFaultedRunReconciles:
 
         # One trace ID across parent and worker events alike.
         assert len({e["trace_id"] for e in events}) == 1
+
+        # Every merged chunk left an attribution row (the worker join
+        # table) and a matching chunk_done event in the trail.
+        assert counts["chunk_done"] == len(PERF.chunk_attribution)
+        for row in PERF.chunk_attribution:
+            assert set(row) >= {"chunk", "attempt", "months", "pid", "worker"}
+
+        # The parent persisted the span tree: every span event belongs
+        # to this run's trace, and the run root span is among them.
+        span_events = [e for e in events if e["event"] == "span"]
+        assert any(e["name"] == "run_expectation" for e in span_events)
+        assert all("id" in e and "span_pid" in e for e in span_events)
 
         # Zero drift: byte-identical to the untraced serial baseline.
         assert store.months() == baseline.months()

@@ -25,6 +25,7 @@ class TestReadmeQuickstart:
 
     def test_readme_mentions_only_real_commands(self):
         """Every `python -m repro <cmd>` in the README must exist."""
+        import argparse
         import pathlib
         import re
 
@@ -36,7 +37,9 @@ class TestReadmeQuickstart:
         commands = set(re.findall(r"python -m repro (\w+)", readme))
         parser = build_parser()
         subactions = next(
-            a for a in parser._actions if hasattr(a, "choices") and a.choices
+            a
+            for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
         )
         assert commands <= set(subactions.choices)
 

@@ -1,0 +1,181 @@
+"""Golden-structure test for the versioned ``stats --json`` document.
+
+Downstream consumers (the trace analyzer, bench trajectory tooling, CI
+scripts) parse this document; this module pins its exact top-level
+shape so any change — adding, removing, or retyping a key — fails here
+first and forces a deliberate ``STATS_SCHEMA`` bump.
+
+The rule the docstring on ``STATS_SCHEMA`` states: bump on any
+backwards-incompatible key change.  These tests are the enforcement.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro import obs
+from repro.engine import faults
+from repro.engine.perf import PERF, PerfCounters
+
+#: The pinned top-level contract: key -> allowed types.  Editing this
+#: dict is the deliberate act that must accompany a STATS_SCHEMA bump.
+GOLDEN_TOP_LEVEL = {
+    "schema": int,
+    "dataset": dict,
+    "counters": dict,
+    "derived": dict,
+    "trace": dict,
+    "profile": (dict, type(None)),
+}
+
+GOLDEN_DATASET = {
+    "start": str,
+    "end": str,
+    "months": int,
+    "records": int,
+    "wall_seconds": float,
+}
+
+GOLDEN_TRACE = {
+    "trace_id": str,
+    "spans": list,
+    "dropped_spans": int,
+}
+
+#: Per-span record contract (PR 4 added the deterministic identity).
+GOLDEN_SPAN = {
+    "name": str,
+    "id": int,
+    "parent_id": (int, type(None)),
+    "pid": int,
+    "trace_id": str,
+    "ts": float,
+    "duration": float,
+    "depth": int,
+    "parent": (str, type(None)),
+}
+
+#: The version these golden dicts describe.  If you bumped STATS_SCHEMA
+#: without updating the golden structure (or vice versa), the mismatch
+#: fails here with instructions rather than silently downstream.
+GOLDEN_SCHEMA_VERSION = 2
+
+
+@pytest.fixture(autouse=True)
+def _hermetic(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_METRICS_PATH", raising=False)
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    obs.TRACE.reset()
+    obs.profile.configure(None)
+    faults.clear()
+    yield
+    obs.TRACE.reset()
+    obs.profile.configure(None)
+    faults.clear()
+
+
+@pytest.fixture
+def small_model(monkeypatch):
+    from repro.simulation import ecosystem
+
+    small = ecosystem.EcosystemModel(
+        start=dt.date(2014, 6, 1),
+        end=dt.date(2014, 7, 1),
+        use_cache=False,
+        workers=0,
+    )
+    monkeypatch.setattr(ecosystem, "_DEFAULT_MODEL", small)
+    PERF.reset()
+    return small
+
+
+def stats_document(capsys, *flags: str) -> dict:
+    from repro.cli import main
+
+    assert main([*flags, "stats", "--json"]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def assert_shape(document: dict, golden: dict, where: str) -> None:
+    assert set(document) == set(golden), (
+        f"{where}: keys changed "
+        f"(added {set(document) - set(golden)}, "
+        f"removed {set(golden) - set(document)}) — "
+        "update the golden structure AND bump STATS_SCHEMA"
+    )
+    for key, types in golden.items():
+        assert isinstance(document[key], types), (
+            f"{where}.{key}: expected {types}, got {type(document[key])}"
+        )
+
+
+class TestGoldenStructure:
+    def test_version_and_golden_agree(self):
+        from repro.cli import STATS_SCHEMA
+
+        assert STATS_SCHEMA == GOLDEN_SCHEMA_VERSION, (
+            "STATS_SCHEMA changed: update the GOLDEN_* dicts in this "
+            "file to describe the new layout, then set "
+            "GOLDEN_SCHEMA_VERSION to match"
+        )
+
+    def test_top_level_shape(self, capsys, small_model):
+        document = stats_document(capsys)
+        assert_shape(document, GOLDEN_TOP_LEVEL, "document")
+        assert document["schema"] == GOLDEN_SCHEMA_VERSION
+
+    def test_dataset_shape(self, capsys, small_model):
+        document = stats_document(capsys)
+        assert_shape(document["dataset"], GOLDEN_DATASET, "dataset")
+        dt.date.fromisoformat(document["dataset"]["start"])
+        dt.date.fromisoformat(document["dataset"]["end"])
+
+    def test_counters_mirror_the_dataclass_exactly(self, capsys, small_model):
+        document = stats_document(capsys)
+        assert set(document["counters"]) == set(
+            PerfCounters.__dataclass_fields__
+        )
+
+    def test_trace_and_span_shape(self, capsys, small_model):
+        document = stats_document(capsys)
+        assert_shape(document["trace"], GOLDEN_TRACE, "trace")
+        spans = document["trace"]["spans"]
+        assert spans, "a fresh run must record spans"
+        for span in spans:
+            missing = set(GOLDEN_SPAN) - set(span)
+            assert not missing, f"span missing field(s) {missing}"
+            for key, types in GOLDEN_SPAN.items():
+                assert isinstance(span[key], types), (
+                    f"span.{key}: expected {types}, got {type(span[key])}"
+                )
+        # attrs/origin are optional but JSON-safe when present.
+        json.dumps(spans)
+
+    def test_profile_null_without_flag(self, capsys, small_model):
+        assert stats_document(capsys)["profile"] is None
+
+    def test_profile_populates_under_flag(self, capsys, small_model):
+        document = stats_document(capsys, "--profile", "cprofile")
+        profile = document["profile"]
+        assert profile["mode"] == "cprofile"
+        phases = {p["name"]: p for p in profile["phases"]}
+        assert "run_expectation" in phases
+        phase = phases["run_expectation"]
+        assert phase["wall_seconds"] > 0
+        assert phase["top"], "no hotspots captured"
+        top = phase["top"][0]
+        assert {"func", "calls", "tottime", "cumtime"} <= set(top)
+
+    def test_profile_tracemalloc_reports_peaks(self, capsys, small_model):
+        document = stats_document(capsys, "--profile", "tracemalloc")
+        profile = document["profile"]
+        assert profile["mode"] == "tracemalloc"
+        phases = {p["name"]: p for p in profile["phases"]}
+        phase = phases["run_expectation"]
+        assert phase["peak_bytes"] > 0
+        assert phase["top"], "no allocation sites captured"
+        assert {"site", "size_bytes", "count"} <= set(phase["top"][0])
