@@ -14,6 +14,9 @@ Asserts, over every line of the sink:
   ``depth`` >= 0, and worker attribution via ``span_pid`` (the process
   the span measured, distinct from the envelope ``pid`` that emitted
   it);
+* shape-tier event structure (PR 5) — ``shape_view_build`` carries the
+  month plus non-negative ``shapes``/``rows`` counts, ``scan_fallback``
+  carries the month and a non-empty ``reason`` string;
 * at least one ``run_complete`` event was emitted — i.e. the
   observability layer was actually live for the run that produced the
   file.
@@ -51,6 +54,30 @@ SPAN_FIELDS = {
 }
 
 
+def _count(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+#: Shape-tier query events (PR 5) and their field validators.
+SHAPE_VIEW_BUILD_FIELDS = {
+    "month": lambda v: isinstance(v, str) and bool(v),
+    "shapes": _count,
+    "rows": _count,
+}
+
+SCAN_FALLBACK_FIELDS = {
+    "month": lambda v: isinstance(v, str) and bool(v),
+    "reason": lambda v: isinstance(v, str) and bool(v),
+}
+
+#: event name -> field validators, for events beyond the envelope.
+STRUCTURED_EVENTS = {
+    "span": SPAN_FIELDS,
+    "shape_view_build": SHAPE_VIEW_BUILD_FIELDS,
+    "scan_fallback": SCAN_FALLBACK_FIELDS,
+}
+
+
 def check_record(record: dict, last_ts: dict) -> str | None:
     """One event's violation message, or None when it is clean."""
     missing = [key for key in REQUIRED_KEYS if key not in record]
@@ -69,12 +96,14 @@ def check_record(record: dict, last_ts: dict) -> str | None:
             f"(previous {previous!r})"
         )
     last_ts[pid] = max(previous or ts, ts)
-    if record["event"] == "span":
-        for name, valid in SPAN_FIELDS.items():
+    fields = STRUCTURED_EVENTS.get(record["event"])
+    if fields is not None:
+        event = record["event"]
+        for name, valid in fields.items():
             if name not in record:
-                return f"span event missing field {name!r}"
+                return f"{event} event missing field {name!r}"
             if not valid(record[name]):
-                return f"span field {name}={record[name]!r} fails validation"
+                return f"{event} field {name}={record[name]!r} fails validation"
     return None
 
 

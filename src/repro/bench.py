@@ -7,8 +7,10 @@ reproduction itself.  ``python -m repro bench``:
 1. runs a configurable subset of benchmarks — substrate micro-benches
    (hello encode/decode, negotiation, fingerprint extraction), engine
    runs (serial, parallel, warm cache load), observability overhead,
-   and *scientific anchors* (figure values on a fixed window, which are
-   fully deterministic and therefore drift-detectable to 1e-6);
+   the query-path micro-bench (cold record scan vs shape tier vs
+   index over packed months), and *scientific anchors* (figure values
+   on a fixed window, which are fully deterministic and therefore
+   drift-detectable to 1e-6);
 2. appends one dated record to ``BENCH_<YYYYMMDD>.json`` — the
    trajectory file that accumulates the repo's own measurement history;
 3. diffs the run against the committed ``benchmarks/baseline.json``
@@ -268,6 +270,112 @@ def bench_anchors_fig1(ctx: BenchContext) -> dict:
     }
 
 
+def _query_workload(store, months) -> list:
+    """A non-indexable aggregate workload (the shape tier's target).
+
+    Fresh lambdas every call, so each invocation pays its own predicate
+    compilation — the honest cold-query cost on whichever path answers.
+    """
+    is_tls12 = lambda r: r.negotiated_version == "TLSv12"
+    rc4_est = lambda r: "rc4" in r.advertised and r.established
+    est = lambda r: r.established
+    aead_pos = lambda r: r.positions.get("aead")
+    results = []
+    for month in months:
+        results.append(store.fraction(month, is_tls12))
+        results.append(store.fraction(month, rc4_est, within=est))
+        results.append(store.weighted_mean(month, aead_pos))
+        results.append(store.weight_where(month, is_tls12))
+    return results
+
+
+def bench_query_paths(ctx: BenchContext) -> dict:
+    """Cold aggregate queries over packed months: scan vs shape vs index.
+
+    Every arm starts from a freshly attached packed dataset (the state a
+    warm cache load leaves the store in).  The scan arm forces
+    ``use_index = False`` — the pre-shape-tier behaviour of
+    materializing record objects and scanning them — while the shape
+    arm answers the identical workload from per-shape evaluation plus
+    column folds.  The index arm times the O(1) counter path on the
+    standard indexable queries as the floor reference.  The two
+    non-indexed arms must return byte-identical results; the bench
+    fails loudly if they diverge.
+    """
+    from repro.engine.partition import PackedDataset, pack_records
+    from repro.notary.query import ESTABLISHED, NegotiatedVersion
+    from repro.notary.store import NotaryStore
+
+    store, _wall, _counters = ctx.window_store()
+    dataset = PackedDataset(pack_records(store.records()))
+    months = store.months()
+
+    def cold_store(use_index: bool) -> NotaryStore:
+        fresh = NotaryStore()
+        fresh.attach_packed(dataset)
+        fresh.use_index = use_index
+        return fresh
+
+    def scan_run():
+        return _query_workload(cold_store(False), months)
+
+    def shape_run():
+        return _query_workload(cold_store(True), months)
+
+    indexed = cold_store(True)
+
+    def index_run():
+        return [
+            indexed.fraction(month, NegotiatedVersion("TLSv12"), ESTABLISHED)
+            for month in months
+        ]
+
+    shape_results = shape_run()
+    if scan_run() != shape_results:
+        raise RuntimeError("shape tier diverged from the record scan")
+    index_run()  # warm the index build; the arm times lookups
+
+    iterations = ctx.iterations(10)
+    scan_walls: list[float] = []
+    shape_walls: list[float] = []
+    index_walls: list[float] = []
+    for _ in range(iterations):
+        started = time.perf_counter()
+        scan_run()
+        scan_walls.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        shape_run()
+        shape_walls.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        index_run()
+        index_walls.append(time.perf_counter() - started)
+    scan_wall = min(scan_walls)
+    shape_wall = min(shape_walls)
+    index_wall = min(index_walls)
+    return {
+        "wall_seconds": shape_wall,
+        "records_per_second": None,
+        "counters": {
+            "iterations": iterations,
+            "months": len(months),
+            "scan_wall_seconds": scan_wall,
+            "index_wall_seconds": index_wall,
+            "shape_speedup": scan_wall / shape_wall if shape_wall > 0 else 0.0,
+        },
+        "anchors": {
+            "tls12_fraction_m0": shape_results[0],
+            "aead_position_mean_m0": shape_results[2],
+        },
+        # Gated ratio: smaller is better, growth past tolerance fails —
+        # this is the ">= 5x over scan" criterion in baseline form.
+        "metrics": {
+            "shape_vs_scan_ratio": (
+                shape_wall / scan_wall if scan_wall > 0 else 1.0
+            )
+        },
+    }
+
+
 def measure_obs_overhead(rounds: int = 3, months: int = 2) -> dict:
     """Instrumented-vs-bare serial engine run, min-of-N each.
 
@@ -341,6 +449,7 @@ BENCHES: dict[str, tuple[bool, callable]] = {
     "engine.serial": (True, bench_engine_serial),
     "engine.cache_warm": (True, bench_cache_warm),
     "anchors.fig1": (True, bench_anchors_fig1),
+    "query.paths": (True, bench_query_paths),
     "engine.parallel": (False, bench_engine_parallel),
     "obs.overhead": (False, bench_obs_overhead),
 }

@@ -204,7 +204,9 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 #: 2 — added top-level ``profile`` (null unless ``--profile`` /
 #: ``REPRO_PROFILE`` is active) and span records gained ``id`` /
 #: ``parent_id`` / ``pid``.
-STATS_SCHEMA = 2
+#: 3 — ``counters`` gained the shape-tier fields ``shape_evals`` /
+#: ``shape_path_hits`` / ``scan_fallbacks``.
+STATS_SCHEMA = 3
 
 
 def _stats_payload(model, store, wall: float) -> dict:

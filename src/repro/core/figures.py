@@ -6,6 +6,17 @@ Each function takes a populated :class:`repro.notary.store.NotaryStore`
 would consume.  Established connections form the denominator of the
 "negotiated" figures; all connections form the denominator of the
 "advertised" figures, exactly as in the paper.
+
+Every generator accepts an optional ``months`` list so batch callers
+compute the store's sorted month list once; :func:`evaluate_all`
+answers all ten figures that way.  On packed months the store resolves
+each series through its shape-compiled tier (predicates evaluated once
+per distinct record shape, memoized per dataset), and the fingerprint
+and TLS 1.3 helpers below use the same shape access directly — so the
+whole batch costs one pass over each month's shapes rather than ten
+record scans.  All fast paths are float-identical to the record scans
+they replace and silently fall back to records when a month is not
+packed.
 """
 
 from __future__ import annotations
@@ -35,45 +46,75 @@ def _pct(series):
     return [(m, v * 100.0) for m, v in series]
 
 
-def fig1_negotiated_versions(store: NotaryStore) -> Series:
+def fig1_negotiated_versions(store: NotaryStore, months=None) -> Series:
     """Figure 1: negotiated SSL/TLS versions, percent of monthly connections."""
+    if months is None:
+        months = store.months()
     out: Series = {}
     for name in ("SSLv2", "SSLv3", "TLSv10", "TLSv11", "TLSv12", "TLSv13"):
         out[name] = _pct(
-            store.monthly_fraction(NegotiatedVersion(name), _ESTABLISHED)
+            store.monthly_fraction(NegotiatedVersion(name), _ESTABLISHED, months)
         )
     return out
 
 
-def fig2_negotiated_modes(store: NotaryStore) -> Series:
+def fig2_negotiated_modes(store: NotaryStore, months=None) -> Series:
     """Figure 2: connections negotiating RC4, CBC, or AEAD suites."""
+    if months is None:
+        months = store.months()
     out: Series = {}
     for mode in ("AEAD", "CBC", "RC4"):
-        out[mode] = _pct(store.monthly_fraction(NegotiatedMode(mode), _ESTABLISHED))
+        out[mode] = _pct(
+            store.monthly_fraction(NegotiatedMode(mode), _ESTABLISHED, months)
+        )
     return out
 
 
-def fig3_advertised_modes(store: NotaryStore) -> Series:
+def fig3_advertised_modes(store: NotaryStore, months=None) -> Series:
     """Figure 3: clients advertising RC4, DES, 3DES, AEAD (CBC > 99%)."""
+    if months is None:
+        months = store.months()
     out: Series = {}
     for label, tag in (("AEAD", "aead"), ("RC4", "rc4"), ("DES", "des"), ("3DES", "3des"), ("CBC", "cbc")):
-        out[label] = _pct(store.monthly_fraction(Advertises(tag)))
+        out[label] = _pct(store.monthly_fraction(Advertises(tag), months=months))
     return out
 
 
-def fig4_fingerprint_support(store: NotaryStore) -> Series:
+def _month_fingerprints(store: NotaryStore, month: _dt.date) -> dict:
+    """``{fingerprint: advertised}`` for one month, last record wins.
+
+    Shape fast path: fingerprint and advertised are shape fields, so
+    walking the month's shapes in *last-occurrence* order performs the
+    same last-wins dict fold the record scan would — each fingerprint
+    ends up with the advertised set of its last record.  Falls back to
+    the record scan when the month is not packed.
+    """
+    seen: dict[tuple, frozenset] = {}
+    templates = store.shape_templates(month, order="last")
+    if templates is not None:
+        for record in templates:
+            if record.fingerprint is None:
+                continue
+            seen[record.fingerprint] = record.advertised
+        return seen
+    for record in store.records(month):
+        if record.fingerprint is None:
+            continue
+        seen[record.fingerprint] = record.advertised
+    return seen
+
+
+def fig4_fingerprint_support(store: NotaryStore, months=None) -> Series:
     """Figure 4: support per distinct monthly fingerprint (not traffic-weighted).
 
     Only months with fingerprint fields (>= Feb 2014) produce points.
     """
+    if months is None:
+        months = store.months()
     out: Series = {label: [] for label in ("AEAD", "RC4", "DES", "3DES", "CBC")}
     tag_of = {"AEAD": "aead", "RC4": "rc4", "DES": "des", "3DES": "3des", "CBC": "cbc"}
-    for month in store.months():
-        seen: dict[tuple, frozenset] = {}
-        for record in store.records(month):
-            if record.fingerprint is None:
-                continue
-            seen[record.fingerprint] = record.advertised
+    for month in months:
+        seen = _month_fingerprints(store, month)
         if not seen:
             continue
         for label, tag in tag_of.items():
@@ -82,15 +123,16 @@ def fig4_fingerprint_support(store: NotaryStore) -> Series:
     return {k: v for k, v in out.items() if v}
 
 
-def fig5_cipher_positions(store: NotaryStore) -> Series:
+def fig5_cipher_positions(store: NotaryStore, months=None) -> Series:
     """Figure 5: average relative position of the first suite per class."""
+    if months is None:
+        months = store.months()
     out: Series = {}
     for label, tag in (("AEAD", "aead"), ("CBC", "cbc"), ("RC4", "rc4"), ("DES", "des"), ("3DES", "3des")):
+        value = lambda r, t=tag: r.positions.get(t)
         series = []
-        for month in store.months():
-            mean = store.weighted_mean(
-                month, lambda r, t=tag: r.positions.get(t)
-            )
+        for month in months:
+            mean = store.weighted_mean(month, value)
             if mean is not None:
                 series.append((month, mean * 100.0))
         if series:
@@ -98,50 +140,100 @@ def fig5_cipher_positions(store: NotaryStore) -> Series:
     return out
 
 
-def fig6_rc4_advertised(store: NotaryStore) -> Series:
+def fig6_rc4_advertised(store: NotaryStore, months=None) -> Series:
     """Figure 6: percent of connections advertising RC4 suites."""
-    return {"RC4 advertised": _pct(store.monthly_fraction(Advertises("rc4")))}
-
-
-def fig7_weak_advertised(store: NotaryStore) -> Series:
-    """Figure 7: clients advertising Export, NULL, or Anonymous suites."""
     return {
-        "Export": _pct(store.monthly_fraction(Advertises("export"))),
-        "Anonymous": _pct(store.monthly_fraction(Advertises("anon"))),
-        "Null": _pct(store.monthly_fraction(Advertises("null"))),
+        "RC4 advertised": _pct(
+            store.monthly_fraction(Advertises("rc4"), months=months)
+        )
     }
 
 
-def fig8_key_exchange(store: NotaryStore) -> Series:
+def fig7_weak_advertised(store: NotaryStore, months=None) -> Series:
+    """Figure 7: clients advertising Export, NULL, or Anonymous suites."""
+    if months is None:
+        months = store.months()
+    return {
+        "Export": _pct(store.monthly_fraction(Advertises("export"), months=months)),
+        "Anonymous": _pct(store.monthly_fraction(Advertises("anon"), months=months)),
+        "Null": _pct(store.monthly_fraction(Advertises("null"), months=months)),
+    }
+
+
+def fig8_key_exchange(store: NotaryStore, months=None) -> Series:
     """Figure 8: negotiated RSA vs DHE vs ECDHE key exchange."""
+    if months is None:
+        months = store.months()
     out: Series = {}
     for label, family in (("RSA", KexFamily.RSA), ("DHE", KexFamily.DHE), ("ECDHE", KexFamily.ECDHE)):
-        out[label] = _pct(store.monthly_fraction(NegotiatedKex(family), _ESTABLISHED))
+        out[label] = _pct(
+            store.monthly_fraction(NegotiatedKex(family), _ESTABLISHED, months)
+        )
     return out
 
 
-def fig9_negotiated_aead(store: NotaryStore) -> Series:
+def fig9_negotiated_aead(store: NotaryStore, months=None) -> Series:
     """Figure 9: negotiated AEAD breakdown plus the AEAD total."""
+    if months is None:
+        months = store.months()
     out: Series = {
         "AEAD Total": _pct(
-            store.monthly_fraction(NegotiatedMode("AEAD"), _ESTABLISHED)
+            store.monthly_fraction(NegotiatedMode("AEAD"), _ESTABLISHED, months)
         )
     }
     for label in ("AES128-GCM", "AES256-GCM", "ChaCha20-Poly1305"):
         out[label] = _pct(
-            store.monthly_fraction(NegotiatedAead(label), _ESTABLISHED)
+            store.monthly_fraction(NegotiatedAead(label), _ESTABLISHED, months)
         )
     return out
 
 
-def fig10_advertised_aead(store: NotaryStore) -> Series:
+def fig10_advertised_aead(store: NotaryStore, months=None) -> Series:
     """Figure 10: clients advertising AES-GCM, ChaCha20-Poly1305, AES-CCM."""
+    if months is None:
+        months = store.months()
     return {
-        "AES128-GCM": _pct(store.monthly_fraction(Advertises("aes128gcm"))),
-        "AES256-GCM": _pct(store.monthly_fraction(Advertises("aes256gcm"))),
-        "ChaCha20-Poly1305": _pct(store.monthly_fraction(Advertises("chacha20"))),
-        "AES-CCM": _pct(store.monthly_fraction(Advertises("aesccm"))),
+        "AES128-GCM": _pct(store.monthly_fraction(Advertises("aes128gcm"), months=months)),
+        "AES256-GCM": _pct(store.monthly_fraction(Advertises("aes256gcm"), months=months)),
+        "ChaCha20-Poly1305": _pct(store.monthly_fraction(Advertises("chacha20"), months=months)),
+        "AES-CCM": _pct(store.monthly_fraction(Advertises("aesccm"), months=months)),
     }
+
+
+#: Every paper figure, in order, for batch evaluation and tests.
+FIGURE_GENERATORS = {
+    "fig1": fig1_negotiated_versions,
+    "fig2": fig2_negotiated_modes,
+    "fig3": fig3_advertised_modes,
+    "fig4": fig4_fingerprint_support,
+    "fig5": fig5_cipher_positions,
+    "fig6": fig6_rc4_advertised,
+    "fig7": fig7_weak_advertised,
+    "fig8": fig8_key_exchange,
+    "fig9": fig9_negotiated_aead,
+    "fig10": fig10_advertised_aead,
+}
+
+
+def evaluate_all(store: NotaryStore) -> dict[str, Series]:
+    """All ten figure series in one batch: ``{"fig1": ..., "fig10": ...}``.
+
+    The sorted month list is computed once and shared, and on packed
+    months the store's shape tier memoizes each predicate's per-shape
+    verdicts across the whole batch — so the batch costs one evaluation
+    per (predicate, shape) plus the column folds, not ten record scans
+    per month.  Results are identical to calling each generator alone.
+    """
+    months = store.months()
+    return {name: fig(store, months=months) for name, fig in FIGURE_GENERATORS.items()}
+
+
+def _tls13_wire_label(wire: int) -> str:
+    if (wire & 0xFF00) == 0x7E00:
+        return f"google-0x{wire:04x}"
+    if (wire & 0xFF00) == 0x7F00:
+        return f"draft-{wire & 0xFF}"
+    return "final"
 
 
 def tls13_version_mix(store: NotaryStore, month: _dt.date) -> dict[str, float]:
@@ -154,26 +246,49 @@ def tls13_version_mix(store: NotaryStore, month: _dt.date) -> dict[str, float]:
 
     weights: dict[str, float] = {}
     total = 0.0
-    for record in store.records(month):
-        if not record.offered_tls13:
-            continue
-        total += record.weight
-        for wire in record.offered_tls13_versions:
-            if not is_tls13_variant(wire):
+    packed = store.packed_columns(month)
+    if packed is not None:
+        # Shape fast path: the offered flag and wire list are shape
+        # fields, so resolve labels once per shape and fold the weight
+        # columns in row order — the identical fold the scan performs.
+        weight_column, idx_column, templates = packed
+        shape_labels: list[list[str] | None] = [
+            (
+                [
+                    _tls13_wire_label(wire)
+                    for wire in record.offered_tls13_versions
+                    if is_tls13_variant(wire)
+                ]
+                if record.offered_tls13
+                else None
+            )
+            for record in templates
+        ]
+        for weight, idx in zip(weight_column, idx_column):
+            labels = shape_labels[idx]
+            if labels is None:
                 continue
-            if (wire & 0xFF00) == 0x7E00:
-                label = f"google-0x{wire:04x}"
-            elif (wire & 0xFF00) == 0x7F00:
-                label = f"draft-{wire & 0xFF}"
-            else:
-                label = "final"
-            weights[label] = weights.get(label, 0.0) + record.weight
+            total += weight
+            for label in labels:
+                weights[label] = weights.get(label, 0.0) + weight
+    else:
+        for record in store.records(month):
+            if not record.offered_tls13:
+                continue
+            total += record.weight
+            for wire in record.offered_tls13_versions:
+                if not is_tls13_variant(wire):
+                    continue
+                label = _tls13_wire_label(wire)
+                weights[label] = weights.get(label, 0.0) + record.weight
     if total <= 0:
         return {}
     return {label: weight / total * 100.0 for label, weight in weights.items()}
 
 
-def unoffered_choice_series(store: NotaryStore) -> list[tuple[_dt.date, float]]:
+def unoffered_choice_series(
+    store: NotaryStore, months=None
+) -> list[tuple[_dt.date, float]]:
     """Monthly % of connections where the server chose an unoffered suite.
 
     §7.3's protocol violators: GOST responders and the Interwise export
@@ -184,6 +299,7 @@ def unoffered_choice_series(store: NotaryStore) -> list[tuple[_dt.date, float]]:
         for month, value in store.monthly_fraction(
             lambda r: r.server_chose_unoffered,
             within=lambda r: r.negotiated_suite is not None,
+            months=months,
         )
     ]
 

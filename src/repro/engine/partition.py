@@ -15,6 +15,17 @@ actually needs them — aggregate queries are answered from the columns
 (or from precomputed index counters embedded in the payload) without
 creating a single record.
 
+Each month also carries a **shape summary** — per-shape weight sums
+(accumulated in row order, so a single-shape sum is bit-identical to a
+scan over that shape's rows), the distinct shapes present in first- and
+last-occurrence order, and the month's total/established weight folds.
+The summary is computed once at pack time (an O(records) group-by over
+the weight/shape-index columns), persists through the dataset cache and
+checkpoints inside the payload, and is rebuilt lazily for payloads
+packed before it existed.  It is what powers the store's shape-compiled
+query tier: predicates evaluate once per distinct shape instead of once
+per record.
+
 Round-trips are exact: materialized records compare equal to the
 originals field by field, in the original per-month order, and weights
 are carried as the same Python floats — so packed aggregation is
@@ -62,6 +73,10 @@ _SHAPE_FIELDS = (
     "server_profile",
     "server_port",
 )
+
+#: Slot of the ``established`` flag inside a shape tuple (the summary
+#: builder reads it without expanding templates).
+_ESTABLISHED_SLOT = _SHAPE_FIELDS.index("established")
 
 
 def _shape_of(record: ConnectionRecord) -> tuple:
@@ -115,6 +130,46 @@ def _shape_fields(shape: tuple) -> dict:
     return fields
 
 
+def build_shape_summary(columns: dict, shapes: list[tuple]) -> dict:
+    """The per-shape group-by for one month's columns.
+
+    One O(records) pass over the weight/shape-index columns produces:
+
+    * ``order`` / ``sums`` — the distinct shapes present this month in
+      first-occurrence order, each with its weight sum accumulated in
+      row order (a single shape's sum is therefore bit-identical to a
+      left-fold scan over exactly that shape's rows);
+    * ``last`` — the same distinct shapes in *last*-occurrence order
+      (last-wins per-fingerprint semantics, Figure 4);
+    * ``total`` / ``established`` — the month's full weight folds in
+      row order, matching a record scan float for float.
+    """
+    sums: dict[int, float] = {}
+    last_pos: dict[int, int] = {}
+    order: list[int] = []
+    total = 0.0
+    established = 0.0
+    for pos, (weight, idx) in enumerate(
+        zip(columns["weights"], columns["shape_idx"])
+    ):
+        total += weight
+        if shapes[idx][_ESTABLISHED_SLOT]:
+            established += weight
+        if idx in sums:
+            sums[idx] += weight
+        else:
+            sums[idx] = weight
+            order.append(idx)
+        last_pos[idx] = pos
+    return {
+        "order": array("L", order),
+        "sums": array("d", (sums[idx] for idx in order)),
+        "last": array("L", sorted(last_pos, key=last_pos.__getitem__)),
+        "total": total,
+        "established": established,
+    }
+
+
 def pack_records(records: Iterable[ConnectionRecord]) -> dict:
     """Dictionary-encode records into a compact columnar payload."""
     shape_index: dict[tuple, int] = {}
@@ -143,6 +198,8 @@ def pack_records(records: Iterable[ConnectionRecord]) -> dict:
             columns["days"].append(
                 record.day.toordinal() if record.day is not None else None
             )
+    for columns in months.values():
+        columns["shape_summary"] = build_shape_summary(columns, shapes)
     return {"format": PARTITION_FORMAT, "shapes": shapes, "months": months}
 
 
@@ -158,6 +215,13 @@ class PackedDataset:
         self._shapes = payload["shapes"]
         self._templates: list[dict] | None = None
         self._template_records: list[ConnectionRecord] | None = None
+        self._guarded_templates: list[ConnectionRecord] | None = None
+        #: predicate/value-function compilation memos for the shape
+        #: query path, keyed by the callable object itself (dataset
+        #: shape tables are immutable, so a compiled answer never goes
+        #: stale; the cap just bounds a pathological query mix).
+        self._match_cache: dict = {}
+        self._value_cache: dict = {}
 
     # ---- enumeration --------------------------------------------------------
 
@@ -174,6 +238,29 @@ class PackedDataset:
         if columns is None:
             return None
         return columns["weights"], columns["shape_idx"]
+
+    def has_days(self, month: _dt.date) -> bool:
+        """Whether the month carries a day column (Monte-Carlo mode)."""
+        columns = self._months.get(month.toordinal())
+        return bool(columns) and columns.get("days") is not None
+
+    def shape_summary(self, month: _dt.date) -> dict | None:
+        """The month's per-shape group-by (see :func:`build_shape_summary`).
+
+        Packed at pack time and persisted with the payload; payloads
+        from before the summary existed get one built lazily here and
+        memoized in place, so old cache blobs and checkpoints stay
+        loadable without a format bump.
+        """
+        columns = self._months.get(month.toordinal())
+        if columns is None:
+            return None
+        summary = columns.get("shape_summary")
+        if summary is None:
+            summary = columns["shape_summary"] = build_shape_summary(
+                columns, self._shapes
+            )
+        return summary
 
     # ---- shape templates ----------------------------------------------------
 
@@ -196,6 +283,87 @@ class PackedDataset:
                 records.append(record)
             self._template_records = records
         return self._template_records
+
+    # ---- shape-compiled query support ---------------------------------------
+
+    def guarded_templates(self) -> list[ConnectionRecord]:
+        """One *guarded* template record per shape.
+
+        Unlike :meth:`template_records`, these carry **no** ``month`` or
+        ``weight`` attribute at all: a predicate that reads either — and
+        whose answer would therefore vary per row rather than per shape
+        — raises ``AttributeError`` during compilation, and the caller
+        falls back to a record scan instead of silently answering from
+        a template's placeholder values.  ``day`` is pinned to ``None``,
+        which is exact for day-less (expectation) months; months that
+        carry a day column are excluded from the shape path entirely.
+        """
+        if self._guarded_templates is None:
+            records = []
+            for fields in self._field_templates():
+                record = object.__new__(ConnectionRecord)
+                record.__dict__.update(fields)
+                record.__dict__["day"] = None
+                records.append(record)
+            self._guarded_templates = records
+        return self._guarded_templates
+
+    def compile_predicate(self, predicate) -> frozenset | None:
+        """Shape indices matched by ``predicate``, or None when it is
+        not shape-evaluable (raised on a guarded template).
+
+        Memoized per callable object: the shape table is immutable, so
+        one compilation serves every month of the dataset — a
+        ``monthly_fraction`` over N months costs O(shapes) predicate
+        calls total, not O(shapes x N).
+        """
+        try:
+            return self._match_cache[predicate]
+        except KeyError:
+            pass
+        except TypeError:  # unhashable callable: compile uncached
+            return self._compile_matches(predicate)
+        if len(self._match_cache) >= 256:
+            self._match_cache.clear()
+        matches = self._compile_matches(predicate)
+        self._match_cache[predicate] = matches
+        return matches
+
+    def _compile_matches(self, predicate) -> frozenset | None:
+        templates = self.guarded_templates()
+        PERF.shape_evals += len(templates)
+        try:
+            return frozenset(
+                idx for idx, record in enumerate(templates) if predicate(record)
+            )
+        except Exception:  # lint: allow-swallow
+            # Not shape-evaluable (e.g. reads the guarded month/weight):
+            # the contract is "None means scan instead", by design.
+            return None
+
+    def compile_values(self, value) -> list | None:
+        """Per-shape results of a ``weighted_mean`` value function, or
+        None when it is not shape-evaluable."""
+        try:
+            return self._value_cache[value]
+        except KeyError:
+            pass
+        except TypeError:
+            return self._compile_values(value)
+        if len(self._value_cache) >= 256:
+            self._value_cache.clear()
+        values = self._compile_values(value)
+        self._value_cache[value] = values
+        return values
+
+    def _compile_values(self, value) -> list | None:
+        templates = self.guarded_templates()
+        PERF.shape_evals += len(templates)
+        try:
+            return [value(record) for record in templates]
+        except Exception:  # lint: allow-swallow
+            # Same contract as _compile_matches: None means "scan".
+            return None
 
     # ---- materialization ----------------------------------------------------
 
@@ -260,6 +428,17 @@ def validate_payload(payload: dict, expected_months: Iterable[_dt.date] | None =
                 return False
             if len(idxs) and max(idxs) >= len(shapes):
                 return False
+            summary = columns.get("shape_summary")
+            if summary is not None:
+                order = summary["order"]
+                if len(order) != len(summary["sums"]) or len(order) != len(
+                    summary["last"]
+                ):
+                    return False
+                if len(order) and max(max(order), max(summary["last"])) >= len(
+                    shapes
+                ):
+                    return False
         return True
     except Exception as exc:
         # Damage severe enough to explode the checks themselves (wrong
@@ -298,16 +477,21 @@ def split_by_month(payload: dict) -> dict[_dt.date, dict]:
                 local_shapes.append(shapes[idx])
             local_idx.append(new)
         days = columns["days"]
+        local_columns = {
+            "weights": array("d", columns["weights"]),
+            "shape_idx": local_idx,
+            "days": None if days is None else list(days),
+        }
+        # Shape indices were remapped, so the summary is rebuilt against
+        # the local table rather than translated (same O(records) cost,
+        # no translation bugs possible).
+        local_columns["shape_summary"] = build_shape_summary(
+            local_columns, local_shapes
+        )
         out[_dt.date.fromordinal(month_ord)] = {
             "format": PARTITION_FORMAT,
             "shapes": local_shapes,
-            "months": {
-                month_ord: {
-                    "weights": array("d", columns["weights"]),
-                    "shape_idx": local_idx,
-                    "days": None if days is None else list(days),
-                }
-            },
+            "months": {month_ord: local_columns},
         }
     return out
 

@@ -81,6 +81,15 @@ class PerfCounters:
     validation_errors: int = 0
     #: Sealed blobs that failed the read/verify path (then culled).
     cache_read_errors: int = 0
+    #: Predicate/value evaluations against shape templates (one per
+    #: template per compilation; memoization keeps this O(shapes) per
+    #: distinct callable per dataset, not per month).
+    shape_evals: int = 0
+    #: Aggregate queries answered by the shape-compiled tier.
+    shape_path_hits: int = 0
+    #: Aggregate queries on packed months that fell back to a record
+    #: scan (predicate or value function not shape-evaluable).
+    scan_fallbacks: int = 0
     #: Wall seconds of the last full expectation run (serial or merged).
     run_seconds: float = 0.0
     #: Wall seconds of the last persistent-cache load.
@@ -173,6 +182,10 @@ class PerfCounters:
             lines.append(f"validation errors   : {self.validation_errors}")
         if self.cache_read_errors:
             lines.append(f"cache read errors   : {self.cache_read_errors}")
+        if self.shape_evals or self.shape_path_hits or self.scan_fallbacks:
+            lines.append(f"shape evals         : {self.shape_evals}")
+            lines.append(f"shape path hits     : {self.shape_path_hits}")
+            lines.append(f"scan fallbacks      : {self.scan_fallbacks}")
         if self.load_seconds > 0:
             lines.append(f"cache load seconds  : {self.load_seconds:.3f}")
         if self.run_seconds > 0:

@@ -6,12 +6,15 @@ from repro.notary.monitor import FINGERPRINT_FIELDS_SINCE, PassiveMonitor
 from repro.notary.query import (
     ESTABLISHED,
     Advertises,
+    All,
+    AnyOf,
     Established,
     IndexedPredicate,
     NegotiatedAead,
     NegotiatedKex,
     NegotiatedMode,
     NegotiatedVersion,
+    Not,
 )
 from repro.notary.store import NotaryStore, month_of, month_range
 
@@ -26,6 +29,9 @@ __all__ = [
     "month_range",
     "ESTABLISHED",
     "Advertises",
+    "All",
+    "AnyOf",
+    "Not",
     "Established",
     "IndexedPredicate",
     "NegotiatedAead",

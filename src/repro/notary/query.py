@@ -112,3 +112,84 @@ class Established(IndexedPredicate):
 
 #: The shared denominator marker used by the figures.
 ESTABLISHED = Established()
+
+
+def simplify(predicate):
+    """Simplify a predicate if it knows how, else return it unchanged."""
+    method = getattr(predicate, "simplify", None)
+    return method() if method is not None else predicate
+
+
+@dataclass(frozen=True)
+class CompositePredicate:
+    """Base for predicate combinators.
+
+    Composites are plain callables, so they always work on the scan
+    path, and they are shape-evaluable by construction (children are
+    only ever called on one record at a time), so the store's shape
+    tier answers them in O(shapes) for packed months.  They are *not*
+    index-evaluable in general: combining the index's per-key counters
+    arithmetically (``total - matched``, sums across keys) would break
+    the float-identity guarantee, because IEEE addition is not
+    associative.  The only index use allowed is :meth:`simplify`
+    unwrapping a composite to a single ``IndexedPredicate`` that
+    matches exactly the same records.
+    """
+
+    predicates: tuple
+
+    def __init__(self, *predicates) -> None:
+        object.__setattr__(self, "predicates", tuple(predicates))
+
+    def simplify(self):
+        """An equivalent predicate, unwrapped where provably identical."""
+        return self
+
+
+class All(CompositePredicate):
+    """Logical AND of child predicates; ``All()`` matches everything."""
+
+    def __call__(self, record: ConnectionRecord) -> bool:
+        return all(p(record) for p in self.predicates)
+
+    def simplify(self):
+        if len(self.predicates) == 1:
+            return simplify(self.predicates[0])
+        return self
+
+
+class AnyOf(CompositePredicate):
+    """Logical OR of child predicates; ``AnyOf()`` matches nothing."""
+
+    def __call__(self, record: ConnectionRecord) -> bool:
+        return any(p(record) for p in self.predicates)
+
+    def simplify(self):
+        if len(self.predicates) == 1:
+            return simplify(self.predicates[0])
+        return self
+
+
+class Not(CompositePredicate):
+    """Logical negation of one child predicate."""
+
+    def __init__(self, predicate) -> None:
+        super().__init__(predicate)
+
+    @property
+    def predicate(self):
+        return self.predicates[0]
+
+    def __call__(self, record: ConnectionRecord) -> bool:
+        return not self.predicates[0](record)
+
+    def simplify(self):
+        inner = simplify(self.predicates[0])
+        if isinstance(inner, Not):
+            return simplify(inner.predicates[0])
+        if isinstance(inner, Established):
+            # established is boolean-valued, so the complement is itself
+            # an indexed key: the counter for the opposite value was
+            # accumulated over exactly the complement rows in row order.
+            return Established(not inner.value)
+        return self

@@ -4,40 +4,60 @@ The analysis layer reads everything through this store.  All percentage
 series are weight-based: monthly fractions of connection weight matching
 a predicate, mirroring the paper's "percent monthly connections" axes.
 
-Aggregation runs two paths:
+Aggregation runs three tiers, fastest first:
 
 * **Indexed** — each month lazily builds an aggregate index: weight
   sums keyed by (dimension, value) for the standard figure dimensions
   (negotiated version/mode/kex/AEAD, advertised suite-class tags,
   establishment), over all records and over established records.
   Queries whose predicate is a :class:`repro.notary.query.IndexedPredicate`
-  are answered from these counters in O(1).  Counter accumulation
-  preserves record order, so indexed results are float-identical to a
-  scan — not merely approximately equal (tests assert exact equality).
-* **Scan** — any plain callable predicate falls back to scanning the
-  month's records, exactly as before.  ``use_index = False`` forces
-  this path everywhere (used by equivalence tests).
+  (or a composite that :meth:`simplify`-unwraps to one) are answered
+  from these counters in O(1).
+* **Shape-compiled** — packed months are dictionary-encoded: every row
+  is a (weight, shape-index) pair into a table of distinct shapes, so
+  an arbitrary predicate or ``weighted_mean`` value function has only
+  O(shapes) distinct answers per month.  The store evaluates it once
+  per *guarded* template record (memoized per dataset, so a whole
+  multi-month series pays the per-shape evaluation once), then folds
+  the verdicts with the month's weight columns — no record objects are
+  ever materialized on this path.  Predicates that read per-row state
+  (``month``, ``weight``) raise on the guarded templates and drop to a
+  scan instead of answering wrongly; months carrying day columns skip
+  this tier for the same reason.
+* **Scan** — anything else falls back to scanning the month's record
+  objects, exactly as before.  ``use_index = False`` forces this path
+  everywhere, disabling *both* fast tiers (used by equivalence tests).
+
+All three tiers are float-identical, not merely approximately equal:
+counter accumulation and every shape-tier fold walk rows in record
+order (IEEE addition is non-associative, so grouped per-shape sums
+would drift in the last bits), and the differential suites assert
+exact equality.  See DESIGN.md §6f for the full discipline.
 
 The store can also hold months in packed columnar form
 (:class:`repro.engine.partition.PackedDataset` — the parallel runner's
 partitions and the persistent dataset cache attach these).  Packed
-months answer indexed aggregates straight from their weight columns
-(or from counters persisted alongside the blob) and only materialize
-record objects when a scan or ``records()`` call actually needs them.
-
-Mutation (``add`` / ``add_batch`` / ``extend``) materializes the
-touched month first and invalidates its index and the all-months
-record cache, so lazy months are indistinguishable from eager ones.
+months *stay* packed: a scan or ``records()`` call materializes record
+objects into a small transient LRU side-cache
+(``materialize_cache_months``) while the columnar form remains
+attached, so a one-off scan no longer permanently degrades the month.
+Only mutation (``add`` / ``add_batch`` / ``extend``) materializes a
+month for good, invalidating its index, shape view, and the all-months
+record cache so lazy months are indistinguishable from eager ones.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from collections.abc import Callable, Iterable
+from itertools import compress
+from operator import mul
 
+from repro.engine.perf import PERF
 from repro.notary.events import ConnectionRecord
 from repro.notary.query import Established, IndexedPredicate
+from repro.obs import emit_event
 
 
 def month_of(day: _dt.date) -> _dt.date:
@@ -155,9 +175,149 @@ class _MonthIndex:
         return index
 
 
+class _ShapeView:
+    """Compiled per-month state for the shape tier.
+
+    Holds the month's weight/shape-index columns, the pack-time
+    per-shape group-by, and the dataset's guarded templates.  Every
+    fold below walks rows in record order; the only shortcuts taken
+    are the ones that are *provably* the same left fold the scan path
+    performs (empty match, single matching shape, all rows matching).
+    The folds run through ``itertools.compress`` + ``map`` + ``sum``,
+    which perform the identical addition sequence at C speed.
+
+    Views are immutable, so they are shared *per dataset* (every store
+    attaching the same packed dataset reuses them) — see
+    :meth:`NotaryStore._shape_view`.
+    """
+
+    #: Fold-result memo cap; the memos are cleared wholesale past this.
+    CACHE_LIMIT = 1024
+
+    __slots__ = (
+        "dataset",
+        "templates",
+        "weights",
+        "idxs",
+        "sum_of",
+        "total",
+        "established",
+        "est_shapes",
+        "_weight_cache",
+        "_pair_cache",
+        "_mean_cache",
+    )
+
+    def __init__(self, dataset, month: _dt.date) -> None:
+        summary = dataset.shape_summary(month)
+        self.dataset = dataset
+        self.templates = dataset.guarded_templates()
+        self.weights, self.idxs = dataset.columns(month)
+        #: shape index -> total weight of its rows (row-order fold).
+        self.sum_of = dict(zip(summary["order"], summary["sums"]))
+        self.total = summary["total"]
+        self.established = summary["established"]
+        self.est_shapes = frozenset(
+            idx for idx in self.sum_of if self.templates[idx].established
+        )
+        # Columns are immutable, so fold results are cacheable by match
+        # set: equivalent predicates (even distinct callables) pay the
+        # O(rows) fold once per view.  Cached values were computed by
+        # the exact fold, so hits preserve float identity trivially.
+        self._weight_cache: dict = {}
+        self._pair_cache: dict = {}
+        self._mean_cache: dict = {}
+
+    def weight_of(self, matches: frozenset) -> float:
+        """Total weight of rows whose shape is in ``matches`` (exact)."""
+        cached = self._weight_cache.get(matches)
+        if cached is not None:
+            return cached
+        present = matches & self.sum_of.keys()
+        if not present:
+            result = 0.0
+        elif len(present) == 1:
+            # One shape's pack-time sum is a fold over exactly its rows
+            # in row order — the same fold the scan would perform.
+            result = self.sum_of[next(iter(present))]
+        elif len(present) == len(self.sum_of):
+            result = self.total
+        else:
+            flags = self._flags(present)
+            result = sum(compress(self.weights, map(flags.__getitem__, self.idxs)))
+        if len(self._weight_cache) >= self.CACHE_LIMIT:
+            self._weight_cache.clear()
+        self._weight_cache[matches] = result
+        return result
+
+    def _flags(self, shape_indices) -> bytearray:
+        """Per-shape membership flags (row selectors via ``shape_idx``)."""
+        flags = bytearray(len(self.templates))
+        for idx in shape_indices:
+            flags[idx] = 1
+        return flags
+
+    def restrict_weights(
+        self, within_matches: frozenset, matches: frozenset
+    ) -> tuple[float, float]:
+        """(denominator, numerator) folds under a ``within`` restriction.
+
+        Mirrors the scan exactly: the denominator folds the restricted
+        rows in row order, the numerator folds the restricted-and-
+        matching rows in row order, both from zero.
+        """
+        key = (within_matches, matches)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        wflags = self._flags(within_matches)
+        bflags = self._flags(within_matches & matches)
+        total = sum(compress(self.weights, map(wflags.__getitem__, self.idxs)))
+        matched = sum(compress(self.weights, map(bflags.__getitem__, self.idxs)))
+        if len(self._pair_cache) >= self.CACHE_LIMIT:
+            self._pair_cache.clear()
+        self._pair_cache[key] = (total, matched)
+        return total, matched
+
+    def mean_of(self, values: list) -> float | None:
+        """Row-order weighted mean of per-shape values (exact).
+
+        The scan keeps two accumulators over the non-None rows —
+        ``acc += w * v`` and ``total += w`` — and each sees its own
+        addition sequence, so folding them in two passes (same row
+        order, same per-row products) is float-identical.
+        """
+        try:
+            key = tuple(values)
+            cached = self._mean_cache.get(key, _MISSING)
+        except TypeError:  # unhashable per-shape values: fold uncached
+            key = None
+            cached = _MISSING
+        if cached is not _MISSING:
+            return cached
+        vflags = bytes(0 if v is None else 1 for v in values)
+
+        def selected(source):
+            return compress(source, map(vflags.__getitem__, self.idxs))
+
+        acc = sum(map(mul, selected(self.weights), selected(map(values.__getitem__, self.idxs))))
+        total = sum(selected(self.weights))
+        result = None if total <= 0 else acc / total
+        if key is not None:
+            if len(self._mean_cache) >= self.CACHE_LIMIT:
+                self._mean_cache.clear()
+            self._mean_cache[key] = result
+        return result
+
+
 def _index_key(predicate) -> tuple[str, object] | None:
     if isinstance(predicate, IndexedPredicate):
         return predicate.index_key
+    simplify = getattr(predicate, "simplify", None)
+    if simplify is not None:
+        simplified = simplify()
+        if isinstance(simplified, IndexedPredicate):
+            return simplified.index_key
     return None
 
 
@@ -165,16 +325,29 @@ def _is_established_marker(within) -> bool:
     return isinstance(within, Established) and within.value is True
 
 
+#: Cache-miss sentinel (``None`` is a legitimate cached result).
+_MISSING = object()
+
+
 class NotaryStore:
     """Holds connection records grouped by month."""
+
+    #: How many packed months keep a transiently materialized record
+    #: list around (LRU).  Read paths materialize into this side cache
+    #: and leave the packed columnar form attached.
+    materialize_cache_months = 4
 
     def __init__(self) -> None:
         self._by_month: dict[_dt.date, list[ConnectionRecord]] = defaultdict(list)
         #: Months still held in packed columnar form: month -> dataset.
         self._packed: dict[_dt.date, object] = {}
         self._indexes: dict[_dt.date, _MonthIndex] = {}
+        self._shape_views: dict[_dt.date, _ShapeView] = {}
+        #: Transient record lists for packed months (read path only).
+        self._mat_cache: OrderedDict[_dt.date, list[ConnectionRecord]] = OrderedDict()
         self._all_records: list[ConnectionRecord] | None = None
         #: Escape hatch: force every aggregate through the scan path.
+        #: Disables both the index tier and the shape tier.
         self.use_index = True
 
     # ---- mutation ----------------------------------------------------------
@@ -236,13 +409,25 @@ class NotaryStore:
         return out
 
     def _materialize(self, month: _dt.date) -> None:
+        """Permanently convert a packed month into mutable record lists.
+
+        Only the mutation path calls this.  Read paths go through
+        :meth:`_month_records`, which materializes into the transient
+        LRU cache and keeps the packed dataset attached.
+        """
         dataset = self._packed.pop(month, None)
         if dataset is not None:
-            self._by_month[month].extend(dataset.materialize(month))
+            cached = self._mat_cache.pop(month, None)
+            self._by_month[month].extend(
+                dataset.materialize(month) if cached is None else cached
+            )
+            self._shape_views.pop(month, None)
             self._all_records = None
 
     def _invalidate(self, month: _dt.date) -> None:
         self._indexes.pop(month, None)
+        self._shape_views.pop(month, None)
+        self._mat_cache.pop(month, None)
         self._all_records = None
 
     # ---- access ------------------------------------------------------------
@@ -253,18 +438,29 @@ class NotaryStore:
         return sorted(self._by_month)
 
     def _month_records(self, month: _dt.date) -> list[ConnectionRecord]:
-        """The month's record list, materializing a packed month first."""
-        self._materialize(month)
-        return self._by_month.get(month, [])
+        """The month's record list; packed months materialize transiently."""
+        if month in self._by_month:
+            return self._by_month[month]
+        dataset = self._packed.get(month)
+        if dataset is None:
+            return []
+        records = self._mat_cache.get(month)
+        if records is None:
+            records = dataset.materialize(month)
+            self._mat_cache[month] = records
+            limit = max(1, int(self.materialize_cache_months))
+            while len(self._mat_cache) > limit:
+                self._mat_cache.popitem(last=False)
+        else:
+            self._mat_cache.move_to_end(month)
+        return records
 
     def records(self, month: _dt.date | None = None) -> list[ConnectionRecord]:
         if month is not None:
             return list(self._month_records(month_of(month)))
         if self._all_records is None:
-            for pending in list(self._packed):
-                self._materialize(pending)
             self._all_records = [
-                r for m in self.months() for r in self._by_month[m]
+                r for m in self.months() for r in self._month_records(m)
             ]
         return list(self._all_records)
 
@@ -272,6 +468,46 @@ class NotaryStore:
         return sum(len(v) for v in self._by_month.values()) + sum(
             dataset.count(month) for month, dataset in self._packed.items()
         )
+
+    # ---- shape-level access (figure fast paths) ----------------------------
+
+    def shape_templates(
+        self, month: _dt.date, *, order: str = "first"
+    ) -> list[ConnectionRecord] | None:
+        """Guarded template records of the shapes present in ``month``.
+
+        Returns ``None`` whenever the shape tier cannot serve the month
+        (not packed, day columns present, or ``use_index`` is off);
+        callers then fall back to ``records(month)``.  ``order="first"``
+        yields shapes by first appearance in record order,
+        ``order="last"`` by last appearance — the order a last-wins
+        dict fold over the records would visit its surviving writers.
+        """
+        month = month_of(month)
+        if not self.use_index:
+            return None
+        dataset = self._packed.get(month)
+        if dataset is None or dataset.has_days(month):
+            return None
+        summary = dataset.shape_summary(month)
+        templates = dataset.guarded_templates()
+        picks = summary["last"] if order == "last" else summary["order"]
+        return [templates[idx] for idx in picks]
+
+    def packed_columns(self, month: _dt.date):
+        """``(weights, shape_idx, guarded templates)`` for a packed month.
+
+        Same availability rules as :meth:`shape_templates`; lets figure
+        code run exact row-order folds without materializing records.
+        """
+        month = month_of(month)
+        if not self.use_index:
+            return None
+        dataset = self._packed.get(month)
+        if dataset is None or dataset.has_days(month):
+            return None
+        weights, idxs = dataset.columns(month)
+        return weights, idxs, dataset.guarded_templates()
 
     # ---- aggregation -------------------------------------------------------
 
@@ -292,6 +528,41 @@ class NotaryStore:
         self._indexes[month] = index
         return index
 
+    def _shape_view(self, month: _dt.date) -> _ShapeView | None:
+        if not self.use_index:
+            return None
+        view = self._shape_views.get(month)
+        if view is not None:
+            return view
+        dataset = self._packed.get(month)
+        if dataset is None or dataset.has_days(month):
+            # Day columns vary per row; the shared guarded templates pin
+            # ``day = None``, so day-carrying months must scan.
+            return None
+        # Views are immutable, so they live on the dataset and are
+        # shared by every store that attaches it (same pattern as the
+        # index shape keys); a fresh store pays only a dict lookup.
+        shared = getattr(dataset, "_shape_view_cache", None)
+        if shared is None:
+            shared = dataset._shape_view_cache = {}
+        view = shared.get(month)
+        if view is None:
+            view = shared[month] = _ShapeView(dataset, month)
+            emit_event(
+                "shape_view_build",
+                month=month.isoformat(),
+                shapes=len(view.sum_of),
+                rows=len(view.weights),
+            )
+        self._shape_views[month] = view
+        return view
+
+    def _scan_note(self, month: _dt.date, reason: str) -> None:
+        """Record a scan the fast tiers could have served but did not."""
+        if self.use_index and month in self._packed:
+            PERF.scan_fallbacks += 1
+            emit_event("scan_fallback", month=month.isoformat(), reason=reason)
+
     def total_weight(self, month: _dt.date) -> float:
         month = month_of(month)
         index = self._index(month)
@@ -303,11 +574,19 @@ class NotaryStore:
         self, month: _dt.date, predicate: Callable[[ConnectionRecord], bool]
     ) -> float:
         month = month_of(month)
-        index = self._index(month)
-        if index is not None:
+        if self.use_index:
             key = _index_key(predicate)
             if key is not None:
-                return index.weights.get(key, 0.0)
+                index = self._index(month)
+                if index is not None:
+                    return index.weights.get(key, 0.0)
+            view = self._shape_view(month)
+            if view is not None:
+                matches = view.dataset.compile_predicate(predicate)
+                if matches is not None:
+                    PERF.shape_path_hits += 1
+                    return view.weight_of(matches)
+                self._scan_note(month, "predicate")
         return sum(r.weight for r in self._month_records(month) if predicate(r))
 
     def fraction(
@@ -323,20 +602,26 @@ class NotaryStore:
         month.  Returns 0.0 for empty months.
         """
         month = month_of(month)
-        index = self._index(month)
-        if index is not None:
+        if self.use_index:
             key = _index_key(predicate)
             if key is not None:
-                if within is None:
-                    if index.total <= 0:
-                        return 0.0
-                    return index.weights.get(key, 0.0) / index.total
-                if _is_established_marker(within):
-                    if index.established <= 0:
-                        return 0.0
-                    return (
-                        index.established_weights.get(key, 0.0) / index.established
-                    )
+                index = self._index(month)
+                if index is not None:
+                    if within is None:
+                        if index.total <= 0:
+                            return 0.0
+                        return index.weights.get(key, 0.0) / index.total
+                    if _is_established_marker(within):
+                        if index.established <= 0:
+                            return 0.0
+                        return (
+                            index.established_weights.get(key, 0.0)
+                            / index.established
+                        )
+            result = self._shape_fraction(month, predicate, within)
+            if result is not None:
+                PERF.shape_path_hits += 1
+                return result
         records = self._month_records(month)
         if within is not None:
             records = [r for r in records if within(r)]
@@ -345,13 +630,46 @@ class NotaryStore:
             return 0.0
         return sum(r.weight for r in records if predicate(r)) / total
 
+    def _shape_fraction(self, month, predicate, within) -> float | None:
+        """``fraction`` via the shape tier; None means "scan instead"."""
+        view = self._shape_view(month)
+        if view is None:
+            return None
+        matches = view.dataset.compile_predicate(predicate)
+        if matches is None:
+            self._scan_note(month, "predicate")
+            return None
+        if within is None:
+            if view.total <= 0:
+                return 0.0
+            return view.weight_of(matches) / view.total
+        if _is_established_marker(within):
+            if view.established <= 0:
+                return 0.0
+            return view.weight_of(matches & view.est_shapes) / view.established
+        within_matches = view.dataset.compile_predicate(within)
+        if within_matches is None:
+            self._scan_note(month, "within")
+            return None
+        total, matched = view.restrict_weights(within_matches, matches)
+        if total <= 0:
+            return 0.0
+        return matched / total
+
     def monthly_fraction(
         self,
         predicate: Callable[[ConnectionRecord], bool],
         within: Callable[[ConnectionRecord], bool] | None = None,
+        months: list[_dt.date] | None = None,
     ) -> list[tuple[_dt.date, float]]:
-        """The ``fraction`` series over every month in the store."""
-        return [(m, self.fraction(m, predicate, within)) for m in self.months()]
+        """The ``fraction`` series over every month in the store.
+
+        ``months`` lets batch callers (the figure evaluator) compute
+        the sorted month list once instead of re-sorting per series.
+        """
+        if months is None:
+            months = self.months()
+        return [(m, self.fraction(m, predicate, within)) for m in months]
 
     def weighted_mean(
         self,
@@ -359,9 +677,18 @@ class NotaryStore:
         value: Callable[[ConnectionRecord], float | None],
     ) -> float | None:
         """Weight-averaged value over records where ``value`` is not None."""
+        month = month_of(month)
+        if self.use_index:
+            view = self._shape_view(month)
+            if view is not None:
+                values = view.dataset.compile_values(value)
+                if values is not None:
+                    PERF.shape_path_hits += 1
+                    return view.mean_of(values)
+                self._scan_note(month, "value")
         total = 0.0
         acc = 0.0
-        for record in self._month_records(month_of(month)):
+        for record in self._month_records(month):
             v = value(record)
             if v is None:
                 continue

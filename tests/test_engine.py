@@ -181,9 +181,15 @@ class TestPartitionCodec:
         assert store._packed  # months stayed columnar
         assert len(store) == len(serial_store)
         assert store.months() == serial_store.months()
-        # A scan materializes, and the result is exact.
+        # A scan materializes transiently: the result is exact and the
+        # month stays packed (only mutation converts it for good).
         assert store.records(START) == serial_store.records(START)
+        assert START in store._packed
+        assert START in store._mat_cache
+        # Mutation is the permanent path.
+        store.add(serial_store.records(START)[0])
         assert START not in store._packed
+        assert START not in store._mat_cache
 
     def test_attach_packed_collision_appends(self, serial_store):
         store = NotaryStore()

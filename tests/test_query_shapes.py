@@ -1,0 +1,385 @@
+"""Differential suite for the shape-compiled query tier (PR 5).
+
+Every test here enforces one contract: the three answer tiers — index
+counters, shape-compiled evaluation, and the record scan — return
+**byte-identical** floats.  Comparisons are exact ``==``, never
+``pytest.approx``: the shape tier is only admissible because its folds
+replay the scan's addition sequence, and an approx assertion would hide
+a regression in that discipline.
+
+Coverage map (mirrors ISSUE.md's satellite #3):
+
+* randomized composite predicates over shape fields, seeded RNG;
+* ``All`` / ``AnyOf`` / ``Not`` semantics, including simplify-to-index;
+* ``weighted_mean`` and ``within=`` restrictions (indexed + lambda);
+* fresh-packed vs cache-warm vs post-resume (``split_by_month``) stores;
+* guarded fallback for predicates reading ``month`` / ``weight`` / day;
+* the ``use_index = False`` escape hatch disabling *both* fast tiers;
+* transient materialization (packed months survive ``records()``);
+* batched figure evaluation and the packed figure fast paths;
+* metrics events (``shape_view_build`` / ``scan_fallback``) passing the
+  CI validator in ``scripts/check_metrics_jsonl.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.core import figures
+from repro.engine import cache as dataset_cache
+from repro.engine.partition import PackedDataset, pack_records, split_by_month
+from repro.engine.perf import PERF
+from repro.notary import (
+    ESTABLISHED,
+    All,
+    AnyOf,
+    Established,
+    NegotiatedVersion,
+    Not,
+    NotaryStore,
+)
+
+# ---------------------------------------------------------------------------
+# Fixtures: one packed dataset shared module-wide (the templates and
+# shape summaries memoize on it, as they would in a real session), a
+# scan-only reference store, and fresh packed stores per test.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def payload(small_window_store):
+    return pack_records(small_window_store.records())
+
+
+@pytest.fixture(scope="module")
+def dataset(payload):
+    return PackedDataset(payload)
+
+
+@pytest.fixture(scope="module")
+def scan_store(small_window_store):
+    """Reference store: same records, every answer from the record scan."""
+    store = NotaryStore()
+    store.extend(small_window_store.records())
+    store.use_index = False
+    return store
+
+
+@pytest.fixture()
+def packed_store(dataset):
+    store = NotaryStore()
+    store.attach_packed(dataset)
+    return store
+
+
+# Predicates built only from shape fields — the guarded-template tier
+# must answer all of these.  Each entry is a *factory* so every test
+# gets a fresh closure (compilation memoizes per code object; fresh
+# closures keep the differential honest about compile costs too).
+SHAPE_PREDICATES = [
+    lambda: (lambda r: r.established),
+    lambda: (lambda r: r.negotiated_version == "TLSv12"),
+    lambda: (lambda r: "rc4" in r.advertised),
+    lambda: (lambda r: r.suite_count > 20),
+    lambda: (lambda r: r.client_family == "Chrome"),
+    lambda: (lambda r: r.established and r.negotiated_kex is not None),
+    lambda: (lambda r: bool(r.offered_tls13)),
+    lambda: (lambda r: (r.server_port or 0) == 443),
+    lambda: (lambda r: r.client_in_database and not r.established),
+]
+
+
+def _assert_identical(packed, scan, predicate, *, within=None):
+    """Exact three-way agreement on every month plus the batched helper."""
+    months = scan.months()
+    assert packed.months() == months
+    for month in months:
+        assert packed.fraction(month, predicate, within) == scan.fraction(
+            month, predicate, within
+        )
+        if within is None:
+            assert packed.weight_where(month, predicate) == scan.weight_where(
+                month, predicate
+            )
+    assert packed.monthly_fraction(predicate, within) == scan.monthly_fraction(
+        predicate, within
+    )
+
+
+class TestShapeScanIdentity:
+    def test_simple_predicates(self, packed_store, scan_store):
+        for factory in SHAPE_PREDICATES:
+            _assert_identical(packed_store, scan_store, factory())
+
+    def test_within_established(self, packed_store, scan_store):
+        for factory in SHAPE_PREDICATES:
+            _assert_identical(
+                packed_store, scan_store, factory(), within=ESTABLISHED
+            )
+
+    def test_within_lambda(self, packed_store, scan_store):
+        within = lambda r: r.suite_count > 10  # noqa: E731
+        for factory in SHAPE_PREDICATES[:4]:
+            _assert_identical(packed_store, scan_store, factory(), within=within)
+
+    def test_shape_tier_actually_served(self, packed_store, scan_store):
+        PERF.reset()
+        _assert_identical(packed_store, scan_store, lambda r: r.established)
+        assert PERF.shape_path_hits > 0
+        assert PERF.scan_fallbacks == 0
+
+    def test_randomized_composites(self, packed_store, scan_store):
+        rng = random.Random(20260806)
+
+        def build(depth: int):
+            if depth == 0 or rng.random() < 0.4:
+                return rng.choice(SHAPE_PREDICATES)()
+            kind = rng.randrange(3)
+            if kind == 0:
+                return Not(build(depth - 1))
+            combiner = All if kind == 1 else AnyOf
+            return combiner(*(build(depth - 1) for _ in range(rng.randrange(1, 4))))
+
+        for _ in range(25):
+            _assert_identical(packed_store, scan_store, build(3))
+
+    def test_weighted_mean(self, packed_store, scan_store):
+        values = [
+            lambda r: r.positions.get("rc4"),
+            lambda r: r.positions.get("aead"),
+            lambda r: float(r.suite_count),
+            lambda r: None,  # no rows -> None on every tier
+        ]
+        for value in values:
+            for month in scan_store.months():
+                assert packed_store.weighted_mean(
+                    month, value
+                ) == scan_store.weighted_mean(month, value)
+
+
+class TestComposites:
+    def test_semantics(self, packed_store):
+        month = packed_store.months()[0]
+        est = lambda r: r.established  # noqa: E731
+        # Empty All is vacuously true, empty AnyOf vacuously false.
+        assert packed_store.fraction(month, All()) == 1.0
+        assert packed_store.weight_where(month, AnyOf()) == 0.0
+        # Complement partitions the weight exactly.
+        assert packed_store.weight_where(month, est) + packed_store.weight_where(
+            month, Not(est)
+        ) == pytest.approx(packed_store.total_weight(month))
+
+    def test_simplify_to_index(self):
+        # Not over an indexed boolean predicate is itself indexable.
+        assert Not(ESTABLISHED).simplify() == Established(False)
+        assert Not(Not(ESTABLISHED)).simplify() == ESTABLISHED
+        inner = NegotiatedVersion("TLSv12")
+        assert All(inner).simplify() is inner
+        assert AnyOf(inner).simplify() is inner
+
+    def test_indexable_composites_match_scan(self, packed_store, scan_store):
+        for predicate in (
+            Not(ESTABLISHED),
+            All(NegotiatedVersion("TLSv12")),
+            AnyOf(Established(False)),
+            Not(Not(ESTABLISHED)),
+        ):
+            _assert_identical(packed_store, scan_store, predicate)
+
+    def test_non_simplifiable_composites_match_scan(self, packed_store, scan_store):
+        mixed = AnyOf(NegotiatedVersion("TLSv12"), lambda r: "rc4" in r.advertised)
+        _assert_identical(packed_store, scan_store, mixed)
+        _assert_identical(packed_store, scan_store, Not(mixed), within=ESTABLISHED)
+
+
+class TestGuardedFallback:
+    """Predicates the templates cannot answer must scan — and still agree."""
+
+    def test_weight_reader_falls_back(self, packed_store, scan_store):
+        PERF.reset()
+        predicate = lambda r: r.weight > 0.5  # noqa: E731
+        _assert_identical(packed_store, scan_store, predicate)
+        assert PERF.scan_fallbacks > 0
+
+    def test_month_reader_falls_back(self, packed_store, scan_store):
+        predicate = lambda r: r.month.year >= 2015  # noqa: E731
+        _assert_identical(packed_store, scan_store, predicate)
+
+    def test_day_reader_falls_back(self, packed_store, scan_store):
+        predicate = lambda r: r.day is not None  # noqa: E731
+        _assert_identical(packed_store, scan_store, predicate)
+
+    def test_raising_predicate_falls_back(self, packed_store, scan_store):
+        # Guarded evaluation treats *any* template failure as "scan".
+        predicate = lambda r: r.positions["rc4"] >= 0  # noqa: E731  (KeyError-prone)
+        try:
+            expected = scan_store.monthly_fraction(predicate)
+        except KeyError:
+            pytest.skip("predicate raises on the scan tier too")
+        assert packed_store.monthly_fraction(predicate) == expected
+
+
+class TestEscapeHatch:
+    def test_use_index_false_disables_shape_tier(self, packed_store, scan_store):
+        packed_store.use_index = False
+        PERF.reset()
+        _assert_identical(packed_store, scan_store, lambda r: r.established)
+        assert PERF.shape_path_hits == 0
+        assert PERF.shape_evals == 0
+
+    def test_shape_templates_gated(self, packed_store):
+        month = packed_store.months()[0]
+        assert packed_store.shape_templates(month) is not None
+        assert packed_store.packed_columns(month) is not None
+        packed_store.use_index = False
+        assert packed_store.shape_templates(month) is None
+        assert packed_store.packed_columns(month) is None
+
+
+class TestStoreLifecycles:
+    """Fresh-packed vs cache-warm vs post-resume stores all agree."""
+
+    def test_cache_warm_store(self, packed_store, scan_store, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        key = "f" * 64
+        assert dataset_cache.save_store(packed_store, key) is not None
+        warm = dataset_cache.load_store(key)
+        assert warm is not None
+        for factory in SHAPE_PREDICATES[:5]:
+            _assert_identical(warm, scan_store, factory(), within=ESTABLISHED)
+        PERF.reset()
+        warm.fraction(warm.months()[0], lambda r: r.established)
+        assert PERF.shape_path_hits == 1
+
+    def test_post_resume_store(self, payload, scan_store):
+        # The resume path re-attaches one partition per month, possibly
+        # twice (idempotent re-adoption after a checkpoint replay).
+        resumed = NotaryStore()
+        for part in split_by_month(payload).values():
+            resumed.attach_packed(PackedDataset(part), idempotent=True)
+            resumed.attach_packed(PackedDataset(part), idempotent=True)
+        assert resumed.months() == scan_store.months()
+        for factory in SHAPE_PREDICATES[:5]:
+            _assert_identical(resumed, scan_store, factory())
+        for name, fig in figures.FIGURE_GENERATORS.items():
+            assert fig(resumed) == fig(scan_store), name
+
+    def test_montecarlo_day_months_stay_correct(self, montecarlo_store):
+        # Day-resolution months carry a day column; the shape tier must
+        # decline them (templates pin day=None) yet answers stay exact.
+        reference = NotaryStore()
+        reference.extend(montecarlo_store.records())
+        reference.use_index = False
+        packed = NotaryStore()
+        packed.attach_packed(PackedDataset(pack_records(montecarlo_store.records())))
+        month = packed.months()[0]
+        assert packed.shape_templates(month) is None
+        for factory in SHAPE_PREDICATES[:4]:
+            _assert_identical(packed, reference, factory(), within=ESTABLISHED)
+
+
+class TestTransientMaterialization:
+    def test_records_keeps_month_packed(self, packed_store):
+        month = packed_store.months()[0]
+        records = packed_store.records(month)
+        assert records
+        assert month in packed_store._packed
+        assert month in packed_store._mat_cache
+        # Repeat reads come from the materialization cache, not a rebuild
+        # (``records`` hands out defensive copies of one cached list).
+        assert packed_store._month_records(month) is packed_store._month_records(
+            month
+        )
+        assert packed_store.records(month) == records
+
+    def test_materialize_cache_is_bounded(self, packed_store):
+        packed_store.materialize_cache_months = 2
+        for month in packed_store.months()[:4]:
+            packed_store.records(month)
+        assert len(packed_store._mat_cache) <= 2
+        assert all(m in packed_store._packed for m in packed_store.months())
+
+    def test_mutation_still_materializes_permanently(self, packed_store):
+        month = packed_store.months()[0]
+        record = packed_store.records(month)[0]
+        packed_store.add(record)
+        assert month not in packed_store._packed
+        assert month not in packed_store._mat_cache
+
+    def test_shape_answers_after_scan_traffic(self, packed_store, scan_store):
+        # Interleaving scans (fallback predicates) with shape queries
+        # must not degrade the shape tier.
+        weight_reader = lambda r: r.weight >= 0.0  # noqa: E731
+        for month in packed_store.months()[:3]:
+            packed_store.fraction(month, weight_reader)
+        PERF.reset()
+        _assert_identical(packed_store, scan_store, lambda r: r.established)
+        assert PERF.shape_path_hits > 0
+
+
+class TestBatchedFigures:
+    def test_evaluate_all_matches_individual(self, packed_store, scan_store):
+        batched = figures.evaluate_all(packed_store)
+        assert set(batched) == set(figures.FIGURE_GENERATORS)
+        for name, fig in figures.FIGURE_GENERATORS.items():
+            assert batched[name] == fig(packed_store), name
+            assert batched[name] == fig(scan_store), name
+
+    def test_months_subset(self, packed_store, scan_store):
+        subset = scan_store.months()[2:5]
+        for fig in figures.FIGURE_GENERATORS.values():
+            assert fig(packed_store, months=subset) == fig(scan_store, months=subset)
+
+    def test_tls13_mix_fast_path(self, late_window_store):
+        scan = NotaryStore()
+        scan.extend(late_window_store.records())
+        scan.use_index = False
+        packed = NotaryStore()
+        packed.attach_packed(PackedDataset(pack_records(late_window_store.records())))
+        saw_mix = False
+        for month in scan.months():
+            mix = figures.tls13_version_mix(packed, month)
+            assert mix == figures.tls13_version_mix(scan, month)
+            saw_mix = saw_mix or bool(mix)
+        assert saw_mix, "late window should offer TLS 1.3"
+
+
+class TestMetricsEvents:
+    def _checker(self):
+        spec = importlib.util.spec_from_file_location(
+            "check_metrics_jsonl",
+            Path(__file__).resolve().parent.parent
+            / "scripts"
+            / "check_metrics_jsonl.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_shape_events_pass_ci_validator(
+        self, payload, tmp_path, monkeypatch
+    ):
+        sink = tmp_path / "metrics.jsonl"
+        monkeypatch.setenv("REPRO_METRICS_PATH", str(sink))
+        store = NotaryStore()
+        store.attach_packed(PackedDataset(payload))  # fresh dataset: view rebuilds
+        month = store.months()[0]
+        store.fraction(month, lambda r: r.established)
+        store.fraction(month, lambda r: r.weight > 0.5)  # forces scan_fallback
+        events = [
+            json.loads(line)
+            for line in sink.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        names = {event["event"] for event in events}
+        assert "shape_view_build" in names
+        assert "scan_fallback" in names
+        checker = self._checker()
+        last_ts: dict[int, float] = {}
+        for event in events:
+            assert checker.check_record(event, last_ts) is None, event
