@@ -17,6 +17,10 @@ Asserts, over every line of the sink:
 * shape-tier event structure (PR 5) — ``shape_view_build`` carries the
   month plus non-negative ``shapes``/``rows`` counts, ``scan_fallback``
   carries the month and a non-empty ``reason`` string;
+* vector-tier event structure (PR 6) — ``vector_path`` carries the
+  month and an ``outcome`` (``view_build`` with non-negative
+  ``shapes``/``rows``, or ``compile_miss`` with a non-empty
+  ``reason``);
 * at least one ``run_complete`` event was emitted — i.e. the
   observability layer was actually live for the run that produced the
   file.
@@ -70,11 +74,27 @@ SCAN_FALLBACK_FIELDS = {
     "reason": lambda v: isinstance(v, str) and bool(v),
 }
 
+#: Vector-tier query events (PR 6).  ``outcome`` selects the variant:
+#: ``view_build`` events additionally carry ``shapes``/``rows`` counts,
+#: ``compile_miss`` events a non-empty ``reason`` — checked below since
+#: per-variant fields can't be expressed in this flat table.
+VECTOR_PATH_FIELDS = {
+    "month": lambda v: isinstance(v, str) and bool(v),
+    "outcome": lambda v: v in ("view_build", "compile_miss"),
+}
+
 #: event name -> field validators, for events beyond the envelope.
 STRUCTURED_EVENTS = {
     "span": SPAN_FIELDS,
     "shape_view_build": SHAPE_VIEW_BUILD_FIELDS,
     "scan_fallback": SCAN_FALLBACK_FIELDS,
+    "vector_path": VECTOR_PATH_FIELDS,
+}
+
+#: ``vector_path`` per-outcome extra fields.
+VECTOR_OUTCOME_FIELDS = {
+    "view_build": {"shapes": _count, "rows": _count},
+    "compile_miss": {"reason": lambda v: isinstance(v, str) and bool(v)},
 }
 
 
@@ -104,6 +124,18 @@ def check_record(record: dict, last_ts: dict) -> str | None:
                 return f"{event} event missing field {name!r}"
             if not valid(record[name]):
                 return f"{event} field {name}={record[name]!r} fails validation"
+        if event == "vector_path":
+            for name, valid in VECTOR_OUTCOME_FIELDS[record["outcome"]].items():
+                if name not in record:
+                    return (
+                        f"{event}/{record['outcome']} event missing "
+                        f"field {name!r}"
+                    )
+                if not valid(record[name]):
+                    return (
+                        f"{event} field {name}={record[name]!r} "
+                        "fails validation"
+                    )
     return None
 
 

@@ -8,9 +8,10 @@ reproduction itself.  ``python -m repro bench``:
    (hello encode/decode, negotiation, fingerprint extraction), engine
    runs (serial, parallel, warm cache load), observability overhead,
    the query-path micro-bench (cold record scan vs shape tier vs
-   index over packed months), and *scientific anchors* (figure values
-   on a fixed window, which are fully deterministic and therefore
-   drift-detectable to 1e-6);
+   vector tier vs index over packed months, plus the full-window
+   ``query.vector`` acceptance bench), and *scientific anchors*
+   (figure values on a fixed window, which are fully deterministic and
+   therefore drift-detectable to 1e-6);
 2. appends one dated record to ``BENCH_<YYYYMMDD>.json`` — the
    trajectory file that accumulates the repo's own measurement history;
 3. diffs the run against the committed ``benchmarks/baseline.json``
@@ -289,6 +290,52 @@ def _query_workload(store, months) -> list:
     return results
 
 
+def _vector_workload(store, months) -> list:
+    """The ``_query_workload`` questions as structured predicates.
+
+    Same aggregate questions, but phrased with the query-module
+    combinators the vector tier compiles (none of them simplify to a
+    single index key, so the fastest tier that can answer is vector →
+    shape → scan depending on the store's switches).
+    """
+    from repro.notary.query import (
+        ESTABLISHED,
+        All,
+        Advertises,
+        AnyOf,
+        Established,
+        NegotiatedVersion,
+        PositionOf,
+    )
+
+    modern = AnyOf(NegotiatedVersion("TLSv12"), NegotiatedVersion("TLSv13"))
+    rc4_est = All(Advertises("rc4"), Established())
+    aead_pos = PositionOf("aead")
+    results = []
+    for month in months:
+        results.append(store.fraction(month, modern))
+        results.append(store.fraction(month, rc4_est, within=ESTABLISHED))
+        results.append(store.weighted_mean(month, aead_pos))
+        results.append(store.weight_where(month, modern))
+    return results
+
+
+def _reset_query_state(dataset) -> None:
+    """Drop every dataset-level compilation memo (cold-query honesty).
+
+    Structured predicates are value-hashable, so without this each
+    timing iteration after the first would answer from the shape/vector
+    memos and the arm would time a dict lookup, not the tier.  The
+    per-shape templates stay (building them is pack-time work, not
+    query-time work).
+    """
+    dataset._match_cache.clear()
+    dataset._value_cache.clear()
+    for attr in ("_shape_view_cache", "_vector_view_cache", "_vector_matrix"):
+        if hasattr(dataset, attr):
+            delattr(dataset, attr)
+
+
 def bench_query_paths(ctx: BenchContext) -> dict:
     """Cold aggregate queries over packed months: scan vs shape vs index.
 
@@ -301,8 +348,17 @@ def bench_query_paths(ctx: BenchContext) -> dict:
     standard indexable queries as the floor reference.  The two
     non-indexed arms must return byte-identical results; the bench
     fails loudly if they diverge.
+
+    A second loop times the same questions as *structured* predicates
+    (the vector tier's input form) on three arms — scan, shape
+    (``use_vector = False``), and vector — with every dataset-level
+    compilation memo dropped per iteration, so each arm pays its full
+    cold cost each time.  The gated ``vector_vs_scan_ratio`` comes from
+    here; when numpy is unavailable the vector arm and its metric are
+    simply omitted (the baseline gate skips missing metrics).
     """
     from repro.engine.partition import PackedDataset, pack_records
+    from repro.notary import vector
     from repro.notary.query import ESTABLISHED, NegotiatedVersion
     from repro.notary.store import NotaryStore
 
@@ -352,26 +408,187 @@ def bench_query_paths(ctx: BenchContext) -> dict:
     scan_wall = min(scan_walls)
     shape_wall = min(shape_walls)
     index_wall = min(index_walls)
+
+    counters = {
+        "iterations": iterations,
+        "months": len(months),
+        "scan_wall_seconds": scan_wall,
+        "index_wall_seconds": index_wall,
+        "shape_speedup": scan_wall / shape_wall if shape_wall > 0 else 0.0,
+    }
+    # Gated ratios: smaller is better, growth past tolerance fails —
+    # this is the ">= Nx over scan" criterion in baseline form.
+    metrics = {
+        "shape_vs_scan_ratio": shape_wall / scan_wall if scan_wall > 0 else 1.0
+    }
+
+    # ---- structured-predicate arms (the vector tier's input form) ----
+    def structured_store(use_vector: bool, use_index: bool = True) -> NotaryStore:
+        fresh = NotaryStore()
+        fresh.attach_packed(dataset)
+        fresh.use_index = use_index
+        fresh.use_vector = use_vector
+        return fresh
+
+    def structured_scan_run():
+        _reset_query_state(dataset)
+        return _vector_workload(structured_store(True, use_index=False), months)
+
+    def structured_shape_run():
+        _reset_query_state(dataset)
+        return _vector_workload(structured_store(False), months)
+
+    def vector_run():
+        _reset_query_state(dataset)
+        return _vector_workload(structured_store(True), months)
+
+    structured_results = structured_scan_run()
+    if structured_shape_run() != structured_results:
+        raise RuntimeError("shape tier diverged from the scan (structured)")
+    with_vector = vector.available()
+    if with_vector and vector_run() != structured_results:
+        raise RuntimeError("vector tier diverged from the scan")
+
+    s_scan_walls: list[float] = []
+    s_shape_walls: list[float] = []
+    vector_walls: list[float] = []
+    for _ in range(iterations):
+        started = time.perf_counter()
+        structured_scan_run()
+        s_scan_walls.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        structured_shape_run()
+        s_shape_walls.append(time.perf_counter() - started)
+        if with_vector:
+            started = time.perf_counter()
+            vector_run()
+            vector_walls.append(time.perf_counter() - started)
+    s_scan_wall = min(s_scan_walls)
+    s_shape_wall = min(s_shape_walls)
+    counters["structured_scan_wall_seconds"] = s_scan_wall
+    counters["structured_shape_wall_seconds"] = s_shape_wall
+    if with_vector:
+        vector_wall = min(vector_walls)
+        counters["vector_wall_seconds"] = vector_wall
+        counters["vector_speedup"] = (
+            s_scan_wall / vector_wall if vector_wall > 0 else 0.0
+        )
+        metrics["vector_vs_scan_ratio"] = (
+            vector_wall / s_scan_wall if s_scan_wall > 0 else 1.0
+        )
+
     return {
         "wall_seconds": shape_wall,
         "records_per_second": None,
-        "counters": {
-            "iterations": iterations,
-            "months": len(months),
-            "scan_wall_seconds": scan_wall,
-            "index_wall_seconds": index_wall,
-            "shape_speedup": scan_wall / shape_wall if shape_wall > 0 else 0.0,
-        },
+        "counters": counters,
         "anchors": {
             "tls12_fraction_m0": shape_results[0],
             "aead_position_mean_m0": shape_results[2],
         },
-        # Gated ratio: smaller is better, growth past tolerance fails —
-        # this is the ">= 5x over scan" criterion in baseline form.
+        "metrics": metrics,
+    }
+
+
+def bench_query_vector(ctx: BenchContext) -> dict:
+    """Vector vs shape vs scan on the full 76-month study window.
+
+    This is the acceptance bench for the vectorized tier: the standard
+    dataset (``STUDY_START``..``STUDY_END``), the structured workload,
+    every arm cold per iteration, byte-identity asserted against the
+    scan before any timing.  The build reuses the persistent dataset
+    cache when one is warm; the simulation otherwise runs serially
+    once (~tens of seconds), which is why this bench is not in the
+    ``--quick`` subset.
+    """
+    from repro.clients.population import default_population
+    from repro.engine import runner
+    from repro.engine.partition import PackedDataset, pack_records
+    from repro.notary import vector
+    from repro.notary.store import NotaryStore
+    from repro.simulation.ecosystem import STUDY_END, STUDY_START
+
+    if not vector.available():
+        return {"skipped": "numpy unavailable (install the 'fast' extra)"}
+
+    from repro.servers import ServerPopulation
+
+    store = runner.run_expectation(
+        default_population(), ServerPopulation(),
+        STUDY_START, STUDY_END, workers=0,
+    )
+    dataset = PackedDataset(pack_records(store.records()))
+    months = store.months()
+
+    def arm_store(use_vector: bool, use_index: bool = True) -> NotaryStore:
+        fresh = NotaryStore()
+        fresh.attach_packed(dataset)
+        fresh.use_index = use_index
+        fresh.use_vector = use_vector
+        return fresh
+
+    def scan_run():
+        _reset_query_state(dataset)
+        return _vector_workload(arm_store(True, use_index=False), months)
+
+    def shape_run():
+        _reset_query_state(dataset)
+        return _vector_workload(arm_store(False), months)
+
+    def vector_run():
+        _reset_query_state(dataset)
+        return _vector_workload(arm_store(True), months)
+
+    scan_results = scan_run()
+    if shape_run() != scan_results:
+        raise RuntimeError("shape tier diverged from the record scan")
+    vector_results = vector_run()
+    if vector_results != scan_results:
+        raise RuntimeError("vector tier diverged from the record scan")
+
+    iterations = ctx.iterations(3)
+    scan_walls, shape_walls, vector_walls = [], [], []
+    for _ in range(iterations):
+        started = time.perf_counter()
+        scan_run()
+        scan_walls.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        shape_run()
+        shape_walls.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        vector_run()
+        vector_walls.append(time.perf_counter() - started)
+    scan_wall = min(scan_walls)
+    shape_wall = min(shape_walls)
+    vector_wall = min(vector_walls)
+    return {
+        "wall_seconds": vector_wall,
+        "records_per_second": None,
+        "counters": {
+            "iterations": iterations,
+            "months": len(months),
+            "records": len(store),
+            "scan_wall_seconds": scan_wall,
+            "shape_wall_seconds": shape_wall,
+            "vector_vs_shape_speedup": (
+                shape_wall / vector_wall if vector_wall > 0 else 0.0
+            ),
+            "vector_vs_scan_speedup": (
+                scan_wall / vector_wall if vector_wall > 0 else 0.0
+            ),
+        },
+        "anchors": {
+            "modern_fraction_m0": vector_results[0],
+            "aead_position_mean_m0": vector_results[2],
+        },
+        # Gated: the ">= 5x over shape / ~75x over scan" acceptance
+        # criterion in baseline form (smaller is better).
         "metrics": {
-            "shape_vs_scan_ratio": (
-                shape_wall / scan_wall if scan_wall > 0 else 1.0
-            )
+            "vector_vs_scan_ratio": (
+                vector_wall / scan_wall if scan_wall > 0 else 1.0
+            ),
+            "vector_vs_shape_ratio": (
+                vector_wall / shape_wall if shape_wall > 0 else 1.0
+            ),
         },
     }
 
@@ -452,6 +669,7 @@ BENCHES: dict[str, tuple[bool, callable]] = {
     "query.paths": (True, bench_query_paths),
     "engine.parallel": (False, bench_engine_parallel),
     "obs.overhead": (False, bench_obs_overhead),
+    "query.vector": (False, bench_query_vector),
 }
 
 

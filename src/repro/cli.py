@@ -206,7 +206,9 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 #: ``parent_id`` / ``pid``.
 #: 3 — ``counters`` gained the shape-tier fields ``shape_evals`` /
 #: ``shape_path_hits`` / ``scan_fallbacks``.
-STATS_SCHEMA = 3
+#: 4 — ``counters`` gained the vector-tier fields ``vector_path_hits``
+#: / ``vector_compile_misses``.
+STATS_SCHEMA = 4
 
 
 def _stats_payload(model, store, wall: float) -> dict:

@@ -15,18 +15,45 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass
 
-import numpy as np
+try:  # numpy is the optional ``fast`` extra, not a hard dependency
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    np = None
 
 from repro.simulation.timeline import Event
 
 Series = list[tuple[_dt.date, float]]
 
 
-def _smooth(values: np.ndarray, window: int) -> np.ndarray:
+def _smooth(values: list[float], window: int) -> list[float]:
+    """Centered moving average, zero-padded at the boundaries.
+
+    Matches ``np.convolve(values, ones(window)/window, mode="same")``:
+    output ``i`` averages the window centered (right-biased for even
+    widths) on ``i``, with out-of-range taps contributing zero.
+    """
     if window <= 1:
-        return values
-    kernel = np.ones(window) / window
-    return np.convolve(values, kernel, mode="same")
+        return list(values)
+    if np is not None:
+        kernel = np.ones(window) / window
+        return list(np.convolve(np.array(values, dtype=float), kernel, mode="same"))
+    n = len(values)
+    inv = 1.0 / window
+    out = []
+    for i in range(n):
+        m = i + (window - 1) // 2
+        acc = 0.0
+        for j in range(max(0, m - window + 1), min(m, n - 1) + 1):
+            acc += values[j] * inv
+        out.append(acc)
+    return out
+
+
+def _diff2(values: list[float]) -> list[float]:
+    """Second differences as repeated first differences (= ``np.diff``
+    with ``n=2``: the same subtraction tree, so the same floats)."""
+    first = [b - a for a, b in zip(values, values[1:])]
+    return [b - a for a, b in zip(first, first[1:])]
 
 
 @dataclass(frozen=True)
@@ -56,20 +83,22 @@ def detect_changepoint(
     if len(series) < 5:
         raise ValueError("need at least 5 points to detect a change point")
     dates = [d for d, _ in series]
-    values = _smooth(np.array([v for _, v in series], dtype=float), smooth_window)
-    curvature = np.diff(values, n=2)  # index i -> month i+1
+    values = _smooth([v for _, v in series], smooth_window)
+    curvature = _diff2(values)  # index i -> month i+1
     # The moving average zero-pads at the boundaries, which manufactures
     # spurious curvature there; restrict the search to the interior.
     margin = max(smooth_window - 1, 0)
     interior = curvature[margin : len(curvature) - margin or None]
     if len(interior) == 0:
         raise ValueError("series too short for the requested smoothing")
+    # First-extremum ties, like np.argmax/argmin would pick.
+    indices = range(len(interior))
     if rising is True:
-        local = int(np.argmax(interior))
+        local = max(indices, key=interior.__getitem__)
     elif rising is False:
-        local = int(np.argmin(interior))
+        local = min(indices, key=interior.__getitem__)
     else:
-        local = int(np.argmax(np.abs(interior)))
+        local = max(indices, key=lambda i: abs(interior[i]))
     index = local + margin
     value = float(curvature[index])
     return ChangePoint(

@@ -31,6 +31,7 @@ from repro.notary.query import (
     NegotiatedKex,
     NegotiatedMode,
     NegotiatedVersion,
+    PositionOf,
 )
 from repro.notary.store import NotaryStore
 from repro.tls.ciphers import KexFamily
@@ -129,7 +130,7 @@ def fig5_cipher_positions(store: NotaryStore, months=None) -> Series:
         months = store.months()
     out: Series = {}
     for label, tag in (("AEAD", "aead"), ("CBC", "cbc"), ("RC4", "rc4"), ("DES", "des"), ("3DES", "3des")):
-        value = lambda r, t=tag: r.positions.get(t)
+        value = PositionOf(tag)
         series = []
         for month in months:
             mean = store.weighted_mean(month, value)

@@ -31,10 +31,12 @@ sweeps oldest-first until the total fits.
 Because blobs are whole partition payloads, everything the payload
 carries rides the cache for free — including the per-month *shape
 summaries* (record-order per-shape weight sums) that feed the
-shape-compiled query tier.  A warm load is therefore fast-path-ready
-with zero recomputation: summaries persisted at pack time are exactly
-the ones the packing process computed, and payloads from before the
-summary field are rebuilt lazily on first use.
+shape-compiled query tier, and the int-coded *shape matrix* (per-field
+value vocabularies + per-shape codes) that the vectorized tier compiles
+its numpy masks against.  A warm load is therefore fast-path-ready with
+zero recomputation: summaries and the matrix persisted at pack time are
+exactly the ones the packing process computed, and payloads from before
+either field are rebuilt lazily on first use.
 
 Invalidation is entirely key-based: any change to the population
 description, the date range, or the on-disk format version produces a

@@ -26,6 +26,23 @@ packed before it existed.  It is what powers the store's shape-compiled
 query tier: predicates evaluate once per distinct shape instead of once
 per record.
 
+The payload additionally carries a **shape matrix**: one small-integer
+column per shape field over the whole shape table (a per-field vocab of
+distinct canonical values plus an ``array`` of codes, one per shape).
+It is the data layout of the store's vectorized query tier
+(:mod:`repro.notary.vector`): a predicate is evaluated once per
+*distinct field value* and broadcast to shapes by integer gather.
+Like the summaries, the matrix persists through the cache inside the
+payload and is rebuilt lazily for older payloads — no format bump.
+
+Datasets are no longer strictly frozen after packing:
+:meth:`PackedDataset.append_month` packs one *new* month in place —
+appending to the shared shape table and matrix (existing shape indices
+keep their meaning), building the month's columns and summary, and
+invalidating the compiled-query memos — without ever re-packing sealed
+months.  This is the incremental-maintenance path streaming ingest
+uses (see ``NotaryStore.add_batch``).
+
 Round-trips are exact: materialized records compare equal to the
 originals field by field, in the original per-month order, and weights
 are carried as the same Python floats — so packed aggregation is
@@ -170,6 +187,43 @@ def build_shape_summary(columns: dict, shapes: list[tuple]) -> dict:
     }
 
 
+def build_shape_matrix(shapes: list[tuple], matrix: dict | None = None, start: int = 0) -> dict:
+    """Int-code the shape table: one small-integer column per field.
+
+    For every shape field the matrix holds a ``vocab`` (the distinct
+    canonical values, in first-occurrence order) and a ``codes`` array
+    with one entry per shape.  Vocabulary entries are deduplicated by
+    ``==``/hash — the same equality every predicate in
+    :mod:`repro.notary.query` uses — so "two shapes share a code" is
+    exactly "a field-reading predicate cannot tell them apart".
+
+    Passing an existing ``matrix`` plus ``start`` extends it in place
+    for shapes appended after it was built (the
+    :meth:`PackedDataset.append_month` path): codes are append-only, so
+    compiled masks over the old table stay valid for old months.
+    """
+    if matrix is None:
+        matrix = {
+            "fields": {
+                name: {"vocab": [], "codes": array("L")}
+                for name in _SHAPE_FIELDS
+            }
+        }
+    for slot, name in enumerate(_SHAPE_FIELDS):
+        entry = matrix["fields"][name]
+        vocab = entry["vocab"]
+        codes = entry["codes"]
+        index = {value: code for code, value in enumerate(vocab)}
+        for shape in shapes[start:] if start else shapes:
+            value = shape[slot]
+            code = index.get(value)
+            if code is None:
+                code = index[value] = len(vocab)
+                vocab.append(value)
+            codes.append(code)
+    return matrix
+
+
 def pack_records(records: Iterable[ConnectionRecord]) -> dict:
     """Dictionary-encode records into a compact columnar payload."""
     shape_index: dict[tuple, int] = {}
@@ -200,7 +254,12 @@ def pack_records(records: Iterable[ConnectionRecord]) -> dict:
             )
     for columns in months.values():
         columns["shape_summary"] = build_shape_summary(columns, shapes)
-    return {"format": PARTITION_FORMAT, "shapes": shapes, "months": months}
+    return {
+        "format": PARTITION_FORMAT,
+        "shapes": shapes,
+        "months": months,
+        "shape_matrix": build_shape_matrix(shapes),
+    }
 
 
 class PackedDataset:
@@ -211,17 +270,32 @@ class PackedDataset:
             raise ValueError(
                 f"unsupported partition format: {payload.get('format')!r}"
             )
+        self._payload = payload
         self._months = payload["months"]
         self._shapes = payload["shapes"]
         self._templates: list[dict] | None = None
         self._template_records: list[ConnectionRecord] | None = None
         self._guarded_templates: list[ConnectionRecord] | None = None
+        #: shape tuple -> index, built on first append (ingest path).
+        self._shape_index: dict | None = None
         #: predicate/value-function compilation memos for the shape
-        #: query path, keyed by the callable object itself (dataset
-        #: shape tables are immutable, so a compiled answer never goes
-        #: stale; the cap just bounds a pathological query mix).
+        #: query path, keyed by the callable object itself (the shape
+        #: table only ever grows via :meth:`append_month`, which clears
+        #: these; the cap just bounds a pathological query mix).
         self._match_cache: dict = {}
         self._value_cache: dict = {}
+
+    @classmethod
+    def empty(cls) -> "PackedDataset":
+        """A dataset with no months yet — the streaming-ingest seed."""
+        return cls(
+            {
+                "format": PARTITION_FORMAT,
+                "shapes": [],
+                "months": {},
+                "shape_matrix": build_shape_matrix([]),
+            }
+        )
 
     # ---- enumeration --------------------------------------------------------
 
@@ -261,6 +335,110 @@ class PackedDataset:
                 columns, self._shapes
             )
         return summary
+
+    def shape_matrix(self) -> dict:
+        """The dataset's int-coded shape matrix (see
+        :func:`build_shape_matrix`).
+
+        Packed at pack time and persisted with the payload; payloads
+        from before the matrix existed (and the re-indexed payloads
+        :func:`split_by_month` emits) get one built lazily here and
+        memoized in place — same no-format-bump contract as
+        :meth:`shape_summary`.
+        """
+        matrix = self._payload.get("shape_matrix")
+        if matrix is None:
+            matrix = self._payload["shape_matrix"] = build_shape_matrix(
+                self._shapes
+            )
+        return matrix
+
+    # ---- incremental maintenance --------------------------------------------
+
+    def _shape_lookup(self) -> dict:
+        """shape tuple -> index over the current table (kept in sync)."""
+        lookup = self._shape_index
+        if lookup is None:
+            lookup = self._shape_index = {
+                shape: idx for idx, shape in enumerate(self._shapes)
+            }
+        return lookup
+
+    def append_month(self, month: _dt.date, records: Iterable[ConnectionRecord]) -> None:
+        """Pack one *new* month into this dataset in place, O(new month).
+
+        Sealed months are untouched: new shapes append to the shared
+        table (existing indices keep their meaning, so compiled answers
+        for old months remain correct), the month gets its own columns
+        and summary, and the shape matrix extends by exactly the new
+        shapes.  Derived memos sized to the shape table — templates,
+        predicate/value compilations, vectorized masks, index shape
+        keys — are extended or dropped, because a stale compilation
+        would silently miss the appended shapes.
+        """
+        month_ord = month.toordinal()
+        if month_ord in self._months:
+            raise ValueError(f"month {month.isoformat()} is already packed")
+        lookup = self._shape_lookup()
+        shapes = self._shapes
+        start = len(shapes)
+        columns: dict = {
+            "weights": array("d"),
+            "shape_idx": array("L"),
+            "days": None,
+        }
+        for record in records:
+            shape = _shape_of(record)
+            idx = lookup.get(shape)
+            if idx is None:
+                idx = lookup[shape] = len(shapes)
+                shapes.append(shape)
+            columns["weights"].append(record.weight)
+            columns["shape_idx"].append(idx)
+            if record.day is not None and columns["days"] is None:
+                columns["days"] = [None] * (len(columns["weights"]) - 1)
+            if columns["days"] is not None:
+                columns["days"].append(
+                    record.day.toordinal() if record.day is not None else None
+                )
+        columns["shape_summary"] = build_shape_summary(columns, shapes)
+        matrix = self._payload.get("shape_matrix")
+        if matrix is not None:
+            build_shape_matrix(shapes, matrix, start)
+        self._months[month_ord] = columns
+        self._extend_compiled(start)
+
+    def _extend_compiled(self, start: int) -> None:
+        """Bring table-sized memos in line after an append.
+
+        The template lists extend in place (shared ``_ShapeView``s hold
+        references to them, and their old indices still mean the same
+        shapes); everything compiled *over* them is dropped, to be
+        lazily rebuilt against the grown table.
+        """
+        new_shapes = self._shapes[start:]
+        if self._templates is not None:
+            self._templates.extend(_shape_fields(s) for s in new_shapes)
+        if self._template_records is not None:
+            epoch = _dt.date(2000, 1, 1)
+            for fields in self._templates[start:] if self._templates else ():
+                record = object.__new__(ConnectionRecord)
+                record.__dict__.update(fields)
+                record.__dict__["month"] = epoch
+                record.__dict__["weight"] = 0.0
+                record.__dict__["day"] = None
+                self._template_records.append(record)
+        if self._guarded_templates is not None:
+            for shape in new_shapes:
+                record = object.__new__(ConnectionRecord)
+                record.__dict__.update(_shape_fields(shape))
+                record.__dict__["day"] = None
+                self._guarded_templates.append(record)
+        self._match_cache.clear()
+        self._value_cache.clear()
+        for attr in ("_index_shape_keys", "_vector_matrix", "_vector_view_cache"):
+            if hasattr(self, attr):
+                delattr(self, attr)
 
     # ---- shape templates ----------------------------------------------------
 
@@ -438,6 +616,17 @@ def validate_payload(payload: dict, expected_months: Iterable[_dt.date] | None =
                 if len(order) and max(max(order), max(summary["last"])) >= len(
                     shapes
                 ):
+                    return False
+        matrix = payload.get("shape_matrix")
+        if matrix is not None:
+            fields = matrix["fields"]
+            if set(fields) != set(_SHAPE_FIELDS):
+                return False
+            for entry in fields.values():
+                codes = entry["codes"]
+                if len(codes) != len(shapes):
+                    return False
+                if len(codes) and max(codes) >= len(entry["vocab"]):
                     return False
         return True
     except Exception as exc:

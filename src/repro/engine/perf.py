@@ -90,6 +90,11 @@ class PerfCounters:
     #: Aggregate queries on packed months that fell back to a record
     #: scan (predicate or value function not shape-evaluable).
     scan_fallbacks: int = 0
+    #: Aggregate queries answered by the vectorized (numpy) tier.
+    vector_path_hits: int = 0
+    #: Vector-tier attempts that didn't compile and dropped to the
+    #: shape tier (numpy-absent months never count; the tier was off).
+    vector_compile_misses: int = 0
     #: Wall seconds of the last full expectation run (serial or merged).
     run_seconds: float = 0.0
     #: Wall seconds of the last persistent-cache load.
@@ -186,6 +191,9 @@ class PerfCounters:
             lines.append(f"shape evals         : {self.shape_evals}")
             lines.append(f"shape path hits     : {self.shape_path_hits}")
             lines.append(f"scan fallbacks      : {self.scan_fallbacks}")
+        if self.vector_path_hits or self.vector_compile_misses:
+            lines.append(f"vector path hits    : {self.vector_path_hits}")
+            lines.append(f"vector compile miss : {self.vector_compile_misses}")
         if self.load_seconds > 0:
             lines.append(f"cache load seconds  : {self.load_seconds:.3f}")
         if self.run_seconds > 0:

@@ -15,6 +15,7 @@ from repro.notary.query import (
     NegotiatedMode,
     NegotiatedVersion,
     Not,
+    PositionOf,
 )
 from repro.notary.store import NotaryStore, month_of, month_range
 
@@ -38,4 +39,5 @@ __all__ = [
     "NegotiatedKex",
     "NegotiatedMode",
     "NegotiatedVersion",
+    "PositionOf",
 ]

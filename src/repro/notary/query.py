@@ -9,6 +9,17 @@ aggregate queries with an indexable predicate are answered from the
 store's per-month weight counters in O(1) instead of scanning every
 record.  Any plain callable still works and takes the scan path, so
 nothing in the analysis layer is forced through the index.
+
+Predicates additionally declare a ``vector_field`` — the single shape
+field their verdict depends on.  The vectorized tier
+(:mod:`repro.notary.vector`) uses it to compile a predicate into a
+numpy boolean mask over the packed shape matrix: the predicate is
+called once per *distinct canonical value* of that field (on a stub
+record carrying only the field), and the per-value verdicts broadcast
+to shapes by integer gather.  ``All``/``AnyOf``/``Not`` compile
+structurally (AND/OR/NOT of child masks).  A predicate without a
+``vector_field`` — any plain lambda — simply isn't vector-compilable
+and falls through to the shape tier, same contract as ``index_key``.
 """
 
 from __future__ import annotations
@@ -30,6 +41,14 @@ class IndexedPredicate:
     value: object
 
     dimension = ""
+    # The one shape field this predicate's verdict is a function of
+    # (possibly via a derived property of it, e.g. the suite lookups
+    # read ``negotiated_suite``).  The vector tier evaluates the
+    # predicate per distinct value of this field; None opts out.
+    # Deliberately *not* annotated: an annotation would turn this class
+    # attribute into a dataclass field and change every subclass's
+    # __init__/__eq__.
+    vector_field = None
 
     @property
     def index_key(self) -> tuple[str, object]:
@@ -45,6 +64,7 @@ class NegotiatedVersion(IndexedPredicate):
 
     value: str
     dimension = "version"
+    vector_field = "negotiated_version"
 
     def __call__(self, record: ConnectionRecord) -> bool:
         return record.negotiated_version == self.value
@@ -56,6 +76,7 @@ class NegotiatedMode(IndexedPredicate):
 
     value: str
     dimension = "mode"
+    vector_field = "negotiated_suite"
 
     def __call__(self, record: ConnectionRecord) -> bool:
         return record.negotiated_mode_class == self.value
@@ -67,6 +88,7 @@ class NegotiatedKex(IndexedPredicate):
 
     value: KexFamily
     dimension = "kex"
+    vector_field = "negotiated_suite"
 
     def __call__(self, record: ConnectionRecord) -> bool:
         return record.negotiated_kex == self.value
@@ -78,6 +100,7 @@ class NegotiatedAead(IndexedPredicate):
 
     value: str
     dimension = "aead"
+    vector_field = "negotiated_suite"
 
     def __call__(self, record: ConnectionRecord) -> bool:
         return record.negotiated_aead_algorithm == self.value
@@ -89,6 +112,7 @@ class Advertises(IndexedPredicate):
 
     value: str
     dimension = "advert"
+    vector_field = "advertised"
 
     def __call__(self, record: ConnectionRecord) -> bool:
         return self.value in record.advertised
@@ -105,6 +129,7 @@ class Established(IndexedPredicate):
 
     value: bool = True
     dimension = "established"
+    vector_field = "established"
 
     def __call__(self, record: ConnectionRecord) -> bool:
         return record.established == self.value
@@ -193,3 +218,23 @@ class Not(CompositePredicate):
             # accumulated over exactly the complement rows in row order.
             return Established(not inner.value)
         return self
+
+
+@dataclass(frozen=True)
+class PositionOf:
+    """``weighted_mean`` value function: relative position of the first
+    suite of a class tag in the Client Hello (``record.positions``).
+
+    Behaves exactly like the lambda it replaces
+    (``lambda r: r.positions.get(tag)`` — Figure 5), but being a frozen
+    dataclass it is value-hashable (so per-dataset compilations memoize
+    across fresh instances) and declares a ``vector_field`` (so the
+    vector tier serves it without any per-shape Python calls).
+    """
+
+    tag: str
+
+    vector_field = "positions"
+
+    def __call__(self, record: ConnectionRecord) -> float | None:
+        return record.positions.get(self.tag)

@@ -4,7 +4,7 @@ The analysis layer reads everything through this store.  All percentage
 series are weight-based: monthly fractions of connection weight matching
 a predicate, mirroring the paper's "percent monthly connections" axes.
 
-Aggregation runs three tiers, fastest first:
+Aggregation runs four tiers, fastest first:
 
 * **Indexed** — each month lazily builds an aggregate index: weight
   sums keyed by (dimension, value) for the standard figure dimensions
@@ -13,6 +13,15 @@ Aggregation runs three tiers, fastest first:
   Queries whose predicate is a :class:`repro.notary.query.IndexedPredicate`
   (or a composite that :meth:`simplify`-unwraps to one) are answered
   from these counters in O(1).
+* **Vectorized** — predicates and value functions that declare a
+  ``vector_field`` (every built-in predicate, ``All``/``AnyOf``/``Not``
+  composites of them, ``PositionOf``) compile to numpy boolean masks
+  over the payload's int-coded shape matrix — one Python call per
+  *distinct field value*, not per shape — and fold with sequential
+  ``cumsum`` kernels that replay the scan's row-order additions
+  exactly (:mod:`repro.notary.vector`).  Skipped silently when numpy
+  is absent or the callable doesn't compile; ``use_vector = False``
+  disables just this tier (the bench's shape-tier comparator).
 * **Shape-compiled** — packed months are dictionary-encoded: every row
   is a (weight, shape-index) pair into a table of distinct shapes, so
   an arbitrary predicate or ``weighted_mean`` value function has only
@@ -43,21 +52,31 @@ objects into a small transient LRU side-cache
 attached, so a one-off scan no longer permanently degrades the month.
 Only mutation (``add`` / ``add_batch`` / ``extend``) materializes a
 month for good, invalidating its index, shape view, and the all-months
-record cache so lazy months are indistinguishable from eager ones.
+record cache so lazy months are indistinguishable from eager ones —
+with one exception: ``add_batch`` of a *new*, day-less month into a
+store that already holds packed months takes the **incremental ingest**
+path instead.  The batch is packed into a store-local ingest dataset
+(:meth:`~repro.engine.partition.PackedDataset.append_month`, O(new
+month)), sealed months are never re-packed, and the new month is
+immediately servable by every fast tier.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import os
 from collections import OrderedDict, defaultdict
 from collections.abc import Callable, Iterable
 from itertools import compress
 from operator import mul
 
 from repro.engine.perf import PERF
+from repro.notary import vector as _vector
 from repro.notary.events import ConnectionRecord
 from repro.notary.query import Established, IndexedPredicate
-from repro.obs import emit_event
+from repro.obs import emit_event, get_logger
+
+_log = get_logger("repro.notary.store")
 
 
 def month_of(day: _dt.date) -> _dt.date:
@@ -343,12 +362,22 @@ class NotaryStore:
         self._packed: dict[_dt.date, object] = {}
         self._indexes: dict[_dt.date, _MonthIndex] = {}
         self._shape_views: dict[_dt.date, _ShapeView] = {}
+        self._vector_views: dict[_dt.date, object] = {}
+        #: Store-local dataset accumulating incrementally ingested
+        #: months (see :meth:`add_batch`); lazily created.
+        self._ingest = None
         #: Transient record lists for packed months (read path only).
         self._mat_cache: OrderedDict[_dt.date, list[ConnectionRecord]] = OrderedDict()
+        #: Months evicted from the transient LRU (churn diagnostics).
+        self._mat_evicted: set[_dt.date] = set()
         self._all_records: list[ConnectionRecord] | None = None
         #: Escape hatch: force every aggregate through the scan path.
-        #: Disables both the index tier and the shape tier.
+        #: Disables the index, vector, and shape tiers.
         self.use_index = True
+        #: Narrower escape hatch: keep index + shape tiers but skip the
+        #: vectorized tier (differential tests and the bench's
+        #: shape-tier comparator arm).
+        self.use_vector = True
 
     # ---- mutation ----------------------------------------------------------
 
@@ -358,11 +387,44 @@ class NotaryStore:
         self._invalidate(record.month)
 
     def add_batch(self, month: _dt.date, records: list[ConnectionRecord]) -> None:
-        """Append a whole month partition in one call (engine merge path)."""
+        """Append a whole month partition in one call (engine merge path).
+
+        A *new*, day-less month arriving at a store that already holds
+        packed months is **ingested incrementally**: packed straight
+        into a store-local ingest dataset (O(new month) — the shared
+        shape table, matrix, and this month's summary extend in place)
+        and attached packed, so its index, shape view, and vector view
+        build lazily like any other packed month and no sealed month is
+        ever re-packed.  Every other case — a colliding month, a store
+        with no packed months, day-carrying records — keeps the
+        materializing behaviour.
+        """
         month = month_of(month)
+        if (
+            records
+            and (self._packed or self._ingest is not None)
+            and month not in self._packed
+            and month not in self._by_month
+            and all(r.day is None for r in records)
+        ):
+            self._ingest_month(month, records)
+            return
         self._materialize(month)
         self._by_month[month].extend(records)
         self._invalidate(month)
+
+    def _ingest_month(self, month: _dt.date, records: list[ConnectionRecord]) -> None:
+        from repro.engine.partition import PackedDataset
+
+        dataset = self._ingest
+        if dataset is None:
+            dataset = self._ingest = PackedDataset.empty()
+        dataset.append_month(month, records)
+        self._packed[month] = dataset
+        # The append invalidated the dataset's compiled memos; drop this
+        # store's per-month handles into them so they rebuild in sync.
+        self._vector_views = {}
+        self._all_records = None
 
     def extend(self, records: Iterable[ConnectionRecord]) -> None:
         grouped: dict[_dt.date, list[ConnectionRecord]] = defaultdict(list)
@@ -422,11 +484,13 @@ class NotaryStore:
                 dataset.materialize(month) if cached is None else cached
             )
             self._shape_views.pop(month, None)
+            self._vector_views.pop(month, None)
             self._all_records = None
 
     def _invalidate(self, month: _dt.date) -> None:
         self._indexes.pop(month, None)
         self._shape_views.pop(month, None)
+        self._vector_views.pop(month, None)
         self._mat_cache.pop(month, None)
         self._all_records = None
 
@@ -436,6 +500,19 @@ class NotaryStore:
         if self._packed:
             return sorted(set(self._by_month) | set(self._packed))
         return sorted(self._by_month)
+
+    def _materialize_limit(self) -> int:
+        """The transient-LRU bound: ``REPRO_MATERIALIZE_LRU`` when set
+        (and a valid integer), else :attr:`materialize_cache_months`."""
+        raw = os.environ.get("REPRO_MATERIALIZE_LRU", "").strip()
+        if raw:
+            try:
+                return max(1, int(raw))
+            except ValueError:
+                _log.warning(
+                    "ignoring non-integer REPRO_MATERIALIZE_LRU=%r", raw
+                )
+        return max(1, int(self.materialize_cache_months))
 
     def _month_records(self, month: _dt.date) -> list[ConnectionRecord]:
         """The month's record list; packed months materialize transiently."""
@@ -447,10 +524,22 @@ class NotaryStore:
         records = self._mat_cache.get(month)
         if records is None:
             records = dataset.materialize(month)
+            if month in self._mat_evicted:
+                # The working set is cycling through the LRU: every
+                # revisit pays a full re-materialization.
+                self._mat_evicted.discard(month)
+                _log.info(
+                    "materialize LRU churn: month %s re-materialized after "
+                    "eviction (bound %d; raise REPRO_MATERIALIZE_LRU to fit "
+                    "the working set)",
+                    month.isoformat(),
+                    self._materialize_limit(),
+                )
             self._mat_cache[month] = records
-            limit = max(1, int(self.materialize_cache_months))
+            limit = self._materialize_limit()
             while len(self._mat_cache) > limit:
-                self._mat_cache.popitem(last=False)
+                evicted, _records = self._mat_cache.popitem(last=False)
+                self._mat_evicted.add(evicted)
         else:
             self._mat_cache.move_to_end(month)
         return records
@@ -557,6 +646,34 @@ class NotaryStore:
         self._shape_views[month] = view
         return view
 
+    def _vector_view(self, month: _dt.date):
+        """The month's vector view, or None when the tier can't serve it
+        (numpy absent, month not packed / day-carrying, or either escape
+        hatch flipped).  ``None`` always means "try the shape tier"."""
+        if not (self.use_index and self.use_vector and _vector.available()):
+            return None
+        view = self._vector_views.get(month)
+        if view is not None:
+            return view
+        dataset = self._packed.get(month)
+        if dataset is None or dataset.has_days(month):
+            return None
+        view = _vector.view_for(dataset, month)
+        if view is not None:
+            self._vector_views[month] = view
+        return view
+
+    def _vector_note(self, month: _dt.date, reason: str) -> None:
+        """Record a vector compile miss (the shape tier serves instead)."""
+        if self.use_index and month in self._packed:
+            PERF.vector_compile_misses += 1
+            emit_event(
+                "vector_path",
+                month=month.isoformat(),
+                outcome="compile_miss",
+                reason=reason,
+            )
+
     def _scan_note(self, month: _dt.date, reason: str) -> None:
         """Record a scan the fast tiers could have served but did not."""
         if self.use_index and month in self._packed:
@@ -580,6 +697,13 @@ class NotaryStore:
                 index = self._index(month)
                 if index is not None:
                     return index.weights.get(key, 0.0)
+            vview = self._vector_view(month)
+            if vview is not None:
+                mask = vview.matrix.compile_mask(predicate)
+                if mask is not None:
+                    PERF.vector_path_hits += 1
+                    return vview.weight_of(mask)
+                self._vector_note(month, "predicate")
             view = self._shape_view(month)
             if view is not None:
                 matches = view.dataset.compile_predicate(predicate)
@@ -618,6 +742,10 @@ class NotaryStore:
                             index.established_weights.get(key, 0.0)
                             / index.established
                         )
+            result = self._vector_fraction(month, predicate, within)
+            if result is not None:
+                PERF.vector_path_hits += 1
+                return result
             result = self._shape_fraction(month, predicate, within)
             if result is not None:
                 PERF.shape_path_hits += 1
@@ -629,6 +757,38 @@ class NotaryStore:
         if total <= 0:
             return 0.0
         return sum(r.weight for r in records if predicate(r)) / total
+
+    def _vector_fraction(self, month, predicate, within) -> float | None:
+        """``fraction`` via the vector tier; None means "next tier".
+
+        Mirrors :meth:`_shape_fraction` case by case; every fold is the
+        same row-order addition sequence the shape tier (and the scan)
+        performs, so a hit here returns the identical bytes.
+        """
+        vview = self._vector_view(month)
+        if vview is None:
+            return None
+        mask = vview.matrix.compile_mask(predicate)
+        if mask is None:
+            self._vector_note(month, "predicate")
+            return None
+        if within is None:
+            if vview.total <= 0:
+                return 0.0
+            return vview.weight_of(mask) / vview.total
+        if _is_established_marker(within):
+            if vview.established <= 0:
+                return 0.0
+            est_mask = vview.matrix.compile_mask(Established())
+            return vview.weight_of(mask & est_mask) / vview.established
+        within_mask = vview.matrix.compile_mask(within)
+        if within_mask is None:
+            self._vector_note(month, "within")
+            return None
+        total, matched = vview.restrict_weights(within_mask, mask)
+        if total <= 0:
+            return 0.0
+        return matched / total
 
     def _shape_fraction(self, month, predicate, within) -> float | None:
         """``fraction`` via the shape tier; None means "scan instead"."""
@@ -679,6 +839,13 @@ class NotaryStore:
         """Weight-averaged value over records where ``value`` is not None."""
         month = month_of(month)
         if self.use_index:
+            vview = self._vector_view(month)
+            if vview is not None:
+                compiled = vview.matrix.compile_values(value)
+                if compiled is not None:
+                    PERF.vector_path_hits += 1
+                    return vview.mean_of(*compiled)
+                self._vector_note(month, "value")
             view = self._shape_view(month)
             if view is not None:
                 values = view.dataset.compile_values(value)

@@ -61,7 +61,7 @@ GOLDEN_SPAN = {
 #: The version these golden dicts describe.  If you bumped STATS_SCHEMA
 #: without updating the golden structure (or vice versa), the mismatch
 #: fails here with instructions rather than silently downstream.
-GOLDEN_SCHEMA_VERSION = 3
+GOLDEN_SCHEMA_VERSION = 4
 
 
 @pytest.fixture(autouse=True)
