@@ -21,6 +21,10 @@ Asserts, over every line of the sink:
   month and an ``outcome`` (``view_build`` with non-negative
   ``shapes``/``rows``, or ``compile_miss`` with a non-empty
   ``reason``);
+* serve event structure (PR 7) — ``http_request`` carries a non-empty
+  ``method``/``route``, an integer HTTP ``status`` (100–599), a
+  non-negative ``duration``, and ``tier`` either null (no store query
+  ran) or a non-empty string naming the answering query tier;
 * at least one ``run_complete`` event was emitted — i.e. the
   observability layer was actually live for the run that produced the
   file.
@@ -83,12 +87,28 @@ VECTOR_PATH_FIELDS = {
     "outcome": lambda v: v in ("view_build", "compile_miss"),
 }
 
+#: Serve events (PR 7): one per request answered by the resident
+#: server.  ``tier`` is null for requests that never queried the store
+#: (health checks, errors) and a tier name otherwise.
+HTTP_REQUEST_FIELDS = {
+    "method": lambda v: isinstance(v, str) and bool(v),
+    "route": lambda v: isinstance(v, str) and bool(v),
+    "status": lambda v: isinstance(v, int)
+    and not isinstance(v, bool)
+    and 100 <= v <= 599,
+    "duration": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool)
+    and v >= 0,
+    "tier": lambda v: v is None or (isinstance(v, str) and bool(v)),
+}
+
 #: event name -> field validators, for events beyond the envelope.
 STRUCTURED_EVENTS = {
     "span": SPAN_FIELDS,
     "shape_view_build": SHAPE_VIEW_BUILD_FIELDS,
     "scan_fallback": SCAN_FALLBACK_FIELDS,
     "vector_path": VECTOR_PATH_FIELDS,
+    "http_request": HTTP_REQUEST_FIELDS,
 }
 
 #: ``vector_path`` per-outcome extra fields.

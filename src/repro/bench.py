@@ -657,6 +657,61 @@ def bench_obs_overhead(ctx: BenchContext) -> dict:
     }
 
 
+def bench_serve_loadtest(ctx: BenchContext) -> dict:
+    """The resident server under concurrent load: p50/p99 and RPS.
+
+    The bench window packed and served from a port-0 in-process server,
+    hammered by the real ``repro loadtest`` client (16 threads of
+    keep-alive connections over the default figure/query/stats mix).
+    Zero tolerance for errors — a 5xx or a divergent transport failure
+    fails the bench outright, not just the gate.  ``records_per_second``
+    carries the sustained request RPS (the unit the "millions of users"
+    north star is priced in), and the gated metrics are the p50/p99
+    latencies in milliseconds (smaller is better, like every other
+    gated ratio).
+
+    Client and server share one interpreter here, so the numbers are
+    GIL-conservative: a real deployment with remote clients clears
+    them.  That is the right direction for a regression gate to err.
+    """
+    from repro.engine.partition import PackedDataset, pack_records
+    from repro.notary.store import NotaryStore
+    from repro.serve.loadtest import run_loadtest
+    from repro.serve.server import start_server
+
+    store, _wall, _counters = ctx.window_store()
+    served = NotaryStore()
+    served.attach_packed(PackedDataset(pack_records(store.records())))
+    handle = start_server(store=served)
+    try:
+        report = run_loadtest(
+            handle.url, requests=ctx.iterations(800), concurrency=16
+        )
+    finally:
+        handle.close()
+    if report["errors"]:
+        raise RuntimeError(
+            f"serve.loadtest saw {report['errors']} error(s): "
+            f"{report['statuses']}"
+        )
+    if (report["max_in_flight"] or 0) <= 1:
+        raise RuntimeError("serve.loadtest never overlapped requests")
+    return {
+        "wall_seconds": report["wall_seconds"],
+        "records_per_second": report["rps"],
+        "counters": {
+            "requests": report["requests"],
+            "concurrency": report["concurrency"],
+            "max_in_flight": report["max_in_flight"],
+        },
+        "anchors": None,
+        "metrics": {
+            "serve_p50_ms": report["p50_ms"],
+            "serve_p99_ms": report["p99_ms"],
+        },
+    }
+
+
 #: name -> (in the --quick subset, callable).  Order is run order.
 BENCHES: dict[str, tuple[bool, callable]] = {
     "substrate.encode_hello": (True, bench_encode_hello),
@@ -667,6 +722,7 @@ BENCHES: dict[str, tuple[bool, callable]] = {
     "engine.cache_warm": (True, bench_cache_warm),
     "anchors.fig1": (True, bench_anchors_fig1),
     "query.paths": (True, bench_query_paths),
+    "serve.loadtest": (True, bench_serve_loadtest),
     "engine.parallel": (False, bench_engine_parallel),
     "obs.overhead": (False, bench_obs_overhead),
     "query.vector": (False, bench_query_vector),

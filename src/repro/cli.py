@@ -24,6 +24,14 @@ Commands:
 * ``bench`` — run the benchmark harness (:mod:`repro.bench`), append a
   record to the dated ``BENCH_<YYYYMMDD>.json`` trajectory, and gate
   against ``benchmarks/baseline.json`` (exit 1 on regression).
+* ``serve`` — resident query server (:mod:`repro.serve`): load the
+  packed dataset once, then answer ``/figures/<name>``, ``/query``,
+  ``/stats``, and ``/healthz`` as JSON until SIGINT/SIGTERM.  Binds
+  port 0 by default and announces the chosen port on stdout
+  (``serving on http://host:port``) — never hard-code a port.
+* ``loadtest <url>`` — hammer a live server with a thread pool of
+  keep-alive connections; report p50/p95/p99 latency, sustained RPS,
+  and the server-side max-in-flight gauge (exit 1 on any error).
 
 Engine flags (global, before the command): ``--workers N`` shards the
 expectation run across N processes (``REPRO_WORKERS``; 0 = serial),
@@ -208,7 +216,10 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 #: ``shape_path_hits`` / ``scan_fallbacks``.
 #: 4 — ``counters`` gained the vector-tier fields ``vector_path_hits``
 #: / ``vector_compile_misses``.
-STATS_SCHEMA = 4
+#: 5 — ``counters`` gained the serve fields ``http_requests`` /
+#: ``http_errors`` / ``http_route_latency`` (the per-route latency
+#: ledger of the resident server).
+STATS_SCHEMA = 5
 
 
 def _stats_payload(model, store, wall: float) -> dict:
@@ -354,6 +365,78 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(bench.render_run(run, failures))
     print(f"\ntrajectory: {trajectory}")
     return 1 if failures else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident query server until SIGINT/SIGTERM.
+
+    The socket binds and the port is announced *before* the dataset
+    loads (``/healthz`` answers 503 meanwhile), so orchestrators can
+    poll readiness instead of retrying connection failures.  The
+    chosen port is printed as ``serving on http://host:port`` — with
+    the default ``--port 0`` the kernel picks a free one, which is
+    what keeps parallel CI jobs collision-free.
+    """
+    import signal
+
+    from repro.serve.server import announce_line, start_server
+
+    def load_store():
+        if args.start is not None or args.end is not None:
+            from repro.simulation.ecosystem import (
+                STUDY_END,
+                STUDY_START,
+                EcosystemModel,
+            )
+
+            model = EcosystemModel(
+                start=args.start or STUDY_START,
+                end=args.end or STUDY_END,
+                workers=getattr(args, "workers", None),
+                use_cache=False if getattr(args, "no_cache", False) else None,
+                rebuild=getattr(args, "rebuild", False),
+                faults=getattr(args, "faults", None),
+                resume=True if getattr(args, "resume", False) else None,
+            )
+        else:
+            model = _model(args)
+        return model.passive_store()
+
+    handle = start_server(loader=load_store, host=args.host, port=args.port)
+    print(announce_line(args.host, handle.port), flush=True)
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        while handle.thread.is_alive():
+            handle.thread.join(timeout=0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        handle.close()
+    print("shutdown: clean", flush=True)
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.serve.loadtest import render_report, run_loadtest
+
+    report = run_loadtest(
+        args.url,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        timeout=args.timeout,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+    return 1 if report["errors"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -534,6 +617,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for BENCH_<YYYYMMDD>.json (default: cwd)",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", parents=[obs_flags],
+        help="resident query server: figures/queries/stats as a JSON "
+             "API over one shared packed store (binds port 0 and "
+             "announces the chosen port)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port; 0 (the default) lets the kernel pick a free "
+             "one, announced as 'serving on http://host:port'",
+    )
+    p_serve.add_argument(
+        "--start", type=_dt.date.fromisoformat, default=None,
+        metavar="YYYY-MM-DD",
+        help="serve a sub-window starting here (default: full study)",
+    )
+    p_serve.add_argument(
+        "--end", type=_dt.date.fromisoformat, default=None,
+        metavar="YYYY-MM-DD",
+        help="serve a sub-window ending here (default: full study)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest", parents=[obs_flags],
+        help="drive concurrent requests at a live server; report "
+             "p50/p95/p99 latency and sustained RPS (exit 1 on errors)",
+    )
+    p_load.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8321")
+    p_load.add_argument(
+        "--requests", type=int, default=2000,
+        help="total request budget across all threads (default 2000)",
+    )
+    p_load.add_argument(
+        "--concurrency", type=int, default=32,
+        help="client threads, one keep-alive connection each (default 32)",
+    )
+    p_load.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request socket timeout in seconds (default 30)",
+    )
+    p_load.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of the human summary",
+    )
+    p_load.set_defaults(func=cmd_loadtest)
 
     return parser
 

@@ -30,8 +30,13 @@ PARENT_ONLY_FIELDS = frozenset(
         "workers",
         "worker_wall_times",
         "chunk_attribution",
+        "http_route_latency",
     }
 )
+
+#: Per-route latency samples retained for the serve ledger; enough for
+#: stable p50/p99 on a long-lived server without unbounded growth.
+MAX_ROUTE_SAMPLES = 4096
 
 
 @dataclass
@@ -95,6 +100,16 @@ class PerfCounters:
     #: Vector-tier attempts that didn't compile and dropped to the
     #: shape tier (numpy-absent months never count; the tier was off).
     vector_compile_misses: int = 0
+    #: HTTP requests answered by the resident server (any status).
+    http_requests: int = 0
+    #: HTTP responses with status >= 400 (client and server errors).
+    http_errors: int = 0
+    #: Per-route latency ledger of the resident server: route ->
+    #: ``{count, errors, total_seconds, max_seconds, samples}`` where
+    #: ``samples`` holds the most recent :data:`MAX_ROUTE_SAMPLES`
+    #: durations for percentile reads.  Parent-only: a served process
+    #: never merges another fleet's ledger.
+    http_route_latency: dict = field(default_factory=dict)
     #: Wall seconds of the last full expectation run (serial or merged).
     run_seconds: float = 0.0
     #: Wall seconds of the last persistent-cache load.
@@ -119,10 +134,48 @@ class PerfCounters:
 
     def snapshot(self) -> dict:
         """A picklable copy of the counters (workers ship these back)."""
+
+        def _copy(value):
+            if isinstance(value, list):
+                return [_copy(v) for v in value]
+            if isinstance(value, dict):
+                return {k: _copy(v) for k, v in value.items()}
+            return value
+
         return {
-            name: (list(v) if isinstance(v := getattr(self, name), list) else v)
+            name: _copy(getattr(self, name))
             for name in self.__dataclass_fields__
         }
+
+    def observe_http(self, route: str, seconds: float, status: int) -> None:
+        """Fold one served request into the counters and route ledger.
+
+        Callers serialize (the server holds its perf lock); this method
+        itself does no locking, matching every other counter here.
+        """
+        self.http_requests += 1
+        error = status >= 400
+        if error:
+            self.http_errors += 1
+        ledger = self.http_route_latency.get(route)
+        if ledger is None:
+            ledger = self.http_route_latency[route] = {
+                "count": 0,
+                "errors": 0,
+                "total_seconds": 0.0,
+                "max_seconds": 0.0,
+                "samples": [],
+            }
+        ledger["count"] += 1
+        if error:
+            ledger["errors"] += 1
+        ledger["total_seconds"] += seconds
+        if seconds > ledger["max_seconds"]:
+            ledger["max_seconds"] = seconds
+        samples = ledger["samples"]
+        if len(samples) >= MAX_ROUTE_SAMPLES:
+            del samples[: len(samples) - MAX_ROUTE_SAMPLES + 1]
+        samples.append(seconds)
 
     def merge_worker(self, snap: dict, wall: float) -> None:
         """Fold one worker's snapshot into the fleet totals.
@@ -194,6 +247,17 @@ class PerfCounters:
         if self.vector_path_hits or self.vector_compile_misses:
             lines.append(f"vector path hits    : {self.vector_path_hits}")
             lines.append(f"vector compile miss : {self.vector_compile_misses}")
+        if self.http_requests:
+            lines.append(f"http requests       : {self.http_requests}")
+            lines.append(f"http errors         : {self.http_errors}")
+            for route in sorted(self.http_route_latency):
+                ledger = self.http_route_latency[route]
+                mean_ms = ledger["total_seconds"] / ledger["count"] * 1e3
+                lines.append(
+                    f"  {route:<18}: {ledger['count']} req, "
+                    f"mean {mean_ms:.2f} ms, "
+                    f"max {ledger['max_seconds'] * 1e3:.2f} ms"
+                )
         if self.load_seconds > 0:
             lines.append(f"cache load seconds  : {self.load_seconds:.3f}")
         if self.run_seconds > 0:

@@ -37,12 +37,20 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 import time
 from pathlib import Path
 
 from repro.obs.trace import TRACE
 
 _log = logging.getLogger("repro.obs.metrics")
+
+#: Serializes timestamp capture + append within one process.  Handler
+#: threads of the resident server emit concurrently; without the lock a
+#: thread could capture an earlier ``ts`` yet write its line *after* a
+#: later one, breaking the per-pid ts monotonicity the JSONL validator
+#: checks.  (Across processes, fork-atomic appends already suffice.)
+_EMIT_LOCK = threading.Lock()
 
 #: Process-global guard: rotate at most once per process, so chained
 #: CLI commands in one interpreter share a single sink file.
@@ -91,18 +99,21 @@ def emit(event: str, **fields) -> None:
     path = metrics_path()
     if path is None:
         return
-    record: dict = {
-        "ts": time.time(),
-        "event": event,
-        "trace_id": TRACE.ensure_trace(),
-        "pid": os.getpid(),
-    }
-    record.update(fields)
-    try:
-        if path.parent and not path.parent.exists():
-            path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, default=str)
-        with open(path, "a", encoding="utf-8") as sink:
-            sink.write(line + "\n")
-    except (OSError, TypeError, ValueError) as exc:
-        _log.warning("metrics event %r not written to %s: %s", event, path, exc)
+    with _EMIT_LOCK:
+        record: dict = {
+            "ts": time.time(),
+            "event": event,
+            "trace_id": TRACE.ensure_trace(),
+            "pid": os.getpid(),
+        }
+        record.update(fields)
+        try:
+            if path.parent and not path.parent.exists():
+                path.parent.mkdir(parents=True, exist_ok=True)
+            line = json.dumps(record, default=str)
+            with open(path, "a", encoding="utf-8") as sink:
+                sink.write(line + "\n")
+        except (OSError, TypeError, ValueError) as exc:
+            _log.warning(
+                "metrics event %r not written to %s: %s", event, path, exc
+            )

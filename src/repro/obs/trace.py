@@ -32,6 +32,7 @@ rest of :mod:`repro`, so any layer can use it without cycles.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import uuid
 from contextlib import contextmanager
@@ -57,6 +58,11 @@ class SpanCollector:
         self._stack: list[tuple[str, int]] = []
         self._trace_id: str | None = None
         self._next_id: int = 0
+        #: Guards id allocation + span append for :meth:`record_complete`
+        #: callers on concurrent threads.  The nesting-stack path
+        #: (:meth:`span`) stays lock-free — it is single-threaded by
+        #: construction (one engine run per process).
+        self._lock = threading.Lock()
 
     # ---- trace identity -----------------------------------------------------
 
@@ -108,8 +114,9 @@ class SpanCollector:
         """
         started_ts = time.time()
         started = time.perf_counter()
-        span_id = self._next_id
-        self._next_id += 1
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         self._stack.append((name, span_id))
         try:
             yield
@@ -128,6 +135,40 @@ class SpanCollector:
             }
             if attrs:
                 record["attrs"] = {k: _attr_value(v) for k, v in attrs.items()}
+            with self._lock:
+                if len(self.spans) >= MAX_SPANS:
+                    self.dropped += 1
+                else:
+                    self.spans.append(record)
+
+    def record_complete(
+        self, name: str, started_ts: float, duration: float, **attrs
+    ) -> None:
+        """Record an already-finished span, thread-safely.
+
+        The server's handler threads time their own requests and call
+        this with the result; unlike :meth:`span` it never touches the
+        nesting stack (concurrent requests are not nested in each
+        other), so spans land flat at depth 0 with no parent.
+        """
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            record = {
+                "name": name,
+                "id": span_id,
+                "parent_id": None,
+                "pid": os.getpid(),
+                "trace_id": self.ensure_trace(),
+                "ts": started_ts,
+                "duration": duration,
+                "depth": 0,
+                "parent": None,
+            }
+            if attrs:
+                record["attrs"] = {
+                    k: _attr_value(v) for k, v in attrs.items()
+                }
             if len(self.spans) >= MAX_SPANS:
                 self.dropped += 1
             else:

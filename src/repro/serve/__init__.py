@@ -1,0 +1,34 @@
+"""``repro.serve`` — the resident query service and its load-test client.
+
+Everything before this package was one-shot CLI: every figure request
+paid full process startup even though a warm packed dataset loads in
+~60 ms and the vectorized query tier answers figures in microseconds.
+This package keeps the dataset resident and serves it over HTTP:
+
+* **Server** (:mod:`repro.serve.server`) — a stdlib
+  ``ThreadingHTTPServer`` exposing ``/figures/<name>``, ``/query``,
+  ``/stats``, and ``/healthz`` as versioned JSON endpoints over one
+  shared immutable packed :class:`~repro.notary.store.NotaryStore`.
+  Binds port 0 by default and announces the chosen port, so nothing
+  ever hard-codes a port.
+* **Wire grammar** (:mod:`repro.serve.wire`) — the JSON encoding of
+  structured predicates (:mod:`repro.notary.query`) and aggregate
+  query documents; decoding failures raise :class:`~repro.serve.wire.
+  QueryError`, which the server maps to HTTP 400.
+* **Load test** (:mod:`repro.serve.loadtest`) — a thread-pool client
+  (``http.client`` with keep-alive) driving thousands of concurrent
+  requests at a live server and reporting p50/p95/p99 latency,
+  sustained RPS, and the server-side max-in-flight gauge.
+
+All responses are JSON rendered with the stdlib encoder, whose float
+formatting is ``repr``-based (shortest round-trip): a float survives
+the HTTP round trip bit-for-bit, which is what lets the differential
+suite in ``tests/test_serve.py`` assert *exact* equality between
+served answers and in-process queries on the same store.
+"""
+
+from __future__ import annotations
+
+from repro.serve.wire import API_VERSION, QueryError
+
+__all__ = ["API_VERSION", "QueryError"]

@@ -1,0 +1,233 @@
+"""Concurrency-hammering load-test client for the resident server.
+
+A thread pool over stdlib :mod:`http.client` — one keep-alive
+connection per worker thread, reconnect on transport error — drives a
+fixed request budget at a live server and reports latency percentiles
+(nearest-rank p50/p95/p99), sustained RPS over the measured wall, an
+error count (transport failures, HTTP >= 400, or non-JSON bodies), and
+the *server-side* ``max_in_flight`` gauge fetched from ``/stats``
+afterwards, which proves the requests actually overlapped rather than
+serialized at the client.
+
+All workers arm on a barrier so the clock starts when every connection
+is ready, not while threads are still spawning; the wall excludes
+setup and teardown.  ``repro loadtest`` is the CLI face; ``repro
+bench`` drives the same entry point as the ``serve.loadtest`` bench.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from urllib.parse import urlsplit
+
+from repro import obs
+
+_log = obs.get_logger("repro.serve.loadtest")
+
+#: The default request mix: two figure fetches (vector-tier work), a
+#: composite /query document, and the two cheap control endpoints.
+_DEFAULT_QUERY = json.dumps(
+    {
+        "kind": "fraction",
+        "predicate": {
+            "op": "all",
+            "args": [
+                {"op": "established", "value": True},
+                {
+                    "op": "not",
+                    "arg": {"op": "version", "value": "SSLv3"},
+                },
+            ],
+        },
+        "within": {"op": "established", "value": True},
+        "month": None,
+    }
+)
+
+
+def default_workload() -> list[tuple[str, str, str | None]]:
+    """(method, path, body) triples cycled by the worker threads."""
+    return [
+        ("GET", "/figures/fig1", None),
+        ("GET", "/healthz", None),
+        ("POST", "/query", _DEFAULT_QUERY),
+        ("GET", "/figures/fig6", None),
+        ("GET", "/stats", None),
+    ]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (q in 0..100)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil without floats
+    return sorted_values[int(rank) - 1]
+
+
+def _split_shares(total: int, buckets: int) -> list[int]:
+    """``total`` requests split across ``buckets`` threads, off-by-none."""
+    base, extra = divmod(total, buckets)
+    return [base + (1 if i < extra else 0) for i in range(buckets)]
+
+
+class _Worker:
+    """One thread's share of the budget on one keep-alive connection."""
+
+    def __init__(self, host, port, share, offset, workload, timeout, barrier):
+        self.host = host
+        self.port = port
+        self.share = share
+        self.offset = offset
+        self.workload = workload
+        self.timeout = timeout
+        self.barrier = barrier
+        self.latencies: list[float] = []
+        self.statuses: dict[int, int] = {}
+        self.errors = 0
+
+    def _connect(self) -> http.client.HTTPConnection:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        conn.connect()
+        # TCP_NODELAY: http.client writes headers and body as separate
+        # packets; behind Nagle the second write waits on a delayed ACK
+        # and every POST eats a ~40 ms stall.
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def run(self) -> None:
+        conn = self._connect()
+        self.barrier.wait()
+        for i in range(self.share):
+            method, path, body = self.workload[
+                (self.offset + i) % len(self.workload)
+            ]
+            headers = {}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            started = time.perf_counter()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+            except OSError:
+                self.errors += 1
+                conn.close()
+                conn = self._connect()
+                continue
+            self.latencies.append(time.perf_counter() - started)
+            status = response.status
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            if status >= 400:
+                self.errors += 1
+                continue
+            try:
+                json.loads(payload)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self.errors += 1
+        conn.close()
+
+
+def _server_gauge(host: str, port: int, timeout: float) -> int | None:
+    """The server's max-in-flight gauge from ``/stats`` (None if
+    unreachable — e.g. the target is not a repro server)."""
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        conn.request("GET", "/stats")
+        payload = json.loads(conn.getresponse().read())
+        conn.close()
+        return int(payload["server"]["max_in_flight"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def run_loadtest(
+    url: str,
+    requests: int = 2000,
+    concurrency: int = 32,
+    timeout: float = 30.0,
+    workload: list[tuple[str, str, str | None]] | None = None,
+) -> dict:
+    """Hammer ``url`` and return the latency/RPS report dict.
+
+    Report keys: ``url``, ``requests``, ``concurrency``, ``errors``,
+    ``wall_seconds``, ``rps``, ``p50_ms``, ``p95_ms``, ``p99_ms``,
+    ``max_ms``, ``statuses``, ``max_in_flight``.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    concurrency = max(1, min(concurrency, requests))
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+    workload = workload or default_workload()
+
+    barrier = threading.Barrier(concurrency + 1)
+    workers = [
+        _Worker(host, port, share, i, workload, timeout, barrier)
+        for i, share in enumerate(_split_shares(requests, concurrency))
+    ]
+    threads = [
+        threading.Thread(target=w.run, name=f"loadtest-{i}", daemon=True)
+        for i, w in enumerate(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    latencies = sorted(lat for w in workers for lat in w.latencies)
+    statuses: dict[int, int] = {}
+    for w in workers:
+        for status, count in w.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+    errors = sum(w.errors for w in workers)
+    report = {
+        "url": f"http://{host}:{port}",
+        "requests": requests,
+        "concurrency": concurrency,
+        "errors": errors,
+        "wall_seconds": wall,
+        "rps": (len(latencies) / wall) if wall > 0 else 0.0,
+        "p50_ms": percentile(latencies, 50) * 1e3,
+        "p95_ms": percentile(latencies, 95) * 1e3,
+        "p99_ms": percentile(latencies, 99) * 1e3,
+        "max_ms": (latencies[-1] * 1e3) if latencies else 0.0,
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "max_in_flight": _server_gauge(host, port, timeout),
+    }
+    _log.debug(
+        "loadtest done: %d req, %d errors, %.0f rps",
+        requests,
+        errors,
+        report["rps"],
+    )
+    return report
+
+
+def render_report(report: dict) -> str:
+    """Human-readable loadtest summary for the CLI."""
+    lines = [
+        f"loadtest {report['url']}",
+        f"  requests      {report['requests']}"
+        f"  (concurrency {report['concurrency']})",
+        f"  errors        {report['errors']}",
+        f"  wall          {report['wall_seconds']:.3f} s"
+        f"  ({report['rps']:.0f} req/s sustained)",
+        f"  latency p50   {report['p50_ms']:.2f} ms",
+        f"  latency p95   {report['p95_ms']:.2f} ms",
+        f"  latency p99   {report['p99_ms']:.2f} ms",
+        f"  latency max   {report['max_ms']:.2f} ms",
+        f"  statuses      {report['statuses']}",
+    ]
+    if report.get("max_in_flight") is not None:
+        lines.append(f"  max in-flight {report['max_in_flight']} (server)")
+    return "\n".join(lines)

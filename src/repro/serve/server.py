@@ -1,0 +1,447 @@
+"""The resident query server behind ``python -m repro serve``.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` (one handler thread
+per connection, HTTP/1.1 keep-alive) holding exactly one
+:class:`~repro.notary.store.NotaryStore` loaded at startup.  Endpoints,
+all JSON with an ``{"api": 1, ...}`` envelope:
+
+* ``GET /healthz`` — readiness: 200 once the dataset is attached, 503
+  while it is still loading (the socket binds and answers *before* the
+  load finishes, so orchestrators can poll), 500 if the load failed.
+* ``GET /figures`` / ``GET /figures/<name>`` — the paper figures as
+  month/value series.
+* ``POST /query`` — a structured query document (:mod:`repro.serve.wire`);
+  malformed documents answer 400 without touching the store.
+* ``GET /stats`` — server gauges (in-flight, max-in-flight, uptime),
+  the per-route latency ledger, and the full engine perf-counter
+  snapshot (``stats --json`` schema).
+
+Why the store is safe to share across handler threads: every served
+aggregate goes through the store's read-only query methods over packed
+months, and the service holds no mutating endpoint at all — the only
+writes the query tiers perform are memo-cache fills, which are not
+safe under concurrent mutation, so the server additionally serializes
+store access through one query lock.  Queries are microseconds once
+warm, so the lock bounds tail latency rather than throughput; request
+parsing, JSON rendering, and socket I/O all run outside it, which is
+where the measured concurrency (the max-in-flight gauge) comes from.
+
+Request → span → sink flow: every request is timed and recorded three
+ways — an ``http_request`` completed span on the process trace
+collector (thread-safe append, no nesting stack involved), an
+``http_request`` JSONL metrics event (method, route, status, duration,
+tier used) when ``REPRO_METRICS_PATH`` is live, and the PERF counters
+``http_requests`` / ``http_errors`` plus the per-route latency ledger
+surfaced by ``stats --json`` (schema 5).  The *tier* is observed, not
+guessed: the query runs under the query lock while the tier counters
+are sampled before and after, so the event reports which of
+index/vector/shape/scan actually answered.
+
+Port discipline: the default bind is port 0 — the kernel picks a free
+port, ``bound_port`` reports it, and the CLI announces it on stdout
+(``serving on http://host:port``).  Nothing in the repo hard-codes a
+port, which is what keeps parallel CI jobs collision-free.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro import obs
+from repro.engine.perf import PERF
+from repro.serve import wire
+
+_log = obs.get_logger("repro.serve.server")
+
+#: Largest accepted ``/query`` body; queries are small documents.
+MAX_BODY_BYTES = 1 << 20
+
+#: The announce-line format the CLI prints and the smoke script parses.
+ANNOUNCE_TEMPLATE = "serving on http://{host}:{port}"
+
+
+def announce_line(host: str, port: int) -> str:
+    return ANNOUNCE_TEMPLATE.format(host=host, port=port)
+
+
+def _route_pattern(path: str) -> str:
+    """The bounded-cardinality route key for the latency ledger."""
+    path = path.rstrip("/") or "/"
+    if path == "/figures" or path.startswith("/figures/"):
+        return "/figures/<name>" if path != "/figures" else "/figures"
+    if path in ("/healthz", "/stats", "/query"):
+        return path
+    return "<other>"
+
+
+def _tier_of(before: tuple, after: tuple) -> str:
+    """Which query tier answered, from a (vector, shape, scan) counter
+    delta sampled around the query under the query lock.  No delta
+    means every aggregate came from the O(1) index counters."""
+    used = [
+        name
+        for name, b, a in zip(("vector", "shape", "scan"), before, after)
+        if a > b
+    ]
+    if not used:
+        return "index"
+    if len(used) == 1:
+        return used[0]
+    return "mixed"
+
+
+class ReproServer(ThreadingHTTPServer):
+    """One shared store, many handler threads, read-only endpoints."""
+
+    daemon_threads = True
+    #: TCP_NODELAY: without it, small keep-alive responses sit behind
+    #: Nagle + delayed-ACK and every request eats a ~40 ms stall.
+    disable_nagle_algorithm = True
+    #: Listen backlog: the stdlib default of 5 drops connections when a
+    #: 32-way load test opens its sockets in one burst.
+    request_queue_size = 128
+
+    def __init__(self, address=("127.0.0.1", 0), store=None):
+        super().__init__(address, ReproRequestHandler)
+        self.store = store
+        self.ready = threading.Event()
+        if store is not None:
+            self.ready.set()
+        self.load_error: str | None = None
+        self.started_ts = time.time()
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self._gauge_lock = threading.Lock()
+        #: Serializes store access: the query tiers fill memo caches on
+        #: first use, and those fills are not safe under concurrency.
+        self._query_lock = threading.Lock()
+        #: Serializes PERF counter updates from handler threads.
+        self._perf_lock = threading.Lock()
+
+    # ---- lifecycle ----------------------------------------------------------
+
+    @property
+    def bound_port(self) -> int:
+        """The actual TCP port (the kernel's pick when bound to 0)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.bound_port}"
+
+    def attach_store(self, store) -> None:
+        """Make the dataset servable; flips ``/healthz`` to ready."""
+        self.store = store
+        self.ready.set()
+
+    def store_or_none(self):
+        return self.store if self.ready.is_set() else None
+
+    # ---- per-request accounting --------------------------------------------
+
+    def gauge_enter(self) -> None:
+        with self._gauge_lock:
+            self.in_flight += 1
+            if self.in_flight > self.max_in_flight:
+                self.max_in_flight = self.in_flight
+
+    def gauge_exit(self) -> None:
+        with self._gauge_lock:
+            self.in_flight -= 1
+
+    def run_query(self, fn):
+        """Run one store query serialized; returns (result, tier used)."""
+        with self._query_lock:
+            before = (
+                PERF.vector_path_hits,
+                PERF.shape_path_hits,
+                PERF.scan_fallbacks,
+            )
+            result = fn()
+            after = (
+                PERF.vector_path_hits,
+                PERF.shape_path_hits,
+                PERF.scan_fallbacks,
+            )
+        return result, _tier_of(before, after)
+
+    def observe_request(
+        self,
+        method: str,
+        route: str,
+        status: int,
+        duration: float,
+        tier: str | None,
+        started_ts: float,
+    ) -> None:
+        with self._perf_lock:
+            PERF.observe_http(route, duration, status)
+        obs.TRACE.record_complete(
+            "http_request",
+            started_ts,
+            duration,
+            method=method,
+            route=route,
+            status=status,
+            tier=tier,
+        )
+        obs.emit_event(
+            "http_request",
+            method=method,
+            route=route,
+            status=status,
+            duration=duration,
+            tier=tier,
+        )
+
+    # ---- endpoint payloads --------------------------------------------------
+
+    def health_payload(self) -> tuple[int, dict, None]:
+        if self.load_error is not None:
+            return 500, {
+                "status": "error",
+                "ready": False,
+                "error": self.load_error,
+            }, None
+        store = self.store_or_none()
+        if store is None:
+            return 503, {"status": "loading", "ready": False}, None
+        return 200, {
+            "status": "ok",
+            "ready": True,
+            "months": len(store.months()),
+            "records": len(store),
+        }, None
+
+    def stats_payload(self) -> dict:
+        from repro.cli import STATS_SCHEMA
+
+        store = self.store_or_none()
+        with self._perf_lock:
+            counters = PERF.snapshot()
+        with self._gauge_lock:
+            in_flight, max_in_flight = self.in_flight, self.max_in_flight
+        return {
+            "schema": STATS_SCHEMA,
+            "server": {
+                "started": self.started_ts,
+                "uptime_seconds": time.time() - self.started_ts,
+                "ready": store is not None,
+                "requests": counters["http_requests"],
+                "errors": counters["http_errors"],
+                "in_flight": in_flight,
+                "max_in_flight": max_in_flight,
+                "routes": counters["http_route_latency"],
+            },
+            "dataset": (
+                {"months": len(store.months()), "records": len(store)}
+                if store is not None
+                else None
+            ),
+            "counters": counters,
+        }
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        _log.debug("%s - %s", self.address_string(), format % args)
+
+    def do_GET(self):  # noqa: N802 - stdlib dispatch name
+        self._handle("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        server: ReproServer = self.server
+        started_ts = time.time()
+        started = time.perf_counter()
+        server.gauge_enter()
+        path = urlsplit(self.path).path
+        route = _route_pattern(path)
+        status, tier = 500, None
+        try:
+            try:
+                status, payload, tier = self._dispatch(method, path)
+            except wire.QueryError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except Exception as exc:
+                _log.exception("handler failed for %s %s", method, path)
+                status = 500
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+            body = json.dumps({"api": wire.API_VERSION, **payload}).encode(
+                "utf-8"
+            )
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                self.close_connection = True
+        finally:
+            server.gauge_exit()
+            server.observe_request(
+                method,
+                route,
+                status,
+                time.perf_counter() - started,
+                tier,
+                started_ts,
+            )
+
+    # ---- routing ------------------------------------------------------------
+
+    def _dispatch(self, method: str, path: str) -> tuple[int, dict, str | None]:
+        server: ReproServer = self.server
+        path = path.rstrip("/") or "/"
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return server.health_payload()
+        if path == "/stats":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, server.stats_payload(), None
+        if path == "/figures" or path.startswith("/figures/"):
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            name = path[len("/figures/"):] if path != "/figures" else None
+            return self._figures(name)
+        if path == "/query":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return self._query()
+        return 404, {"error": f"unknown route {path!r}"}, None
+
+    def _method_not_allowed(self, allowed: str) -> tuple[int, dict, None]:
+        return 405, {"error": f"method not allowed; use {allowed}"}, None
+
+    def _loading(self) -> tuple[int, dict, None]:
+        return 503, {"status": "loading", "error": "dataset still loading"}, None
+
+    def _figures(self, name: str | None) -> tuple[int, dict, str | None]:
+        from repro.core.figures import FIGURE_GENERATORS
+
+        server: ReproServer = self.server
+        if name is None:
+            return 200, {"figures": sorted(FIGURE_GENERATORS)}, None
+        generator = FIGURE_GENERATORS.get(name)
+        if generator is None:
+            return 404, {
+                "error": (
+                    f"unknown figure {name!r}; "
+                    f"choose from {sorted(FIGURE_GENERATORS)}"
+                )
+            }, None
+        store = server.store_or_none()
+        if store is None:
+            return self._loading()
+        series, tier = server.run_query(lambda: generator(store))
+        return 200, {
+            "figure": name,
+            "series": wire.encode_series(series),
+        }, tier
+
+    def _query(self) -> tuple[int, dict, str | None]:
+        server: ReproServer = self.server
+        store = server.store_or_none()
+        if store is None:
+            return self._loading()
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise wire.QueryError("Content-Length is not an integer") from None
+        if length <= 0:
+            raise wire.QueryError("empty request body; POST a query document")
+        if length > MAX_BODY_BYTES:
+            raise wire.QueryError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length)
+        try:
+            spec = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise wire.QueryError(f"body is not valid JSON: {exc}") from None
+        result, tier = server.run_query(
+            lambda: wire.execute_query(store, spec)
+        )
+        return 200, result, tier
+
+
+# ---- embedding API ----------------------------------------------------------
+
+
+class ServerHandle:
+    """A started server: its port, URL, readiness, and shutdown."""
+
+    def __init__(self, server: ReproServer, thread: threading.Thread):
+        self.server = server
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.bound_port
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def wait_ready(self, timeout: float = 120.0) -> bool:
+        """Block until the dataset is attached (or the timeout passes)."""
+        return self.server.ready.wait(timeout)
+
+    def close(self) -> None:
+        """Graceful shutdown: stop accepting, join, release the socket."""
+        self.server.shutdown()
+        self.thread.join(timeout=10)
+        self.server.server_close()
+
+
+def start_server(
+    store=None,
+    loader=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServerHandle:
+    """Bind (port 0 by default), serve on a background thread, return
+    the handle — ``handle.port`` is the kernel-chosen port.
+
+    Exactly one of ``store`` (serve immediately) or ``loader`` (a
+    zero-argument callable built on a *separate* loader thread; the
+    server answers 503 on data endpoints until it returns) must be
+    given.  A loader failure is captured on ``server.load_error`` and
+    surfaces as a 500 ``/healthz`` — the socket keeps answering so the
+    failure is observable instead of a connection refusal.
+    """
+    if (store is None) == (loader is None):
+        raise ValueError("pass exactly one of store= or loader=")
+    server = ReproServer((host, port), store=store)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        daemon=True,
+        name="repro-serve",
+    )
+    thread.start()
+    if loader is not None:
+        def _load() -> None:
+            try:
+                server.attach_store(loader())
+            except Exception as exc:
+                _log.exception("dataset load failed; serving errors")
+                server.load_error = f"{type(exc).__name__}: {exc}"
+
+        threading.Thread(
+            target=_load, daemon=True, name="repro-serve-loader"
+        ).start()
+    return server and ServerHandle(server, thread)

@@ -1,0 +1,210 @@
+"""JSON wire format for the resident query service.
+
+The query endpoint accepts *structured* predicates — the same
+combinator objects :mod:`repro.notary.query` defines — encoded as JSON
+objects, so a remote client can ask anything the in-process query tiers
+can answer and the store resolves it through the identical four-tier
+path (index counters → vectorized → shape-compiled → scan).
+
+Predicate grammar (``op`` selects the node type)::
+
+    {"op": "version",    "value": "TLSv12"}      NegotiatedVersion
+    {"op": "mode",       "value": "AEAD"}        NegotiatedMode
+    {"op": "kex",        "value": "ECDHE"}       NegotiatedKex (by name)
+    {"op": "aead",       "value": "AES128-GCM"}  NegotiatedAead
+    {"op": "advertises", "value": "rc4"}         Advertises
+    {"op": "established", "value": true}         Established (value optional)
+    {"op": "all", "args": [P, ...]}              All(*children)
+    {"op": "any", "args": [P, ...]}              AnyOf(*children)
+    {"op": "not", "arg": P}                      Not(child)
+
+Value functions (for ``weighted_mean``)::
+
+    {"op": "position_of", "tag": "aead"}         PositionOf
+
+Query documents (``POST /query`` bodies)::
+
+    {"kind": "fraction",      "predicate": P, "within": P|null, "month": "YYYY-MM-DD"|null}
+    {"kind": "weight",        "predicate": P, "month": ...}
+    {"kind": "total_weight",  "month": ...}
+    {"kind": "weighted_mean", "value": V, "month": ...}
+
+``month: null`` answers the whole series (one ``[iso-month, value]``
+pair per store month).  Anything malformed — wrong types, unknown ops,
+unknown keys, bad dates, excessive nesting — raises :class:`QueryError`,
+which the server maps to HTTP 400; the query never reaches the store.
+
+Float fidelity: results are serialized with the stdlib ``json`` encoder,
+whose float formatting is ``repr``-based (shortest string that parses
+back to the identical double).  A served value therefore equals the
+in-process value *exactly* after the round trip — the property the
+differential suite asserts.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.notary import query as _q
+from repro.tls.ciphers import KexFamily
+
+#: Version of the HTTP API surface (response envelope ``api`` field);
+#: bump on any backwards-incompatible endpoint or grammar change.
+API_VERSION = 1
+
+#: Depth/width caps: a query is a few combinators, not a program.
+MAX_DEPTH = 32
+MAX_CHILDREN = 64
+
+#: The query kinds ``execute_query`` understands, in documentation order.
+QUERY_KINDS = ("fraction", "weight", "total_weight", "weighted_mean")
+
+_QUERY_KEYS = frozenset({"kind", "month", "predicate", "within", "value"})
+
+_LEAF_OPS = {
+    "version": _q.NegotiatedVersion,
+    "mode": _q.NegotiatedMode,
+    "aead": _q.NegotiatedAead,
+    "advertises": _q.Advertises,
+}
+
+
+class QueryError(ValueError):
+    """A malformed query document; the server answers HTTP 400."""
+
+
+def decode_predicate(spec, depth: int = 0):
+    """A query-module predicate from its JSON encoding (or raise)."""
+    if depth > MAX_DEPTH:
+        raise QueryError(f"predicate nesting exceeds {MAX_DEPTH} levels")
+    if not isinstance(spec, dict):
+        raise QueryError(
+            f"predicate must be a JSON object, got {type(spec).__name__}"
+        )
+    op = spec.get("op")
+    if not isinstance(op, str) or not op:
+        raise QueryError("predicate needs a non-empty string 'op'")
+    if op in _LEAF_OPS:
+        value = spec.get("value")
+        if not isinstance(value, str) or not value:
+            raise QueryError(f"op {op!r} needs a non-empty string 'value'")
+        return _LEAF_OPS[op](value)
+    if op == "kex":
+        value = spec.get("value")
+        try:
+            family = KexFamily[value]
+        except (KeyError, TypeError):
+            raise QueryError(
+                f"unknown kex family {value!r}; choose from "
+                f"{[family.name for family in KexFamily]}"
+            ) from None
+        return _q.NegotiatedKex(family)
+    if op == "established":
+        value = spec.get("value", True)
+        if not isinstance(value, bool):
+            raise QueryError("op 'established' takes a boolean 'value'")
+        return _q.Established(value)
+    if op in ("all", "any"):
+        args = spec.get("args")
+        if not isinstance(args, list):
+            raise QueryError(f"op {op!r} needs a list 'args'")
+        if len(args) > MAX_CHILDREN:
+            raise QueryError(f"op {op!r} exceeds {MAX_CHILDREN} children")
+        children = [decode_predicate(child, depth + 1) for child in args]
+        return (_q.All if op == "all" else _q.AnyOf)(*children)
+    if op == "not":
+        arg = spec.get("arg")
+        if arg is None:
+            raise QueryError("op 'not' needs an 'arg' predicate")
+        return _q.Not(decode_predicate(arg, depth + 1))
+    raise QueryError(f"unknown predicate op {op!r}")
+
+
+def decode_value(spec):
+    """A ``weighted_mean`` value function from its JSON encoding."""
+    if not isinstance(spec, dict):
+        raise QueryError(
+            f"value function must be a JSON object, got {type(spec).__name__}"
+        )
+    if spec.get("op") != "position_of":
+        raise QueryError(
+            f"unknown value-function op {spec.get('op')!r} "
+            "(only 'position_of' is defined)"
+        )
+    tag = spec.get("tag")
+    if not isinstance(tag, str) or not tag:
+        raise QueryError("op 'position_of' needs a non-empty string 'tag'")
+    return _q.PositionOf(tag)
+
+
+def decode_month(raw) -> _dt.date | None:
+    """A month date from its ISO encoding; ``None`` passes through."""
+    if raw is None:
+        return None
+    if not isinstance(raw, str):
+        raise QueryError(f"month must be a 'YYYY-MM-DD' string, got {raw!r}")
+    try:
+        return _dt.date.fromisoformat(raw)
+    except ValueError:
+        raise QueryError(f"month {raw!r} is not a YYYY-MM-DD date") from None
+
+
+def execute_query(store, spec) -> dict:
+    """Decode one query document and answer it from ``store``.
+
+    Returns a JSON-safe result dict; raises :class:`QueryError` before
+    touching the store when the document is malformed.  All aggregation
+    goes through the store's public query methods, so the four-tier
+    answer path (and its float-identity guarantee) applies unchanged.
+    """
+    if not isinstance(spec, dict):
+        raise QueryError(
+            f"query must be a JSON object, got {type(spec).__name__}"
+        )
+    unknown = set(spec) - _QUERY_KEYS
+    if unknown:
+        raise QueryError(f"unknown query key(s) {sorted(unknown)}")
+    kind = spec.get("kind")
+    month = decode_month(spec.get("month"))
+
+    if kind == "total_weight":
+        return _answer(kind, month, store, store.total_weight)
+    if kind == "weighted_mean":
+        value = decode_value(spec.get("value"))
+        return _answer(kind, month, store, lambda m: store.weighted_mean(m, value))
+    if kind in ("fraction", "weight"):
+        predicate = decode_predicate(spec.get("predicate"))
+        within_spec = spec.get("within")
+        if kind == "weight":
+            if within_spec is not None:
+                raise QueryError("kind 'weight' does not take 'within'")
+            return _answer(
+                kind, month, store, lambda m: store.weight_where(m, predicate)
+            )
+        within = (
+            decode_predicate(within_spec) if within_spec is not None else None
+        )
+        return _answer(
+            kind, month, store, lambda m: store.fraction(m, predicate, within)
+        )
+    raise QueryError(
+        f"unknown query kind {kind!r}; choose from {list(QUERY_KINDS)}"
+    )
+
+
+def _answer(kind: str, month: _dt.date | None, store, fn) -> dict:
+    """One month's value, or the whole series when ``month`` is null."""
+    if month is None:
+        return {
+            "kind": kind,
+            "series": [[m.isoformat(), fn(m)] for m in store.months()],
+        }
+    return {"kind": kind, "month": month.isoformat(), "value": fn(month)}
+
+
+def encode_series(series) -> dict:
+    """A figure's ``{label: [(date, value), ...]}`` as JSON-safe lists."""
+    return {
+        label: [[m.isoformat(), v] for m, v in points]
+        for label, points in series.items()
+    }

@@ -1,0 +1,131 @@
+"""Self-test for the load-test harness against an ephemeral server.
+
+A tiny window (5 packed months) on a port-0 server, a small budget of
+real concurrent requests, and the three assertions that make the bench
+trustworthy: the report carries the full percentile/RPS schema, zero
+requests errored, and the server-side max-in-flight gauge proves the
+load actually overlapped instead of serializing at the client.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.partition import PackedDataset, pack_records
+from repro.notary.store import NotaryStore
+from repro.serve import loadtest
+from repro.serve.server import start_server
+
+#: Every key a loadtest report must carry (bench + CLI consumers).
+REPORT_KEYS = {
+    "url",
+    "requests",
+    "concurrency",
+    "errors",
+    "wall_seconds",
+    "rps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "max_ms",
+    "statuses",
+    "max_in_flight",
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_server(early_window_store):
+    store = NotaryStore()
+    store.attach_packed(
+        PackedDataset(pack_records(early_window_store.records()))
+    )
+    handle = start_server(store=store)
+    yield handle
+    handle.close()
+
+
+def test_report_schema_zero_errors_real_concurrency(tiny_server):
+    report = loadtest.run_loadtest(
+        tiny_server.url, requests=400, concurrency=8
+    )
+    assert set(report) == REPORT_KEYS
+    assert report["requests"] == 400
+    assert report["concurrency"] == 8
+    assert report["errors"] == 0
+    assert report["statuses"] == {"200": 400}
+    assert report["wall_seconds"] > 0
+    assert report["rps"] > 0
+    # Percentiles are real latencies in sane order.
+    assert 0 < report["p50_ms"] <= report["p95_ms"] <= report["p99_ms"]
+    assert report["p99_ms"] <= report["max_ms"]
+    # The server saw overlapping requests — the client really was
+    # concurrent, not a loop with extra threads.
+    assert report["max_in_flight"] > 1
+
+
+def test_loadtest_counts_http_errors(tiny_server):
+    report = loadtest.run_loadtest(
+        tiny_server.url,
+        requests=10,
+        concurrency=2,
+        workload=[("GET", "/no-such-route", None)],
+    )
+    assert report["errors"] == 10
+    assert report["statuses"] == {"404": 10}
+
+
+def test_requests_split_exactly_across_threads():
+    assert loadtest._split_shares(10, 3) == [4, 3, 3]
+    assert loadtest._split_shares(3, 8) == [1, 1, 1, 0, 0, 0, 0, 0]
+    assert sum(loadtest._split_shares(2001, 32)) == 2001
+
+
+def test_nearest_rank_percentile():
+    values = [float(v) for v in range(1, 101)]
+    assert loadtest.percentile(values, 50) == 50.0
+    assert loadtest.percentile(values, 95) == 95.0
+    assert loadtest.percentile(values, 99) == 99.0
+    assert loadtest.percentile(values, 100) == 100.0
+    assert loadtest.percentile([7.0], 99) == 7.0
+    assert loadtest.percentile([], 99) == 0.0
+
+
+def test_cli_loadtest_json_report(tiny_server, capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "loadtest",
+            tiny_server.url,
+            "--requests",
+            "64",
+            "--concurrency",
+            "4",
+            "--json",
+        ]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert set(report) == REPORT_KEYS
+    assert report["errors"] == 0
+
+
+def test_cli_loadtest_exit_code_on_errors(tiny_server, capsys):
+    from repro.cli import main
+    from repro.serve import loadtest as lt
+
+    # Point the default workload at a 404 for this invocation only.
+    original = lt.default_workload
+    lt.default_workload = lambda: [("GET", "/broken", None)]
+    try:
+        code = main(
+            ["loadtest", tiny_server.url, "--requests", "8",
+             "--concurrency", "2"]
+        )
+    finally:
+        lt.default_workload = original
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "errors" in out

@@ -58,10 +58,23 @@ GOLDEN_SPAN = {
     "parent": (str, type(None)),
 }
 
+#: Schema 5: the serve counters every document must now carry inside
+#: ``counters`` (the resident server's request accounting), with the
+#: per-route latency ledger as a dict.
+GOLDEN_SERVE_COUNTERS = {
+    "http_requests": int,
+    "http_errors": int,
+    "http_route_latency": dict,
+}
+
 #: The version these golden dicts describe.  If you bumped STATS_SCHEMA
 #: without updating the golden structure (or vice versa), the mismatch
 #: fails here with instructions rather than silently downstream.
-GOLDEN_SCHEMA_VERSION = 4
+GOLDEN_SCHEMA_VERSION = 5
+
+#: Every schema revision this repo has ever published; consumers and
+#: the metrics validator keep accepting all of them.
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 
 @pytest.fixture(autouse=True)
@@ -122,6 +135,10 @@ class TestGoldenStructure:
             "file to describe the new layout, then set "
             "GOLDEN_SCHEMA_VERSION to match"
         )
+        assert GOLDEN_SCHEMA_VERSION == KNOWN_SCHEMA_VERSIONS[-1], (
+            "append the new version to KNOWN_SCHEMA_VERSIONS — "
+            "earlier schemas stay accepted, never replaced"
+        )
 
     def test_top_level_shape(self, capsys, small_model):
         document = stats_document(capsys)
@@ -139,6 +156,55 @@ class TestGoldenStructure:
         assert set(document["counters"]) == set(
             PerfCounters.__dataclass_fields__
         )
+
+    def test_schema5_serve_counters_present(self, capsys, small_model):
+        """Schema 5 golden case: the serve fields exist with their
+        pinned types even in a process that never served a request —
+        consumers can rely on the keys, not probe for them."""
+        document = stats_document(capsys)
+        assert document["schema"] == 5
+        counters = document["counters"]
+        for key, types in GOLDEN_SERVE_COUNTERS.items():
+            assert key in counters, f"counters.{key} missing (schema 5)"
+            assert isinstance(counters[key], types)
+        assert counters["http_requests"] == 0
+        assert counters["http_route_latency"] == {}
+
+    def test_schema5_route_ledger_shape_after_serving(
+        self, capsys, small_model
+    ):
+        """After real served traffic the ledger carries per-route
+        entries with the pinned keys."""
+        from repro.engine.partition import PackedDataset, pack_records
+        from repro.notary.store import NotaryStore
+        from repro.serve.server import start_server
+        from repro.serve.loadtest import run_loadtest
+
+        packed = NotaryStore()
+        packed.attach_packed(
+            PackedDataset(pack_records(small_model.passive_store().records()))
+        )
+        handle = start_server(store=packed)
+        try:
+            report = run_loadtest(handle.url, requests=40, concurrency=4)
+        finally:
+            handle.close()
+        assert report["errors"] == 0
+        capsys.readouterr()  # drop any earlier output
+        document = stats_document(capsys)
+        counters = document["counters"]
+        assert counters["http_requests"] >= 40
+        for route, entry in counters["http_route_latency"].items():
+            assert isinstance(route, str)
+            assert {
+                "count",
+                "errors",
+                "total_seconds",
+                "max_seconds",
+                "samples",
+            } == set(entry), f"route ledger keys changed for {route}"
+            assert entry["count"] >= 1
+            assert len(entry["samples"]) <= entry["count"]
 
     def test_trace_and_span_shape(self, capsys, small_model):
         document = stats_document(capsys)
