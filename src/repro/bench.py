@@ -712,6 +712,82 @@ def bench_serve_loadtest(ctx: BenchContext) -> dict:
     }
 
 
+def _scale_ingest_probe(scale: int, conn) -> None:
+    """Child half of ``scale.ingest``: pack one month at ``scale``.
+
+    Runs in a **spawned** process so ``ru_maxrss`` is this run's own
+    peak (a forked child would inherit the parent's high-water mark and
+    the ratio would always read 1).
+    """
+    import resource
+
+    from repro.clients.population import default_population
+    from repro.engine import runner
+    from repro.servers import ServerPopulation
+
+    started = time.perf_counter()
+    store = runner.run_expectation(
+        default_population(), ServerPopulation(),
+        WINDOW_START, WINDOW_START, workers=0, scale=scale,
+    )
+    wall = time.perf_counter() - started
+    conn.send({
+        "records": len(store),
+        "wall_seconds": wall,
+        "rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    })
+    conn.close()
+
+
+def bench_scale_ingest(ctx: BenchContext) -> dict:
+    """Streaming-ingest throughput and memory under dataset scale.
+
+    Two spawned probes each pack one month serially through the
+    generator → ``StreamPacker`` stream — at scale 1 and at scale 50.
+    Gated numbers: packed records/second at scale 50 (throughput of
+    the ingest path itself) and the scale-50 / scale-1 peak-RSS ratio.
+    Streaming keeps the ratio near 1 because only the packed columns
+    grow; materializing a month's record objects first would push it
+    toward the scale factor, which is exactly the regression this
+    bench exists to catch.
+    """
+    import multiprocessing as mp
+
+    mp_ctx = mp.get_context("spawn")
+    probes: dict[int, dict] = {}
+    for scale in (1, 50):
+        parent, child = mp_ctx.Pipe(duplex=False)
+        proc = mp_ctx.Process(
+            target=_scale_ingest_probe, args=(scale, child), daemon=True
+        )
+        proc.start()
+        child.close()
+        result = parent.recv() if parent.poll(600) else None
+        proc.join(timeout=30)
+        if proc.is_alive():
+            proc.terminate()
+        parent.close()
+        if result is None:
+            return {"skipped": f"scale-{scale} ingest probe died"}
+        probes[scale] = result
+    base, scaled = probes[1], probes[50]
+    wall = scaled["wall_seconds"]
+    return {
+        "wall_seconds": wall,
+        "records_per_second": scaled["records"] / wall if wall > 0 else None,
+        "counters": {
+            "records_scale1": base["records"],
+            "records_scale50": scaled["records"],
+            "rss_kb_scale1": base["rss_kb"],
+            "rss_kb_scale50": scaled["rss_kb"],
+        },
+        "anchors": None,
+        "metrics": {
+            "scale_rss_ratio": scaled["rss_kb"] / max(base["rss_kb"], 1),
+        },
+    }
+
+
 #: name -> (in the --quick subset, callable).  Order is run order.
 BENCHES: dict[str, tuple[bool, callable]] = {
     "substrate.encode_hello": (True, bench_encode_hello),
@@ -723,6 +799,7 @@ BENCHES: dict[str, tuple[bool, callable]] = {
     "anchors.fig1": (True, bench_anchors_fig1),
     "query.paths": (True, bench_query_paths),
     "serve.loadtest": (True, bench_serve_loadtest),
+    "scale.ingest": (True, bench_scale_ingest),
     "engine.parallel": (False, bench_engine_parallel),
     "obs.overhead": (False, bench_obs_overhead),
     "query.vector": (False, bench_query_vector),

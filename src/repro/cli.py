@@ -37,9 +37,15 @@ Engine flags (global, before the command): ``--workers N`` shards the
 expectation run across N processes (``REPRO_WORKERS``; 0 = serial),
 ``--no-cache`` disables the persistent dataset cache, ``--rebuild``
 ignores and overwrites any cached dataset, ``--resume`` picks a killed
-run back up from its month checkpoints, and ``--faults SPEC`` injects
+run back up from its month checkpoints, ``--faults SPEC`` injects
 deterministic faults (``worker_crash:0.1,chunk_hang:0.05,seed:42`` —
-see :mod:`repro.engine.faults`) to exercise the recovery paths.
+see :mod:`repro.engine.faults`) to exercise the recovery paths, and
+``--scale N`` (``REPRO_SCALE``) multiplies per-month record counts by N
+at ``weight/N`` — record volume scales, aggregates stay put, and the
+streaming ingest path keeps resident memory bounded (``--scale 1`` is
+the seed dataset exactly).  Note ``bench``'s own ``--scale`` (after the
+subcommand) is the micro-bench *iteration* multiplier, a different
+knob.
 
 Observability (:mod:`repro.obs`): ``--verbose`` (or ``REPRO_LOG_LEVEL``)
 turns on the ``repro.*`` diagnostic loggers on stderr; ``--metrics
@@ -77,6 +83,7 @@ def _model(args: argparse.Namespace | None = None):
         rebuild=getattr(args, "rebuild", False),
         faults=getattr(args, "faults", None),
         resume=True if getattr(args, "resume", False) else None,
+        scale=getattr(args, "scale", None),
     )
 
 
@@ -337,7 +344,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         run = bench.run_benches(
             args.benches or None,
             quick=args.quick,
-            scale=args.scale,
+            scale=args.bench_scale,
             profile_mode=getattr(args, "profile", None),
         )
     except ValueError as exc:
@@ -397,6 +404,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 rebuild=getattr(args, "rebuild", False),
                 faults=getattr(args, "faults", None),
                 resume=True if getattr(args, "resume", False) else None,
+                scale=getattr(args, "scale", None),
             )
         else:
             model = _model(args)
@@ -465,6 +473,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SPEC",
         help="inject deterministic faults, e.g. "
              "'worker_crash:0.1,chunk_hang:0.05,seed:42' (REPRO_FAULTS)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None, metavar="N",
+        help="dataset scale: emit every expectation record N times at "
+             "weight/N — record counts multiply, aggregates stay put "
+             "(REPRO_SCALE; default 1 = the seed dataset exactly)",
     )
     parser.add_argument(
         "--verbose", "-v", action="store_true",
@@ -601,8 +615,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="the CI subset: micro-benches, serial engine, anchors",
     )
     p_bench.add_argument(
-        "--scale", type=float, default=1.0, metavar="X",
-        help="multiply micro-bench iteration counts by X (default 1.0)",
+        "--scale", dest="bench_scale", type=float, default=1.0, metavar="X",
+        help="multiply micro-bench iteration counts by X (default 1.0; "
+             "distinct from the global --scale dataset knob)",
     )
     p_bench.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -684,6 +699,10 @@ def main(argv: list[str] | None = None) -> int:
     # keeps worker processes and in-process chained commands consistent.
     if getattr(args, "metrics", None):
         os.environ["REPRO_METRICS_PATH"] = args.metrics
+    # Same env installation for the dataset scale: subprocesses the
+    # command spawns (bench probes, serve reloads) see the flag too.
+    if getattr(args, "scale", None) is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
     # Each CLI invocation's metrics history starts clean (first call in
     # a process rotates any pre-existing sink file; chained in-process
     # commands keep appending to the fresh one).  ``trace`` is a pure

@@ -10,12 +10,34 @@ months.
 Layout under the cache directory (``REPRO_CACHE_DIR``, default
 ``~/.cache/repro``):
 
-* ``expectation-<key>.bin`` — one blob per dataset: a zlib-compressed
-  pickle of a :mod:`repro.engine.partition` payload plus metadata,
-  sealed by a 16-byte integrity footer (magic, CRC32, length).  Any
-  truncation, bit flip, or format skew fails the footer or payload
-  check, the file is **deleted**, and the load degrades to a miss —
-  a bad blob is never left to fail every future run.
+* ``expectation-<key>.bin`` — one blob per dataset.  Two wire formats
+  share the name:
+
+  - **mmap format** (default for new saves, magic ``RPM1``): a fixed
+    header, a zlib-compressed pickle of the *metadata envelope* (key,
+    run meta, aggregate indexes, shape table/matrix, per-month shape
+    summaries, column descriptors), then the month columns as raw
+    little-endian bytes.  Loads ``mmap`` the file and cast
+    ``memoryview`` slices over the column region — a 100×-scale
+    dataset opens in O(metadata) time and the OS pages column bytes
+    in only as queries touch them.  The envelope carries its own
+    CRC32 (always verified); the column region's CRC is verified
+    eagerly only when the region is small (or ``REPRO_CACHE_VERIFY=1``
+    forces it), because checksumming gigabytes would page everything
+    in and defeat the point of mapping.
+  - **legacy pickle format** (magic-less, footer-sealed): a
+    zlib-compressed pickle of the whole payload plus a 16-byte
+    integrity footer (magic, CRC32, length).  Still written for
+    payloads the raw layout cannot carry (day columns) or when
+    ``REPRO_CACHE_FORMAT=pickle``, and still read forever — old blobs
+    keep loading without a rebuild.
+
+  Either way, any truncation, bit flip, or format skew fails a CRC or
+  payload check, the file is **deleted**, and the load degrades to a
+  miss — a bad blob is never left to fail every future run.
+  :func:`peek_meta` reads just the envelope (header + a small pickle
+  for mmap blobs; whole-blob fallback for legacy ones) so callers
+  needing only summaries/metadata never inflate month columns.
 * ``expectation-<key>.lock`` — advisory build lock: two processes
   racing to build the same dataset coordinate so one simulates and the
   other waits for the blob (stale locks from dead builders are broken
@@ -47,6 +69,7 @@ from __future__ import annotations
 
 import contextlib
 import datetime as _dt
+import gc
 import hashlib
 import os
 import pickle
@@ -61,6 +84,7 @@ from repro.engine.partition import (
     PARTITION_FORMAT,
     PackedDataset,
     pack_records,
+    remap_month,
     validate_payload,
 )
 from repro.engine.perf import PERF
@@ -77,11 +101,45 @@ CACHE_FORMAT = 3
 _FOOTER_MAGIC = b"RPRC"
 _FOOTER = struct.Struct("<4sIQ")
 
+#: mmap-format blob: magic + cache format + envelope length + envelope
+#: CRC32, followed by the compressed envelope pickle, followed by the
+#: raw column region (descriptor offsets are relative to region start).
+_MMAP_MAGIC = b"RPM1"
+_MMAP_HEADER = struct.Struct("<4sIQI")
+
+#: Column regions up to this size get their CRC verified at load time;
+#: larger regions skip the eager check (it would page the whole file
+#: in) unless ``REPRO_CACHE_VERIFY=1`` insists.
+_EAGER_VERIFY_BYTES = 64 * 1024 * 1024
+
 #: Default LRU size cap for ``expectation-*.bin`` blobs.
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
 
 #: A build lock older than this is assumed to belong to a dead process.
 DEFAULT_LOCK_STALE_SECONDS = 600.0
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Pause the cyclic GC for the duration of a blob unpickle.
+
+    Inflating a cached dataset allocates tens of thousands of objects
+    in one burst; every allocation-threshold crossing runs a collection
+    whose cost scales with the *resident* object population, not the
+    garbage — in a process that just finished a run this doubles or
+    triples load time.  The cache graph is pure acyclic data (arrays,
+    dicts, tuples, bytes), so deferring collection is safe: anything
+    cyclic elsewhere is picked up by the next natural collection after
+    re-enabling.  If a concurrent pause re-enables early we merely lose
+    the optimisation, never correctness.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def cache_dir() -> Path:
@@ -91,19 +149,22 @@ def cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-def dataset_key(clients, servers, start: _dt.date, end: _dt.date) -> str:
+def dataset_key(
+    clients, servers, start: _dt.date, end: _dt.date, scale: int = 1
+) -> str:
     """Content hash of everything the expectation dataset depends on.
 
     Population objects are plain dataclass trees of primitives, so their
     ``repr`` is a deterministic, address-free description; the server
     side additionally hashes the archetype table and share curves, which
     live as module constants outside the ``ServerPopulation`` instance.
+    The dataset scale joins the hash only when it is not 1, so every
+    pre-``--scale`` blob (and checkpoint tree) keeps its key.
     """
     from repro.servers import archetypes as arch
     from repro.servers.population import _HOST_SHARES, _TRAFFIC_SHARES
 
-    digest = hashlib.sha256()
-    for part in (
+    parts = [
         f"cache-format:{CACHE_FORMAT}",
         f"partition-format:{PARTITION_FORMAT}",
         start.isoformat(),
@@ -113,7 +174,11 @@ def dataset_key(clients, servers, start: _dt.date, end: _dt.date) -> str:
         repr(arch.ALL_ARCHETYPES),
         repr(sorted(_TRAFFIC_SHARES.items())),
         repr(sorted(_HOST_SHARES.items())),
-    ):
+    ]
+    if scale != 1:
+        parts.append(f"scale:{scale}")
+    digest = hashlib.sha256()
+    for part in parts:
         digest.update(part.encode("utf-8"))
         digest.update(b"\x00")
     return digest.hexdigest()
@@ -192,6 +257,525 @@ def _delete_corrupt(path: Path) -> None:
         _log.warning("could not delete corrupt blob %s: %s", path, exc)
 
 
+# ---- mmap-format blob I/O ---------------------------------------------------
+
+
+def _mmap_format_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE_FORMAT", "").strip().lower() != "pickle"
+
+
+def _mmap_packable(records: dict) -> bool:
+    """Whether the payload fits the raw column layout.
+
+    Day columns (Monte-Carlo months) are ragged ``None``-bearing lists
+    with no fixed-width representation; such payloads stay on the
+    legacy pickle format.
+    """
+    return all(
+        columns.get("days") is None for columns in records["months"].values()
+    )
+
+
+def _column_bytes(column) -> tuple[bytes, str, int]:
+    """Raw bytes + typecode + itemsize of an array or memoryview column."""
+    if isinstance(column, memoryview):
+        return column.tobytes(), column.format, column.itemsize
+    return column.tobytes(), column.typecode, column.itemsize
+
+
+class _PayloadSource:
+    """Adapts an in-memory packed payload to the streaming blob writer."""
+
+    def __init__(self, records: dict) -> None:
+        self._records = records
+        self.partition_format = records["format"]
+        self.shapes = records["shapes"]
+
+    def months(self):
+        for month_ord in sorted(self._records["months"]):
+            yield month_ord, self._records["months"][month_ord]
+
+    def shape_matrix(self):
+        return self._records.get("shape_matrix")
+
+
+class _MergeSource:
+    """Adapts a streaming :class:`~repro.engine.partition.PackedMerge`.
+
+    ``shapes`` is the merge's live table — complete once ``months()``
+    is exhausted, which is exactly when the writer reads it.
+    """
+
+    def __init__(self, merge) -> None:
+        from repro.engine.partition import PARTITION_FORMAT
+
+        self._merge = merge
+        self.partition_format = PARTITION_FORMAT
+        self.shapes = merge.shapes
+
+    def months(self):
+        return self._merge.months()
+
+    def shape_matrix(self):
+        from repro.engine.partition import build_shape_matrix
+
+        return build_shape_matrix(self._merge.shapes)
+
+
+def _seal_mmap_blob(
+    path: Path, key: str, meta: dict, indexes: dict, partition_env: dict,
+    descriptors: dict, columns_len: int, columns_crc: int, splice,
+    fault_token: str,
+) -> Path | None:
+    """Write header + envelope, then let ``splice(out)`` append the raw
+    column region; atomic rename at the end.  None on (swallowed)
+    failure — a cache that cannot be written must never take the
+    computed result down with it."""
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "meta": meta,
+            "indexes": indexes,
+            "partition": partition_env,
+            "columns": descriptors,
+            "columns_len": columns_len,
+            "columns_crc": columns_crc,
+        }
+        meta_blob = zlib.compress(
+            pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        header = _MMAP_HEADER.pack(
+            _MMAP_MAGIC, CACHE_FORMAT, len(meta_blob), zlib.crc32(meta_blob)
+        )
+        if faults.fires("cache_write", fault_token):
+            # Header CRC was computed from the intact envelope, so the
+            # torn write this simulates must fail the meta CRC check.
+            meta_blob = faults.corrupt_blob(meta_blob)
+        with open(tmp, "wb") as out:
+            out.write(header)
+            out.write(meta_blob)
+            splice(out)
+        os.replace(tmp, path)
+        return path
+    except OSError as exc:
+        PERF.cache_write_failures += 1
+        _log.warning("cache write of %s failed: %s", path, exc)
+        emit_event("cache_write_failure", path=str(path), error=str(exc))
+        return None
+
+
+def _write_mmap_blob(
+    path: Path, key: str, meta: dict, source, indexes: dict,
+    fault_token: str,
+) -> Path | None:
+    """Atomically write an mmap-format blob; None on (swallowed) failure.
+
+    The metadata envelope (everything except raw column bytes) is one
+    compressed pickle up front, so readers that only need summaries or
+    run metadata never touch the column region.
+
+    ``source`` yields months one at a time (``months()``) and exposes
+    ``shapes`` / ``shape_matrix()`` once exhausted.  Column bytes
+    stream through a sibling temp file as each month arrives — peak
+    resident cost is one month's columns, never the dataset — and the
+    region is then spliced behind the envelope in bounded chunks.
+    """
+    region_tmp = path.with_name(path.name + f".col{os.getpid()}")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptors: dict[int, dict] = {}
+        summaries: dict[int, dict] = {}
+        offset = 0
+        crc = 0
+        with open(region_tmp, "wb") as region:
+            for month_ord, columns in source.months():
+                descr: dict[str, dict] = {}
+                for name in ("weights", "shape_idx"):
+                    raw, typecode, itemsize = _column_bytes(columns[name])
+                    descr[name] = {
+                        "offset": offset,
+                        "typecode": typecode,
+                        "itemsize": itemsize,
+                        "count": len(columns[name]),
+                    }
+                    region.write(raw)
+                    crc = zlib.crc32(raw, crc)
+                    offset += len(raw)
+                descriptors[month_ord] = descr
+                summaries[month_ord] = columns.get("shape_summary")
+
+        def splice(out) -> None:
+            with open(region_tmp, "rb") as region:
+                shutil.copyfileobj(region, out, 8 * 1024 * 1024)
+
+        return _seal_mmap_blob(
+            path, key, meta, indexes,
+            {
+                "format": source.partition_format,
+                "shapes": source.shapes,
+                "shape_matrix": source.shape_matrix(),
+                "summaries": summaries,
+            },
+            descriptors, offset, crc, splice, fault_token,
+        )
+    except OSError as exc:
+        PERF.cache_write_failures += 1
+        _log.warning("cache write of %s failed: %s", path, exc)
+        emit_event("cache_write_failure", path=str(path), error=str(exc))
+        return None
+    finally:
+        with contextlib.suppress(OSError):
+            region_tmp.unlink()
+
+
+class SpillError(OSError):
+    """A month failed to reach the spill region (disk trouble).
+
+    The spill truncates itself back to the last sealed month before
+    raising, so the caller can salvage everything already spilled and
+    continue in memory.
+    """
+
+
+class BlobSpill:
+    """Out-of-core sink for sealed month partitions.
+
+    The parallel runner feeds finished chunk payloads in as they
+    arrive: each month's shape indices are remapped into one growing
+    shape table (:func:`repro.engine.partition.remap_month` — weights
+    carry float for float, summaries translate bit for bit) and its
+    raw column bytes are appended to an anonymous temp file with an
+    incremental CRC.  Only the shape table, per-month summaries, and
+    column descriptors stay resident; the columns themselves live on
+    disk from the moment the chunk is adopted.
+
+    :meth:`finish_payload` then mmaps the region and returns a payload
+    whose columns are ``memoryview`` casts over the map — the run's
+    store is out-of-core from the moment it exists, and nothing during
+    the run reads the mapped bytes back (indexes are prebuilt from the
+    resident chunk, queries come later, in other processes).
+    :func:`save_store` recognizes a spill-backed store and splices the
+    region file behind a metadata envelope fd-to-fd, so sealing the
+    cache blob never pages a column byte in either.
+    """
+
+    def __init__(self) -> None:
+        import tempfile
+
+        # Unlinked on creation: a killed run leaks nothing, and the
+        # mmap (plus our fd) keeps the bytes alive as long as needed.
+        self._region = tempfile.TemporaryFile()
+        self.shapes: list = []
+        self._shape_index: dict = {}
+        self.descriptors: dict[int, dict] = {}
+        self.summaries: dict[int, dict] = {}
+        self.columns_len = 0
+        self.columns_crc = 0
+        self._mapped = None
+        self._payload: dict | None = None
+
+    def add_payload(self, payload: dict) -> None:
+        """Spill every month of one packed payload (idempotent per month).
+
+        Raises :class:`SpillError` (after truncating back to the last
+        sealed month) if the region write fails, and ``ValueError`` for
+        payloads the raw layout cannot carry (day columns) — the
+        expectation runner never produces those.
+        """
+        if payload.get("format") != PARTITION_FORMAT:
+            raise ValueError(
+                f"unsupported partition format: {payload.get('format')!r}"
+            )
+        for month_ord in sorted(payload["months"]):
+            columns = payload["months"][month_ord]
+            if month_ord in self.descriptors:
+                continue  # idempotent re-adoption (resume/retry overlap)
+            if columns["days"] is not None:
+                raise ValueError("day-carrying months cannot spill")
+            merged = remap_month(
+                columns, payload["shapes"], self.shapes, self._shape_index
+            )
+            raws = {
+                name: merged[name].tobytes()
+                for name in ("weights", "shape_idx")
+            }
+            descr: dict[str, dict] = {}
+            offset = self.columns_len
+            crc = self.columns_crc
+            try:
+                for name in ("weights", "shape_idx"):
+                    raw = raws[name]
+                    column = merged[name]
+                    descr[name] = {
+                        "offset": offset,
+                        "typecode": column.typecode,
+                        "itemsize": column.itemsize,
+                        "count": len(column),
+                    }
+                    self._region.write(raw)
+                    crc = zlib.crc32(raw, crc)
+                    offset += len(raw)
+            except OSError as exc:
+                # Roll back to the last sealed month: descriptors/CRC
+                # were not advanced, so everything spilled so far stays
+                # consistent and salvageable.
+                with contextlib.suppress(OSError):
+                    self._region.truncate(self.columns_len)
+                    self._region.seek(self.columns_len)
+                raise SpillError(str(exc)) from exc
+            self.descriptors[month_ord] = descr
+            self.summaries[month_ord] = merged["shape_summary"]
+            self.columns_len = offset
+            self.columns_crc = crc
+
+    def finish_payload(self) -> dict:
+        """The spilled dataset as a payload over mmap-backed columns.
+
+        Mirrors the month structure :func:`_read_mmap_blob` builds, so
+        the store (and every query tier) cannot tell a just-simulated
+        spill-backed dataset from a cache-loaded one.  Memoized: the
+        runner and any salvage path see the same object.
+        """
+        import mmap as _mmap_mod
+
+        from repro.engine.partition import build_shape_matrix
+
+        if self._payload is not None:
+            return self._payload
+        self._region.flush()
+        months: dict[int, dict] = {}
+        region = None
+        if self.columns_len:
+            self._mapped = _mmap_mod.mmap(
+                self._region.fileno(), self.columns_len,
+                access=_mmap_mod.ACCESS_READ,
+            )
+            region = memoryview(self._mapped)
+        for month_ord, descr in self.descriptors.items():
+            columns: dict = {"days": None}
+            for name, spec in descr.items():
+                end = spec["offset"] + spec["count"] * spec["itemsize"]
+                columns[name] = region[spec["offset"]:end].cast(
+                    spec["typecode"]
+                )
+            columns["shape_summary"] = self.summaries[month_ord]
+            months[month_ord] = columns
+        self._payload = {
+            "format": PARTITION_FORMAT,
+            "shapes": self.shapes,
+            "months": months,
+            "shape_matrix": build_shape_matrix(self.shapes),
+            "_mmap": self._mapped,
+            "_spill": self,
+        }
+        return self._payload
+
+    def splice_into(self, out) -> None:
+        """Append the raw column region to ``out``, fd to fd — file
+        pages flow through the page cache, not this process's heap."""
+        self._region.flush()
+        self._region.seek(0)
+        shutil.copyfileobj(self._region, out, 8 * 1024 * 1024)
+        self._region.seek(0, os.SEEK_END)
+
+
+def _write_spill_blob(
+    path: Path, key: str, meta: dict, spill: BlobSpill, indexes: dict,
+    fault_token: str,
+) -> Path | None:
+    """Seal a spill-backed store's blob by splicing its region file.
+
+    The envelope fields (shapes, summaries, descriptors, CRC) were all
+    accumulated while chunks were still resident, so this never reads
+    the mapped columns — peak cost is the envelope pickle.
+    """
+    from repro.engine.partition import build_shape_matrix
+
+    return _seal_mmap_blob(
+        path, key, meta, indexes,
+        {
+            "format": PARTITION_FORMAT,
+            "shapes": spill.shapes,
+            "shape_matrix": build_shape_matrix(spill.shapes),
+            "summaries": spill.summaries,
+        },
+        spill.descriptors, spill.columns_len, spill.columns_crc,
+        spill.splice_into, fault_token,
+    )
+
+
+def _sniff_magic(path: Path) -> bytes | None:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(_MMAP_MAGIC))
+    except OSError:
+        return None
+
+
+def _unpack_meta_blob(header: bytes, meta_blob: bytes) -> dict:
+    """Verify and decode an mmap blob's metadata envelope (raises on damage)."""
+    magic, fmt, meta_len, meta_crc = _MMAP_HEADER.unpack(header)
+    if magic != _MMAP_MAGIC:
+        raise ValueError("mmap blob lost its magic")
+    if fmt != CACHE_FORMAT:
+        raise ValueError(f"mmap blob has cache format {fmt}")
+    if len(meta_blob) != meta_len or zlib.crc32(meta_blob) != meta_crc:
+        raise ValueError("mmap blob failed envelope CRC")
+    return pickle.loads(zlib.decompress(meta_blob))
+
+
+def _verify_columns_eagerly(region_len: int) -> bool:
+    env = os.environ.get("REPRO_CACHE_VERIFY", "").strip()
+    if env == "1":
+        return True
+    if env == "0":
+        return False
+    return region_len <= _EAGER_VERIFY_BYTES
+
+
+def _read_mmap_blob(path: Path, fault_token: str) -> dict | None:
+    """Map an mmap-format blob; on any damage, delete it and return None.
+
+    The returned dict mirrors the legacy envelope (``format``/``key``/
+    ``meta``/``indexes``/``records``), but the records payload's month
+    columns are ``memoryview`` casts over the mapped file — ``_mmap``
+    inside the payload keeps the map alive as long as the payload is.
+    """
+    import mmap as _mmap_mod
+
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        _log.warning("cache blob %s unreadable: %s", path, exc)
+        return None
+    mapped = None
+    try:
+        try:
+            if faults.fires("cache_read", fault_token):
+                raise faults.InjectedFault(
+                    f"injected cache_read at {path.name}"
+                )
+            mapped = _mmap_mod.mmap(
+                handle.fileno(), 0, access=_mmap_mod.ACCESS_READ
+            )
+            view = memoryview(mapped)
+            header = bytes(view[: _MMAP_HEADER.size])
+            if len(header) < _MMAP_HEADER.size:
+                raise ValueError("mmap blob shorter than its header")
+            _, _, meta_len, _ = _MMAP_HEADER.unpack(header)
+            meta_end = _MMAP_HEADER.size + meta_len
+            envelope = _unpack_meta_blob(header, bytes(view[_MMAP_HEADER.size:meta_end]))
+            region = view[meta_end:]
+            if len(region) != envelope["columns_len"]:
+                raise ValueError("mmap blob column region truncated")
+            if _verify_columns_eagerly(len(region)):
+                if zlib.crc32(region) != envelope["columns_crc"]:
+                    raise ValueError("mmap blob failed column CRC")
+            partition = envelope["partition"]
+            months: dict[int, dict] = {}
+            for month_ord, descr in envelope["columns"].items():
+                columns: dict = {"days": None}
+                for name, spec in descr.items():
+                    end = spec["offset"] + spec["count"] * spec["itemsize"]
+                    columns[name] = region[spec["offset"]:end].cast(
+                        spec["typecode"]
+                    )
+                summary = partition["summaries"].get(month_ord)
+                if summary is not None:
+                    columns["shape_summary"] = summary
+                months[month_ord] = columns
+            records = {
+                "format": partition["format"],
+                "shapes": partition["shapes"],
+                "months": months,
+                "shape_matrix": partition.get("shape_matrix"),
+                # Keeps the map (and the casts into it) alive for the
+                # payload's lifetime; everything else ignores the key.
+                "_mmap": mapped,
+            }
+            return {
+                "format": envelope["format"],
+                "key": envelope["key"],
+                "meta": envelope.get("meta", {}),
+                "indexes": envelope.get("indexes", {}),
+                "records": records,
+            }
+        except Exception as exc:
+            if mapped is not None:
+                with contextlib.suppress(Exception):
+                    mapped.close()
+            PERF.cache_read_errors += 1
+            _log.warning(
+                "cache blob %s rejected (%s: %s); deleting",
+                path,
+                type(exc).__name__,
+                exc,
+            )
+            _delete_corrupt(path)
+            return None
+    finally:
+        handle.close()
+
+
+def peek_meta(key: str) -> dict | None:
+    """Load only a cached dataset's metadata: never inflates columns.
+
+    For mmap-format blobs this reads the header plus the compressed
+    envelope and stops — month columns stay on disk untouched.  Legacy
+    pickle blobs cannot be partially decoded, so they fall back to a
+    full (verified) read and the columns are simply dropped.  Returns
+    ``{"format", "key", "meta", "indexes", "months"}`` (months as
+    dates, ascending) or None on miss/corruption.
+    """
+    path = store_path(key)
+    token = f"peek:{key[:16]}"
+    magic = _sniff_magic(path)
+    if magic is None:
+        return None
+    if magic == _MMAP_MAGIC:
+        try:
+            with open(path, "rb") as handle:
+                if faults.fires("cache_read", token):
+                    raise faults.InjectedFault(
+                        f"injected cache_read at {path.name}"
+                    )
+                header = handle.read(_MMAP_HEADER.size)
+                if len(header) < _MMAP_HEADER.size:
+                    raise ValueError("mmap blob shorter than its header")
+                _, _, meta_len, _ = _MMAP_HEADER.unpack(header)
+                envelope = _unpack_meta_blob(header, handle.read(meta_len))
+        except FileNotFoundError:
+            return None
+        except Exception as exc:
+            PERF.cache_read_errors += 1
+            _log.warning(
+                "cache blob %s rejected (%s: %s); deleting",
+                path,
+                type(exc).__name__,
+                exc,
+            )
+            _delete_corrupt(path)
+            return None
+        months = sorted(envelope["columns"])
+    else:
+        envelope = _read_blob(path, token)
+        if envelope is None:
+            return None
+        months = sorted(envelope.get("records", {}).get("months", ()))
+    return {
+        "format": envelope.get("format"),
+        "key": envelope.get("key"),
+        "meta": envelope.get("meta", {}),
+        "indexes": envelope.get("indexes", {}),
+        "months": [_dt.date.fromordinal(o) for o in months],
+    }
+
+
 # ---- dataset blobs ----------------------------------------------------------
 
 
@@ -203,16 +787,56 @@ def save_store(store, key: str, meta: dict | None = None) -> Path | None:
     successful save triggers the LRU size sweep.
     """
     with span("cache_save", key=key[:16]):
-        payload = {
-            "format": CACHE_FORMAT,
-            "key": key,
-            "meta": dict(meta or {}),
-            "records": pack_records(store.records()),
-            # Aggregate indexes ride along so a warm load answers the
-            # standard figure queries without touching a single record.
-            "indexes": store.index_payloads(),
-        }
-        path = _write_blob(store_path(key), payload, f"save:{key[:16]}")
+        # Aggregate indexes ride along so a warm load answers the
+        # standard figure queries without touching a single record.
+        indexes = store.index_payloads()
+        token = f"save:{key[:16]}"
+        path = None
+        wrote = False
+        if _mmap_format_enabled():
+            # Spill-backed stores (the parallel runner's out-of-core
+            # path) already hold their column bytes in a region file:
+            # seal the blob by splicing it, never paging columns in.
+            spill = getattr(store, "packed_spill", lambda: None)()
+            if spill is not None:
+                path = _write_spill_blob(
+                    store_path(key), key, dict(meta or {}), spill,
+                    indexes, token,
+                )
+                wrote = True
+        if not wrote and _mmap_format_enabled():
+            # The fully-columnar fast path: stream the store's merged
+            # months straight to the blob — no record round trip, no
+            # whole-dataset merged copy.  At scale the alternative
+            # would dwarf the dataset itself.
+            merge = getattr(store, "packed_merge", lambda: None)()
+            if merge is not None and not merge.has_days:
+                path = _write_mmap_blob(
+                    store_path(key), key, dict(meta or {}),
+                    _MergeSource(merge), indexes, token,
+                )
+                wrote = True
+        if not wrote:
+            packed = None
+            packed_payload = getattr(store, "packed_payload", None)
+            if packed_payload is not None:
+                packed = packed_payload()
+            if packed is None:
+                packed = pack_records(store.records())
+            if _mmap_format_enabled() and _mmap_packable(packed):
+                path = _write_mmap_blob(
+                    store_path(key), key, dict(meta or {}),
+                    _PayloadSource(packed), indexes, token,
+                )
+            else:
+                payload = {
+                    "format": CACHE_FORMAT,
+                    "key": key,
+                    "meta": dict(meta or {}),
+                    "records": packed,
+                    "indexes": indexes,
+                }
+                path = _write_blob(store_path(key), payload, token)
         if path is not None:
             _log.debug("dataset cached at %s", path)
             emit_event("cache_save", key=key[:16], path=str(path))
@@ -230,8 +854,11 @@ def load_store(key: str):
 
     path = store_path(key)
     started = time.perf_counter()
-    with span("cache_load", key=key[:16]):
-        payload = _read_blob(path, f"load:{key[:16]}")
+    with span("cache_load", key=key[:16]), _gc_paused():
+        if _sniff_magic(path) == _MMAP_MAGIC:
+            payload = _read_mmap_blob(path, f"load:{key[:16]}")
+        else:
+            payload = _read_blob(path, f"load:{key[:16]}")
         if payload is not None:
             if (
                 payload.get("format") != CACHE_FORMAT

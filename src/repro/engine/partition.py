@@ -224,21 +224,53 @@ def build_shape_matrix(shapes: list[tuple], matrix: dict | None = None, start: i
     return matrix
 
 
-def pack_records(records: Iterable[ConnectionRecord]) -> dict:
-    """Dictionary-encode records into a compact columnar payload."""
-    shape_index: dict[tuple, int] = {}
-    shapes: list[tuple] = []
-    months: dict[int, dict] = {}
-    for record in records:
-        shape = _shape_of(record)
-        idx = shape_index.get(shape)
-        if idx is None:
-            idx = shape_index[shape] = len(shapes)
-            shapes.append(shape)
+class StreamPacker:
+    """Incremental columnar pack: feed records one chunk at a time.
+
+    Holds exactly the accumulation state :func:`pack_records` builds —
+    the shape lookup and the per-month column arrays — so a month's
+    record *objects* never need to exist together: the streaming ingest
+    path (``TrafficGenerator.stream_expectation_month`` under
+    ``--scale``) yields records straight into :meth:`add` and resident
+    memory stays O(shapes + packed columns), not O(records).
+
+    Any chunking of the same record sequence finishes with a payload
+    byte-identical to ``pack_records`` over the concatenation: per
+    record the packer performs the same appends in the same order, and
+    :meth:`finish` runs the identical summary/matrix builds.
+
+    The one shortcut taken is an identity memo on the previously added
+    record: a scaled stream yields the *same* frozen record object N
+    times in a row, and re-deriving the shape tuple per replica would
+    make replication O(shape size) instead of O(1).  Identical objects
+    have identical shapes, so the memo cannot change the output.
+    """
+
+    def __init__(self) -> None:
+        self._shape_index: dict[tuple, int] = {}
+        self._shapes: list[tuple] = []
+        self._months: dict[int, dict] = {}
+        self._last_record: ConnectionRecord | None = None
+        self._last_idx: int = 0
+        #: Records consumed so far (the ingest bench reads this).
+        self.records = 0
+
+    def add(self, record: ConnectionRecord) -> None:
+        """Append one record to its month's columns."""
+        if record is self._last_record:
+            idx = self._last_idx
+        else:
+            shape = _shape_of(record)
+            idx = self._shape_index.get(shape)
+            if idx is None:
+                idx = self._shape_index[shape] = len(self._shapes)
+                self._shapes.append(shape)
+            self._last_record = record
+            self._last_idx = idx
         month_ord = record.month.toordinal()
-        columns = months.get(month_ord)
+        columns = self._months.get(month_ord)
         if columns is None:
-            columns = months[month_ord] = {
+            columns = self._months[month_ord] = {
                 "weights": array("d"),
                 "shape_idx": array("L"),
                 "days": None,
@@ -252,13 +284,166 @@ def pack_records(records: Iterable[ConnectionRecord]) -> dict:
             columns["days"].append(
                 record.day.toordinal() if record.day is not None else None
             )
-    for columns in months.values():
-        columns["shape_summary"] = build_shape_summary(columns, shapes)
+        self.records += 1
+
+    def extend(self, records: Iterable[ConnectionRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def finish(self) -> dict:
+        """Seal the payload: summaries + matrix over the final table."""
+        for columns in self._months.values():
+            columns["shape_summary"] = build_shape_summary(
+                columns, self._shapes
+            )
+        return {
+            "format": PARTITION_FORMAT,
+            "shapes": self._shapes,
+            "months": self._months,
+            "shape_matrix": build_shape_matrix(self._shapes),
+        }
+
+
+def pack_records(records: Iterable[ConnectionRecord]) -> dict:
+    """Dictionary-encode records into a compact columnar payload."""
+    packer = StreamPacker()
+    packer.extend(records)
+    return packer.finish()
+
+
+def pack_stream(chunks: Iterable[Iterable[ConnectionRecord]]) -> dict:
+    """Pack a stream of record chunks, chunk by chunk.
+
+    Byte-identical to ``pack_records`` over the concatenation of the
+    chunks — chunk boundaries only bound how many record objects are
+    alive at once, never the output (proven by the chunking property
+    test).  Chunks may be any iterables, including generators that
+    build records on the fly.
+    """
+    packer = StreamPacker()
+    for chunk in chunks:
+        packer.extend(chunk)
+    return packer.finish()
+
+
+def remap_month(columns, source_shapes, shapes: list, shape_index: dict) -> dict:
+    """Remap one month's columns into a shared shape table, in row order.
+
+    New shapes join ``shapes`` / ``shape_index`` in first-occurrence row
+    order — the discovery order ``pack_records`` would see.  The weight
+    column is copied float for float, and the pack-time shape summary is
+    *translated* through the remap (the per-shape sums, folds, and
+    occurrence orders cover the same rows in the same order, so the
+    floats carry over bit for bit and only the indices change) — O(month
+    shapes) instead of another O(rows) pass.  Sources without a summary
+    get one rebuilt from the remapped rows.
+    """
+    remap: dict[int, int] = {}
+    merged_idx = array("L")
+    append = merged_idx.append
+    for idx in columns["shape_idx"]:
+        new = remap.get(idx)
+        if new is None:
+            shape = source_shapes[idx]
+            new = shape_index.get(shape)
+            if new is None:
+                new = shape_index[shape] = len(shapes)
+                shapes.append(shape)
+            remap[idx] = new
+        append(new)
+    days = columns["days"]
+    merged_columns = {
+        "weights": array("d", columns["weights"]),
+        "shape_idx": merged_idx,
+        "days": None if days is None else list(days),
+    }
+    summary = columns.get("shape_summary")
+    if summary is None:
+        # No source summary to translate: rebuild from rows (same
+        # contract as split_by_month).
+        merged_columns["shape_summary"] = build_shape_summary(
+            merged_columns, shapes
+        )
+    else:
+        merged_columns["shape_summary"] = {
+            "order": array("L", (remap[i] for i in summary["order"])),
+            "sums": array("d", summary["sums"]),
+            "last": array("L", (remap[i] for i in summary["last"])),
+            "total": summary["total"],
+            "established": summary["established"],
+        }
+    return merged_columns
+
+
+class PackedMerge:
+    """Streaming merge of packed payloads, one month at a time.
+
+    Months are visited in ascending order across all payloads and each
+    month's shape indices are remapped into a merged shape table in row
+    order — exactly the discovery order ``pack_records`` would see over
+    the materialized records sorted by month.  Weight columns are
+    copied float for float, so the merge is byte-identical to
+    re-packing the merged store's ``records()`` while costing only
+    O(rows) integer work.
+
+    The streaming shape matters as much as the arithmetic: the
+    cache-save path for scaled runs consumes :meth:`months` and writes
+    each merged month straight to disk, so only *one* month's remapped
+    columns are ever resident — a whole-dataset merged copy at scale
+    100 would by itself rival the source columns it was copied from.
+    ``shapes`` is complete only after :meth:`months` is exhausted.
+    """
+
+    def __init__(self, payloads: Iterable[dict]) -> None:
+        self.shapes: list[tuple] = []
+        self._shape_index: dict[tuple, int] = {}
+        self._sources: list[tuple[int, dict, list]] = []
+        self.has_days = False
+        seen: set[int] = set()
+        for payload in payloads:
+            if payload.get("format") != PARTITION_FORMAT:
+                raise ValueError(
+                    f"unsupported partition format: {payload.get('format')!r}"
+                )
+            for month_ord, columns in payload["months"].items():
+                if month_ord in seen:
+                    raise ValueError(
+                        f"month {_dt.date.fromordinal(month_ord)} appears "
+                        "in more than one payload"
+                    )
+                seen.add(month_ord)
+                if columns["days"] is not None:
+                    self.has_days = True
+                self._sources.append((month_ord, columns, payload["shapes"]))
+        self._sources.sort(key=lambda s: s[0])
+
+    def month_ords(self) -> list[int]:
+        return [month_ord for month_ord, _, _ in self._sources]
+
+    def months(self):
+        """Yield ``(month_ord, merged_columns)`` ascending, remapped."""
+        for month_ord, columns, source_shapes in self._sources:
+            yield month_ord, remap_month(
+                columns, source_shapes, self.shapes, self._shape_index
+            )
+
+
+def merge_packed(payloads: Iterable[dict]) -> dict:
+    """Merge packed payloads into one in-memory payload.
+
+    The materializing wrapper over :class:`PackedMerge` — byte-identical
+    to ``pack_records`` over the concatenated record streams sorted by
+    month (proven by the merge property tests).  Callers that only need
+    to *write* the merge should consume ``PackedMerge.months()``
+    directly and skip the whole-dataset copy this builds.
+    """
+    merge = PackedMerge(payloads)
+    months = {month_ord: columns for month_ord, columns in merge.months()}
     return {
         "format": PARTITION_FORMAT,
-        "shapes": shapes,
+        "shapes": merge.shapes,
         "months": months,
-        "shape_matrix": build_shape_matrix(shapes),
+        "shape_matrix": build_shape_matrix(merge.shapes),
     }
 
 

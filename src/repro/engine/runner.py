@@ -57,7 +57,7 @@ from repro import obs
 from repro.engine import faults
 from repro.engine.partition import (
     PackedDataset,
-    pack_records,
+    StreamPacker,
     split_by_month,
     validate_payload,
 )
@@ -104,6 +104,27 @@ def resolve_workers(explicit: int | None = None) -> int:
             # the CPU-count default (same spirit as REPRO_CACHE parsing).
             pass
     return os.cpu_count() or 1
+
+
+def resolve_scale(explicit: int | None = None) -> int:
+    """Dataset scale: explicit > ``REPRO_SCALE`` > 1.
+
+    The multiplier on per-month record counts (see
+    :class:`repro.notary.generator.TrafficGenerator.scale`).  Values
+    below 1 — explicit or from the environment — are malformed and fall
+    through to the unscaled default, same policy as ``REPRO_WORKERS``.
+    """
+    if explicit is not None and int(explicit) >= 1:
+        return int(explicit)
+    env = os.environ.get("REPRO_SCALE", "").strip()
+    if explicit is None and env:
+        try:
+            value = int(env)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+    return 1
 
 
 def resolve_chunk_timeout(explicit: float | None = None) -> float:
@@ -169,17 +190,88 @@ class _Chunk:
         return f"c{self.id}.a{self.attempts}"
 
 
-def _make_chunks(months: list[_dt.date], count: int, per_chunk: int | None) -> list[list[_dt.date]]:
+def _make_chunks(
+    months: list[_dt.date], count: int, per_chunk: int | None, scale: int = 1
+) -> list[list[_dt.date]]:
     """Contiguous chunks, a few per worker by default.
 
     Finer-than-worker granularity serves three masters at once: dynamic
     load balancing (record counts grow over the study), small blast
     radius on a crashed/hung chunk, and checkpoints that start landing
     early in the run instead of all at the end.
+
+    Scaled runs shrink the month span further: the worker→parent
+    transfer and the adoption transients (pickle bytes, checkpoint
+    copies) are O(chunk rows), and rows grow ×``scale`` — dividing the
+    span by the scale keeps a chunk's row count near the unscaled
+    profile, which is what keeps peak RSS flat as ``--scale`` climbs.
     """
     if per_chunk is None:
         per_chunk = max(1, -(-len(months) // (count * 3)))
+        if scale > 1:
+            per_chunk = max(1, per_chunk // scale)
     return [months[i : i + per_chunk] for i in range(0, len(months), per_chunk)]
+
+
+@dataclass
+class _SpillState:
+    """Out-of-core adoption state for one parallel run.
+
+    ``spill`` is the :class:`repro.engine.cache.BlobSpill` month columns
+    stream into as chunks finish (None after a region-write failure —
+    the run then degrades to in-memory adoption); ``indexes`` collects
+    each month's aggregate-index payload, built while the chunk's
+    columns are still resident so nothing ever pages the mapped region
+    back in.
+    """
+
+    spill: object = None
+    indexes: dict = field(default_factory=dict)
+
+
+def _spill_enabled() -> bool:
+    """Whether adopted chunks spill to an mmap-backed region file.
+
+    Follows the cache wire format: ``REPRO_CACHE_FORMAT=pickle`` keeps
+    the legacy all-in-memory adoption (whose save path needs the
+    materialized payload anyway).  The spill itself writes to an
+    anonymous temp file, so it works with the dataset cache disabled.
+    """
+    from repro.engine import cache as dataset_cache
+
+    return dataset_cache._mmap_format_enabled()
+
+
+def _spill_or_attach(store: NotaryStore, state: _SpillState | None, payload: dict) -> None:
+    """Adopt one packed payload: out-of-core when spilling, else attach.
+
+    The month's aggregate indexes are built first, while the payload's
+    columns are ordinary resident arrays.  A region-write failure
+    (:class:`repro.engine.cache.SpillError`) salvages every month
+    already spilled — their mapped columns re-attach as a dataset — and
+    permanently degrades this run to in-memory adoption.
+    """
+    if state is not None and state.spill is not None:
+        from repro.engine import cache as dataset_cache
+        from repro.notary.store import build_index_payloads
+
+        state.indexes.update(build_index_payloads(payload))
+        try:
+            state.spill.add_payload(payload)
+            return
+        except dataset_cache.SpillError as exc:
+            PERF.cache_write_failures += 1
+            _log.warning(
+                "month spill failed (%s); salvaging spilled months and "
+                "continuing in memory",
+                exc,
+            )
+            obs.emit_event("spill_failed", error=str(exc))
+            salvaged = state.spill.finish_payload()
+            state.spill = None
+            if salvaged["months"]:
+                store.attach_packed(PackedDataset(salvaged), idempotent=True)
+    store.attach_packed(PackedDataset(payload), idempotent=True)
 
 
 # Worker-side state, installed by the pool initializer after the fork
@@ -187,9 +279,10 @@ def _make_chunks(months: list[_dt.date], count: int, per_chunk: int | None) -> l
 _WORKER: dict = {}
 
 
-def _init_worker(clients, servers, trace_id: str | None = None) -> None:
+def _init_worker(clients, servers, trace_id: str | None = None, scale: int = 1) -> None:
     _WORKER["clients"] = clients
     _WORKER["servers"] = servers
+    _WORKER["scale"] = scale
     PERF.reset()
     obs.TRACE.reset()
     if trace_id is not None:
@@ -212,13 +305,21 @@ def _run_chunk(job: tuple[int, int, list[_dt.date]]) -> dict:
     PERF.reset()
     obs.reset_spans()  # one snapshot per chunk, even when a worker reruns
     with obs.span("run_chunk", chunk=chunk_id, attempt=attempt, months=len(months)):
-        monitor = PassiveMonitor()
-        generator = TrafficGenerator(_WORKER["clients"], _WORKER["servers"], monitor)
+        generator = TrafficGenerator(
+            _WORKER["clients"],
+            _WORKER["servers"],
+            PassiveMonitor(),
+            scale=_WORKER.get("scale", 1),
+        )
+        # Records stream straight into the packer: a month's record
+        # objects never coexist, so worker RSS stays bounded at any
+        # --scale (the store-then-pack round trip would be O(records)).
+        packer = StreamPacker()
         for month in months:
             faults.crash_point("month_crash", f"{token}.m{month.isoformat()}")
             with obs.span("simulate_month", month=month.isoformat()):
-                generator.run_expectation_month(month)
-        packed = pack_records(monitor.store.records())
+                packer.extend(generator.stream_expectation_month(month))
+        packed = packer.finish()
     if faults.fires("pack_corrupt", token):
         packed = faults.corrupt_partition(packed, token)
     return {
@@ -236,7 +337,7 @@ def _run_chunk(job: tuple[int, int, list[_dt.date]]) -> dict:
     }
 
 
-def _run_chunk_inline(clients, servers, months: list[_dt.date]) -> dict:
+def _run_chunk_inline(clients, servers, months: list[_dt.date], scale: int = 1) -> dict:
     """Last-resort serial re-run of one chunk in the parent process.
 
     Runs with fault injection suppressed — this is the path that makes
@@ -245,13 +346,13 @@ def _run_chunk_inline(clients, servers, months: list[_dt.date]) -> dict:
     """
     started = time.perf_counter()
     with faults.suppressed(), obs.span("run_chunk_inline", months=len(months)):
-        monitor = PassiveMonitor()
-        generator = TrafficGenerator(clients, servers, monitor)
+        generator = TrafficGenerator(clients, servers, PassiveMonitor(), scale=scale)
+        packer = StreamPacker()
         for month in months:
             with obs.span("simulate_month", month=month.isoformat()):
-                generator.run_expectation_month(month)
+                packer.extend(generator.stream_expectation_month(month))
     return {
-        "packed": pack_records(monitor.store.records()),
+        "packed": packer.finish(),
         "perf": None,
         "wall": time.perf_counter() - started,
         "chunk": None,
@@ -274,12 +375,14 @@ def run_expectation(
     chunk_months: int | None = None,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     faults_spec: str | None = None,
+    scale: int | None = None,
 ) -> NotaryStore:
     """Full expectation run, sharded across workers; returns the store."""
     if faults_spec is not None:
         faults.configure(faults_spec)
     months = month_range(start, end)
     count = resolve_workers(workers)
+    factor = resolve_scale(scale)
     serial = count <= 1 or len(months) < 2 or not fork_available()
     obs.begin_run(
         "expectation",
@@ -287,17 +390,18 @@ def run_expectation(
         end=end.isoformat(),
         months=len(months),
         workers=0 if serial else count,
+        scale=factor,
     )
     _log.info(
-        "expectation run %s..%s: %d month(s), %s",
+        "expectation run %s..%s: %d month(s), %s, scale %d",
         start.isoformat(), end.isoformat(), len(months),
-        "serial" if serial else f"{count} workers",
+        "serial" if serial else f"{count} workers", factor,
     )
     with obs.profiled("run_expectation"), obs.span(
         "run_expectation", months=len(months), workers=0 if serial else count
     ):
         if serial:
-            store = _run_serial(clients, servers, start, end)
+            store = _run_serial(clients, servers, start, end, scale=factor)
         else:
             store = _run_parallel(
                 clients,
@@ -310,6 +414,7 @@ def run_expectation(
                 timeout=resolve_chunk_timeout(chunk_timeout),
                 per_chunk=resolve_chunk_months(chunk_months),
                 max_attempts=max(1, max_attempts),
+                scale=factor,
             )
     obs.end_run(
         "expectation",
@@ -337,6 +442,7 @@ def _run_parallel(
     timeout: float,
     per_chunk: int | None,
     max_attempts: int,
+    scale: int = 1,
 ) -> NotaryStore:
     started = time.perf_counter()
     PERF.workers = count
@@ -349,14 +455,20 @@ def _run_parallel(
         from repro.engine import cache as dataset_cache
 
         checkpoint = dataset_cache.Checkpoint(
-            dataset_cache.dataset_key(clients, servers, start, end)
+            dataset_cache.dataset_key(clients, servers, start, end, scale=scale)
         )
+
+    state = None
+    if _spill_enabled():
+        from repro.engine import cache as dataset_cache
+
+        state = _SpillState(spill=dataset_cache.BlobSpill())
 
     done: set[_dt.date] = set()
     if checkpoint is not None and resume:
         with obs.span("resume_checkpoints"):
             for month, payload in checkpoint.load_months(months):
-                store.attach_packed(PackedDataset(payload), idempotent=True)
+                _spill_or_attach(store, state, payload)
                 done.add(month)
                 PERF.resumed_months += 1
                 obs.emit_event("resume_month", month=month.isoformat())
@@ -366,13 +478,25 @@ def _run_parallel(
 
     if remaining:
         if len(remaining) == 1 or count < 2:
-            _adopt(store, checkpoint, _run_chunk_inline(clients, servers, remaining), inline=True)
+            _adopt(
+                store, checkpoint,
+                _run_chunk_inline(clients, servers, remaining, scale=scale),
+                inline=True, state=state,
+            )
         else:
             _run_chunked(
                 clients, servers, store, checkpoint, remaining,
                 count=count, timeout=timeout, per_chunk=per_chunk,
-                max_attempts=max_attempts,
+                max_attempts=max_attempts, scale=scale, state=state,
             )
+
+    if state is not None:
+        if state.spill is not None:
+            payload = state.spill.finish_payload()
+            if payload["months"]:
+                store.attach_packed(PackedDataset(payload), idempotent=True)
+        if state.indexes:
+            store.install_index_payloads(state.indexes)
 
     if checkpoint is not None:
         checkpoint.clear()
@@ -391,6 +515,8 @@ def _run_chunked(
     timeout: float,
     per_chunk: int | None,
     max_attempts: int,
+    scale: int = 1,
+    state: _SpillState | None = None,
 ) -> None:
     """The retry/timeout/reshard scheduling loop over one pool per round."""
     next_id = 0
@@ -402,7 +528,7 @@ def _run_chunked(
         return chunk
 
     queue: deque[_Chunk] = deque(
-        new_chunk(span) for span in _make_chunks(months, count, per_chunk)
+        new_chunk(span) for span in _make_chunks(months, count, per_chunk, scale)
     )
     context = multiprocessing.get_context("fork")
 
@@ -428,8 +554,8 @@ def _run_chunked(
                 )
                 _adopt(
                     store, checkpoint,
-                    _run_chunk_inline(clients, servers, chunk.months),
-                    inline=True,
+                    _run_chunk_inline(clients, servers, chunk.months, scale=scale),
+                    inline=True, state=state,
                 )
             else:
                 batch.append(chunk)
@@ -441,14 +567,39 @@ def _run_chunked(
         with context.Pool(
             processes=min(count, len(batch)),
             initializer=_init_worker,
-            initargs=(clients, servers, obs.trace_id()),
+            initargs=(clients, servers, obs.trace_id(), scale),
         ) as pool:
-            submitted = [
-                (chunk, pool.apply_async(_run_chunk, ((chunk.id, chunk.attempts, chunk.months),)))
-                for chunk in batch
-            ]
+            # Submission is a sliding window, not the whole batch: the
+            # pool's result thread unpickles every finished chunk the
+            # moment it arrives, so when workers outpace adoption an
+            # eager submit buffers nearly the whole dataset in the
+            # parent.  Capping in-flight chunks at ~2 per worker keeps
+            # workers busy while bounding that backlog to O(window).
+            window = max(2, 2 * min(count, len(batch)))
+            to_submit = deque(batch)
+            pending: deque[tuple[_Chunk, object]] = deque()
             deadline = time.monotonic() + timeout
-            for chunk, result in submitted:
+
+            def top_up() -> None:
+                while (
+                    to_submit
+                    and len(pending) < window
+                    and time.monotonic() < deadline
+                ):
+                    chunk = to_submit.popleft()
+                    pending.append(
+                        (
+                            chunk,
+                            pool.apply_async(
+                                _run_chunk,
+                                ((chunk.id, chunk.attempts, chunk.months),),
+                            ),
+                        )
+                    )
+
+            top_up()
+            while pending:
+                chunk, result = pending.popleft()
                 wait = max(0.001, deadline - time.monotonic())
                 try:
                     part = result.get(wait)
@@ -494,7 +645,7 @@ def _run_chunked(
                     )
                 else:
                     if validate_payload(part["packed"], chunk.months):
-                        _adopt(store, checkpoint, part)
+                        _adopt(store, checkpoint, part, state=state)
                     else:
                         failed.append(chunk)
                         _log.warning(
@@ -511,6 +662,11 @@ def _run_chunked(
                             attempt=chunk.attempts,
                             months=[m.isoformat() for m in chunk.months],
                         )
+                top_up()
+            # Chunks never submitted before the deadline expired go back
+            # untouched: they did not run, so they cost no attempt and
+            # are not resharded.
+            queue.extend(to_submit)
             # Exiting the with-block terminates the pool, killing any
             # worker still hung past the deadline.
 
@@ -537,9 +693,15 @@ def _run_chunked(
             time.sleep(delay)
 
 
-def _adopt(store: NotaryStore, checkpoint, part: dict, inline: bool = False) -> None:
+def _adopt(
+    store: NotaryStore,
+    checkpoint,
+    part: dict,
+    inline: bool = False,
+    state: _SpillState | None = None,
+) -> None:
     """Merge one finished chunk: perf fold, span fold, attribution,
-    checkpoint spill, lazy attach."""
+    checkpoint spill, then out-of-core spill (or lazy in-memory attach)."""
     if not inline and part["perf"] is not None:
         PERF.merge_worker(part["perf"], part["wall"])
     elif inline:
@@ -559,18 +721,29 @@ def _adopt(store: NotaryStore, checkpoint, part: dict, inline: bool = False) -> 
     obs.emit_event("chunk_done", **attribution)
     if checkpoint is not None:
         checkpoint.save_months(split_by_month(part["packed"]))
-    store.attach_packed(PackedDataset(part["packed"]), idempotent=True)
+    _spill_or_attach(store, state, part["packed"])
 
 
-def _run_serial(clients, servers, start: _dt.date, end: _dt.date) -> NotaryStore:
-    """The zero-worker fallback: one generator, shared caches."""
+def _run_serial(
+    clients, servers, start: _dt.date, end: _dt.date, scale: int = 1
+) -> NotaryStore:
+    """The zero-worker fallback: one generator, shared caches.
+
+    Streams months straight into packed columnar form like the workers
+    do, so serial runs keep the same bounded-memory profile at any
+    ``scale`` — and the returned store answers from the same fast tiers
+    a parallel (or cache-loaded) store does.
+    """
     started = time.perf_counter()
     PERF.workers = 0
     PERF.worker_wall_times = []
     PERF.chunk_attribution = []
     with obs.span("run_serial"):
-        monitor = PassiveMonitor()
-        generator = TrafficGenerator(clients, servers, monitor)
-        generator.run_expectation(start, end)
+        generator = TrafficGenerator(clients, servers, PassiveMonitor(), scale=scale)
+        packer = StreamPacker()
+        for month in month_range(start, end):
+            packer.extend(generator.stream_expectation_month(month))
+        store = NotaryStore()
+        store.attach_packed(PackedDataset(packer.finish()))
     PERF.run_seconds = time.perf_counter() - started
-    return monitor.store
+    return store

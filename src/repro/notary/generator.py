@@ -68,6 +68,12 @@ class TrafficGenerator:
     servers: ServerPopulation
     monitor: PassiveMonitor
     affinity: dict[str, str] = field(default_factory=lambda: dict(DEFAULT_AFFINITY))
+    #: Dataset scale multiplier (``--scale`` / ``REPRO_SCALE``): every
+    #: expectation record is emitted ``scale`` times at ``weight/scale``,
+    #: so per-month *record counts* grow by the factor while month
+    #: totals and fractions stay put.  ``1`` is the seed dataset exactly
+    #: (weights untouched, byte-identical records).
+    scale: int = 1
 
     def __post_init__(self) -> None:
         self._hello_cache: dict[tuple[str, str, bool], ClientHello] = {}
@@ -143,10 +149,30 @@ class TrafficGenerator:
             splits.append((False, 1.0 - fraction))
         return splits
 
-    def run_expectation_month(self, month: _dt.date) -> None:
-        """Generate the full expectation-weighted record set for a month."""
+    def stream_expectation_month(self, month: _dt.date):
+        """Yield the month's expectation records without storing them.
+
+        This is the bounded-memory ingest path: records are generated
+        one at a time straight into whatever consumes the stream
+        (``StreamPacker`` in the runner), so a month's record objects
+        never coexist.  The record sequence is exactly what
+        :meth:`run_expectation_month` pushes into the monitor's store —
+        same ``make_record`` calls, same order — so a streamed pack is
+        byte-identical to a batch pack of the stored records.
+
+        At ``scale > 1`` each base record is yielded ``scale`` times at
+        ``weight/scale`` (the *same* frozen record object, so replicas
+        cost O(1) each downstream): record counts multiply, month-total
+        weight and every fraction stay at the base values up to float
+        associativity.
+        """
+        from repro.notary.events import make_record
+        from repro.notary.store import month_of
         from repro.servers.population import DEDICATED_PORTS
 
+        scale = max(1, int(self.scale))
+        record_month = month_of(month)
+        fingerprint = month >= self.monitor.fingerprint_fields_since
         client_mix = self.clients.mix(month)
         server_mix = self.servers.mix(month, weighting="traffic")
         for release, client_weight in client_mix:
@@ -164,63 +190,83 @@ class TrafficGenerator:
                     if weight <= 0:
                         continue
                     hello, result = self._negotiate(release, tls13, server)
-                    self.monitor.observe(
-                        day=month,
+                    record = make_record(
+                        month=record_month,
+                        day=None,
+                        server_profile=server.name,
+                        server_port=port,
+                        weight=weight if scale == 1 else weight / scale,
                         hello=hello,
                         result=result,
-                        weight=weight,
                         client_family=release.family,
                         client_version=release.version,
                         client_category=release.category,
                         client_in_database=release.in_database,
-                        server_profile=server.name,
-                        server_port=port,
+                        record_fingerprint=fingerprint,
                     )
-        self._inject_ssl2(month)
+                    PERF.records += scale
+                    for _ in range(scale):
+                        yield record
+        ssl2 = self._ssl2_record(month, scale)
+        if ssl2 is not None:
+            PERF.records += scale
+            for _ in range(scale):
+                yield ssl2
+
+    def run_expectation_month(self, month: _dt.date) -> None:
+        """Generate the full expectation-weighted record set for a month.
+
+        Materializing wrapper over :meth:`stream_expectation_month`:
+        every streamed record lands in the monitor's store, preserving
+        the historical contract (tests and the zeeklog exporter read
+        the store directly).  Scaled or bulk ingest should consume the
+        stream instead.
+        """
+        store = self.monitor.store
+        for record in self.stream_expectation_month(month):
+            store.add(record)
 
     #: Monthly connection-weight of the SSL 2 relic traffic: ~1.2K of
     #: the Notary's billions of monthly connections (§5.1), terminating
     #: at one university's Nagios endpoints.
     SSL2_WEIGHT = 2e-7
 
-    def _inject_ssl2(self, month: _dt.date) -> None:
-        """Inject the §5.1 SSL 2 remnant as pre-classified records.
+    def _ssl2_record(self, month: _dt.date, scale: int = 1) -> "ConnectionRecord | None":
+        """The §5.1 SSL 2 remnant as one pre-classified record (or None).
 
         SSL 2 uses an incompatible record format the ClientHello model
         does not express (see repro.tls.ssl2); the monitor classifies
         such first flights by sniffing and records them directly.
         """
         if self.SSL2_WEIGHT <= 0:
-            return
+            return None
         from repro.notary.events import ConnectionRecord
         from repro.notary.store import month_of
 
-        self.monitor.store.add(
-            ConnectionRecord(
-                month=month_of(month),
-                weight=self.SSL2_WEIGHT,
-                client_family="Nagios NRPE",
-                client_version="ssl2-probe",
-                client_category="OS Tools and Services",
-                client_in_database=False,
-                fingerprint=None,
-                advertised=frozenset({"rc4", "export"}),
-                positions={},
-                suite_count=2,
-                offered_tls13=False,
-                offered_tls13_versions=(),
-                established=True,
-                negotiated_version="SSLv2",
-                negotiated_wire=0x0002,
-                negotiated_suite=None,
-                negotiated_curve=None,
-                heartbeat_negotiated=False,
-                server_chose_unoffered=False,
-                server_profile="nagios-server",
-                server_port=5666,
-            )
+        weight = self.SSL2_WEIGHT if scale == 1 else self.SSL2_WEIGHT / scale
+        return ConnectionRecord(
+            month=month_of(month),
+            weight=weight,
+            client_family="Nagios NRPE",
+            client_version="ssl2-probe",
+            client_category="OS Tools and Services",
+            client_in_database=False,
+            fingerprint=None,
+            advertised=frozenset({"rc4", "export"}),
+            positions={},
+            suite_count=2,
+            offered_tls13=False,
+            offered_tls13_versions=(),
+            established=True,
+            negotiated_version="SSLv2",
+            negotiated_wire=0x0002,
+            negotiated_suite=None,
+            negotiated_curve=None,
+            heartbeat_negotiated=False,
+            server_chose_unoffered=False,
+            server_profile="nagios-server",
+            server_port=5666,
         )
-        PERF.records += 1
 
     def run_expectation(self, start: _dt.date, end: _dt.date) -> None:
         """Expectation mode over every month from ``start`` to ``end``."""

@@ -146,6 +146,13 @@ class _MonthIndex:
         records and cached on the dataset; accumulation then walks the
         weight column in row order, so the result is float-identical to
         :meth:`from_records` over the materialized month.
+
+        With numpy present the per-key counters are built by vectorized
+        folds instead of a per-row Python loop (see
+        :meth:`_from_columns_vector`); the two paths are equal — not
+        merely close — because every vectorized fold replays the same
+        row-order addition sequence, and the differential test asserts
+        it.
         """
         shape_keys = getattr(dataset, "_index_shape_keys", None)
         if shape_keys is None:
@@ -154,10 +161,14 @@ class _MonthIndex:
                 for template in dataset.template_records()
             ]
             dataset._index_shape_keys = shape_keys
+        columns = dataset.columns(month)
+        if columns is not None and _vector.available():
+            index = cls._from_columns_vector(shape_keys, columns)
+            if index is not None:
+                return index
         index = cls()
         weights: dict = defaultdict(float)
         established_weights: dict = defaultdict(float)
-        columns = dataset.columns(month)
         if columns is not None:
             weight_column, idx_column = columns
             for i, idx in enumerate(idx_column):
@@ -172,6 +183,61 @@ class _MonthIndex:
                         established_weights[key] += weight
         index.weights = dict(weights)
         index.established_weights = dict(established_weights)
+        return index
+
+    @classmethod
+    def _from_columns_vector(cls, shape_keys, columns) -> "_MonthIndex | None":
+        """Numpy counter construction; None when numpy import fails.
+
+        Float-identity argument: the row loop keeps one accumulator per
+        (dimension, value) key, added to once per matching row in row
+        order starting from ``0.0`` (and ``0.0 + w == w`` exactly).  A
+        ``cumsum`` over the weights *compressed by that key's row mask*
+        performs the same additions on the same operands in the same
+        order — so each counter, the month total, and the established
+        fold come out bit-for-bit equal to :meth:`from_records`.
+        """
+        import numpy as _np
+
+        index = cls()
+        weight_column, idx_column = columns
+        rows = len(weight_column)
+        if rows == 0:
+            return index
+        w = _np.frombuffer(weight_column, dtype=_np.float64)
+        idx = _np.frombuffer(
+            idx_column, dtype=_np.dtype(f"u{idx_column.itemsize}")
+        )
+
+        def fold(values) -> float:
+            return float(_np.cumsum(values)[-1]) if len(values) else 0.0
+
+        index.total = fold(w)
+        n_shapes = len(shape_keys)
+        est_shape = _np.zeros(n_shapes, dtype=bool)
+        key_shapes: dict = {}
+        for shape_idx, (keys, established) in enumerate(shape_keys):
+            if established:
+                est_shape[shape_idx] = True
+            for key in keys:
+                mask = key_shapes.get(key)
+                if mask is None:
+                    mask = key_shapes[key] = _np.zeros(n_shapes, dtype=bool)
+                mask[shape_idx] = True
+        est_rows = est_shape[idx]
+        index.established = fold(w[est_rows])
+        weights: dict = {}
+        established_weights: dict = {}
+        for key, shape_mask in key_shapes.items():
+            key_rows = shape_mask[idx]
+            if not key_rows.any():
+                continue
+            weights[key] = fold(w[key_rows])
+            both = key_rows & est_rows
+            if both.any():
+                established_weights[key] = fold(w[both])
+        index.weights = weights
+        index.established_weights = established_weights
         return index
 
     # ---- cache (de)serialization -------------------------------------------
@@ -327,6 +393,26 @@ class _ShapeView:
                 self._mean_cache.clear()
             self._mean_cache[key] = result
         return result
+
+
+def build_index_payloads(payload: dict) -> dict[int, dict]:
+    """Serializable aggregate indexes for one packed payload's months.
+
+    The parallel runner calls this per adopted chunk, while the chunk's
+    columns are still ordinary resident arrays — so by the time the
+    dataset lives behind an mmap, every month's index already exists
+    and neither the cache save nor a later ``stats`` query has to page
+    column bytes back in.  Accumulation is row-order
+    (:meth:`_MonthIndex.from_columns`), so the result is float-identical
+    no matter which payload (chunk-local or merged) it was built from.
+    """
+    from repro.engine.partition import PackedDataset
+
+    dataset = PackedDataset(payload)
+    return {
+        month.toordinal(): _MonthIndex.from_columns(dataset, month).to_payload()
+        for month in dataset.months()
+    }
 
 
 def _index_key(predicate) -> tuple[str, object] | None:
@@ -557,6 +643,79 @@ class NotaryStore:
         return sum(len(v) for v in self._by_month.values()) + sum(
             dataset.count(month) for month, dataset in self._packed.items()
         )
+
+    def packed_merge(self):
+        """A streaming merge over the store's packed payloads, or None.
+
+        Available when every month is held in packed form (no raw
+        record lists): the per-dataset payloads merge columnar-ly
+        (:class:`repro.engine.partition.PackedMerge`) — byte-identical
+        to ``pack_records(self.records())`` without materializing a
+        single record object, and consumable month by month, which is
+        what keeps the cache-save path O(one month) resident at any
+        ``--scale``.
+        """
+        if any(self._by_month.values()) or not self._packed:
+            return None
+        from repro.engine.partition import PackedMerge
+
+        seen: dict[int, object] = {}
+        payloads = []
+        for dataset in self._packed.values():
+            if id(dataset) not in seen:
+                seen[id(dataset)] = dataset
+                payloads.append(dataset._payload)
+        covered = [
+            month_ord
+            for payload in payloads
+            for month_ord in payload["months"]
+        ]
+        if len(covered) != len(set(covered)) or set(covered) != {
+            month.toordinal() for month in self._packed
+        }:
+            # A dataset month the store skipped at attach time (the
+            # idempotent-resume collision case) would smuggle duplicate
+            # rows into the merge; let the record path handle it.
+            return None
+        return PackedMerge(payloads)
+
+    def packed_spill(self):
+        """The ``BlobSpill`` backing this store's packed months, or None.
+
+        Available when the store holds exactly one packed dataset whose
+        payload was produced by :meth:`repro.engine.cache.BlobSpill.finish_payload`
+        and every month the store serves came from it — the cache-save
+        path then seals the blob by splicing the spill's region file
+        instead of reading the mapped columns back.
+        """
+        if any(self._by_month.values()) or not self._packed:
+            return None
+        datasets = {id(d): d for d in self._packed.values()}
+        if len(datasets) != 1:
+            return None
+        payload = next(iter(datasets.values()))._payload
+        spill = payload.get("_spill")
+        if spill is None:
+            return None
+        if set(payload["months"]) != {m.toordinal() for m in self._packed}:
+            return None
+        return spill
+
+    def packed_payload(self) -> dict | None:
+        """One merged in-memory payload covering the whole store, or
+        None (the materializing wrapper over :meth:`packed_merge`)."""
+        merge = self.packed_merge()
+        if merge is None:
+            return None
+        from repro.engine.partition import build_shape_matrix, PARTITION_FORMAT
+
+        months = {month_ord: columns for month_ord, columns in merge.months()}
+        return {
+            "format": PARTITION_FORMAT,
+            "shapes": merge.shapes,
+            "months": months,
+            "shape_matrix": build_shape_matrix(merge.shapes),
+        }
 
     # ---- shape-level access (figure fast paths) ----------------------------
 

@@ -67,6 +67,10 @@ class EcosystemModel:
     #: Resume a killed run from its month checkpoints; None resolves
     #: via ``REPRO_RESUME``.
     resume: bool | None = None
+    #: Dataset scale multiplier (records per month ×N at weight/N);
+    #: None resolves via ``REPRO_SCALE`` then 1.  See
+    #: :class:`repro.notary.generator.TrafficGenerator`.
+    scale: int | None = None
 
     def __post_init__(self) -> None:
         self._passive_store: NotaryStore | None = None
@@ -83,6 +87,11 @@ class EcosystemModel:
 
     # ---- passive (Notary) ----------------------------------------------------
 
+    def _resolved_scale(self) -> int:
+        from repro.engine import runner
+
+        return runner.resolve_scale(self.scale)
+
     def _build_passive_store(self) -> NotaryStore:
         from repro.engine import runner
 
@@ -91,6 +100,7 @@ class EcosystemModel:
             workers=self.workers,
             resume=self.resume,
             faults_spec=self.faults,
+            scale=self.scale,
         )
 
     def passive_store(self) -> NotaryStore:
@@ -113,9 +123,11 @@ class EcosystemModel:
                 cache_on = self._cache_enabled()
                 key = None
                 store = None
+                scale = self._resolved_scale()
                 if cache_on:
                     key = dataset_cache.dataset_key(
-                        self.clients, self.servers, self.start, self.end
+                        self.clients, self.servers, self.start, self.end,
+                        scale=scale,
                     )
                     if not self.rebuild:
                         store = dataset_cache.load_store(key)
@@ -138,6 +150,7 @@ class EcosystemModel:
                                         "start": self.start.isoformat(),
                                         "end": self.end.isoformat(),
                                         "records": len(store),
+                                        "scale": scale,
                                     },
                                 )
                     else:
@@ -222,6 +235,7 @@ def default_model(
     rebuild: bool = False,
     faults: str | None = None,
     resume: bool | None = None,
+    scale: int | None = None,
 ) -> EcosystemModel:
     """A process-wide shared model, so benches and chained CLI commands
     reuse one simulation.
@@ -233,6 +247,6 @@ def default_model(
     if _DEFAULT_MODEL is None:
         _DEFAULT_MODEL = EcosystemModel(
             workers=workers, use_cache=use_cache, rebuild=rebuild,
-            faults=faults, resume=resume,
+            faults=faults, resume=resume, scale=scale,
         )
     return _DEFAULT_MODEL

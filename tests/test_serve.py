@@ -270,6 +270,12 @@ def test_hammer_32_threads_byte_identical_zero_5xx(server, served_store):
     # The requests genuinely overlapped on the server.
     _, stats = _get(server, "/stats")
     assert stats["server"]["max_in_flight"] > 1
+    # And inside the *query phase* specifically: with the memo caches
+    # warm, index/vector/shape-tier queries bypass the store lock
+    # (double-checked locking), so store reads themselves must have
+    # run concurrently — the serialize-everything lock this PR removed
+    # would pin this gauge at 1.
+    assert stats["server"]["max_queries_in_flight"] > 1
 
 
 # ---- error paths -------------------------------------------------------------
