@@ -104,3 +104,88 @@ def test_total_overhead_within_three_percent(monkeypatch):
         f"(bare {measured['bare_seconds']:.3f}s, "
         f"instrumented {measured['instrumented_seconds']:.3f}s)"
     )
+
+
+def test_serve_observe_path_within_three_percent(monkeypatch):
+    """The serve-path acceptance envelope: everything
+    ``observe_request`` does per request — complete-span record, trace
+    exemplar assembly, histogram-backed route ledger, sliding-window
+    telemetry — costs <= 3% of an actually-served request.
+
+    Both arms are measured on this machine in this process: the
+    numerator is the min-of-rounds per-call cost of the full observe
+    path (min discards scheduler noise), the denominator the median
+    end-to-end latency of a real served figure over a keep-alive
+    connection.  A slower CI box inflates both arms together, so the
+    ratio is stable where a wall-clock bound would flake.
+    """
+    import http.client
+    import socket
+    import statistics
+    import time
+
+    from repro.clients.population import default_population
+    from repro.engine.partition import PackedDataset, pack_records
+    from repro.engine.perf import PerfCounters
+    from repro.notary import PassiveMonitor, TrafficGenerator
+    from repro.notary.store import NotaryStore
+    from repro.obs import live
+    from repro.serve.server import start_server
+    from repro.servers import ServerPopulation
+
+    monkeypatch.delenv("REPRO_METRICS_PATH", raising=False)
+
+    # Numerator: the per-request observe path, min over rounds.
+    telemetry = live.LiveTelemetry()
+    perf = PerfCounters()
+    calls = 5000
+    per_call = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        for _ in range(calls):
+            span_id = obs.TRACE.record_complete(
+                "http_request", 0.0, 4e-4, route="/figures/<name>", status=200
+            )
+            exemplar = {
+                "trace_id": obs.trace_id(),
+                "span_id": span_id,
+                "route": "/figures/<name>",
+                "value": 4e-4,
+                "ts": 1.0,
+            }
+            perf.observe_http("/figures/<name>", 4e-4, 200, exemplar=exemplar)
+            telemetry.observe(
+                "/figures/<name>", 4e-4, 200, tier="index", exemplar=exemplar
+            )
+        per_call = min(per_call, (time.perf_counter() - started) / calls)
+
+    # Denominator: a real request served end to end (2 packed months).
+    monitor = PassiveMonitor()
+    TrafficGenerator(
+        default_population(), ServerPopulation(), monitor
+    ).run_expectation(dt.date(2016, 4, 1), dt.date(2016, 6, 1))
+    store = NotaryStore()
+    store.attach_packed(PackedDataset(pack_records(monitor.store.records())))
+    handle = start_server(store=store)
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=30)
+        conn.connect()
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        latencies = []
+        for _ in range(300):
+            started = time.perf_counter()
+            conn.request("GET", "/figures/fig1")
+            response = conn.getresponse()
+            response.read()
+            latencies.append(time.perf_counter() - started)
+        conn.close()
+    finally:
+        handle.close()
+    request_seconds = statistics.median(latencies)
+
+    ratio = per_call / request_seconds
+    assert ratio <= 0.03, (
+        f"serve-path telemetry costs {per_call * 1e6:.2f} us/request — "
+        f"{100 * ratio:.2f}% of a {request_seconds * 1e3:.3f} ms served "
+        f"request, over the 3% envelope"
+    )

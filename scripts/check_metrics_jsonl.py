@@ -24,10 +24,23 @@ Asserts, over every line of the sink:
 * serve event structure (PR 7) — ``http_request`` carries a non-empty
   ``method``/``route``, an integer HTTP ``status`` (100–599), a
   non-negative ``duration``, and ``tier`` either null (no store query
-  ran) or a non-empty string naming the answering query tier;
-* at least one ``run_complete`` event was emitted — i.e. the
-  observability layer was actually live for the run that produced the
-  file.
+  ran) or a non-empty string naming the answering query tier (the
+  ``span_id`` linking the request to its span, added with the live
+  telemetry layer, is optional — older sinks stay readable — but must
+  be a non-negative int when present);
+* live-telemetry event structure (PR 9) — ``histogram_snapshot``
+  (emitted per route on each ``/metrics`` scrape) carries a non-empty
+  ``name``/``route``, strictly increasing finite ``bounds``,
+  monotonically non-decreasing *cumulative* ``buckets`` (one more
+  entry than bounds, the last being the +Inf total), a ``count`` equal
+  to that total with ``sum >= 0`` (and ``sum == 0`` when empty), and
+  ``exemplars`` aligned one-per-bucket, each null or an object with a
+  non-empty ``trace_id`` and a numeric ``value`` inside its bucket's
+  range;
+* at least one terminal event was emitted — ``run_complete`` for a
+  batch-run sink, or ``http_request`` for a sink produced by a resident
+  server that never ran the batch engine — i.e. the observability layer
+  was actually live for whatever produced the file.
 
 Usage: ``python scripts/check_metrics_jsonl.py <path>``; exits 1 on any
 violation so CI fails loudly.
@@ -102,6 +115,23 @@ HTTP_REQUEST_FIELDS = {
     "tier": lambda v: v is None or (isinstance(v, str) and bool(v)),
 }
 
+#: Live-telemetry events (PR 9): one bounded-histogram snapshot per
+#: route per ``/metrics`` scrape.  The flat table covers the scalar
+#: fields; the cross-field invariants (bucket monotonicity, count/sum
+#: consistency, exemplar alignment) live in
+#: :func:`check_histogram_snapshot`.
+HISTOGRAM_SNAPSHOT_FIELDS = {
+    "name": lambda v: isinstance(v, str) and bool(v),
+    "route": lambda v: isinstance(v, str) and bool(v),
+    "bounds": lambda v: isinstance(v, list),
+    "buckets": lambda v: isinstance(v, list),
+    "count": _count,
+    "sum": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool)
+    and v >= 0,
+    "exemplars": lambda v: isinstance(v, list),
+}
+
 #: event name -> field validators, for events beyond the envelope.
 STRUCTURED_EVENTS = {
     "span": SPAN_FIELDS,
@@ -109,7 +139,68 @@ STRUCTURED_EVENTS = {
     "scan_fallback": SCAN_FALLBACK_FIELDS,
     "vector_path": VECTOR_PATH_FIELDS,
     "http_request": HTTP_REQUEST_FIELDS,
+    "histogram_snapshot": HISTOGRAM_SNAPSHOT_FIELDS,
 }
+
+
+def _is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_histogram_snapshot(record: dict) -> str | None:
+    """Cross-field invariants of one ``histogram_snapshot`` event."""
+    bounds, buckets = record["bounds"], record["buckets"]
+    if not all(_is_number(b) for b in bounds):
+        return "histogram_snapshot bounds contain a non-number"
+    if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+        return "histogram_snapshot bounds are not strictly increasing"
+    if len(buckets) != len(bounds) + 1:
+        return (
+            f"histogram_snapshot has {len(buckets)} cumulative bucket(s) "
+            f"for {len(bounds)} bound(s); expected bounds+1 (+Inf last)"
+        )
+    if not all(_count(b) for b in buckets):
+        return "histogram_snapshot buckets contain a non-count"
+    if any(b2 < b1 for b1, b2 in zip(buckets, buckets[1:])):
+        return "histogram_snapshot cumulative buckets decrease"
+    if buckets and buckets[-1] != record["count"]:
+        return (
+            f"histogram_snapshot count {record['count']} != +Inf cumulative "
+            f"bucket {buckets[-1]}"
+        )
+    if record["count"] == 0 and record["sum"] != 0:
+        return "histogram_snapshot has sum > 0 with count == 0"
+    exemplars = record["exemplars"]
+    if len(exemplars) != len(buckets):
+        return (
+            f"histogram_snapshot has {len(exemplars)} exemplar slot(s) "
+            f"for {len(buckets)} bucket(s)"
+        )
+    for i, exemplar in enumerate(exemplars):
+        if exemplar is None:
+            continue
+        if not isinstance(exemplar, dict):
+            return f"histogram_snapshot exemplar[{i}] is not null or object"
+        trace = exemplar.get("trace_id")
+        if not isinstance(trace, str) or not trace:
+            return (
+                f"histogram_snapshot exemplar[{i}] trace_id {trace!r} "
+                "is not a non-empty string"
+            )
+        value = exemplar.get("value")
+        if not _is_number(value) or value < 0:
+            return (
+                f"histogram_snapshot exemplar[{i}] value {value!r} "
+                "is not a non-negative number"
+            )
+        lower = bounds[i - 1] if i > 0 else 0.0
+        upper = bounds[i] if i < len(bounds) else float("inf")
+        if value > upper or (i > 0 and value < lower):
+            return (
+                f"histogram_snapshot exemplar[{i}] value {value!r} "
+                f"outside its bucket range ({lower}, {upper}]"
+            )
+    return None
 
 #: ``vector_path`` per-outcome extra fields.
 VECTOR_OUTCOME_FIELDS = {
@@ -156,6 +247,17 @@ def check_record(record: dict, last_ts: dict) -> str | None:
                         f"{event} field {name}={record[name]!r} "
                         "fails validation"
                     )
+        if event == "http_request" and "span_id" in record:
+            # Optional (older sinks predate it) but strict when present:
+            # it must actually address a span.
+            span_id = record["span_id"]
+            if not _count(span_id):
+                return (
+                    f"http_request span_id {span_id!r} is not a "
+                    "non-negative integer"
+                )
+        if event == "histogram_snapshot":
+            return check_histogram_snapshot(record)
     return None
 
 
@@ -189,9 +291,11 @@ def main(argv: list[str]) -> int:
     if total == 0:
         print(f"FAIL: {path} contains no events", file=sys.stderr)
         return 1
-    if events.get("run_complete", 0) == 0:
+    if events.get("run_complete", 0) == 0 and events.get("http_request", 0) == 0:
         print(
-            f"FAIL: {path} has {total} event(s) but no run_complete", file=sys.stderr
+            f"FAIL: {path} has {total} event(s) but no run_complete "
+            "or http_request",
+            file=sys.stderr,
         )
         return 1
     summary = ", ".join(f"{name}={count}" for name, count in sorted(events.items()))

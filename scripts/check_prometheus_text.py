@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (the ``/metrics`` CI gate).
+
+Reads exposition text from a file argument (or stdin with ``-``) and
+asserts what a real Prometheus scrape would choke on, plus the
+histogram algebra the repo's own histograms must satisfy:
+
+* every line parses under the text-format 0.0.4 grammar
+  (:func:`repro.obs.live.parse_prometheus` — the same parser ``repro
+  top`` renders from, so the dashboard and this gate can't drift);
+* ``# HELP`` / ``# TYPE`` lines precede their family's samples, and no
+  family declares TYPE twice;
+* no duplicate series — the same sample name with the same label set
+  exposed twice is an aggregation bug upstream;
+* histogram families are internally consistent per label set:
+  ``le``-bucketed cumulative counts are non-decreasing as bounds
+  increase, the ``+Inf`` bucket exists and equals ``_count``, and
+  ``_sum`` is present and non-negative;
+* at least one sample was exposed at all.
+
+Usage::
+
+    python scripts/check_prometheus_text.py metrics.txt
+    curl -s http://host:port/metrics | python scripts/check_prometheus_text.py -
+
+Exits 1 on any violation so CI fails loudly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Runnable from a bare checkout (the smoke script, a curl pipe) without
+# an installed package or PYTHONPATH.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.live import PrometheusParseError, parse_prometheus  # noqa: E402
+
+
+def _check_ordering(text: str) -> str | None:
+    """HELP/TYPE must precede samples; TYPE at most once per family."""
+    sampled: set[str] = set()
+    typed: set[str] = set()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                if name in sampled:
+                    return (
+                        f"line {lineno}: # {parts[1]} {name} appears after "
+                        "that family's samples"
+                    )
+                if parts[1] == "TYPE":
+                    if name in typed:
+                        return f"line {lineno}: duplicate # TYPE for {name}"
+                    typed.add(name)
+            continue
+        name = line.split("{", 1)[0].split(None, 1)[0]
+        # Fold histogram/summary suffixes onto the declaring family so
+        # a _bucket sample counts as "the family has samples".
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                name = name[: -len(suffix)]
+                break
+        sampled.add(name)
+    return None
+
+
+def _series_key(family: str, labels: dict) -> tuple:
+    return (family, tuple(sorted(labels.items())))
+
+
+def _check_histogram(name: str, family: dict) -> str | None:
+    """Bucket monotonicity + sum/count consistency per label set."""
+    groups: dict[tuple, dict] = {}
+    for labels, value in family["samples"]:
+        suffix = labels.get("__suffix__")
+        base = {
+            k: v for k, v in labels.items() if k not in ("__suffix__", "le")
+        }
+        group = groups.setdefault(
+            tuple(sorted(base.items())),
+            {"buckets": [], "sum": None, "count": None},
+        )
+        if suffix == "_bucket":
+            le = labels.get("le")
+            if le is None:
+                return f"{name}: _bucket sample without an le label"
+            bound = float("inf") if le == "+Inf" else float(le)
+            group["buckets"].append((bound, value))
+        elif suffix == "_sum":
+            group["sum"] = value
+        elif suffix == "_count":
+            group["count"] = value
+        else:
+            return f"{name}: bare sample on a histogram family"
+    for key, group in groups.items():
+        where = f"{name}{dict(key) if key else ''}"
+        if not group["buckets"]:
+            return f"{where}: histogram with no _bucket samples"
+        if group["sum"] is None:
+            return f"{where}: histogram missing _sum"
+        if group["count"] is None:
+            return f"{where}: histogram missing _count"
+        if group["sum"] < 0:
+            return f"{where}: _sum {group['sum']} is negative"
+        buckets = sorted(group["buckets"])
+        bounds = [b for b, _ in buckets]
+        if len(set(bounds)) != len(bounds):
+            return f"{where}: duplicate le bound"
+        counts = [c for _, c in buckets]
+        if any(c2 < c1 for c1, c2 in zip(counts, counts[1:])):
+            return f"{where}: cumulative bucket counts decrease"
+        if buckets[-1][0] != float("inf"):
+            return f"{where}: no +Inf bucket"
+        if buckets[-1][1] != group["count"]:
+            return (
+                f"{where}: +Inf bucket {buckets[-1][1]} != _count "
+                f"{group['count']}"
+            )
+        if group["count"] == 0 and group["sum"] != 0:
+            return f"{where}: sum > 0 with count == 0"
+    return None
+
+
+def check_text(text: str) -> str | None:
+    """The first violation in an exposition, or None when clean."""
+    violation = _check_ordering(text)
+    if violation:
+        return violation
+    try:
+        families = parse_prometheus(text)
+    except PrometheusParseError as exc:
+        return str(exc)
+    seen: set[tuple] = set()
+    total = 0
+    for name, family in families.items():
+        for labels, _value in family["samples"]:
+            total += 1
+            key = _series_key(name, labels)
+            if key in seen:
+                return f"duplicate series {name}{labels}"
+            seen.add(key)
+        if family["type"] == "histogram":
+            violation = _check_histogram(name, family)
+            if violation:
+                return violation
+    if total == 0:
+        return "exposition contains no samples"
+    return None
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_prometheus_text.py <path|->", file=sys.stderr)
+        return 2
+    if argv[0] == "-":
+        text = sys.stdin.read()
+        where = "<stdin>"
+    else:
+        path = Path(argv[0])
+        if not path.exists():
+            print(f"FAIL: {path} does not exist", file=sys.stderr)
+            return 1
+        text = path.read_text(encoding="utf-8")
+        where = str(path)
+    violation = check_text(text)
+    if violation:
+        print(f"FAIL: {where}: {violation}", file=sys.stderr)
+        return 1
+    families = parse_prometheus(text)
+    samples = sum(len(f["samples"]) for f in families.values())
+    print(f"OK: {len(families)} metric(s), {samples} sample(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

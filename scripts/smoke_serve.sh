@@ -50,6 +50,11 @@ assert series and all(points for points in series.values()), "empty series"
 print(f"fig1: {len(series)} series over HTTP")
 '
 
+# /metrics must be a valid Prometheus text exposition — the full
+# grammar/ordering/histogram-consistency gate, not just an HTTP 200.
+curl -sf "$URL/metrics" | python scripts/check_prometheus_text.py -
+echo "metrics: valid exposition"
+
 # A malformed query must answer 400, not 5xx.
 STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"kind":"bogus"}' "$URL/query")"
 [ "$STATUS" = 400 ] || { echo "FAIL: malformed query answered $STATUS, wanted 400"; exit 1; }

@@ -26,12 +26,19 @@ Commands:
   against ``benchmarks/baseline.json`` (exit 1 on regression).
 * ``serve`` — resident query server (:mod:`repro.serve`): load the
   packed dataset once, then answer ``/figures/<name>``, ``/query``,
-  ``/stats``, and ``/healthz`` as JSON until SIGINT/SIGTERM.  Binds
-  port 0 by default and announces the chosen port on stdout
-  (``serving on http://host:port``) — never hard-code a port.
+  ``/stats``, and ``/healthz`` as JSON — plus ``/metrics`` as
+  Prometheus text exposition — until SIGINT/SIGTERM.  Binds port 0 by
+  default and announces the chosen port on stdout (``serving on
+  http://host:port``) — never hard-code a port.
 * ``loadtest <url>`` — hammer a live server with a thread pool of
   keep-alive connections; report p50/p95/p99 latency, sustained RPS,
   and the server-side max-in-flight gauge (exit 1 on any error).
+  ``--slo p99=50ms,error_rate=0.1%`` evaluates the report against SLO
+  objectives with burn reporting (observed/target) next to the
+  server's sliding-window view; a violated objective also exits 1.
+* ``top <url>`` — live refreshing terminal dashboard over a running
+  server's ``/metrics``: windowed RPS and error rate, per-route
+  p50/p95/p99, in-flight gauges, query-tier mix, fault/retry counters.
 
 Engine flags (global, before the command): ``--workers N`` shards the
 expectation run across N processes (``REPRO_WORKERS``; 0 = serial),
@@ -226,7 +233,14 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 #: 5 — ``counters`` gained the serve fields ``http_requests`` /
 #: ``http_errors`` / ``http_route_latency`` (the per-route latency
 #: ledger of the resident server).
-STATS_SCHEMA = 5
+#: 6 — live-telemetry layer: top-level ``histograms`` (named duration
+#: histograms as mergeable snapshots — bounds/counts/count/sum/max/min/
+#: exemplars) and ``window`` (the sliding-window section; null in batch
+#: documents, populated by the resident server's ``/stats``); the
+#: route-ledger entries swapped their unbounded ``samples`` list for a
+#: bounded ``histogram`` snapshot; ``counters`` gained
+#: ``duration_histograms``.
+STATS_SCHEMA = 6
 
 
 def _stats_payload(model, store, wall: float) -> dict:
@@ -245,6 +259,15 @@ def _stats_payload(model, store, wall: float) -> dict:
         },
         "counters": PERF.snapshot(),
         "derived": {"records_per_second": PERF.records_per_second()},
+        # Schema 6: named duration histograms (per-month simulation,
+        # per-chunk wall) as mergeable snapshots, and the sliding-window
+        # section — always null in batch documents; the resident
+        # server's /stats fills it from live telemetry.
+        "histograms": {
+            name: hist.snapshot()
+            for name, hist in sorted(PERF.duration_histograms.items())
+        },
+        "window": None,
         "trace": {
             "trace_id": obs.trace_id(),
             "spans": obs.snapshot_spans(),
@@ -430,13 +453,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
-    from repro.serve.loadtest import render_report, run_loadtest
+    from repro.serve.loadtest import parse_slo, render_report, run_loadtest
 
+    slo = None
+    if getattr(args, "slo", None):
+        try:
+            slo = parse_slo(args.slo)
+        except ValueError as exc:
+            print(f"loadtest: {exc}", file=sys.stderr)
+            return 2
     report = run_loadtest(
         args.url,
         requests=args.requests,
         concurrency=args.concurrency,
         timeout=args.timeout,
+        slo=slo,
     )
     if args.json:
         import json
@@ -444,7 +475,19 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         print(json.dumps(report, indent=2))
     else:
         print(render_report(report))
-    return 1 if report["errors"] else 0
+    slo_failed = slo is not None and not report["slo"]["ok"]
+    return 1 if (report["errors"] or slo_failed) else 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(
+        args.url,
+        interval=args.interval,
+        iterations=args.count,
+        timeout=args.timeout,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -682,7 +725,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the report as JSON instead of the human summary",
     )
+    p_load.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help="evaluate the report against SLO objectives, e.g. "
+             "'p99=50ms,error_rate=0.1%%' (p50/p95/p99/max in ms or s, "
+             "error_rate as %% or fraction); a violation exits 1",
+    )
     p_load.set_defaults(func=cmd_loadtest)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running server's /metrics "
+             "(windowed RPS, per-route p50/p95/p99, tier mix, faults)",
+    )
+    p_top.add_argument(
+        "url", help="server base URL, e.g. http://127.0.0.1:8321"
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default 2.0)",
+    )
+    p_top.add_argument(
+        "--count", type=int, default=0, metavar="N",
+        help="render N frames then exit (default 0 = until interrupted)",
+    )
+    p_top.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-poll socket timeout in seconds (default 10)",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     return parser
 

@@ -6,14 +6,19 @@ after the fork, run their month chunk, and ship a snapshot back with
 the month partition; the parent folds those into its own counters so a
 parallel run reports fleet-wide totals.
 
-No imports from the rest of :mod:`repro` — the generator and monitor
-increment these counters from the hot loop, and this module sitting at
-the bottom of the import graph keeps that cycle-free.
+Almost no imports from the rest of :mod:`repro` — the generator and
+monitor increment these counters from the hot loop, and this module
+sitting at the bottom of the import graph keeps that cycle-free.  The
+one exception is :mod:`repro.obs.live` (the histogram primitive behind
+the route ledger and duration counters), which itself imports nothing
+from :mod:`repro` and sits at the same bottom layer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.obs.live import Histogram
 
 
 #: Fields scoped to the parent run as a whole — never folded from a
@@ -23,6 +28,9 @@ from dataclasses import dataclass, field
 #: summable fleet counter and merges from every worker by default, so a
 #: newly added counter is fleet-accurate without touching the merge
 #: (the old hand-kept six-name list silently dropped everything else).
+#: ``duration_histograms`` is NOT parent-only: histogram snapshots are
+#: mergeable by design, and :meth:`PerfCounters.merge_worker` folds them
+#: bucket-by-bucket instead of summing them as ints.
 PARENT_ONLY_FIELDS = frozenset(
     {
         "run_seconds",
@@ -34,9 +42,12 @@ PARENT_ONLY_FIELDS = frozenset(
     }
 )
 
-#: Per-route latency samples retained for the serve ledger; enough for
-#: stable p50/p99 on a long-lived server without unbounded growth.
-MAX_ROUTE_SAMPLES = 4096
+#: Fields holding name -> :class:`Histogram` dicts.  These DO merge
+#: from workers — bucket-by-bucket via :meth:`Histogram.merge_snapshot`
+#: rather than as summed ints.  The classification test in
+#: ``tests/test_obs.py`` enforces every dataclass field is exactly one
+#: of: summable int, parent-only, or histogram-valued.
+HISTOGRAM_FIELDS = frozenset({"duration_histograms"})
 
 
 @dataclass
@@ -105,11 +116,18 @@ class PerfCounters:
     #: HTTP responses with status >= 400 (client and server errors).
     http_errors: int = 0
     #: Per-route latency ledger of the resident server: route ->
-    #: ``{count, errors, total_seconds, max_seconds, samples}`` where
-    #: ``samples`` holds the most recent :data:`MAX_ROUTE_SAMPLES`
-    #: durations for percentile reads.  Parent-only: a served process
-    #: never merges another fleet's ledger.
+    #: ``{count, errors, total_seconds, max_seconds, histogram}`` where
+    #: ``histogram`` is a bounded :class:`repro.obs.live.Histogram`
+    #: (O(buckets) state forever — the fix for the old grow-per-request
+    #: samples list).  Parent-only: a served process never merges
+    #: another fleet's ledger.
     http_route_latency: dict = field(default_factory=dict)
+    #: Named duration histograms: name -> :class:`Histogram`.  The batch
+    #: runner observes ``simulate_month_seconds`` / ``chunk_seconds``
+    #: here; workers ship snapshots and :meth:`merge_worker` folds them
+    #: bucket-by-bucket, so ``stats --json`` reports fleet-wide latency
+    #: *distributions*, not just totals.
+    duration_histograms: dict = field(default_factory=dict)
     #: Wall seconds of the last full expectation run (serial or merged).
     run_seconds: float = 0.0
     #: Wall seconds of the last persistent-cache load.
@@ -133,9 +151,16 @@ class PerfCounters:
             setattr(self, name, getattr(fresh, name))
 
     def snapshot(self) -> dict:
-        """A picklable copy of the counters (workers ship these back)."""
+        """A picklable copy of the counters (workers ship these back).
+
+        Histogram values flatten to their :meth:`Histogram.snapshot`
+        dicts, so the result stays pure JSON-safe data — what the pickle
+        channel, ``stats --json``, and :meth:`merge_worker` all expect.
+        """
 
         def _copy(value):
+            if isinstance(value, Histogram):
+                return value.snapshot()
             if isinstance(value, list):
                 return [_copy(v) for v in value]
             if isinstance(value, dict):
@@ -147,11 +172,19 @@ class PerfCounters:
             for name in self.__dataclass_fields__
         }
 
-    def observe_http(self, route: str, seconds: float, status: int) -> None:
+    def observe_http(
+        self,
+        route: str,
+        seconds: float,
+        status: int,
+        exemplar: dict | None = None,
+    ) -> None:
         """Fold one served request into the counters and route ledger.
 
         Callers serialize (the server holds its perf lock); this method
-        itself does no locking, matching every other counter here.
+        itself does no locking, matching every other counter here.  An
+        ``exemplar`` (trace/span identity of this request) is pinned to
+        the histogram bucket the duration lands in, most-recent-wins.
         """
         self.http_requests += 1
         error = status >= 400
@@ -164,7 +197,7 @@ class PerfCounters:
                 "errors": 0,
                 "total_seconds": 0.0,
                 "max_seconds": 0.0,
-                "samples": [],
+                "histogram": Histogram(),
             }
         ledger["count"] += 1
         if error:
@@ -172,10 +205,16 @@ class PerfCounters:
         ledger["total_seconds"] += seconds
         if seconds > ledger["max_seconds"]:
             ledger["max_seconds"] = seconds
-        samples = ledger["samples"]
-        if len(samples) >= MAX_ROUTE_SAMPLES:
-            del samples[: len(samples) - MAX_ROUTE_SAMPLES + 1]
-        samples.append(seconds)
+        ledger["histogram"].observe(seconds, exemplar=exemplar)
+
+    def observe_duration(self, name: str, seconds: float) -> None:
+        """Fold one duration into the named histogram (creating it on
+        first sight).  Engine callers are single-threaded per process;
+        like every other counter here, no locking."""
+        hist = self.duration_histograms.get(name)
+        if hist is None:
+            hist = self.duration_histograms[name] = Histogram()
+        hist.observe(seconds)
 
     def merge_worker(self, snap: dict, wall: float) -> None:
         """Fold one worker's snapshot into the fleet totals.
@@ -186,9 +225,20 @@ class PerfCounters:
         hole: the old explicit six-name list silently dropped worker-side
         ``cache_write_failures``, ``dataset_cache_hits``/``misses``,
         ``cache_corrupt_deleted`` — and every counter added since.
+        ``duration_histograms`` merges bucket-by-bucket (histogram
+        snapshots are mergeable by construction) instead of as an int.
         """
         for name in self.__dataclass_fields__:
             if name in PARENT_ONLY_FIELDS:
+                continue
+            if name in HISTOGRAM_FIELDS:
+                for hist_name, hist_snap in (snap.get(name) or {}).items():
+                    mine = self.duration_histograms.get(hist_name)
+                    if mine is None:
+                        mine = self.duration_histograms[hist_name] = Histogram(
+                            tuple(hist_snap["bounds"])
+                        )
+                    mine.merge_snapshot(hist_snap)
                 continue
             setattr(self, name, getattr(self, name) + int(snap.get(name, 0)))
         self.worker_wall_times.append(wall)
@@ -253,10 +303,23 @@ class PerfCounters:
             for route in sorted(self.http_route_latency):
                 ledger = self.http_route_latency[route]
                 mean_ms = ledger["total_seconds"] / ledger["count"] * 1e3
+                hist = ledger["histogram"]
                 lines.append(
                     f"  {route:<18}: {ledger['count']} req, "
                     f"mean {mean_ms:.2f} ms, "
+                    f"p50 {hist.percentile(50) * 1e3:.2f} ms, "
+                    f"p99 {hist.percentile(99) * 1e3:.2f} ms, "
                     f"max {ledger['max_seconds'] * 1e3:.2f} ms"
+                )
+        if self.duration_histograms:
+            lines.append("duration histograms :")
+            for name in sorted(self.duration_histograms):
+                hist = self.duration_histograms[name]
+                lines.append(
+                    f"  {name:<18}: {hist.count} obs, "
+                    f"p50 {hist.percentile(50) * 1e3:.2f} ms, "
+                    f"p99 {hist.percentile(99) * 1e3:.2f} ms, "
+                    f"max {hist.max * 1e3:.2f} ms"
                 )
         if self.load_seconds > 0:
             lines.append(f"cache load seconds  : {self.load_seconds:.3f}")

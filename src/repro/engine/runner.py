@@ -317,8 +317,17 @@ def _run_chunk(job: tuple[int, int, list[_dt.date]]) -> dict:
         packer = StreamPacker()
         for month in months:
             faults.crash_point("month_crash", f"{token}.m{month.isoformat()}")
+            month_started = time.perf_counter()
             with obs.span("simulate_month", month=month.isoformat()):
                 packer.extend(generator.stream_expectation_month(month))
+            # Worker-side duration histogram: ships in the perf snapshot
+            # and folds bucket-by-bucket in the parent's merge, so the
+            # fleet's per-month latency *distribution* survives into
+            # stats --json (schema 6) instead of only chunk totals.
+            PERF.observe_duration(
+                "simulate_month_seconds",
+                time.perf_counter() - month_started,
+            )
         packed = packer.finish()
     if faults.fires("pack_corrupt", token):
         packed = faults.corrupt_partition(packed, token)
@@ -349,8 +358,13 @@ def _run_chunk_inline(clients, servers, months: list[_dt.date], scale: int = 1) 
         generator = TrafficGenerator(clients, servers, PassiveMonitor(), scale=scale)
         packer = StreamPacker()
         for month in months:
+            month_started = time.perf_counter()
             with obs.span("simulate_month", month=month.isoformat()):
                 packer.extend(generator.stream_expectation_month(month))
+            PERF.observe_duration(
+                "simulate_month_seconds",
+                time.perf_counter() - month_started,
+            )
     return {
         "packed": packer.finish(),
         "perf": None,
@@ -706,6 +720,7 @@ def _adopt(
         PERF.merge_worker(part["perf"], part["wall"])
     elif inline:
         PERF.worker_wall_times.append(part["wall"])
+    PERF.observe_duration("chunk_seconds", part["wall"])
     if part.get("spans"):
         obs.merge_worker_spans(part["spans"])
     attribution = {
@@ -742,7 +757,12 @@ def _run_serial(
         generator = TrafficGenerator(clients, servers, PassiveMonitor(), scale=scale)
         packer = StreamPacker()
         for month in month_range(start, end):
+            month_started = time.perf_counter()
             packer.extend(generator.stream_expectation_month(month))
+            PERF.observe_duration(
+                "simulate_month_seconds",
+                time.perf_counter() - month_started,
+            )
         store = NotaryStore()
         store.attach_packed(PackedDataset(packer.finish()))
     PERF.run_seconds = time.perf_counter() - started

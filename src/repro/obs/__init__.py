@@ -25,6 +25,11 @@ Two consumers sit on top of the channels:
   tracemalloc hooks around engine phases (``--profile`` /
   ``REPRO_PROFILE``), surfaced in ``stats --json`` and the bench
   trajectory.
+* **Live telemetry** (:mod:`repro.obs.live`) — continuous telemetry
+  for long-running processes: mergeable fixed-bucket log-scale latency
+  histograms with per-bucket trace exemplars, sliding time-window
+  aggregation, and Prometheus text exposition (``GET /metrics`` on the
+  resident server, ``repro top`` on the client side).
 
 This package imports nothing from the rest of :mod:`repro` (it sits at
 the bottom of the import graph beside :mod:`repro.engine.perf`), so any
@@ -34,6 +39,7 @@ instrument itself without creating a cycle.
 
 from __future__ import annotations
 
+from repro.obs import live
 from repro.obs import metrics as _metrics
 from repro.obs import profile
 from repro.obs.diag import configure_logging, get_logger, resolve_level
@@ -65,6 +71,7 @@ __all__ = [
     "end_run",
     "profile",
     "profiled",
+    "live",
 ]
 
 

@@ -143,13 +143,18 @@ class SpanCollector:
 
     def record_complete(
         self, name: str, started_ts: float, duration: float, **attrs
-    ) -> None:
+    ) -> int:
         """Record an already-finished span, thread-safely.
 
         The server's handler threads time their own requests and call
         this with the result; unlike :meth:`span` it never touches the
         nesting stack (concurrent requests are not nested in each
         other), so spans land flat at depth 0 with no parent.
+
+        Returns the span's per-process id so callers can reference the
+        span elsewhere — histogram exemplars store ``(trace_id,
+        span_id)`` to link a latency bucket back to its span in the
+        JSONL sink.
         """
         with self._lock:
             span_id = self._next_id
@@ -173,6 +178,7 @@ class SpanCollector:
                 self.dropped += 1
             else:
                 self.spans.append(record)
+            return span_id
 
     # ---- worker round-trip --------------------------------------------------
 

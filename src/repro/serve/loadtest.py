@@ -13,6 +13,14 @@ All workers arm on a barrier so the clock starts when every connection
 is ready, not while threads are still spawning; the wall excludes
 setup and teardown.  ``repro loadtest`` is the CLI face; ``repro
 bench`` drives the same entry point as the ``serve.loadtest`` bench.
+
+SLO evaluation: ``repro loadtest --slo p99=50ms,error_rate=0.1%``
+parses objectives (:func:`parse_slo`), evaluates the finished report
+against them (:func:`evaluate_slo`), and reports each objective's
+**burn** — observed / target, the fraction of the budget consumed, >1.0
+meaning violated — alongside the server's own sliding-window view
+pulled from ``/stats``.  Any violated objective exits nonzero, which is
+what makes the flag usable as a CI gate.
 """
 
 from __future__ import annotations
@@ -101,7 +109,14 @@ class _Worker:
         return conn
 
     def run(self) -> None:
-        conn = self._connect()
+        # A failed initial connect (wrong port, server gone) must NOT
+        # kill the thread before the barrier — the main thread would
+        # wait on it forever.  Count the share as errors and let the
+        # per-request loop keep retrying the connect instead.
+        try:
+            conn = self._connect()
+        except OSError:
+            conn = None
         self.barrier.wait()
         for i in range(self.share):
             method, path, body = self.workload[
@@ -110,6 +125,12 @@ class _Worker:
             headers = {}
             if body is not None:
                 headers["Content-Type"] = "application/json"
+            if conn is None:
+                try:
+                    conn = self._connect()
+                except OSError:
+                    self.errors += 1
+                    continue
             started = time.perf_counter()
             try:
                 conn.request(method, path, body=body, headers=headers)
@@ -118,7 +139,7 @@ class _Worker:
             except OSError:
                 self.errors += 1
                 conn.close()
-                conn = self._connect()
+                conn = None
                 continue
             self.latencies.append(time.perf_counter() - started)
             status = response.status
@@ -130,7 +151,101 @@ class _Worker:
                 json.loads(payload)
             except (json.JSONDecodeError, UnicodeDecodeError):
                 self.errors += 1
+        if conn is not None:
+            conn.close()
+
+
+#: SLO objective names accepted by :func:`parse_slo`; the latency ones
+#: map onto the report's ``*_ms`` keys.
+SLO_LATENCY_OBJECTIVES = ("p50", "p95", "p99", "max")
+
+
+def parse_slo(spec: str) -> dict:
+    """Parse ``"p99=50ms,error_rate=0.1%"`` into objective targets.
+
+    Latency objectives (``p50``/``p95``/``p99``/``max``) take ``ms`` or
+    ``s`` suffixed values (bare numbers mean milliseconds) and become
+    ``{name}_ms`` keys; ``error_rate`` takes a ``%``-suffixed or plain
+    fraction.  Raises :class:`ValueError` on anything else — a typo'd
+    SLO gate that silently checks nothing is worse than none.
+    """
+    objectives: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, eq, raw = part.partition("=")
+        name, raw = name.strip().lower(), raw.strip().lower()
+        if not eq or not raw:
+            raise ValueError(f"SLO objective {part!r} is not name=value")
+        if name in SLO_LATENCY_OBJECTIVES:
+            if raw.endswith("ms"):
+                value = float(raw[:-2])
+            elif raw.endswith("s"):
+                value = float(raw[:-1]) * 1e3
+            else:
+                value = float(raw)
+            objectives[f"{name}_ms"] = value
+        elif name == "error_rate":
+            value = float(raw[:-1]) / 100.0 if raw.endswith("%") else float(raw)
+            objectives["error_rate"] = value
+        else:
+            raise ValueError(
+                f"unknown SLO objective {name!r}; choose from "
+                f"{SLO_LATENCY_OBJECTIVES + ('error_rate',)}"
+            )
+    if not objectives:
+        raise ValueError(f"SLO spec {spec!r} names no objectives")
+    return objectives
+
+
+def evaluate_slo(report: dict, objectives: dict) -> dict:
+    """Evaluate a finished loadtest report against parsed objectives.
+
+    Each objective reports its target, the observed value, and the
+    **burn** (observed / target — the fraction of the error budget
+    consumed; > 1.0 is a violation).  The top-level ``ok`` is the AND
+    of every objective.
+    """
+    results: dict[str, dict] = {}
+    ok = True
+    for key, target in objectives.items():
+        if key == "error_rate":
+            observed = (
+                report["errors"] / report["requests"]
+                if report["requests"] else 0.0
+            )
+        else:
+            observed = float(report[key])
+        if target > 0:
+            burn = observed / target
+        else:
+            burn = float("inf") if observed > 0 else 0.0
+        passed = observed <= target
+        ok = ok and passed
+        results[key] = {
+            "target": target,
+            "observed": observed,
+            "burn": burn,
+            "ok": passed,
+        }
+    return {"ok": ok, "objectives": results}
+
+
+def _server_window(host: str, port: int, timeout: float) -> dict | None:
+    """The server's sliding-window telemetry from ``/stats`` (None if
+    the target is not a repro server) — the burn report shows it next
+    to the client-side numbers so a violation can be read as server
+    latency vs. client/network overhead."""
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        conn.request("GET", "/stats")
+        payload = json.loads(conn.getresponse().read())
         conn.close()
+        window = payload.get("window")
+        return dict(window) if isinstance(window, dict) else None
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
 
 
 def _server_gauge(host: str, port: int, timeout: float) -> int | None:
@@ -152,12 +267,16 @@ def run_loadtest(
     concurrency: int = 32,
     timeout: float = 30.0,
     workload: list[tuple[str, str, str | None]] | None = None,
+    slo: dict | None = None,
 ) -> dict:
     """Hammer ``url`` and return the latency/RPS report dict.
 
     Report keys: ``url``, ``requests``, ``concurrency``, ``errors``,
     ``wall_seconds``, ``rps``, ``p50_ms``, ``p95_ms``, ``p99_ms``,
-    ``max_ms``, ``statuses``, ``max_in_flight``.
+    ``max_ms``, ``statuses``, ``max_in_flight`` — plus ``slo`` (the
+    :func:`evaluate_slo` result, with the server's sliding-window view
+    attached as ``slo["window"]``) only when ``slo`` objectives are
+    passed, so SLO-less reports keep their exact historical shape.
     """
     if requests < 1:
         raise ValueError("requests must be >= 1")
@@ -204,6 +323,10 @@ def run_loadtest(
         "statuses": {str(k): v for k, v in sorted(statuses.items())},
         "max_in_flight": _server_gauge(host, port, timeout),
     }
+    if slo:
+        verdict = evaluate_slo(report, slo)
+        verdict["window"] = _server_window(host, port, timeout)
+        report["slo"] = verdict
     _log.debug(
         "loadtest done: %d req, %d errors, %.0f rps",
         requests,
@@ -230,4 +353,24 @@ def render_report(report: dict) -> str:
     ]
     if report.get("max_in_flight") is not None:
         lines.append(f"  max in-flight {report['max_in_flight']} (server)")
+    slo = report.get("slo")
+    if slo is not None:
+        lines.append(f"  slo           {'PASS' if slo['ok'] else 'FAIL'}")
+        for name, result in slo["objectives"].items():
+            unit = "" if name == "error_rate" else " ms"
+            lines.append(
+                f"    {name:<12}{'ok  ' if result['ok'] else 'FAIL'}"
+                f" observed {result['observed']:.4g}{unit}"
+                f" / target {result['target']:.4g}{unit}"
+                f" (burn {result['burn']:.2f})"
+            )
+        window = slo.get("window")
+        if window:
+            lines.append(
+                f"    server window ({window['seconds']:g}s): "
+                f"p50 {window['p50_ms']:.2f} ms, "
+                f"p95 {window['p95_ms']:.2f} ms, "
+                f"p99 {window['p99_ms']:.2f} ms, "
+                f"error rate {window['error_rate']:.4g}"
+            )
     return "\n".join(lines)

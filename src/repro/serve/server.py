@@ -13,8 +13,14 @@ all JSON with an ``{"api": 1, ...}`` envelope:
 * ``POST /query`` — a structured query document (:mod:`repro.serve.wire`);
   malformed documents answer 400 without touching the store.
 * ``GET /stats`` — server gauges (in-flight, max-in-flight, uptime),
-  the per-route latency ledger, and the full engine perf-counter
-  snapshot (``stats --json`` schema).
+  the per-route latency ledger, the sliding-window telemetry section,
+  and the full engine perf-counter snapshot (``stats --json`` schema).
+* ``GET /metrics`` — Prometheus text exposition (format 0.0.4,
+  hand-rolled in :mod:`repro.obs.live`): cumulative counters, gauges,
+  per-route latency histograms with bucket exemplars, and
+  sliding-window rates/quantiles.  The only non-JSON endpoint; each
+  scrape also persists one ``histogram_snapshot`` event per route to
+  the JSONL metrics sink when it is live.
 
 Why the store is safe to share across handler threads: every served
 aggregate goes through the store's read-only query methods over packed
@@ -36,15 +42,19 @@ PERF increments can land inside a concurrent cold query's sampling
 window, so that cold query may report ``mixed``; misattribution only
 ever makes a query *keep* the lock, never drop it unsafely.)
 
-Request → span → sink flow: every request is timed and recorded three
+Request → span → sink flow: every request is timed and recorded four
 ways — an ``http_request`` completed span on the process trace
 collector (thread-safe append, no nesting stack involved), an
 ``http_request`` JSONL metrics event (method, route, status, duration,
-tier used) when ``REPRO_METRICS_PATH`` is live, and the PERF counters
-``http_requests`` / ``http_errors`` plus the per-route latency ledger
-surfaced by ``stats --json`` (schema 5).  The *tier* is observed, not
-guessed: the query runs under the query lock while the tier counters
-are sampled before and after, so the event reports which of
+tier used, span id) when ``REPRO_METRICS_PATH`` is live, the PERF
+counters ``http_requests`` / ``http_errors`` plus the histogram-backed
+per-route latency ledger surfaced by ``stats --json`` (schema 6), and
+the sliding-window :class:`~repro.obs.live.LiveTelemetry` behind
+``/metrics``.  The span's ``(trace_id, id)`` travels into the latency
+histograms as the bucket *exemplar*, so a tail bucket on a dashboard
+names the exact span to pull from the sink.  The *tier* is observed,
+not guessed: the query runs under the query lock while the tier
+counters are sampled before and after, so the event reports which of
 index/vector/shape/scan actually answered.
 
 Port discipline: the default bind is port 0 — the kernel picks a free
@@ -63,6 +73,7 @@ from urllib.parse import urlsplit
 
 from repro import obs
 from repro.engine.perf import PERF
+from repro.obs import live
 from repro.serve import wire
 
 _log = obs.get_logger("repro.serve.server")
@@ -83,7 +94,7 @@ def _route_pattern(path: str) -> str:
     path = path.rstrip("/") or "/"
     if path == "/figures" or path.startswith("/figures/"):
         return "/figures/<name>" if path != "/figures" else "/figures"
-    if path in ("/healthz", "/stats", "/query"):
+    if path in ("/healthz", "/stats", "/metrics", "/query"):
         return path
     return "<other>"
 
@@ -108,9 +119,6 @@ class ReproServer(ThreadingHTTPServer):
     """One shared store, many handler threads, read-only endpoints."""
 
     daemon_threads = True
-    #: TCP_NODELAY: without it, small keep-alive responses sit behind
-    #: Nagle + delayed-ACK and every request eats a ~40 ms stall.
-    disable_nagle_algorithm = True
     #: Listen backlog: the stdlib default of 5 drops connections when a
     #: 32-way load test opens its sockets in one burst.
     request_queue_size = 128
@@ -138,6 +146,10 @@ class ReproServer(ThreadingHTTPServer):
         self._warm_tiers: dict = {}
         #: Serializes PERF counter updates from handler threads.
         self._perf_lock = threading.Lock()
+        #: Sliding-window live telemetry (per-route + global windows,
+        #: tier totals) behind ``/metrics`` and the ``window`` section
+        #: of ``/stats``.  Internally locked; no server lock needed.
+        self.telemetry = live.LiveTelemetry()
 
     # ---- lifecycle ----------------------------------------------------------
 
@@ -235,9 +247,7 @@ class ReproServer(ThreadingHTTPServer):
         tier: str | None,
         started_ts: float,
     ) -> None:
-        with self._perf_lock:
-            PERF.observe_http(route, duration, status)
-        obs.TRACE.record_complete(
+        span_id = obs.TRACE.record_complete(
             "http_request",
             started_ts,
             duration,
@@ -246,6 +256,18 @@ class ReproServer(ThreadingHTTPServer):
             status=status,
             tier=tier,
         )
+        exemplar = {
+            "trace_id": obs.trace_id(),
+            "span_id": span_id,
+            "route": route,
+            "value": duration,
+            "ts": started_ts,
+        }
+        with self._perf_lock:
+            PERF.observe_http(route, duration, status, exemplar=exemplar)
+        self.telemetry.observe(
+            route, duration, status, tier=tier, exemplar=exemplar
+        )
         obs.emit_event(
             "http_request",
             method=method,
@@ -253,6 +275,7 @@ class ReproServer(ThreadingHTTPServer):
             status=status,
             duration=duration,
             tier=tier,
+            span_id=span_id,
         )
 
     # ---- endpoint payloads --------------------------------------------------
@@ -304,12 +327,168 @@ class ReproServer(ThreadingHTTPServer):
                 else None
             ),
             "counters": counters,
+            "window": self.telemetry.window_payload(),
         }
+
+    def metrics_payload(self) -> str:
+        """The ``GET /metrics`` Prometheus text exposition.
+
+        Cumulative counters and per-route histograms come from the PERF
+        snapshot; rates and quantiles come from the sliding window (the
+        ``_total`` route label is the all-routes aggregate).  Each
+        scrape also persists one ``histogram_snapshot`` event per route
+        to the JSONL sink when it is live, so offline tooling sees the
+        same distributions Prometheus would.
+        """
+        with self._perf_lock:
+            counters = PERF.snapshot()
+        with self._gauge_lock:
+            in_flight, max_in_flight = self.in_flight, self.max_in_flight
+            queries_in_flight = self.queries_in_flight
+            max_queries_in_flight = self.max_queries_in_flight
+        window = self.telemetry.window_payload()
+        families: list[live.MetricFamily] = []
+
+        def scalar(name, kind, help_text, value):
+            family = live.MetricFamily(name, kind, help_text)
+            family.add(value)
+            families.append(family)
+
+        scalar(
+            "repro_http_requests_total", "counter",
+            "HTTP requests served (any status).", counters["http_requests"],
+        )
+        scalar(
+            "repro_http_errors_total", "counter",
+            "HTTP responses with status >= 400.", counters["http_errors"],
+        )
+        scalar(
+            "repro_faults_injected_total", "counter",
+            "Faults fired by the injection plan.",
+            counters["faults_injected"],
+        )
+        scalar(
+            "repro_chunk_retries_total", "counter",
+            "Chunk attempts re-queued after a failure.",
+            counters["chunk_retries"],
+        )
+        scalar(
+            "repro_worker_errors_total", "counter",
+            "Worker exceptions observed by the parent scheduler.",
+            counters["worker_errors"],
+        )
+        scalar(
+            "repro_uptime_seconds", "gauge",
+            "Seconds since the server started.",
+            time.time() - self.started_ts,
+        )
+        scalar(
+            "repro_in_flight", "gauge",
+            "HTTP requests currently being handled.", in_flight,
+        )
+        scalar(
+            "repro_max_in_flight", "gauge",
+            "High-water mark of concurrent HTTP requests.", max_in_flight,
+        )
+        scalar(
+            "repro_queries_in_flight", "gauge",
+            "Store queries currently executing.", queries_in_flight,
+        )
+        scalar(
+            "repro_max_queries_in_flight", "gauge",
+            "High-water mark of concurrent store queries.",
+            max_queries_in_flight,
+        )
+
+        tiers = live.MetricFamily(
+            "repro_query_tier_total", "counter",
+            "Requests answered, by the query tier that answered them.",
+        )
+        for tier, count in sorted(window["tier_totals"].items()):
+            tiers.add(count, {"tier": tier})
+        families.append(tiers)
+
+        route_requests = live.MetricFamily(
+            "repro_http_route_requests_total", "counter",
+            "HTTP requests served, per route.",
+        )
+        route_errors = live.MetricFamily(
+            "repro_http_route_errors_total", "counter",
+            "HTTP responses with status >= 400, per route.",
+        )
+        durations = live.MetricFamily(
+            "repro_http_request_duration_seconds", "histogram",
+            "Request latency per route (process-lifetime cumulative).",
+        )
+        ledger = counters["http_route_latency"]
+        for route in sorted(ledger):
+            entry = ledger[route]
+            route_requests.add(entry["count"], {"route": route})
+            route_errors.add(entry["errors"], {"route": route})
+            durations.add_histogram(entry["histogram"], {"route": route})
+        families.extend([route_requests, route_errors, durations])
+
+        window_latency = live.MetricFamily(
+            "repro_http_window_latency_seconds", "gauge",
+            f"Latency quantiles over the trailing {window['seconds']:g}s "
+            "window (_total = all routes).",
+        )
+        window_rps = live.MetricFamily(
+            "repro_http_window_rps", "gauge",
+            "Requests per second over the trailing window.",
+        )
+        quantiles = (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms"))
+        for quantile, key in quantiles:
+            window_latency.add(
+                window[key] / 1e3, {"route": "_total", "quantile": quantile}
+            )
+        window_rps.add(window["rps"], {"route": "_total"})
+        for route, stats in sorted(window["routes"].items()):
+            for quantile, key in quantiles:
+                window_latency.add(
+                    stats[key] / 1e3, {"route": route, "quantile": quantile}
+                )
+            window_rps.add(stats["rps"], {"route": route})
+        families.extend([window_latency, window_rps])
+        scalar(
+            "repro_http_window_error_rate", "gauge",
+            "Errors / requests over the trailing window (all routes).",
+            window["error_rate"],
+        )
+        scalar(
+            "repro_http_window_seconds", "gauge",
+            "Span of the sliding window.", window["seconds"],
+        )
+
+        if obs.metrics_enabled():
+            for route in sorted(ledger):
+                snap = ledger[route]["histogram"]
+                cumulative, total = [], 0
+                for n in snap["counts"]:
+                    total += n
+                    cumulative.append(total)
+                obs.emit_event(
+                    "histogram_snapshot",
+                    name="http_request_duration_seconds",
+                    route=route,
+                    bounds=snap["bounds"],
+                    buckets=cumulative,
+                    count=snap["count"],
+                    sum=snap["sum"],
+                    exemplars=snap["exemplars"],
+                )
+        return live.render_prometheus(families)
 
 
 class ReproRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
+    #: TCP_NODELAY on the accepted socket (``StreamRequestHandler.setup``
+    #: reads this off the *handler*, not the server): each response is
+    #: written as a headers segment then a body segment, and with Nagle
+    #: on, the body sits behind the client's delayed ACK — a ~40 ms
+    #: stall on every keep-alive request after the first.
+    disable_nagle_algorithm = True
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         _log.debug("%s - %s", self.address_string(), format % args)
@@ -337,12 +516,19 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 _log.exception("handler failed for %s %s", method, path)
                 status = 500
                 payload = {"error": f"{type(exc).__name__}: {exc}"}
-            body = json.dumps({"api": wire.API_VERSION, **payload}).encode(
-                "utf-8"
-            )
+            if isinstance(payload, str):
+                # /metrics: Prometheus text exposition, not the JSON
+                # envelope every other endpoint wears.
+                body = payload.encode("utf-8")
+                content_type = live.PROMETHEUS_CONTENT_TYPE
+            else:
+                body = json.dumps(
+                    {"api": wire.API_VERSION, **payload}
+                ).encode("utf-8")
+                content_type = "application/json"
             try:
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
@@ -361,7 +547,9 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
 
     # ---- routing ------------------------------------------------------------
 
-    def _dispatch(self, method: str, path: str) -> tuple[int, dict, str | None]:
+    def _dispatch(
+        self, method: str, path: str
+    ) -> tuple[int, dict | str, str | None]:
         server: ReproServer = self.server
         path = path.rstrip("/") or "/"
         if path == "/healthz":
@@ -372,6 +560,10 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             if method != "GET":
                 return self._method_not_allowed("GET")
             return 200, server.stats_payload(), None
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, server.metrics_payload(), None
         if path == "/figures" or path.startswith("/figures/"):
             if method != "GET":
                 return self._method_not_allowed("GET")

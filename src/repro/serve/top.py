@@ -1,0 +1,155 @@
+"""``repro top <url>`` — a live terminal dashboard over ``/metrics``.
+
+Polls the resident server's Prometheus exposition on an interval and
+renders a refreshing one-screen summary: RPS and error rate over the
+server's sliding window, in-flight gauges, per-route p50/p95/p99, the
+query-tier mix, and the fault/retry counters.  Everything displayed is
+*parsed back out of the exposition text* via
+:func:`repro.obs.live.parse_prometheus` — the dashboard is deliberately
+a second consumer of the same bytes Prometheus would scrape, so a
+rendering bug that would corrupt real monitoring breaks ``repro top``
+(and its tests) first.
+
+Stdlib only, like the rest of the serve package: :mod:`http.client`
+for the poll, ANSI home+clear for the refresh (suppressed when stdout
+is not a terminal, so piping ``repro top --count 1`` stays clean).
+"""
+
+from __future__ import annotations
+
+import http.client
+import sys
+import time
+from urllib.parse import urlsplit
+
+from repro.obs import live
+
+#: ANSI: clear screen, cursor home — the whole "refresh".
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_metrics(url: str, timeout: float = 10.0) -> str:
+    """One ``GET /metrics`` against ``url``; raises :class:`OSError`
+    on transport failure and :class:`ValueError` on a non-200."""
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    conn = http.client.HTTPConnection(
+        parts.hostname or "127.0.0.1", parts.port or 80, timeout=timeout
+    )
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise ValueError(
+                f"/metrics answered {response.status}, not 200"
+            )
+        return body.decode("utf-8")
+    finally:
+        conn.close()
+
+
+def _routes(families: dict) -> list[str]:
+    """Route labels present in the window gauges (skipping the
+    all-routes ``_total`` aggregate, which renders separately)."""
+    family = families.get("repro_http_window_rps") or {"samples": []}
+    seen = []
+    for labels, _value in family["samples"]:
+        route = labels.get("route")
+        if route and route != "_total" and route not in seen:
+            seen.append(route)
+    return sorted(seen)
+
+
+def render_dashboard(families: dict, url: str = "") -> str:
+    """One screenful of dashboard text from parsed ``/metrics``."""
+
+    def value(name: str, labels: dict | None = None) -> float:
+        return live.sample_value(families, name, labels)
+
+    def quantile_ms(route: str, quantile: str) -> float:
+        return value(
+            "repro_http_window_latency_seconds",
+            {"route": route, "quantile": quantile},
+        ) * 1e3
+
+    uptime = value("repro_uptime_seconds")
+    window_seconds = value("repro_http_window_seconds")
+    lines = [
+        f"repro top — {url}   uptime {uptime:.0f}s   "
+        f"window {window_seconds:g}s",
+        "",
+        f"requests  {value('repro_http_requests_total'):.0f} total, "
+        f"{value('repro_http_errors_total'):.0f} errors   "
+        f"in-flight {value('repro_in_flight'):.0f} "
+        f"(max {value('repro_max_in_flight'):.0f})   "
+        f"queries {value('repro_queries_in_flight'):.0f} "
+        f"(max {value('repro_max_queries_in_flight'):.0f})",
+        f"window    {value('repro_http_window_rps', {'route': '_total'}):.1f} rps, "
+        f"error rate {value('repro_http_window_error_rate'):.4g}, "
+        f"p50 {quantile_ms('_total', '0.5'):.2f} ms, "
+        f"p95 {quantile_ms('_total', '0.95'):.2f} ms, "
+        f"p99 {quantile_ms('_total', '0.99'):.2f} ms",
+        "",
+        f"{'ROUTE':<20}{'RPS':>8}{'P50 MS':>10}{'P95 MS':>10}"
+        f"{'P99 MS':>10}{'TOTAL':>10}",
+    ]
+    for route in _routes(families):
+        lines.append(
+            f"{route:<20}"
+            f"{value('repro_http_window_rps', {'route': route}):>8.1f}"
+            f"{quantile_ms(route, '0.5'):>10.2f}"
+            f"{quantile_ms(route, '0.95'):>10.2f}"
+            f"{quantile_ms(route, '0.99'):>10.2f}"
+            f"{value('repro_http_route_requests_total', {'route': route}):>10.0f}"
+        )
+    tiers = families.get("repro_query_tier_total") or {"samples": []}
+    if tiers["samples"]:
+        mix = ", ".join(
+            f"{labels.get('tier', '?')} {count:.0f}"
+            for labels, count in sorted(
+                tiers["samples"], key=lambda s: s[0].get("tier", "")
+            )
+        )
+        lines += ["", f"tier mix  {mix}"]
+    lines += [
+        "",
+        f"faults    {value('repro_faults_injected_total'):.0f} injected, "
+        f"{value('repro_chunk_retries_total'):.0f} chunk retries, "
+        f"{value('repro_worker_errors_total'):.0f} worker errors",
+    ]
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    iterations: int = 0,
+    timeout: float = 10.0,
+    out=None,
+    clear: bool | None = None,
+) -> int:
+    """Poll-and-render until interrupted (``iterations`` > 0 bounds the
+    loop; 0 means forever).  Returns 1 when the server is unreachable
+    or serves a malformed exposition."""
+    out = out if out is not None else sys.stdout
+    if clear is None:
+        clear = bool(getattr(out, "isatty", lambda: False)())
+    shown = 0
+    while True:
+        try:
+            families = live.parse_prometheus(fetch_metrics(url, timeout))
+        except (OSError, ValueError) as exc:
+            print(f"top: {url}: {exc}", file=sys.stderr)
+            return 1
+        if clear:
+            out.write(_CLEAR)
+        out.write(render_dashboard(families, url))
+        out.write("\n")
+        out.flush()
+        shown += 1
+        if iterations and shown >= iterations:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -129,3 +129,136 @@ def test_cli_loadtest_exit_code_on_errors(tiny_server, capsys):
     out = capsys.readouterr().out
     assert code == 1
     assert "errors" in out
+
+
+def test_unreachable_target_reports_errors_instead_of_hanging():
+    """A refused connect used to kill worker threads before the start
+    barrier, hanging the main thread forever — an operator typo'ing a
+    port froze the CLI.  Now every request in the share counts as an
+    error and the run returns."""
+    import socket as socket_module
+
+    # A port that is bound but never accepted would block; a *closed*
+    # port refuses instantly.  Grab one and release it.
+    probe = socket_module.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_port = probe.getsockname()[1]
+    probe.close()
+    report = loadtest.run_loadtest(
+        f"127.0.0.1:{dead_port}", requests=6, concurrency=2, timeout=5.0
+    )
+    assert report["errors"] == 6
+    assert report["statuses"] == {}
+
+
+# ---- SLO evaluation ----------------------------------------------------------
+
+
+def test_parse_slo_units_and_objectives():
+    assert loadtest.parse_slo("p99=50ms") == {"p99_ms": 50.0}
+    assert loadtest.parse_slo("p99=50") == {"p99_ms": 50.0}  # bare = ms
+    assert loadtest.parse_slo("p95=0.25s") == {"p95_ms": 250.0}
+    assert loadtest.parse_slo("error_rate=0.1%") == {"error_rate": 0.001}
+    assert loadtest.parse_slo("error_rate=0.02") == {"error_rate": 0.02}
+    assert loadtest.parse_slo(
+        "p50=5ms, p99=50ms, error_rate=1%, max=2s"
+    ) == {
+        "p50_ms": 5.0,
+        "p99_ms": 50.0,
+        "error_rate": 0.01,
+        "max_ms": 2000.0,
+    }
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["", ",", "p99", "p99=", "p42=5ms", "latency=5ms", "p99=fast"],
+)
+def test_parse_slo_rejects_malformed_specs(spec):
+    with pytest.raises(ValueError):
+        loadtest.parse_slo(spec)
+
+
+def test_evaluate_slo_burn_and_verdict():
+    report = {"requests": 1000, "errors": 5, "p99_ms": 40.0, "p50_ms": 2.0}
+    verdict = loadtest.evaluate_slo(
+        report, {"p99_ms": 50.0, "error_rate": 0.001}
+    )
+    assert verdict["ok"] is False
+    p99 = verdict["objectives"]["p99_ms"]
+    assert p99["ok"] is True
+    assert p99["observed"] == 40.0
+    assert p99["burn"] == pytest.approx(0.8)
+    err = verdict["objectives"]["error_rate"]
+    assert err["ok"] is False
+    assert err["observed"] == pytest.approx(0.005)
+    assert err["burn"] == pytest.approx(5.0)
+    # A zero target is violated by any non-zero observation, not a
+    # division crash.
+    verdict = loadtest.evaluate_slo(report, {"error_rate": 0.0})
+    assert verdict["objectives"]["error_rate"]["burn"] == float("inf")
+    assert verdict["ok"] is False
+
+
+def test_report_gains_slo_key_only_when_asked(tiny_server):
+    """SLO-less reports keep the exact historical schema (REPORT_KEYS
+    stays pinned above); the ``slo`` verdict appears only on request."""
+    plain = loadtest.run_loadtest(
+        tiny_server.url, requests=16, concurrency=2
+    )
+    assert set(plain) == REPORT_KEYS
+    gated = loadtest.run_loadtest(
+        tiny_server.url,
+        requests=16,
+        concurrency=2,
+        slo={"p99_ms": 60_000.0, "error_rate": 0.5},
+    )
+    assert set(gated) == REPORT_KEYS | {"slo"}
+    assert gated["slo"]["ok"] is True
+    # The server's own sliding-window view rides along for burn
+    # triage: client-side violation vs server-side latency.
+    window = gated["slo"]["window"]
+    assert window is not None
+    assert window["count"] >= 16
+    assert window["p50_ms"] <= window["p99_ms"]
+
+
+def test_cli_loadtest_slo_gate_exit_codes(tiny_server, capsys):
+    from repro.cli import main
+
+    # A generous SLO passes: exit 0, PASS in the human report.
+    code = main(
+        ["loadtest", tiny_server.url, "--requests", "16",
+         "--concurrency", "2", "--slo", "p99=60s,error_rate=50%"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out
+    # An impossible SLO fails the run even with zero HTTP errors.
+    code = main(
+        ["loadtest", tiny_server.url, "--requests", "16",
+         "--concurrency", "2", "--slo", "max=0.000001ms"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out
+    assert "burn" in out
+    # A malformed spec is a usage error (2), not a silent no-op gate.
+    code = main(
+        ["loadtest", tiny_server.url, "--requests", "1", "--slo",
+         "p42=1ms"]
+    )
+    assert code == 2
+
+
+def test_cli_loadtest_slo_json_report(tiny_server, capsys):
+    from repro.cli import main
+
+    code = main(
+        ["loadtest", tiny_server.url, "--requests", "16",
+         "--concurrency", "2", "--json", "--slo", "p99=60s"]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["slo"]["ok"] is True
+    assert set(report["slo"]["objectives"]) == {"p99_ms"}

@@ -169,26 +169,38 @@ class TestSpans:
 
 class TestMergeWorker:
     def test_every_field_is_classified(self):
-        """Regression gate: a new PerfCounters field must either be a
-        summable int counter (merged from workers by default) or be
-        named in PARENT_ONLY_FIELDS — anything else is a new silent
-        accounting hole."""
+        """Regression gate: a new PerfCounters field must be exactly one
+        of a summable int counter (merged from workers by default), a
+        PARENT_ONLY_FIELDS member, or a HISTOGRAM_FIELDS member (merged
+        bucket-by-bucket) — anything else is a new silent accounting
+        hole."""
         fresh = PerfCounters()
         for field in dataclasses.fields(PerfCounters):
             if field.name in perf.PARENT_ONLY_FIELDS:
                 continue
+            if field.name in perf.HISTOGRAM_FIELDS:
+                assert getattr(fresh, field.name) == {}, (
+                    f"PerfCounters.{field.name} is histogram-classified "
+                    "but does not start as an empty name->Histogram dict"
+                )
+                continue
             value = getattr(fresh, field.name)
             assert isinstance(value, int) and not isinstance(value, bool), (
                 f"PerfCounters.{field.name} is neither a summable int counter "
-                f"nor listed in perf.PARENT_ONLY_FIELDS — classify it"
+                f"nor listed in perf.PARENT_ONLY_FIELDS / "
+                f"perf.HISTOGRAM_FIELDS — classify it"
             )
         assert perf.PARENT_ONLY_FIELDS <= set(PerfCounters.__dataclass_fields__)
+        assert perf.HISTOGRAM_FIELDS <= set(PerfCounters.__dataclass_fields__)
+        assert not perf.PARENT_ONLY_FIELDS & perf.HISTOGRAM_FIELDS
 
     def test_merge_folds_every_summable_field(self):
         worker = PerfCounters()
         expected = {}
         for i, field in enumerate(dataclasses.fields(PerfCounters)):
             if field.name in perf.PARENT_ONLY_FIELDS:
+                continue
+            if field.name in perf.HISTOGRAM_FIELDS:
                 continue
             setattr(worker, field.name, i + 1)
             expected[field.name] = i + 1
@@ -462,6 +474,7 @@ class TestStatsJson:
         assert document["schema"] == STATS_SCHEMA
         assert set(document) == {
             "schema", "dataset", "counters", "derived", "trace", "profile",
+            "histograms", "window",
         }
         assert document["profile"] is None  # no --profile flag given
         assert set(document["dataset"]) == {

@@ -497,6 +497,200 @@ def test_stats_endpoint_shape(server):
     assert stats["counters"]["http_requests"] >= stats["server"]["requests"]
 
 
+# ---- live telemetry: /metrics + sliding window -------------------------------
+
+
+def _get_text(handle, path):
+    """(status, content-type, raw body text) — /metrics is the one
+    endpoint that does not speak JSON."""
+    conn = _open(handle)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return (
+            response.status,
+            response.getheader("Content-Type"),
+            response.read().decode("utf-8"),
+        )
+    finally:
+        conn.close()
+
+
+def _load_script(name):
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "scripts" / name
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_metrics_endpoint_is_valid_prometheus(server):
+    from repro.obs import live
+
+    _get(server, "/figures/fig1")  # at least one request in the books
+    status, content_type, text = _get_text(server, "/metrics")
+    assert status == 200
+    assert content_type == live.PROMETHEUS_CONTENT_TYPE
+    # The CI gate's full rule set: grammar, HELP/TYPE ordering, no
+    # duplicate series, histogram bucket monotonicity, +Inf == _count.
+    checker = _load_script("check_prometheus_text.py")
+    assert checker.check_text(text) is None
+    families = live.parse_prometheus(text)
+    for name in (
+        "repro_http_requests_total",
+        "repro_http_request_duration_seconds",
+        "repro_http_window_rps",
+        "repro_http_window_latency_seconds",
+        "repro_in_flight",
+        "repro_uptime_seconds",
+    ):
+        assert name in families, f"{name} missing from /metrics"
+    assert (
+        live.sample_value(families, "repro_http_requests_total") >= 1
+    )
+    histogram = families["repro_http_request_duration_seconds"]
+    assert histogram["type"] == "histogram"
+    # Cumulative count for the figures route covers the request above.
+    count = live.sample_value(
+        families,
+        "repro_http_request_duration_seconds",
+        {"route": "/figures/<name>", "le": "+Inf"},
+    )
+    assert count is not None and count >= 1
+
+
+def test_metrics_rejects_non_get(server):
+    status, payload = _post(server, "/metrics", {"nope": 1})
+    assert status == 405
+    assert payload["error"]
+
+
+def test_stats_window_section_shape(server):
+    _get(server, "/figures/fig1")
+    _, stats = _get(server, "/stats")
+    window = stats["window"]
+    assert window is not None
+    assert window["seconds"] > 0
+    assert window["slots"] >= 1 and window["slot_seconds"] > 0
+    assert window["count"] >= 1
+    assert 0 <= window["error_rate"] <= 1
+    assert window["p50_ms"] <= window["p95_ms"] <= window["p99_ms"]
+    routes = window["routes"]
+    assert "/figures/<name>" in routes
+    entry = routes["/figures/<name>"]
+    assert entry["count"] >= 1
+    assert entry["p50_ms"] <= entry["p99_ms"]
+    assert isinstance(window["tier_totals"], dict)
+    # The route ledger itself is histogram-backed now (the leak fix):
+    # bounded bucket counts, no per-request sample list.
+    ledger = stats["server"]["routes"]["/figures/<name>"]
+    assert set(ledger) == {
+        "count", "errors", "total_seconds", "max_seconds", "histogram"
+    }
+    hist = ledger["histogram"]
+    assert len(hist["counts"]) == len(hist["bounds"]) + 1
+    assert sum(hist["counts"]) == hist["count"] == ledger["count"]
+
+
+def test_metrics_scrape_emits_histogram_snapshot_events(
+    server, tmp_path, monkeypatch
+):
+    sink = tmp_path / "scrape.jsonl"
+    monkeypatch.setenv("REPRO_METRICS_PATH", str(sink))
+    _get(server, "/figures/fig1")
+    status, _ctype, _text = _get_text(server, "/metrics")
+    assert status == 200
+    monkeypatch.delenv("REPRO_METRICS_PATH")
+    events = [json.loads(line) for line in sink.read_text().splitlines()]
+    snapshots = [e for e in events if e["event"] == "histogram_snapshot"]
+    assert snapshots, "a /metrics scrape must journal histogram snapshots"
+    routes = {e["route"] for e in snapshots}
+    assert "/figures/<name>" in routes
+    checker = _load_script("check_metrics_jsonl.py")
+    last_ts: dict = {}
+    for event in events:
+        assert checker.check_record(event, last_ts) is None
+    # Exemplars carry trace ids that link back to spans in this sink.
+    exemplars = [
+        x
+        for e in snapshots
+        for x in e["exemplars"]
+        if x is not None
+    ]
+    assert exemplars, "served requests must leave trace exemplars"
+    assert all(x["trace_id"] for x in exemplars)
+
+
+def test_window_percentiles_agree_with_loadtest(served_store):
+    """The acceptance criterion: the server's windowed p50/p95/p99
+    agree with a loadtest's client-side percentiles to within one
+    (log-scale) histogram bucket width at that latency."""
+    from repro.obs import live
+    from repro.serve.loadtest import run_loadtest
+
+    handle = start_server(store=served_store)
+    try:
+        # Concurrency 1: with N requests in flight the client measures
+        # queueing (≈ N × handler time under the GIL) that the
+        # per-request server histogram, by design, does not.
+        report = run_loadtest(
+            f"127.0.0.1:{handle.port}",
+            requests=300,
+            concurrency=1,
+            workload=[("GET", "/figures/fig1", None)],
+        )
+        assert report["errors"] == 0
+        _, stats = _get(handle, "/stats")
+    finally:
+        handle.close()
+    window = stats["window"]["routes"]["/figures/<name>"]
+    assert window["count"] >= 300
+    for q in ("p50_ms", "p95_ms", "p99_ms"):
+        client_s = report[q] / 1e3
+        server_s = window[q] / 1e3
+        # The server reports its bucket's upper bound while the client
+        # reports an exact sample, so "agree within one bucket width"
+        # means the two land in the same or adjacent log-scale buckets.
+        distance = abs(
+            live.bucket_index(client_s) - live.bucket_index(server_s)
+        )
+        assert distance <= 1, (
+            f"{q}: client {report[q]:.3f} ms vs server window "
+            f"{window[q]:.3f} ms are {distance} histogram buckets apart"
+        )
+
+
+def test_top_dashboard_renders_from_live_metrics(server):
+    from repro.serve import top
+
+    from repro.obs import live
+
+    _get(server, "/figures/fig1")
+    url = f"http://127.0.0.1:{server.port}/metrics"
+    families = live.parse_prometheus(top.fetch_metrics(url, timeout=10.0))
+    frame = top.render_dashboard(families, url)
+    assert "repro top" in frame
+    assert "/figures/<name>" in frame
+    assert "p50" in frame.lower()
+    # And the one-shot runner exits cleanly after a single poll.
+    import io
+
+    out = io.StringIO()
+    assert top.run_top(url, interval=0.01, iterations=1, out=out, clear=False) == 0
+    assert "/figures/<name>" in out.getvalue()
+    bad = top.run_top(
+        "http://127.0.0.1:9/metrics",
+        interval=0.01,
+        iterations=1,
+        out=io.StringIO(),
+        clear=False,
+    )
+    assert bad == 1
+
+
 # ---- port policy -------------------------------------------------------------
 
 

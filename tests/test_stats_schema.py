@@ -29,6 +29,8 @@ GOLDEN_TOP_LEVEL = {
     "derived": dict,
     "trace": dict,
     "profile": (dict, type(None)),
+    "histograms": dict,
+    "window": (dict, type(None)),
 }
 
 GOLDEN_DATASET = {
@@ -67,14 +69,27 @@ GOLDEN_SERVE_COUNTERS = {
     "http_route_latency": dict,
 }
 
+#: Schema 6: the shape of one mergeable histogram snapshot — the value
+#: type of the top-level ``histograms`` section and of each route
+#: ledger entry's ``histogram`` key.
+GOLDEN_HISTOGRAM_SNAPSHOT = {
+    "bounds": list,
+    "counts": list,
+    "count": int,
+    "sum": (int, float),
+    "max": (int, float),
+    "min": (int, float, type(None)),
+    "exemplars": list,
+}
+
 #: The version these golden dicts describe.  If you bumped STATS_SCHEMA
 #: without updating the golden structure (or vice versa), the mismatch
 #: fails here with instructions rather than silently downstream.
-GOLDEN_SCHEMA_VERSION = 5
+GOLDEN_SCHEMA_VERSION = 6
 
 #: Every schema revision this repo has ever published; consumers and
 #: the metrics validator keep accepting all of them.
-KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 
 @pytest.fixture(autouse=True)
@@ -157,12 +172,13 @@ class TestGoldenStructure:
             PerfCounters.__dataclass_fields__
         )
 
-    def test_schema5_serve_counters_present(self, capsys, small_model):
-        """Schema 5 golden case: the serve fields exist with their
-        pinned types even in a process that never served a request —
-        consumers can rely on the keys, not probe for them."""
+    def test_serve_counters_present(self, capsys, small_model):
+        """Schema 5 golden case (still honored by 6): the serve fields
+        exist with their pinned types even in a process that never
+        served a request — consumers can rely on the keys, not probe
+        for them."""
         document = stats_document(capsys)
-        assert document["schema"] == 5
+        assert document["schema"] == GOLDEN_SCHEMA_VERSION
         counters = document["counters"]
         for key, types in GOLDEN_SERVE_COUNTERS.items():
             assert key in counters, f"counters.{key} missing (schema 5)"
@@ -170,11 +186,12 @@ class TestGoldenStructure:
         assert counters["http_requests"] == 0
         assert counters["http_route_latency"] == {}
 
-    def test_schema5_route_ledger_shape_after_serving(
+    def test_schema6_route_ledger_shape_after_serving(
         self, capsys, small_model
     ):
         """After real served traffic the ledger carries per-route
-        entries with the pinned keys."""
+        entries with the pinned keys — schema 6 swapped the unbounded
+        ``samples`` list for a bounded ``histogram`` snapshot."""
         from repro.engine.partition import PackedDataset, pack_records
         from repro.notary.store import NotaryStore
         from repro.serve.server import start_server
@@ -201,10 +218,36 @@ class TestGoldenStructure:
                 "errors",
                 "total_seconds",
                 "max_seconds",
-                "samples",
+                "histogram",
             } == set(entry), f"route ledger keys changed for {route}"
             assert entry["count"] >= 1
-            assert len(entry["samples"]) <= entry["count"]
+            assert_shape(
+                entry["histogram"],
+                GOLDEN_HISTOGRAM_SNAPSHOT,
+                f"route {route} histogram",
+            )
+            assert sum(entry["histogram"]["counts"]) == entry["count"]
+
+    def test_schema6_histograms_and_window_sections(
+        self, capsys, small_model
+    ):
+        """Schema 6 golden case: a batch document carries the named
+        duration histograms of the run (per-month simulation at least)
+        and a null ``window`` (only the resident server fills it)."""
+        document = stats_document(capsys)
+        assert document["schema"] == 6
+        assert document["window"] is None
+        histograms = document["histograms"]
+        assert "simulate_month_seconds" in histograms
+        for name, snap in histograms.items():
+            assert_shape(
+                snap, GOLDEN_HISTOGRAM_SNAPSHOT, f"histograms.{name}"
+            )
+            assert len(snap["counts"]) == len(snap["bounds"]) + 1
+            assert len(snap["exemplars"]) == len(snap["counts"])
+            assert sum(snap["counts"]) == snap["count"]
+        months = document["dataset"]["months"]
+        assert histograms["simulate_month_seconds"]["count"] == months
 
     def test_trace_and_span_shape(self, capsys, small_model):
         document = stats_document(capsys)
