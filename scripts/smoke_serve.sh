@@ -4,43 +4,50 @@
 # server binds port 0 — nothing here hard-codes one), poll /healthz
 # until the dataset is ready, fetch one figure and assert it is valid
 # JSON with the expected shape, then SIGTERM and assert the shutdown
-# is clean.  Used by the CI `serve` job; also runnable locally.
+# is clean.  Runs twice: once on the default threaded path and once
+# with --query-workers 2 (the multi-process query pool), asserting the
+# pool actually dispatched.  Used by the CI `serve` job; also runnable
+# locally.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export REPRO_CACHE_DIR="${REPRO_CACHE_DIR:-$(mktemp -d)}"
 
-OUT="$(mktemp)"
-python -m repro serve --start 2016-04-01 --end 2016-05-01 >"$OUT" 2>&1 &
-SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+run_pass() {
+    local label="$1"; shift
 
-# The port is announced before the dataset loads.
-URL=""
-for _ in $(seq 1 100); do
-    URL="$(sed -n 's/^serving on \(http:\/\/[^ ]*\)$/\1/p' "$OUT" | head -1)"
-    [ -n "$URL" ] && break
-    kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died before announcing"; cat "$OUT"; exit 1; }
-    sleep 0.1
-done
-[ -n "$URL" ] && echo "announced: $URL" || { echo "FAIL: no announce line"; cat "$OUT"; exit 1; }
+    local OUT SERVER_PID URL
+    OUT="$(mktemp)"
+    python -m repro serve --start 2016-04-01 --end 2016-05-01 "$@" >"$OUT" 2>&1 &
+    SERVER_PID=$!
+    trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
-# /healthz answers immediately (503 while loading) and flips to ready.
-READY=0
-for _ in $(seq 1 600); do
-    BODY="$(curl -s "$URL/healthz" || true)"
-    if printf '%s' "$BODY" | python -c 'import json,sys; sys.exit(0 if json.load(sys.stdin).get("ready") else 1)' 2>/dev/null; then
-        READY=1
-        break
-    fi
-    sleep 0.5
-done
-[ "$READY" = 1 ] || { echo "FAIL: /healthz never became ready"; cat "$OUT"; exit 1; }
-echo "healthz: ready"
+    # The port is announced before the dataset loads.
+    URL=""
+    for _ in $(seq 1 100); do
+        URL="$(sed -n 's/^serving on \(http:\/\/[^ ]*\)$/\1/p' "$OUT" | head -1)"
+        [ -n "$URL" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL($label): server died before announcing"; cat "$OUT"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$URL" ] && echo "announced($label): $URL" || { echo "FAIL($label): no announce line"; cat "$OUT"; exit 1; }
 
-# One figure over HTTP must be JSON with the figure's series in it.
-curl -sf "$URL/figures/fig1" | python -c '
+    # /healthz answers immediately (503 while loading) and flips to ready.
+    local READY=0 BODY
+    for _ in $(seq 1 600); do
+        BODY="$(curl -s "$URL/healthz" || true)"
+        if printf '%s' "$BODY" | python -c 'import json,sys; sys.exit(0 if json.load(sys.stdin).get("ready") else 1)' 2>/dev/null; then
+            READY=1
+            break
+        fi
+        sleep 0.5
+    done
+    [ "$READY" = 1 ] || { echo "FAIL($label): /healthz never became ready"; cat "$OUT"; exit 1; }
+    echo "healthz($label): ready"
+
+    # One figure over HTTP must be JSON with the figure's series in it.
+    curl -sf "$URL/figures/fig1" | python -c '
 import json, sys
 payload = json.load(sys.stdin)
 assert payload["api"] == 1, payload
@@ -50,20 +57,37 @@ assert series and all(points for points in series.values()), "empty series"
 print(f"fig1: {len(series)} series over HTTP")
 '
 
-# /metrics must be a valid Prometheus text exposition — the full
-# grammar/ordering/histogram-consistency gate, not just an HTTP 200.
-curl -sf "$URL/metrics" | python scripts/check_prometheus_text.py -
-echo "metrics: valid exposition"
+    # /metrics must be a valid Prometheus text exposition — the full
+    # grammar/ordering/histogram-consistency gate, not just an HTTP 200.
+    curl -sf "$URL/metrics" | python scripts/check_prometheus_text.py -
+    echo "metrics($label): valid exposition"
 
-# A malformed query must answer 400, not 5xx.
-STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"kind":"bogus"}' "$URL/query")"
-[ "$STATUS" = 400 ] || { echo "FAIL: malformed query answered $STATUS, wanted 400"; exit 1; }
-echo "malformed query: 400"
+    # A malformed query must answer 400, not 5xx.
+    local STATUS
+    STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"kind":"bogus"}' "$URL/query")"
+    [ "$STATUS" = 400 ] || { echo "FAIL($label): malformed query answered $STATUS, wanted 400"; exit 1; }
+    echo "malformed query($label): 400"
 
-# Clean shutdown on SIGTERM.
-kill -TERM "$SERVER_PID"
-wait "$SERVER_PID"
-trap - EXIT
-grep -q '^shutdown: clean$' "$OUT" || { echo "FAIL: no clean shutdown line"; cat "$OUT"; exit 1; }
-echo "shutdown: clean"
+    # In pool mode, /stats must show the figure (and the 400) actually
+    # went through pre-warmed replicas, not the threaded fallback.
+    if [ "$label" = "query-pool" ]; then
+        curl -sf "$URL/stats" | python -c '
+import json, sys
+counters = json.load(sys.stdin)["counters"]
+dispatches = counters["query_pool_dispatches"]
+assert dispatches >= 1, counters
+print("query pool: %d dispatch(es)" % dispatches)
+'
+    fi
+
+    # Clean shutdown on SIGTERM.
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID"
+    trap - EXIT
+    grep -q '^shutdown: clean$' "$OUT" || { echo "FAIL($label): no clean shutdown line"; cat "$OUT"; exit 1; }
+    echo "shutdown($label): clean"
+}
+
+run_pass "threaded"
+run_pass "query-pool" --query-workers 2
 echo "smoke_serve: OK"

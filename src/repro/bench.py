@@ -712,6 +712,146 @@ def bench_serve_loadtest(ctx: BenchContext) -> dict:
     }
 
 
+def _mp_query_workload(store) -> list:
+    """A CPU-bound ``POST /query`` mix for the mp-speedup bench.
+
+    Full-study series over composite predicates and a ``weighted_mean``
+    position fold: each request does real per-month evaluation work, so
+    the threaded path serializes on the GIL while the query pool
+    genuinely parallelizes — exactly the contrast the metric prices.
+    """
+    months = store.months()
+    return [
+        ("POST", "/query", {
+            "kind": "fraction",
+            "predicate": {"op": "any", "args": [
+                {"op": "version", "value": "TLSv12"},
+                {"op": "version", "value": "TLSv13"},
+            ]},
+            "within": {"op": "established", "value": True},
+            "month": None,
+        }),
+        ("POST", "/query", {
+            "kind": "weight",
+            "predicate": {"op": "all", "args": [
+                {"op": "established", "value": True},
+                {"op": "not", "arg": {"op": "advertises", "value": "rc4"}},
+            ]},
+            "month": None,
+        }),
+        ("POST", "/query", {
+            "kind": "weighted_mean",
+            "value": {"op": "position_of", "tag": "aead"},
+            "month": None,
+        }),
+        ("POST", "/query", {
+            "kind": "fraction",
+            "predicate": {"op": "mode", "value": "AEAD"},
+            "within": {"op": "established", "value": True},
+            "month": months[len(months) // 2].isoformat(),
+        }),
+    ]
+
+
+def bench_serve_mp_speedup(ctx: BenchContext) -> dict:
+    """Multi-process vs threaded serve RPS on a CPU-bound query mix.
+
+    The same packed store served twice — once on the threaded path,
+    once with ``--query-workers 2`` replica processes — and hammered
+    with the identical CPU-bound workload.  The gated metric is
+    ``threaded_vs_mp_ratio`` (threaded RPS / mp RPS, smaller is
+    better): the baseline pins it at 1/3, so the gate's 0.5 tolerance
+    enforces the PR 10 acceptance bar of >= 2x mp speedup wherever the
+    host has the cores to show it.  Single-core hosts skip — there is
+    no parallelism to measure, only pool overhead.
+    """
+    from repro.engine import executors
+    from repro.engine.partition import PackedDataset, pack_records
+    from repro.notary.store import NotaryStore
+    from repro.serve.loadtest import run_loadtest
+    from repro.serve.server import start_server
+
+    if (os.cpu_count() or 1) < 2:
+        return {"skipped": "needs >= 2 CPUs to measure mp speedup"}
+    if not executors.fork_available():
+        return {"skipped": "query pool needs the fork start method"}
+    store, _wall, _counters = ctx.window_store()
+    served = NotaryStore()
+    served.attach_packed(PackedDataset(pack_records(store.records())))
+    workload = _mp_query_workload(served)
+    requests = ctx.iterations(400)
+    reports = {}
+    for mode, workers in (("threaded", 0), ("mp", 2)):
+        handle = start_server(store=served, query_workers=workers)
+        try:
+            # One warm-up pass per mode fills the store's compile memos
+            # so both arms measure steady-state evaluation.
+            run_loadtest(
+                handle.url, requests=len(workload), concurrency=1,
+                workload=workload,
+            )
+            reports[mode] = run_loadtest(
+                handle.url, requests=requests, concurrency=8,
+                workload=workload,
+            )
+        finally:
+            handle.close()
+        if reports[mode]["errors"]:
+            raise RuntimeError(
+                f"serve.mp_speedup {mode} arm saw "
+                f"{reports[mode]['errors']} error(s): "
+                f"{reports[mode]['statuses']}"
+            )
+    threaded, mp = reports["threaded"], reports["mp"]
+    speedup = mp["rps"] / threaded["rps"] if threaded["rps"] else None
+    return {
+        "wall_seconds": mp["wall_seconds"],
+        "records_per_second": mp["rps"],
+        "counters": {
+            "requests": requests,
+            "threaded_rps": threaded["rps"],
+            "mp_rps": mp["rps"],
+            "mp_speedup": speedup,
+            "query_workers": 2,
+        },
+        "anchors": None,
+        "metrics": {
+            "threaded_vs_mp_ratio": (
+                threaded["rps"] / mp["rps"] if mp["rps"] else None
+            ),
+        },
+    }
+
+
+def _bench_engine_backend(backend: str) -> callable:
+    """One ``engine.run.<backend>`` arm: the bench window through the
+    scheduler on that backend, anchored on the record count (which must
+    not move by a single record across backends)."""
+
+    def bench(ctx: BenchContext) -> dict:
+        from repro.clients.population import default_population
+        from repro.engine import executors, runner
+        from repro.servers import ServerPopulation
+
+        if backend == "fork" and not executors.fork_available():
+            return {"skipped": "no fork start method on this platform"}
+        started = time.perf_counter()
+        store = runner.run_expectation(
+            default_population(), ServerPopulation(),
+            WINDOW_START, WINDOW_END, workers=2, backend=backend,
+        )
+        wall = time.perf_counter() - started
+        return {
+            "wall_seconds": wall,
+            "records_per_second": len(store) / wall if wall > 0 else None,
+            "counters": {"workers": 2, "backend": backend},
+            "anchors": {"records": float(len(store))},
+        }
+
+    bench.__name__ = f"bench_engine_run_{backend}"
+    return bench
+
+
 def _scale_ingest_probe(scale: int, conn) -> None:
     """Child half of ``scale.ingest``: pack one month at ``scale``.
 
@@ -799,8 +939,12 @@ BENCHES: dict[str, tuple[bool, callable]] = {
     "anchors.fig1": (True, bench_anchors_fig1),
     "query.paths": (True, bench_query_paths),
     "serve.loadtest": (True, bench_serve_loadtest),
+    "serve.mp_speedup": (True, bench_serve_mp_speedup),
     "scale.ingest": (True, bench_scale_ingest),
     "engine.parallel": (False, bench_engine_parallel),
+    "engine.run.fork": (False, _bench_engine_backend("fork")),
+    "engine.run.inline": (False, _bench_engine_backend("inline")),
+    "engine.run.spawn": (False, _bench_engine_backend("spawn")),
     "obs.overhead": (False, bench_obs_overhead),
     "query.vector": (False, bench_query_vector),
 }

@@ -52,7 +52,9 @@ at ``weight/N`` — record volume scales, aggregates stay put, and the
 streaming ingest path keeps resident memory bounded (``--scale 1`` is
 the seed dataset exactly).  Note ``bench``'s own ``--scale`` (after the
 subcommand) is the micro-bench *iteration* multiplier, a different
-knob.
+knob.  ``--backend fork|inline|spawn`` (``REPRO_BACKEND``; flag wins)
+selects the execution backend worker chunks run on — see
+:mod:`repro.engine.executors`.
 
 Observability (:mod:`repro.obs`): ``--verbose`` (or ``REPRO_LOG_LEVEL``)
 turns on the ``repro.*`` diagnostic loggers on stderr; ``--metrics
@@ -433,7 +435,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             model = _model(args)
         return model.passive_store()
 
-    handle = start_server(loader=load_store, host=args.host, port=args.port)
+    handle = start_server(
+        loader=load_store,
+        host=args.host,
+        port=args.port,
+        query_workers=getattr(args, "query_workers", 0),
+    )
     print(announce_line(args.host, handle.port), flush=True)
 
     def _terminate(signum, frame):
@@ -522,6 +529,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset scale: emit every expectation record N times at "
              "weight/N — record counts multiply, aggregates stay put "
              "(REPRO_SCALE; default 1 = the seed dataset exactly)",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=["fork", "inline", "spawn"],
+        help="execution backend for worker chunks: fork pool (platform "
+             "default), inline in-process, or spawned interpreters "
+             "(REPRO_BACKEND; the flag wins when both are set)",
     )
     parser.add_argument(
         "--verbose", "-v", action="store_true",
@@ -701,6 +714,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="YYYY-MM-DD",
         help="serve a sub-window ending here (default: full study)",
     )
+    p_serve.add_argument(
+        "--query-workers", type=int, default=0, metavar="N",
+        help="dispatch /query and /figures evaluation to N pre-warmed "
+             "store replica processes (default 0 = the threaded path; "
+             "needs the fork start method)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -774,6 +793,13 @@ def main(argv: list[str] | None = None) -> int:
     # command spawns (bench probes, serve reloads) see the flag too.
     if getattr(args, "scale", None) is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
+    # And for the execution backend — every run_expectation call in
+    # this process (and any child it spawns) sees the selection.  The
+    # flag is validated eagerly so a typo fails at the CLI boundary.
+    if getattr(args, "backend", None) is not None:
+        from repro.engine import executors
+
+        os.environ["REPRO_BACKEND"] = executors.resolve_backend(args.backend)
     # Each CLI invocation's metrics history starts clean (first call in
     # a process rotates any pre-existing sink file; chained in-process
     # commands keep appending to the fresh one).  ``trace`` is a pure

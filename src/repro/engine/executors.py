@@ -1,0 +1,211 @@
+"""Pluggable execution backends behind the engine scheduler.
+
+The scheduler in :mod:`repro.engine.runner` owns *policy* — month
+chunking, sliding-window submission, retry/backoff, per-round deadlines
+with kill-and-reshard, checkpoint adoption, and the fault-suppressed
+inline fallback.  This module owns *placement*: where a submitted chunk
+(or, on the serve path, a query job) actually executes.  The split is
+what lets the same byte-identical engine run on one process, a fork
+pool, or spawned workers without the scheduling loop knowing which.
+
+Backends (``repro run --backend`` / ``REPRO_BACKEND``):
+
+* ``fork`` — a ``multiprocessing`` fork pool, the historical default.
+  Worker state (populations, the active fault plan) is inherited
+  through fork memory; initargs are never pickled.
+* ``spawn`` — freshly spawned interpreters.  Everything a worker needs
+  crosses the process boundary explicitly: chunk payloads and init
+  arguments must be picklable, and the worker initializer re-installs
+  the parent's fault plan (module-global ``configure()`` state does not
+  survive a spawn) plus the trace identity.  This is the prerequisite
+  shape for any multi-node dispatcher: nothing is inherited, everything
+  is shipped.
+* ``inline`` — the serial last-resort path promoted to a first-class
+  backend: jobs execute synchronously in the parent at submit time.
+  No process isolation means no preemption, so inline executors never
+  raise :class:`ChunkTimeout` (``preemptible`` is False) and the
+  scheduler's kill-and-reshard escalation simply never triggers.
+
+The executor contract (DESIGN.md §6k), what every backend guarantees:
+
+1. **Determinism** — a job's result depends only on the job payload
+   and the :class:`WorkSpec` init arguments, never on which backend or
+   worker ran it.  The differential suites enforce this: every backend
+   must produce byte-identical stores and figures.
+2. **Result fidelity** — results cross the boundary by pickle (or by
+   reference, inline), both of which preserve float bit patterns, so
+   worker→parent perf-counter, span, and histogram shipping reconciles
+   exactly regardless of backend.
+3. **Failure transparency** — a worker exception propagates out of
+   :meth:`_Pending.result` unchanged in type and message; a deadline
+   miss raises :class:`ChunkTimeout`; :meth:`Executor.close` reclaims
+   every worker, including hung ones, for preemptible backends.
+4. **No parent-state mutation** — pool initializers run only in worker
+   processes; the inline backend routes through ``inline_fn``, which
+   must not reset parent counters or trace state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro import obs
+
+_log = obs.get_logger("repro.engine.executors")
+
+#: Selectable backend names, in documentation order.
+BACKENDS = ("fork", "inline", "spawn")
+
+
+class ChunkTimeout(Exception):
+    """A submitted job missed the scheduler's per-round deadline."""
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_backend() -> str:
+    """``fork`` where the platform offers it, else ``spawn``."""
+    return "fork" if fork_available() else "spawn"
+
+
+def resolve_backend(explicit: str | None = None) -> str:
+    """Backend selection: explicit > ``REPRO_BACKEND`` > platform default.
+
+    An explicit name must be a usable backend — a typo'd ``--backend``
+    raises instead of silently running somewhere else.  A malformed or
+    unusable environment value degrades to the default with a warning,
+    the same policy every other ``REPRO_*`` knob follows: a stale env
+    var must not kill a run.
+    """
+    if explicit is not None:
+        name = str(explicit).strip().lower()
+        if name not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {explicit!r}; choose from {BACKENDS}"
+            )
+        if name == "fork" and not fork_available():
+            raise ValueError(
+                "the fork start method is unavailable on this platform; "
+                "use --backend spawn"
+            )
+        return name
+    env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if env:
+        if env in BACKENDS and (env != "fork" or fork_available()):
+            return env
+        _log.warning(
+            "REPRO_BACKEND=%r is not a usable backend; using %s",
+            env,
+            default_backend(),
+        )
+    return default_backend()
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """What an executor runs and how its workers are prepared.
+
+    ``pool_fn`` is a module-level function (picklable by reference for
+    the spawn backend) taking one job argument and returning one
+    result.  ``initializer``/``initargs`` prepare worker-process state
+    before the first job; under spawn every element of ``initargs``
+    must be picklable, under fork they travel through fork memory.
+    ``inline_fn`` is the parent-process twin used by non-isolating
+    backends — it may be a closure, and it must leave parent counters
+    and trace state intact (no ``PERF.reset()``); when omitted,
+    ``pool_fn`` runs in the parent directly.
+    """
+
+    pool_fn: Callable
+    initializer: Callable | None = None
+    initargs: tuple = ()
+    inline_fn: Callable | None = None
+
+
+class _PoolPending:
+    """One in-flight pool job; maps the pool's timeout onto the contract."""
+
+    __slots__ = ("_async",)
+
+    def __init__(self, async_result) -> None:
+        self._async = async_result
+
+    def result(self, timeout: float | None = None):
+        try:
+            return self._async.get(timeout)
+        except multiprocessing.TimeoutError as exc:
+            raise ChunkTimeout() from exc
+
+
+class _PoolExecutor:
+    """Fork or spawn ``multiprocessing`` pool behind the interface."""
+
+    preemptible = True
+
+    def __init__(self, name: str, spec: WorkSpec, slots: int) -> None:
+        self.name = name
+        context = multiprocessing.get_context(name)
+        self._spec = spec
+        self._pool = context.Pool(
+            processes=max(1, slots),
+            initializer=spec.initializer,
+            initargs=spec.initargs,
+        )
+
+    def submit(self, job) -> _PoolPending:
+        return _PoolPending(self._pool.apply_async(self._spec.pool_fn, (job,)))
+
+    def close(self) -> None:
+        # terminate, not close+drain: a round past its deadline must
+        # kill workers still hung mid-chunk, exactly like the old
+        # ``with context.Pool(...)`` exit did.
+        self._pool.terminate()
+        self._pool.join()
+
+
+class _InlinePending:
+    """A job that already ran; ``result`` replays its outcome."""
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, value, error) -> None:
+        self._value = value
+        self._error = error
+
+    def result(self, timeout: float | None = None):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class InlineExecutor:
+    """Synchronous in-parent execution; never preempts, never times out."""
+
+    name = "inline"
+    preemptible = False
+
+    def __init__(self, spec: WorkSpec, slots: int) -> None:
+        self._fn = spec.inline_fn if spec.inline_fn is not None else spec.pool_fn
+
+    def submit(self, job) -> _InlinePending:
+        try:
+            return _InlinePending(self._fn(job), None)
+        except Exception as exc:  # lint: allow-swallow — replayed from result()
+            return _InlinePending(None, exc)
+
+    def close(self) -> None:
+        pass
+
+
+def create_executor(backend: str, spec: WorkSpec, slots: int):
+    """One executor for one scheduling round (or one server lifetime)."""
+    if backend == "inline":
+        return InlineExecutor(spec, slots)
+    if backend in ("fork", "spawn"):
+        return _PoolExecutor(backend, spec, slots)
+    raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")

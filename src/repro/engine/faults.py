@@ -159,6 +159,23 @@ def current() -> FaultPlan:
     return _ENV_CACHE[1]
 
 
+def shippable_plan() -> FaultPlan | None:
+    """The active plan, for explicit delivery to pool workers.
+
+    Fork workers inherit ``_CONFIGURED`` through process memory, but a
+    spawned worker starts a fresh interpreter where only the
+    environment survives — a plan installed via :func:`configure` (the
+    CLI ``--faults`` flag, the test suites' programmatic specs) would
+    silently stop firing.  The scheduler therefore ships this through
+    the worker initializer on every backend; :class:`FaultPlan` is a
+    frozen dataclass of primitives, so it pickles cleanly.  ``None``
+    when no plan is active — workers then fall back to their own
+    environment parse, same as today.
+    """
+    plan = current()
+    return plan if plan.active() else None
+
+
 @contextlib.contextmanager
 def suppressed():
     """Disable every injection site inside the block.

@@ -111,10 +111,21 @@ class PerfCounters:
     #: Vector-tier attempts that didn't compile and dropped to the
     #: shape tier (numpy-absent months never count; the tier was off).
     vector_compile_misses: int = 0
+    #: Explicit worker/chunk-span knob values beyond the CPU-reasonable
+    #: bound (honored, but no longer silent — see
+    #: :func:`repro.engine.runner._warn_oversubscribed`).
+    oversubscription_warnings: int = 0
     #: HTTP requests answered by the resident server (any status).
     http_requests: int = 0
     #: HTTP responses with status >= 400 (client and server errors).
     http_errors: int = 0
+    #: Served queries dispatched to the multi-process query-worker pool
+    #: (``repro serve --query-workers``); 0 means the threaded path.
+    query_pool_dispatches: int = 0
+    #: Query-pool dispatches that failed and fell back to in-thread
+    #: evaluation (a replica died or timed out; the answer is still
+    #: served, byte-identically, by the parent).
+    query_pool_fallbacks: int = 0
     #: Per-route latency ledger of the resident server: route ->
     #: ``{count, errors, total_seconds, max_seconds, histogram}`` where
     #: ``histogram`` is a bounded :class:`repro.obs.live.Histogram`
@@ -171,6 +182,29 @@ class PerfCounters:
             name: _copy(getattr(self, name))
             for name in self.__dataclass_fields__
         }
+
+    def snapshot_ints(self) -> dict:
+        """Just the summable int counters (the non-parent-only, non-
+        histogram fields).  The serve-path query pool samples this
+        before and after each dispatched query; the delta ships back
+        and :meth:`add_ints` folds it, so pooled counters reconcile
+        exactly with what an in-thread evaluation would have counted.
+        """
+        return {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name not in PARENT_ONLY_FIELDS and name not in HISTOGRAM_FIELDS
+        }
+
+    def add_ints(self, delta: dict) -> None:
+        """Fold a per-query int-counter delta from a pool replica."""
+        for name, value in delta.items():
+            if (
+                name in self.__dataclass_fields__
+                and name not in PARENT_ONLY_FIELDS
+                and name not in HISTOGRAM_FIELDS
+            ):
+                setattr(self, name, getattr(self, name) + int(value))
 
     def observe_http(
         self,

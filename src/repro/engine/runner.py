@@ -1,5 +1,6 @@
-"""Month-sharded expectation runs across multiprocessing workers,
-resilient to worker crashes, hangs, and corrupted partitions.
+"""The engine scheduler: month-sharded expectation runs over pluggable
+execution backends, resilient to worker crashes, hangs, and corrupted
+partitions.
 
 Months are independent in expectation mode — every record of month *m*
 is a deterministic function of the populations and *m* alone (hello
@@ -38,10 +39,24 @@ re-simulate only the months that never completed.  Checkpoints are
 cleared when a run finishes cleanly; ``REPRO_CHECKPOINT=0`` disables
 the spill entirely.
 
+This module is pure *policy*: chunking, sliding-window submission,
+retry/backoff, deadlines with kill-and-reshard, checkpoint adoption,
+and the fault-suppressed inline fallback.  *Placement* — where a chunk
+actually executes — lives behind the executor interface
+(:mod:`repro.engine.executors`): ``fork`` (pool workers inheriting
+populations through fork memory), ``spawn`` (picklable payloads +
+explicit worker init, the multi-node-shaped backend), or ``inline``
+(synchronous in-parent execution).  Selection: ``backend=`` argument >
+``REPRO_BACKEND`` > platform default.  The scheduling loop is
+backend-agnostic; the differential and fault suites assert every
+backend produces byte-identical stores.
+
 Worker count resolution: explicit argument, else ``REPRO_WORKERS``,
-else ``os.cpu_count()``.  ``0`` or ``1`` (or platforms without the
-``fork`` start method) take the serial fallback; negative values are
-malformed and fall back to the CPU count.
+else ``os.cpu_count()``.  ``0`` or ``1`` takes the serial fallback;
+negative values are malformed and fall back to the CPU count.  A count
+beyond twice the CPU count is honored but flagged — a diagnostic
+warning plus the ``oversubscription_warnings`` counter — instead of
+silently oversubscribing the host.
 """
 
 from __future__ import annotations
@@ -54,7 +69,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.engine import faults
+from repro.engine import executors, faults
 from repro.engine.partition import (
     PackedDataset,
     StreamPacker,
@@ -80,7 +95,32 @@ _BACKOFF_CAP = 2.0
 
 
 def fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
+    return executors.fork_available()
+
+
+#: The full study window (Jan 2012 – Apr 2018); the chunk-span sanity
+#: bound below is "would leave fewer chunks than CPUs on the full run".
+_STUDY_MONTHS = 76
+
+
+def _warn_oversubscribed(knob: str, value: int, bound: int) -> None:
+    """Flag an explicit knob value beyond the CPU-reasonable bound.
+
+    Warn-only by design: the value is honored (an operator may know
+    better — I/O-bound hosts, deliberate stress runs), but it is no
+    longer *silent*: a diagnostic warning names the bound and the
+    ``oversubscription_warnings`` counter makes it visible in
+    ``stats --json`` and the JSONL sink.
+    """
+    PERF.oversubscription_warnings += 1
+    _log.warning(
+        "%s=%d exceeds the CPU-reasonable bound %d for %d CPU(s); "
+        "honoring it, but expect oversubscription",
+        knob,
+        value,
+        bound,
+        os.cpu_count() or 1,
+    )
 
 
 def resolve_workers(explicit: int | None = None) -> int:
@@ -89,16 +129,25 @@ def resolve_workers(explicit: int | None = None) -> int:
     Negative values — explicit or from the environment — are malformed,
     not "serial": silently clamping ``-3`` to 0 would hide a typo as a
     10x slowdown, so they fall through to the CPU-count default exactly
-    like unparseable text.
+    like unparseable text.  Values beyond twice the CPU count (the
+    headroom that tolerates I/O overlap) are honored but warned about —
+    see :func:`_warn_oversubscribed`.
     """
+
+    def checked(value: int) -> int:
+        bound = 2 * (os.cpu_count() or 1)
+        if value > bound:
+            _warn_oversubscribed("workers", value, bound)
+        return value
+
     if explicit is not None and int(explicit) >= 0:
-        return int(explicit)
+        return checked(int(explicit))
     env = os.environ.get("REPRO_WORKERS", "").strip()
     if explicit is None and env:
         try:
             value = int(env)
             if value >= 0:
-                return value
+                return checked(value)
         except ValueError:
             # A malformed env var must not kill a run; fall through to
             # the CPU-count default (same spirit as REPRO_CACHE parsing).
@@ -143,15 +192,28 @@ def resolve_chunk_timeout(explicit: float | None = None) -> float:
 
 
 def resolve_chunk_months(explicit: int | None = None) -> int | None:
-    """Months per chunk override (``REPRO_CHUNK_MONTHS``); None = auto."""
+    """Months per chunk override (``REPRO_CHUNK_MONTHS``); None = auto.
+
+    A span so wide that even the full 76-month study would yield fewer
+    chunks than CPUs defeats the load balancing the chunking exists
+    for; such values are honored but warned about (same warn-don't-
+    clamp policy as :func:`resolve_workers`).
+    """
+
+    def checked(value: int) -> int:
+        bound = max(1, _STUDY_MONTHS // (os.cpu_count() or 1))
+        if value > bound:
+            _warn_oversubscribed("chunk_months", value, bound)
+        return value
+
     if explicit is not None and explicit > 0:
-        return int(explicit)
+        return checked(int(explicit))
     env = os.environ.get("REPRO_CHUNK_MONTHS", "").strip()
     if env:
         try:
             value = int(env)
             if value > 0:
-                return value
+                return checked(value)
         except ValueError:
             pass
     return None
@@ -274,15 +336,27 @@ def _spill_or_attach(store: NotaryStore, state: _SpillState | None, payload: dic
     store.attach_packed(PackedDataset(payload), idempotent=True)
 
 
-# Worker-side state, installed by the pool initializer after the fork
-# (populations are inherited through fork memory, never pickled).
+# Worker-side state, installed by the pool initializer.  Under fork the
+# arguments are inherited through fork memory, never pickled; under
+# spawn they are pickled across the process boundary, which is why the
+# active fault plan ships explicitly — a spawned child starts with a
+# fresh interpreter, so the parent's module-global ``faults.configure``
+# state would otherwise silently vanish.
 _WORKER: dict = {}
 
 
-def _init_worker(clients, servers, trace_id: str | None = None, scale: int = 1) -> None:
+def _init_worker(
+    clients,
+    servers,
+    trace_id: str | None = None,
+    scale: int = 1,
+    fault_plan=None,
+) -> None:
     _WORKER["clients"] = clients
     _WORKER["servers"] = servers
     _WORKER["scale"] = scale
+    if fault_plan is not None:
+        faults.configure(fault_plan)
     PERF.reset()
     obs.TRACE.reset()
     if trace_id is not None:
@@ -390,6 +464,7 @@ def run_expectation(
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     faults_spec: str | None = None,
     scale: int | None = None,
+    backend: str | None = None,
 ) -> NotaryStore:
     """Full expectation run, sharded across workers; returns the store."""
     if faults_spec is not None:
@@ -397,7 +472,8 @@ def run_expectation(
     months = month_range(start, end)
     count = resolve_workers(workers)
     factor = resolve_scale(scale)
-    serial = count <= 1 or len(months) < 2 or not fork_available()
+    chosen = executors.resolve_backend(backend)
+    serial = count <= 1 or len(months) < 2
     obs.begin_run(
         "expectation",
         start=start.isoformat(),
@@ -405,11 +481,12 @@ def run_expectation(
         months=len(months),
         workers=0 if serial else count,
         scale=factor,
+        backend="serial" if serial else chosen,
     )
     _log.info(
         "expectation run %s..%s: %d month(s), %s, scale %d",
         start.isoformat(), end.isoformat(), len(months),
-        "serial" if serial else f"{count} workers", factor,
+        "serial" if serial else f"{count} workers ({chosen})", factor,
     )
     with obs.profiled("run_expectation"), obs.span(
         "run_expectation", months=len(months), workers=0 if serial else count
@@ -429,6 +506,7 @@ def run_expectation(
                 per_chunk=resolve_chunk_months(chunk_months),
                 max_attempts=max(1, max_attempts),
                 scale=factor,
+                backend=chosen,
             )
     obs.end_run(
         "expectation",
@@ -457,6 +535,7 @@ def _run_parallel(
     per_chunk: int | None,
     max_attempts: int,
     scale: int = 1,
+    backend: str = "fork",
 ) -> NotaryStore:
     started = time.perf_counter()
     PERF.workers = count
@@ -502,6 +581,7 @@ def _run_parallel(
                 clients, servers, store, checkpoint, remaining,
                 count=count, timeout=timeout, per_chunk=per_chunk,
                 max_attempts=max_attempts, scale=scale, state=state,
+                backend=backend,
             )
 
     if state is not None:
@@ -531,8 +611,16 @@ def _run_chunked(
     max_attempts: int,
     scale: int = 1,
     state: _SpillState | None = None,
+    backend: str = "fork",
 ) -> None:
-    """The retry/timeout/reshard scheduling loop over one pool per round."""
+    """The retry/timeout/reshard scheduling loop, one executor per round.
+
+    Backend-agnostic by construction: the loop submits chunk jobs and
+    collects results through :mod:`repro.engine.executors`; the only
+    backend property it reads is ``preemptible`` (an inline executor
+    cannot be killed past a deadline, so nothing here assumes timeouts
+    fire).
+    """
     next_id = 0
 
     def new_chunk(span: list[_dt.date], attempts: int = 0) -> _Chunk:
@@ -541,10 +629,27 @@ def _run_chunked(
         next_id += 1
         return chunk
 
+    def run_job_inline(job: tuple[int, int, list[_dt.date]]) -> dict:
+        # The inline backend's parent-process twin of _run_chunk: the
+        # fault-suppressed serial path with the job's attribution
+        # grafted on (perf stays None — counters were incremented in
+        # the parent directly, so there is no snapshot to merge).
+        chunk_id, attempt, span = job
+        part = _run_chunk_inline(clients, servers, span, scale=scale)
+        part["chunk"] = chunk_id
+        part["attempt"] = attempt
+        return part
+
+    spec = executors.WorkSpec(
+        pool_fn=_run_chunk,
+        initializer=_init_worker,
+        initargs=(clients, servers, obs.trace_id(), scale, faults.shippable_plan()),
+        inline_fn=run_job_inline,
+    )
+
     queue: deque[_Chunk] = deque(
         new_chunk(span) for span in _make_chunks(months, count, per_chunk, scale)
     )
-    context = multiprocessing.get_context("fork")
 
     while queue:
         batch: list[_Chunk] = []
@@ -578,11 +683,10 @@ def _run_chunked(
 
         failed: list[_Chunk] = []
         timed_out: list[_Chunk] = []
-        with context.Pool(
-            processes=min(count, len(batch)),
-            initializer=_init_worker,
-            initargs=(clients, servers, obs.trace_id(), scale),
-        ) as pool:
+        executor = executors.create_executor(
+            backend, spec, slots=min(count, len(batch))
+        )
+        try:
             # Submission is a sliding window, not the whole batch: the
             # pool's result thread unpickles every finished chunk the
             # moment it arrives, so when workers outpace adoption an
@@ -604,9 +708,8 @@ def _run_chunked(
                     pending.append(
                         (
                             chunk,
-                            pool.apply_async(
-                                _run_chunk,
-                                ((chunk.id, chunk.attempts, chunk.months),),
+                            executor.submit(
+                                (chunk.id, chunk.attempts, chunk.months)
                             ),
                         )
                     )
@@ -616,8 +719,8 @@ def _run_chunked(
                 chunk, result = pending.popleft()
                 wait = max(0.001, deadline - time.monotonic())
                 try:
-                    part = result.get(wait)
-                except multiprocessing.TimeoutError:
+                    part = result.result(wait)
+                except executors.ChunkTimeout:
                     timed_out.append(chunk)
                     PERF.chunk_timeouts += 1
                     _log.warning(
@@ -659,7 +762,13 @@ def _run_chunked(
                     )
                 else:
                     if validate_payload(part["packed"], chunk.months):
-                        _adopt(store, checkpoint, part, state=state)
+                        # A part without a perf snapshot ran in the
+                        # parent (inline backend): its counters are
+                        # already live, only its wall gets recorded.
+                        _adopt(
+                            store, checkpoint, part,
+                            inline=part.get("perf") is None, state=state,
+                        )
                     else:
                         failed.append(chunk)
                         _log.warning(
@@ -681,8 +790,10 @@ def _run_chunked(
             # untouched: they did not run, so they cost no attempt and
             # are not resharded.
             queue.extend(to_submit)
-            # Exiting the with-block terminates the pool, killing any
-            # worker still hung past the deadline.
+        finally:
+            # Closing the executor terminates pool workers, killing any
+            # still hung past the deadline (a no-op for inline).
+            executor.close()
 
         for chunk in failed:
             PERF.chunk_retries += 1

@@ -95,6 +95,29 @@ def month_range(start: _dt.date, end: _dt.date) -> list[_dt.date]:
     return months
 
 
+def _scan_fold(weights: list) -> float:
+    """Row-order weight fold for the scan oracle.
+
+    With numpy present the collected weights fold through ``cumsum`` —
+    one compiled pass instead of a per-row interpreted add.  The two
+    paths are equal bit-for-bit, not merely close: the Python fold
+    starts at ``0.0`` (and ``0.0 + w == w`` exactly) and adds
+    left-to-right, and ``cumsum`` performs the same float64 additions
+    on the same operands in the same order — the differential test
+    asserts ``==``, never approximate equality.
+    """
+    if not weights:
+        return 0.0
+    if _vector.available():
+        import numpy as _np
+
+        return float(_np.cumsum(_np.asarray(weights, dtype=_np.float64))[-1])
+    total = 0.0
+    for weight in weights:
+        total += weight
+    return total
+
+
 def _record_keys(record: ConnectionRecord) -> list[tuple[str, object]]:
     """The (dimension, value) index keys one record contributes to."""
     keys = [
@@ -844,7 +867,7 @@ class NotaryStore:
         index = self._index(month)
         if index is not None:
             return index.total
-        return sum(r.weight for r in self._month_records(month))
+        return _scan_fold([r.weight for r in self._month_records(month)])
 
     def weight_where(
         self, month: _dt.date, predicate: Callable[[ConnectionRecord], bool]
@@ -870,7 +893,9 @@ class NotaryStore:
                     PERF.shape_path_hits += 1
                     return view.weight_of(matches)
                 self._scan_note(month, "predicate")
-        return sum(r.weight for r in self._month_records(month) if predicate(r))
+        return _scan_fold(
+            [r.weight for r in self._month_records(month) if predicate(r)]
+        )
 
     def fraction(
         self,
@@ -912,10 +937,10 @@ class NotaryStore:
         records = self._month_records(month)
         if within is not None:
             records = [r for r in records if within(r)]
-        total = sum(r.weight for r in records)
+        total = _scan_fold([r.weight for r in records])
         if total <= 0:
             return 0.0
-        return sum(r.weight for r in records if predicate(r)) / total
+        return _scan_fold([r.weight for r in records if predicate(r)]) / total
 
     def _vector_fraction(self, month, predicate, within) -> float | None:
         """``fraction`` via the vector tier; None means "next tier".
@@ -1012,14 +1037,15 @@ class NotaryStore:
                     PERF.shape_path_hits += 1
                     return view.mean_of(values)
                 self._scan_note(month, "value")
-        total = 0.0
-        acc = 0.0
-        for record in self._month_records(month):
-            v = value(record)
-            if v is None:
-                continue
-            acc += record.weight * v
-            total += record.weight
+        # Each term ``weight * v`` is a single float64 multiply whether
+        # it happens in the old scalar loop or in this comprehension, so
+        # folding the products preserves the scalar path's bytes.
+        pairs = [
+            (record.weight, v)
+            for record in self._month_records(month)
+            if (v := value(record)) is not None
+        ]
+        total = _scan_fold([w for w, _ in pairs])
         if total <= 0:
             return None
-        return acc / total
+        return _scan_fold([w * v for w, v in pairs]) / total

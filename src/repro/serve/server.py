@@ -72,6 +72,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
 from repro import obs
+from repro.engine import executors
 from repro.engine.perf import PERF
 from repro.obs import live
 from repro.serve import wire
@@ -80,6 +81,11 @@ _log = obs.get_logger("repro.serve.server")
 
 #: Largest accepted ``/query`` body; queries are small documents.
 MAX_BODY_BYTES = 1 << 20
+
+#: How long a pooled query may take before the parent gives up on the
+#: replica and answers in-thread instead (generous: it only fires when
+#: a replica died or the host is badly overloaded).
+QUERY_POOL_TIMEOUT = 120.0
 
 #: The announce-line format the CLI prints and the smoke script parses.
 ANNOUNCE_TEMPLATE = "serving on http://{host}:{port}"
@@ -97,6 +103,75 @@ def _route_pattern(path: str) -> str:
     if path in ("/healthz", "/stats", "/metrics", "/query"):
         return path
     return "<other>"
+
+
+# ---- query-worker pool (the multi-process serve path) -----------------------
+#
+# ``repro serve --query-workers N`` forks N pre-warmed store replicas
+# *after* the dataset loads, so every replica shares the loaded pages
+# copy-on-write and answers from the same packed columns.  Handler
+# threads dispatch ``/query`` and ``/figures`` evaluation to the pool
+# through the executor interface (:mod:`repro.engine.executors`),
+# escaping the GIL that serializes CPU-bound query evaluation on the
+# threaded path.  Results cross back by pickle — float bit patterns
+# survive exactly, so pooled answers are byte-identical to in-thread
+# ones (the differential hammer runs against both modes).  Each job
+# also ships the replica's per-query int-counter delta, which the
+# parent folds under its perf lock: the counters reconcile exactly
+# with what an in-thread evaluation would have counted.
+
+_REPLICA: dict = {}
+
+
+def _init_query_worker(store, trace_id: str | None = None) -> None:
+    """Pool initializer: adopt the pre-warmed replica (inherited through
+    fork memory — never pickled) and zero this process's counters so
+    per-query deltas are clean."""
+    _REPLICA["store"] = store
+    PERF.reset()
+    obs.TRACE.reset()
+    if trace_id is not None:
+        obs.adopt_trace(trace_id)
+
+
+def _eval_query_job(job: tuple) -> dict:
+    """Run one ("query", spec) / ("figure", name) job on the replica.
+
+    Returns the raw result plus the observed tier and the replica's
+    int-counter delta.  A :class:`~repro.serve.wire.QueryError` crosses
+    the pool boundary unchanged (it pickles), so malformed documents
+    still answer 400.
+    """
+    kind, payload = job
+    store = _REPLICA["store"]
+    before = PERF.snapshot_ints()
+    tier_before = (
+        PERF.vector_path_hits,
+        PERF.shape_path_hits,
+        PERF.scan_fallbacks,
+    )
+    if kind == "figure":
+        from repro.core.figures import FIGURE_GENERATORS
+
+        result = FIGURE_GENERATORS[payload](store)
+    else:
+        result = wire.execute_query(store, payload)
+    tier_after = (
+        PERF.vector_path_hits,
+        PERF.shape_path_hits,
+        PERF.scan_fallbacks,
+    )
+    after = PERF.snapshot_ints()
+    delta = {
+        name: after[name] - before[name]
+        for name in after
+        if after[name] != before.get(name, 0)
+    }
+    return {
+        "result": result,
+        "tier": _tier_of(tier_before, tier_after),
+        "perf": delta,
+    }
 
 
 def _tier_of(before: tuple, after: tuple) -> str:
@@ -123,11 +198,17 @@ class ReproServer(ThreadingHTTPServer):
     #: 32-way load test opens its sockets in one burst.
     request_queue_size = 128
 
-    def __init__(self, address=("127.0.0.1", 0), store=None):
+    def __init__(self, address=("127.0.0.1", 0), store=None, query_workers=0):
         super().__init__(address, ReproRequestHandler)
         self.store = store
+        #: Requested size of the multi-process query pool (0 = the
+        #: threaded path); the pool itself starts when the store is
+        #: attached, so replicas fork pre-warmed.
+        self.query_workers = max(0, int(query_workers))
+        self.query_pool = None
         self.ready = threading.Event()
         if store is not None:
+            self._start_query_pool()
             self.ready.set()
         self.load_error: str | None = None
         self.started_ts = time.time()
@@ -164,9 +245,44 @@ class ReproServer(ThreadingHTTPServer):
         return f"http://{host}:{self.bound_port}"
 
     def attach_store(self, store) -> None:
-        """Make the dataset servable; flips ``/healthz`` to ready."""
+        """Make the dataset servable; flips ``/healthz`` to ready.
+
+        The query pool (when requested) starts here — after the load —
+        so replicas fork with the dataset already resident.
+        """
         self.store = store
+        self._start_query_pool()
         self.ready.set()
+
+    def _start_query_pool(self) -> None:
+        if self.query_workers < 1 or self.query_pool is not None:
+            return
+        if not executors.fork_available():
+            # Pre-warmed replicas require inherited memory; a spawned
+            # replica would re-load the dataset from scratch (and a
+            # cache-loaded store's mmap-backed columns do not pickle).
+            _log.warning(
+                "--query-workers needs the fork start method; "
+                "serving on the threaded path instead"
+            )
+            return
+        self.query_pool = executors.create_executor(
+            "fork",
+            executors.WorkSpec(
+                pool_fn=_eval_query_job,
+                initializer=_init_query_worker,
+                initargs=(self.store, obs.trace_id()),
+            ),
+            slots=self.query_workers,
+        )
+        _log.info(
+            "query pool: %d pre-warmed store replica(s)", self.query_workers
+        )
+
+    def close_query_pool(self) -> None:
+        pool, self.query_pool = self.query_pool, None
+        if pool is not None:
+            pool.close()
 
     def store_or_none(self):
         return self.store if self.ready.is_set() else None
@@ -198,15 +314,49 @@ class ReproServer(ThreadingHTTPServer):
     #: the materialization LRU and ``mixed`` may include a scan.
     _LOCK_FREE_TIERS = frozenset({"index", "vector", "shape"})
 
-    def run_query(self, fn, memo_key=None):
+    def run_query(self, fn, memo_key=None, job=None):
         """Run one store query; returns (result, tier used).
 
-        Double-checked locking on ``memo_key``: the first run executes
-        under the query lock (memo fills + exact tier attribution);
-        once the memoized tier is known lock-free-safe, repeat runs of
-        the same query skip the lock and overlap freely.  Queries with
-        no key, or whose tier involves a scan, always serialize.
+        With an active query pool and a ``job`` descriptor, evaluation
+        is dispatched to a pre-warmed store replica process — no store
+        lock at all, replicas are isolated — and the replica's counter
+        delta folds back under the perf lock.  A failed dispatch falls
+        back to the in-thread path below, so the pool can never make an
+        answer worse, only concurrent.
+
+        Otherwise, double-checked locking on ``memo_key``: the first
+        run executes under the query lock (memo fills + exact tier
+        attribution); once the memoized tier is known lock-free-safe,
+        repeat runs of the same query skip the lock and overlap freely.
+        Queries with no key, or whose tier involves a scan, always
+        serialize.
         """
+        if job is not None and self.query_pool is not None:
+            pending = self.query_pool.submit(job)
+            self._query_enter()
+            try:
+                part = pending.result(QUERY_POOL_TIMEOUT)
+            except wire.QueryError:
+                with self._perf_lock:
+                    PERF.query_pool_dispatches += 1
+                raise
+            except Exception as exc:
+                _log.warning(
+                    "query pool dispatch failed (%s: %s); answering "
+                    "in-thread",
+                    type(exc).__name__,
+                    exc,
+                )
+                with self._perf_lock:
+                    PERF.query_pool_dispatches += 1
+                    PERF.query_pool_fallbacks += 1
+                return self.run_query(fn, memo_key=memo_key)
+            finally:
+                self._query_exit()
+            with self._perf_lock:
+                PERF.query_pool_dispatches += 1
+                PERF.add_ints(part["perf"])
+            return part["result"], part["tier"]
         if memo_key is not None:
             tier = self._warm_tiers.get(memo_key)
             if tier in self._LOCK_FREE_TIERS:
@@ -599,7 +749,9 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         if store is None:
             return self._loading()
         series, tier = server.run_query(
-            lambda: generator(store), memo_key=("figure", name)
+            lambda: generator(store),
+            memo_key=("figure", name),
+            job=("figure", name),
         )
         return 200, {
             "figure": name,
@@ -629,6 +781,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         result, tier = server.run_query(
             lambda: wire.execute_query(store, spec),
             memo_key=("query", json.dumps(spec, sort_keys=True)),
+            job=("query", spec),
         )
         return 200, result, tier
 
@@ -660,6 +813,7 @@ class ServerHandle:
         self.server.shutdown()
         self.thread.join(timeout=10)
         self.server.server_close()
+        self.server.close_query_pool()
 
 
 def start_server(
@@ -667,6 +821,7 @@ def start_server(
     loader=None,
     host: str = "127.0.0.1",
     port: int = 0,
+    query_workers: int = 0,
 ) -> ServerHandle:
     """Bind (port 0 by default), serve on a background thread, return
     the handle — ``handle.port`` is the kernel-chosen port.
@@ -680,7 +835,7 @@ def start_server(
     """
     if (store is None) == (loader is None):
         raise ValueError("pass exactly one of store= or loader=")
-    server = ReproServer((host, port), store=store)
+    server = ReproServer((host, port), store=store, query_workers=query_workers)
     thread = threading.Thread(
         target=server.serve_forever,
         kwargs={"poll_interval": 0.05},

@@ -18,7 +18,7 @@ import pytest
 
 from repro.core import figures
 from repro.engine import cache as dataset_cache
-from repro.engine import faults, runner
+from repro.engine import executors, faults, runner
 from repro.engine.partition import (
     PackedDataset,
     pack_records,
@@ -97,14 +97,26 @@ class TestParallelEquivalence:
 
 
 class TestDifferentialResilience:
-    """Property-style: random worker counts, chunk sizes, and fault
-    schedules must never perturb a single figure aggregate."""
+    """Property-style: random worker counts, chunk sizes, fault
+    schedules, and execution backends must never perturb a single
+    figure aggregate.
 
+    The backend axis is the PR 10 executor contract in action: fork,
+    inline, and spawn all run the same scheduler policy, so each must
+    produce byte-identical stores and figures under the same seeded
+    schedule.  (Inline runs the fault-suppressed in-parent path, so a
+    fault-heavy schedule simply injects nothing there — the identity
+    assertion is the point, not the recovery counters.)
+    """
+
+    @pytest.mark.parametrize("backend", list(executors.BACKENDS))
     @pytest.mark.parametrize("seed", [1, 2, 3])
     def test_seeded_schedules_match_serial(
         self, serial_store, client_population, server_population,
-        seed, tmp_path, monkeypatch,
+        seed, backend, tmp_path, monkeypatch,
     ):
+        if backend == "fork" and not executors.fork_available():
+            pytest.skip("fork start method unavailable")
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         rng = random.Random(seed)
         workers = rng.randint(0, 8)
@@ -120,6 +132,7 @@ class TestDifferentialResilience:
             store = runner.run_expectation(
                 client_population, server_population, START, END,
                 workers=workers, chunk_months=chunk_months, faults_spec=spec,
+                backend=backend,
             )
         finally:
             faults.clear()

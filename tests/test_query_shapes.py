@@ -590,6 +590,38 @@ class TestNumpyAbsentFallback:
         assert PERF.vector_compile_misses == 0  # tier off, not missing
         assert PERF.shape_path_hits > 0
 
+    @pytest.mark.skipif(not vector.available(), reason="numpy unavailable")
+    def test_scan_fold_pure_python_matches_numpy(self, scan_store, monkeypatch):
+        """The scan oracle's vectorized weight fold is bit-equal to the
+        pure-Python fold it replaced (PR 10 satellite: the last per-row
+        scan hot loop) — on the fold helper directly and through every
+        scan-path query method."""
+        from repro.notary import store as store_mod
+
+        rng = random.Random(1918)
+        weights = [rng.random() * rng.choice([1e-9, 1.0, 1e9]) for _ in range(5000)]
+        with_numpy = store_mod._scan_fold(weights)
+        months = scan_store.months()
+        vec = {
+            m: (
+                scan_store.total_weight(m),
+                scan_store.fraction(m, MODERN, ESTABLISHED),
+                scan_store.weight_where(m, Advertises("rc4")),
+                scan_store.weighted_mean(m, PositionOf("aead")),
+            )
+            for m in months
+        }
+        monkeypatch.setattr(vector, "_np", None)
+        assert not vector.available()
+        assert store_mod._scan_fold(weights) == with_numpy
+        for m in months:
+            assert vec[m] == (
+                scan_store.total_weight(m),
+                scan_store.fraction(m, MODERN, ESTABLISHED),
+                scan_store.weight_where(m, Advertises("rc4")),
+                scan_store.weighted_mean(m, PositionOf("aead")),
+            )
+
     def test_changepoint_pure_python_matches_numpy(self):
         import datetime as dt
 

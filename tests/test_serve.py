@@ -26,6 +26,7 @@ import threading
 import pytest
 
 from repro.core.figures import FIGURE_GENERATORS
+from repro.engine import executors
 from repro.engine.partition import PackedDataset, pack_records
 from repro.notary.store import NotaryStore
 from repro.serve import wire
@@ -185,9 +186,11 @@ def test_randomized_queries_match_in_process_exactly(server, served_store):
 # ---- concurrency hammer ------------------------------------------------------
 
 
-def test_hammer_32_threads_byte_identical_zero_5xx(server, served_store):
-    """>= 32 threads x >= 50 requests each; every response must equal
-    its precomputed in-process twin and no response may be a 5xx."""
+def _run_hammer(handle, served_store) -> dict:
+    """The 32-thread differential hammer, shared by the threaded-path
+    and query-pool servers: every response must equal its precomputed
+    in-process twin and no response may be a 5xx.  Returns the server's
+    closing ``/stats`` payload for mode-specific assertions."""
     month = served_store.months()[3].isoformat()
     single = {
         "kind": "fraction",
@@ -230,7 +233,7 @@ def test_hammer_32_threads_byte_identical_zero_5xx(server, served_store):
     barrier = threading.Barrier(HAMMER_THREADS)
 
     def worker(worker_id: int) -> None:
-        conn = _open(server)
+        conn = _open(handle)
         barrier.wait()
         local_statuses = []
         local_failures = []
@@ -243,7 +246,7 @@ def test_hammer_32_threads_byte_identical_zero_5xx(server, served_store):
             except OSError as exc:
                 local_failures.append(f"transport error on {path}: {exc!r}")
                 conn.close()
-                conn = _open(server)
+                conn = _open(handle)
                 continue
             local_statuses.append(status)
             if status >= 500:
@@ -268,14 +271,89 @@ def test_hammer_32_threads_byte_identical_zero_5xx(server, served_store):
     assert len(statuses) == HAMMER_THREADS * HAMMER_REQUESTS_PER_THREAD
     assert all(status == 200 for status in statuses)
     # The requests genuinely overlapped on the server.
-    _, stats = _get(server, "/stats")
+    _, stats = _get(handle, "/stats")
     assert stats["server"]["max_in_flight"] > 1
-    # And inside the *query phase* specifically: with the memo caches
+    return stats
+
+
+def test_hammer_32_threads_byte_identical_zero_5xx(server, served_store):
+    stats = _run_hammer(server, served_store)
+    # Inside the *query phase* specifically: with the memo caches
     # warm, index/vector/shape-tier queries bypass the store lock
     # (double-checked locking), so store reads themselves must have
     # run concurrently — the serialize-everything lock this PR removed
     # would pin this gauge at 1.
     assert stats["server"]["max_queries_in_flight"] > 1
+
+
+# ---- differential: the multi-process query pool ------------------------------
+
+
+@pytest.fixture(scope="module")
+def mp_server(served_store):
+    """The same store served through ``--query-workers 2`` replicas."""
+    if not executors.fork_available():
+        pytest.skip("query pool needs the fork start method")
+    handle = start_server(store=served_store, query_workers=2)
+    assert handle.server.query_pool is not None
+    yield handle
+    handle.close()
+
+
+def test_mp_hammer_byte_identical_zero_5xx(mp_server, served_store):
+    """The identical differential hammer against the query-pool server:
+    pooled answers must be byte-for-byte the in-process ones, and the
+    pool must actually have dispatched."""
+    stats = _run_hammer(mp_server, served_store)
+    assert stats["counters"]["query_pool_dispatches"] > 0
+    assert stats["server"]["max_queries_in_flight"] > 1
+
+
+def test_mp_every_figure_matches_in_process_exactly(mp_server, served_store):
+    for name, generator in sorted(FIGURE_GENERATORS.items()):
+        status, payload = _get(mp_server, f"/figures/{name}")
+        assert status == 200
+        expected = json.loads(
+            json.dumps(wire.encode_series(generator(served_store)))
+        )
+        assert payload["series"] == expected, name
+
+
+def test_mp_malformed_query_answers_400_across_pool(mp_server):
+    status, payload = _post(mp_server, "/query", {"kind": "nope"})
+    assert status == 400
+    assert "error" in payload
+
+
+def test_mp_perf_counters_reconcile(mp_server, served_store):
+    """A replica's per-query counter delta folds into the parent: the
+    parent's tier counters move exactly as an in-thread run would."""
+    month = served_store.months()[2].isoformat()
+    body = {
+        "kind": "fraction",
+        "predicate": {
+            "op": "any",
+            "args": [
+                {"op": "version", "value": "TLSv12"},
+                {"op": "version", "value": "TLSv13"},
+            ],
+        },
+        "month": month,
+    }
+    _, before = _get(mp_server, "/stats")
+    status, _payload = _post(mp_server, "/query", body)
+    assert status == 200
+    _, after = _get(mp_server, "/stats")
+    delta_dispatch = (
+        after["counters"]["query_pool_dispatches"]
+        - before["counters"]["query_pool_dispatches"]
+    )
+    assert delta_dispatch >= 1
+    moved = sum(
+        after["counters"][name] - before["counters"][name]
+        for name in ("vector_path_hits", "shape_path_hits", "scan_fallbacks")
+    )
+    assert moved >= 1, "replica tier counters did not fold into the parent"
 
 
 # ---- error paths -------------------------------------------------------------
